@@ -1,0 +1,221 @@
+(* Benchmark harness.
+
+   Two layers:
+   1. bechamel micro-benchmarks — one Test.make per experiment table,
+      measuring the steady-state per-operation cost of the code path that
+      table exercises (update time for E1-E6/E9, sketch insertions for E7,
+      union sampling for E10);
+   2. the macro experiment tables E1-E13 and ablations A1-A4 from
+      EXPERIMENTS.md, printed after the micro-benchmarks.
+
+   Run with:  dune exec bench/main.exe            (everything)
+              dune exec bench/main.exe -- micro   (micro-benchmarks only)
+              dune exec bench/main.exe -- macro   (experiment tables only) *)
+
+open Bechamel
+open Toolkit
+module Rng = Delphic_util.Rng
+module Rectangle = Delphic_sets.Rectangle
+module Range1d = Delphic_sets.Range1d
+module Workload = Delphic_stream.Workload
+
+module Vatic_rect = Delphic_core.Vatic.Make (Rectangle)
+module Vatic_range = Delphic_core.Vatic.Make (Range1d)
+module Vatic_dnf = Delphic_core.Vatic.Make (Delphic_sets.Dnf)
+module Vatic_cov = Delphic_core.Vatic.Make (Delphic_sets.Coverage)
+module Vatic_single = Delphic_core.Vatic.Make (Delphic_sets.Singleton)
+module Aps_rect = Delphic_core.Aps_estimator.Make (Rectangle)
+module Wrap_range = Delphic_sets.Approx_wrap.Make (Range1d)
+module Ext_vatic_range = Delphic_core.Ext_vatic.Make (Wrap_range)
+module Xs_dnf = Delphic_core.Xor_sketch.Make (Delphic_sets.Dnf)
+
+(* Steady-state per-item processing cost: pre-fill the estimator with the
+   whole stream once, then measure re-processing items cyclically — the
+   bucket sits at its equilibrium size, which is what Theorem 1.2's update
+   bound describes. *)
+let cycling items process =
+  let items = Array.of_list items in
+  let i = ref 0 in
+  fun () ->
+    process items.(!i);
+    i := (!i + 1) mod Array.length items
+
+let e1_kmp_update () =
+  let gen = Rng.create ~seed:1 in
+  let pool = Workload.Rectangles.uniform gen ~universe:1_000_000 ~dim:2 ~count:150 ~max_side:60_000 in
+  let t = Vatic_rect.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:40.0 ~seed:2 () in
+  List.iter (Vatic_rect.process t) pool;
+  cycling pool (Vatic_rect.process t)
+
+let e2_aps_update () =
+  let gen = Rng.create ~seed:1 in
+  let pool = Workload.Rectangles.uniform gen ~universe:1_000_000 ~dim:2 ~count:150 ~max_side:60_000 in
+  let t =
+    Aps_rect.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:40.0 ~stream_length:10_000
+      ~seed:2 ()
+  in
+  List.iter (Aps_rect.process t) pool;
+  cycling pool (Aps_rect.process t)
+
+let e3_kmp_update_d4 () =
+  let gen = Rng.create ~seed:3 in
+  let pool = Workload.Rectangles.uniform gen ~universe:65536 ~dim:4 ~count:100 ~max_side:1000 in
+  let t = Vatic_rect.create ~epsilon:0.33 ~delta:0.2 ~log2_universe:64.0 ~seed:4 () in
+  List.iter (Vatic_rect.process t) pool;
+  cycling pool (Vatic_rect.process t)
+
+let e4_dnf_update () =
+  let gen = Rng.create ~seed:5 in
+  let pool = Workload.Dnf_terms.random gen ~nvars:40 ~count:150 ~width:10 in
+  let t = Vatic_dnf.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:40.0 ~seed:6 () in
+  List.iter (Vatic_dnf.process t) pool;
+  cycling pool (Vatic_dnf.process t)
+
+let e5_ext_vatic_update () =
+  let gen = Rng.create ~seed:7 in
+  let alpha = 0.2 and gamma = 0.05 and eta = 0.1 in
+  let pool =
+    List.map
+      (Wrap_range.wrap ~alpha ~gamma ~eta)
+      (Workload.Ranges.uniform gen ~universe:1_000_000 ~count:300 ~max_len:4000)
+  in
+  let t =
+    Ext_vatic_range.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:20.0 ~alpha ~gamma
+      ~eta ~seed:8 ()
+  in
+  List.iter (Ext_vatic_range.process t) pool;
+  cycling pool (Ext_vatic_range.process t)
+
+let e6_coverage_update () =
+  let gen = Rng.create ~seed:9 in
+  let vectors = Workload.Coverage_suites.random gen ~nbits:14 ~count:300 ~bias:0.5 in
+  let pool = Workload.Coverage_suites.coverage_sets ~strength:2 vectors in
+  let log2u =
+    Delphic_util.Bigint.log2 (Delphic_sets.Coverage.universe_size ~n:14 ~strength:2)
+  in
+  let t = Vatic_cov.create ~epsilon:0.15 ~delta:0.2 ~log2_universe:log2u ~seed:10 () in
+  List.iter (Vatic_cov.process t) pool;
+  cycling pool (Vatic_cov.process t)
+
+let e7_vatic_singleton_update () =
+  let gen = Rng.create ~seed:11 in
+  let pool = Workload.Singletons.uniform gen ~universe:(1 lsl 20) ~count:5000 in
+  let t = Vatic_single.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:12 () in
+  List.iter (Vatic_single.process t) pool;
+  cycling pool (Vatic_single.process t)
+
+let e7_bottom_k_update () =
+  let gen = Rng.create ~seed:11 in
+  let values =
+    List.map Delphic_sets.Singleton.value
+      (Workload.Singletons.uniform gen ~universe:(1 lsl 20) ~count:5000)
+  in
+  let bk = Delphic_core.Bottom_k.create ~epsilon:0.25 () in
+  List.iter (Delphic_core.Bottom_k.add bk) values;
+  cycling values (Delphic_core.Bottom_k.add bk)
+
+let e7_hll_update () =
+  let gen = Rng.create ~seed:11 in
+  let values =
+    List.map Delphic_sets.Singleton.value
+      (Workload.Singletons.uniform gen ~universe:(1 lsl 20) ~count:5000)
+  in
+  let hll = Delphic_core.Hyperloglog.create ~bits:12 () in
+  List.iter (Delphic_core.Hyperloglog.add hll) values;
+  cycling values (Delphic_core.Hyperloglog.add hll)
+
+let e9_hypervolume_update () =
+  let gen = Rng.create ~seed:13 in
+  let pool =
+    List.map Delphic_sets.Hypervolume.to_rectangle
+      (Workload.Hypervolumes.pareto_front gen ~universe:512 ~dim:3 ~count:40)
+  in
+  let t = Vatic_rect.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:27.0 ~seed:14 () in
+  List.iter (Vatic_rect.process t) pool;
+  cycling pool (Vatic_rect.process t)
+
+let e10_union_sample () =
+  let gen = Rng.create ~seed:15 in
+  let pool = Workload.Ranges.uniform gen ~universe:1_000_000 ~count:200 ~max_len:4000 in
+  let t = Vatic_range.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~seed:16 () in
+  List.iter (Vatic_range.process t) pool;
+  fun () -> ignore (Vatic_range.sample_union t)
+
+let e11_bursty_update () =
+  let gen = Rng.create ~seed:17 in
+  let pool =
+    Workload.Orders.bursty ~copies:8
+      (Workload.Ranges.uniform gen ~universe:1_000_000 ~count:100 ~max_len:4000)
+  in
+  let t = Vatic_range.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:18 () in
+  List.iter (Vatic_range.process t) pool;
+  cycling pool (Vatic_range.process t)
+
+let e12_xor_sketch_update () =
+  let gen = Rng.create ~seed:19 in
+  let pool = Workload.Dnf_terms.random gen ~nvars:26 ~count:150 ~width:8 in
+  let t = Xs_dnf.create ~epsilon:0.25 ~delta:0.2 ~nvars:26 ~seed:20 () in
+  List.iter (Xs_dnf.process t) pool;
+  cycling pool (Xs_dnf.process t)
+
+let a_series_lean_update () =
+  (* The ablation tables vary constants; the micro bench pins the leanest
+     configuration (capacity scale 1) for comparison against E1's default. *)
+  let gen = Rng.create ~seed:21 in
+  let pool = Workload.Ranges.uniform gen ~universe:1_000_000 ~count:150 ~max_len:4000 in
+  let t =
+    Vatic_range.create ~capacity_scale:1.0 ~epsilon:0.25 ~delta:0.2
+      ~log2_universe:20.0 ~seed:22 ()
+  in
+  List.iter (Vatic_range.process t) pool;
+  cycling pool (Vatic_range.process t)
+
+let micro_tests () =
+  Test.make_grouped ~name:"delphic"
+    [
+      Test.make ~name:"E1/vatic-kmp-d2-update" (Staged.stage (e1_kmp_update ()));
+      Test.make ~name:"E2/aps-kmp-d2-update" (Staged.stage (e2_aps_update ()));
+      Test.make ~name:"E3/vatic-kmp-d4-update" (Staged.stage (e3_kmp_update_d4 ()));
+      Test.make ~name:"E4/vatic-dnf-update" (Staged.stage (e4_dnf_update ()));
+      Test.make ~name:"E5/ext-vatic-range-update" (Staged.stage (e5_ext_vatic_update ()));
+      Test.make ~name:"E6/vatic-coverage-update" (Staged.stage (e6_coverage_update ()));
+      Test.make ~name:"E7/vatic-singleton-update" (Staged.stage (e7_vatic_singleton_update ()));
+      Test.make ~name:"E7/bottom-k-add" (Staged.stage (e7_bottom_k_update ()));
+      Test.make ~name:"E7/hll-add" (Staged.stage (e7_hll_update ()));
+      Test.make ~name:"E9/vatic-hypervolume-update" (Staged.stage (e9_hypervolume_update ()));
+      Test.make ~name:"E10/union-sample" (Staged.stage (e10_union_sample ()));
+      Test.make ~name:"E11/vatic-bursty-update" (Staged.stage (e11_bursty_update ()));
+      Test.make ~name:"E12/xor-sketch-dnf-update" (Staged.stage (e12_xor_sketch_update ()));
+      Test.make ~name:"A/vatic-lean-capacity-update" (Staged.stage (a_series_lean_update ()));
+    ]
+
+let run_micro () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Micro-benchmarks (bechamel, monotonic clock)";
+  print_endline "============================================";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-44s %12.1f ns/op\n" name ns)
+    (List.sort compare !rows)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode = "micro" || mode = "all" then run_micro ();
+  if mode = "macro" || mode = "all" then begin
+    print_newline ();
+    print_endline "Experiment tables (see EXPERIMENTS.md for the paper-claim mapping)";
+    Delphic_harness.Experiments.run_all ()
+  end

@@ -1,0 +1,452 @@
+(* delphic — command-line front end.
+
+   Subcommands estimate union sizes for each supported Delphic family on
+   synthetic workloads (or stdin for KMP), and run the experiment suite. *)
+
+module Rng = Delphic_util.Rng
+module Bigint = Delphic_util.Bigint
+module Rectangle = Delphic_sets.Rectangle
+module Range1d = Delphic_sets.Range1d
+module Dnf = Delphic_sets.Dnf
+module Coverage = Delphic_sets.Coverage
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+
+(* The CLI estimates through the Adaptive wrapper: exact answers whenever
+   the union is small (including universes below the Theorem 1.2 sampling
+   floor), VATIC sketching at scale. *)
+module Vatic_rect = Delphic_core.Adaptive.Make (Rectangle)
+module Vatic_dnf = Delphic_core.Adaptive.Make (Dnf)
+module Vatic_cov = Delphic_core.Adaptive.Make (Coverage)
+module Vatic_single = Delphic_core.Adaptive.Make (Delphic_sets.Singleton)
+module Vatic_hyper = Delphic_core.Adaptive.Make (Delphic_sets.Hypervolume)
+module Vatic_affine = Delphic_core.Adaptive.Make (Delphic_sets.Affine_subspace)
+
+open Cmdliner
+
+let log2f x = log x /. log 2.0
+
+(* Shared options. *)
+
+let epsilon =
+  let doc = "Target relative accuracy (0 < eps < 1)." in
+  Arg.(value & opt float 0.2 & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc)
+
+let delta =
+  let doc = "Failure probability (0 < delta < 1)." in
+  Arg.(value & opt float 0.2 & info [ "d"; "delta" ] ~docv:"DELTA" ~doc)
+
+let seed =
+  let doc = "PRNG seed (experiments are reproducible)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let count =
+  let doc = "Number of stream items M." in
+  Arg.(value & opt int 1000 & info [ "m"; "count" ] ~docv:"M" ~doc)
+
+
+(* kmp: read rectangles from a file ("lo1 hi1 lo2 hi2 ..." per line) or
+   generate a synthetic cloud. *)
+
+let kmp_cmd =
+  let file =
+    let doc = "Read rectangles (one per line: lo1 hi1 lo2 hi2 ...) from $(docv)." in
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let dim =
+    let doc = "Dimension of synthetic boxes." in
+    Arg.(value & opt int 2 & info [ "dim" ] ~docv:"D" ~doc)
+  in
+  let universe =
+    let doc = "Side of the universe (each coordinate in [0, $(docv)))." in
+    Arg.(value & opt int 1_000_000 & info [ "u"; "universe" ] ~docv:"N" ~doc)
+  in
+  let exact =
+    let doc = "Also compute the exact union volume (slow; small inputs only)." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run epsilon delta seed count file dim universe exact =
+    let boxes =
+      match file with
+      | Some path -> Delphic_stream.Parsers.rectangles_of_file path
+      | None ->
+        let rng = Rng.create ~seed in
+        Workload.Rectangles.uniform rng ~universe ~dim ~count ~max_side:(universe / 20)
+    in
+    match boxes with
+    | [] -> prerr_endline "no rectangles"; exit 1
+    | first :: _ ->
+      let d = Rectangle.dim first in
+      let side =
+        match file with
+        | None -> universe
+        | Some _ ->
+          1 + List.fold_left (fun acc b -> Array.fold_left Stdlib.max acc (Rectangle.hi b)) 0 boxes
+      in
+      let log2_universe = float_of_int d *. log2f (float_of_int side) in
+      let t = Vatic_rect.create ~epsilon ~delta ~log2_universe ~seed () in
+      List.iter (Vatic_rect.process t) boxes;
+      Printf.printf "estimated union volume: %.6g  (M = %d boxes, d = %d)\n"
+        (Vatic_rect.estimate t) (List.length boxes) d;
+      Printf.printf "estimator state: %s\n" (Vatic_rect.describe t);
+      if exact then
+        Printf.printf "exact union volume:     %s\n"
+          (Bigint.to_string (Exact.rectangle_union boxes))
+  in
+  let doc = "Estimate the union volume of a stream of axis-parallel boxes (Klee's Measure Problem)." in
+  Cmd.v (Cmd.info "kmp" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ file $ dim $ universe $ exact)
+
+(* dnf: synthetic random k-DNF model counting. *)
+
+let dnf_cmd =
+  let nvars =
+    let doc = "Number of Boolean variables." in
+    Arg.(value & opt int 40 & info [ "n"; "nvars" ] ~docv:"N" ~doc)
+  in
+  let width =
+    let doc = "Literals per term." in
+    Arg.(value & opt int 10 & info [ "w"; "width" ] ~docv:"W" ~doc)
+  in
+  let exact =
+    let doc = "Also compute the exact model count with a BDD." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let file =
+    let doc = "Read terms (DIMACS-style signed literals per line) from $(docv)." in
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let run epsilon delta seed count nvars width exact file =
+    let rng = Rng.create ~seed in
+    let terms =
+      match file with
+      | Some path -> Delphic_stream.Parsers.dnf_of_file ~nvars path
+      | None -> Workload.Dnf_terms.random rng ~nvars ~count ~width
+    in
+    let t =
+      Vatic_dnf.create ~epsilon ~delta ~log2_universe:(float_of_int nvars) ~seed ()
+    in
+    List.iter (Vatic_dnf.process t) terms;
+    Printf.printf "estimated model count: %.6g  (n = %d, %d terms)\n"
+      (Vatic_dnf.estimate t) nvars (List.length terms);
+    Printf.printf "estimator state: %s\n" (Vatic_dnf.describe t);
+    if exact then
+      Printf.printf "exact model count:     %s\n"
+        (Bigint.to_string (Exact.dnf_count ~nvars terms))
+  in
+  let doc = "Estimate the model count of a streamed DNF formula." in
+  Cmd.v (Cmd.info "dnf" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ nvars $ width $ exact $ file)
+
+(* coverage: t-wise coverage of a random test suite. *)
+
+let coverage_cmd =
+  let nbits =
+    let doc = "Width of each test vector." in
+    Arg.(value & opt int 14 & info [ "n"; "nbits" ] ~docv:"N" ~doc)
+  in
+  let strength =
+    let doc = "Interaction strength t." in
+    Arg.(value & opt int 2 & info [ "t"; "strength" ] ~docv:"T" ~doc)
+  in
+  let exact =
+    let doc = "Also compute the exact coverage by enumeration." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let file =
+    let doc = "Read test vectors (one 0/1 string per line) from $(docv)." in
+    Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let run epsilon delta seed count nbits strength exact file =
+    let rng = Rng.create ~seed in
+    let vectors =
+      match file with
+      | Some path -> Delphic_stream.Parsers.vectors_of_file path
+      | None -> Workload.Coverage_suites.random rng ~nbits ~count ~bias:0.5
+    in
+    let nbits =
+      match vectors with [] -> nbits | v :: _ -> Delphic_util.Bitvec.width v
+    in
+    let stream = Workload.Coverage_suites.coverage_sets ~strength vectors in
+    let log2_universe = Bigint.log2 (Coverage.universe_size ~n:nbits ~strength) in
+    let t = Vatic_cov.create ~epsilon ~delta ~log2_universe ~seed () in
+    List.iter (Vatic_cov.process t) stream;
+    Printf.printf "estimated %d-wise coverage: %.6g  (%d vectors of %d bits)\n" strength
+      (Vatic_cov.estimate t) (List.length vectors) nbits;
+    Printf.printf "estimator state: %s\n" (Vatic_cov.describe t);
+    if exact then
+      Printf.printf "exact coverage:            %s\n"
+        (Bigint.to_string (Exact.coverage_union ~strength vectors))
+  in
+  let doc = "Estimate the t-wise coverage of a streamed test suite." in
+  Cmd.v (Cmd.info "coverage" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ nbits $ strength $ exact $ file)
+
+(* distinct: classic distinct elements on a Zipf stream. *)
+
+let distinct_cmd =
+  let universe =
+    let doc = "Universe size." in
+    Arg.(value & opt int 1_000_000 & info [ "u"; "universe" ] ~docv:"N" ~doc)
+  in
+  let zipf =
+    let doc = "Zipf exponent for the value distribution (0 = uniform)." in
+    Arg.(value & opt float 0.0 & info [ "zipf" ] ~docv:"S" ~doc)
+  in
+  let run epsilon delta seed count universe zipf =
+    let rng = Rng.create ~seed in
+    let stream =
+      if zipf > 0.0 then Workload.Singletons.zipf rng ~universe ~count ~exponent:zipf
+      else Workload.Singletons.uniform rng ~universe ~count
+    in
+    let t =
+      Vatic_single.create ~epsilon ~delta
+        ~log2_universe:(log2f (float_of_int universe))
+        ~seed ()
+    in
+    List.iter (Vatic_single.process t) stream;
+    let truth = Exact.distinct (List.map Delphic_sets.Singleton.value stream) in
+    Printf.printf "estimated distinct: %.6g   exact: %d\n" (Vatic_single.estimate t) truth;
+    Printf.printf "estimator state: %s\n" (Vatic_single.describe t)
+  in
+  let doc = "Estimate the number of distinct elements in a synthetic stream." in
+  Cmd.v (Cmd.info "distinct" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ universe $ zipf)
+
+(* hypervolume: dominated volume of a streamed Pareto front. *)
+
+let hypervolume_cmd =
+  let dim =
+    let doc = "Number of objectives." in
+    Arg.(value & opt int 3 & info [ "dim" ] ~docv:"D" ~doc)
+  in
+  let universe =
+    let doc = "Objective scale (coordinates in [0, $(docv)))." in
+    Arg.(value & opt int 4096 & info [ "u"; "universe" ] ~docv:"N" ~doc)
+  in
+  let exact =
+    let doc = "Also compute the exact hypervolume (small inputs only)." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run epsilon delta seed count dim universe exact =
+    let rng = Rng.create ~seed in
+    let front =
+      Workload.Hypervolumes.pareto_front rng ~universe ~dim ~count
+    in
+    let log2_universe = float_of_int dim *. log2f (float_of_int universe) in
+    let t = Vatic_hyper.create ~epsilon ~delta ~log2_universe ~seed () in
+    List.iter (Vatic_hyper.process t) front;
+    Printf.printf "estimated hypervolume: %.6g  (%d points, %d objectives)\n"
+      (Vatic_hyper.estimate t) count dim;
+    Printf.printf "estimator state: %s\n" (Vatic_hyper.describe t);
+    if exact then
+      Printf.printf "exact hypervolume:     %s\n"
+        (Bigint.to_string
+           (Exact.rectangle_union
+              (List.map Delphic_sets.Hypervolume.to_rectangle front)))
+  in
+  let doc = "Estimate the hypervolume indicator of a streamed Pareto front." in
+  Cmd.v (Cmd.info "hypervolume" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ dim $ universe $ exact)
+
+(* xor: union of random XOR-constraint solution spaces. *)
+
+let xor_cmd =
+  let nvars =
+    let doc = "Number of GF(2) variables." in
+    Arg.(value & opt int 48 & info [ "n"; "nvars" ] ~docv:"N" ~doc)
+  in
+  let rows =
+    let doc = "Constraints per system." in
+    Arg.(value & opt int 38 & info [ "r"; "rows" ] ~docv:"R" ~doc)
+  in
+  let run epsilon delta seed count nvars rows =
+    let rng = Rng.create ~seed in
+    let stream = ref [] in
+    while List.length !stream < count do
+      let row () =
+        { Delphic_util.Gf2.coeffs = Delphic_util.Bitvec.random rng ~width:nvars;
+          rhs = Rng.bool rng }
+      in
+      match
+        Delphic_sets.Affine_subspace.create_opt ~nvars
+          (List.init rows (fun _ -> row ()))
+      with
+      | Some s -> stream := s :: !stream
+      | None -> ()
+    done;
+    let t =
+      Vatic_affine.create ~epsilon ~delta ~log2_universe:(float_of_int nvars) ~seed ()
+    in
+    List.iter (Vatic_affine.process t) !stream;
+    Printf.printf
+      "estimated union of %d affine subspaces of GF(2)^%d: %.6g\n" count nvars
+      (Vatic_affine.estimate t);
+    Printf.printf "estimator state: %s\n" (Vatic_affine.describe t)
+  in
+  let doc = "Estimate the union size of random XOR-constraint solution spaces." in
+  Cmd.v (Cmd.info "xor" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ nvars $ rows)
+
+(* watch: incremental estimates over boxes streaming on stdin. *)
+
+module Watch_vatic = Delphic_core.Vatic.Make (Rectangle)
+
+let watch_cmd =
+  let every =
+    let doc = "Print a running estimate every $(docv) items." in
+    Arg.(value & opt int 100 & info [ "every" ] ~docv:"N" ~doc)
+  in
+  let log2u =
+    let doc = "log2 of the universe size (boxes: d * log2 |Delta|)." in
+    Arg.(value & opt float 40.0 & info [ "log2-universe" ] ~docv:"B" ~doc)
+  in
+  let run epsilon delta seed every log2u =
+    let t = Watch_vatic.create ~epsilon ~delta ~log2_universe:log2u ~seed () in
+    let items = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" && line.[0] <> '#' then begin
+           let fields =
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+             |> List.map int_of_string
+           in
+           let d = List.length fields / 2 in
+           if d = 0 || List.length fields mod 2 <> 0 then
+             failwith ("malformed box line: " ^ line);
+           let a = Array.of_list fields in
+           let box =
+             Rectangle.create
+               ~lo:(Array.init d (fun i -> a.(2 * i)))
+               ~hi:(Array.init d (fun i -> a.((2 * i) + 1)))
+           in
+           Watch_vatic.process t box;
+           incr items;
+           if !items mod every = 0 then
+             Printf.printf "%d items: estimate %.6g (bucket %d)\n%!" !items
+               (Watch_vatic.estimate t) (Watch_vatic.bucket_size t)
+         end
+       done
+     with End_of_file -> ());
+    Printf.printf "final after %d items: %.6g\n" !items (Watch_vatic.estimate t)
+  in
+  let doc =
+    "Stream boxes on stdin (one per line: lo1 hi1 lo2 hi2 ...) and print running union-volume estimates."
+  in
+  Cmd.v (Cmd.info "watch" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ every $ log2u)
+
+(* compare: all applicable estimators on one synthetic range stream. *)
+
+module Cmp_vatic = Delphic_core.Vatic.Make (Range1d)
+module Cmp_aps = Delphic_core.Aps_estimator.Make (Range1d)
+module Cmp_kl = Delphic_core.Karp_luby.Make (Range1d)
+
+let compare_cmd =
+  let universe =
+    let doc = "Universe size." in
+    Arg.(value & opt int 1_000_000 & info [ "u"; "universe" ] ~docv:"N" ~doc)
+  in
+  let heavy =
+    let doc = "Use a heavy-tailed (Pareto) length distribution instead of uniform." in
+    Arg.(value & flag & info [ "heavy-tailed" ] ~doc)
+  in
+  let run epsilon delta seed count universe heavy =
+    let rng = Rng.create ~seed in
+    let pool =
+      if heavy then
+        Workload.Ranges.heavy_tailed rng ~universe ~count:(max 1 (count / 5)) ~shape:0.8
+      else Workload.Ranges.uniform rng ~universe ~count:(max 1 (count / 5))
+             ~max_len:(max 1 (universe / 200))
+    in
+    let pool_arr = Array.of_list pool in
+    let stream =
+      List.init count (fun _ -> pool_arr.(Rng.int rng (Array.length pool_arr)))
+    in
+    let truth = float_of_int (Exact.range_union pool) in
+    let log2u = log2f (float_of_int universe) in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      (v, Unix.gettimeofday () -. t0)
+    in
+    let vatic, vt =
+      time (fun () ->
+          let t = Cmp_vatic.create ~epsilon ~delta ~log2_universe:log2u ~seed () in
+          List.iter (Cmp_vatic.process t) stream;
+          (Cmp_vatic.estimate t, Cmp_vatic.max_bucket_size t))
+    in
+    let aps, at =
+      time (fun () ->
+          let t =
+            Cmp_aps.create ~epsilon ~delta ~log2_universe:log2u
+              ~stream_length:(List.length stream) ~seed ()
+          in
+          List.iter (Cmp_aps.process t) stream;
+          (Cmp_aps.estimate t, Cmp_aps.max_bucket_size t))
+    in
+    let kl, kt =
+      time (fun () ->
+          let t = Cmp_kl.create ~epsilon ~delta ~seed () in
+          List.iter (Cmp_kl.add t) stream;
+          (Cmp_kl.estimate t, Cmp_kl.stored_sets t))
+    in
+    let err est = Float.abs (est -. truth) /. truth in
+    Printf.printf "exact union size: %.0f (M = %d, %s lengths)\n" truth count
+      (if heavy then "heavy-tailed" else "uniform");
+    Delphic_harness.Table.print
+      ~header:[ "method"; "estimate"; "rel err"; "space"; "seconds" ]
+      [
+        [ "VATIC (unknown M)"; Printf.sprintf "%.0f" (fst vatic);
+          Printf.sprintf "%.4f" (err (fst vatic));
+          Printf.sprintf "%d entries" (snd vatic); Printf.sprintf "%.3f" vt ];
+        [ "APS (needs M)"; Printf.sprintf "%.0f" (fst aps);
+          Printf.sprintf "%.4f" (err (fst aps));
+          Printf.sprintf "%d entries" (snd aps); Printf.sprintf "%.3f" at ];
+        [ "Karp-Luby (offline)"; Printf.sprintf "%.0f" (fst kl);
+          Printf.sprintf "%.4f" (err (fst kl));
+          Printf.sprintf "%d sets stored" (snd kl); Printf.sprintf "%.3f" kt ];
+      ]
+  in
+  let doc = "Run VATIC, APS-Estimator and Karp-Luby side by side on one range stream." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ epsilon $ delta $ seed $ count $ universe $ heavy)
+
+(* experiments *)
+
+let experiments_cmd =
+  let only =
+    let doc = "Run only the experiment with this id (e.g. E4); default: all." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let list_flag =
+    let doc = "List experiment ids and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let csv_flag =
+    let doc = "Emit tables as CSV instead of aligned text." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run only list_flag csv_flag =
+    if csv_flag then Delphic_harness.Table.set_output `Csv;
+    if list_flag then
+      List.iter
+        (fun (id, descr, _) -> Printf.printf "%-4s %s\n" id descr)
+        Delphic_harness.Experiments.all
+    else
+      match only with
+      | Some id -> Delphic_harness.Experiments.run id
+      | None -> Delphic_harness.Experiments.run_all ()
+  in
+  let doc = "Run the paper-reproduction experiment suite (see EXPERIMENTS.md)." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ only $ list_flag $ csv_flag)
+
+let () =
+  let doc = "streaming estimation of the size of unions of Delphic sets (PODS'22)" in
+  let info = Cmd.info "delphic" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+       [ kmp_cmd; dnf_cmd; coverage_cmd; distinct_cmd; hypervolume_cmd; xor_cmd;
+         compare_cmd; watch_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/checkpointing.ml: Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+examples/dnf_counting.ml: Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

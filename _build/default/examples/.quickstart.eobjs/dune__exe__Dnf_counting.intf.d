@@ -1,0 +1,1 @@
+examples/dnf_counting.mli:

@@ -1,0 +1,1 @@
+examples/hypervolume_indicator.ml: Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+examples/hypervolume_indicator.mli:

@@ -1,0 +1,1 @@
+examples/klee_measure.ml: Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+examples/klee_measure.mli:

@@ -1,0 +1,1 @@
+examples/near_duplicates.ml: Delphic_core Delphic_sets Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+examples/near_duplicates.mli:

@@ -1,0 +1,1 @@
+examples/noisy_oracles.ml: Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

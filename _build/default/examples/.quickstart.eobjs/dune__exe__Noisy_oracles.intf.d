@@ -1,0 +1,1 @@
+examples/noisy_oracles.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Delphic_core Delphic_sets Delphic_util List Printf

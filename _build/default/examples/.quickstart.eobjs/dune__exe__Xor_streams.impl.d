@@ -1,0 +1,1 @@
+examples/xor_streams.ml: Delphic_core Delphic_sets Delphic_util List Printf

@@ -1,0 +1,1 @@
+examples/xor_streams.mli:

@@ -1,0 +1,47 @@
+(* Surviving a restart mid-stream with sketch checkpointing.
+
+   A VATIC sketch is a few thousand (element, level) pairs plus its
+   parameters: Vatic.snapshot captures it, Vatic.restore resumes it — here
+   across a simulated crash halfway through a day of box traffic.
+
+   Run with:  dune exec examples/checkpointing.exe *)
+
+module Rectangle = Delphic_sets.Rectangle
+module Vatic = Delphic_core.Vatic.Make (Rectangle)
+module Workload = Delphic_stream.Workload
+
+let () =
+  let universe = 1_000_000 and dim = 2 in
+  let log2_universe = 2.0 *. (log (float_of_int universe) /. log 2.0) in
+  let rng = Delphic_util.Rng.create ~seed:4242 in
+  let pool = Workload.Rectangles.uniform rng ~universe ~dim ~count:200 ~max_side:50_000 in
+  let day =
+    List.init 4000 (fun _ -> List.nth pool (Delphic_util.Rng.int rng 200))
+  in
+  let morning = List.filteri (fun i _ -> i < 2000) day in
+  let afternoon = List.filteri (fun i _ -> i >= 2000) day in
+
+  (* Process the morning, checkpoint, "crash". *)
+  let before = Vatic.create ~epsilon:0.15 ~delta:0.1 ~log2_universe ~seed:1 () in
+  List.iter (Vatic.process before) morning;
+  let checkpoint = Vatic.snapshot before in
+  Printf.printf "checkpoint after %d items: %d sketch entries\n"
+    checkpoint.Vatic.items
+    (List.length checkpoint.Vatic.entries);
+
+  (* A new process restores and finishes the day. *)
+  let resumed = Vatic.restore checkpoint ~seed:99 in
+  List.iter (Vatic.process resumed) afternoon;
+
+  (* An uninterrupted run for comparison. *)
+  let uninterrupted = Vatic.create ~epsilon:0.15 ~delta:0.1 ~log2_universe ~seed:1 () in
+  List.iter (Vatic.process uninterrupted) day;
+
+  let exact = Delphic_util.Bigint.to_float (Delphic_sets.Exact.rectangle_union pool) in
+  let show name v =
+    Printf.printf "%-24s %.6g  (rel.err %.4f)\n" name v
+      (Float.abs (v -. exact) /. exact)
+  in
+  Printf.printf "exact union volume:      %.6g\n" exact;
+  show "resumed estimate:" (Vatic.estimate resumed);
+  show "uninterrupted estimate:" (Vatic.estimate uninterrupted)

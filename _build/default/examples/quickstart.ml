@@ -1,0 +1,38 @@
+(* Quickstart: estimate the size of a union of integer ranges in one pass.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Range = Delphic_sets.Range1d
+module Vatic = Delphic_core.Vatic.Make (Range)
+
+let () =
+  (* A stream of 10,000 ranges over the universe [0, 10^9).  Stream length
+     is irrelevant to VATIC's memory: only log |universe|, epsilon and delta
+     enter its bucket bound. *)
+  let universe = 1_000_000_000 in
+  let rng = Delphic_util.Rng.create ~seed:2024 in
+  let stream =
+    List.init 10_000 (fun _ ->
+        let lo = Delphic_util.Rng.int rng universe in
+        let hi = min (universe - 1) (lo + Delphic_util.Rng.int rng 100_000) in
+        Range.create ~lo ~hi)
+  in
+
+  (* An (epsilon, delta)-estimator: relative error <= 10% with probability
+     >= 90%. *)
+  let estimator =
+    Vatic.create ~epsilon:0.1 ~delta:0.1
+      ~log2_universe:(log (float_of_int universe) /. log 2.0)
+      ~seed:7 ()
+  in
+
+  (* One pass; each item is processed in poly(log universe) time. *)
+  List.iter (Vatic.process estimator) stream;
+
+  let exact = Delphic_sets.Exact.range_union stream in
+  Printf.printf "estimated union size: %.6g\n" (Vatic.estimate estimator);
+  Printf.printf "exact union size:     %d\n" exact;
+  Printf.printf "sketch kept at most %d of ~%d stream elements (%.4f%%)\n"
+    (Vatic.max_bucket_size estimator)
+    exact
+    (100.0 *. float_of_int (Vatic.max_bucket_size estimator) /. float_of_int exact)

@@ -1,0 +1,1 @@
+lib/core/aps_estimator.ml: Delphic_family Delphic_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/aps_estimator.mli: Delphic_family

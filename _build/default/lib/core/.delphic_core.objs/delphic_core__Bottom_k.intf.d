@@ -1,0 +1,1 @@
+lib/core/bottom_k.mli:

@@ -1,0 +1,1 @@
+lib/core/cvm.ml: Delphic_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ext_aps_estimator.ml: Array Delphic_family Delphic_util Float Hashtbl List Stdlib

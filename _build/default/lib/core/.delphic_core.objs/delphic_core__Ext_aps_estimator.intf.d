@@ -1,0 +1,1 @@
+lib/core/ext_aps_estimator.mli: Delphic_family

@@ -1,0 +1,1 @@
+lib/core/ext_vatic.ml: Array Delphic_family Delphic_util Float Hashtbl List Params Stdlib

@@ -1,0 +1,1 @@
+lib/core/ext_vatic.mli: Delphic_family Params

@@ -1,0 +1,1 @@
+lib/core/hyperloglog.ml: Bytes Char Float Int64

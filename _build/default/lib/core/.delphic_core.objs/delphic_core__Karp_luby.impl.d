@@ -1,0 +1,1 @@
+lib/core/karp_luby.ml: Array Delphic_family Delphic_util Float List

@@ -1,0 +1,1 @@
+lib/core/karp_luby.mli: Delphic_family

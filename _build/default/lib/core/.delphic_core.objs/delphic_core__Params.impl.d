@@ -1,0 +1,1 @@
+lib/core/params.ml: Float Format Printf

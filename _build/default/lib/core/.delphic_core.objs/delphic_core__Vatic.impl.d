@@ -1,0 +1,1 @@
+lib/core/vatic.ml: Delphic_family Delphic_util Float Hashtbl List Logs Params Stdlib

@@ -1,0 +1,1 @@
+lib/core/vatic.mli: Delphic_family Params

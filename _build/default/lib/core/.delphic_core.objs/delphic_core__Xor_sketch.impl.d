@@ -1,0 +1,1 @@
+lib/core/xor_sketch.ml: Delphic_family Delphic_util Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/xor_sketch.mli: Delphic_family

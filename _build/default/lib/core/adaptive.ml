@@ -1,0 +1,127 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+module Make (F : Delphic_family.Family.FAMILY) = struct
+  module Vatic = Vatic.Make (F)
+
+  module Tbl = Hashtbl.Make (struct
+    type t = F.elt
+
+    let equal = F.equal_elt
+    let hash = F.hash_elt
+  end)
+
+  type t = {
+    capacity : int;
+    coupon_factor : float;
+    rng : Rng.t;
+    mutable exact : unit Tbl.t;
+    mutable exact_active : bool;
+    sketch : Vatic.t option; (* None when the universe is below VATIC's floor *)
+    mutable items : int;
+  }
+
+  let create ?mode ?exact_capacity ~epsilon ~delta ~log2_universe ~seed () =
+    (* Validate the shared parameters here so that only the universe-size
+       floor (the one condition exact mode genuinely rescues) falls back to
+       exact-only; a bad epsilon or delta must still raise. *)
+    if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Adaptive.create: need 0 < epsilon < 1";
+    if delta <= 0.0 || delta >= 1.0 then invalid_arg "Adaptive.create: need 0 < delta < 1";
+    if log2_universe <= 0.0 then invalid_arg "Adaptive.create: need log2_universe > 0";
+    let sketch =
+      match
+        Vatic.create ?mode ~epsilon ~delta ~log2_universe ~seed:(seed + 1) ()
+      with
+      | v -> Some v
+      | exception Invalid_argument _ -> None
+    in
+    let capacity =
+      match (exact_capacity, sketch) with
+      | Some c, _ ->
+        if c <= 0 then invalid_arg "Adaptive.create: exact_capacity must be positive";
+        c
+      | None, Some v ->
+        let p = Vatic.params v in
+        p.Params.bucket_capacity * (p.Params.max_level + 1)
+      | None, None ->
+        (* Tiny universe: the whole of it fits by definition. *)
+        1 + int_of_float (Float.ceil (2.0 ** log2_universe))
+    in
+    {
+      capacity;
+      coupon_factor = log 4.0 +. (log2_universe *. log 2.0) -. log delta;
+      rng = Rng.create ~seed;
+      exact = Tbl.create 256;
+      exact_active = true;
+      sketch;
+      items = 0;
+    }
+
+  let items_processed t = t.items
+  let is_exact t = t.exact_active
+
+  let exact_size t = if t.exact_active then Some (Tbl.length t.exact) else None
+
+  (* Materialise all |S| elements by sampling with the coupon-collector
+     budget; None when |S| is too large for the exact budget or the draw
+     fails to complete. *)
+  let enumerate t s =
+    match Bigint.to_int (F.cardinality s) with
+    | None -> None
+    | Some card ->
+      if card > t.capacity then None
+      else begin
+        let budget =
+          int_of_float (Float.ceil (4.0 *. float_of_int card *. t.coupon_factor))
+        in
+        let seen = Tbl.create (2 * card) in
+        let drawn = ref 0 in
+        while Tbl.length seen < card && !drawn < budget do
+          incr drawn;
+          Tbl.replace seen (F.sample s t.rng) ()
+        done;
+        if Tbl.length seen = card then Some seen else None
+      end
+
+  let deactivate t =
+    t.exact_active <- false;
+    t.exact <- Tbl.create 1
+
+  let process t s =
+    t.items <- t.items + 1;
+    (match t.sketch with Some v -> Vatic.process v s | None -> ());
+    if t.exact_active then begin
+      match enumerate t s with
+      | None ->
+        if Option.is_none t.sketch then
+          failwith "Adaptive.process: set exceeds exact capacity on a universe too small for sketching"
+        else deactivate t
+      | Some elements ->
+        Tbl.iter (fun x () -> Tbl.replace t.exact x ()) elements;
+        if Tbl.length t.exact > t.capacity then begin
+          if Option.is_none t.sketch then
+            failwith "Adaptive.process: union exceeds exact capacity on a universe too small for sketching"
+          else deactivate t
+        end
+    end
+
+  let estimate t =
+    if t.exact_active then float_of_int (Tbl.length t.exact)
+    else
+      match t.sketch with
+      | Some v -> Vatic.estimate v
+      | None -> assert false (* exact mode never deactivates without a sketch *)
+
+  let max_bucket_size t =
+    match t.sketch with Some v -> Vatic.max_bucket_size v | None -> 0
+
+  let skipped_sets t =
+    match t.sketch with Some v -> Vatic.skipped_sets v | None -> 0
+
+  let describe t =
+    if t.exact_active then
+      Printf.sprintf "exact (%d distinct elements held)" (Tbl.length t.exact)
+    else
+      Printf.sprintf "sketch (max bucket %d, %d sets skipped)" (max_bucket_size t)
+        (skipped_sets t)
+end

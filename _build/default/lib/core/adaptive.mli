@@ -1,0 +1,59 @@
+(** Adaptive exact-then-sketch union counter.
+
+    Theorem 1.2's sampling regime is vacuous when the union is small (and
+    [Params.create] refuses universes below [~2·ln(4/δ)/ε²] outright): at
+    those sizes one can simply hold the distinct elements.  This wrapper
+    gives the best of both:
+
+    - while every processed set is small and the running union fits
+      [exact_capacity], it materialises sets by coupon collection and the
+      estimate is {e exact};
+    - the moment anything outgrows the budget it hands over to a VATIC
+      sketch that has been fed the whole stream from the start, so the
+      transition loses nothing.
+
+    On universes too small for VATIC the wrapper runs exact-only (and
+    raises if the exact budget is ever exceeded — at that point the
+    parameters were unsatisfiable anyway). *)
+
+module Make (F : Delphic_family.Family.FAMILY) : sig
+  type t
+
+  val create :
+    ?mode:Params.mode ->
+    ?exact_capacity:int ->
+    epsilon:float ->
+    delta:float ->
+    log2_universe:float ->
+    seed:int ->
+    unit ->
+    t
+  (** [exact_capacity] defaults to the VATIC bucket bound
+      [B·(max_level+1)] — exact mode never uses more memory than the sketch
+      it replaces. *)
+
+  val process : t -> F.t -> unit
+  (** Raises [Failure] only in the exact-only regime (universe too small for
+      VATIC) when the capacity is exceeded. *)
+
+  val estimate : t -> float
+
+  val is_exact : t -> bool
+  (** Whether {!estimate} currently returns the exact union size. *)
+
+  val exact_size : t -> int option
+  (** The exact distinct count while in exact mode. *)
+
+  val items_processed : t -> int
+
+  val max_bucket_size : t -> int
+  (** Largest sketch bucket observed (0 while no sketch exists). *)
+
+  val skipped_sets : t -> int
+  (** Sets the underlying sketch dropped at the probability floor (0 in
+      exact-only mode). *)
+
+  val describe : t -> string
+  (** One-line state description for UIs: "exact (n distinct)" or
+      "sketch (...)" . *)
+end

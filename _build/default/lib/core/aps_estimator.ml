@@ -1,0 +1,117 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Binomial = Delphic_util.Binomial
+
+module Make (F : Delphic_family.Family.FAMILY) = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = F.elt
+
+    let equal = F.equal_elt
+    let hash = F.hash_elt
+  end)
+
+  type oracle_calls = { membership : int; cardinality : int; sampling : int }
+
+  type t = {
+    capacity : int;
+    coupon_factor : float;
+    rng : Rng.t;
+    bucket : unit Tbl.t;
+    mutable level : int; (* global p = 2^-level *)
+    mutable items : int;
+    mutable max_bucket : int;
+    mutable membership_calls : int;
+    mutable cardinality_calls : int;
+    mutable sampling_calls : int;
+  }
+
+  let create ?(capacity_scale = 6.0) ~epsilon ~delta ~log2_universe ~stream_length
+      ~seed () =
+    if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Aps_estimator: need 0 < epsilon < 1";
+    if delta <= 0.0 || delta >= 1.0 then invalid_arg "Aps_estimator: need 0 < delta < 1";
+    if stream_length <= 0 then invalid_arg "Aps_estimator: need stream_length > 0";
+    let capacity =
+      int_of_float
+        (Float.ceil
+           (capacity_scale
+           *. (log (8.0 /. delta) +. log (float_of_int stream_length))
+           /. (epsilon *. epsilon)))
+    in
+    let ln2 = log 2.0 in
+    {
+      capacity;
+      coupon_factor = log 4.0 +. (log2_universe *. ln2) -. log delta;
+      rng = Rng.create ~seed;
+      bucket = Tbl.create 1024;
+      level = 0;
+      items = 0;
+      max_bucket = 0;
+      membership_calls = 0;
+      cardinality_calls = 0;
+      sampling_calls = 0;
+    }
+
+  let bucket_size t = Tbl.length t.bucket
+  let max_bucket_size t = t.max_bucket
+  let capacity t = t.capacity
+  let current_level t = t.level
+  let items_processed t = t.items
+
+  let oracle_calls t =
+    {
+      membership = t.membership_calls;
+      cardinality = t.cardinality_calls;
+      sampling = t.sampling_calls;
+    }
+
+  let binomial_of_cardinality rng card ~level =
+    let l2n = Bigint.log2 card in
+    let l2np = l2n -. float_of_int level in
+    if l2np < -40.0 then 0.0
+    else if l2n > 1000.0 then 2.0 ** Float.min l2np 1020.0
+    else Binomial.sample_bigint rng ~n:card ~p:(Float.ldexp 1.0 (-level))
+
+  let remove_covered t s =
+    t.membership_calls <- t.membership_calls + bucket_size t;
+    let doomed =
+      Tbl.fold (fun x () acc -> if F.mem s x then x :: acc else acc) t.bucket []
+    in
+    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+
+  (* Discard every currently stored element with probability 1/2 — the
+     global downsampling step that keeps the bucket under Thresh. *)
+  let halve_bucket t =
+    let doomed =
+      Tbl.fold (fun x () acc -> if Rng.bool t.rng then x :: acc else acc) t.bucket []
+    in
+    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+
+  let process t s =
+    t.items <- t.items + 1;
+    remove_covered t s;
+    t.cardinality_calls <- t.cardinality_calls + 1;
+    let n = ref (binomial_of_cardinality t.rng (F.cardinality s) ~level:t.level) in
+    while !n +. float_of_int (bucket_size t) > float_of_int t.capacity do
+      halve_bucket t;
+      n := Binomial.halve t.rng !n;
+      t.level <- t.level + 1
+    done;
+    let wanted = int_of_float !n in
+    if wanted > 0 then begin
+      let budget =
+        int_of_float (Float.ceil (4.0 *. float_of_int wanted *. t.coupon_factor))
+      in
+      let fresh = Tbl.create (2 * wanted) in
+      let drawn = ref 0 in
+      while Tbl.length fresh < wanted && !drawn < budget do
+        incr drawn;
+        let y = F.sample s t.rng in
+        if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
+      done;
+      t.sampling_calls <- t.sampling_calls + !drawn;
+      Tbl.iter (fun y () -> Tbl.replace t.bucket y ()) fresh;
+      if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
+    end
+
+  let estimate t = Float.ldexp (float_of_int (bucket_size t)) t.level
+end

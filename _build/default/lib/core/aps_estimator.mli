@@ -1,0 +1,49 @@
+(** APS-Estimator — the prior state of the art (Meel–Vinodchandran–
+    Chakraborty, PODS'21, [33] in the paper), reimplemented as the baseline
+    VATIC is measured against.
+
+    It keeps a {e single global} sampling probability [p] and a bucket
+    capped at [Thresh = O((ln(1/δ) + ln M)/ε²)]: whenever an insertion would
+    overflow, every stored element is discarded with probability 1/2 and
+    [p] halves.  Correctness requires every element — not just last
+    occurrences — to survive at rate [>= 1/k], which forces the capacity to
+    grow with the stream length [M] (known in advance).  The [log M] factor
+    in its space is exactly what VATIC removes. *)
+
+module Make (F : Delphic_family.Family.FAMILY) : sig
+  type t
+
+  val create :
+    ?capacity_scale:float ->
+    epsilon:float ->
+    delta:float ->
+    log2_universe:float ->
+    stream_length:int ->
+    seed:int ->
+    unit ->
+    t
+  (** [stream_length] is the (required, a-priori) bound [M] on the number of
+      sets.  [capacity_scale] tunes the constant in [Thresh] (default 6.0,
+      matching VATIC's practical mode). *)
+
+  val process : t -> F.t -> unit
+  val estimate : t -> float
+
+  val bucket_size : t -> int
+  val max_bucket_size : t -> int
+  val capacity : t -> int
+  (** The [Thresh] bound — grows with [ln M]. *)
+
+  val current_level : t -> int
+  (** Number of global halvings so far ([p = 2^-level]). *)
+
+  val items_processed : t -> int
+
+  type oracle_calls = {
+    membership : int;
+    cardinality : int;
+    sampling : int;
+  }
+
+  val oracle_calls : t -> oracle_calls
+end

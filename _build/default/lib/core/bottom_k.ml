@@ -1,0 +1,41 @@
+module Fset = Set.Make (Float)
+
+type t = { k : int; mutable heap : Fset.t }
+
+(* splitmix64 finalizer as the hash: high quality, deterministic across
+   runs, and collisions at 53-bit granularity are negligible against the
+   sketch's own ε. *)
+let hash_to_unit x =
+  let open Int64 in
+  let z = add (of_int x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  let mantissa = to_int (shift_right_logical z 11) in
+  (float_of_int mantissa +. 0.5) *. 0x1.0p-53
+
+let create ?k ~epsilon () =
+  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Bottom_k: need 0 < epsilon < 1";
+  let k =
+    match k with
+    | Some k -> if k < 2 then invalid_arg "Bottom_k: need k >= 2" else k
+    | None -> int_of_float (Float.ceil (4.0 /. (epsilon *. epsilon)))
+  in
+  { k; heap = Fset.empty }
+
+let add t x =
+  let h = hash_to_unit x in
+  if Fset.cardinal t.heap < t.k then t.heap <- Fset.add h t.heap
+  else begin
+    let top = Fset.max_elt t.heap in
+    if h < top && not (Fset.mem h t.heap) then
+      t.heap <- Fset.add h (Fset.remove top t.heap)
+  end
+
+let estimate t =
+  let n = Fset.cardinal t.heap in
+  if n < t.k then float_of_int n
+  else float_of_int (t.k - 1) /. Fset.max_elt t.heap
+
+let k t = t.k
+let size t = Fset.cardinal t.heap

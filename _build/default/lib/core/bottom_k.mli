@@ -1,0 +1,19 @@
+(** Bottom-k (KMV) distinct-elements sketch — a specialised F0 baseline for
+    singleton streams (E7 in EXPERIMENTS.md).
+
+    Each value is hashed to a uniform point in (0,1); the sketch keeps the
+    [k] smallest hash values and estimates the distinct count as
+    [(k-1) / h_(k)], the classical k-minimum-values estimator.  Space is
+    O(k) = O(1/ε²) — less than VATIC on singletons, but it answers only the
+    Distinct Elements special case. *)
+
+type t
+
+val create : ?k:int -> epsilon:float -> unit -> t
+(** [k] defaults to [⌈4/ε²⌉]. *)
+
+val add : t -> int -> unit
+val estimate : t -> float
+val k : t -> int
+val size : t -> int
+(** Number of hash values currently retained (≤ k). *)

@@ -1,0 +1,25 @@
+(** The CVM distinct-elements estimator (Chakraborty–Vinodchandran–Meel,
+    ESA 2022) — the authors' own follow-on that specialises this paper's
+    sampling strategy to singleton streams, famously simple enough for a
+    textbook.
+
+    A buffer of capacity [thresh] holds elements each kept with the current
+    probability [p]; every arrival first evicts its own stale copy (the
+    last-occurrence rule of VATIC), then enters with probability [p]; when
+    the buffer fills, every resident survives a fair coin and [p] halves.
+    The estimate is [|buffer| / p].  With
+    [thresh = ⌈12/ε² · log2(8 m / δ)⌉] (m an upper bound on the stream
+    length) the output is an (ε, δ)-approximation of the number of distinct
+    elements. *)
+
+type t
+
+val create : ?thresh:int -> epsilon:float -> delta:float -> stream_bound:int -> seed:int -> unit -> t
+(** [thresh] overrides the derived buffer size. *)
+
+val add : t -> int -> unit
+val estimate : t -> float
+val buffer_size : t -> int
+val thresh : t -> int
+val level : t -> int
+(** Number of halvings so far. *)

@@ -1,0 +1,209 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Binomial = Delphic_util.Binomial
+
+module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = A.elt
+
+    let equal = A.equal_elt
+    let hash = A.hash_elt
+  end)
+
+  type oracle_calls = { membership : int; cardinality : int; sampling : int }
+
+  type t = {
+    alpha : float;
+    eta : float;
+    epsilon : float;
+    capacity : int; (* Thresh₁ of Algorithm 3 *)
+    small_cutoff : int; (* Thresh₂ *)
+    sampling_budget : int; (* Thresh₃ *)
+    log2_p_init : float;
+    coupon_factor : float;
+    median_reps : int;
+    rng : Rng.t;
+    bucket : unit Tbl.t;
+    mutable halvings : int; (* p = p_init · 2^-halvings *)
+    mutable items : int;
+    mutable max_bucket : int;
+    mutable membership_calls : int;
+    mutable cardinality_calls : int;
+    mutable sampling_calls : int;
+  }
+
+  let ln2 = log 2.0
+
+  let create ?(capacity_scale = 6.0) ~epsilon ~delta ~log2_universe ~alpha ~gamma
+      ~eta ~stream_length ~seed () =
+    if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Ext_aps: need 0 < epsilon < 1";
+    if delta <= 0.0 || delta >= 1.0 then invalid_arg "Ext_aps: need 0 < delta < 1";
+    if alpha < 0.0 then invalid_arg "Ext_aps: need alpha >= 0";
+    if gamma < 0.0 || gamma >= 0.5 then invalid_arg "Ext_aps: need 0 <= gamma < 1/2";
+    if eta < 0.0 then invalid_arg "Ext_aps: need eta >= 0";
+    if stream_length <= 0 then invalid_arg "Ext_aps: need stream_length > 0";
+    let ln_universe = log2_universe *. ln2 in
+    (* Thresh₁ = (ln(8/δ) + ln M)/ε², scaled like the exact baseline. *)
+    let capacity =
+      int_of_float
+        (Float.ceil
+           (capacity_scale
+           *. (log (8.0 /. delta) +. log (float_of_int stream_length))
+           /. (epsilon *. epsilon)))
+    in
+    let small_cutoff =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (3.0 *. (log (2.0 *. (1.0 +. eta)) +. ln_universe))))
+    in
+    let t2 = float_of_int small_cutoff in
+    let sampling_budget =
+      int_of_float (Float.ceil ((1.0 +. eta) *. t2 *. (ln_universe +. log t2)))
+    in
+    let median_reps =
+      if gamma = 0.0 then 1
+      else begin
+        let q =
+          Float.ceil
+            ((log 2.0 +. ln_universe -. log delta)
+            /. (2.0 *. ((0.5 -. gamma) ** 2.0)))
+        in
+        let q = int_of_float q in
+        if q mod 2 = 0 then q + 1 else q
+      end
+    in
+    {
+      alpha;
+      eta;
+      epsilon;
+      capacity;
+      small_cutoff;
+      sampling_budget;
+      log2_p_init = -.(log (2.0 *. ((1.0 +. alpha) ** 2.0)) /. ln2);
+      coupon_factor = log 4.0 +. ln_universe -. log delta;
+      median_reps;
+      rng = Rng.create ~seed;
+      bucket = Tbl.create 1024;
+      halvings = 0;
+      items = 0;
+      max_bucket = 0;
+      membership_calls = 0;
+      cardinality_calls = 0;
+      sampling_calls = 0;
+    }
+
+  let bucket_size t = Tbl.length t.bucket
+  let max_bucket_size t = t.max_bucket
+  let capacity t = t.capacity
+  let items_processed t = t.items
+
+  let oracle_calls t =
+    {
+      membership = t.membership_calls;
+      cardinality = t.cardinality_calls;
+      sampling = t.sampling_calls;
+    }
+
+  let window t =
+    let lo = (1.0 -. t.epsilon) /. (2.0 *. (1.0 +. t.eta) *. (1.0 +. t.alpha)) in
+    let hi = (1.0 +. t.epsilon) *. (1.0 +. t.eta) *. (1.0 +. t.alpha) in
+    (lo, hi)
+
+  let scale_up v factor =
+    let fixed = int_of_float (Float.ceil (factor *. 1048576.0)) in
+    Bigint.max Bigint.one (Bigint.shift_right (Bigint.mul_int v fixed) 20)
+
+  let amplified_cardinality t s =
+    let samples =
+      Array.init t.median_reps (fun _ ->
+          t.cardinality_calls <- t.cardinality_calls + 1;
+          A.approx_cardinality s t.rng)
+    in
+    Array.sort Bigint.compare samples;
+    samples.(t.median_reps / 2)
+
+  (* Lines 10-17 of Algorithm 3. *)
+  let estimate_set_size t s =
+    let seen = Tbl.create (2 * t.small_cutoff) in
+    let k = ref 0 in
+    while !k < t.sampling_budget && Tbl.length seen <= t.small_cutoff do
+      incr k;
+      let y = A.approx_sample s t.rng in
+      if not (Tbl.mem seen y) then Tbl.replace seen y ()
+    done;
+    t.sampling_calls <- t.sampling_calls + !k;
+    if Tbl.length seen <= t.small_cutoff then Bigint.of_int (Tbl.length seen)
+    else scale_up (amplified_cardinality t s) (1.0 +. t.alpha)
+
+  let remove_covered t s =
+    t.membership_calls <- t.membership_calls + bucket_size t;
+    let doomed =
+      Tbl.fold (fun x () acc -> if A.mem s x then x :: acc else acc) t.bucket []
+    in
+    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+
+  let halve_bucket t =
+    let doomed =
+      Tbl.fold (fun x () acc -> if Rng.bool t.rng then x :: acc else acc) t.bucket []
+    in
+    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+
+  let binomial_of_cardinality rng card ~log2p =
+    let l2n = Bigint.log2 card in
+    let l2np = l2n +. log2p in
+    if l2np < -40.0 then 0.0
+    else if l2n > 1000.0 then 2.0 ** Float.min l2np 1020.0
+    else Binomial.sample_bigint rng ~n:card ~p:(2.0 ** log2p)
+
+  let process t s =
+    t.items <- t.items + 1;
+    remove_covered t s;
+    let e = estimate_set_size t s in
+    (* Line 18: N_i ~ Bin(E_i, p). *)
+    let log2p () = t.log2_p_init -. float_of_int t.halvings in
+    let n = ref (binomial_of_cardinality t.rng e ~log2p:(log2p ())) in
+    (* Lines 19-21: shrink everything while the bucket would overflow. *)
+    while !n +. float_of_int (bucket_size t) > float_of_int t.capacity do
+      halve_bucket t;
+      n := Binomial.halve t.rng !n;
+      t.halvings <- t.halvings + 1
+    done;
+    (* Lines 22-24: add N_i fresh distinct samples. *)
+    let wanted = int_of_float !n in
+    if wanted > 0 then begin
+      let budget =
+        int_of_float (Float.ceil (4.0 *. float_of_int wanted *. t.coupon_factor))
+      in
+      let added = ref 0 in
+      let drawn = ref 0 in
+      while !added < wanted && !drawn < budget do
+        incr drawn;
+        let y = A.approx_sample s t.rng in
+        if not (Tbl.mem t.bucket y) then begin
+          Tbl.replace t.bucket y ();
+          incr added
+        end
+      done;
+      t.sampling_calls <- t.sampling_calls + !drawn;
+      if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
+    end
+
+  let sample_union t =
+    let n = bucket_size t in
+    if n = 0 then None
+    else begin
+      let target = Rng.int t.rng n in
+      let picked = ref None in
+      let i = ref 0 in
+      Tbl.iter
+        (fun x () ->
+          if !i = target then picked := Some x;
+          incr i)
+        t.bucket;
+      !picked
+    end
+
+  (* Line 25: |X| / (p (1+α)). *)
+  let estimate t =
+    let log2_p = t.log2_p_init -. float_of_int t.halvings in
+    float_of_int (bucket_size t) /. (2.0 ** log2_p) /. (1.0 +. t.alpha)
+end

@@ -1,0 +1,49 @@
+(** EXT-APS-Estimator (Algorithm 3, Appendix D): the MVC'21 APS-Estimator
+    extended to [(α, γ, η)]-Approximate-Delphic oracles (Theorem D.1),
+    resolving the second open problem of [33].
+
+    Like its exact ancestor it requires the stream length [M] in advance and
+    carries the [log M] space factor; the output lands in the same widened
+    window as EXT-VATIC:
+    [[(1-ε)/(2(1+η)(1+α)) · |∪S_i| , (1+ε)(1+η)(1+α) · |∪S_i|]]. *)
+
+module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
+  type t
+
+  val create :
+    ?capacity_scale:float ->
+    epsilon:float ->
+    delta:float ->
+    log2_universe:float ->
+    alpha:float ->
+    gamma:float ->
+    eta:float ->
+    stream_length:int ->
+    seed:int ->
+    unit ->
+    t
+
+  val process : t -> A.t -> unit
+  val estimate : t -> float
+
+  val sample_union : t -> A.elt option
+  (** Near-uniform draw from the union: the bucket holds every element at
+      one shared probability, so a uniform bucket element is uniform over
+      the sampled union (up to the oracle's η-tilt).  [None] when empty. *)
+
+  val window : t -> float * float
+  (** Guaranteed multiplicative output window [(lo, hi)]. *)
+
+  val bucket_size : t -> int
+  val max_bucket_size : t -> int
+  val capacity : t -> int
+  val items_processed : t -> int
+
+  type oracle_calls = {
+    membership : int;
+    cardinality : int;
+    sampling : int;
+  }
+
+  val oracle_calls : t -> oracle_calls
+end

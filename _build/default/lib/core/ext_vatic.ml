@@ -1,0 +1,251 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Binomial = Delphic_util.Binomial
+
+module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = A.elt
+
+    let equal = A.equal_elt
+    let hash = A.hash_elt
+  end)
+
+  type oracle_calls = { membership : int; cardinality : int; sampling : int }
+
+  type t = {
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    alpha : float;
+    gamma : float;
+    eta : float;
+    bucket_capacity : int; (* B *)
+    thresh1 : int;
+    thresh2 : int;
+    log2_p_init : float; (* log2 (1 / (2(1+α)²)) *)
+    log2_p_min : float; (* log2 (L / |Ω|) *)
+    coupon_factor : float; (* ln(4|Ω|/δ) *)
+    median_reps : int; (* amplification count for the cardinality oracle *)
+    rng : Rng.t;
+    bucket : int Tbl.t; (* element -> halving count j; p = p_init · 2^-j *)
+    mutable items : int;
+    mutable max_bucket : int;
+    mutable skipped : int;
+    mutable membership_calls : int;
+    mutable cardinality_calls : int;
+    mutable sampling_calls : int;
+  }
+
+  let ln2 = log 2.0
+
+  let create ?(mode = Params.Practical) ~epsilon ~delta ~log2_universe ~alpha ~gamma
+      ~eta ~seed () =
+    if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Ext_vatic: need 0 < epsilon < 1";
+    if delta <= 0.0 || delta >= 1.0 then invalid_arg "Ext_vatic: need 0 < delta < 1";
+    if log2_universe <= 0.0 then invalid_arg "Ext_vatic: need log2_universe > 0";
+    if alpha < 0.0 then invalid_arg "Ext_vatic: need alpha >= 0";
+    if gamma < 0.0 || gamma >= 0.5 then invalid_arg "Ext_vatic: need 0 <= gamma < 1/2";
+    if eta < 0.0 then invalid_arg "Ext_vatic: need eta >= 0";
+    (* ln |Ω| and ln(c·|Ω|/δ) computed in log space. *)
+    let ln_universe = log2_universe *. ln2 in
+    let l = log (8.0 /. delta) /. (epsilon *. epsilon) *. (2.0 *. (1.0 +. eta)) in
+    let ln_2u_delta = log 2.0 +. ln_universe -. log delta in
+    let bucket_capacity =
+      match mode with
+      | Params.Paper -> int_of_float (Float.ceil (l *. ln_2u_delta))
+      | Params.Practical -> int_of_float (Float.ceil (6.0 *. l))
+    in
+    (* Thresh₁ = 3·ln(2(1+η)|Ω|/L): below it a set is small enough to be
+       counted exactly by coupon collection; above it Claim 5.2's
+       |S| >= 3·ln(2(1+η)/p) precondition holds for every admissible p. *)
+    let thresh1 =
+      Stdlib.max 1
+        (int_of_float
+           (Float.ceil (3.0 *. (log (2.0 *. (1.0 +. eta)) +. ln_universe -. log l))))
+    in
+    let t1 = float_of_int thresh1 in
+    let thresh2 =
+      int_of_float
+        (Float.ceil
+           ((1.0 +. eta) *. t1 *. (log (8.0 /. delta) +. ln_universe +. log t1)))
+    in
+    let median_reps =
+      if gamma = 0.0 then 1
+      else begin
+        (* Median amplification to failure δ/(4|Ω|): Chernoff on q Bernoulli
+           trials with success 1-γ needs q >= ln(4|Ω|/δ) / (2(1/2-γ)²). *)
+        let q =
+          Float.ceil
+            ((log 4.0 +. ln_universe -. log delta)
+            /. (2.0 *. ((0.5 -. gamma) ** 2.0)))
+        in
+        let q = int_of_float q in
+        if q mod 2 = 0 then q + 1 else q
+      end
+    in
+    let log2_p_init = -.(log (2.0 *. ((1.0 +. alpha) ** 2.0)) /. ln2) in
+    let log2_p_min = (log l /. ln2) -. log2_universe in
+    if log2_p_min > log2_p_init then
+      invalid_arg
+        "Ext_vatic.create: universe too small for these parameters (the \
+         probability floor L/|U| exceeds the initial rate 1/(2(1+alpha)^2)) — \
+         count the union exactly instead";
+    {
+      epsilon;
+      delta;
+      log2_universe;
+      alpha;
+      gamma;
+      eta;
+      bucket_capacity;
+      thresh1;
+      thresh2;
+      log2_p_init;
+      log2_p_min;
+      coupon_factor = log 4.0 +. ln_universe -. log delta;
+      median_reps;
+      rng = Rng.create ~seed;
+      bucket = Tbl.create 1024;
+      items = 0;
+      max_bucket = 0;
+      skipped = 0;
+      membership_calls = 0;
+      cardinality_calls = 0;
+      sampling_calls = 0;
+    }
+
+  let bucket_size t = Tbl.length t.bucket
+  let max_bucket_size t = t.max_bucket
+  let items_processed t = t.items
+  let skipped_sets t = t.skipped
+
+  let oracle_calls t =
+    {
+      membership = t.membership_calls;
+      cardinality = t.cardinality_calls;
+      sampling = t.sampling_calls;
+    }
+
+  let window t =
+    let lo = (1.0 -. t.epsilon) /. (2.0 *. (1.0 +. t.eta) *. (1.0 +. t.alpha)) in
+    let hi = (1.0 +. t.epsilon) *. (1.0 +. t.eta) *. (1.0 +. t.alpha) in
+    (lo, hi)
+
+  (* Fixed-point multiplication of a cardinality by (1+α). *)
+  let scale_up v factor =
+    let fixed = int_of_float (Float.ceil (factor *. 1048576.0)) in
+    Bigint.max Bigint.one (Bigint.shift_right (Bigint.mul_int v fixed) 20)
+
+  (* (α, δ/4|Ω|)-approximate cardinality via the median trick
+     (Observation 5.1(1)). *)
+  let amplified_cardinality t s =
+    let samples =
+      Array.init t.median_reps (fun _ ->
+          t.cardinality_calls <- t.cardinality_calls + 1;
+          A.approx_cardinality s t.rng)
+    in
+    Array.sort Bigint.compare samples;
+    samples.(t.median_reps / 2)
+
+  (* Lines 10-18: estimate E_i.  Small sets are measured exactly by drawing
+     Thresh₂ near-uniform samples and counting distinct values; larger sets
+     go through the amplified oracle, inflated by (1+α) so that E_i(1+α)
+     upper-bounds |S_i| (Observation 5.1(1)). *)
+  let estimate_set_size t s =
+    let seen = Tbl.create (2 * t.thresh1) in
+    let k = ref 0 in
+    while !k < t.thresh2 && Tbl.length seen <= t.thresh1 do
+      incr k;
+      let y = A.approx_sample s t.rng in
+      if not (Tbl.mem seen y) then Tbl.replace seen y ()
+    done;
+    t.sampling_calls <- t.sampling_calls + !k;
+    if Tbl.length seen <= t.thresh1 then Bigint.of_int (Tbl.length seen)
+    else scale_up (amplified_cardinality t s) (1.0 +. t.alpha)
+
+  let remove_covered t s =
+    t.membership_calls <- t.membership_calls + bucket_size t;
+    let doomed =
+      Tbl.fold (fun x _ acc -> if A.mem s x then x :: acc else acc) t.bucket []
+    in
+    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+
+  (* Draw Bin(card, 2^log2p) with the same large-value guards as VATIC. *)
+  let binomial_of_cardinality rng card ~log2p =
+    let l2n = Bigint.log2 card in
+    let l2np = l2n +. log2p in
+    if l2np < -40.0 then 0.0
+    else if l2n > 1000.0 then 2.0 ** Float.min l2np 1020.0
+    else Binomial.sample_bigint rng ~n:card ~p:(2.0 ** log2p)
+
+  let process t s =
+    t.items <- t.items + 1;
+    remove_covered t s;
+    let e = estimate_set_size t s in
+    (* Line 19-20: initial probability 1/(2(1+α)²), drawn over E_i(1+α). *)
+    let j = ref 0 in
+    let log2p () = t.log2_p_init -. float_of_int !j in
+    let n =
+      ref
+        (binomial_of_cardinality t.rng
+           (scale_up e (1.0 +. t.alpha))
+           ~log2p:(log2p ()))
+    in
+    (* Lines 21-22: halve until the insertion fits the capacity. *)
+    let capacity = float_of_int t.bucket_capacity in
+    let needed () =
+      Float.ceil ((float_of_int (bucket_size t) +. !n) /. capacity)
+    in
+    while log2p () > -.(needed ()) && log2p () >= t.log2_p_min do
+      incr j;
+      n := Binomial.halve t.rng !n
+    done;
+    if log2p () < t.log2_p_min then t.skipped <- t.skipped + 1
+    else begin
+      (* Lines 24-29. *)
+      let wanted = int_of_float !n in
+      if wanted > 0 then begin
+        let budget =
+          int_of_float (Float.ceil (4.0 *. float_of_int wanted *. t.coupon_factor))
+        in
+        let fresh = Tbl.create (2 * wanted) in
+        let drawn = ref 0 in
+        while Tbl.length fresh < wanted && !drawn < budget do
+          incr drawn;
+          let y = A.approx_sample s t.rng in
+          if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
+        done;
+        t.sampling_calls <- t.sampling_calls + !drawn;
+        Tbl.iter (fun y () -> Tbl.replace t.bucket y !j) fresh;
+        if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
+      end
+    end
+
+  let subsample t =
+    let j0 = Tbl.fold (fun _ j acc -> Stdlib.max j acc) t.bucket 0 in
+    let kept =
+      Tbl.fold
+        (fun x j acc ->
+          if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then x :: acc else acc)
+        t.bucket []
+    in
+    (j0, kept)
+
+  (* Lines 30-33. *)
+  let estimate t =
+    if bucket_size t = 0 then 0.0
+    else begin
+      let j0, kept = subsample t in
+      let log2_p0 = t.log2_p_init -. float_of_int j0 in
+      float_of_int (List.length kept) /. (2.0 ** log2_p0) /. (1.0 +. t.alpha)
+    end
+
+  let sample_union t =
+    if bucket_size t = 0 then None
+    else begin
+      let _, kept = subsample t in
+      match kept with
+      | [] -> None
+      | _ -> Some (List.nth kept (Rng.int t.rng (List.length kept)))
+    end
+end

@@ -1,0 +1,61 @@
+(** EXT-VATIC (Algorithm 2): union-size estimation for streams over
+    {e Approximate-Delphic} families (Theorem 1.5).
+
+    The estimator only sees an [(α, γ, η)]-oracle — cardinalities are
+    [(α, γ)]-approximate and sampling is [η]-near-uniform — and outputs a
+    value guaranteed (w.p. [>= 1-δ]) to lie in
+
+    {v [ (1-ε)/(2(1+η)(1+α)) · |∪S_i| ,  (1+ε)(1+η)(1+α) · |∪S_i| ] v}
+
+    Structure follows VATIC with three amendments: small sets are measured
+    exactly by coupon collection (Thresh₁/Thresh₂), large ones through the
+    median-amplified cardinality oracle; the initial sampling probability is
+    capped at [1/(2(1+α)²)] (Claim 5.2); and the final estimate divides out
+    one [(1+α)] factor. *)
+
+module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
+  type t
+
+  val create :
+    ?mode:Params.mode ->
+    epsilon:float ->
+    delta:float ->
+    log2_universe:float ->
+    alpha:float ->
+    gamma:float ->
+    eta:float ->
+    seed:int ->
+    unit ->
+    t
+  (** The [(α, γ, η)] arguments must (conservatively) bound the oracle's
+      actual parameters; [gamma] must be < 1/2 so the median trick can
+      amplify. *)
+
+  val process : t -> A.t -> unit
+  val estimate : t -> float
+
+  val sample_union : t -> A.elt option
+  (** Approximate-uniform draw from [∪ S_i] (the conclusion's remark covers
+      both algorithms): a uniform element of the minimum-probability
+      subsample.  The η-tilt of the oracle carries through, so uniformity is
+      within the same (1+η)-band as the sampler's.  [None] when empty. *)
+
+  val window : t -> float * float
+  (** Multiplicative guarantee [(lo, hi)] such that the output is within
+      [[lo·|∪S_i|, hi·|∪S_i|]] with probability [1-δ]. *)
+
+  (** {2 Instrumentation} *)
+
+  val bucket_size : t -> int
+  val max_bucket_size : t -> int
+  val items_processed : t -> int
+  val skipped_sets : t -> int
+
+  type oracle_calls = {
+    membership : int;
+    cardinality : int;
+    sampling : int;
+  }
+
+  val oracle_calls : t -> oracle_calls
+end

@@ -1,0 +1,62 @@
+type t = { bits : int; registers : Bytes.t }
+
+let create ?(bits = 12) () =
+  if bits < 4 || bits > 18 then invalid_arg "Hyperloglog.create: need 4 <= bits <= 18";
+  { bits; registers = Bytes.make (1 lsl bits) '\000' }
+
+let hash64 x =
+  let open Int64 in
+  let z = add (of_int x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let leading_zeros_plus_one v width =
+  (* Rank of the first 1-bit within the top [width] bits of v (1-based);
+     width+1 when all zero. *)
+  let rec go i =
+    if i >= width then width + 1
+    else if Int64.logand (Int64.shift_right_logical v (63 - i)) 1L = 1L then i + 1
+    else go (i + 1)
+  in
+  go 0
+
+let add t x =
+  let h = hash64 x in
+  let idx = Int64.to_int (Int64.shift_right_logical h (64 - t.bits)) in
+  let rest = Int64.shift_left h t.bits in
+  let rank = leading_zeros_plus_one rest (64 - t.bits) in
+  if rank > Char.code (Bytes.get t.registers idx) then
+    Bytes.set t.registers idx (Char.chr (min rank 255))
+
+let registers t = 1 lsl t.bits
+
+let alpha m =
+  if m >= 128 then 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+  else if m = 64 then 0.709
+  else if m = 32 then 0.697
+  else 0.673
+
+let estimate t =
+  let m = registers t in
+  let sum = ref 0.0 in
+  let zeros = ref 0 in
+  for i = 0 to m - 1 do
+    let r = Char.code (Bytes.get t.registers i) in
+    if r = 0 then incr zeros;
+    sum := !sum +. Float.ldexp 1.0 (-r)
+  done;
+  let raw = alpha m *. float_of_int m *. float_of_int m /. !sum in
+  if raw <= 2.5 *. float_of_int m && !zeros > 0 then
+    (* Linear counting in the sparse regime. *)
+    float_of_int m *. log (float_of_int m /. float_of_int !zeros)
+  else raw
+
+let merge a b =
+  if a.bits <> b.bits then invalid_arg "Hyperloglog.merge: incompatible sizes";
+  let out = create ~bits:a.bits () in
+  for i = 0 to registers a - 1 do
+    let r = max (Char.code (Bytes.get a.registers i)) (Char.code (Bytes.get b.registers i)) in
+    Bytes.set out.registers i (Char.chr r)
+  done;
+  out

@@ -1,0 +1,20 @@
+(** HyperLogLog distinct-elements sketch (Flajolet et al. 2007) — the
+    log-space F0 baseline for singleton streams.
+
+    2^b one-byte registers record the maximum leading-zero rank seen in each
+    hash bucket; the harmonic-mean estimator with linear-counting correction
+    for the small range gives ~1.04/√(2^b) relative standard error. *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+(** [bits] (default 12) selects [m = 2^bits] registers; requires
+    [4 <= bits <= 18]. *)
+
+val add : t -> int -> unit
+val estimate : t -> float
+val registers : t -> int
+(** m. *)
+
+val merge : t -> t -> t
+(** Register-wise max; both sketches must share [bits]. *)

@@ -1,0 +1,80 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Dist = Delphic_util.Dist
+
+module Make (F : Delphic_family.Family.FAMILY) = struct
+  type oracle_calls = { membership : int; cardinality : int; sampling : int }
+
+  type t = {
+    epsilon : float;
+    delta : float;
+    rng : Rng.t;
+    mutable sets : F.t list; (* newest first *)
+    mutable count : int;
+    mutable membership_calls : int;
+    mutable cardinality_calls : int;
+    mutable sampling_calls : int;
+  }
+
+  let create ~epsilon ~delta ~seed () =
+    if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Karp_luby: need 0 < epsilon < 1";
+    if delta <= 0.0 || delta >= 1.0 then invalid_arg "Karp_luby: need 0 < delta < 1";
+    {
+      epsilon;
+      delta;
+      rng = Rng.create ~seed;
+      sets = [];
+      count = 0;
+      membership_calls = 0;
+      cardinality_calls = 0;
+      sampling_calls = 0;
+    }
+
+  let add t s =
+    t.sets <- s :: t.sets;
+    t.count <- t.count + 1
+
+  let stored_sets t = t.count
+
+  let trials_needed t =
+    int_of_float
+      (Float.ceil
+         (4.0 *. float_of_int t.count *. log (2.0 /. t.delta)
+         /. (t.epsilon *. t.epsilon)))
+
+  let oracle_calls t =
+    {
+      membership = t.membership_calls;
+      cardinality = t.cardinality_calls;
+      sampling = t.sampling_calls;
+    }
+
+  let estimate ?trials t =
+    if t.count = 0 then 0.0
+    else begin
+      let sets = Array.of_list (List.rev t.sets) in
+      let cards =
+        Array.map
+          (fun s ->
+            t.cardinality_calls <- t.cardinality_calls + 1;
+            Bigint.to_float (F.cardinality s))
+          sets
+      in
+      let total_weight = Array.fold_left ( +. ) 0.0 cards in
+      let picker = Dist.Discrete.create cards in
+      let trials = match trials with Some n -> n | None -> trials_needed t in
+      let successes = ref 0 in
+      for _ = 1 to trials do
+        let i = Dist.Discrete.sample picker t.rng in
+        t.sampling_calls <- t.sampling_calls + 1;
+        let x = F.sample sets.(i) t.rng in
+        (* Success iff sets.(i) is the canonical — first — set containing x. *)
+        let rec first j =
+          t.membership_calls <- t.membership_calls + 1;
+          if F.mem sets.(j) x then j else first (j + 1)
+        in
+        if first 0 = i then incr successes
+      done;
+      total_weight *. float_of_int !successes /. float_of_int trials
+    end
+end

@@ -1,0 +1,35 @@
+(** The classical Karp–Luby(–Madras) Monte-Carlo union estimator — the
+    pre-streaming baseline the paper positions itself against (Section 3).
+
+    It must {e store every set} of the stream (Θ(M) representations) and at
+    estimation time repeats: pick a set with probability proportional to its
+    cardinality, draw a uniform element [x] of it, and score a success when
+    the chosen set is the canonical (first) set containing [x].  With
+    [T = ⌈4·M·ln(2/δ)/ε²⌉] trials, [W · successes/T] is an
+    [(ε, δ)]-approximation of the union size, where [W = Σ|S_i|].
+
+    It is simple and accurate, but both memory and trial count grow linearly
+    with the stream — the exact regime streaming algorithms escape. *)
+
+module Make (F : Delphic_family.Family.FAMILY) : sig
+  type t
+
+  val create : epsilon:float -> delta:float -> seed:int -> unit -> t
+  val add : t -> F.t -> unit
+  val stored_sets : t -> int
+
+  val trials_needed : t -> int
+  (** The trial budget [⌈4·M·ln(2/δ)/ε²⌉] at the current stream length. *)
+
+  val estimate : ?trials:int -> t -> float
+  (** Run the Monte-Carlo loop ([trials] defaults to {!trials_needed}) and
+      return the estimate.  0 when no sets were added. *)
+
+  type oracle_calls = {
+    membership : int;
+    cardinality : int;
+    sampling : int;
+  }
+
+  val oracle_calls : t -> oracle_calls
+end

@@ -1,0 +1,58 @@
+type mode = Paper | Practical
+
+type t = {
+  epsilon : float;
+  delta : float;
+  log2_universe : float;
+  mode : mode;
+  capacity_scale : float;
+  coupon_scale : float;
+  bucket_capacity : int;
+  max_level : int;
+  coupon_factor : float;
+}
+
+let ln2 = log 2.0
+
+let create ?(mode = Practical) ?(capacity_scale = 6.0) ?(coupon_scale = 4.0) ~epsilon
+    ~delta ~log2_universe () =
+  if capacity_scale <= 0.0 then invalid_arg "Params.create: capacity_scale must be positive";
+  if coupon_scale <= 0.0 then invalid_arg "Params.create: coupon_scale must be positive";
+  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Params.create: need 0 < epsilon < 1";
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Params.create: need 0 < delta < 1";
+  if log2_universe <= 0.0 then invalid_arg "Params.create: need log2_universe > 0";
+  let ln_4_delta = log (4.0 /. delta) in
+  (* ln(4|Ω|/δ) computed in log space so |Ω| = 2^1000 cannot overflow. *)
+  let coupon_factor = log 4.0 +. (log2_universe *. ln2) -. log delta in
+  let base = capacity_scale *. ln_4_delta /. (epsilon *. epsilon) in
+  let bucket_capacity =
+    match mode with
+    | Paper -> int_of_float (Float.ceil (base *. coupon_factor))
+    | Practical -> int_of_float (Float.ceil base)
+  in
+  (* p >= ln(4/δ)/(ε²|Ω|)  ⇔  ℓ <= log2(ε²|Ω|/ln(4/δ)). *)
+  let max_level_f =
+    Float.floor (log2_universe +. (log (epsilon *. epsilon /. ln_4_delta) /. ln2))
+  in
+  let max_level = int_of_float max_level_f in
+  if max_level < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Params.create: universe too small for these parameters (need \
+          eps^2 * |U| >= 2*ln(4/delta), i.e. log2|U| >= %.1f here) — at this \
+          size, count the union exactly instead"
+         (log (2.0 *. ln_4_delta /. (epsilon *. epsilon)) /. ln2));
+  { epsilon; delta; log2_universe; mode; capacity_scale; coupon_scale; bucket_capacity;
+    max_level; coupon_factor }
+
+let max_samples t ~n_distinct =
+  int_of_float (Float.ceil (t.coupon_scale *. float_of_int n_distinct *. t.coupon_factor))
+
+let bucket_bound t = t.bucket_capacity * (t.max_level + 1)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{eps=%g; delta=%g; log2|U|=%g; mode=%s; B=%d; max_level=%d}" t.epsilon t.delta
+    t.log2_universe
+    (match t.mode with Paper -> "paper" | Practical -> "practical")
+    t.bucket_capacity t.max_level

@@ -1,0 +1,67 @@
+(** Derivation of VATIC's constants from [(ε, δ, log2 |Ω|)].
+
+    The paper sets (Algorithm 1, line 1)
+
+    {v B = 6 · (ln(4/δ)/ε²) · ln(4|Ω|/δ) v}
+
+    and admits an element into the bucket only while its sampling probability
+    satisfies [p >= ln(4/δ) / (ε²|Ω|)].  All logarithms here are natural.
+
+    Worst-case proof constants are notoriously loose: with [ε = 0.1],
+    [δ = 0.2], [|Ω| = 10^12], the paper's [B] is ≈ 5.5·10^4 and the bucket
+    bound [B·log2|Ω|] ≈ 2·10^6 — three orders of magnitude more than needed
+    for that accuracy in practice.  We therefore expose two modes:
+
+    - [Paper]: the constants exactly as printed (use for auditing the
+      algorithm against the text);
+    - [Practical]: same shape without the union-bound inflation,
+      [B = 6·ln(4/δ)/ε²], the default for experiments.  EXPERIMENTS.md
+      (E1, E8) verifies empirically that the (ε, δ) guarantee still holds
+      comfortably in this mode. *)
+
+type mode = Paper | Practical
+
+type t = private {
+  epsilon : float;
+  delta : float;
+  log2_universe : float;  (** log2 |Ω| *)
+  mode : mode;
+  capacity_scale : float;  (** the leading constant in B (paper: 6) *)
+  coupon_scale : float;  (** the leading constant in K_i (paper: 4) *)
+  bucket_capacity : int;  (** B *)
+  max_level : int;
+      (** largest [ℓ] such that [p = 2^{-ℓ}] still satisfies the
+          [p >= ln(4/δ)/(ε²|Ω|)] admission threshold *)
+  coupon_factor : float;  (** ln(4|Ω|/δ), the per-element coupon-collector factor for K_i *)
+}
+
+val create :
+  ?mode:mode ->
+  ?capacity_scale:float ->
+  ?coupon_scale:float ->
+  epsilon:float ->
+  delta:float ->
+  log2_universe:float ->
+  unit ->
+  t
+(** Requires [0 < ε < 1], [0 < δ < 1], [log2_universe > 0], and a universe
+    large enough that the admission floor [ln(4/δ)/(ε²|Ω|)] is below 1/2 —
+    below that size the sampling regime of Theorem 1.2 is vacuous (one can
+    hold the whole universe exactly in less memory than the sketch), and
+    [create] raises [Invalid_argument] telling the caller so.
+
+    [capacity_scale] and [coupon_scale] override the paper's leading
+    constants (6 in [B], 4 in [K_i]) — ablation knobs for the A1/A2
+    experiments; leave them at the defaults otherwise. *)
+
+val max_samples : t -> n_distinct:int -> int
+(** [K_i = ⌈coupon_scale · N_i · ln(4|Ω|/δ)⌉], the sampling budget for
+    collecting [N_i] distinct elements (Algorithm 1, line 12; the paper's
+    constant is 4). *)
+
+val bucket_bound : t -> int
+(** The worst-case bucket size [B·(max_level + 1)] — Eq. 2 of the paper
+    combined with the probability floor; {!Delphic_core.Vatic} never exceeds
+    it (tested), and E2 reports measured occupancy against it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,221 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Binomial = Delphic_util.Binomial
+
+let log_src = Logs.Src.create "delphic.vatic" ~doc:"VATIC estimator internals"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Make (F : Delphic_family.Family.FAMILY) = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = F.elt
+
+    let equal = F.equal_elt
+    let hash = F.hash_elt
+  end)
+
+  type oracle_calls = { membership : int; cardinality : int; sampling : int }
+
+  type t = {
+    params : Params.t;
+    rng : Rng.t;
+    bucket : int Tbl.t; (* element -> sampling level ℓ, i.e. p = 2^-ℓ *)
+    mutable items : int;
+    mutable max_bucket : int;
+    mutable skipped : int;
+    mutable membership_calls : int;
+    mutable cardinality_calls : int;
+    mutable sampling_calls : int;
+  }
+
+  let create ?mode ?capacity_scale ?coupon_scale ~epsilon ~delta ~log2_universe ~seed
+      () =
+    let params =
+      Params.create ?mode ?capacity_scale ?coupon_scale ~epsilon ~delta ~log2_universe ()
+    in
+    {
+      params;
+      rng = Rng.create ~seed;
+      bucket = Tbl.create 1024;
+      items = 0;
+      max_bucket = 0;
+      skipped = 0;
+      membership_calls = 0;
+      cardinality_calls = 0;
+      sampling_calls = 0;
+    }
+
+  let params t = t.params
+  let bucket_size t = Tbl.length t.bucket
+  let max_bucket_size t = t.max_bucket
+  let items_processed t = t.items
+  let skipped_sets t = t.skipped
+
+  let level_for t occupancy =
+    (* ⌈occupancy / B⌉ *)
+    let b = t.params.Params.bucket_capacity in
+    (occupancy + b - 1) / b
+
+  let current_level t = level_for t (bucket_size t)
+
+  let min_sampling_level t =
+    Tbl.fold (fun _ l acc -> Stdlib.max l acc) t.bucket 0
+
+  let oracle_calls t =
+    {
+      membership = t.membership_calls;
+      cardinality = t.cardinality_calls;
+      sampling = t.sampling_calls;
+    }
+
+  (* Draw Bin(card, 2^-level) as an integral float.  Guards:
+     - negligible mean (< 2^-40): the draw is 0 with overwhelming
+       probability, and pretending it is biases nothing detectable;
+     - card beyond float range (> 2^1000): only the magnitude matters — the
+       halving loop will shrink the value by that many more levels before
+       anything is materialised, so the deterministic mean (relative
+       deviation < 2^-500) is used. *)
+  let binomial_of_cardinality rng card ~level =
+    let l2n = Bigint.log2 card in
+    let l2np = l2n -. float_of_int level in
+    if l2np < -40.0 then 0.0
+    else if l2n > 1000.0 then 2.0 ** Float.min l2np 1020.0
+    else Binomial.sample_bigint rng ~n:card ~p:(Float.ldexp 1.0 (-level))
+
+  let remove_covered t s =
+    t.membership_calls <- t.membership_calls + bucket_size t;
+    let doomed =
+      Tbl.fold (fun x _ acc -> if F.mem s x then x :: acc else acc) t.bucket []
+    in
+    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+
+  let process t s =
+    t.items <- t.items + 1;
+    (* Lines 4-6: only the last occurrence of an element can keep it in X. *)
+    remove_covered t s;
+    (* Lines 7-8: initial level from current occupancy. *)
+    let level = ref (current_level t) in
+    t.cardinality_calls <- t.cardinality_calls + 1;
+    let n = ref (binomial_of_cardinality t.rng (F.cardinality s) ~level:!level) in
+    (* Lines 9-10: halve until the sample would fit the capacity at its own
+       level, or the probability floor is crossed. *)
+    let max_level = t.params.Params.max_level in
+    let capacity = float_of_int t.params.Params.bucket_capacity in
+    (* The needed level is computed in float space: right after line 8, N can
+       exceed native-int range by hundreds of orders of magnitude. *)
+    let needed () =
+      Float.ceil ((float_of_int (bucket_size t) +. !n) /. capacity)
+    in
+    while float_of_int !level < needed () && !level <= max_level do
+      incr level;
+      n := Binomial.halve t.rng !n
+    done;
+    if !level > max_level then begin
+      t.skipped <- t.skipped + 1;
+      (* The analysis makes this a <= delta/2 probability event across the
+         whole stream; seeing it repeatedly means the parameters are off. *)
+      Log.warn (fun m ->
+          m "item %d skipped: probability floor reached (skips so far: %d)" t.items
+            t.skipped)
+    end
+    else begin
+      (* Lines 12-17: collect N distinct uniform samples of S, giving each
+         element of S an independent 2^-level chance (Claim 2.5), with the
+         coupon-collector budget K bounding worst-case update time. *)
+      let wanted = int_of_float !n in
+      if wanted > 0 then begin
+        let budget = Params.max_samples t.params ~n_distinct:wanted in
+        let fresh = Tbl.create (2 * wanted) in
+        let drawn = ref 0 in
+        while Tbl.length fresh < wanted && !drawn < budget do
+          incr drawn;
+          let y = F.sample s t.rng in
+          if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
+        done;
+        t.sampling_calls <- t.sampling_calls + !drawn;
+        Tbl.iter (fun y () -> Tbl.replace t.bucket y !level) fresh;
+        if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
+      end
+    end
+
+  (* Lines 18-21 on a virtual copy: subsample every element down to the
+     minimum probability p0 and return |X| / p0. *)
+  let subsample t =
+    let p0_level = min_sampling_level t in
+    let kept =
+      Tbl.fold
+        (fun x l acc ->
+          let keep_probability = Float.ldexp 1.0 (l - p0_level) in
+          if Rng.bernoulli t.rng keep_probability then x :: acc else acc)
+        t.bucket []
+    in
+    (p0_level, kept)
+
+  let estimate t =
+    if bucket_size t = 0 then 0.0
+    else begin
+      let p0_level, kept = subsample t in
+      Float.ldexp (float_of_int (List.length kept)) p0_level
+    end
+
+  (* Footnote 5 of the paper: the "natural" estimator is Σ_j N(p_j)/p_j;
+     the published algorithm resamples down to p_0 purely to simplify the
+     concentration argument.  This is the direct Horvitz-Thompson sum — it
+     skips the extra Bernoulli noise, is deterministic given the sketch, and
+     A4 in EXPERIMENTS.md measures its variance advantage. *)
+  let estimate_horvitz_thompson t =
+    Tbl.fold (fun _ l acc -> acc +. Float.ldexp 1.0 l) t.bucket 0.0
+
+  let sample_union t =
+    if bucket_size t = 0 then None
+    else begin
+      let _, kept = subsample t in
+      match kept with
+      | [] -> None
+      | _ -> Some (List.nth kept (Rng.int t.rng (List.length kept)))
+    end
+
+  type snapshot = {
+    mode : Params.mode;
+    capacity_scale : float;
+    coupon_scale : float;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    items : int;
+    max_bucket : int;
+    skipped : int;
+    calls : oracle_calls;
+    entries : (F.elt * int) list;
+  }
+
+  let snapshot t =
+    let p = t.params in
+    {
+      mode = p.Params.mode;
+      capacity_scale = p.Params.capacity_scale;
+      coupon_scale = p.Params.coupon_scale;
+      epsilon = p.Params.epsilon;
+      delta = p.Params.delta;
+      log2_universe = p.Params.log2_universe;
+      items = t.items;
+      max_bucket = t.max_bucket;
+      skipped = t.skipped;
+      calls = oracle_calls t;
+      entries = Tbl.fold (fun x l acc -> (x, l) :: acc) t.bucket [];
+    }
+
+  let restore s ~seed =
+    let t =
+      create ~mode:s.mode ~capacity_scale:s.capacity_scale ~coupon_scale:s.coupon_scale
+        ~epsilon:s.epsilon ~delta:s.delta ~log2_universe:s.log2_universe ~seed ()
+    in
+    List.iter (fun (x, l) -> Tbl.replace t.bucket x l) s.entries;
+    t.items <- s.items;
+    t.max_bucket <- s.max_bucket;
+    t.skipped <- s.skipped;
+    t.membership_calls <- s.calls.membership;
+    t.cardinality_calls <- s.calls.cardinality;
+    t.sampling_calls <- s.calls.sampling;
+    t
+end

@@ -1,0 +1,110 @@
+(** VATIC (Algorithm 1): streaming [(ε, δ)]-estimation of [|∪ S_i|] for
+    Delphic set streams of {e unknown} length, with space and update time
+    polynomial in [(log |Ω|, 1/ε, log 1/δ)] and independent of the stream
+    size — the paper's main contribution (Theorem 1.2).
+
+    The sketch is a bucket [X] of (element, sampling-level) pairs, where
+    level [ℓ] encodes the dyadic probability [p = 2^{-ℓ}].  Processing a set
+    [S_i] first deletes [X ∩ S_i] (so survival of an element depends only on
+    its {e last} occurrence — the key to M-independence), then inserts a
+    [Bin(|S_i|, p)]-sized uniform sample of [S_i] at the level dictated by
+    the current bucket occupancy, halving adaptively as the bucket fills. *)
+
+module Make (F : Delphic_family.Family.FAMILY) : sig
+  type t
+
+  val create :
+    ?mode:Params.mode ->
+    ?capacity_scale:float ->
+    ?coupon_scale:float ->
+    epsilon:float ->
+    delta:float ->
+    log2_universe:float ->
+    seed:int ->
+    unit ->
+    t
+  (** [log2_universe] is [log2 |Ω|] for the universe the stream's sets live
+      in (e.g. [d · log2 |Δ|] for boxes in [Δ^d]). *)
+
+  val params : t -> Params.t
+
+  val process : t -> F.t -> unit
+  (** Feed the next set of the stream. *)
+
+  val estimate : t -> float
+  (** Current estimate of [|∪ S_i|] over the items processed so far
+      (lines 18–21: subsample everything down to the minimum level [p_0],
+      return [|X|/p_0]).  Non-destructive — processing may continue — but
+      randomized: repeated calls may differ slightly. *)
+
+  val estimate_horvitz_thompson : t -> float
+  (** The estimator of the paper's footnote 5: the direct sum
+      [Σ_{(s,ℓ) ∈ X} 2^ℓ] without the final resampling step.  Accuracy is
+      statistically indistinguishable from {!estimate} (ablation A4), but
+      this variant is deterministic given the sketch — repeated queries
+      agree exactly; the published algorithm resamples only to streamline
+      the analysis. *)
+
+  val sample_union : t -> F.elt option
+  (** Approximate-uniform draw from [∪ S_i] (the adaptation noted in the
+      paper's conclusion): a uniform element of the level-[p_0] subsample.
+      [None] when the sketch is empty. *)
+
+  (** {2 Instrumentation} *)
+
+  val bucket_size : t -> int
+  (** Current [|X|]. *)
+
+  val max_bucket_size : t -> int
+  (** Largest [|X|] observed — the space-complexity quantity of Theorem
+      1.2. *)
+
+  val current_level : t -> int
+  (** The level [⌈|X|/B⌉] that the next insertion would start from. *)
+
+  val min_sampling_level : t -> int
+  (** Level of the least-likely sampled element currently held ([log2 1/p_0]);
+      0 when empty. *)
+
+  val items_processed : t -> int
+
+  val skipped_sets : t -> int
+  (** Sets dropped because the admissible probability floor was reached
+      (probability ≤ δ/2 per Theorem 1.2's analysis; should be 0). *)
+
+  type oracle_calls = {
+    membership : int;
+    cardinality : int;
+    sampling : int;
+  }
+
+  val oracle_calls : t -> oracle_calls
+  (** Total Delphic queries issued, the update-time quantity of Theorem
+      1.2. *)
+
+  (** {2 Checkpointing}
+
+      A sketch is a few thousand (element, level) pairs plus its parameters,
+      so it checkpoints cheaply — useful for long-running streams that must
+      survive restarts.  The PRNG state is not captured: a restored sketch
+      continues with fresh randomness from the supplied seed, which does not
+      affect the estimator's guarantees (every future coin is independent
+      anyway). *)
+
+  type snapshot = {
+    mode : Params.mode;
+    capacity_scale : float;
+    coupon_scale : float;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    items : int;
+    max_bucket : int;
+    skipped : int;
+    calls : oracle_calls;
+    entries : (F.elt * int) list;  (** bucket contents: (element, level) *)
+  }
+
+  val snapshot : t -> snapshot
+  val restore : snapshot -> seed:int -> t
+end

@@ -1,0 +1,99 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Gf2 = Delphic_util.Gf2
+module Rng = Delphic_util.Rng
+
+module Make (X : Delphic_family.Family.XOR_FAMILY) = struct
+  module Tbl = Hashtbl.Make (struct
+    type t = Bitvec.t
+
+    let equal = Bitvec.equal
+    let hash = Bitvec.hash
+  end)
+
+  type t = {
+    nvars : int;
+    capacity : int;
+    rng : Rng.t;
+    store : unit Tbl.t;
+    mutable rows : Gf2.row list; (* newest first; level = length *)
+    mutable level : int;
+    mutable items : int;
+    mutable max_store : int;
+  }
+
+  let create ?capacity ~epsilon ~delta ~nvars ~seed () =
+    if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Xor_sketch: need 0 < epsilon < 1";
+    if delta <= 0.0 || delta >= 1.0 then invalid_arg "Xor_sketch: need 0 < delta < 1";
+    if nvars <= 0 then invalid_arg "Xor_sketch: need nvars > 0";
+    let capacity =
+      match capacity with
+      | Some c ->
+        if c < 2 then invalid_arg "Xor_sketch: capacity must be >= 2";
+        c
+      | None ->
+        (* Union bound over the 2^nvars candidate elements, as in [32]. *)
+        int_of_float
+          (Float.ceil
+             (24.0 /. (epsilon *. epsilon)
+             *. (log 2.0 +. (float_of_int nvars *. log 2.0) -. log delta)))
+    in
+    {
+      nvars;
+      capacity;
+      rng = Rng.create ~seed;
+      store = Tbl.create 1024;
+      rows = [];
+      level = 0;
+      items = 0;
+      max_store = 0;
+    }
+
+  let level t = t.level
+  let store_size t = Tbl.length t.store
+  let max_store_size t = t.max_store
+  let capacity t = t.capacity
+  let items_processed t = t.items
+
+  (* One more random parity row: the cell halves in expectation, and every
+     stored element must still satisfy the new row. *)
+  let deepen t =
+    let coeffs = Bitvec.random t.rng ~width:t.nvars in
+    let row = { Gf2.coeffs; rhs = false } in
+    t.rows <- row :: t.rows;
+    t.level <- t.level + 1;
+    let doomed =
+      Tbl.fold (fun x () acc -> if Gf2.satisfies row x then acc else x :: acc) t.store []
+    in
+    List.iter (Tbl.remove t.store) doomed
+
+  let process t s =
+    if X.nvars s <> t.nvars then invalid_arg "Xor_sketch.process: nvars mismatch";
+    t.items <- t.items + 1;
+    let rec insert () =
+      let budget = t.capacity - store_size t in
+      (* Elements already stored are re-enumerated and re-inserted (set
+         semantics), so the effective budget includes them; the simple
+         capacity check below keeps the logic conservative. *)
+      match X.enumerate_constrained s t.rows ~limit:t.capacity with
+      | Some cell_members ->
+        let fresh =
+          List.filter (fun x -> not (Tbl.mem t.store x)) cell_members
+        in
+        if List.length fresh > budget then begin
+          deepen t;
+          insert ()
+        end
+        else begin
+          List.iter (fun x -> Tbl.replace t.store x ()) fresh;
+          if store_size t > t.max_store then t.max_store <- store_size t
+        end
+      | None ->
+        (* Too many members in the current cell to even enumerate. *)
+        deepen t;
+        insert ()
+    in
+    insert ()
+
+  let estimate t = Float.ldexp (float_of_int (store_size t)) t.level
+end

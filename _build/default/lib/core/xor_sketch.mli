@@ -1,0 +1,40 @@
+(** Hashing-based streaming F0 in the style of Gibbons–Tirthapura /
+    Pavan–Vinodchandran–Bhattacharyya–Meel (PODS'21, reference [32] of the
+    paper) — the alternative route to streaming union estimation that the
+    paper's sampling strategy competes with.
+
+    A random XOR hash splits the cube {0,1}^n into affine cells.  The sketch
+    stores {e exactly} the union's elements inside the current cell
+    [{x : row_1·x = 0, ..., row_j·x = 0}]; whenever the store would
+    overflow, one more random parity row is added (halving the cell) and the
+    store is re-filtered.  The estimate is [|store| · 2^j].
+
+    Processing a set requires counting and enumerating its members within
+    an affine cell — easy for XOR-structured families (DNF terms, affine
+    subspaces) via GF(2) elimination, but unavailable for general Delphic
+    sets: exactly the gap VATIC's oracle-only approach closes.  Duplicates
+    across the stream cost nothing (the store is a set), so space is
+    M-independent here too; the restriction is the family, not the stream. *)
+
+module Make (X : Delphic_family.Family.XOR_FAMILY) : sig
+  type t
+
+  val create :
+    ?capacity:int -> epsilon:float -> delta:float -> nvars:int -> seed:int -> unit -> t
+  (** [capacity] overrides the derived bucket bound
+      [⌈24/ε² · ln(2 · 2^nvars / δ)⌉ ≈ 24·ln 2·(nvars+…)/ε²]. *)
+
+  val process : t -> X.t -> unit
+  (** Raises [Invalid_argument] if the set's variable count differs from
+      [nvars]. *)
+
+  val estimate : t -> float
+
+  val level : t -> int
+  (** Number of hash rows currently constraining the cell. *)
+
+  val store_size : t -> int
+  val max_store_size : t -> int
+  val capacity : t -> int
+  val items_processed : t -> int
+end

@@ -1,0 +1,1 @@
+lib/delphic/family.ml: Delphic_util Format

@@ -1,0 +1,125 @@
+(** Oracle interfaces for Delphic and Approximate-Delphic set families.
+
+    A set belongs to a {e Delphic family} (Definition 1.1 of the paper) when
+    three queries are efficiently supported: membership, exact cardinality,
+    and uniform random sampling.  The {e Approximate-Delphic} relaxation
+    (Definition 1.4) weakens cardinality to an [(α, γ)]-approximation and
+    sampling to an [η]-near-uniform oracle.
+
+    Estimators in {!Delphic_core} are functors over these signatures, so any
+    user-defined family plugs in directly. *)
+
+(** Exact Delphic oracle. *)
+module type FAMILY = sig
+  type elt
+  (** Elements of the universe [Ω] the sets live in. *)
+
+  type t
+  (** A set of the family (its succinct representation). *)
+
+  val cardinality : t -> Delphic_util.Bigint.t
+  (** Exact [|S|].  Arbitrary precision: cardinalities such as [|Δ|^d]
+      overflow native integers. *)
+
+  val mem : t -> elt -> bool
+  (** Membership query. *)
+
+  val sample : t -> Delphic_util.Rng.t -> elt
+  (** A uniformly random element of the set.  Requires the set non-empty. *)
+
+  val equal_elt : elt -> elt -> bool
+  val hash_elt : elt -> int
+  val pp_elt : Format.formatter -> elt -> unit
+end
+
+(** [(α, γ, η)]-Approximate-Delphic oracle.  The numeric parameters
+    themselves are supplied to the estimator at construction time; this
+    signature only fixes the query interface. *)
+module type APPROX_FAMILY = sig
+  type elt
+  type t
+
+  val mem : t -> elt -> bool
+
+  val approx_cardinality : t -> Delphic_util.Rng.t -> Delphic_util.Bigint.t
+  (** A value within [[|S|/(1+α), (1+α)|S|]] with probability at least
+      [1 - γ]. *)
+
+  val approx_sample : t -> Delphic_util.Rng.t -> elt
+  (** A draw in which every element of [S] has probability within
+      [[1/((1+η)|S|), (1+η)/|S|]]. *)
+
+  val equal_elt : elt -> elt -> bool
+  val hash_elt : elt -> int
+  val pp_elt : Format.formatter -> elt -> unit
+end
+
+(** Families over the Boolean cube that can answer queries {e under XOR
+    constraints}: count and enumerate the elements of a set that also
+    satisfy a system of GF(2) parity equations.
+
+    This is the interface needed by hashing-based F0 estimation in the
+    style of Pavan–Vinodchandran–Bhattacharyya–Meel (PODS'21, [32] in the
+    paper): the sketch keeps exactly the elements hashed to a shrinking
+    XOR-defined cell.  DNF terms and affine subspaces support it; families
+    without affine structure (e.g. Hamming balls) do not — which is exactly
+    the limitation that motivates the paper's sampling-based route. *)
+module type XOR_FAMILY = sig
+  type t
+
+  val nvars : t -> int
+  (** All sets live in {0,1}^nvars. *)
+
+  val count_constrained : t -> Delphic_util.Gf2.row list -> Delphic_util.Bigint.t
+  (** [|{x ∈ S : every row satisfied}|]. *)
+
+  val enumerate_constrained :
+    t -> Delphic_util.Gf2.row list -> limit:int -> Delphic_util.Bitvec.t list option
+  (** The elements themselves; [None] if there are more than [limit]. *)
+end
+
+(** Per-process query counters, for validating update-time claims from
+    outside the estimators.  Wrap a family and read the counters after a
+    run.  Counters are shared across all instances of the wrapped family. *)
+module Counting (F : FAMILY) : sig
+  include FAMILY with type elt = F.elt and type t = F.t
+
+  val reset : unit -> unit
+  val mem_calls : unit -> int
+  val cardinality_calls : unit -> int
+  val sample_calls : unit -> int
+  val total_calls : unit -> int
+end = struct
+  type elt = F.elt
+  type t = F.t
+
+  let mems = ref 0
+  let cards = ref 0
+  let samples = ref 0
+
+  let reset () =
+    mems := 0;
+    cards := 0;
+    samples := 0
+
+  let mem_calls () = !mems
+  let cardinality_calls () = !cards
+  let sample_calls () = !samples
+  let total_calls () = !mems + !cards + !samples
+
+  let cardinality s =
+    incr cards;
+    F.cardinality s
+
+  let mem s x =
+    incr mems;
+    F.mem s x
+
+  let sample s rng =
+    incr samples;
+    F.sample s rng
+
+  let equal_elt = F.equal_elt
+  let hash_elt = F.hash_elt
+  let pp_elt = F.pp_elt
+end

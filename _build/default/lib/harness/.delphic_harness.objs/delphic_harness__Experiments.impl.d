@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Delphic_core Delphic_sets Delphic_stream Delphic_util Fun Hashtbl List Parallel Printf String Table Trial

@@ -1,0 +1,1 @@
+lib/harness/parallel.ml: Array Domain List Stdlib

@@ -1,0 +1,1 @@
+lib/harness/parallel.mli:

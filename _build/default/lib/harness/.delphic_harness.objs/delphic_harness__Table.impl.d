@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array Buffer Float List Printf Stdlib String

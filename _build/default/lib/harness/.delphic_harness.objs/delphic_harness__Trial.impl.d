@@ -1,0 +1,1 @@
+lib/harness/trial.ml: Delphic_util Float List Unix

@@ -1,0 +1,1 @@
+lib/harness/trial.mli: Delphic_util

@@ -1,0 +1,72 @@
+(** The experiment suite E1–E10 defined in DESIGN.md §5 / EXPERIMENTS.md.
+
+    The paper is a theory paper with no empirical tables, so each experiment
+    operationalises one quantitative claim (Theorems 1.2, 1.5, D.1, the
+    related-work comparisons, and the conclusion's sampling remark) and
+    prints the table recorded in EXPERIMENTS.md. *)
+
+val e1_accuracy_kmp : unit -> unit
+(** Theorem 1.2 accuracy on streaming Klee's Measure Problem. *)
+
+val e2_space_vs_stream_length : unit -> unit
+(** VATIC's bucket is flat in M; APS-Estimator's capacity grows with ln M. *)
+
+val e3_update_time : unit -> unit
+(** Per-item time/oracle calls: flat in M, polynomial in d. *)
+
+val e4_dnf_counting : unit -> unit
+(** Streaming DNF model counting vs Karp–Luby vs exact (BDD). *)
+
+val e5_ext_vatic : unit -> unit
+(** Theorem 1.5: EXT-VATIC lands in its (α, η)-widened window. *)
+
+val e6_test_coverage : unit -> unit
+(** t-wise coverage estimation vs exact enumeration. *)
+
+val e7_distinct_elements : unit -> unit
+(** VATIC on singletons vs bottom-k and HyperLogLog. *)
+
+val e8_failure_rate : unit -> unit
+(** Empirical failure probability ≤ δ across δ values. *)
+
+val e9_hypervolume : unit -> unit
+(** Hypervolume-indicator estimation; EXT-APS-Estimator (Theorem D.1) on
+    the same stream. *)
+
+val e10_union_sampling : unit -> unit
+(** Approximate-uniform sampling from the union (conclusion remark). *)
+
+val e11_order_robustness : unit -> unit
+(** Same pool under different arrival orders and duplication patterns:
+    accuracy must be order-oblivious (the last-occurrence property). *)
+
+val e12_sampling_vs_hashing : unit -> unit
+(** The paper's sampling route vs the reference-[32] XOR-hashing route on a
+    DNF stream (the hashing route needs affine structure; sampling needs
+    only the Delphic queries). *)
+
+val e13_throughput : unit -> unit
+(** Sustained items/second per family at default parameters. *)
+
+val a1_capacity_ablation : unit -> unit
+(** Ablation: sweep the bucket-capacity constant (paper: 6). *)
+
+val a2_coupon_ablation : unit -> unit
+(** Ablation: sweep the coupon-collector budget constant (paper: 4);
+    starved budgets bias the estimator low. *)
+
+val a3_mode_comparison : unit -> unit
+(** Paper-mode vs practical-mode constants at identical (ε, δ). *)
+
+val a4_estimator_variant : unit -> unit
+(** Final resampling (paper) vs the direct Horvitz–Thompson sum
+    (footnote 5). *)
+
+val all : (string * string * (unit -> unit)) list
+(** [(id, description, run)] for every experiment, in order. *)
+
+val run : string -> unit
+(** Run one experiment by id (e.g. "E4"); raises [Not_found] on unknown
+    ids. *)
+
+val run_all : unit -> unit

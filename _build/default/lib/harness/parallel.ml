@@ -1,0 +1,25 @@
+let default_domains () =
+  Stdlib.max 1 (Stdlib.min 4 (Domain.recommended_domain_count () - 1))
+
+let map ?domains f items =
+  let domains = match domains with Some d -> Stdlib.max 1 d | None -> default_domains () in
+  let n = List.length items in
+  if domains = 1 || n <= 1 then List.map f items
+  else begin
+    let items = Array.of_list items in
+    let chunks = Stdlib.min domains n in
+    (* Contiguous slices [lo, hi) per domain. *)
+    let bounds =
+      Array.init chunks (fun i ->
+          let lo = i * n / chunks and hi = (i + 1) * n / chunks in
+          (lo, hi))
+    in
+    let workers =
+      Array.map
+        (fun (lo, hi) ->
+          Domain.spawn (fun () -> Array.init (hi - lo) (fun j -> f items.(lo + j))))
+        bounds
+    in
+    let results = Array.map Domain.join workers in
+    Array.to_list (Array.concat (Array.to_list results))
+  end

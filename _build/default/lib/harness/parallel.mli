@@ -1,0 +1,15 @@
+(** Multicore trial execution (OCaml 5 domains).
+
+    Experiment trials are embarrassingly parallel — each builds its own
+    estimator from its own seed — so the accuracy/failure-rate experiments
+    fan them out across domains.  Only use with a function that touches no
+    shared mutable state (every estimator in this library is
+    self-contained). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  [domains] defaults to
+    [min 4 (recommended_domain_count - 1)], and the list is split into that
+    many contiguous chunks.  Falls back to [List.map] for a single domain
+    or short lists.  Exceptions in the worker re-raise in the caller. *)
+
+val default_domains : unit -> int

@@ -1,0 +1,65 @@
+let render ~header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> columns then invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.make columns 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let emit_row r =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  emit_row
+    (List.mapi (fun i _ -> String.make widths.(i) '-') header);
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let output_format = ref `Text
+
+let set_output fmt = output_format := fmt
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_csv ~header rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+      Buffer.add_char buf '\n')
+    (header :: rows);
+  Buffer.contents buf
+
+let print ?title ~header rows =
+  (match title with
+  | Some t ->
+    print_newline ();
+    print_endline (match !output_format with `Text -> t | `Csv -> "# " ^ t);
+    (match !output_format with
+    | `Text -> print_endline (String.make (String.length t) '=')
+    | `Csv -> ())
+  | None -> ());
+  match !output_format with
+  | `Text -> print_string (render ~header rows)
+  | `Csv -> print_string (render_csv ~header rows)
+
+let cell_f v =
+  let a = Float.abs v in
+  if v = 0.0 then "0"
+  else if a >= 0.001 && a < 1000000.0 then Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.3e" v
+
+let cell_i = string_of_int

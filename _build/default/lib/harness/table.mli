@@ -1,0 +1,16 @@
+(** Fixed-width text tables for experiment output. *)
+
+val render : header:string list -> string list list -> string
+(** Render rows under a header with aligned columns. *)
+
+val print : ?title:string -> header:string list -> string list list -> unit
+(** [render] to stdout, with an optional underlined title. *)
+
+val cell_f : float -> string
+(** Compact float formatting ("1.23e+06" style only when needed). *)
+
+val cell_i : int -> string
+
+val set_output : [ `Text | `Csv ] -> unit
+(** Global output format used by {!print}: aligned text (default) or CSV
+    rows (for piping experiment results into other tools). *)

@@ -1,0 +1,32 @@
+module Summary = Delphic_util.Summary
+
+type 'a outcome = { value : 'a; seconds : float }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let value = f () in
+  { value; seconds = Unix.gettimeofday () -. t0 }
+
+let run ~trials ~base_seed f =
+  List.init trials (fun i -> timed (fun () -> f ~seed:(base_seed + i)))
+
+let estimates ~trials ~base_seed ~truth f =
+  let outcomes = run ~trials ~base_seed f in
+  let est = Summary.create () and err = Summary.create () in
+  let secs = ref 0.0 in
+  List.iter
+    (fun { value; seconds } ->
+      Summary.add est value;
+      Summary.add err (Summary.relative_error ~estimate:value ~truth);
+      secs := !secs +. seconds)
+    outcomes;
+  (est, err, !secs /. float_of_int trials)
+
+let failure_rate ~epsilon ~truth values =
+  let failures =
+    List.length
+      (List.filter
+         (fun v -> Float.abs (v -. truth) > epsilon *. Float.abs truth)
+         values)
+  in
+  float_of_int failures /. float_of_int (List.length values)

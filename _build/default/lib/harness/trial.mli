@@ -1,0 +1,21 @@
+(** Multi-trial experiment runner. *)
+
+type 'a outcome = { value : 'a; seconds : float }
+
+val timed : (unit -> 'a) -> 'a outcome
+(** Wall-clock one computation. *)
+
+val run : trials:int -> base_seed:int -> (seed:int -> 'a) -> 'a outcome list
+(** Run [f ~seed:(base_seed + i)] for [i = 0 .. trials-1], timing each. *)
+
+val estimates :
+  trials:int ->
+  base_seed:int ->
+  truth:float ->
+  (seed:int -> float) ->
+  Delphic_util.Summary.t * Delphic_util.Summary.t * float
+(** Convenience for accuracy experiments: returns (estimates, relative
+    errors, mean seconds per trial). *)
+
+val failure_rate : epsilon:float -> truth:float -> float list -> float
+(** Fraction of estimates outside [(1 ± ε)·truth]. *)

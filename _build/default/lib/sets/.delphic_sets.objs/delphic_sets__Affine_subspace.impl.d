@@ -1,0 +1,1 @@
+lib/sets/affine_subspace.ml: Array Delphic_util

@@ -1,0 +1,1 @@
+lib/sets/affine_subspace.mli: Delphic_family Delphic_util

@@ -1,0 +1,1 @@
+lib/sets/approx_wrap.ml: Delphic_family Delphic_util Float

@@ -1,0 +1,1 @@
+lib/sets/approx_wrap.mli: Delphic_family

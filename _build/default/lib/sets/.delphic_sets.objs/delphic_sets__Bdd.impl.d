@@ -1,0 +1,1 @@
+lib/sets/bdd.ml: Array Delphic_util Dnf Hashtbl List Stdlib

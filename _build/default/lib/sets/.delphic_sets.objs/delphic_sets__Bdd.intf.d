@@ -1,0 +1,1 @@
+lib/sets/bdd.mli: Delphic_util Dnf

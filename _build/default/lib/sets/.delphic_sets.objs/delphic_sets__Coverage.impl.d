@@ -1,0 +1,1 @@
+lib/sets/coverage.ml: Array Delphic_util Format Hashtbl String

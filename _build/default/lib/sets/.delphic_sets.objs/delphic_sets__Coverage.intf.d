@@ -1,0 +1,1 @@
+lib/sets/coverage.mli: Delphic_family Delphic_util

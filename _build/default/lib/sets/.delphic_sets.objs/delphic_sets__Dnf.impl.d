@@ -1,0 +1,1 @@
+lib/sets/dnf.ml: Array Delphic_util Format Hashtbl List Printf String

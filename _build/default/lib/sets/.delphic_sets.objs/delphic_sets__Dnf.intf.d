@@ -1,0 +1,1 @@
+lib/sets/dnf.mli: Delphic_family Delphic_util Format

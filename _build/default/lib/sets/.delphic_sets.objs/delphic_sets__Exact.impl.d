@@ -1,0 +1,1 @@
+lib/sets/exact.ml: Array Bdd Delphic_util Dnf Hashtbl Interval_cover Knapsack List Range1d Rectangle Stdlib

@@ -1,0 +1,1 @@
+lib/sets/exact.mli: Delphic_util Dnf Knapsack Range1d Rectangle

@@ -1,0 +1,1 @@
+lib/sets/hamming_ball.ml: Array Delphic_util

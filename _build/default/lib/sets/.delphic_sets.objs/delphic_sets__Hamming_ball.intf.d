@@ -1,0 +1,1 @@
+lib/sets/hamming_ball.mli: Delphic_family Delphic_util

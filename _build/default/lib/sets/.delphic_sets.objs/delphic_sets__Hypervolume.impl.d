@@ -1,0 +1,1 @@
+lib/sets/hypervolume.ml: Array Rectangle

@@ -1,0 +1,1 @@
+lib/sets/hypervolume.mli: Delphic_family Format Rectangle

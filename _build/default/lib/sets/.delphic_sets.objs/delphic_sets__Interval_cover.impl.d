@@ -1,0 +1,1 @@
+lib/sets/interval_cover.ml: Array

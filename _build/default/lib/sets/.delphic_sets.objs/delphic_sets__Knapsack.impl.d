@@ -1,0 +1,1 @@
+lib/sets/knapsack.ml: Array Delphic_util Fun

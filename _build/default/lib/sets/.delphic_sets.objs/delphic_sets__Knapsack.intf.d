@@ -1,0 +1,1 @@
+lib/sets/knapsack.mli: Delphic_family Delphic_util

@@ -1,0 +1,1 @@
+lib/sets/mixed_coverage.ml: Array Delphic_util Format Hashtbl Stdlib String

@@ -1,0 +1,1 @@
+lib/sets/mixed_coverage.mli: Delphic_family Delphic_util

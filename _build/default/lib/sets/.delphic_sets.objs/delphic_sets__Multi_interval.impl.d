@@ -1,0 +1,1 @@
+lib/sets/multi_interval.ml: Array Delphic_util Format Hashtbl Int List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/sets/multi_interval.mli: Delphic_family Format

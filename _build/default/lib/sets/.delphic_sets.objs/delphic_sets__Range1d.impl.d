@@ -1,0 +1,1 @@
+lib/sets/range1d.ml: Delphic_util Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/sets/range1d.mli: Delphic_family Format

@@ -1,0 +1,1 @@
+lib/sets/rectangle.ml: Array Delphic_util Format Hashtbl List Printf Stdlib String

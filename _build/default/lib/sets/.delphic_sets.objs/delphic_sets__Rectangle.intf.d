@@ -1,0 +1,1 @@
+lib/sets/rectangle.mli: Delphic_family Delphic_util Format

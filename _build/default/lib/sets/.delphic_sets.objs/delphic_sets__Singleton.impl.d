@@ -1,0 +1,1 @@
+lib/sets/singleton.ml: Delphic_util Format Hashtbl Int

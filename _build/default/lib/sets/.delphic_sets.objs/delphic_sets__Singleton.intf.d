@@ -1,0 +1,1 @@
+lib/sets/singleton.mli: Delphic_family

@@ -1,0 +1,49 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Gf2 = Delphic_util.Gf2
+module Rng = Delphic_util.Rng
+
+type t = { rows : Gf2.row array; solved : Gf2.solution }
+type elt = Bitvec.t
+
+let create_opt ~nvars rows =
+  match Gf2.solve ~nvars rows with
+  | None -> None
+  | Some solved -> Some { rows = Array.of_list rows; solved }
+
+let create ~nvars rows =
+  match create_opt ~nvars rows with
+  | Some t -> t
+  | None -> invalid_arg "Affine_subspace.create: inconsistent system (empty set)"
+
+let nvars t = t.solved.Gf2.nvars
+let rank t = t.solved.Gf2.rank
+let dimension t = nvars t - rank t
+
+let cardinality t = Bigint.pow2 (dimension t)
+
+let mem t x =
+  Bitvec.width x = nvars t && Array.for_all (fun r -> Gf2.satisfies r x) t.rows
+
+let sample t rng =
+  let x = Bitvec.copy t.solved.Gf2.particular in
+  Array.iter
+    (fun basis_vector -> if Rng.bool rng then Bitvec.xor_inplace x basis_vector)
+    t.solved.Gf2.null_basis;
+  x
+
+let equal_elt = Bitvec.equal
+let hash_elt = Bitvec.hash
+let pp_elt = Bitvec.pp
+
+let solve_with t extra = Gf2.solve ~nvars:(nvars t) (Array.to_list t.rows @ extra)
+
+let count_constrained t extra =
+  match solve_with t extra with
+  | None -> Bigint.zero
+  | Some s -> Gf2.solution_count s
+
+let enumerate_constrained t extra ~limit =
+  match solve_with t extra with
+  | None -> Some []
+  | Some s -> Gf2.enumerate s ~limit

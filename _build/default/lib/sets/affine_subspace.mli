@@ -1,0 +1,33 @@
+(** Affine subspaces of GF(2)^n — solution sets of XOR constraint systems.
+
+    A further Delphic family beyond the paper's examples, in the spirit of
+    its Boolean-circuit discussion (Remark 1.6): the sets underlying
+    hashing-based model counters.  With a solved system in hand, the three
+    Delphic queries are exact and fast: [|S| = 2^(n − rank)], membership is a
+    per-row inner product, and uniform sampling is the particular solution
+    xor a uniformly random combination of the null-space basis. *)
+
+type t
+
+val create : nvars:int -> Delphic_util.Gf2.row list -> t
+(** Solve the system once.  Raises [Invalid_argument] if the system is
+    inconsistent (the empty set is not Delphic — it cannot be sampled). *)
+
+val create_opt : nvars:int -> Delphic_util.Gf2.row list -> t option
+(** Like {!create} but [None] on inconsistency. *)
+
+val nvars : t -> int
+val rank : t -> int
+val dimension : t -> int
+(** [nvars − rank], so cardinality is [2^dimension]. *)
+
+include
+  Delphic_family.Family.FAMILY
+    with type t := t
+     and type elt = Delphic_util.Bitvec.t
+
+val count_constrained : t -> Delphic_util.Gf2.row list -> Delphic_util.Bigint.t
+(** Elements also satisfying the given parity rows. *)
+
+val enumerate_constrained :
+  t -> Delphic_util.Gf2.row list -> limit:int -> Delphic_util.Bitvec.t list option

@@ -1,0 +1,53 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+module Make (F : Delphic_family.Family.FAMILY) = struct
+  type t = { set : F.t; alpha : float; gamma : float; eta : float; salt : int }
+
+  let wrap ~alpha ~gamma ~eta ?(salt = 0) set =
+    if alpha < 0.0 then invalid_arg "Approx_wrap.wrap: alpha must be >= 0";
+    if gamma < 0.0 || gamma >= 1.0 then invalid_arg "Approx_wrap.wrap: gamma outside [0,1)";
+    if eta < 0.0 then invalid_arg "Approx_wrap.wrap: eta must be >= 0";
+    { set; alpha; gamma; eta; salt }
+
+  let exact t = t.set
+
+  type elt = F.elt
+
+  let mem t x = F.mem t.set x
+
+  (* Multiply a bignum by a float factor >= 0 through a 20-bit fixed-point
+     approximation; the representation error is absorbed by alpha's slack. *)
+  let scale v factor =
+    let fixed = int_of_float (Float.round (factor *. 1048576.0)) in
+    Bigint.max Bigint.one (Bigint.shift_right (Bigint.mul_int v fixed) 20)
+
+  let approx_cardinality t rng =
+    let truth = F.cardinality t.set in
+    if Rng.bernoulli rng t.gamma then
+      (* Oracle failure: a value well outside the (1+alpha) window. *)
+      scale truth (((1.0 +. t.alpha) ** 3.0) +. 1.0)
+    else begin
+      (* Log-uniform noise inside the window keeps both window edges
+         reachable, unlike uniform noise which rarely shrinks. *)
+      let u = (2.0 *. Rng.float rng) -. 1.0 in
+      scale truth ((1.0 +. t.alpha) ** u)
+    end
+
+  let heavy t x = (F.hash_elt x lxor (t.salt * 0x9E3779B9)) land 1 = 0
+
+  (* Rejection against weight w(x)/(1+eta) with w ∈ {1, 1+eta}: acceptance
+     probability of x is proportional to w(x), giving P(x) = w(x)/W with
+     W ∈ [|S|, (1+eta)|S|] — exactly the eta-sampler contract. *)
+  let approx_sample t rng =
+    let accept_light = 1.0 /. (1.0 +. t.eta) in
+    let rec draw () =
+      let x = F.sample t.set rng in
+      if heavy t x || Rng.float rng < accept_light then x else draw ()
+    in
+    draw ()
+
+  let equal_elt = F.equal_elt
+  let hash_elt = F.hash_elt
+  let pp_elt = F.pp_elt
+end

@@ -1,0 +1,33 @@
+(** Degrade an exact Delphic family into a calibrated
+    [(α, γ, η)]-Approximate-Delphic oracle.
+
+    This simulates the paper's Approximate-Delphic applications whose real
+    oracles are out of scope for a streaming library (lattice-point counting
+    in convex bodies, NP-oracle-powered circuit counters — DESIGN.md §4):
+
+    - {b cardinality}: with probability [1-γ] the exact count is multiplied
+      by a factor log-uniform in [[1/(1+α), 1+α]]; with probability [γ] a
+      garbage value far outside the window is returned, exercising the
+      estimator's tolerance of oracle failures;
+    - {b sampling}: elements are drawn from an [η]-tilted distribution — a
+      deterministic hash splits the set into "heavy" elements of weight
+      [1+η] and "light" ones of weight 1, realised by rejection on exact
+      uniform draws.  Every element's probability provably lies within
+      [[1/((1+η)|S|), (1+η)/|S|]].
+
+    Because the wrapper knows the exact set, experiments can compare
+    EXT-VATIC's output against the true union size. *)
+
+module Make (F : Delphic_family.Family.FAMILY) : sig
+  type t
+
+  val wrap : alpha:float -> gamma:float -> eta:float -> ?salt:int -> F.t -> t
+  (** Requires [alpha >= 0], [0 <= gamma < 1], [eta >= 0].  [salt] decorrelates
+      the heavy/light split across experiments. *)
+
+  val exact : t -> F.t
+  (** The underlying exact set (for ground truth). *)
+
+  include
+    Delphic_family.Family.APPROX_FAMILY with type t := t and type elt = F.elt
+end

@@ -1,0 +1,178 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+
+(* Nodes live in growable parallel arrays indexed by id; ids 0/1 are the
+   terminals.  The unique table enforces canonicity (no node with equal
+   children, no duplicates), so semantic equality is id equality. *)
+
+type t = int
+
+let bot : t = 0
+let top : t = 1
+
+type mgr = {
+  nv : int;
+  mutable var_of : int array;
+  mutable lo_of : int array;
+  mutable hi_of : int array;
+  mutable next_id : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  and_memo : (int * int, int) Hashtbl.t;
+  or_memo : (int * int, int) Hashtbl.t;
+  not_memo : (int, int) Hashtbl.t;
+}
+
+let create_manager ~nvars =
+  if nvars <= 0 then invalid_arg "Bdd.create_manager: nvars must be positive";
+  let cap = 1024 in
+  let var_of = Array.make cap nvars in
+  (* Terminals sit conceptually below every variable. *)
+  var_of.(0) <- nvars;
+  var_of.(1) <- nvars;
+  {
+    nv = nvars;
+    var_of;
+    lo_of = Array.make cap (-1);
+    hi_of = Array.make cap (-1);
+    next_id = 2;
+    unique = Hashtbl.create 4096;
+    and_memo = Hashtbl.create 4096;
+    or_memo = Hashtbl.create 4096;
+    not_memo = Hashtbl.create 1024;
+  }
+
+let nvars m = m.nv
+let node_count m = m.next_id
+let equal (a : t) (b : t) = a = b
+
+let grow m =
+  let cap = Array.length m.var_of in
+  let bigger a fill =
+    let b = Array.make (2 * cap) fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  m.var_of <- bigger m.var_of m.nv;
+  m.lo_of <- bigger m.lo_of (-1);
+  m.hi_of <- bigger m.hi_of (-1)
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      if m.next_id = Array.length m.var_of then grow m;
+      let id = m.next_id in
+      m.next_id <- id + 1;
+      m.var_of.(id) <- v;
+      m.lo_of.(id) <- lo;
+      m.hi_of.(id) <- hi;
+      Hashtbl.replace m.unique key id;
+      id
+  end
+
+let var m i =
+  if i < 0 || i >= m.nv then invalid_arg "Bdd.var: variable out of range";
+  mk m i bot top
+
+let nvar m i =
+  if i < 0 || i >= m.nv then invalid_arg "Bdd.nvar: variable out of range";
+  mk m i top bot
+
+let rec bdd_and m a b =
+  if a = bot || b = bot then bot
+  else if a = top then b
+  else if b = top then a
+  else if a = b then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.and_memo key with
+    | Some r -> r
+    | None ->
+      let va = m.var_of.(a) and vb = m.var_of.(b) in
+      let v = Stdlib.min va vb in
+      let a_lo, a_hi = if va = v then (m.lo_of.(a), m.hi_of.(a)) else (a, a) in
+      let b_lo, b_hi = if vb = v then (m.lo_of.(b), m.hi_of.(b)) else (b, b) in
+      let r = mk m v (bdd_and m a_lo b_lo) (bdd_and m a_hi b_hi) in
+      Hashtbl.replace m.and_memo key r;
+      r
+  end
+
+let rec bdd_or m a b =
+  if a = top || b = top then top
+  else if a = bot then b
+  else if b = bot then a
+  else if a = b then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.or_memo key with
+    | Some r -> r
+    | None ->
+      let va = m.var_of.(a) and vb = m.var_of.(b) in
+      let v = Stdlib.min va vb in
+      let a_lo, a_hi = if va = v then (m.lo_of.(a), m.hi_of.(a)) else (a, a) in
+      let b_lo, b_hi = if vb = v then (m.lo_of.(b), m.hi_of.(b)) else (b, b) in
+      let r = mk m v (bdd_or m a_lo b_lo) (bdd_or m a_hi b_hi) in
+      Hashtbl.replace m.or_memo key r;
+      r
+  end
+
+let rec bdd_not m a =
+  if a = bot then top
+  else if a = top then bot
+  else
+    match Hashtbl.find_opt m.not_memo a with
+    | Some r -> r
+    | None ->
+      let r = mk m m.var_of.(a) (bdd_not m m.lo_of.(a)) (bdd_not m m.hi_of.(a)) in
+      Hashtbl.replace m.not_memo a r;
+      r
+
+let of_term m term =
+  if Dnf.nvars term <> m.nv then invalid_arg "Bdd.of_term: nvars mismatch";
+  (* Build bottom-up in decreasing variable order so each literal adds one
+     node without any apply call. *)
+  let lits =
+    List.sort (fun (a : Dnf.literal) b -> Stdlib.compare b.var a.var) (Dnf.literals term)
+  in
+  List.fold_left
+    (fun acc (l : Dnf.literal) ->
+      if l.positive then mk m l.var bot acc else mk m l.var acc bot)
+    top lits
+
+let of_dnf m terms = List.fold_left (fun acc t -> bdd_or m acc (of_term m t)) bot terms
+
+let eval m node x =
+  if Bitvec.width x <> m.nv then invalid_arg "Bdd.eval: assignment width mismatch";
+  let rec go id =
+    if id = bot then false
+    else if id = top then true
+    else if Bitvec.get x m.var_of.(id) then go m.hi_of.(id)
+    else go m.lo_of.(id)
+  in
+  go node
+
+let count m node =
+  (* below.(id) = #solutions over variables var(id)..nv-1; skipped levels
+     between a node and its child contribute a factor 2 each. *)
+  let memo = Hashtbl.create 1024 in
+  let rec below id =
+    if id = bot then Bigint.zero
+    else if id = top then Bigint.one
+    else
+      match Hashtbl.find_opt memo id with
+      | Some c -> c
+      | None ->
+        let v = m.var_of.(id) in
+        let child c =
+          let gap = m.var_of.(c) - v - 1 in
+          Bigint.shift_left (below c) gap
+        in
+        let c = Bigint.add (child m.lo_of.(id)) (child m.hi_of.(id)) in
+        Hashtbl.replace memo id c;
+        c
+  in
+  let root_var = if node = bot || node = top then m.nv else m.var_of.(node) in
+  Bigint.shift_left (below node) root_var

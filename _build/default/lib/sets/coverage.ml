@@ -1,0 +1,50 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Comb = Delphic_util.Comb
+
+type elt = { positions : int array; pattern : Bitvec.t }
+type t = { vector : Bitvec.t; strength : int }
+
+let create ~vector ~strength =
+  if strength <= 0 || strength > Bitvec.width vector then
+    invalid_arg "Coverage.create: need 0 < strength <= width";
+  { vector; strength }
+
+let vector c = c.vector
+let strength c = c.strength
+let nbits c = Bitvec.width c.vector
+
+let universe_size ~n ~strength =
+  Bigint.mul (Comb.choose n strength) (Bigint.pow2 strength)
+
+let cardinality c = Comb.choose (nbits c) c.strength
+
+let sorted_distinct positions n =
+  let k = Array.length positions in
+  let rec ok i =
+    i >= k
+    || (positions.(i) >= 0 && positions.(i) < n
+        && (i = 0 || positions.(i - 1) < positions.(i))
+        && ok (i + 1))
+  in
+  ok 0
+
+let mem c { positions; pattern } =
+  Array.length positions = c.strength
+  && Bitvec.width pattern = c.strength
+  && sorted_distinct positions (nbits c)
+  && Bitvec.equal (Bitvec.extract c.vector positions) pattern
+
+let sample c rng =
+  let positions = Comb.floyd_sample rng ~n:(nbits c) ~k:c.strength in
+  { positions; pattern = Bitvec.extract c.vector positions }
+
+let equal_elt a b =
+  a.positions = b.positions && Bitvec.equal a.pattern b.pattern
+
+let hash_elt e = Hashtbl.hash (e.positions, Bitvec.hash e.pattern)
+
+let pp_elt fmt e =
+  Format.fprintf fmt "({%s} -> %a)"
+    (String.concat "," (Array.to_list (Array.map string_of_int e.positions)))
+    Bitvec.pp e.pattern

@@ -1,0 +1,26 @@
+(** t-wise coverage sets of binary test vectors (Section 6.1).
+
+    For an [n]-bit vector [a], [Cov_t(a)] is the set of pairs [(T, y)] where
+    [T] is a size-[t] subset of positions and [y = a|_T] is the restriction
+    of [a] to those positions.  [|Cov_t(a)| = C(n, t)], and the union over a
+    test suite measures how many of the [C(n,t)·2^t] possible interactions
+    the suite exercises. *)
+
+type elt = { positions : int array; pattern : Delphic_util.Bitvec.t }
+(** A [(T, y)] pair; [positions] is sorted ascending,
+    [Bitvec.width pattern = Array.length positions]. *)
+
+type t
+
+val create : vector:Delphic_util.Bitvec.t -> strength:int -> t
+(** Coverage set of one test vector at interaction strength [t];
+    requires [0 < strength <= width vector]. *)
+
+val vector : t -> Delphic_util.Bitvec.t
+val strength : t -> int
+val nbits : t -> int
+
+val universe_size : n:int -> strength:int -> Delphic_util.Bigint.t
+(** [C(n,t) * 2^t], the size of the universe the coverage sets live in. *)
+
+include Delphic_family.Family.FAMILY with type t := t and type elt := elt

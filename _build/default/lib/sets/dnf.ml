@@ -1,0 +1,71 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Gf2 = Delphic_util.Gf2
+
+type literal = { var : int; positive : bool }
+type t = { nvars : int; lits : literal array }
+type elt = Bitvec.t
+
+let create ~nvars lits =
+  if nvars <= 0 then invalid_arg "Dnf.create: nvars must be positive";
+  let lits = Array.of_list lits in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun { var; _ } ->
+      if var < 0 || var >= nvars then invalid_arg "Dnf.create: variable out of range";
+      if Hashtbl.mem seen var then invalid_arg "Dnf.create: repeated variable";
+      Hashtbl.replace seen var ())
+    lits;
+  { nvars; lits }
+
+let nvars t = t.nvars
+let literals t = Array.to_list t.lits
+let width t = Array.length t.lits
+
+let cardinality t = Bigint.pow2 (t.nvars - width t)
+
+let satisfies t x =
+  Bitvec.width x = t.nvars
+  && Array.for_all (fun { var; positive } -> Bitvec.get x var = positive) t.lits
+
+let mem = satisfies
+
+let sample t rng =
+  let x = Bitvec.random rng ~width:t.nvars in
+  Array.iter (fun { var; positive } -> Bitvec.set x var positive) t.lits;
+  x
+
+let equal_elt = Bitvec.equal
+let hash_elt = Bitvec.hash
+let pp_elt = Bitvec.pp
+
+let pp fmt t =
+  if width t = 0 then Format.pp_print_string fmt "true"
+  else
+    Format.pp_print_string fmt
+      (String.concat " & "
+         (List.map
+            (fun { var; positive } ->
+              if positive then Printf.sprintf "x%d" var else Printf.sprintf "~x%d" var)
+            (literals t)))
+
+let as_rows t =
+  Array.to_list
+    (Array.map
+       (fun { var; positive } ->
+         let coeffs = Bitvec.create ~width:t.nvars in
+         Bitvec.set coeffs var true;
+         { Gf2.coeffs; rhs = positive })
+       t.lits)
+
+let solve_with t extra = Gf2.solve ~nvars:t.nvars (as_rows t @ extra)
+
+let count_constrained t extra =
+  match solve_with t extra with
+  | None -> Bigint.zero
+  | Some s -> Gf2.solution_count s
+
+let enumerate_constrained t extra ~limit =
+  match solve_with t extra with
+  | None -> Some []
+  | Some s -> Gf2.enumerate s ~limit

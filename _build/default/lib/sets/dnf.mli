@@ -1,0 +1,40 @@
+(** DNF terms as Delphic sets (Section 6.1): the solution set of a
+    conjunction of literals over [n] Boolean variables has cardinality
+    [2^(n-k)] for [k] distinct literals, membership is a literal scan, and
+    sampling fixes the literal bits and randomises the rest.  A stream of
+    terms is exactly the streaming DNF model-counting problem. *)
+
+type literal = { var : int; positive : bool }
+
+type t
+(** One DNF term over a fixed number of variables. *)
+
+val create : nvars:int -> literal list -> t
+(** Requires [0 <= var < nvars] for every literal, no variable repeated
+    (a term with contradictory literals would be empty, hence not Delphic-
+    sampleable; repeats are rejected outright). *)
+
+val nvars : t -> int
+val literals : t -> literal list
+val width : t -> int
+(** Number of literals in the term. *)
+
+val satisfies : t -> Delphic_util.Bitvec.t -> bool
+(** Same as [mem]; exported under the conventional name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val as_rows : t -> Delphic_util.Gf2.row list
+(** The term as unit GF(2) equations ([x_v = b] per literal). *)
+
+val count_constrained : t -> Delphic_util.Gf2.row list -> Delphic_util.Bigint.t
+(** Solutions of the term that also satisfy the given parity rows. *)
+
+val enumerate_constrained :
+  t -> Delphic_util.Gf2.row list -> limit:int -> Delphic_util.Bitvec.t list option
+(** The XOR-constrained solutions themselves; [None] above [limit]. *)
+
+include
+  Delphic_family.Family.FAMILY
+    with type t := t
+     and type elt = Delphic_util.Bitvec.t

@@ -1,0 +1,223 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Comb = Delphic_util.Comb
+
+let range_union ranges =
+  let sorted =
+    List.sort
+      (fun a b -> Stdlib.compare (Range1d.lo a, Range1d.hi a) (Range1d.lo b, Range1d.hi b))
+      ranges
+  in
+  (* Sweep, merging overlapping or adjacent intervals. *)
+  let total, last =
+    List.fold_left
+      (fun (total, cur) r ->
+        let lo = Range1d.lo r and hi = Range1d.hi r in
+        match cur with
+        | None -> (total, Some (lo, hi))
+        | Some (clo, chi) ->
+          if lo <= chi + 1 then (total, Some (clo, Stdlib.max chi hi))
+          else (total + (chi - clo + 1), Some (lo, hi)))
+      (0, None) sorted
+  in
+  match last with
+  | None -> total
+  | Some (clo, chi) -> total + (chi - clo + 1)
+
+let rectangle_union_grid boxes =
+  match boxes with
+  | [] -> Bigint.zero
+  | first :: _ ->
+    let d = Rectangle.dim first in
+    List.iter
+      (fun b -> if Rectangle.dim b <> d then invalid_arg "Exact.rectangle_union: mixed dimensions")
+      boxes;
+    (* Coordinate compression: cuts along each axis at every box boundary;
+       within a grid cell, coverage is constant, so testing the cell's lower
+       corner suffices. *)
+    let cuts =
+      Array.init d (fun i ->
+          let coords =
+            List.concat_map
+              (fun b -> [ (Rectangle.lo b).(i); (Rectangle.hi b).(i) + 1 ])
+              boxes
+          in
+          let sorted = List.sort_uniq Stdlib.compare coords in
+          Array.of_list sorted)
+    in
+    let corner = Array.make d 0 in
+    let total = ref Bigint.zero in
+    let rec cells axis width =
+      if axis = d then begin
+        if List.exists (fun b -> Rectangle.mem b corner) boxes then
+          total := Bigint.add !total width
+      end
+      else
+        for j = 0 to Array.length cuts.(axis) - 2 do
+          corner.(axis) <- cuts.(axis).(j);
+          let span = cuts.(axis).(j + 1) - cuts.(axis).(j) in
+          cells (axis + 1) (Bigint.mul_int width span)
+        done
+    in
+    cells 0 Bigint.one;
+    !total
+
+let dnf_count ~nvars terms =
+  let m = Bdd.create_manager ~nvars in
+  Bdd.count m (Bdd.of_dnf m terms)
+
+let dnf_count_enum ~nvars terms =
+  if nvars > 24 then invalid_arg "Exact.dnf_count_enum: nvars too large";
+  (* Compile each term to (mask, value) over an int-encoded assignment. *)
+  let compiled =
+    List.map
+      (fun t ->
+        List.fold_left
+          (fun (mask, value) (l : Dnf.literal) ->
+            (mask lor (1 lsl l.var), if l.positive then value lor (1 lsl l.var) else value))
+          (0, 0) (Dnf.literals t))
+      terms
+  in
+  let count = ref 0 in
+  for x = 0 to (1 lsl nvars) - 1 do
+    if List.exists (fun (mask, value) -> x land mask = value) compiled then incr count
+  done;
+  Bigint.of_int !count
+
+let coverage_union ~strength vectors =
+  match vectors with
+  | [] -> Bigint.zero
+  | first :: _ ->
+    let n = Bitvec.width first in
+    List.iter
+      (fun v -> if Bitvec.width v <> n then invalid_arg "Exact.coverage_union: mixed widths")
+      vectors;
+    let total = ref 0 in
+    Comb.iter_subsets ~n ~k:strength (fun positions ->
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun v ->
+            let pattern = Bitvec.extract v positions in
+            Hashtbl.replace seen (Bitvec.to_string pattern) ())
+          vectors;
+        total := !total + Hashtbl.length seen);
+    Bigint.of_int !total
+
+let distinct values =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace seen v ()) values;
+  Hashtbl.length seen
+
+let knapsack_union instances =
+  match instances with
+  | [] -> Bigint.zero
+  | first :: _ ->
+    let n = Knapsack.nvars first in
+    if n > 24 then invalid_arg "Exact.knapsack_union: nvars too large";
+    List.iter
+      (fun k -> if Knapsack.nvars k <> n then invalid_arg "Exact.knapsack_union: mixed nvars")
+      instances;
+    let count = ref 0 in
+    let x = Bitvec.create ~width:n in
+    for v = 0 to (1 lsl n) - 1 do
+      for i = 0 to n - 1 do
+        Bitvec.set x i ((v lsr i) land 1 = 1)
+      done;
+      if List.exists (fun k -> Knapsack.mem k x) instances then incr count
+    done;
+    Bigint.of_int !count
+
+let rectangle_union_sweep2d boxes =
+  match boxes with
+  | [] -> Bigint.zero
+  | _ ->
+    List.iter
+      (fun b ->
+        if Rectangle.dim b <> 2 then
+          invalid_arg "Exact.rectangle_union_sweep2d: boxes must be 2-dimensional")
+      boxes;
+    (* Half-open view: box [xl,xh] x [yl,yh] covers x in [xl, xh+1),
+       y in [yl, yh+1).  Sweep x; a segment tree over the compressed y cuts
+       tracks the covered y-length between consecutive events. *)
+    let y_cuts =
+      List.concat_map
+        (fun b -> [ (Rectangle.lo b).(1); (Rectangle.hi b).(1) + 1 ])
+        boxes
+      |> List.sort_uniq Stdlib.compare |> Array.of_list
+    in
+    let tree = Interval_cover.create y_cuts in
+    let events =
+      List.concat_map
+        (fun b ->
+          let xl = (Rectangle.lo b).(0) and xh = (Rectangle.hi b).(0) + 1 in
+          let yl = (Rectangle.lo b).(1) and yh = (Rectangle.hi b).(1) + 1 in
+          [ (xl, 1, yl, yh); (xh, -1, yl, yh) ])
+        boxes
+      |> List.sort Stdlib.compare
+    in
+    let area = ref Bigint.zero in
+    let last_x = ref 0 in
+    let started = ref false in
+    List.iter
+      (fun (x, delta, yl, yh) ->
+        if !started && x > !last_x then
+          area :=
+            Bigint.add !area
+              (Bigint.mul_int (Bigint.of_int (Interval_cover.covered tree)) (x - !last_x));
+        started := true;
+        last_x := x;
+        if delta = 1 then Interval_cover.add tree ~lo:yl ~hi:yh
+        else Interval_cover.remove tree ~lo:yl ~hi:yh)
+      events;
+    !area
+
+let rectangle_union_sweep3d boxes =
+  match boxes with
+  | [] -> Bigint.zero
+  | _ ->
+    List.iter
+      (fun b ->
+        if Rectangle.dim b <> 3 then
+          invalid_arg "Exact.rectangle_union_sweep3d: boxes must be 3-dimensional")
+      boxes;
+    (* Sweep z; within a slab the active set is constant, so its volume is
+       (2-d cross-section area) x thickness. *)
+    let z_cuts =
+      List.concat_map
+        (fun b -> [ (Rectangle.lo b).(2); (Rectangle.hi b).(2) + 1 ])
+        boxes
+      |> List.sort_uniq Stdlib.compare |> Array.of_list
+    in
+    let projections =
+      List.map
+        (fun b ->
+          let lo = Rectangle.lo b and hi = Rectangle.hi b in
+          ( lo.(2),
+            hi.(2),
+            Rectangle.create ~lo:[| lo.(0); lo.(1) |] ~hi:[| hi.(0); hi.(1) |] ))
+        boxes
+    in
+    let volume = ref Bigint.zero in
+    for k = 0 to Array.length z_cuts - 2 do
+      let z = z_cuts.(k) in
+      let thickness = z_cuts.(k + 1) - z in
+      let active =
+        List.filter_map
+          (fun (zlo, zhi, proj) -> if zlo <= z && z <= zhi then Some proj else None)
+          projections
+      in
+      if active <> [] then
+        volume :=
+          Bigint.add !volume
+            (Bigint.mul_int (rectangle_union_sweep2d active) thickness)
+    done;
+    !volume
+
+let rectangle_union boxes =
+  match boxes with
+  | [] -> Bigint.zero
+  | first :: _ ->
+    (match Rectangle.dim first with
+    | 2 -> rectangle_union_sweep2d boxes
+    | 3 -> rectangle_union_sweep3d boxes
+    | _ -> rectangle_union_grid boxes)

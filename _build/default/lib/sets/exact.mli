@@ -1,0 +1,45 @@
+(** Exact union-size computations, used as ground truth by the tests and
+    experiments.  These are offline algorithms — they store the whole stream
+    — and exist precisely to validate the streaming estimators. *)
+
+val range_union : Range1d.t list -> int
+(** Size of a union of integer intervals (sort + sweep, O(m log m)). *)
+
+val rectangle_union : Rectangle.t list -> Delphic_util.Bigint.t
+(** Exact Klee measure.  Dispatches to {!rectangle_union_sweep2d} for
+    [d = 2] (O(m log m)), {!rectangle_union_sweep3d} for [d = 3]
+    (O(m² log m)), and {!rectangle_union_grid} otherwise. *)
+
+val rectangle_union_grid : Rectangle.t list -> Delphic_util.Bigint.t
+(** Coordinate-compressed grid measure: O((2m)^d · m · d).  Exact for any
+    dimension; practical for small d / moderate m. *)
+
+val rectangle_union_sweep2d : Rectangle.t list -> Delphic_util.Bigint.t
+(** Bentley's sweep-line algorithm over an {!Interval_cover} segment tree,
+    O(m log m).  Requires every box to be 2-dimensional. *)
+
+val rectangle_union_sweep3d : Rectangle.t list -> Delphic_util.Bigint.t
+(** Sweep over the z axis, measuring each slab's active cross-section with
+    {!rectangle_union_sweep2d}: O(m² log m).  Requires every box to be
+    3-dimensional. *)
+
+val dnf_count : nvars:int -> Dnf.t list -> Delphic_util.Bigint.t
+(** Exact DNF model count via a reduced ordered BDD. *)
+
+val dnf_count_enum : nvars:int -> Dnf.t list -> Delphic_util.Bigint.t
+(** Exact DNF model count by brute-force enumeration; requires
+    [nvars <= 24].  Used to cross-check the BDD path in tests. *)
+
+val coverage_union :
+  strength:int -> Delphic_util.Bitvec.t list -> Delphic_util.Bigint.t
+(** [|Cov_t(A)|]: for every size-[strength] position subset, the number of
+    distinct patterns the suite exhibits.  O(C(n,t) · m). *)
+
+val distinct : int list -> int
+(** Number of distinct values (ground truth for singleton streams). *)
+
+val knapsack_union : Knapsack.t list -> Delphic_util.Bigint.t
+(** Size of the union of knapsack solution sets (all instances must share
+    the same variable count; inclusion-exclusion-free exact count via a BDD
+    over threshold functions is overkill, so this enumerates: requires
+    [nvars <= 24]). *)

@@ -1,0 +1,50 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Comb = Delphic_util.Comb
+module Rng = Delphic_util.Rng
+
+type t = {
+  center : Bitvec.t;
+  radius : int;
+  (* cumulative.(w) = Σ_{i<=w} C(n,i); the last entry is the cardinality. *)
+  cumulative : Bigint.t array;
+}
+
+type elt = Bitvec.t
+
+let create ~center ~radius =
+  let n = Bitvec.width center in
+  if radius < 0 || radius > n then
+    invalid_arg "Hamming_ball.create: need 0 <= radius <= width";
+  let cumulative = Array.make (radius + 1) Bigint.zero in
+  let acc = ref Bigint.zero in
+  for w = 0 to radius do
+    acc := Bigint.add !acc (Comb.choose n w);
+    cumulative.(w) <- !acc
+  done;
+  { center = Bitvec.copy center; radius; cumulative }
+
+let center t = Bitvec.copy t.center
+let radius t = t.radius
+let nbits t = Bitvec.width t.center
+
+let cardinality t = t.cumulative.(t.radius)
+
+let mem t x =
+  Bitvec.width x = nbits t && Bitvec.hamming_distance t.center x <= t.radius
+
+let sample t rng =
+  (* Inverse-CDF over the distance, then a uniform w-subset of flips. *)
+  let u = Bigint.random_below rng (cardinality t) in
+  let w = ref 0 in
+  while Bigint.compare u t.cumulative.(!w) >= 0 do
+    incr w
+  done;
+  let x = Bitvec.copy t.center in
+  let flips = Comb.floyd_sample rng ~n:(nbits t) ~k:!w in
+  Array.iter (fun i -> Bitvec.set x i (not (Bitvec.get x i))) flips;
+  x
+
+let equal_elt = Bitvec.equal
+let hash_elt = Bitvec.hash
+let pp_elt = Bitvec.pp

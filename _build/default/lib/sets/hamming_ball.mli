@@ -1,0 +1,22 @@
+(** Hamming balls in {0,1}^n: all strings within distance [radius] of a
+    center — another natural Delphic family (e.g. the neighbourhoods used in
+    similarity search and error correction).
+
+    Cardinality is [Σ_{i<=r} C(n,i)] (arbitrary precision); uniform sampling
+    draws a distance [w] with probability proportional to [C(n,w)] by
+    arbitrary-precision inversion, then flips a uniform [w]-subset of
+    positions; membership is one xor + popcount. *)
+
+type t
+
+val create : center:Delphic_util.Bitvec.t -> radius:int -> t
+(** Requires [0 <= radius <= width center]. *)
+
+val center : t -> Delphic_util.Bitvec.t
+val radius : t -> int
+val nbits : t -> int
+
+include
+  Delphic_family.Family.FAMILY
+    with type t := t
+     and type elt = Delphic_util.Bitvec.t

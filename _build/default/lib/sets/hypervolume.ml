@@ -1,0 +1,18 @@
+type t = Rectangle.t
+type elt = int array
+
+let create b =
+  Rectangle.create ~lo:(Array.make (Array.length b) 0) ~hi:b
+
+let corner = Rectangle.hi
+let dim = Rectangle.dim
+let to_rectangle t = t
+let dominates a b = Rectangle.contains_box a b
+
+let cardinality = Rectangle.cardinality
+let mem = Rectangle.mem
+let sample = Rectangle.sample
+let equal_elt = Rectangle.equal_elt
+let hash_elt = Rectangle.hash_elt
+let pp_elt = Rectangle.pp_elt
+let pp = Rectangle.pp

@@ -1,0 +1,26 @@
+(** Origin-rooted boxes [[0,b_1] × ... × [0,b_d]] — the hypervolume-indicator
+    estimation problem (Section 6.1 of the paper), a special case of Klee's
+    Measure Problem used to score Pareto fronts in multi-objective
+    optimisation. *)
+
+type t
+
+val create : int array -> t
+(** [create b] is the box [[0, b.(0)] × ... × [0, b.(d-1)]]; all coordinates
+    must be non-negative. *)
+
+val corner : t -> int array
+(** The dominating corner [b]. *)
+
+val dim : t -> int
+
+val to_rectangle : t -> Rectangle.t
+(** View as a general box. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b]: is [b]'s box contained in [a]'s (coordinatewise
+    [<=])? *)
+
+val pp : Format.formatter -> t -> unit
+
+include Delphic_family.Family.FAMILY with type t := t and type elt = int array

@@ -1,0 +1,58 @@
+(* Classic "measure of union of segments" segment tree: node i covers the
+   cut-index range [l, r); [count] is how many active intervals cover the
+   node entirely; [len] is the covered length inside the node's range.
+   Invariant restored bottom-up: len = full span when count > 0, else the
+   children's sum (0 at leaves). *)
+
+type t = {
+  cuts : int array;
+  count : int array; (* 1-based heap layout, size 4·cells *)
+  len : int array;
+  cells : int; (* number of atomic gaps = |cuts| - 1 *)
+}
+
+let create cuts =
+  let n = Array.length cuts in
+  if n < 2 then invalid_arg "Interval_cover.create: need at least two cuts";
+  for i = 1 to n - 1 do
+    if cuts.(i - 1) >= cuts.(i) then
+      invalid_arg "Interval_cover.create: cuts must be strictly increasing"
+  done;
+  let cells = n - 1 in
+  { cuts = Array.copy cuts; count = Array.make (4 * cells) 0; len = Array.make (4 * cells) 0; cells }
+
+let span t = t.cuts.(Array.length t.cuts - 1) - t.cuts.(0)
+
+let cut_index t x =
+  (* Binary search for x in cuts; x must be present. *)
+  let lo = ref 0 and hi = ref (Array.length t.cuts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cuts.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  if t.cuts.(!lo) <> x then invalid_arg "Interval_cover: endpoint is not a cut";
+  !lo
+
+(* Update cover counts by [delta] over cut-index range [ql, qr), node [node]
+   spanning [l, r). *)
+let rec update t ~node ~l ~r ~ql ~qr ~delta =
+  if qr <= l || r <= ql then ()
+  else if ql <= l && r <= qr then t.count.(node) <- t.count.(node) + delta
+  else begin
+    let mid = (l + r) / 2 in
+    update t ~node:(2 * node) ~l ~r:mid ~ql ~qr ~delta;
+    update t ~node:((2 * node) + 1) ~l:mid ~r ~ql ~qr ~delta
+  end;
+  (* Recompute covered length for this node. *)
+  if t.count.(node) > 0 then t.len.(node) <- t.cuts.(r) - t.cuts.(l)
+  else if r - l = 1 then t.len.(node) <- 0
+  else t.len.(node) <- t.len.(2 * node) + t.len.((2 * node) + 1)
+
+let change t ~lo ~hi ~delta =
+  if lo >= hi then invalid_arg "Interval_cover: need lo < hi";
+  let ql = cut_index t lo and qr = cut_index t hi in
+  update t ~node:1 ~l:0 ~r:t.cells ~ql ~qr ~delta
+
+let add t ~lo ~hi = change t ~lo ~hi ~delta:1
+let remove t ~lo ~hi = change t ~lo ~hi ~delta:(-1)
+let covered t = t.len.(1)

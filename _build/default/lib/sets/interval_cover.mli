@@ -1,0 +1,27 @@
+(** Covered-length tracking under interval insertion and deletion — the
+    segment-tree substrate of Bentley's sweep-line algorithm for Klee's
+    measure problem in the plane.
+
+    The tree is built over a fixed, sorted array of coordinate cuts; the
+    atomic cells are the half-open gaps [[cuts.(i), cuts.(i+1))].  [add] and
+    [remove] adjust a cover count per canonical node in O(log n) and
+    [covered] reads the total covered length in O(1). *)
+
+type t
+
+val create : int array -> t
+(** [create cuts] over a sorted array of strictly increasing coordinates.
+    Requires at least two cuts. *)
+
+val add : t -> lo:int -> hi:int -> unit
+(** Cover the half-open coordinate interval [[lo, hi)].  [lo] and [hi] must
+    be members of the cut array. *)
+
+val remove : t -> lo:int -> hi:int -> unit
+(** Undo one [add] of the same interval.  Counts may not go negative. *)
+
+val covered : t -> int
+(** Total length of coordinates covered by at least one active interval. *)
+
+val span : t -> int
+(** Length of the whole tracked region ([cuts.(n-1) - cuts.(0)]). *)

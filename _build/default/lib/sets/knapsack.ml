@@ -1,0 +1,147 @@
+module Bigint = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Rng = Delphic_util.Rng
+
+(* dp.(i).(w) counts assignments of items i..n-1 with total weight <= w;
+   dp.(n).(w) = 1, dp.(i).(w) = dp.(i+1).(w) + dp.(i+1).(w - a_i). *)
+type t = { weights : int array; bound : int; dp : Bigint.t array array }
+
+let build_dp ~round weights bound =
+  let n = Array.length weights in
+  let dp = Array.make_matrix (n + 1) (bound + 1) Bigint.one in
+  for i = n - 1 downto 0 do
+    for w = 0 to bound do
+      let skip = dp.(i + 1).(w) in
+      let take = if weights.(i) <= w then dp.(i + 1).(w - weights.(i)) else Bigint.zero in
+      dp.(i).(w) <- round (Bigint.add skip take)
+    done
+  done;
+  dp
+
+let create ~weights ~bound =
+  if bound < 0 then invalid_arg "Knapsack.create: negative bound";
+  Array.iter (fun a -> if a <= 0 then invalid_arg "Knapsack.create: weights must be positive") weights;
+  { weights = Array.copy weights; bound; dp = build_dp ~round:Fun.id weights bound }
+
+let nvars t = Array.length t.weights
+let weights t = Array.copy t.weights
+let bound t = t.bound
+
+let weight_of t x =
+  let acc = ref 0 in
+  for i = 0 to nvars t - 1 do
+    if Bitvec.get x i then acc := !acc + t.weights.(i)
+  done;
+  !acc
+
+type elt = Bitvec.t
+
+let cardinality t = t.dp.(0).(t.bound)
+
+let mem t x = Bitvec.width x = nvars t && weight_of t x <= t.bound
+
+(* Uniform sampling by walking the DP: at item i with remaining budget w,
+   include the item with probability dp(i+1)(w - a_i) / dp(i)(w). *)
+let sample_dp dp weights bound rng =
+  let n = Array.length weights in
+  let x = Bitvec.create ~width:n in
+  let w = ref bound in
+  for i = 0 to n - 1 do
+    let total = dp.(i).(!w) in
+    let skip = dp.(i + 1).(!w) in
+    let r = Bigint.random_below rng total in
+    if Bigint.compare r skip >= 0 then begin
+      Bitvec.set x i true;
+      w := !w - weights.(i)
+    end
+  done;
+  x
+
+let sample t rng = sample_dp t.dp t.weights t.bound rng
+
+let equal_elt = Bitvec.equal
+let hash_elt = Bitvec.hash
+let pp_elt = Bitvec.pp
+
+module Approx = struct
+  type exact = t
+
+  type t = {
+    weights : int array;
+    bound : int;
+    dp : Bigint.t array array;
+    sigbits : int;
+    n : int;
+  }
+
+  let round_to sigbits v =
+    let bits = Bigint.bit_length v in
+    if bits <= sigbits then v
+    else begin
+      let drop = bits - sigbits in
+      Bigint.shift_left (Bigint.shift_right v drop) drop
+    end
+
+  let create ~sigbits (exact : exact) =
+    if sigbits < 2 then invalid_arg "Knapsack.Approx.create: sigbits must be >= 2";
+    {
+      weights = Array.copy exact.weights;
+      bound = exact.bound;
+      dp = build_dp ~round:(round_to sigbits) exact.weights exact.bound;
+      sigbits;
+      n = Array.length exact.weights;
+    }
+
+  (* Each rounding multiplies a count by a factor in ((1 - 2^(1-sigbits)), 1];
+     after n cascaded levels the rounded count is within
+     [(1 - 2^(1-sigbits))^n, 1] of exact, one-sided. *)
+  let shrink_per_level t = 1.0 -. (2.0 ** float_of_int (1 - t.sigbits))
+
+  let alpha t = (shrink_per_level t ** float_of_int (-t.n)) -. 1.0
+
+  (* A walk step uses a ratio of two rounded counts, each within the per-level
+     band, so the selection probability of any solution is within
+     [(1-r)^n, (1-r)^(-n)] of uniform. *)
+  let eta t = alpha t
+
+  type elt = Bitvec.t
+
+  let approx_cardinality t _rng = t.dp.(0).(t.bound)
+
+  let mem t x =
+    Bitvec.width x = t.n
+    &&
+    let acc = ref 0 in
+    for i = 0 to t.n - 1 do
+      if Bitvec.get x i then acc := !acc + t.weights.(i)
+    done;
+    !acc <= t.bound
+
+  (* The rounded DP can assign an inner node a count smaller than the sum of
+     its children, so a naive walk could pick a branch with rounded count 0
+     that actually has solutions — harmless for the η bound, but a branch
+     with count 0 on *both* sides would wedge the walk.  Counts are rounded
+     down from values >= 1, and rounding keeps the top bit, so any node with
+     solutions keeps a positive count; the walk below renormalises by the
+     children's sum instead of the parent's (possibly inconsistent) value. *)
+  let approx_sample t rng =
+    let x = Bitvec.create ~width:t.n in
+    let w = ref t.bound in
+    for i = 0 to t.n - 1 do
+      let skip = t.dp.(i + 1).(!w) in
+      let take =
+        if t.weights.(i) <= !w then t.dp.(i + 1).(!w - t.weights.(i)) else Bigint.zero
+      in
+      let total = Bigint.add skip take in
+      let r = Bigint.random_below rng total in
+      if Bigint.compare r skip >= 0 then begin
+        Bitvec.set x i true;
+        w := !w - t.weights.(i)
+      end
+    done;
+    x
+
+  let equal_elt = Bitvec.equal
+  let hash_elt = Bitvec.hash
+  let pp_elt = Bitvec.pp
+end

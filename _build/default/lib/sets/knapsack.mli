@@ -1,0 +1,51 @@
+(** Knapsack solution sets (Section 6.2): for a weight vector [a] and budget
+    [b], the set [{x ∈ {0,1}^n : Σ a_i x_i <= b}].
+
+    Exact counting is #P-hard in general, but for the pseudo-polynomial
+    regime a counting dynamic program over (item, remaining budget) yields
+    exact cardinalities and exact uniform sampling — making these sets fully
+    Delphic.  The [Approx] submodule deliberately rounds the DP counts to a
+    fixed number of significant bits, producing a genuine
+    [(α, 0, η)]-Approximate-Delphic oracle with provable parameter bounds,
+    which is how we exercise EXT-VATIC on a "hard counting" family (stand-in
+    for the FPTAS oracles of Gopalan et al., see DESIGN.md §4). *)
+
+type t
+
+val create : weights:int array -> bound:int -> t
+(** Requires positive weights and [bound >= 0].  Builds the counting DP,
+    O(n·bound) time and space. *)
+
+val nvars : t -> int
+val weights : t -> int array
+val bound : t -> int
+val weight_of : t -> Delphic_util.Bitvec.t -> int
+(** Total weight of an assignment. *)
+
+include
+  Delphic_family.Family.FAMILY
+    with type t := t
+     and type elt = Delphic_util.Bitvec.t
+
+(** Same sets behind a deliberately coarsened oracle. *)
+module Approx : sig
+  type exact := t
+  type t
+
+  val create : sigbits:int -> exact -> t
+  (** Round every DP count down to [sigbits] significant bits
+      (requires [sigbits >= 2]). *)
+
+  val alpha : t -> float
+  (** Cardinality approximation factor: the rounded count [Z] satisfies
+      [|S|/(1+alpha) <= Z <= (1+alpha)|S|] deterministically (γ = 0). *)
+
+  val eta : t -> float
+  (** Sampling tilt bound: walking the rounded DP selects each solution with
+      probability within [[1/((1+eta)|S|), (1+eta)/|S|]]. *)
+
+  include
+    Delphic_family.Family.APPROX_FAMILY
+      with type t := t
+       and type elt = Delphic_util.Bitvec.t
+end

@@ -1,0 +1,73 @@
+module Bigint = Delphic_util.Bigint
+module Comb = Delphic_util.Comb
+
+type elt = { positions : int array; values : int array }
+type t = { vector : int array; arities : int array; strength : int }
+
+let create ~vector ~arities ~strength =
+  let n = Array.length vector in
+  if n = 0 || n <> Array.length arities then
+    invalid_arg "Mixed_coverage.create: vector/arities length mismatch";
+  Array.iteri
+    (fun i v ->
+      if arities.(i) < 1 then invalid_arg "Mixed_coverage.create: arity must be >= 1";
+      if v < 0 || v >= arities.(i) then
+        invalid_arg "Mixed_coverage.create: value outside its arity")
+    vector;
+  if strength <= 0 || strength > n then
+    invalid_arg "Mixed_coverage.create: need 0 < strength <= n";
+  { vector = Array.copy vector; arities = Array.copy arities; strength }
+
+let vector c = Array.copy c.vector
+let arities c = Array.copy c.arities
+let strength c = c.strength
+let npositions c = Array.length c.vector
+
+(* e_t(a_1..a_n) by the standard DP: e.(j) after processing a_i is the
+   degree-j elementary symmetric polynomial of the prefix. *)
+let universe_size ~arities ~strength =
+  if strength < 0 then invalid_arg "Mixed_coverage.universe_size: negative strength";
+  let e = Array.make (strength + 1) Bigint.zero in
+  e.(0) <- Bigint.one;
+  Array.iter
+    (fun a ->
+      for j = Stdlib.min strength (Array.length e - 1) downto 1 do
+        e.(j) <- Bigint.add e.(j) (Bigint.mul_int e.(j - 1) a)
+      done)
+    arities;
+  e.(strength)
+
+let cardinality c = Comb.choose (npositions c) c.strength
+
+let sorted_distinct positions n =
+  let k = Array.length positions in
+  let rec ok i =
+    i >= k
+    || (positions.(i) >= 0 && positions.(i) < n
+        && (i = 0 || positions.(i - 1) < positions.(i))
+        && ok (i + 1))
+  in
+  ok 0
+
+let mem c { positions; values } =
+  Array.length positions = c.strength
+  && Array.length values = c.strength
+  && sorted_distinct positions (npositions c)
+  && begin
+    let rec matches i =
+      i >= c.strength || (c.vector.(positions.(i)) = values.(i) && matches (i + 1))
+    in
+    matches 0
+  end
+
+let sample c rng =
+  let positions = Comb.floyd_sample rng ~n:(npositions c) ~k:c.strength in
+  { positions; values = Array.map (fun i -> c.vector.(i)) positions }
+
+let equal_elt a b = a.positions = b.positions && a.values = b.values
+let hash_elt e = Hashtbl.hash (e.positions, e.values)
+
+let pp_elt fmt e =
+  Format.fprintf fmt "({%s} -> %s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int e.positions)))
+    (String.concat "," (Array.to_list (Array.map string_of_int e.values)))

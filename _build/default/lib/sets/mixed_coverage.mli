@@ -1,0 +1,29 @@
+(** Mixed-level t-wise coverage: the generalisation of {!Coverage} to
+    non-binary test parameters, as used for real covering arrays (each
+    position [i] takes values in [{0, ..., arities.(i) - 1}]).
+
+    For a test vector [v], the coverage set is
+    the set of pairs (T, v restricted to T) over all size-t position sets
+    T, of cardinality C(n,t); the universe of possible interactions has
+    size sum over such T of the product of the arities in T — the
+    degree-[t] elementary symmetric polynomial of the arities, computed
+    exactly in arbitrary precision. *)
+
+type elt = { positions : int array; values : int array }
+(** A [(T, y)] pair: sorted positions and the observed value at each. *)
+
+type t
+
+val create : vector:int array -> arities:int array -> strength:int -> t
+(** Requires equal lengths, [0 <= vector.(i) < arities.(i)], arities >= 1,
+    and [0 < strength <= n]. *)
+
+val vector : t -> int array
+val arities : t -> int array
+val strength : t -> int
+val npositions : t -> int
+
+val universe_size : arities:int array -> strength:int -> Delphic_util.Bigint.t
+(** The elementary symmetric polynomial [e_strength(arities)]. *)
+
+include Delphic_family.Family.FAMILY with type t := t and type elt := elt

@@ -1,0 +1,77 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+(* Canonical form: sorted, pairwise disjoint, non-adjacent inclusive
+   intervals, plus a cumulative-length array for O(log k) sampling and
+   membership. *)
+type t = {
+  los : int array;
+  his : int array;
+  cumulative : int array; (* cumulative.(i) = total length of intervals 0..i *)
+}
+
+type elt = int
+
+let create spans =
+  if spans = [] then invalid_arg "Multi_interval.create: empty";
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0 || lo > hi then invalid_arg "Multi_interval.create: need 0 <= lo <= hi")
+    spans;
+  let sorted = List.sort compare spans in
+  (* Coalesce overlapping or adjacent intervals. *)
+  let merged =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        match acc with
+        | (clo, chi) :: rest when lo <= chi + 1 -> (clo, Stdlib.max chi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let k = List.length merged in
+  let los = Array.make k 0 and his = Array.make k 0 and cumulative = Array.make k 0 in
+  List.iteri
+    (fun i (lo, hi) ->
+      los.(i) <- lo;
+      his.(i) <- hi;
+      cumulative.(i) <- (hi - lo + 1) + if i = 0 then 0 else cumulative.(i - 1))
+    merged;
+  { los; his; cumulative }
+
+let pieces t = Array.length t.los
+let length t = t.cumulative.(pieces t - 1)
+let intervals t = List.init (pieces t) (fun i -> (t.los.(i), t.his.(i)))
+let cardinality t = Bigint.of_int (length t)
+
+let mem t x =
+  (* Rightmost interval with lo <= x, then check its hi. *)
+  let lo = ref 0 and hi = ref (pieces t - 1) in
+  if x < t.los.(0) then false
+  else begin
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.los.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    x <= t.his.(!lo)
+  end
+
+let sample t rng =
+  (* Uniform position in [0, length), mapped through the cumulative sums. *)
+  let pos = Rng.int rng (length t) in
+  let lo = ref 0 and hi = ref (pieces t - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) <= pos then lo := mid + 1 else hi := mid
+  done;
+  let before = if !lo = 0 then 0 else t.cumulative.(!lo - 1) in
+  t.los.(!lo) + (pos - before)
+
+let equal_elt = Int.equal
+let hash_elt = Hashtbl.hash
+let pp_elt = Format.pp_print_int
+
+let pp fmt t =
+  Format.pp_print_string fmt
+    (String.concat " u "
+       (List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) (intervals t)))

@@ -1,0 +1,26 @@
+(** Sets that are unions of disjoint integer intervals — the natural shape
+    of real 1-d stream items (an IP block list entry with carve-outs, a
+    retention window with holes).  Still perfectly Delphic: cardinality is
+    the summed length, membership is a binary search, and sampling picks an
+    interval with probability proportional to its length.  All three
+    queries are O(log k) for k intervals. *)
+
+type t
+
+val create : (int * int) list -> t
+(** [create [(lo1, hi1); ...]] from inclusive intervals in any order;
+    overlapping or adjacent intervals are coalesced.  Requires a non-empty
+    list with [0 <= lo <= hi] in each pair. *)
+
+val intervals : t -> (int * int) list
+(** The canonical (sorted, disjoint, non-adjacent) intervals. *)
+
+val pieces : t -> int
+(** Number of canonical intervals. *)
+
+val length : t -> int
+(** Total number of covered integers. *)
+
+val pp : Format.formatter -> t -> unit
+
+include Delphic_family.Family.FAMILY with type t := t and type elt = int

@@ -1,0 +1,22 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+type t = { lo : int; hi : int }
+type elt = int
+
+let create ~lo ~hi =
+  if lo < 0 || lo > hi then invalid_arg "Range1d.create: need 0 <= lo <= hi";
+  { lo; hi }
+
+let lo r = r.lo
+let hi r = r.hi
+let length r = r.hi - r.lo + 1
+
+let cardinality r = Bigint.of_int (length r)
+let mem r x = r.lo <= x && x <= r.hi
+let sample r rng = Rng.int_in_range rng ~lo:r.lo ~hi:r.hi
+
+let equal_elt = Int.equal
+let hash_elt = Hashtbl.hash
+let pp_elt = Format.pp_print_int
+let pp fmt r = Format.fprintf fmt "[%d, %d]" r.lo r.hi

@@ -1,0 +1,16 @@
+(** One-dimensional integer ranges [[lo, hi]] — the classical
+    "range-efficient F0" setting (Pavan–Tirthapura, Sun–Poon), and the
+    simplest non-singleton Delphic family. *)
+
+type t
+
+val create : lo:int -> hi:int -> t
+(** Inclusive range; requires [0 <= lo <= hi]. *)
+
+val lo : t -> int
+val hi : t -> int
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+include Delphic_family.Family.FAMILY with type t := t and type elt = int

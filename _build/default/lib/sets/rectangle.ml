@@ -1,0 +1,68 @@
+module Bigint = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+type t = { lo : int array; hi : int array }
+type elt = int array
+
+let create ~lo ~hi =
+  let d = Array.length lo in
+  if d = 0 || d <> Array.length hi then
+    invalid_arg "Rectangle.create: corners must be equal-length, non-empty";
+  for i = 0 to d - 1 do
+    if lo.(i) < 0 || lo.(i) > hi.(i) then
+      invalid_arg "Rectangle.create: need 0 <= lo.(i) <= hi.(i)"
+  done;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let dim r = Array.length r.lo
+let lo r = Array.copy r.lo
+let hi r = Array.copy r.hi
+let side r i = r.hi.(i) - r.lo.(i) + 1
+
+let volume r =
+  let acc = ref Bigint.one in
+  for i = 0 to dim r - 1 do
+    acc := Bigint.mul_int !acc (side r i)
+  done;
+  !acc
+
+let cardinality = volume
+
+let mem r pt =
+  Array.length pt = dim r
+  &&
+  let rec go i =
+    i >= dim r || (r.lo.(i) <= pt.(i) && pt.(i) <= r.hi.(i) && go (i + 1))
+  in
+  go 0
+
+let sample r rng =
+  Array.init (dim r) (fun i -> Rng.int_in_range rng ~lo:r.lo.(i) ~hi:r.hi.(i))
+
+let contains_box outer inner =
+  dim outer = dim inner
+  &&
+  let rec go i =
+    i >= dim outer
+    || (outer.lo.(i) <= inner.lo.(i) && inner.hi.(i) <= outer.hi.(i) && go (i + 1))
+  in
+  go 0
+
+let intersect a b =
+  if dim a <> dim b then invalid_arg "Rectangle.intersect: dimension mismatch";
+  let d = dim a in
+  let lo = Array.init d (fun i -> Stdlib.max a.lo.(i) b.lo.(i)) in
+  let hi = Array.init d (fun i -> Stdlib.min a.hi.(i) b.hi.(i)) in
+  let rec nonempty i = i >= d || (lo.(i) <= hi.(i) && nonempty (i + 1)) in
+  if nonempty 0 then Some { lo; hi } else None
+
+let equal_elt (a : int array) b = a = b
+let hash_elt (pt : int array) = Hashtbl.hash pt
+
+let pp_elt fmt pt =
+  Format.fprintf fmt "(%s)" (String.concat ", " (Array.to_list (Array.map string_of_int pt)))
+
+let pp fmt r =
+  Format.pp_print_string fmt
+    (String.concat " x "
+       (List.init (dim r) (fun i -> Printf.sprintf "[%d,%d]" r.lo.(i) r.hi.(i))))

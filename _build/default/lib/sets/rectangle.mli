@@ -1,0 +1,34 @@
+(** Axis-parallel rectangles (boxes) in [Δ^d] — the streaming Klee's Measure
+    Problem instance (Definition 2.2 of the paper).
+
+    A box is the set of integer points [(x_1, ..., x_d)] with
+    [lo_i <= x_i <= hi_i].  The three Delphic queries are each [O(d)]. *)
+
+type t
+
+val create : lo:int array -> hi:int array -> t
+(** Requires equal-length arrays with [0 <= lo.(i) <= hi.(i)] for all [i]. *)
+
+val dim : t -> int
+val lo : t -> int array
+(** A copy of the lower corner. *)
+
+val hi : t -> int array
+(** A copy of the upper corner (inclusive). *)
+
+val side : t -> int -> int
+(** [side r i] is the number of points along dimension [i]. *)
+
+val volume : t -> Delphic_util.Bigint.t
+(** Number of integer points (same as [cardinality]). *)
+
+val contains_box : t -> t -> bool
+(** [contains_box outer inner]: does [outer] contain every point of
+    [inner]? *)
+
+val intersect : t -> t -> t option
+(** Intersection box, if non-empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+include Delphic_family.Family.FAMILY with type t := t and type elt = int array

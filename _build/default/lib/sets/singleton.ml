@@ -1,0 +1,16 @@
+module Bigint = Delphic_util.Bigint
+
+type t = int
+type elt = int
+
+let create x =
+  if x < 0 then invalid_arg "Singleton.create: negative element";
+  x
+
+let value x = x
+let cardinality _ = Bigint.one
+let mem s x = s = x
+let sample s _rng = s
+let equal_elt = Int.equal
+let hash_elt = Hashtbl.hash
+let pp_elt = Format.pp_print_int

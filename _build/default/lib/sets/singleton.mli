@@ -1,0 +1,11 @@
+(** Singleton sets — the classical Distinct Elements problem cast as a set
+    stream.  Used to compare VATIC against specialised F0 sketches. *)
+
+type t
+
+val create : int -> t
+(** The singleton [{x}] for a non-negative element [x]. *)
+
+val value : t -> int
+
+include Delphic_family.Family.FAMILY with type t := t and type elt = int

@@ -1,0 +1,1 @@
+lib/stream/parsers.mli: Delphic_sets Delphic_util

@@ -1,0 +1,1 @@
+lib/stream/workload.ml: Array Delphic_sets Delphic_util Float List Stdlib

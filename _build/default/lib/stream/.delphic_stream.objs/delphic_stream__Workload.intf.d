@@ -1,0 +1,1 @@
+lib/stream/workload.mli: Delphic_sets Delphic_util

@@ -1,0 +1,75 @@
+module Bitvec = Delphic_util.Bitvec
+module Rectangle = Delphic_sets.Rectangle
+module Dnf = Delphic_sets.Dnf
+
+let fold_lines channel f =
+  let rec loop acc lineno =
+    match input_line channel with
+    | exception End_of_file -> List.rev acc
+    | line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then loop acc (lineno + 1)
+      else loop (f lineno trimmed :: acc) (lineno + 1)
+  in
+  loop [] 1
+
+let with_file path f =
+  if path = "-" then f stdin
+  else begin
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+  end
+
+let fields line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_int ~lineno s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "line %d: not an integer: %s" lineno s)
+
+let rectangles_of_channel channel =
+  let dims = ref (-1) in
+  fold_lines channel (fun lineno line ->
+      let values = List.map (parse_int ~lineno) (fields line) in
+      let n = List.length values in
+      if n = 0 || n mod 2 <> 0 then
+        failwith (Printf.sprintf "line %d: need an even, positive number of fields" lineno);
+      if !dims = -1 then dims := n / 2
+      else if !dims <> n / 2 then
+        failwith (Printf.sprintf "line %d: dimension %d but file started with %d" lineno (n / 2) !dims);
+      let a = Array.of_list values in
+      let d = n / 2 in
+      match
+        Rectangle.create
+          ~lo:(Array.init d (fun i -> a.(2 * i)))
+          ~hi:(Array.init d (fun i -> a.((2 * i) + 1)))
+      with
+      | box -> box
+      | exception Invalid_argument msg ->
+        failwith (Printf.sprintf "line %d: %s" lineno msg))
+
+let dnf_of_channel ~nvars channel =
+  fold_lines channel (fun lineno line ->
+      let lits =
+        List.map
+          (fun s ->
+            let v = parse_int ~lineno s in
+            if v = 0 then failwith (Printf.sprintf "line %d: 0 is not a literal" lineno);
+            { Dnf.var = abs v - 1; positive = v > 0 })
+          (fields line)
+      in
+      match Dnf.create ~nvars lits with
+      | term -> term
+      | exception Invalid_argument msg ->
+        failwith (Printf.sprintf "line %d: %s" lineno msg))
+
+let vectors_of_channel channel =
+  fold_lines channel (fun lineno line ->
+      match Bitvec.of_string line with
+      | v -> v
+      | exception Invalid_argument msg ->
+        failwith (Printf.sprintf "line %d: %s" lineno msg))
+
+let rectangles_of_file path = with_file path rectangles_of_channel
+let dnf_of_file ~nvars path = with_file path (dnf_of_channel ~nvars)
+let vectors_of_file path = with_file path vectors_of_channel

@@ -1,0 +1,27 @@
+(** Text-format parsers for streaming inputs from files.
+
+    Formats are line-oriented, one set per line, [#]-comments and blank
+    lines skipped:
+
+    - {b boxes}: [lo1 hi1 lo2 hi2 ...] — an axis-parallel box (even number
+      of fields, all dimensions consistent within a file);
+    - {b DNF terms}: DIMACS-style signed variable list, e.g. [1 -3 5] for
+      [x1 ∧ ¬x3 ∧ x5] (1-based; the variable count is supplied by the
+      caller);
+    - {b test vectors}: ['0']/['1'] strings, e.g. [0110101].
+
+    All parsers raise [Failure] with a line number on malformed input.
+    The [_of_file] variants accept ["-"] for stdin, so streams pipe
+    straight into the CLI. *)
+
+val rectangles_of_channel : in_channel -> Delphic_sets.Rectangle.t list
+
+val rectangles_of_file : string -> Delphic_sets.Rectangle.t list
+
+val dnf_of_channel : nvars:int -> in_channel -> Delphic_sets.Dnf.t list
+
+val dnf_of_file : nvars:int -> string -> Delphic_sets.Dnf.t list
+
+val vectors_of_channel : in_channel -> Delphic_util.Bitvec.t list
+
+val vectors_of_file : string -> Delphic_util.Bitvec.t list

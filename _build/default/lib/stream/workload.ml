@@ -1,0 +1,164 @@
+module Rng = Delphic_util.Rng
+module Bitvec = Delphic_util.Bitvec
+module Comb = Delphic_util.Comb
+module Dist = Delphic_util.Dist
+module Rectangle = Delphic_sets.Rectangle
+module Hypervolume = Delphic_sets.Hypervolume
+module Dnf = Delphic_sets.Dnf
+module Coverage = Delphic_sets.Coverage
+module Singleton = Delphic_sets.Singleton
+module Range1d = Delphic_sets.Range1d
+module Knapsack = Delphic_sets.Knapsack
+
+module Rectangles = struct
+  let box_at rng ~universe ~dim ~max_side anchor =
+    let lo = Array.make dim 0 and hi = Array.make dim 0 in
+    for i = 0 to dim - 1 do
+      let a = Stdlib.max 0 (Stdlib.min (universe - 1) (anchor i)) in
+      let side = 1 + Rng.int rng max_side in
+      lo.(i) <- a;
+      hi.(i) <- Stdlib.min (universe - 1) (a + side - 1)
+    done;
+    Rectangle.create ~lo ~hi
+
+  let uniform rng ~universe ~dim ~count ~max_side =
+    List.init count (fun _ ->
+        box_at rng ~universe ~dim ~max_side (fun _ -> Rng.int rng universe))
+
+  let clustered rng ~universe ~dim ~count ~clusters ~spread ~max_side =
+    let centres =
+      Array.init clusters (fun _ -> Array.init dim (fun _ -> Rng.int rng universe))
+    in
+    List.init count (fun _ ->
+        let c = centres.(Rng.int rng clusters) in
+        box_at rng ~universe ~dim ~max_side (fun i ->
+            c.(i) + Rng.int_in_range rng ~lo:(-spread) ~hi:spread))
+
+  let nested rng ~universe ~dim ~count =
+    (* Shrink a box one layer at a time, then shuffle the arrival order. *)
+    let boxes = Array.make count (Rectangle.create ~lo:(Array.make dim 0) ~hi:(Array.make dim (universe - 1))) in
+    let lo = Array.make dim 0 and hi = Array.make dim (universe - 1) in
+    for i = 0 to count - 1 do
+      boxes.(i) <- Rectangle.create ~lo ~hi;
+      for d = 0 to dim - 1 do
+        if hi.(d) - lo.(d) > 2 then begin
+          lo.(d) <- lo.(d) + 1 + Rng.int rng (Stdlib.max 1 ((hi.(d) - lo.(d)) / (2 * count)));
+          hi.(d) <- hi.(d) - 1 - Rng.int rng (Stdlib.max 1 ((hi.(d) - lo.(d)) / (2 * count)))
+        end
+      done
+    done;
+    Rng.shuffle rng boxes;
+    Array.to_list boxes
+
+  let sliding rng ~universe ~dim ~count ~max_side =
+    let step = Stdlib.max 1 (universe / Stdlib.max 1 count) in
+    List.init count (fun k ->
+        box_at rng ~universe ~dim ~max_side (fun _ ->
+            (k * step) + Rng.int rng (2 * step)))
+end
+
+module Hypervolumes = struct
+  let pareto_front rng ~universe ~dim ~count =
+    (* Corners on a product-constant trade-off surface: draw exponents on
+       the simplex so large coordinates in one objective force small ones
+       elsewhere — no corner dominates another in expectation. *)
+    List.init count (fun _ ->
+        let weights = Array.init dim (fun _ -> Rng.exponential rng) in
+        let total = Array.fold_left ( +. ) 0.0 weights in
+        let corner =
+          Array.map
+            (fun w ->
+              let frac = w /. total in
+              let v = float_of_int universe ** (frac *. float_of_int dim /. 2.0) in
+              Stdlib.max 1 (Stdlib.min (universe - 1) (int_of_float v)))
+            weights
+        in
+        Hypervolume.create corner)
+end
+
+module Dnf_terms = struct
+  let random rng ~nvars ~count ~width =
+    if width > nvars then invalid_arg "Dnf_terms.random: width > nvars";
+    List.init count (fun _ ->
+        let vars = Comb.floyd_sample rng ~n:nvars ~k:width in
+        let lits =
+          Array.to_list
+            (Array.map (fun v -> { Dnf.var = v; positive = Rng.bool rng }) vars)
+        in
+        Dnf.create ~nvars lits)
+end
+
+module Coverage_suites = struct
+  let random rng ~nbits ~count ~bias =
+    List.init count (fun _ ->
+        let v = Bitvec.create ~width:nbits in
+        for i = 0 to nbits - 1 do
+          Bitvec.set v i (Rng.bernoulli rng bias)
+        done;
+        v)
+
+  let coverage_sets ~strength vectors =
+    List.map (fun vector -> Coverage.create ~vector ~strength) vectors
+end
+
+module Singletons = struct
+  let uniform rng ~universe ~count =
+    List.init count (fun _ -> Singleton.create (Rng.int rng universe))
+
+  let zipf rng ~universe ~count ~exponent =
+    let dist = Dist.Zipf.create ~n:universe ~s:exponent in
+    List.init count (fun _ -> Singleton.create (Dist.Zipf.sample dist rng))
+end
+
+module Ranges = struct
+  let uniform rng ~universe ~count ~max_len =
+    List.init count (fun _ ->
+        let lo = Rng.int rng universe in
+        let hi = Stdlib.min (universe - 1) (lo + Rng.int rng max_len) in
+        Range1d.create ~lo ~hi)
+
+  let heavy_tailed rng ~universe ~count ~shape =
+    if shape <= 0.0 then invalid_arg "Ranges.heavy_tailed: shape must be positive";
+    List.init count (fun _ ->
+        (* Inverse-CDF Pareto: len = u^(-1/shape), capped at the universe. *)
+        let rec positive () =
+          let u = Rng.float rng in
+          if u > 0.0 then u else positive ()
+        in
+        let len =
+          Stdlib.min (float_of_int universe) (positive () ** (-1.0 /. shape))
+        in
+        let len = Stdlib.max 1 (int_of_float len) in
+        let lo = Rng.int rng (Stdlib.max 1 (universe - len)) in
+        Range1d.create ~lo ~hi:(Stdlib.min (universe - 1) (lo + len - 1)))
+end
+
+module Orders = struct
+  let shuffled rng items =
+    let a = Array.of_list items in
+    Rng.shuffle rng a;
+    Array.to_list a
+
+  let sorted_by measure items =
+    List.sort (fun a b -> Float.compare (measure a) (measure b)) items
+
+  let sorted_by_desc measure items =
+    List.sort (fun a b -> Float.compare (measure b) (measure a)) items
+
+  let bursty ~copies items =
+    if copies <= 0 then invalid_arg "Orders.bursty: copies must be positive";
+    List.concat_map (fun x -> List.init copies (fun _ -> x)) items
+
+  let interleaved ~copies items =
+    if copies <= 0 then invalid_arg "Orders.interleaved: copies must be positive";
+    List.concat (List.init copies (fun _ -> items))
+end
+
+module Knapsacks = struct
+  let random rng ~nvars ~max_weight ~count =
+    List.init count (fun _ ->
+        let weights = Array.init nvars (fun _ -> 1 + Rng.int rng max_weight) in
+        let total = Array.fold_left ( + ) 0 weights in
+        let bound = (total / 2) + Rng.int rng (Stdlib.max 1 (total / 4)) in
+        Knapsack.create ~weights ~bound)
+end

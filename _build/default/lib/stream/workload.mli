@@ -1,0 +1,148 @@
+(** Synthetic set-stream workloads for the experiments and examples.
+
+    Each generator is deterministic given its [Rng.t] and produces the
+    stream in arrival order.  The spatial workloads mirror the regimes the
+    paper's motivation cares about: uniformly scattered boxes, clustered
+    boxes (heavy overlap within clusters), nested boxes (every element
+    recurs many times — stressing the last-occurrence deletion logic), and
+    sliding windows (temporal locality). *)
+
+module Rectangles : sig
+  val uniform :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    dim:int ->
+    count:int ->
+    max_side:int ->
+    Delphic_sets.Rectangle.t list
+  (** Boxes with independently uniform corners and side lengths in
+      [1, max_side], clipped to [[0, universe-1]^dim]. *)
+
+  val clustered :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    dim:int ->
+    count:int ->
+    clusters:int ->
+    spread:int ->
+    max_side:int ->
+    Delphic_sets.Rectangle.t list
+  (** Boxes whose anchors gather around [clusters] random centres with the
+      given coordinate [spread] — high mutual overlap. *)
+
+  val nested :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    dim:int ->
+    count:int ->
+    Delphic_sets.Rectangle.t list
+  (** A chain of boxes each containing the next, streamed in random order:
+      maximal element recurrence. *)
+
+  val sliding :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    dim:int ->
+    count:int ->
+    max_side:int ->
+    Delphic_sets.Rectangle.t list
+  (** Anchors drift along the diagonal, so consecutive boxes overlap but the
+      stream sweeps the whole space. *)
+end
+
+module Hypervolumes : sig
+  val pareto_front :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    dim:int ->
+    count:int ->
+    Delphic_sets.Hypervolume.t list
+  (** Origin-rooted boxes whose corners approximate a Pareto front: corners
+      are sampled on a trade-off surface so no box dominates the union. *)
+end
+
+module Dnf_terms : sig
+  val random :
+    Delphic_util.Rng.t ->
+    nvars:int ->
+    count:int ->
+    width:int ->
+    Delphic_sets.Dnf.t list
+  (** [count] independent terms of exactly [width] distinct literals with
+      random polarities — the standard random k-DNF model. *)
+end
+
+module Coverage_suites : sig
+  val random :
+    Delphic_util.Rng.t ->
+    nbits:int ->
+    count:int ->
+    bias:float ->
+    Delphic_util.Bitvec.t list
+  (** Test vectors with i.i.d. bits equal to 1 with probability [bias]. *)
+
+  val coverage_sets :
+    strength:int -> Delphic_util.Bitvec.t list -> Delphic_sets.Coverage.t list
+  (** Lift vectors to their [Cov_t] Delphic sets. *)
+end
+
+module Singletons : sig
+  val uniform : Delphic_util.Rng.t -> universe:int -> count:int -> Delphic_sets.Singleton.t list
+
+  val zipf :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    count:int ->
+    exponent:float ->
+    Delphic_sets.Singleton.t list
+  (** Heavy duplication: value [i] appears with probability ∝ 1/(i+1)^s. *)
+end
+
+module Ranges : sig
+  val uniform :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    count:int ->
+    max_len:int ->
+    Delphic_sets.Range1d.t list
+
+  val heavy_tailed :
+    Delphic_util.Rng.t ->
+    universe:int ->
+    count:int ->
+    shape:float ->
+    Delphic_sets.Range1d.t list
+  (** Pareto-distributed lengths (shape parameter [shape] > 0; smaller =
+      heavier tail), clipped to the universe — the blocklist/CIDR-like
+      regime of a few huge ranges among many tiny ones. *)
+end
+
+module Orders : sig
+  (** Stream-order transformations over a fixed pool — VATIC's guarantee is
+      oblivious to arrival order (only last occurrences matter), and E11
+      verifies that empirically. *)
+
+  val shuffled : Delphic_util.Rng.t -> 'a list -> 'a list
+
+  val sorted_by : ('a -> float) -> 'a list -> 'a list
+  (** Ascending in the measure (e.g. cardinality). *)
+
+  val sorted_by_desc : ('a -> float) -> 'a list -> 'a list
+
+  val bursty : copies:int -> 'a list -> 'a list
+  (** Each item repeated [copies] times consecutively. *)
+
+  val interleaved : copies:int -> 'a list -> 'a list
+  (** The whole pool repeated [copies] times back-to-back. *)
+end
+
+module Knapsacks : sig
+  val random :
+    Delphic_util.Rng.t ->
+    nvars:int ->
+    max_weight:int ->
+    count:int ->
+    Delphic_sets.Knapsack.t list
+  (** Instances with uniform weights in [1, max_weight] and budget near half
+      the total weight — the dense counting regime. *)
+end

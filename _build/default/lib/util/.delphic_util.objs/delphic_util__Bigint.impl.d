@@ -1,0 +1,1 @@
+lib/util/bigint.ml: Array Buffer Char Format Hashtbl List Printf Rng Stdlib String

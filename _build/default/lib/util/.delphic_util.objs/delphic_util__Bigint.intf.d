@@ -1,0 +1,1 @@
+lib/util/bigint.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/util/binomial.ml: Bigint Float Rng

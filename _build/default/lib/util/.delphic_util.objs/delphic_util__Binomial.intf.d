@@ -1,0 +1,1 @@
+lib/util/binomial.mli: Bigint Rng

@@ -1,0 +1,1 @@
+lib/util/comb.ml: Array Bigint Float Hashtbl Rng Stdlib

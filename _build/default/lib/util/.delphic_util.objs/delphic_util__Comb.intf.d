@@ -1,0 +1,1 @@
+lib/util/comb.mli: Bigint Rng

@@ -1,0 +1,1 @@
+lib/util/gf2.ml: Array Bigint Bitvec List Option

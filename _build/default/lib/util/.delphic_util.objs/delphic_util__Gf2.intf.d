@@ -1,0 +1,1 @@
+lib/util/gf2.mli: Bigint Bitvec

@@ -1,0 +1,1 @@
+lib/util/special.ml: Comb Float

@@ -1,0 +1,1 @@
+lib/util/summary.ml: Array Float

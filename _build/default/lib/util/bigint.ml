@@ -1,0 +1,283 @@
+(* Unsigned bignums as little-endian arrays of base-2^30 limbs.
+   Invariant: no trailing (most-significant) zero limb; zero is [||].
+   Base 2^30 keeps every intermediate product within a 63-bit native int. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero v = Array.length v = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bigint.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc v = if v = 0 then acc else count (acc + 1) (v lsr limb_bits) in
+    let len = count 0 n in
+    let a = Array.make len 0 in
+    let v = ref n in
+    for i = 0 to len - 1 do
+      a.(i) <- !v land mask;
+      v := !v lsr limb_bits
+    done;
+    a
+  end
+
+let one = of_int 1
+let two = of_int 2
+
+let bit_length v =
+  let len = Array.length v in
+  if len = 0 then 0
+  else begin
+    let top = v.(len - 1) in
+    let rec msb acc x = if x = 0 then acc else msb (acc + 1) (x lsr 1) in
+    ((len - 1) * limb_bits) + msb 0 top
+  end
+
+let fits_int v = bit_length v <= 62
+
+let to_int v =
+  if not (fits_int v) then None
+  else begin
+    let acc = ref 0 in
+    for i = Array.length v - 1 downto 0 do
+      acc := (!acc lsl limb_bits) lor v.(i)
+    done;
+    Some !acc
+  end
+
+let to_int_exn v =
+  match to_int v with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: value exceeds native int range"
+
+let to_float v =
+  (* Sum from the most significant limb down; float absorbs the rounding. *)
+  let acc = ref 0.0 in
+  for i = Array.length v - 1 downto 0 do
+    acc := (!acc *. float_of_int base) +. float_of_int v.(i)
+  done;
+  !acc
+
+let equal (a : t) (b : t) = a = b
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let hash (v : t) = Hashtbl.hash v
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let len = Stdlib.max la lb in
+  let res = Array.make (len + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to len - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    res.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  res.(len) <- !carry;
+  normalize res
+
+let succ v = add v one
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bigint.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let res = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      res.(i) <- d + base;
+      borrow := 1
+    end else begin
+      res.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize res
+
+let pred v =
+  if is_zero v then invalid_arg "Bigint.pred: zero";
+  sub v one
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let res = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = res.(i + j) + (ai * b.(j)) + !carry in
+        res.(i + j) <- cur land mask;
+        carry := cur lsr limb_bits
+      done;
+      (* Propagate the final carry, which can span several limbs. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = res.(!k) + !carry in
+        res.(!k) <- cur land mask;
+        carry := cur lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize res
+  end
+
+let mul_int a n =
+  if n < 0 then invalid_arg "Bigint.mul_int: negative";
+  mul a (of_int n)
+
+let divmod_int a d =
+  if d <= 0 || d >= 1 lsl 31 then invalid_arg "Bigint.divmod_int: need 0 < d < 2^31";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let shift_left v k =
+  if k < 0 then invalid_arg "Bigint.shift_left: negative";
+  if is_zero v || k = 0 then v
+  else begin
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    let la = Array.length v in
+    let res = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let shifted = v.(i) lsl bit_shift in
+      res.(i + limb_shift) <- res.(i + limb_shift) lor (shifted land mask);
+      res.(i + limb_shift + 1) <- shifted lsr limb_bits
+    done;
+    normalize res
+  end
+
+let shift_right v k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative";
+  if k = 0 then v
+  else begin
+    let limb_shift = k / limb_bits and bit_shift = k mod limb_bits in
+    let la = Array.length v in
+    if limb_shift >= la then zero
+    else begin
+      let len = la - limb_shift in
+      let res = Array.make len 0 in
+      for i = 0 to len - 1 do
+        let lo = v.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (v.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land mask
+        in
+        res.(i) <- lo lor hi
+      done;
+      normalize res
+    end
+  end
+
+let pow2 k = shift_left one k
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let log2 v =
+  let bits = bit_length v in
+  if bits = 0 then neg_infinity
+  else if bits <= 62 then log (float_of_int (to_int_exn v)) /. log 2.0
+  else begin
+    (* Use the top 62 bits as an exact mantissa and add the exponent. *)
+    let top = shift_right v (bits - 62) in
+    (log (to_float top) /. log 2.0) +. float_of_int (bits - 62)
+  end
+
+let random_bits rng k =
+  if k = 0 then zero
+  else begin
+    let nlimbs = ((k - 1) / limb_bits) + 1 in
+    let res = Array.make nlimbs 0 in
+    for i = 0 to nlimbs - 1 do
+      res.(i) <- Rng.bits rng land mask
+    done;
+    let top_bits = k - ((nlimbs - 1) * limb_bits) in
+    res.(nlimbs - 1) <- res.(nlimbs - 1) land ((1 lsl top_bits) - 1);
+    normalize res
+  end
+
+let random_below rng n =
+  if is_zero n then invalid_arg "Bigint.random_below: zero bound";
+  match to_int n with
+  | Some bound -> of_int (Rng.int rng bound)
+  | None ->
+    let k = bit_length n in
+    let rec draw () =
+      let v = random_bits rng k in
+      if compare v n < 0 then v else draw ()
+    in
+    draw ()
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Bigint.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bigint.of_string: non-digit";
+      acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let to_string v =
+  if is_zero v then "0"
+  else begin
+    (* Peel 9 decimal digits at a time. *)
+    let chunks = ref [] in
+    let cur = ref v in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b

@@ -1,0 +1,77 @@
+(** Arbitrary-precision natural numbers.
+
+    Cardinalities of Delphic sets routinely overflow native integers — a
+    [d]-dimensional box over [Δ^d] has up to [|Δ|^d] points and a DNF term
+    over [n] variables has [2^(n-k)] solutions.  This module provides the
+    small unsigned-bignum substrate the library needs (the sealed build
+    environment has no zarith).  Values are immutable. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] for [n >= 0]. Raises [Invalid_argument] on negatives. *)
+
+val to_int : t -> int option
+(** [to_int v] is [Some n] iff [v] fits a native [int]. *)
+
+val to_int_exn : t -> int
+(** Like {!to_int} but raises [Failure] on overflow. *)
+
+val to_float : t -> float
+(** Nearest-float conversion (exact below [2^53], rounded above). *)
+
+val is_zero : t -> bool
+val fits_int : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val add : t -> t -> t
+val succ : t -> t
+
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+
+val pred : t -> t
+(** Raises [Invalid_argument] on zero. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a d] for [d > 0] is the quotient and remainder of [a / d]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val pow2 : int -> t
+(** [pow2 k] is [2^k] for [k >= 0]. *)
+
+val pow : t -> int -> t
+(** [pow b e] is [b^e] for [e >= 0]. *)
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+val log2 : t -> float
+(** Real log base 2; [neg_infinity] on zero.  Accurate to double precision
+    even for values far beyond float range. *)
+
+val random_below : Rng.t -> t -> t
+(** [random_below rng n] is uniform on [0, n-1]; requires [n > 0]. *)
+
+val of_string : string -> t
+(** Parse a decimal string of digits. *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val pp : Format.formatter -> t -> unit
+
+val min : t -> t -> t
+val max : t -> t -> t

@@ -1,0 +1,165 @@
+(* Exact binomial sampling.
+
+   For r = min(p, 1-p):
+   - n*r < 30: BINV sequential inversion (expected O(n*r) work);
+   - otherwise: BTPE (Kachitvichyanukul & Schmeiser, "Binomial random variate
+     generation", CACM 31(2), 1988), a triangle/parallelogram/exponential
+     envelope rejection scheme with squeeze tests.  The structure below
+     follows the published algorithm (steps 1-6). *)
+
+let binv rng ~n ~p =
+  (* p <= 0.5 and n*p < ~30 guaranteed by the dispatcher, so q^n cannot
+     underflow. *)
+  let q = 1.0 -. p in
+  let s = p /. q in
+  let a = float_of_int (n + 1) *. s in
+  let rec attempt () =
+    let r0 = q ** float_of_int n in
+    let u = ref (Rng.float rng) in
+    let x = ref 0 in
+    let r = ref r0 in
+    let overflow = ref false in
+    while (not !overflow) && !u > !r do
+      u := !u -. !r;
+      incr x;
+      if !x > n then overflow := true
+      else r := ((a /. float_of_int !x) -. s) *. !r
+    done;
+    (* [overflow] can only fire through float rounding in the tail; retry. *)
+    if !overflow then attempt () else !x
+  in
+  attempt ()
+
+let btpe rng ~n ~r =
+  (* r = min(p, 1-p); caller flips the result when p > 0.5. *)
+  let nf = float_of_int n in
+  let q = 1.0 -. r in
+  let fm = (nf *. r) +. r in
+  let m = int_of_float fm in
+  let mf = float_of_int m in
+  let nrq = nf *. r *. q in
+  let p1 = Float.of_int (int_of_float ((2.195 *. sqrt nrq) -. (4.6 *. q))) +. 0.5 in
+  let xm = mf +. 0.5 in
+  let xl = xm -. p1 in
+  let xr = xm +. p1 in
+  let c = 0.134 +. (20.5 /. (15.3 +. mf)) in
+  let al = (fm -. xl) /. (fm -. (xl *. r)) in
+  let laml = al *. (1.0 +. (al /. 2.0)) in
+  let ar = (xr -. fm) /. (xr *. q) in
+  let lamr = ar *. (1.0 +. (ar /. 2.0)) in
+  let p2 = p1 *. (1.0 +. (2.0 *. c)) in
+  let p3 = p2 +. (c /. laml) in
+  let p4 = p3 +. (c /. lamr) in
+  let rec step1 () =
+    let u = Rng.float rng *. p4 in
+    let v = Rng.float rng in
+    if u <= p1 then
+      (* Triangular central region: immediate acceptance. *)
+      int_of_float (xm -. (p1 *. v) +. u)
+    else if u <= p2 then begin
+      (* Parallelogram region. *)
+      let x = xl +. ((u -. p1) /. c) in
+      let v = (v *. c) +. 1.0 -. (Float.abs (mf -. x +. 0.5) /. p1) in
+      if v > 1.0 then step1 () else step5 (int_of_float x) v
+    end
+    else if u <= p3 then begin
+      (* Left exponential tail. *)
+      let y = int_of_float (xl +. (log v /. laml)) in
+      if y < 0 then step1 () else step5 y (v *. (u -. p2) *. laml)
+    end
+    else begin
+      (* Right exponential tail. *)
+      let y = int_of_float (xr -. (log v /. lamr)) in
+      if y > n then step1 () else step5 y (v *. (u -. p3) *. lamr)
+    end
+  and step5 y v =
+    let k = abs (y - m) in
+    if k <= 20 || float_of_int k >= (nrq /. 2.0) -. 1.0 then begin
+      (* Evaluate f(y)/f(m) by explicit recursion — cheap for small k. *)
+      let s = r /. q in
+      let a = s *. (nf +. 1.0) in
+      let f = ref 1.0 in
+      if m < y then
+        for i = m + 1 to y do
+          f := !f *. ((a /. float_of_int i) -. s)
+        done
+      else if m > y then
+        for i = y + 1 to m do
+          f := !f /. ((a /. float_of_int i) -. s)
+        done;
+      if v <= !f then y else step1 ()
+    end
+    else begin
+      (* Squeeze tests on log f, then the full Stirling-corrected test. *)
+      let kf = float_of_int k in
+      let rho =
+        (kf /. nrq) *. ((((kf *. ((kf /. 3.0) +. 0.625)) +. 0.16666666666666666) /. nrq) +. 0.5)
+      in
+      let t = -.kf *. kf /. (2.0 *. nrq) in
+      let alpha = log v in
+      if alpha < t -. rho then y
+      else if alpha > t +. rho then step1 ()
+      else begin
+        let yf = float_of_int y in
+        let x1 = yf +. 1.0 in
+        let f1 = mf +. 1.0 in
+        let z = nf +. 1.0 -. mf in
+        let w = nf -. yf +. 1.0 in
+        let x2 = x1 *. x1 in
+        let f2 = f1 *. f1 in
+        let z2 = z *. z in
+        let w2 = w *. w in
+        let stirling u2 u =
+          (13860.0
+          -. ((462.0 -. ((132.0 -. ((99.0 -. (140.0 /. u2)) /. u2)) /. u2)) /. u2))
+          /. u /. 166320.0
+        in
+        let bound =
+          (xm *. log (f1 /. x1))
+          +. ((nf -. mf +. 0.5) *. log (z /. w))
+          +. ((yf -. mf) *. log (w *. r /. (x1 *. q)))
+          +. stirling f2 f1 +. stirling z2 z +. stirling x2 x1 +. stirling w2 w
+        in
+        if alpha > bound then step1 () else y
+      end
+    end
+  in
+  step1 ()
+
+let sample rng ~n ~p =
+  if n < 0 then invalid_arg "Binomial.sample: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial.sample: p outside [0,1]";
+  if n = 0 || p = 0.0 then 0
+  else if p = 1.0 then n
+  else begin
+    let flipped = p > 0.5 in
+    let r = if flipped then 1.0 -. p else p in
+    let x =
+      if float_of_int n *. r < 30.0 then binv rng ~n ~p:r else btpe rng ~n ~r
+    in
+    if flipped then n - x else x
+  end
+
+let float_exact_cap = 9.007199254740992e15 (* 2^53 *)
+
+let gaussian_approx rng ~n ~p =
+  let mean = n *. p in
+  let sd = sqrt (n *. p *. (1.0 -. p)) in
+  let x = Float.round (mean +. (sd *. Rng.gaussian rng)) in
+  Float.max 0.0 (Float.min n x)
+
+let sample_float rng ~n ~p =
+  if n < 0.0 then invalid_arg "Binomial.sample_float: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial.sample_float: p outside [0,1]";
+  if n = 0.0 || p = 0.0 then 0.0
+  else if p = 1.0 then n
+  else if n <= float_exact_cap then
+    float_of_int (sample rng ~n:(int_of_float n) ~p)
+  else gaussian_approx rng ~n ~p
+
+let sample_bigint rng ~n ~p =
+  match Bigint.to_int n with
+  | Some n -> float_of_int (sample rng ~n ~p)
+  | None -> sample_float rng ~n:(Bigint.to_float n) ~p
+
+let halve rng n = sample_float rng ~n ~p:0.5

@@ -1,0 +1,29 @@
+(** Sampling from binomial distributions.
+
+    VATIC's independent-subset sampling (Claim 2.5) draws [Bin(|S|, p)]
+    where [|S|] can be astronomically large (e.g. the point count of a box in
+    [Δ^d]).  This module provides:
+
+    - exact sampling for native-int [n] — inversion (BINV) when the mean is
+      small, the BTPE rejection algorithm of Kachitvichyanukul–Schmeiser
+      (1988) otherwise;
+    - a Gaussian approximation with continuity correction once [n] exceeds
+      [2^53] (total-variation error O(n^-1/2) < 1e-8 at that scale, far below
+      any ε the estimators run with);
+    - cascade halving [Bin(N, 1/2)] (Theorem F.1 of the paper) used by the
+      level-adjustment loop. *)
+
+val sample : Rng.t -> n:int -> p:float -> int
+(** Exact draw from Bin(n, p). Requires [n >= 0] and [0 <= p <= 1]. *)
+
+val sample_float : Rng.t -> n:float -> p:float -> float
+(** Draw from Bin(n, p) where [n] is a non-negative integral float.  Exact
+    whenever [n <= 2^53]; Gaussian approximation beyond. *)
+
+val sample_bigint : Rng.t -> n:Bigint.t -> p:float -> float
+(** Draw from Bin(|S|, p) for an arbitrary-precision cardinality.  The result
+    is returned as an integral float (it may legitimately exceed native int
+    range right before the halving loop shrinks it). *)
+
+val halve : Rng.t -> float -> float
+(** [halve rng n] draws Bin(n, 1/2) for an integral float [n]. *)

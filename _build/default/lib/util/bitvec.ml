@@ -1,0 +1,97 @@
+(* Bits packed little-endian into 62-bit chunks of native ints.  Unused high
+   bits of the last word are kept zero so structural equality and hashing
+   work directly on the representation. *)
+
+let word_bits = 62
+
+type t = { width : int; words : int array }
+
+let nwords width = if width = 0 then 0 else ((width - 1) / word_bits) + 1
+
+let create ~width =
+  if width < 0 then invalid_arg "Bitvec.create: negative width";
+  { width; words = Array.make (nwords width) 0 }
+
+let width t = t.width
+let copy t = { t with words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check_index t i;
+  (t.words.(i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let set t i b =
+  check_index t i;
+  let w = i / word_bits and off = i mod word_bits in
+  if b then t.words.(w) <- t.words.(w) lor (1 lsl off)
+  else t.words.(w) <- t.words.(w) land lnot (1 lsl off)
+
+let random rng ~width =
+  let t = create ~width in
+  let n = Array.length t.words in
+  for w = 0 to n - 1 do
+    t.words.(w) <- Rng.bits rng
+  done;
+  (* Clear the bits beyond [width] in the last word. *)
+  if width > 0 then begin
+    let used = width - ((n - 1) * word_bits) in
+    if used < word_bits then t.words.(n - 1) <- t.words.(n - 1) land ((1 lsl used) - 1)
+  end;
+  t
+
+let equal a b = a.width = b.width && a.words = b.words
+let compare a b = Stdlib.compare (a.width, a.words) (b.width, b.words)
+let hash t = Hashtbl.hash (t.width, t.words)
+
+let popcount t =
+  let count_word w =
+    let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+    go 0 w
+  in
+  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+
+let check_same_width a b =
+  if a.width <> b.width then invalid_arg "Bitvec: width mismatch"
+
+let map2 op a b =
+  check_same_width a b;
+  { width = a.width; words = Array.map2 op a.words b.words }
+
+let logxor a b = map2 ( lxor ) a b
+let logand a b = map2 ( land ) a b
+
+let xor_inplace dst src =
+  check_same_width dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lxor w) src.words
+
+let parity t =
+  let word_parity w =
+    let rec go acc w = if w = 0 then acc else go (acc lxor (w land 1)) (w lsr 1) in
+    go 0 w
+  in
+  Array.fold_left (fun acc w -> acc lxor word_parity w) 0 t.words = 1
+
+let dot a b = parity (logand a b)
+let hamming_distance a b = popcount (logxor a b)
+let is_zero t = Array.for_all (Int.equal 0) t.words
+
+let extract t idx =
+  let out = create ~width:(Array.length idx) in
+  Array.iteri (fun i j -> if get t j then set out i true) idx;
+  out
+
+let of_string s =
+  let t = create ~width:(String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set t i true
+      | _ -> invalid_arg "Bitvec.of_string: expected only '0'/'1'")
+    s;
+  t
+
+let to_string t = String.init t.width (fun i -> if get t i then '1' else '0')
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,55 @@
+(** Fixed-width bit vectors.
+
+    Elements of several Delphic families are binary strings: assignments of a
+    DNF formula, test vectors and coverage patterns.  Widths routinely exceed
+    63 bits, so vectors are backed by word arrays. *)
+
+type t
+
+val create : width:int -> t
+(** All-zero vector of the given width (bits indexed [0 .. width-1]). *)
+
+val width : t -> int
+val copy : t -> t
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val random : Rng.t -> width:int -> t
+(** Uniformly random vector. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val popcount : t -> int
+
+val logxor : t -> t -> t
+(** Bitwise xor; widths must match. *)
+
+val logand : t -> t -> t
+(** Bitwise and; widths must match. *)
+
+val xor_inplace : t -> t -> unit
+(** [xor_inplace dst src]: [dst <- dst xor src]; widths must match. *)
+
+val parity : t -> bool
+(** Parity of the popcount (true = odd). *)
+
+val dot : t -> t -> bool
+(** GF(2) inner product: parity of [logand a b]. *)
+
+val hamming_distance : t -> t -> int
+(** Number of differing bit positions; widths must match. *)
+
+val is_zero : t -> bool
+
+val extract : t -> int array -> t
+(** [extract v idx] is the |idx|-wide vector whose bit [i] is [get v idx.(i)]
+    — the restriction operator used by coverage sets. *)
+
+val of_string : string -> t
+(** Parse a string of ['0']/['1'] characters, index 0 first. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Combinatorial utilities: binomial coefficients, log-gamma, and uniform
+    k-subset sampling.  Used by the coverage family (whose cardinalities are
+    binomial coefficients) and by the exact ground-truth enumerators. *)
+
+val ln_gamma : float -> float
+(** Natural log of the Gamma function for positive arguments (Lanczos
+    approximation, |relative error| < 1e-13). *)
+
+val log_factorial : int -> float
+(** [log_factorial n] = ln(n!) for [n >= 0]. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = ln C(n,k); [neg_infinity] when [k < 0 || k > n]. *)
+
+val choose : int -> int -> Bigint.t
+(** Exact binomial coefficient C(n,k) (zero outside [0..n]). *)
+
+val choose_int : int -> int -> int option
+(** Exact C(n,k) if it fits a native int. *)
+
+val floyd_sample : Rng.t -> n:int -> k:int -> int array
+(** Uniform random [k]-subset of [{0,...,n-1}] by Floyd's algorithm,
+    returned sorted ascending.  Requires [0 <= k <= n].  O(k) expected. *)
+
+val iter_subsets : n:int -> k:int -> (int array -> unit) -> unit
+(** Enumerate every [k]-subset of [{0,...,n-1}] in lexicographic order.
+    The callback receives a buffer that is reused between calls; copy it if
+    you need to retain it. *)
+
+val rank_subset : n:int -> int array -> Bigint.t
+(** Combinatorial rank (lexicographic index) of a sorted [k]-subset among all
+    k-subsets of [{0,...,n-1}]. *)
+
+val unrank_subset : n:int -> k:int -> Bigint.t -> int array
+(** Inverse of {!rank_subset}: the sorted subset at a given lexicographic
+    index.  Requires the index to be < C(n,k). *)

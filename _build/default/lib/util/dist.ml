@@ -1,0 +1,78 @@
+module Discrete = struct
+  type t = { prob : float array; alias : int array }
+
+  let size t = Array.length t.prob
+
+  (* Vose's stable alias-table construction. *)
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Discrete.create: empty weights";
+    Array.iter
+      (fun w -> if w < 0.0 || not (Float.is_finite w) then invalid_arg "Discrete.create: bad weight")
+      weights;
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if not (total > 0.0) then invalid_arg "Discrete.create: weights sum to zero";
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 0.0 in
+    let alias = Array.make n 0 in
+    let small = Stack.create () and large = Stack.create () in
+    Array.iteri (fun i p -> if p < 1.0 then Stack.push i small else Stack.push i large) scaled;
+    while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+      let s = Stack.pop small and l = Stack.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+      if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+    done;
+    let flush stack =
+      while not (Stack.is_empty stack) do
+        let i = Stack.pop stack in
+        prob.(i) <- 1.0;
+        alias.(i) <- i
+      done
+    in
+    flush large;
+    flush small;
+    { prob; alias }
+
+  let sample t rng =
+    let i = Rng.int rng (Array.length t.prob) in
+    if Rng.float rng < t.prob.(i) then i else t.alias.(i)
+end
+
+module Zipf = struct
+  type t = Discrete.t
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    Discrete.create (Array.init n (fun i -> (float_of_int (i + 1)) ** -.s))
+
+  let sample = Discrete.sample
+end
+
+let geometric rng ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p outside (0,1]";
+  if p = 1.0 then 0
+  else begin
+    let rec positive () =
+      let u = Rng.float rng in
+      if u > 0.0 then u else positive ()
+    in
+    int_of_float (log (positive ()) /. log (1.0 -. p))
+  end
+
+let poisson rng ~lambda =
+  if lambda < 0.0 then invalid_arg "Dist.poisson: negative rate";
+  if lambda = 0.0 then 0
+  else if lambda <= 30.0 then begin
+    let threshold = exp (-.lambda) in
+    let rec go k prod =
+      let prod = prod *. Rng.float rng in
+      if prod <= threshold then k else go (k + 1) prod
+    in
+    go 0 1.0
+  end
+  else begin
+    let x = Float.round (lambda +. (sqrt lambda *. Rng.gaussian rng)) in
+    int_of_float (Float.max 0.0 x)
+  end

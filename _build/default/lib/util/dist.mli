@@ -1,0 +1,34 @@
+(** Discrete distributions for workload generation. *)
+
+module Discrete : sig
+  (** Finite discrete distribution with O(1) sampling (Walker/Vose alias
+      method). *)
+
+  type t
+
+  val create : float array -> t
+  (** [create weights] from non-negative weights (not all zero);
+      probabilities are the normalised weights. *)
+
+  val sample : t -> Rng.t -> int
+  (** Index drawn with probability proportional to its weight. *)
+
+  val size : t -> int
+end
+
+module Zipf : sig
+  (** Zipf distribution over [{0,...,n-1}] with exponent [s]:
+      P(i) ∝ 1/(i+1)^s. *)
+
+  type t
+
+  val create : n:int -> s:float -> t
+  val sample : t -> Rng.t -> int
+end
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success, [p] in (0, 1]. *)
+
+val poisson : Rng.t -> lambda:float -> int
+(** Poisson draw: Knuth's product method for small rates, Gaussian
+    approximation (rounded, clamped at 0) for [lambda > 30]. *)

@@ -1,0 +1,115 @@
+type row = { coeffs : Bitvec.t; rhs : bool }
+
+type solution = {
+  nvars : int;
+  rank : int;
+  pivot_columns : int array;
+  particular : Bitvec.t;
+  null_basis : Bitvec.t array;
+}
+
+let satisfies { coeffs; rhs } x = Bitvec.dot coeffs x = rhs
+
+(* In-place forward elimination to reduced row-echelon form.  Rows carry
+   their rhs alongside; a zero row with rhs = 1 flags inconsistency. *)
+let solve ~nvars rows =
+  if nvars <= 0 then invalid_arg "Gf2.solve: nvars must be positive";
+  List.iter
+    (fun r ->
+      if Bitvec.width r.coeffs <> nvars then invalid_arg "Gf2.solve: row width mismatch")
+    rows;
+  let work = Array.of_list (List.map (fun r -> (Bitvec.copy r.coeffs, ref r.rhs)) rows) in
+  let nrows = Array.length work in
+  let pivot_of_col = Array.make nvars (-1) in
+  let pivot_cols = ref [] in
+  let next_row = ref 0 in
+  for col = 0 to nvars - 1 do
+    (* Find a row at or below [next_row] with a 1 in this column. *)
+    let found = ref (-1) in
+    let i = ref !next_row in
+    while !found < 0 && !i < nrows do
+      let v, _ = work.(!i) in
+      if Bitvec.get v col then found := !i;
+      incr i
+    done;
+    if !found >= 0 then begin
+      let tmp = work.(!next_row) in
+      work.(!next_row) <- work.(!found);
+      work.(!found) <- tmp;
+      let pivot_vec, pivot_rhs = work.(!next_row) in
+      (* Eliminate this column from every other row (RREF). *)
+      for j = 0 to nrows - 1 do
+        if j <> !next_row then begin
+          let v, rhs = work.(j) in
+          if Bitvec.get v col then begin
+            Bitvec.xor_inplace v pivot_vec;
+            rhs := !rhs <> !pivot_rhs
+          end
+        end
+      done;
+      pivot_of_col.(col) <- !next_row;
+      pivot_cols := col :: !pivot_cols;
+      incr next_row
+    end
+  done;
+  let rank = !next_row in
+  (* Inconsistency: a fully-eliminated row with rhs = 1. *)
+  let inconsistent = ref false in
+  for i = rank to nrows - 1 do
+    let v, rhs = work.(i) in
+    if Bitvec.is_zero v && !rhs then inconsistent := true
+  done;
+  if !inconsistent then None
+  else begin
+    let pivot_columns = Array.of_list (List.rev !pivot_cols) in
+    (* Particular solution: free variables 0, pivot variable of each pivot
+       row = that row's rhs (free-variable terms vanish). *)
+    let particular = Bitvec.create ~width:nvars in
+    Array.iter
+      (fun col ->
+        let _, rhs = work.(pivot_of_col.(col)) in
+        Bitvec.set particular col !rhs)
+      pivot_columns;
+    (* Null-space basis: one vector per free column f — set x_f = 1 and, for
+       each pivot row containing f, set the pivot variable to cancel it. *)
+    let is_pivot = Array.make nvars false in
+    Array.iter (fun c -> is_pivot.(c) <- true) pivot_columns;
+    let basis = ref [] in
+    for f = nvars - 1 downto 0 do
+      if not is_pivot.(f) then begin
+        let v = Bitvec.create ~width:nvars in
+        Bitvec.set v f true;
+        Array.iter
+          (fun col ->
+            let row_vec, _ = work.(pivot_of_col.(col)) in
+            if Bitvec.get row_vec f then Bitvec.set v col true)
+          pivot_columns;
+        basis := v :: !basis
+      end
+    done;
+    Some { nvars; rank; pivot_columns; particular; null_basis = Array.of_list !basis }
+  end
+
+let consistent ~nvars rows = Option.is_some (solve ~nvars rows)
+
+let solution_count s = Bigint.pow2 (s.nvars - s.rank)
+
+let enumerate s ~limit =
+  let dim = Array.length s.null_basis in
+  (* Any basis of dimension > 40 is far beyond every practical limit. *)
+  if dim > 40 || 1 lsl dim > limit then None
+  else begin
+    let total = 1 lsl dim in
+    begin
+      (* Gray-code walk: consecutive indices differ in one basis vector. *)
+      let current = Bitvec.copy s.particular in
+      let out = ref [ Bitvec.copy current ] in
+      for g = 1 to total - 1 do
+        let rec trailing_zero i v = if v land 1 = 1 then i else trailing_zero (i + 1) (v lsr 1) in
+        let flip = trailing_zero 0 g in
+        Bitvec.xor_inplace current s.null_basis.(flip);
+        out := Bitvec.copy current :: !out
+      done;
+      Some !out
+    end
+  end

@@ -1,0 +1,36 @@
+(** Linear algebra over GF(2): Gaussian elimination of systems [A·x = b].
+
+    Substrate for the affine-subspace Delphic family (solution sets of XOR
+    constraint systems, the structure underlying hashing-based counting).
+    Rows are bit vectors; arithmetic is word-parallel. *)
+
+type row = { coeffs : Bitvec.t; rhs : bool }
+(** One equation: [coeffs · x = rhs] over GF(2). *)
+
+type solution = {
+  nvars : int;
+  rank : int;
+  pivot_columns : int array;  (** sorted; length = rank *)
+  particular : Bitvec.t;  (** one solution (free variables set to 0) *)
+  null_basis : Bitvec.t array;
+      (** basis of the solution space of [A·x = 0]; length = nvars − rank.
+          The full solution set is [particular ⊕ span(null_basis)], of size
+          [2^(nvars − rank)]. *)
+}
+
+val solve : nvars:int -> row list -> solution option
+(** Reduced row-echelon elimination.  [None] when the system is
+    inconsistent (some row reduces to [0 = 1]).  All rows must have width
+    [nvars].  O(rows² · nvars / word_size). *)
+
+val consistent : nvars:int -> row list -> bool
+
+val satisfies : row -> Bitvec.t -> bool
+(** Does an assignment satisfy one equation? *)
+
+val solution_count : solution -> Bigint.t
+(** [2^(nvars - rank)]. *)
+
+val enumerate : solution -> limit:int -> Bitvec.t list option
+(** All solutions ([particular ⊕ every subset-sum of the basis]), via a
+    Gray-code walk; [None] when there are more than [limit]. *)

@@ -1,0 +1,101 @@
+(* xoshiro256** 1.0 (Blackman & Vigna, public domain reference
+   implementation), seeded via splitmix64.  Chosen over Stdlib.Random for
+   reproducibility across OCaml versions and for cheap splitting. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (int64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec draw () =
+    let v = bits t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  let span = hi - lo + 1 in
+  if span <= 0 then
+    (* range spans more than max_int, e.g. [min_int, max_int]: use raw bits *)
+    Int64.to_int (int64 t)
+  else lo + int t span
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let gaussian t =
+  (* Polar method; draws pairs, discards the spare for statelessness. *)
+  let rec loop () =
+    let u = (2.0 *. float t) -. 1.0 in
+    let v = (2.0 *. float t) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then loop () else u *. sqrt (-2.0 *. log s /. s)
+  in
+  loop ()
+
+let exponential t =
+  let rec positive () =
+    let u = float t in
+    if u > 0.0 then u else positive ()
+  in
+  -.log (positive ())
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

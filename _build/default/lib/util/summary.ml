@@ -1,0 +1,63 @@
+(* Welford's online mean/variance plus retained observations for quantiles.
+   Experiment trial counts are in the hundreds, so retaining values is free. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minimum : float;
+  mutable maximum : float;
+  mutable total : float;
+  mutable buf : float array;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; minimum = infinity; maximum = neg_infinity;
+    total = 0.0; buf = Array.make 16 0.0 }
+
+let add t x =
+  if t.n = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.buf 0 bigger 0 t.n;
+    t.buf <- bigger
+  end;
+  t.buf.(t.n) <- x;
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minimum then t.minimum <- x;
+  if x > t.maximum then t.maximum <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.minimum
+let max t = t.maximum
+let total t = t.total
+
+let values t = Array.sub t.buf 0 t.n
+
+let quantile t q =
+  if t.n = 0 then invalid_arg "Summary.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q outside [0,1]";
+  let sorted = values t in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (t.n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median t = quantile t 0.5
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t
+
+let relative_error ~estimate ~truth =
+  if truth = 0.0 then invalid_arg "Summary.relative_error: zero truth";
+  Float.abs (estimate -. truth) /. Float.abs truth

@@ -1,0 +1,31 @@
+(** Summary statistics for experiment trials. *)
+
+type t
+(** Accumulator over a sequence of float observations. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance (0 when fewer than two observations). *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]; linear interpolation between order
+    statistics.  Raises [Invalid_argument] on an empty accumulator.  O(n log n)
+    per call (observations are retained). *)
+
+val median : t -> float
+
+val values : t -> float array
+(** All observations in insertion order. *)
+
+val of_array : float array -> t
+
+val relative_error : estimate:float -> truth:float -> float
+(** [|estimate - truth| / truth]; [truth] must be non-zero. *)

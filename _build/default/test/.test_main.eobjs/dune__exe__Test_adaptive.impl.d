@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Delphic_sets Delphic_stream Delphic_util List

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Delphic_util Float List QCheck QCheck_alcotest String

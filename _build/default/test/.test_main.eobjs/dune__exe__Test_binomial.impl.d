@@ -1,0 +1,1 @@
+test/test_binomial.ml: Alcotest Array Delphic_util Float Stdlib

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Delphic_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_claim_2_5.ml: Alcotest Array Delphic_util Float Int Printf

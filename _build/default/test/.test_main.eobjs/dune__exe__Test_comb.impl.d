@@ -1,0 +1,1 @@
+test/test_comb.ml: Alcotest Array Delphic_util Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Delphic_util Float

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Delphic_sets Delphic_stream Delphic_util Hashtbl List

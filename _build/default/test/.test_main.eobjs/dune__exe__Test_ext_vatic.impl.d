@@ -1,0 +1,1 @@
+test/test_ext_vatic.ml: Alcotest Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Delphic_core Delphic_family Delphic_harness Delphic_sets Delphic_stream Delphic_util Filename Float Fun List Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Array Delphic_family Delphic_sets Delphic_util Float Hashtbl Option String

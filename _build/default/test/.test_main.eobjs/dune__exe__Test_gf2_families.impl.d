@@ -1,0 +1,1 @@
+test/test_gf2_families.ml: Alcotest Array Delphic_core Delphic_sets Delphic_util Float Fun Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Delphic_core Delphic_harness Delphic_sets Delphic_stream Delphic_util Fun List String

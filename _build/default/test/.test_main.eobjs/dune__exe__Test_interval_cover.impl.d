@@ -1,0 +1,1 @@
+test/test_interval_cover.ml: Alcotest Array Delphic_sets Delphic_util List Printf

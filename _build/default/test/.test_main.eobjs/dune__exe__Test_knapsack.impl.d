@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array Delphic_sets Delphic_util Float Hashtbl Option Printf

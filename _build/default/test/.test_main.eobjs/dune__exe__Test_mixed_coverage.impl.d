@@ -1,0 +1,1 @@
+test/test_mixed_coverage.ml: Alcotest Array Delphic_core Delphic_sets Delphic_util Float Hashtbl List Option Printf

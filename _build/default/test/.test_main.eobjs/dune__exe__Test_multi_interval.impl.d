@@ -1,0 +1,1 @@
+test/test_multi_interval.ml: Alcotest Delphic_core Delphic_sets Delphic_util Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+test/test_parsers.ml: Alcotest Delphic_sets Delphic_stream Delphic_util Filename Fun List String Sys

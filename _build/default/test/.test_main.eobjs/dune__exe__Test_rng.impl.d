@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Delphic_util Float Fun

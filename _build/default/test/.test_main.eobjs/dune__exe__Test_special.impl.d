@@ -1,0 +1,1 @@
+test/test_special.ml: Alcotest Delphic_util Float List Printf

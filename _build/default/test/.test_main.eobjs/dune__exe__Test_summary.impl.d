@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Array Delphic_util Float List QCheck QCheck_alcotest

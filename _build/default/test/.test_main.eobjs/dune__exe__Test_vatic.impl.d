@@ -1,0 +1,1 @@
+test/test_vatic.ml: Alcotest Delphic_core Delphic_sets Delphic_stream Delphic_util Float Hashtbl List Printf QCheck QCheck_alcotest

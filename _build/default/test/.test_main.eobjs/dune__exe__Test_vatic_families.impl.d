@@ -1,0 +1,1 @@
+test/test_vatic_families.ml: Alcotest Delphic_core Delphic_family Delphic_sets Delphic_stream Delphic_util Float List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Delphic_sets Delphic_stream Delphic_util List Printf

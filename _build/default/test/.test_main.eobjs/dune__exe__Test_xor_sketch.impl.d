@@ -1,0 +1,1 @@
+test/test_xor_sketch.ml: Alcotest Delphic_core Delphic_sets Delphic_stream Delphic_util Float List Printf

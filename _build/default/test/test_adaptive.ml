@@ -1,0 +1,117 @@
+(* Adaptive exact-then-sketch estimator: exactness in the small regime, a
+   clean handover to the sketch, and the tiny-universe exact-only mode. *)
+
+module Rng = Delphic_util.Rng
+module Range1d = Delphic_sets.Range1d
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+module A = Delphic_core.Adaptive.Make (Range1d)
+
+let log2f x = log x /. log 2.0
+
+let test_small_stream_is_exact () =
+  let t =
+    A.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~seed:1 ()
+  in
+  let ranges =
+    [ Range1d.create ~lo:0 ~hi:9; Range1d.create ~lo:5 ~hi:14; Range1d.create ~lo:100 ~hi:100 ]
+  in
+  List.iter (A.process t) ranges;
+  Alcotest.(check bool) "still exact" true (A.is_exact t);
+  Alcotest.(check (float 0.0)) "exactly 16" 16.0 (A.estimate t);
+  Alcotest.(check (option int)) "exact size" (Some 16) (A.exact_size t);
+  Alcotest.(check int) "items" 3 (A.items_processed t)
+
+let test_handover_to_sketch () =
+  let gen = Rng.create ~seed:131 in
+  let pool = Workload.Ranges.uniform gen ~universe:1_000_000 ~count:200 ~max_len:5000 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let t = A.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:2 () in
+  List.iter (A.process t) pool;
+  (* The union (~hundreds of thousands) far exceeds any exact budget. *)
+  Alcotest.(check bool) "switched to sketch" false (A.is_exact t);
+  Alcotest.(check (option int)) "no exact size" None (A.exact_size t);
+  let est = A.estimate t in
+  Alcotest.(check bool)
+    (Printf.sprintf "sketch estimate %.0f near %.0f" est truth)
+    true
+    (Float.abs (est -. truth) <= 0.3 *. truth)
+
+let test_exact_capacity_override () =
+  let t =
+    A.create ~exact_capacity:10 ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~seed:3 ()
+  in
+  A.process t (Range1d.create ~lo:0 ~hi:7);
+  Alcotest.(check bool) "8 fits in 10" true (A.is_exact t);
+  A.process t (Range1d.create ~lo:100 ~hi:110);
+  Alcotest.(check bool) "second set busts the cap" false (A.is_exact t)
+
+let test_tiny_universe_exact_only () =
+  (* log2|U| = 8 is below VATIC's floor at eps = 0.1; adaptive must still
+     deliver exact answers. *)
+  let t = A.create ~epsilon:0.1 ~delta:0.1 ~log2_universe:8.0 ~seed:4 () in
+  A.process t (Range1d.create ~lo:0 ~hi:99);
+  A.process t (Range1d.create ~lo:50 ~hi:149);
+  Alcotest.(check bool) "exact" true (A.is_exact t);
+  Alcotest.(check (float 0.0)) "150 exactly" 150.0 (A.estimate t)
+
+let test_tiny_universe_overflow_raises () =
+  let t =
+    A.create ~exact_capacity:5 ~epsilon:0.1 ~delta:0.1 ~log2_universe:8.0 ~seed:5 ()
+  in
+  match A.process t (Range1d.create ~lo:0 ~hi:100) with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "expected Failure on overflowing exact-only mode"
+
+let test_estimate_continuity_at_handover () =
+  (* The estimate just after handover must still be in the right ballpark,
+     because the sketch saw the whole stream. *)
+  let t =
+    A.create ~exact_capacity:2000 ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:6 ()
+  in
+  let processed = ref [] in
+  let gen = Rng.create ~seed:132 in
+  let check_after r =
+    A.process t r;
+    processed := r :: !processed;
+    let truth = float_of_int (Exact.range_union !processed) in
+    let est = A.estimate t in
+    if Float.abs (est -. truth) > 0.45 *. truth then
+      Alcotest.failf "estimate %.0f drifted from truth %.0f (exact=%b)" est truth
+        (A.is_exact t)
+  in
+  (* Grow the union past the cap in small steps, checking continuously. *)
+  for _ = 1 to 60 do
+    let lo = Rng.int gen 100_000 in
+    check_after (Range1d.create ~lo ~hi:(lo + 99))
+  done
+
+let test_bad_parameters_still_raise () =
+  (* Only the universe-size floor may fall back to exact mode; bad epsilon
+     or delta must raise, not silently degrade. *)
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      A.create ~epsilon:0.0 ~delta:0.2 ~log2_universe:20.0 ~seed:1 ());
+  expect_invalid (fun () ->
+      A.create ~epsilon:1.5 ~delta:0.2 ~log2_universe:20.0 ~seed:1 ());
+  expect_invalid (fun () ->
+      A.create ~epsilon:0.2 ~delta:0.0 ~log2_universe:20.0 ~seed:1 ());
+  expect_invalid (fun () ->
+      A.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:(-3.0) ~seed:1 ());
+  expect_invalid (fun () ->
+      A.create ~exact_capacity:0 ~epsilon:0.2 ~delta:0.2 ~log2_universe:20.0 ~seed:1 ())
+
+let suite =
+  [
+    Alcotest.test_case "small stream stays exact" `Quick test_small_stream_is_exact;
+    Alcotest.test_case "handover to sketch" `Quick test_handover_to_sketch;
+    Alcotest.test_case "exact capacity override" `Quick test_exact_capacity_override;
+    Alcotest.test_case "tiny universe: exact-only mode" `Quick test_tiny_universe_exact_only;
+    Alcotest.test_case "tiny universe: overflow raises" `Quick test_tiny_universe_overflow_raises;
+    Alcotest.test_case "estimate continuity at handover" `Quick test_estimate_continuity_at_handover;
+    Alcotest.test_case "bad parameters still raise" `Quick test_bad_parameters_still_raise;
+  ]

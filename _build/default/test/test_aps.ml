@@ -1,0 +1,128 @@
+(* APS-Estimator (MVC'21 baseline) and its Approximate-Delphic extension
+   (Theorem D.1): accuracy, the hard capacity bound, and the log M capacity
+   growth that motivates VATIC. *)
+
+module Rng = Delphic_util.Rng
+module Range1d = Delphic_sets.Range1d
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+module Aps = Delphic_core.Aps_estimator.Make (Range1d)
+module Wrap = Delphic_sets.Approx_wrap.Make (Range1d)
+module Ext_aps = Delphic_core.Ext_aps_estimator.Make (Wrap)
+
+let make_pool seed count =
+  let gen = Rng.create ~seed in
+  Workload.Ranges.uniform gen ~universe:1_000_000 ~count ~max_len:4000
+
+let test_accuracy () =
+  let pool = make_pool 301 300 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let epsilon = 0.25 in
+  let failures = ref 0 in
+  for i = 0 to 19 do
+    let t =
+      Aps.create ~epsilon ~delta:0.2 ~log2_universe:20.0
+        ~stream_length:(List.length pool) ~seed:(500 + i) ()
+    in
+    List.iter (Aps.process t) pool;
+    if Float.abs (Aps.estimate t -. truth) > epsilon *. truth then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/20" !failures) true (!failures <= 4)
+
+let test_capacity_is_hard_bound () =
+  let pool = make_pool 302 400 in
+  let t =
+    Aps.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~stream_length:400 ~seed:9 ()
+  in
+  List.iter
+    (fun s ->
+      Aps.process t s;
+      if Aps.bucket_size t > Aps.capacity t then
+        Alcotest.failf "bucket %d exceeds capacity %d" (Aps.bucket_size t) (Aps.capacity t))
+    pool;
+  Alcotest.(check bool) "max bucket tracked" true (Aps.max_bucket_size t <= Aps.capacity t)
+
+let test_capacity_grows_with_m () =
+  let make m =
+    Aps.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~stream_length:m ~seed:1 ()
+  in
+  let c100 = Aps.capacity (make 100) in
+  let c10k = Aps.capacity (make 10_000) in
+  let c1m = Aps.capacity (make 1_000_000) in
+  Alcotest.(check bool) "strictly growing" true (c100 < c10k && c10k < c1m);
+  (* Growth should be logarithmic: the jump 100 -> 10^6 multiplies the
+     additive log term by ~3, never the whole capacity by 100x. *)
+  Alcotest.(check bool) "sub-linear growth" true (c1m < 4 * c100)
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () ->
+      Aps.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~stream_length:0 ~seed:1 ());
+  expect_invalid (fun () ->
+      Aps.create ~epsilon:2.0 ~delta:0.2 ~log2_universe:20.0 ~stream_length:10 ~seed:1 ())
+
+let test_ext_aps_window () =
+  let pool = make_pool 303 200 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let alpha = 0.3 and gamma = 0.05 and eta = 0.2 in
+  let wrapped = List.map (Wrap.wrap ~alpha ~gamma ~eta) pool in
+  let inside = ref 0 in
+  let trials = 10 in
+  for i = 0 to trials - 1 do
+    let t =
+      Ext_aps.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~alpha ~gamma ~eta
+        ~stream_length:(List.length pool) ~seed:(600 + i) ()
+    in
+    List.iter (Ext_aps.process t) wrapped;
+    let est = Ext_aps.estimate t in
+    let lo, hi = Ext_aps.window t in
+    if est >= lo *. truth && est <= hi *. truth then incr inside
+  done;
+  Alcotest.(check bool) (Printf.sprintf "inside %d/%d" !inside trials) true
+    (!inside >= trials - 2)
+
+let test_ext_aps_capacity_hard_bound () =
+  let pool = make_pool 304 300 in
+  let wrapped = List.map (Wrap.wrap ~alpha:0.2 ~gamma:0.05 ~eta:0.1) pool in
+  let t =
+    Ext_aps.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~alpha:0.2 ~gamma:0.05
+      ~eta:0.1 ~stream_length:300 ~seed:10 ()
+  in
+  List.iter
+    (fun s ->
+      Ext_aps.process t s;
+      if Ext_aps.bucket_size t > Ext_aps.capacity t then
+        Alcotest.failf "bucket %d exceeds capacity %d" (Ext_aps.bucket_size t)
+          (Ext_aps.capacity t))
+    wrapped
+
+let test_ext_aps_sample_union () =
+  let pool = make_pool 305 150 in
+  let wrapped = List.map (Wrap.wrap ~alpha:0.2 ~gamma:0.05 ~eta:0.1) pool in
+  let t =
+    Ext_aps.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~alpha:0.2 ~gamma:0.05
+      ~eta:0.1 ~stream_length:150 ~seed:11 ()
+  in
+  List.iter (Ext_aps.process t) wrapped;
+  for _ = 1 to 30 do
+    match Ext_aps.sample_union t with
+    | None -> Alcotest.fail "expected non-empty bucket"
+    | Some x ->
+      Alcotest.(check bool) "sample in union" true
+        (List.exists (fun r -> Range1d.mem r x) pool)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "accuracy" `Quick test_accuracy;
+    Alcotest.test_case "capacity is a hard bound" `Quick test_capacity_is_hard_bound;
+    Alcotest.test_case "capacity grows with log M" `Quick test_capacity_grows_with_m;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "EXT-APS window compliance (Thm D.1)" `Quick test_ext_aps_window;
+    Alcotest.test_case "EXT-APS capacity hard bound" `Quick test_ext_aps_capacity_hard_bound;
+    Alcotest.test_case "EXT-APS union sampling" `Quick test_ext_aps_sample_union;
+  ]

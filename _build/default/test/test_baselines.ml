@@ -1,0 +1,206 @@
+(* Offline / specialised baselines: Karp-Luby, bottom-k (KMV), HyperLogLog,
+   and the Approx_wrap degradation layer. *)
+
+module Rng = Delphic_util.Rng
+module Range1d = Delphic_sets.Range1d
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+module Kl = Delphic_core.Karp_luby.Make (Range1d)
+module Bottom_k = Delphic_core.Bottom_k
+module Hll = Delphic_core.Hyperloglog
+module Wrap = Delphic_sets.Approx_wrap.Make (Range1d)
+module B = Delphic_util.Bigint
+
+(* --- Karp-Luby --- *)
+
+let test_kl_empty () =
+  let kl = Kl.create ~epsilon:0.2 ~delta:0.2 ~seed:1 () in
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Kl.estimate kl)
+
+let test_kl_accuracy () =
+  let gen = Rng.create ~seed:401 in
+  let pool = Workload.Ranges.uniform gen ~universe:1_000_000 ~count:150 ~max_len:5000 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let failures = ref 0 in
+  for i = 0 to 9 do
+    let kl = Kl.create ~epsilon:0.15 ~delta:0.2 ~seed:(700 + i) () in
+    List.iter (Kl.add kl) pool;
+    if Float.abs (Kl.estimate kl -. truth) > 0.15 *. truth then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/10" !failures) true (!failures <= 2)
+
+let test_kl_trials_budget () =
+  let kl = Kl.create ~epsilon:0.1 ~delta:0.1 ~seed:1 () in
+  Kl.add kl (Range1d.create ~lo:0 ~hi:9);
+  Alcotest.(check int) "stored" 1 (Kl.stored_sets kl);
+  let t1 = Kl.trials_needed kl in
+  Kl.add kl (Range1d.create ~lo:5 ~hi:14);
+  let t2 = Kl.trials_needed kl in
+  (* Linear in M up to ceil rounding. *)
+  Alcotest.(check bool) "budget linear in M" true (t2 >= (2 * t1) - 2 && t2 <= 2 * t1)
+
+let test_kl_disjoint_exactness () =
+  (* With disjoint sets every trial succeeds, so the estimate is exactly
+     the total weight. *)
+  let kl = Kl.create ~epsilon:0.2 ~delta:0.2 ~seed:2 () in
+  Kl.add kl (Range1d.create ~lo:0 ~hi:99);
+  Kl.add kl (Range1d.create ~lo:200 ~hi:299);
+  Alcotest.(check (float 1e-9)) "exact on disjoint" 200.0 (Kl.estimate kl ~trials:500)
+
+(* --- bottom-k --- *)
+
+let test_bottom_k_small_exact () =
+  (* Below k distinct values the sketch is exact. *)
+  let bk = Bottom_k.create ~k:100 ~epsilon:0.2 () in
+  for x = 1 to 50 do
+    Bottom_k.add bk x;
+    Bottom_k.add bk x
+  done;
+  Alcotest.(check (float 0.0)) "exact below k" 50.0 (Bottom_k.estimate bk);
+  Alcotest.(check int) "retains 50" 50 (Bottom_k.size bk)
+
+let test_bottom_k_accuracy () =
+  let bk = Bottom_k.create ~epsilon:0.1 () in
+  let truth = 20_000 in
+  for x = 0 to truth - 1 do
+    Bottom_k.add bk (x * 7919)
+  done;
+  let est = Bottom_k.estimate bk in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f near %d" est truth)
+    true
+    (Float.abs (est -. float_of_int truth) < 0.15 *. float_of_int truth)
+
+let test_bottom_k_duplicates_ignored () =
+  let bk = Bottom_k.create ~k:16 ~epsilon:0.2 () in
+  for _ = 1 to 100 do
+    Bottom_k.add bk 42
+  done;
+  Alcotest.(check (float 0.0)) "one distinct" 1.0 (Bottom_k.estimate bk)
+
+(* --- HyperLogLog --- *)
+
+let test_hll_small_range () =
+  let hll = Hll.create ~bits:10 () in
+  for x = 1 to 300 do
+    Hll.add hll x;
+    Hll.add hll x
+  done;
+  let est = Hll.estimate hll in
+  (* Linear-counting regime: quite accurate. *)
+  Alcotest.(check bool) (Printf.sprintf "est %.0f near 300" est) true
+    (Float.abs (est -. 300.0) < 45.0)
+
+let test_hll_large_range () =
+  let hll = Hll.create ~bits:12 () in
+  let truth = 200_000 in
+  for x = 0 to truth - 1 do
+    Hll.add hll (x * 31 + 17)
+  done;
+  let est = Hll.estimate hll in
+  (* 1.04/sqrt(4096) ~ 1.6% expected error; allow 8%. *)
+  Alcotest.(check bool) (Printf.sprintf "est %.0f near %d" est truth) true
+    (Float.abs (est -. float_of_int truth) < 0.08 *. float_of_int truth)
+
+let test_hll_merge () =
+  let a = Hll.create ~bits:10 () and b = Hll.create ~bits:10 () in
+  for x = 0 to 9999 do
+    Hll.add a x
+  done;
+  for x = 5000 to 14_999 do
+    Hll.add b x
+  done;
+  let m = Hll.merge a b in
+  let est = Hll.estimate m in
+  Alcotest.(check bool) (Printf.sprintf "merged est %.0f near 15000" est) true
+    (Float.abs (est -. 15_000.0) < 1_500.0);
+  Alcotest.check_raises "incompatible sizes"
+    (Invalid_argument "Hyperloglog.merge: incompatible sizes") (fun () ->
+      ignore (Hll.merge a (Hll.create ~bits:12 ())))
+
+let test_hll_validation () =
+  Alcotest.check_raises "bits too small"
+    (Invalid_argument "Hyperloglog.create: need 4 <= bits <= 18") (fun () ->
+      ignore (Hll.create ~bits:2 ()))
+
+(* --- Approx_wrap --- *)
+
+let test_wrap_cardinality_window () =
+  let set = Range1d.create ~lo:0 ~hi:9999 in
+  let alpha = 0.3 in
+  let w = Wrap.wrap ~alpha ~gamma:0.0 ~eta:0.0 set in
+  let rng = Rng.create ~seed:402 in
+  for _ = 1 to 500 do
+    let z = B.to_float (Wrap.approx_cardinality w rng) in
+    (* gamma = 0: always inside the window (small fixed-point slack). *)
+    Alcotest.(check bool)
+      (Printf.sprintf "%.0f within [%.0f, %.0f]" z (10000.0 /. 1.3) (10000.0 *. 1.3))
+      true
+      (z >= (10000.0 /. (1.0 +. alpha)) -. 2.0 && z <= (10000.0 *. (1.0 +. alpha)) +. 2.0)
+  done
+
+let test_wrap_gamma_failures_happen () =
+  let set = Range1d.create ~lo:0 ~hi:999 in
+  let w = Wrap.wrap ~alpha:0.2 ~gamma:0.3 ~eta:0.0 set in
+  let rng = Rng.create ~seed:403 in
+  let out = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let z = B.to_float (Wrap.approx_cardinality w rng) in
+    if z > 1000.0 *. 1.2 *. 1.01 then incr out
+  done;
+  (* Failures should occur at roughly rate gamma. *)
+  let rate = float_of_int !out /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "failure rate %.3f near 0.3" rate) true
+    (Float.abs (rate -. 0.3) < 0.05)
+
+let test_wrap_sampler_window () =
+  let set = Range1d.create ~lo:0 ~hi:39 in
+  let eta = 0.5 in
+  let w = Wrap.wrap ~alpha:0.0 ~gamma:0.0 ~eta set in
+  let rng = Rng.create ~seed:404 in
+  let counts = Array.make 40 0 in
+  let draws = 80_000 in
+  for _ = 1 to draws do
+    let x = Wrap.approx_sample w rng in
+    Alcotest.(check bool) "member" true (Range1d.mem set x);
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let p_hat = float_of_int c /. float_of_int draws in
+      let lo = 1.0 /. ((1.0 +. eta) *. 40.0) /. 1.25 in
+      let hi = (1.0 +. eta) /. 40.0 *. 1.25 in
+      if p_hat < lo || p_hat > hi then
+        Alcotest.failf "tilted frequency %.5f outside [%.5f, %.5f]" p_hat lo hi)
+    counts
+
+let test_wrap_validation () =
+  let set = Range1d.create ~lo:0 ~hi:9 in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Wrap.wrap ~alpha:(-1.0) ~gamma:0.0 ~eta:0.0 set);
+  expect_invalid (fun () -> Wrap.wrap ~alpha:0.0 ~gamma:1.0 ~eta:0.0 set);
+  expect_invalid (fun () -> Wrap.wrap ~alpha:0.0 ~gamma:0.0 ~eta:(-0.5) set)
+
+let suite =
+  [
+    Alcotest.test_case "karp-luby: empty" `Quick test_kl_empty;
+    Alcotest.test_case "karp-luby: accuracy" `Quick test_kl_accuracy;
+    Alcotest.test_case "karp-luby: trial budget" `Quick test_kl_trials_budget;
+    Alcotest.test_case "karp-luby: exact on disjoint sets" `Quick test_kl_disjoint_exactness;
+    Alcotest.test_case "bottom-k: exact below k" `Quick test_bottom_k_small_exact;
+    Alcotest.test_case "bottom-k: accuracy" `Quick test_bottom_k_accuracy;
+    Alcotest.test_case "bottom-k: duplicates ignored" `Quick test_bottom_k_duplicates_ignored;
+    Alcotest.test_case "hll: linear-counting regime" `Quick test_hll_small_range;
+    Alcotest.test_case "hll: large range" `Quick test_hll_large_range;
+    Alcotest.test_case "hll: merge" `Quick test_hll_merge;
+    Alcotest.test_case "hll: validation" `Quick test_hll_validation;
+    Alcotest.test_case "approx_wrap: cardinality window" `Quick test_wrap_cardinality_window;
+    Alcotest.test_case "approx_wrap: gamma failures" `Quick test_wrap_gamma_failures_happen;
+    Alcotest.test_case "approx_wrap: eta sampler window" `Quick test_wrap_sampler_window;
+    Alcotest.test_case "approx_wrap: validation" `Quick test_wrap_validation;
+  ]

@@ -1,0 +1,116 @@
+(* BDD substrate: construction, boolean algebra via evaluation, canonicity,
+   and sat-counting against brute-force enumeration. *)
+
+module Bdd = Delphic_sets.Bdd
+module Dnf = Delphic_sets.Dnf
+module Bitvec = Delphic_util.Bitvec
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+let assignment_of_int n x =
+  let v = Bitvec.create ~width:n in
+  for i = 0 to n - 1 do
+    Bitvec.set v i ((x lsr i) land 1 = 1)
+  done;
+  v
+
+let test_terminals () =
+  let m = Bdd.create_manager ~nvars:3 in
+  Alcotest.(check string) "count bot" "0" (B.to_string (Bdd.count m Bdd.bot));
+  Alcotest.(check string) "count top = 2^3" "8" (B.to_string (Bdd.count m Bdd.top));
+  Alcotest.(check bool) "eval bot" false (Bdd.eval m Bdd.bot (assignment_of_int 3 5));
+  Alcotest.(check bool) "eval top" true (Bdd.eval m Bdd.top (assignment_of_int 3 5))
+
+let test_var () =
+  let m = Bdd.create_manager ~nvars:4 in
+  let x2 = Bdd.var m 2 in
+  Alcotest.(check string) "x2 has 8 solutions" "8" (B.to_string (Bdd.count m x2));
+  for x = 0 to 15 do
+    Alcotest.(check bool) "eval = bit" ((x lsr 2) land 1 = 1)
+      (Bdd.eval m x2 (assignment_of_int 4 x))
+  done;
+  let nx2 = Bdd.nvar m 2 in
+  Alcotest.(check string) "~x2 has 8" "8" (B.to_string (Bdd.count m nx2));
+  Alcotest.(check bool) "not of var" true (Bdd.equal (Bdd.bdd_not m x2) nx2)
+
+let test_boolean_laws () =
+  let m = Bdd.create_manager ~nvars:5 in
+  let rng = Rng.create ~seed:81 in
+  (* Random small DNFs as node generators. *)
+  let random_node () =
+    let terms =
+      Delphic_stream.Workload.Dnf_terms.random rng ~nvars:5
+        ~count:(1 + Rng.int rng 4) ~width:(1 + Rng.int rng 3)
+    in
+    Bdd.of_dnf m terms
+  in
+  for _ = 1 to 50 do
+    let a = random_node () and b = random_node () in
+    (* Canonicity: verify algebra laws as node equalities. *)
+    Alcotest.(check bool) "a&b = b&a" true (Bdd.equal (Bdd.bdd_and m a b) (Bdd.bdd_and m b a));
+    Alcotest.(check bool) "a|b = b|a" true (Bdd.equal (Bdd.bdd_or m a b) (Bdd.bdd_or m b a));
+    Alcotest.(check bool) "a&a = a" true (Bdd.equal (Bdd.bdd_and m a a) a);
+    Alcotest.(check bool) "double negation" true (Bdd.equal (Bdd.bdd_not m (Bdd.bdd_not m a)) a);
+    Alcotest.(check bool) "de morgan" true
+      (Bdd.equal
+         (Bdd.bdd_not m (Bdd.bdd_and m a b))
+         (Bdd.bdd_or m (Bdd.bdd_not m a) (Bdd.bdd_not m b)));
+    (* Evaluation agrees with the boolean structure on every assignment. *)
+    let conj = Bdd.bdd_and m a b and disj = Bdd.bdd_or m a b in
+    for x = 0 to 31 do
+      let v = assignment_of_int 5 x in
+      let ea = Bdd.eval m a v and eb = Bdd.eval m b v in
+      Alcotest.(check bool) "and" (ea && eb) (Bdd.eval m conj v);
+      Alcotest.(check bool) "or" (ea || eb) (Bdd.eval m disj v)
+    done
+  done
+
+let test_of_term_matches_dnf () =
+  let m = Bdd.create_manager ~nvars:6 in
+  let rng = Rng.create ~seed:82 in
+  for _ = 1 to 30 do
+    let term =
+      List.hd (Delphic_stream.Workload.Dnf_terms.random rng ~nvars:6 ~count:1 ~width:3)
+    in
+    let node = Bdd.of_term m term in
+    for x = 0 to 63 do
+      let v = assignment_of_int 6 x in
+      Alcotest.(check bool) "term eval" (Dnf.satisfies term v) (Bdd.eval m node v)
+    done;
+    Alcotest.(check bool) "count = 2^(n-k)" true
+      (B.equal (Bdd.count m node) (Dnf.cardinality term))
+  done
+
+let test_count_matches_enumeration () =
+  let rng = Rng.create ~seed:83 in
+  for _ = 1 to 20 do
+    let nvars = 4 + Rng.int rng 9 in
+    let terms =
+      Delphic_stream.Workload.Dnf_terms.random rng ~nvars
+        ~count:(1 + Rng.int rng 12)
+        ~width:(1 + Rng.int rng (min 4 nvars))
+    in
+    let m = Bdd.create_manager ~nvars in
+    let bdd_count = Bdd.count m (Bdd.of_dnf m terms) in
+    let enum = Delphic_sets.Exact.dnf_count_enum ~nvars terms in
+    Alcotest.(check string) "BDD = enumeration" (B.to_string enum) (B.to_string bdd_count)
+  done
+
+let test_hash_consing_shares () =
+  let m = Bdd.create_manager ~nvars:8 in
+  let a = Bdd.var m 3 in
+  let b = Bdd.var m 3 in
+  Alcotest.(check bool) "same node reused" true (Bdd.equal a b);
+  let nodes_before = Bdd.node_count m in
+  ignore (Bdd.var m 3);
+  Alcotest.(check int) "no growth on duplicates" nodes_before (Bdd.node_count m)
+
+let suite =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "single variables" `Quick test_var;
+    Alcotest.test_case "boolean laws + canonicity" `Quick test_boolean_laws;
+    Alcotest.test_case "of_term matches Dnf.satisfies" `Quick test_of_term_matches_dnf;
+    Alcotest.test_case "count matches enumeration" `Quick test_count_matches_enumeration;
+    Alcotest.test_case "hash-consing shares nodes" `Quick test_hash_consing_shares;
+  ]

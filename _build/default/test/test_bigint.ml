@@ -1,0 +1,261 @@
+(* Bigint: unit tests on edge cases plus qcheck properties cross-checking
+   against native int arithmetic (on inputs small enough not to overflow)
+   and internal algebraic laws on large values. *)
+
+module B = Delphic_util.Bigint
+
+let bi = Alcotest.testable B.pp B.equal
+
+let test_constants () =
+  Alcotest.check bi "zero" B.zero (B.of_int 0);
+  Alcotest.check bi "one" B.one (B.of_int 1);
+  Alcotest.check bi "two" B.two (B.of_int 2);
+  Alcotest.(check bool) "zero is zero" true (B.is_zero B.zero);
+  Alcotest.(check bool) "one not zero" false (B.is_zero B.one)
+
+let test_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Bigint.of_int: negative")
+    (fun () -> ignore (B.of_int (-1)))
+
+let test_roundtrip_int () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) "roundtrip" (Some n) (B.to_int (B.of_int n)))
+    [ 0; 1; 42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 45; max_int ]
+
+let test_to_int_overflow () =
+  let big = B.pow2 100 in
+  Alcotest.(check (option int)) "too big" None (B.to_int big);
+  Alcotest.(check bool) "fits_int false" false (B.fits_int big)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "999999999"; "1000000000"; "123456789012345678901234567890" ]
+
+let test_string_known_pow () =
+  Alcotest.(check string) "2^100"
+    "1267650600228229401496703205376"
+    (B.to_string (B.pow2 100));
+  Alcotest.(check string) "10^30"
+    "1000000000000000000000000000000"
+    (B.to_string (B.pow (B.of_int 10) 30))
+
+let test_add_sub_large () =
+  let a = B.of_string "340282366920938463463374607431768211456" (* 2^128 *) in
+  let b = B.of_string "18446744073709551616" (* 2^64 *) in
+  Alcotest.check bi "(a+b)-b = a" a (B.sub (B.add a b) b);
+  Alcotest.check bi "a-a = 0" B.zero (B.sub a a)
+
+let test_sub_negative_raises () =
+  Alcotest.check_raises "negative result"
+    (Invalid_argument "Bigint.sub: negative result") (fun () ->
+      ignore (B.sub B.one B.two))
+
+let test_mul_known () =
+  let a = B.of_string "123456789123456789" in
+  let b = B.of_string "987654321987654321" in
+  Alcotest.(check string) "product"
+    "121932631356500531347203169112635269"
+    (B.to_string (B.mul a b))
+
+let test_divmod () =
+  let a = B.of_string "123456789123456789123456789" in
+  let q, r = B.divmod_int a 1000 in
+  Alcotest.(check string) "quotient" "123456789123456789123456" (B.to_string q);
+  Alcotest.(check int) "remainder" 789 r;
+  Alcotest.check_raises "zero divisor"
+    (Invalid_argument "Bigint.divmod_int: need 0 < d < 2^31") (fun () ->
+      ignore (B.divmod_int a 0))
+
+let test_shifts () =
+  let a = B.of_string "987654321987654321" in
+  Alcotest.check bi "shift roundtrip" a (B.shift_right (B.shift_left a 100) 100);
+  Alcotest.check bi "shift_left = mul 2^k" (B.mul a (B.pow2 37)) (B.shift_left a 37);
+  Alcotest.check bi "right shift to zero" B.zero (B.shift_right a 200)
+
+let test_bit_length () =
+  Alcotest.(check int) "zero" 0 (B.bit_length B.zero);
+  Alcotest.(check int) "one" 1 (B.bit_length B.one);
+  Alcotest.(check int) "255" 8 (B.bit_length (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.bit_length (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.bit_length (B.pow2 100))
+
+let test_log2 () =
+  Alcotest.(check bool) "log2 2^100 = 100" true
+    (Float.abs (B.log2 (B.pow2 100) -. 100.0) < 1e-9);
+  Alcotest.(check bool) "log2 1000" true
+    (Float.abs (B.log2 (B.of_int 1000) -. 9.9657842847) < 1e-6);
+  Alcotest.(check bool) "log2 huge" true
+    (Float.abs (B.log2 (B.pow2 5000) -. 5000.0) < 1e-6)
+
+let test_to_float () =
+  Alcotest.(check (float 0.0)) "exact small" 12345.0 (B.to_float (B.of_int 12345));
+  let v = B.to_float (B.pow2 80) in
+  Alcotest.(check bool) "2^80" true (Float.abs ((v /. Float.ldexp 1.0 80) -. 1.0) < 1e-12)
+
+let test_compare_orders () =
+  let values =
+    List.map B.of_string
+      [ "0"; "1"; "2"; "1073741824"; "18446744073709551616"; "99999999999999999999999" ]
+  in
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "strictly increasing" true (B.compare x y < 0))
+        rest;
+      pairs rest
+  in
+  pairs values
+
+let test_min_max () =
+  let a = B.of_int 5 and b = B.of_int 9 in
+  Alcotest.check bi "min" a (B.min a b);
+  Alcotest.check bi "max" b (B.max a b)
+
+let test_random_below () =
+  let rng = Delphic_util.Rng.create ~seed:42 in
+  (* Small bound: exercise the native path. *)
+  for _ = 1 to 1000 do
+    let v = B.random_below rng (B.of_int 17) in
+    Alcotest.(check bool) "in range" true (B.compare v (B.of_int 17) < 0)
+  done;
+  (* Large bound: exercise the limb path; also check it actually spreads. *)
+  let bound = B.pow2 100 in
+  let top_half = ref 0 in
+  for _ = 1 to 200 do
+    let v = B.random_below rng bound in
+    Alcotest.(check bool) "below bound" true (B.compare v bound < 0);
+    if B.compare v (B.pow2 99) >= 0 then incr top_half
+  done;
+  Alcotest.(check bool) "spreads over range" true (!top_half > 60 && !top_half < 140)
+
+(* qcheck properties: agree with native ints on small values. *)
+let small_nat = QCheck.map abs QCheck.small_int
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"add matches int" ~count:500
+    (QCheck.pair small_nat small_nat) (fun (a, b) ->
+      B.to_int (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"mul matches int" ~count:500
+    (QCheck.pair small_nat small_nat) (fun (a, b) ->
+      B.to_int (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_sub_matches_int =
+  QCheck.Test.make ~name:"sub matches int" ~count:500
+    (QCheck.pair small_nat small_nat) (fun (a, b) ->
+      let hi = max a b and lo = min a b in
+      B.to_int (B.sub (B.of_int hi) (B.of_int lo)) = Some (hi - lo))
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"divmod matches int" ~count:500
+    (QCheck.pair small_nat (QCheck.int_range 1 10_000)) (fun (a, d) ->
+      let q, r = B.divmod_int (B.of_int a) d in
+      B.to_int q = Some (a / d) && r = a mod d)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:500
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 40) (QCheck.int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      (* Strip leading zeros for the comparison. *)
+      let canonical =
+        let s' = ref s in
+        while String.length !s' > 1 && !s'.[0] = '0' do
+          s' := String.sub !s' 1 (String.length !s' - 1)
+        done;
+        !s'
+      in
+      B.to_string (B.of_string s) = canonical)
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add (large)" ~count:200
+    (QCheck.triple small_nat small_nat small_nat) (fun (a, b, c) ->
+      (* Inflate into multi-limb territory. *)
+      let big x = B.add (B.shift_left (B.of_int (x + 1)) 90) (B.of_int x) in
+      let a = big a and b = big b and c = big c in
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+(* Large-operand properties: random ~100-bit values built from int pairs. *)
+let big_value =
+  QCheck.map
+    (fun (a, b, k) ->
+      let a = abs a and b = abs b and k = 40 + (abs k mod 60) in
+      B.add (B.shift_left (B.of_int (a + 1)) k) (B.of_int b))
+    (QCheck.triple QCheck.int QCheck.int QCheck.small_int)
+
+let prop_add_sub_roundtrip_large =
+  QCheck.Test.make ~name:"(a+b)-b = a (multi-limb)" ~count:300
+    (QCheck.pair big_value big_value) (fun (a, b) ->
+      B.equal (B.sub (B.add a b) b) a)
+
+let prop_divmod_reconstructs_large =
+  QCheck.Test.make ~name:"a = q*d + r (multi-limb)" ~count:300
+    (QCheck.pair big_value (QCheck.int_range 1 1_000_000)) (fun (a, d) ->
+      let q, r = B.divmod_int a d in
+      r >= 0 && r < d && B.equal a (B.add (B.mul_int q d) (B.of_int r)))
+
+let prop_shift_is_pow2_mul =
+  QCheck.Test.make ~name:"shift_left k = mul 2^k (multi-limb)" ~count:200
+    (QCheck.pair big_value (QCheck.int_range 0 200)) (fun (a, k) ->
+      B.equal (B.shift_left a k) (B.mul a (B.pow2 k)))
+
+let prop_compare_consistent_with_sub =
+  QCheck.Test.make ~name:"compare consistent with sub" ~count:300
+    (QCheck.pair big_value big_value) (fun (a, b) ->
+      match B.compare a b with
+      | 0 -> B.equal a b
+      | c when c > 0 -> not (B.is_zero (B.sub a b))
+      | _ -> not (B.is_zero (B.sub b a)))
+
+let prop_string_roundtrip_large =
+  QCheck.Test.make ~name:"decimal roundtrip (multi-limb)" ~count:200 big_value
+    (fun a -> B.equal a (B.of_string (B.to_string a)))
+
+let prop_mul_commutative_associative =
+  QCheck.Test.make ~name:"mul commutative+associative (multi-limb)" ~count:150
+    (QCheck.triple big_value big_value big_value) (fun (a, b, c) ->
+      B.equal (B.mul a b) (B.mul b a)
+      && B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_add_matches_int;
+      prop_mul_matches_int;
+      prop_sub_matches_int;
+      prop_divmod_matches_int;
+      prop_string_roundtrip;
+      prop_mul_distributes;
+      prop_add_sub_roundtrip_large;
+      prop_divmod_reconstructs_large;
+      prop_shift_is_pow2_mul;
+      prop_compare_consistent_with_sub;
+      prop_string_roundtrip_large;
+      prop_mul_commutative_associative;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "of_int rejects negatives" `Quick test_of_int_negative;
+    Alcotest.test_case "int roundtrip" `Quick test_roundtrip_int;
+    Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "known powers" `Quick test_string_known_pow;
+    Alcotest.test_case "add/sub large" `Quick test_add_sub_large;
+    Alcotest.test_case "sub negative raises" `Quick test_sub_negative_raises;
+    Alcotest.test_case "mul known product" `Quick test_mul_known;
+    Alcotest.test_case "divmod" `Quick test_divmod;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "bit_length" `Quick test_bit_length;
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "to_float" `Quick test_to_float;
+    Alcotest.test_case "compare orders" `Quick test_compare_orders;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "random_below" `Quick test_random_below;
+  ]
+  @ qcheck_suite

@@ -1,0 +1,158 @@
+(* Binomial sampler: edge cases, exact-pmf chi-square goodness of fit in
+   both the BINV and BTPE regimes, moment checks, the cascade property
+   (Theorem F.1 of the paper), and the large-n fallback paths. *)
+
+module Binomial = Delphic_util.Binomial
+module B = Delphic_util.Bigint
+module Comb = Delphic_util.Comb
+module Rng = Delphic_util.Rng
+
+let test_edges () =
+  let rng = Rng.create ~seed:31 in
+  Alcotest.(check int) "n=0" 0 (Binomial.sample rng ~n:0 ~p:0.7);
+  Alcotest.(check int) "p=0" 0 (Binomial.sample rng ~n:100 ~p:0.0);
+  Alcotest.(check int) "p=1" 100 (Binomial.sample rng ~n:100 ~p:1.0);
+  Alcotest.check_raises "negative n" (Invalid_argument "Binomial.sample: negative n")
+    (fun () -> ignore (Binomial.sample rng ~n:(-1) ~p:0.5));
+  Alcotest.check_raises "bad p" (Invalid_argument "Binomial.sample: p outside [0,1]")
+    (fun () -> ignore (Binomial.sample rng ~n:5 ~p:1.5))
+
+let test_range () =
+  let rng = Rng.create ~seed:32 in
+  for _ = 1 to 5000 do
+    let v = Binomial.sample rng ~n:50 ~p:0.3 in
+    Alcotest.(check bool) "in [0,n]" true (v >= 0 && v <= 50)
+  done
+
+(* Chi-square against the exact pmf.  Bins with expected < 5 are pooled
+   into tails.  Critical values are taken at the 1e-6 level so the fixed
+   seed never flakes while gross errors still fail loudly. *)
+let chi_square_gof ~seed ~n ~p ~draws =
+  let rng = Rng.create ~seed in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to draws do
+    let v = Binomial.sample rng ~n ~p in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let pmf k = exp (Comb.log_choose n k +. (float_of_int k *. log p) +. (float_of_int (n - k) *. log (1.0 -. p))) in
+  let expected = Array.init (n + 1) (fun k -> pmf k *. float_of_int draws) in
+  (* Pool low-expectation bins from both ends. *)
+  let chi2 = ref 0.0 and dof = ref (-1) in
+  let acc_obs = ref 0 and acc_exp = ref 0.0 in
+  for k = 0 to n do
+    acc_obs := !acc_obs + counts.(k);
+    acc_exp := !acc_exp +. expected.(k);
+    if !acc_exp >= 5.0 then begin
+      let d = float_of_int !acc_obs -. !acc_exp in
+      chi2 := !chi2 +. (d *. d /. !acc_exp);
+      incr dof;
+      acc_obs := 0;
+      acc_exp := 0.0
+    end
+  done;
+  if !acc_exp > 0.0 then begin
+    let d = float_of_int !acc_obs -. !acc_exp in
+    chi2 := !chi2 +. (d *. d /. Float.max !acc_exp 1e-9)
+  end;
+  (!chi2, Stdlib.max 1 !dof)
+
+let check_gof name ~seed ~n ~p =
+  let chi2, dof = chi_square_gof ~seed ~n ~p ~draws:40_000 in
+  (* Very loose bound: chi2 ~ dof + 2*sqrt(2*dof)*z; z ~ 5 at 1e-6. *)
+  let critical = float_of_int dof +. (5.0 *. sqrt (2.0 *. float_of_int dof)) +. 10.0 in
+  if chi2 > critical then
+    Alcotest.failf "%s: chi2 = %.1f > %.1f (dof %d)" name chi2 critical dof
+
+let test_gof_binv () = check_gof "BINV regime" ~seed:33 ~n:40 ~p:0.1
+let test_gof_btpe () = check_gof "BTPE regime" ~seed:34 ~n:300 ~p:0.4
+let test_gof_flipped () = check_gof "p > 1/2" ~seed:35 ~n:200 ~p:0.85
+
+let check_moments name ~seed ~n ~p ~draws =
+  let rng = Rng.create ~seed in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to draws do
+    let v = float_of_int (Binomial.sample rng ~n ~p) in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int draws in
+  let var = (!sumsq /. float_of_int draws) -. (mean *. mean) in
+  let nf = float_of_int n in
+  let true_mean = nf *. p and true_var = nf *. p *. (1.0 -. p) in
+  let mean_tol = 6.0 *. sqrt (true_var /. float_of_int draws) in
+  if Float.abs (mean -. true_mean) > mean_tol then
+    Alcotest.failf "%s: mean %.3f vs %.3f (tol %.3f)" name mean true_mean mean_tol;
+  if Float.abs (var -. true_var) > 0.1 *. true_var then
+    Alcotest.failf "%s: var %.3f vs %.3f" name var true_var
+
+let test_moments_large_n () = check_moments "n=100k" ~seed:36 ~n:100_000 ~p:0.37 ~draws:20_000
+
+let test_sample_float_paths () =
+  let rng = Rng.create ~seed:37 in
+  (* Exact path (n below 2^53). *)
+  let v = Binomial.sample_float rng ~n:1000.0 ~p:0.5 in
+  Alcotest.(check bool) "integral result" true (Float.is_integer v);
+  Alcotest.(check bool) "in range" true (v >= 0.0 && v <= 1000.0);
+  (* Gaussian path (n above 2^53): check mean within 6 sigma over trials. *)
+  let n = 1e17 and p = 0.25 in
+  let draws = 2000 in
+  let sum = ref 0.0 in
+  for _ = 1 to draws do
+    let v = Binomial.sample_float rng ~n ~p in
+    Alcotest.(check bool) "range" true (v >= 0.0 && v <= n);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int draws in
+  let sd_of_mean = sqrt (n *. p *. (1.0 -. p) /. float_of_int draws) in
+  Alcotest.(check bool) "gaussian-path mean" true
+    (Float.abs (mean -. (n *. p)) < 6.0 *. sd_of_mean)
+
+let test_sample_bigint () =
+  let rng = Rng.create ~seed:38 in
+  (* Fits int: exact path. *)
+  let v = Binomial.sample_bigint rng ~n:(B.of_int 500) ~p:0.2 in
+  Alcotest.(check bool) "range" true (v >= 0.0 && v <= 500.0);
+  (* 2^70 points: float path. *)
+  let n = B.pow2 70 in
+  let v = Binomial.sample_bigint rng ~n ~p:0.5 in
+  let nf = B.to_float n in
+  Alcotest.(check bool) "huge range" true (v >= 0.0 && v <= nf);
+  (* sd = sqrt(n)/2 ~ 1.7e10: allow 7 sigma. *)
+  Alcotest.(check bool) "near mean" true (Float.abs (v -. (nf /. 2.0)) < 1.2e11)
+
+(* Theorem F.1: halving a Bin(n, p) draw gives a Bin(n, p/2) draw.  We test
+   distribution equality of cascaded vs direct sampling via a two-sample
+   mean/variance comparison. *)
+let test_cascade_theorem_f1 () =
+  let rng = Rng.create ~seed:39 in
+  let n = 400 and p = 0.5 in
+  let draws = 30_000 in
+  let direct = Delphic_util.Summary.create () in
+  let cascaded = Delphic_util.Summary.create () in
+  for _ = 1 to draws do
+    Delphic_util.Summary.add direct
+      (float_of_int (Binomial.sample rng ~n ~p:(p /. 2.0)));
+    let first = Binomial.sample rng ~n ~p in
+    Delphic_util.Summary.add cascaded
+      (Binomial.halve rng (float_of_int first))
+  done;
+  let md = Delphic_util.Summary.mean direct and mc = Delphic_util.Summary.mean cascaded in
+  let vd = Delphic_util.Summary.variance direct
+  and vc = Delphic_util.Summary.variance cascaded in
+  (* Means: each ~ N(100, 86/30000): 6 sigma ~ 0.32. *)
+  Alcotest.(check bool) "means agree" true (Float.abs (md -. mc) < 0.5);
+  Alcotest.(check bool) "variances agree" true (Float.abs (vd -. vc) < 0.08 *. vd);
+  Alcotest.(check bool) "mean is np/2" true (Float.abs (md -. 100.0) < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "edge cases" `Quick test_edges;
+    Alcotest.test_case "range [0,n]" `Quick test_range;
+    Alcotest.test_case "goodness of fit: BINV" `Quick test_gof_binv;
+    Alcotest.test_case "goodness of fit: BTPE" `Quick test_gof_btpe;
+    Alcotest.test_case "goodness of fit: flipped p" `Quick test_gof_flipped;
+    Alcotest.test_case "moments at large n" `Quick test_moments_large_n;
+    Alcotest.test_case "sample_float both paths" `Quick test_sample_float_paths;
+    Alcotest.test_case "sample_bigint both paths" `Quick test_sample_bigint;
+    Alcotest.test_case "cascade halving (Thm F.1)" `Quick test_cascade_theorem_f1;
+  ]

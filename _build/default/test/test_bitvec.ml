@@ -1,0 +1,108 @@
+(* Bit vectors: indexing, multi-word widths, extraction, string I/O, and the
+   canonical-high-bits invariant that equality and hashing rely on. *)
+
+module Bitvec = Delphic_util.Bitvec
+module Rng = Delphic_util.Rng
+
+let test_create_zero () =
+  let v = Bitvec.create ~width:100 in
+  Alcotest.(check int) "width" 100 (Bitvec.width v);
+  for i = 0 to 99 do
+    Alcotest.(check bool) "zeroed" false (Bitvec.get v i)
+  done;
+  Alcotest.(check int) "popcount 0" 0 (Bitvec.popcount v)
+
+let test_set_get () =
+  let v = Bitvec.create ~width:130 in
+  (* Hit bits straddling the 62-bit word boundaries. *)
+  List.iter (fun i -> Bitvec.set v i true) [ 0; 61; 62; 63; 123; 124; 129 ];
+  List.iter
+    (fun i -> Alcotest.(check bool) (Printf.sprintf "bit %d" i) true (Bitvec.get v i))
+    [ 0; 61; 62; 63; 123; 124; 129 ];
+  Alcotest.(check bool) "untouched" false (Bitvec.get v 64);
+  Alcotest.(check int) "popcount" 7 (Bitvec.popcount v);
+  Bitvec.set v 62 false;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 62);
+  Alcotest.(check int) "popcount after clear" 6 (Bitvec.popcount v)
+
+let test_bounds () =
+  let v = Bitvec.create ~width:10 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Bitvec: index out of bounds")
+    (fun () -> ignore (Bitvec.get v 10));
+  Alcotest.check_raises "set oob" (Invalid_argument "Bitvec: index out of bounds")
+    (fun () -> Bitvec.set v (-1) true)
+
+let test_copy_independent () =
+  let v = Bitvec.create ~width:20 in
+  Bitvec.set v 3 true;
+  let w = Bitvec.copy v in
+  Bitvec.set w 4 true;
+  Alcotest.(check bool) "copy has old bit" true (Bitvec.get w 3);
+  Alcotest.(check bool) "original unaffected" false (Bitvec.get v 4)
+
+let test_equal_hash () =
+  let rng = Rng.create ~seed:51 in
+  for _ = 1 to 100 do
+    let v = Bitvec.random rng ~width:200 in
+    let w = Bitvec.copy v in
+    Alcotest.(check bool) "copies equal" true (Bitvec.equal v w);
+    Alcotest.(check int) "equal implies same hash" (Bitvec.hash v) (Bitvec.hash w);
+    Bitvec.set w 199 (not (Bitvec.get w 199));
+    Alcotest.(check bool) "flip breaks equality" false (Bitvec.equal v w)
+  done
+
+let test_random_respects_width () =
+  (* The random generator must clear bits beyond the width, otherwise
+     equality on logically equal vectors would break. *)
+  let rng = Rng.create ~seed:52 in
+  for _ = 1 to 50 do
+    let v = Bitvec.random rng ~width:65 in
+    let w = Bitvec.create ~width:65 in
+    for i = 0 to 64 do
+      Bitvec.set w i (Bitvec.get v i)
+    done;
+    Alcotest.(check bool) "canonical representation" true (Bitvec.equal v w)
+  done
+
+let test_random_is_random () =
+  let rng = Rng.create ~seed:53 in
+  let total = ref 0 in
+  for _ = 1 to 100 do
+    total := !total + Bitvec.popcount (Bitvec.random rng ~width:100)
+  done;
+  (* 10,000 fair bits: expect ~5000, sd = 50. *)
+  Alcotest.(check bool) "roughly half ones" true (abs (!total - 5000) < 300)
+
+let test_extract () =
+  let v = Bitvec.of_string "10110010" in
+  let e = Bitvec.extract v [| 0; 2; 3; 6 |] in
+  Alcotest.(check string) "extracted" "1111" (Bitvec.to_string e);
+  let e2 = Bitvec.extract v [| 1; 4; 7 |] in
+  Alcotest.(check string) "extracted zeros" "000" (Bitvec.to_string e2)
+
+let test_string_roundtrip () =
+  let s = "1010011101" in
+  Alcotest.(check string) "roundtrip" s (Bitvec.to_string (Bitvec.of_string s));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Bitvec.of_string: expected only '0'/'1'") (fun () ->
+      ignore (Bitvec.of_string "10x"))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip (random)" ~count:300
+    (QCheck.string_gen_of_size (QCheck.Gen.int_range 0 150)
+       (QCheck.Gen.oneofl [ '0'; '1' ]))
+    (fun s -> Bitvec.to_string (Bitvec.of_string s) = s)
+
+let suite =
+  [
+    Alcotest.test_case "create zero" `Quick test_create_zero;
+    Alcotest.test_case "set/get across words" `Quick test_set_get;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "equal/hash consistency" `Quick test_equal_hash;
+    Alcotest.test_case "random respects width" `Quick test_random_respects_width;
+    Alcotest.test_case "random is random" `Quick test_random_is_random;
+    Alcotest.test_case "extract" `Quick test_extract;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+  ]

@@ -1,0 +1,73 @@
+(* Claim 2.5 of the paper: drawing K ~ Bin(|S|, p) and then K distinct
+   uniform elements of S selects each element of S independently with
+   probability p.  We verify the marginal and the pairwise product (the
+   statistical signature of independence) empirically. *)
+
+module Rng = Delphic_util.Rng
+module Binomial = Delphic_util.Binomial
+module Comb = Delphic_util.Comb
+
+let process_p rng ~n ~p =
+  (* One run of the Claim 2.5 process over S = {0..n-1}. *)
+  let k = Binomial.sample rng ~n ~p in
+  Comb.floyd_sample rng ~n ~k
+
+let test_marginal () =
+  let rng = Rng.create ~seed:101 in
+  let n = 30 and p = 0.2 in
+  let runs = 30_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to runs do
+    Array.iter (fun i -> counts.(i) <- counts.(i) + 1) (process_p rng ~n ~p)
+  done;
+  (* Each element: Bin(runs, 0.2): sd ~ 69; 6 sigma ~ 416. *)
+  Array.iteri
+    (fun i c ->
+      if abs (c - int_of_float (float_of_int runs *. p)) > 450 then
+        Alcotest.failf "element %d frequency %d far from %d" i c
+          (int_of_float (float_of_int runs *. p)))
+    counts
+
+let test_pairwise_independence () =
+  let rng = Rng.create ~seed:102 in
+  let n = 12 and p = 0.3 in
+  let runs = 40_000 in
+  let joint = Array.make_matrix n n 0 in
+  for _ = 1 to runs do
+    let picked = process_p rng ~n ~p in
+    Array.iter
+      (fun i -> Array.iter (fun j -> if i < j then joint.(i).(j) <- joint.(i).(j) + 1) picked)
+      picked
+  done;
+  (* P(i and j both picked) should be p^2 = 0.09; sd of count ~ 57. *)
+  let expected = float_of_int runs *. p *. p in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (float_of_int joint.(i).(j) -. expected) > 6.5 *. sqrt expected then
+        Alcotest.failf "pair (%d,%d): %d vs %.0f" i j joint.(i).(j) expected
+    done
+  done
+
+let test_triple_joint () =
+  (* Third-order check on a small set: P(0,1,2 all picked) = p^3. *)
+  let rng = Rng.create ~seed:103 in
+  let n = 6 and p = 0.4 in
+  let runs = 60_000 in
+  let hits = ref 0 in
+  for _ = 1 to runs do
+    let picked = process_p rng ~n ~p in
+    let has x = Array.exists (Int.equal x) picked in
+    if has 0 && has 1 && has 2 then incr hits
+  done;
+  let expected = float_of_int runs *. (p ** 3.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "triple: %d vs %.0f" !hits expected)
+    true
+    (Float.abs (float_of_int !hits -. expected) < 6.0 *. sqrt expected)
+
+let suite =
+  [
+    Alcotest.test_case "marginal probability is p" `Quick test_marginal;
+    Alcotest.test_case "pairwise joint is p^2" `Quick test_pairwise_independence;
+    Alcotest.test_case "triple joint is p^3" `Quick test_triple_joint;
+  ]

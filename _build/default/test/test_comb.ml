@@ -1,0 +1,131 @@
+(* Combinatorics: Gamma/factorial accuracy, exact binomial coefficients,
+   Floyd sampling correctness and uniformity, subset enumeration and
+   rank/unrank inverses. *)
+
+module Comb = Delphic_util.Comb
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+let close ?(tol = 1e-9) a b = Float.abs (a -. b) < tol *. (1.0 +. Float.abs b)
+
+let test_ln_gamma_known () =
+  (* Gamma(1)=1, Gamma(2)=1, Gamma(5)=24, Gamma(0.5)=sqrt(pi). *)
+  Alcotest.(check bool) "G(1)" true (close (Comb.ln_gamma 1.0) 0.0 ~tol:1e-12);
+  Alcotest.(check bool) "G(2)" true (close (Comb.ln_gamma 2.0) 0.0 ~tol:1e-12);
+  Alcotest.(check bool) "G(5)" true (close (Comb.ln_gamma 5.0) (log 24.0));
+  Alcotest.(check bool) "G(0.5)" true
+    (close (Comb.ln_gamma 0.5) (0.5 *. log Float.pi));
+  Alcotest.(check bool) "G(0.25) reflection" true
+    (close (Comb.ln_gamma 0.25) 1.2880225246980774)
+
+let test_log_factorial () =
+  Alcotest.(check (float 1e-9)) "0!" 0.0 (Comb.log_factorial 0);
+  Alcotest.(check (float 1e-9)) "1!" 0.0 (Comb.log_factorial 1);
+  Alcotest.(check bool) "10!" true (close (Comb.log_factorial 10) (log 3628800.0));
+  Alcotest.(check bool) "170!" true
+    (close (Comb.log_factorial 170) 706.5730622457874)
+
+let test_choose_small () =
+  Alcotest.(check string) "C(5,2)" "10" (B.to_string (Comb.choose 5 2));
+  Alcotest.(check string) "C(10,5)" "252" (B.to_string (Comb.choose 10 5));
+  Alcotest.(check string) "C(52,5)" "2598960" (B.to_string (Comb.choose 52 5));
+  Alcotest.(check string) "C(n,0)" "1" (B.to_string (Comb.choose 7 0));
+  Alcotest.(check string) "C(n,n)" "1" (B.to_string (Comb.choose 7 7));
+  Alcotest.(check string) "C(n,k>n)" "0" (B.to_string (Comb.choose 3 5));
+  Alcotest.(check string) "C(100,50)"
+    "100891344545564193334812497256"
+    (B.to_string (Comb.choose 100 50))
+
+let test_choose_pascal () =
+  (* Pascal identity across a block of the triangle. *)
+  for n = 2 to 30 do
+    for k = 1 to n - 1 do
+      let lhs = Comb.choose n k in
+      let rhs = B.add (Comb.choose (n - 1) (k - 1)) (Comb.choose (n - 1) k) in
+      if not (B.equal lhs rhs) then
+        Alcotest.failf "Pascal fails at (%d, %d)" n k
+    done
+  done
+
+let test_choose_matches_log_choose () =
+  List.iter
+    (fun (n, k) ->
+      let exact = B.log2 (Comb.choose n k) *. log 2.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "ln C(%d,%d)" n k)
+        true
+        (close ~tol:1e-9 (Comb.log_choose n k) exact))
+    [ (10, 3); (50, 25); (200, 17); (1000, 500) ]
+
+let test_floyd_sample_contract () =
+  let rng = Rng.create ~seed:21 in
+  for _ = 1 to 200 do
+    let n = 1 + Rng.int rng 30 in
+    let k = Rng.int rng (n + 1) in
+    let s = Comb.floyd_sample rng ~n ~k in
+    Alcotest.(check int) "size" k (Array.length s);
+    Array.iteri
+      (fun i v ->
+        if v < 0 || v >= n then Alcotest.fail "out of range";
+        if i > 0 && s.(i - 1) >= v then Alcotest.fail "not sorted/distinct")
+      s
+  done
+
+let test_floyd_sample_uniform () =
+  (* All C(5,2)=10 subsets should appear with equal frequency. *)
+  let rng = Rng.create ~seed:22 in
+  let counts = Hashtbl.create 10 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let s = Comb.floyd_sample rng ~n:5 ~k:2 in
+    let key = (s.(0), s.(1)) in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "all subsets seen" 10 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      (* Bin(20000, 1/10): sd ~ 42; 6 sigma ~ 255. *)
+      Alcotest.(check bool) "near uniform" true (abs (c - 2000) < 260))
+    counts
+
+let test_iter_subsets () =
+  let count = ref 0 in
+  let last = ref [||] in
+  Comb.iter_subsets ~n:7 ~k:3 (fun s ->
+      incr count;
+      if !count > 1 && compare !last (Array.copy s) >= 0 then
+        Alcotest.fail "not lexicographically increasing";
+      last := Array.copy s);
+  Alcotest.(check int) "C(7,3) subsets" 35 !count;
+  (* Degenerate cases. *)
+  let k0 = ref 0 in
+  Comb.iter_subsets ~n:5 ~k:0 (fun _ -> incr k0);
+  Alcotest.(check int) "k=0 yields the empty subset once" 1 !k0;
+  let kbig = ref 0 in
+  Comb.iter_subsets ~n:3 ~k:4 (fun _ -> incr kbig);
+  Alcotest.(check int) "k>n yields nothing" 0 !kbig
+
+let test_rank_unrank_roundtrip () =
+  let n = 9 and k = 4 in
+  let idx = ref 0 in
+  Comb.iter_subsets ~n ~k (fun s ->
+      let rank = Comb.rank_subset ~n s in
+      Alcotest.(check string)
+        "rank equals enumeration position"
+        (string_of_int !idx) (B.to_string rank);
+      let back = Comb.unrank_subset ~n ~k rank in
+      Alcotest.(check (array int)) "unrank inverts" s back;
+      incr idx)
+
+let suite =
+  [
+    Alcotest.test_case "ln_gamma known values" `Quick test_ln_gamma_known;
+    Alcotest.test_case "log_factorial" `Quick test_log_factorial;
+    Alcotest.test_case "choose small values" `Quick test_choose_small;
+    Alcotest.test_case "choose Pascal identity" `Quick test_choose_pascal;
+    Alcotest.test_case "choose vs log_choose" `Quick test_choose_matches_log_choose;
+    Alcotest.test_case "floyd sample contract" `Quick test_floyd_sample_contract;
+    Alcotest.test_case "floyd sample uniform" `Quick test_floyd_sample_uniform;
+    Alcotest.test_case "iter_subsets" `Quick test_iter_subsets;
+    Alcotest.test_case "rank/unrank roundtrip" `Quick test_rank_unrank_roundtrip;
+  ]

@@ -1,0 +1,96 @@
+(* Discrete distributions: alias-table frequencies, Zipf shape, geometric
+   and Poisson moments. *)
+
+module Dist = Delphic_util.Dist
+module Rng = Delphic_util.Rng
+
+let test_discrete_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Discrete.create: empty weights")
+    (fun () -> ignore (Dist.Discrete.create [||]));
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Discrete.create: weights sum to zero") (fun () ->
+      ignore (Dist.Discrete.create [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Discrete.create: bad weight")
+    (fun () -> ignore (Dist.Discrete.create [| 1.0; -2.0 |]))
+
+let test_discrete_frequencies () =
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let d = Dist.Discrete.create weights in
+  Alcotest.(check int) "size" 4 (Dist.Discrete.size d);
+  let rng = Rng.create ~seed:41 in
+  let n = 100_000 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to n do
+    let i = Dist.Discrete.sample d rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = weights.(i) /. 10.0 *. float_of_int n in
+      let sd = sqrt expected in
+      if Float.abs (float_of_int c -. expected) > 6.0 *. sd then
+        Alcotest.failf "bin %d: %d vs %.0f" i c expected)
+    counts
+
+let test_discrete_point_mass () =
+  let d = Dist.Discrete.create [| 0.0; 1.0; 0.0 |] in
+  let rng = Rng.create ~seed:42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "always the massive index" 1 (Dist.Discrete.sample d rng)
+  done
+
+let test_zipf_shape () =
+  let z = Dist.Zipf.create ~n:100 ~s:1.2 in
+  let rng = Rng.create ~seed:43 in
+  let n = 100_000 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to n do
+    let i = Dist.Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Rank 0 must dominate, and the ratio c0/c1 should approximate 2^1.2. *)
+  Alcotest.(check bool) "head heaviest" true (counts.(0) > counts.(1));
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(1) in
+  Alcotest.(check bool) "c0/c1 near 2^1.2" true (Float.abs (ratio -. (2.0 ** 1.2)) < 0.35)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:44 in
+  Alcotest.(check int) "p=1 is 0" 0 (Dist.geometric rng ~p:1.0);
+  let n = 100_000 and p = 0.25 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let v = Dist.geometric rng ~p in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    sum := !sum + v
+  done;
+  (* mean (failures before success) = (1-p)/p = 3. *)
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.1)
+
+let test_poisson () =
+  let rng = Rng.create ~seed:45 in
+  Alcotest.(check int) "lambda 0" 0 (Dist.poisson rng ~lambda:0.0);
+  let check lambda =
+    let n = 50_000 in
+    let sum = ref 0 in
+    for _ = 1 to n do
+      sum := !sum + Dist.poisson rng ~lambda
+    done;
+    let mean = float_of_int !sum /. float_of_int n in
+    let tol = 6.0 *. sqrt (lambda /. float_of_int n) +. 0.05 in
+    if Float.abs (mean -. lambda) > tol then
+      Alcotest.failf "lambda %.1f: mean %.3f" lambda mean
+  in
+  check 4.0;
+  (* Gaussian-approximation branch. *)
+  check 100.0
+
+let suite =
+  [
+    Alcotest.test_case "discrete validation" `Quick test_discrete_validation;
+    Alcotest.test_case "discrete frequencies" `Quick test_discrete_frequencies;
+    Alcotest.test_case "discrete point mass" `Quick test_discrete_point_mass;
+    Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
+    Alcotest.test_case "geometric mean" `Quick test_geometric;
+    Alcotest.test_case "poisson mean (both branches)" `Quick test_poisson;
+  ]

@@ -1,0 +1,173 @@
+(* Edge cases across modules that the main suites do not reach: boundary
+   arithmetic in Bigint, extreme binomial parameters, degenerate
+   distributions, EXT-VATIC union sampling, and Knapsack approximation
+   monotonicity. *)
+
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Binomial = Delphic_util.Binomial
+module Dist = Delphic_util.Dist
+module Bitvec = Delphic_util.Bitvec
+module Range1d = Delphic_sets.Range1d
+module Knapsack = Delphic_sets.Knapsack
+module Wrap = Delphic_sets.Approx_wrap.Make (Range1d)
+module Ext = Delphic_core.Ext_vatic.Make (Wrap)
+
+let test_bigint_limb_boundaries () =
+  (* Values straddling the 30-bit limb boundary. *)
+  List.iter
+    (fun shift ->
+      let v = B.pow2 shift in
+      Alcotest.(check (option int))
+        (Printf.sprintf "2^%d roundtrip" shift)
+        (Some (1 lsl shift))
+        (B.to_int v);
+      Alcotest.(check int) "bit_length" (shift + 1) (B.bit_length v);
+      Alcotest.check (Alcotest.testable B.pp B.equal) "pred/succ"
+        v
+        (B.succ (B.pred v)))
+    [ 29; 30; 31; 59; 60; 61 ];
+  (* Subtraction with borrows across several limbs. *)
+  let big = B.pow2 120 in
+  Alcotest.(check string) "2^120 - 1 decimal"
+    "1329227995784915872903807060280344575"
+    (B.to_string (B.pred big))
+
+let test_bigint_shift_extremes () =
+  Alcotest.(check bool) "shift of zero" true (B.is_zero (B.shift_left B.zero 500));
+  Alcotest.(check bool) "huge right shift" true (B.is_zero (B.shift_right B.one 1));
+  let v = B.of_string "987654321987654321987654321" in
+  Alcotest.check (Alcotest.testable B.pp B.equal) "left 0 is identity" v
+    (B.shift_left v 0);
+  Alcotest.check (Alcotest.testable B.pp B.equal) "right 0 is identity" v
+    (B.shift_right v 0)
+
+let test_binomial_extreme_p () =
+  let rng = Rng.create ~seed:161 in
+  (* Tiny p with large n (BINV path via flipped tail). *)
+  let total = ref 0 in
+  for _ = 1 to 2000 do
+    total := !total + Binomial.sample rng ~n:1_000_000 ~p:1e-6
+  done;
+  (* Mean of the sum = 2000 * 1 = 2000; sd ~ 45. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny p total %d near 2000" !total)
+    true
+    (abs (!total - 2000) < 300);
+  (* p very close to 1. *)
+  let v = Binomial.sample rng ~n:1000 ~p:0.999999 in
+  Alcotest.(check bool) "p near 1" true (v >= 990 && v <= 1000);
+  (* n = 1 Bernoulli. *)
+  let ones = ref 0 in
+  for _ = 1 to 10_000 do
+    ones := !ones + Binomial.sample rng ~n:1 ~p:0.5
+  done;
+  Alcotest.(check bool) "n=1 fair" true (abs (!ones - 5000) < 350)
+
+let test_btpe_near_boundary () =
+  (* np just above the BINV/BTPE switch (30): both regimes must agree in
+     the mean.  This stresses the seam where dispatch changes. *)
+  let mean ~n ~p =
+    let rng = Rng.create ~seed:162 in
+    let s = ref 0 in
+    for _ = 1 to 30_000 do
+      s := !s + Binomial.sample rng ~n ~p
+    done;
+    float_of_int !s /. 30_000.0
+  in
+  let m1 = mean ~n:299 ~p:0.1 (* np = 29.9: BINV *) in
+  let m2 = mean ~n:301 ~p:0.1 (* np = 30.1: BTPE *) in
+  Alcotest.(check bool)
+    (Printf.sprintf "seam continuity: %.2f vs %.2f" m1 m2)
+    true
+    (Float.abs (m1 -. 29.9) < 0.25 && Float.abs (m2 -. 30.1) < 0.25)
+
+let test_discrete_singleton () =
+  let d = Dist.Discrete.create [| 3.7 |] in
+  let rng = Rng.create ~seed:163 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only index" 0 (Dist.Discrete.sample d rng)
+  done
+
+let test_zipf_single_rank () =
+  let z = Dist.Zipf.create ~n:1 ~s:2.0 in
+  let rng = Rng.create ~seed:164 in
+  Alcotest.(check int) "n=1" 0 (Dist.Zipf.sample z rng)
+
+let test_bitvec_zero_width () =
+  let v = Bitvec.create ~width:0 in
+  Alcotest.(check int) "width" 0 (Bitvec.width v);
+  Alcotest.(check int) "popcount" 0 (Bitvec.popcount v);
+  Alcotest.(check string) "empty string" "" (Bitvec.to_string v);
+  Alcotest.(check bool) "equal to itself" true (Bitvec.equal v (Bitvec.copy v));
+  Alcotest.(check bool) "is_zero" true (Bitvec.is_zero v)
+
+let test_knapsack_approx_monotone_in_sigbits () =
+  (* More significant bits => tighter alpha, and the rounded count grows
+     toward the exact one. *)
+  let exact = Knapsack.create ~weights:[| 5; 7; 3; 9; 4; 6; 8; 2 |] ~bound:22 in
+  let rng = Rng.create ~seed:165 in
+  let counts =
+    List.map
+      (fun sigbits ->
+        let a = Knapsack.Approx.create ~sigbits exact in
+        (Knapsack.Approx.alpha a, B.to_float (Knapsack.Approx.approx_cardinality a rng)))
+      [ 2; 4; 8; 16 ]
+  in
+  let rec check = function
+    | (alpha1, c1) :: ((alpha2, c2) :: _ as rest) ->
+      Alcotest.(check bool) "alpha shrinks" true (alpha2 < alpha1);
+      Alcotest.(check bool) "count approaches exact" true (c2 >= c1);
+      check rest
+    | _ -> ()
+  in
+  check counts;
+  let truth = B.to_float (Knapsack.cardinality exact) in
+  let _, best = List.nth counts 3 in
+  Alcotest.(check bool) "16 bits is near-exact" true (truth -. best <= 2.0)
+
+let test_ext_vatic_union_sampling () =
+  let gen = Rng.create ~seed:166 in
+  let pool =
+    Delphic_stream.Workload.Ranges.uniform gen ~universe:100_000 ~count:60 ~max_len:2000
+  in
+  let wrapped = List.map (Wrap.wrap ~alpha:0.2 ~gamma:0.05 ~eta:0.2) pool in
+  let t =
+    Ext.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:17.0 ~alpha:0.2 ~gamma:0.05
+      ~eta:0.2 ~seed:167 ()
+  in
+  List.iter (Ext.process t) wrapped;
+  for _ = 1 to 30 do
+    match Ext.sample_union t with
+    | None -> Alcotest.fail "sketch should be non-empty"
+    | Some x ->
+      Alcotest.(check bool) "sample in union" true
+        (List.exists (fun r -> Range1d.mem r x) pool)
+  done;
+  (* Empty estimator. *)
+  let empty =
+    Ext.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:17.0 ~alpha:0.2 ~gamma:0.05
+      ~eta:0.2 ~seed:168 ()
+  in
+  Alcotest.(check bool) "empty sample" true (Ext.sample_union empty = None)
+
+let test_range_singleton () =
+  let r = Range1d.create ~lo:7 ~hi:7 in
+  Alcotest.(check int) "length 1" 1 (Range1d.length r);
+  let rng = Rng.create ~seed:169 in
+  Alcotest.(check int) "sample" 7 (Range1d.sample r rng)
+
+let suite =
+  [
+    Alcotest.test_case "bigint limb boundaries" `Quick test_bigint_limb_boundaries;
+    Alcotest.test_case "bigint shift extremes" `Quick test_bigint_shift_extremes;
+    Alcotest.test_case "binomial extreme p" `Quick test_binomial_extreme_p;
+    Alcotest.test_case "binomial BINV/BTPE seam" `Quick test_btpe_near_boundary;
+    Alcotest.test_case "discrete singleton" `Quick test_discrete_singleton;
+    Alcotest.test_case "zipf single rank" `Quick test_zipf_single_rank;
+    Alcotest.test_case "bitvec zero width" `Quick test_bitvec_zero_width;
+    Alcotest.test_case "knapsack approx monotone in sigbits" `Quick
+      test_knapsack_approx_monotone_in_sigbits;
+    Alcotest.test_case "ext-vatic union sampling" `Quick test_ext_vatic_union_sampling;
+    Alcotest.test_case "range singleton" `Quick test_range_singleton;
+  ]

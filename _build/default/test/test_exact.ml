@@ -1,0 +1,143 @@
+(* Exact ground-truth algorithms, cross-checked against brute force. *)
+
+module Exact = Delphic_sets.Exact
+module Range1d = Delphic_sets.Range1d
+module Rectangle = Delphic_sets.Rectangle
+module Knapsack = Delphic_sets.Knapsack
+module Bitvec = Delphic_util.Bitvec
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+let test_range_union_basic () =
+  Alcotest.(check int) "empty" 0 (Exact.range_union []);
+  Alcotest.(check int) "single" 5 (Exact.range_union [ Range1d.create ~lo:3 ~hi:7 ]);
+  Alcotest.(check int) "disjoint" 4
+    (Exact.range_union [ Range1d.create ~lo:0 ~hi:1; Range1d.create ~lo:5 ~hi:6 ]);
+  Alcotest.(check int) "overlapping" 6
+    (Exact.range_union [ Range1d.create ~lo:0 ~hi:3; Range1d.create ~lo:2 ~hi:5 ]);
+  Alcotest.(check int) "adjacent merge" 6
+    (Exact.range_union [ Range1d.create ~lo:0 ~hi:2; Range1d.create ~lo:3 ~hi:5 ]);
+  Alcotest.(check int) "nested" 10
+    (Exact.range_union [ Range1d.create ~lo:0 ~hi:9; Range1d.create ~lo:2 ~hi:4 ])
+
+let test_range_union_random_vs_bruteforce () =
+  let rng = Rng.create ~seed:91 in
+  for _ = 1 to 50 do
+    let ranges =
+      List.init (1 + Rng.int rng 20) (fun _ ->
+          let lo = Rng.int rng 100 in
+          Range1d.create ~lo ~hi:(lo + Rng.int rng 20))
+    in
+    let brute = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        for x = Range1d.lo r to Range1d.hi r do
+          Hashtbl.replace brute x ()
+        done)
+      ranges;
+    Alcotest.(check int) "sweep = brute" (Hashtbl.length brute) (Exact.range_union ranges)
+  done
+
+let test_rectangle_union_basic () =
+  Alcotest.(check string) "empty" "0" (B.to_string (Exact.rectangle_union []));
+  let a = Rectangle.create ~lo:[| 0; 0 |] ~hi:[| 1; 1 |] in
+  Alcotest.(check string) "single 2x2" "4" (B.to_string (Exact.rectangle_union [ a ]));
+  Alcotest.(check string) "duplicate" "4" (B.to_string (Exact.rectangle_union [ a; a ]));
+  let b = Rectangle.create ~lo:[| 1; 1 |] ~hi:[| 2; 2 |] in
+  (* 4 + 4 - 1 overlap point *)
+  Alcotest.(check string) "overlap corner" "7" (B.to_string (Exact.rectangle_union [ a; b ]))
+
+let test_rectangle_union_random_vs_bruteforce () =
+  let rng = Rng.create ~seed:92 in
+  for _ = 1 to 25 do
+    let dim = 1 + Rng.int rng 3 in
+    let boxes =
+      List.init (1 + Rng.int rng 8) (fun _ ->
+          let lo = Array.init dim (fun _ -> Rng.int rng 12) in
+          let hi = Array.map (fun l -> l + Rng.int rng 6) lo in
+          Rectangle.create ~lo ~hi)
+    in
+    (* Brute force over the 18^dim grid. *)
+    let count = ref 0 in
+    let pt = Array.make dim 0 in
+    let rec scan axis =
+      if axis = dim then begin
+        if List.exists (fun b -> Rectangle.mem b pt) boxes then incr count
+      end
+      else
+        for v = 0 to 17 do
+          pt.(axis) <- v;
+          scan (axis + 1)
+        done
+    in
+    scan 0;
+    Alcotest.(check string) "grid measure = brute"
+      (string_of_int !count)
+      (B.to_string (Exact.rectangle_union boxes))
+  done
+
+let test_dnf_count_bdd_vs_enum () =
+  let rng = Rng.create ~seed:93 in
+  for _ = 1 to 20 do
+    let nvars = 3 + Rng.int rng 10 in
+    let terms =
+      Delphic_stream.Workload.Dnf_terms.random rng ~nvars
+        ~count:(1 + Rng.int rng 10)
+        ~width:(1 + Rng.int rng (min 4 nvars))
+    in
+    Alcotest.(check string) "bdd = enum"
+      (B.to_string (Exact.dnf_count_enum ~nvars terms))
+      (B.to_string (Exact.dnf_count ~nvars terms))
+  done
+
+let test_coverage_union_bruteforce () =
+  let vectors = List.map Bitvec.of_string [ "1100"; "1010"; "1100" ] in
+  (* t = 1: positions {0..3}, patterns exhibited:
+     pos0: {1}, pos1: {1,0}, pos2: {0,1}, pos3: {0} -> 1+2+2+1 = 6. *)
+  Alcotest.(check string) "t=1" "6" (B.to_string (Exact.coverage_union ~strength:1 vectors));
+  (* t = 2: check against direct enumeration. *)
+  let direct = ref 0 in
+  Delphic_util.Comb.iter_subsets ~n:4 ~k:2 (fun positions ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun v -> Hashtbl.replace seen (Bitvec.to_string (Bitvec.extract v positions)) ())
+        vectors;
+      direct := !direct + Hashtbl.length seen);
+  Alcotest.(check string) "t=2" (string_of_int !direct)
+    (B.to_string (Exact.coverage_union ~strength:2 vectors))
+
+let test_distinct () =
+  Alcotest.(check int) "empty" 0 (Exact.distinct []);
+  Alcotest.(check int) "dups" 3 (Exact.distinct [ 1; 2; 2; 3; 1; 1 ])
+
+let test_knapsack_union () =
+  let a = Knapsack.create ~weights:[| 3; 5; 7 |] ~bound:8 in
+  let b = Knapsack.create ~weights:[| 3; 5; 7 |] ~bound:10 in
+  (* b's solutions are a superset (same weights, larger bound). *)
+  Alcotest.(check string) "superset union = |b|"
+    (B.to_string (Knapsack.cardinality b))
+    (B.to_string (Exact.knapsack_union [ a; b ]));
+  (* Different weights: brute-force check. *)
+  let c = Knapsack.create ~weights:[| 2; 2; 9 |] ~bound:4 in
+  let brute = ref 0 in
+  for x = 0 to 7 do
+    let v = Bitvec.create ~width:3 in
+    for i = 0 to 2 do
+      Bitvec.set v i ((x lsr i) land 1 = 1)
+    done;
+    if Knapsack.mem a v || Knapsack.mem c v then incr brute
+  done;
+  Alcotest.(check string) "mixed union" (string_of_int !brute)
+    (B.to_string (Exact.knapsack_union [ a; c ]))
+
+let suite =
+  [
+    Alcotest.test_case "range union: basics" `Quick test_range_union_basic;
+    Alcotest.test_case "range union: random vs brute force" `Quick test_range_union_random_vs_bruteforce;
+    Alcotest.test_case "rectangle union: basics" `Quick test_rectangle_union_basic;
+    Alcotest.test_case "rectangle union: random vs brute force" `Quick test_rectangle_union_random_vs_bruteforce;
+    Alcotest.test_case "dnf count: BDD vs enumeration" `Quick test_dnf_count_bdd_vs_enum;
+    Alcotest.test_case "coverage union vs brute force" `Quick test_coverage_union_bruteforce;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "knapsack union" `Quick test_knapsack_union;
+  ]

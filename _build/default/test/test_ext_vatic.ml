@@ -1,0 +1,117 @@
+(* EXT-VATIC: window compliance under degraded oracles (Theorem 1.5),
+   behaviour with an exact oracle, and validation. *)
+
+module Rng = Delphic_util.Rng
+module Range1d = Delphic_sets.Range1d
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+module Wrap = Delphic_sets.Approx_wrap.Make (Range1d)
+module Ext = Delphic_core.Ext_vatic.Make (Wrap)
+module Knapsack = Delphic_sets.Knapsack
+module Ext_knap = Delphic_core.Ext_vatic.Make (Knapsack.Approx)
+
+let make_pool seed =
+  let gen = Rng.create ~seed in
+  Workload.Ranges.uniform gen ~universe:1_000_000 ~count:200 ~max_len:4000
+
+let run_once ~alpha ~gamma ~eta ~seed pool =
+  let wrapped = List.map (Wrap.wrap ~alpha ~gamma ~eta ~salt:seed) pool in
+  let t =
+    Ext.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~alpha ~gamma ~eta ~seed ()
+  in
+  List.iter (Ext.process t) wrapped;
+  (Ext.estimate t, Ext.window t, Ext.skipped_sets t)
+
+let check_window ~alpha ~gamma ~eta () =
+  let pool = make_pool 201 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let ok = ref 0 in
+  let trials = 12 in
+  for i = 0 to trials - 1 do
+    let est, (lo, hi), skipped = run_once ~alpha ~gamma ~eta ~seed:(300 + i) pool in
+    Alcotest.(check int) "no skips" 0 skipped;
+    if est >= lo *. truth && est <= hi *. truth then incr ok
+  done;
+  (* delta = 0.2: expect >= 10 of 12 inside (in practice all). *)
+  Alcotest.(check bool) (Printf.sprintf "inside %d/%d" !ok trials) true (!ok >= trials - 2)
+
+let test_window_mild () = check_window ~alpha:0.2 ~gamma:0.05 ~eta:0.1 ()
+let test_window_harsh () = check_window ~alpha:0.5 ~gamma:0.2 ~eta:0.4 ()
+
+let test_exact_oracle_tracks_truth () =
+  (* alpha = gamma = eta = 0 degrades nothing: the output must behave like
+     an (ε, δ)-estimate up to the structural factor 2 slack of Theorem 1.5
+     — empirically it is sharp. *)
+  let pool = make_pool 202 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let close = ref 0 in
+  for i = 0 to 9 do
+    let est, _, _ = run_once ~alpha:0.0 ~gamma:0.0 ~eta:0.0 ~seed:(400 + i) pool in
+    if Float.abs (est -. truth) <= 0.3 *. truth then incr close
+  done;
+  Alcotest.(check bool) (Printf.sprintf "close in %d/10" !close) true (!close >= 8)
+
+let test_knapsack_approx_family_end_to_end () =
+  (* A genuinely approximate family (rounded counting DP), not a synthetic
+     wrapper: stream of knapsack instances over 14 items. *)
+  let gen = Rng.create ~seed:203 in
+  let pool = Workload.Knapsacks.random gen ~nvars:14 ~max_weight:20 ~count:12 in
+  let approx = List.map (Knapsack.Approx.create ~sigbits:8) pool in
+  let alpha =
+    List.fold_left (fun acc a -> Float.max acc (Knapsack.Approx.alpha a)) 0.0 approx
+  in
+  let eta =
+    List.fold_left (fun acc a -> Float.max acc (Knapsack.Approx.eta a)) 0.0 approx
+  in
+  let truth = Delphic_util.Bigint.to_float (Exact.knapsack_union pool) in
+  let t =
+    Ext_knap.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:14.0 ~alpha ~gamma:0.0
+      ~eta ~seed:7 ()
+  in
+  List.iter (Ext_knap.process t) approx;
+  let est = Ext_knap.estimate t in
+  let lo, hi = Ext_knap.window t in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f within [%.0f, %.0f]" est (lo *. truth) (hi *. truth))
+    true
+    (est >= lo *. truth && est <= hi *. truth)
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  let make ?(epsilon = 0.2) ?(gamma = 0.1) ?(alpha = 0.1) ?(eta = 0.1)
+      ?(log2_universe = 30.0) () =
+    Ext.create ~epsilon ~delta:0.2 ~log2_universe ~alpha ~gamma ~eta ~seed:1 ()
+  in
+  ignore (make ());
+  expect_invalid (fun () -> make ~gamma:0.5 ());
+  expect_invalid (fun () -> make ~alpha:(-0.1) ());
+  expect_invalid (fun () -> make ~eta:(-0.1) ());
+  expect_invalid (fun () -> make ~epsilon:1.5 ());
+  (* Universe too small for the probability floor. *)
+  expect_invalid (fun () -> make ~log2_universe:5.0 ())
+
+let test_window_shape () =
+  let t =
+    Ext.create ~epsilon:0.2 ~delta:0.2 ~log2_universe:30.0 ~alpha:0.25 ~gamma:0.1
+      ~eta:0.5 ~seed:1 ()
+  in
+  let lo, hi = Ext.window t in
+  Alcotest.(check (float 1e-9)) "lower factor"
+    ((1.0 -. 0.2) /. (2.0 *. 1.5 *. 1.25))
+    lo;
+  Alcotest.(check (float 1e-9)) "upper factor" (1.2 *. 1.5 *. 1.25) hi
+
+let suite =
+  [
+    Alcotest.test_case "window compliance (mild oracle)" `Quick test_window_mild;
+    Alcotest.test_case "window compliance (harsh oracle)" `Quick test_window_harsh;
+    Alcotest.test_case "exact oracle tracks truth" `Quick test_exact_oracle_tracks_truth;
+    Alcotest.test_case "knapsack rounded-DP family end-to-end" `Quick
+      test_knapsack_approx_family_end_to_end;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "window formula" `Quick test_window_shape;
+  ]

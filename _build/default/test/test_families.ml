@@ -1,0 +1,231 @@
+(* Delphic-family axioms, checked per concrete family:
+   1. every sample is a member (sample/mem consistency);
+   2. cardinality equals exhaustive enumeration on small instances;
+   3. sampling is (approximately) uniform — chi-square on small sets;
+   4. membership rejects non-members.
+   Plus family-specific representation tests. *)
+
+module Rng = Delphic_util.Rng
+module B = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Range1d = Delphic_sets.Range1d
+module Singleton = Delphic_sets.Singleton
+module Rectangle = Delphic_sets.Rectangle
+module Hypervolume = Delphic_sets.Hypervolume
+module Coverage = Delphic_sets.Coverage
+module Dnf = Delphic_sets.Dnf
+
+(* Generic axiom 1+3: samples are members and evenly spread.  [key] maps an
+   element to a hashable identity. *)
+let check_sampling (type s e) (module F : Delphic_family.Family.FAMILY
+                                with type t = s and type elt = e) ~seed set ~draws =
+  let rng = Rng.create ~seed in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to draws do
+    let x = F.sample set rng in
+    if not (F.mem set x) then Alcotest.fail "sample not a member";
+    let k = F.hash_elt x in
+    (* Collisions across distinct elements would only make the spread test
+       stricter to fail, never easier; fine for small sets. *)
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let card = B.to_int_exn (F.cardinality set) in
+  Alcotest.(check int) "all elements reached" card (Hashtbl.length counts);
+  let expected = float_of_int draws /. float_of_int card in
+  Hashtbl.iter
+    (fun _ c ->
+      if Float.abs (float_of_int c -. expected) > 6.0 *. sqrt expected +. 3.0 then
+        Alcotest.failf "count %d far from %.1f" c expected)
+    counts
+
+(* --- Range1d --- *)
+
+let test_range_basic () =
+  let r = Range1d.create ~lo:10 ~hi:19 in
+  Alcotest.(check int) "length" 10 (Range1d.length r);
+  Alcotest.(check string) "cardinality" "10" (B.to_string (Range1d.cardinality r));
+  Alcotest.(check bool) "mem lo" true (Range1d.mem r 10);
+  Alcotest.(check bool) "mem hi" true (Range1d.mem r 19);
+  Alcotest.(check bool) "not mem" false (Range1d.mem r 9);
+  Alcotest.(check bool) "not mem" false (Range1d.mem r 20);
+  Alcotest.check_raises "bad range" (Invalid_argument "Range1d.create: need 0 <= lo <= hi")
+    (fun () -> ignore (Range1d.create ~lo:5 ~hi:4))
+
+let test_range_sampling () =
+  check_sampling (module Range1d) ~seed:61 (Range1d.create ~lo:100 ~hi:129) ~draws:20_000
+
+(* --- Singleton --- *)
+
+let test_singleton () =
+  let s = Singleton.create 7 in
+  Alcotest.(check string) "cardinality 1" "1" (B.to_string (Singleton.cardinality s));
+  Alcotest.(check bool) "mem self" true (Singleton.mem s 7);
+  Alcotest.(check bool) "not mem other" false (Singleton.mem s 8);
+  let rng = Rng.create ~seed:62 in
+  Alcotest.(check int) "sample is the element" 7 (Singleton.sample s rng)
+
+(* --- Rectangle --- *)
+
+let test_rectangle_basic () =
+  let r = Rectangle.create ~lo:[| 1; 2 |] ~hi:[| 3; 5 |] in
+  Alcotest.(check int) "dim" 2 (Rectangle.dim r);
+  Alcotest.(check string) "volume 3*4" "12" (B.to_string (Rectangle.volume r));
+  Alcotest.(check bool) "mem corner" true (Rectangle.mem r [| 1; 2 |]);
+  Alcotest.(check bool) "mem corner" true (Rectangle.mem r [| 3; 5 |]);
+  Alcotest.(check bool) "outside" false (Rectangle.mem r [| 0; 2 |]);
+  Alcotest.(check bool) "wrong dim" false (Rectangle.mem r [| 1 |]);
+  Alcotest.check_raises "inverted" (Invalid_argument "Rectangle.create: need 0 <= lo.(i) <= hi.(i)")
+    (fun () -> ignore (Rectangle.create ~lo:[| 2 |] ~hi:[| 1 |]))
+
+let test_rectangle_enumeration () =
+  (* Cardinality equals point-by-point membership enumeration. *)
+  let r = Rectangle.create ~lo:[| 2; 0; 5 |] ~hi:[| 4; 1; 6 |] in
+  let count = ref 0 in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      for z = 0 to 7 do
+        if Rectangle.mem r [| x; y; z |] then incr count
+      done
+    done
+  done;
+  Alcotest.(check int) "3*2*2 points" !count (B.to_int_exn (Rectangle.volume r))
+
+let test_rectangle_sampling () =
+  check_sampling
+    (module Rectangle)
+    ~seed:63
+    (Rectangle.create ~lo:[| 0; 10 |] ~hi:[| 4; 14 |])
+    ~draws:25_000
+
+let test_rectangle_huge_volume () =
+  (* d = 10 with million-long sides: 10^60 points, beyond any native type. *)
+  let d = 10 in
+  let r =
+    Rectangle.create ~lo:(Array.make d 0) ~hi:(Array.make d 999_999)
+  in
+  Alcotest.(check string) "10^60"
+    ("1" ^ String.make 60 '0')
+    (B.to_string (Rectangle.volume r));
+  let rng = Rng.create ~seed:64 in
+  Alcotest.(check bool) "sample member" true (Rectangle.mem r (Rectangle.sample r rng))
+
+let test_rectangle_geometry () =
+  let a = Rectangle.create ~lo:[| 0; 0 |] ~hi:[| 9; 9 |] in
+  let b = Rectangle.create ~lo:[| 5; 5 |] ~hi:[| 14; 14 |] in
+  let c = Rectangle.create ~lo:[| 20; 20 |] ~hi:[| 21; 21 |] in
+  Alcotest.(check bool) "contains" true (Rectangle.contains_box a (Rectangle.create ~lo:[| 1; 1 |] ~hi:[| 8; 8 |]));
+  Alcotest.(check bool) "not contains" false (Rectangle.contains_box a b);
+  (match Rectangle.intersect a b with
+  | Some i -> Alcotest.(check string) "overlap 5x5" "25" (B.to_string (Rectangle.volume i))
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "disjoint" true (Rectangle.intersect a c = None)
+
+(* --- Hypervolume --- *)
+
+let test_hypervolume () =
+  let h = Hypervolume.create [| 2; 3 |] in
+  Alcotest.(check string) "volume 3*4" "12" (B.to_string (Hypervolume.cardinality h));
+  Alcotest.(check bool) "origin in" true (Hypervolume.mem h [| 0; 0 |]);
+  Alcotest.(check bool) "corner in" true (Hypervolume.mem h [| 2; 3 |]);
+  Alcotest.(check bool) "outside" false (Hypervolume.mem h [| 3; 0 |]);
+  Alcotest.(check bool) "dominates smaller" true
+    (Hypervolume.dominates h (Hypervolume.create [| 1; 2 |]));
+  Alcotest.(check bool) "no domination" false
+    (Hypervolume.dominates h (Hypervolume.create [| 3; 1 |]))
+
+let test_hypervolume_sampling () =
+  check_sampling (module Hypervolume) ~seed:67 (Hypervolume.create [| 4; 5 |])
+    ~draws:25_000
+
+(* --- Coverage --- *)
+
+let test_coverage_cardinality () =
+  let v = Bitvec.of_string "110010" in
+  let c = Coverage.create ~vector:v ~strength:2 in
+  (* C(6,2) = 15 *)
+  Alcotest.(check string) "C(6,2)" "15" (B.to_string (Coverage.cardinality c));
+  Alcotest.(check string) "universe C(6,2)*4" "60"
+    (B.to_string (Coverage.universe_size ~n:6 ~strength:2))
+
+let test_coverage_membership () =
+  let v = Bitvec.of_string "110010" in
+  let c = Coverage.create ~vector:v ~strength:2 in
+  let ok = { Coverage.positions = [| 0; 4 |]; pattern = Bitvec.of_string "11" } in
+  Alcotest.(check bool) "matching restriction" true (Coverage.mem c ok);
+  let wrong_pattern = { Coverage.positions = [| 0; 4 |]; pattern = Bitvec.of_string "10" } in
+  Alcotest.(check bool) "wrong pattern" false (Coverage.mem c wrong_pattern);
+  let unsorted = { Coverage.positions = [| 4; 0 |]; pattern = Bitvec.of_string "11" } in
+  Alcotest.(check bool) "unsorted positions rejected" false (Coverage.mem c unsorted);
+  let wrong_arity = { Coverage.positions = [| 0 |]; pattern = Bitvec.of_string "1" } in
+  Alcotest.(check bool) "wrong arity" false (Coverage.mem c wrong_arity)
+
+let test_coverage_sampling () =
+  let v = Bitvec.of_string "1011001" in
+  check_sampling (module Coverage) ~seed:65 (Coverage.create ~vector:v ~strength:2)
+    ~draws:25_000
+
+(* --- DNF --- *)
+
+let test_dnf_basic () =
+  let t = Dnf.create ~nvars:5 [ { Dnf.var = 0; positive = true }; { Dnf.var = 3; positive = false } ] in
+  (* 2^(5-2) = 8 solutions *)
+  Alcotest.(check string) "2^3" "8" (B.to_string (Dnf.cardinality t));
+  Alcotest.(check bool) "satisfying" true (Dnf.satisfies t (Bitvec.of_string "10000"));
+  Alcotest.(check bool) "violates x0" false (Dnf.satisfies t (Bitvec.of_string "00000"));
+  Alcotest.(check bool) "violates ~x3" false (Dnf.satisfies t (Bitvec.of_string "10010"));
+  Alcotest.check_raises "repeated var" (Invalid_argument "Dnf.create: repeated variable")
+    (fun () ->
+      ignore
+        (Dnf.create ~nvars:3
+           [ { Dnf.var = 1; positive = true }; { Dnf.var = 1; positive = false } ]));
+  Alcotest.check_raises "var range" (Invalid_argument "Dnf.create: variable out of range")
+    (fun () -> ignore (Dnf.create ~nvars:3 [ { Dnf.var = 3; positive = true } ]))
+
+let test_dnf_enumeration () =
+  let t =
+    Dnf.create ~nvars:6
+      [ { Dnf.var = 1; positive = true }; { Dnf.var = 4; positive = true } ]
+  in
+  let count = ref 0 in
+  for x = 0 to 63 do
+    let v = Bitvec.create ~width:6 in
+    for i = 0 to 5 do
+      Bitvec.set v i ((x lsr i) land 1 = 1)
+    done;
+    if Dnf.satisfies t v then incr count
+  done;
+  Alcotest.(check int) "enumerated" !count (B.to_int_exn (Dnf.cardinality t))
+
+let test_dnf_sampling () =
+  let t =
+    Dnf.create ~nvars:5
+      [ { Dnf.var = 0; positive = false }; { Dnf.var = 2; positive = true } ]
+  in
+  check_sampling (module Dnf) ~seed:66 t ~draws:25_000
+
+let test_dnf_empty_term () =
+  (* A term with no literals covers the whole cube. *)
+  let t = Dnf.create ~nvars:4 [] in
+  Alcotest.(check string) "2^4" "16" (B.to_string (Dnf.cardinality t));
+  Alcotest.(check bool) "anything satisfies" true (Dnf.satisfies t (Bitvec.of_string "0110"))
+
+let suite =
+  [
+    Alcotest.test_case "range: basics" `Quick test_range_basic;
+    Alcotest.test_case "range: sampling axioms" `Quick test_range_sampling;
+    Alcotest.test_case "singleton: axioms" `Quick test_singleton;
+    Alcotest.test_case "rectangle: basics" `Quick test_rectangle_basic;
+    Alcotest.test_case "rectangle: cardinality = enumeration" `Quick test_rectangle_enumeration;
+    Alcotest.test_case "rectangle: sampling axioms" `Quick test_rectangle_sampling;
+    Alcotest.test_case "rectangle: astronomical volumes" `Quick test_rectangle_huge_volume;
+    Alcotest.test_case "rectangle: geometry helpers" `Quick test_rectangle_geometry;
+    Alcotest.test_case "hypervolume: basics" `Quick test_hypervolume;
+    Alcotest.test_case "hypervolume: sampling axioms" `Quick test_hypervolume_sampling;
+    Alcotest.test_case "coverage: cardinality" `Quick test_coverage_cardinality;
+    Alcotest.test_case "coverage: membership" `Quick test_coverage_membership;
+    Alcotest.test_case "coverage: sampling axioms" `Quick test_coverage_sampling;
+    Alcotest.test_case "dnf: basics" `Quick test_dnf_basic;
+    Alcotest.test_case "dnf: cardinality = enumeration" `Quick test_dnf_enumeration;
+    Alcotest.test_case "dnf: sampling axioms" `Quick test_dnf_sampling;
+    Alcotest.test_case "dnf: empty term" `Quick test_dnf_empty_term;
+  ]

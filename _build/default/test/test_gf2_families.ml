@@ -1,0 +1,257 @@
+(* GF(2) elimination, affine subspaces and Hamming balls: solver
+   correctness, family axioms, and end-to-end VATIC runs on streams of both
+   new families against brute-force union counts. *)
+
+module Gf2 = Delphic_util.Gf2
+module Bitvec = Delphic_util.Bitvec
+module B = Delphic_util.Bigint
+module Comb = Delphic_util.Comb
+module Rng = Delphic_util.Rng
+module Affine = Delphic_sets.Affine_subspace
+module Ball = Delphic_sets.Hamming_ball
+module V_affine = Delphic_core.Vatic.Make (Affine)
+module V_ball = Delphic_core.Vatic.Make (Ball)
+
+let assignment_of_int n x =
+  let v = Bitvec.create ~width:n in
+  for i = 0 to n - 1 do
+    Bitvec.set v i ((x lsr i) land 1 = 1)
+  done;
+  v
+
+let random_row rng ~nvars =
+  let coeffs = Bitvec.random rng ~width:nvars in
+  { Gf2.coeffs; rhs = Rng.bool rng }
+
+(* --- new Bitvec operations --- *)
+
+let test_bitvec_gf2_ops () =
+  let a = Bitvec.of_string "1100110" and b = Bitvec.of_string "1010101" in
+  Alcotest.(check string) "xor" "0110011" (Bitvec.to_string (Bitvec.logxor a b));
+  Alcotest.(check string) "and" "1000100" (Bitvec.to_string (Bitvec.logand a b));
+  Alcotest.(check int) "hamming" 4 (Bitvec.hamming_distance a b);
+  Alcotest.(check bool) "dot = parity of and" true (Bitvec.dot a b = false);
+  Alcotest.(check bool) "parity odd" true (Bitvec.parity (Bitvec.of_string "10110"));
+  Alcotest.(check bool) "parity even" false (Bitvec.parity (Bitvec.of_string "1010"));
+  Alcotest.(check bool) "is_zero" true (Bitvec.is_zero (Bitvec.create ~width:70));
+  let c = Bitvec.copy a in
+  Bitvec.xor_inplace c b;
+  Alcotest.(check string) "xor_inplace" "0110011" (Bitvec.to_string c);
+  (match Bitvec.logxor a (Bitvec.of_string "10") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected width mismatch")
+
+(* --- GF(2) solver --- *)
+
+let brute_solutions ~nvars rows =
+  List.filter
+    (fun x -> List.for_all (fun r -> Gf2.satisfies r (assignment_of_int nvars x)) rows)
+    (List.init (1 lsl nvars) Fun.id)
+
+let test_solver_vs_bruteforce () =
+  let rng = Rng.create ~seed:121 in
+  for _ = 1 to 60 do
+    let nvars = 2 + Rng.int rng 9 in
+    let rows = List.init (Rng.int rng (nvars + 3)) (fun _ -> random_row rng ~nvars) in
+    let brute = brute_solutions ~nvars rows in
+    match Gf2.solve ~nvars rows with
+    | None -> Alcotest.(check int) "inconsistent iff no solutions" 0 (List.length brute)
+    | Some sol ->
+      Alcotest.(check int) "solution count = 2^(n-rank)"
+        (List.length brute)
+        (1 lsl (nvars - sol.Gf2.rank));
+      (* Particular solution satisfies all rows. *)
+      Alcotest.(check bool) "particular valid" true
+        (List.for_all (fun r -> Gf2.satisfies r sol.Gf2.particular) rows);
+      (* Every basis vector lies in the kernel. *)
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "kernel vector" true
+            (List.for_all
+               (fun (r : Gf2.row) -> Gf2.satisfies { r with rhs = false } v)
+               rows))
+        sol.Gf2.null_basis;
+      Alcotest.(check int) "basis size" (nvars - sol.Gf2.rank)
+        (Array.length sol.Gf2.null_basis)
+  done
+
+let test_solver_known_system () =
+  (* x0 + x1 = 1, x1 + x2 = 0 over 3 vars: solutions {100, 011}. *)
+  let rows =
+    [
+      { Gf2.coeffs = Bitvec.of_string "110"; rhs = true };
+      { Gf2.coeffs = Bitvec.of_string "011"; rhs = false };
+    ]
+  in
+  match Gf2.solve ~nvars:3 rows with
+  | None -> Alcotest.fail "system is consistent"
+  | Some sol ->
+    Alcotest.(check int) "rank" 2 sol.Gf2.rank;
+    Alcotest.(check int) "one free var" 1 (Array.length sol.Gf2.null_basis)
+
+let test_solver_inconsistent () =
+  let rows =
+    [
+      { Gf2.coeffs = Bitvec.of_string "10"; rhs = true };
+      { Gf2.coeffs = Bitvec.of_string "10"; rhs = false };
+    ]
+  in
+  Alcotest.(check bool) "inconsistent" false (Gf2.consistent ~nvars:2 rows)
+
+(* --- affine subspace family --- *)
+
+let test_affine_family_axioms () =
+  let rng = Rng.create ~seed:122 in
+  for _ = 1 to 30 do
+    let nvars = 3 + Rng.int rng 8 in
+    let rows = List.init (1 + Rng.int rng nvars) (fun _ -> random_row rng ~nvars) in
+    match Affine.create_opt ~nvars rows with
+    | None -> ()
+    | Some s ->
+      Alcotest.(check bool) "cardinality = brute force" true
+        (B.equal (Affine.cardinality s)
+           (B.of_int (List.length (brute_solutions ~nvars rows))));
+      for _ = 1 to 30 do
+        let x = Affine.sample s rng in
+        Alcotest.(check bool) "sample is member" true (Affine.mem s x)
+      done
+  done
+
+let test_affine_sampling_uniform () =
+  (* Small subspace: every solution equally likely. *)
+  let rows = [ { Gf2.coeffs = Bitvec.of_string "1100"; rhs = true } ] in
+  let s = Affine.create ~nvars:4 rows in
+  Alcotest.(check string) "2^3 solutions" "8" (B.to_string (Affine.cardinality s));
+  let rng = Rng.create ~seed:123 in
+  let counts = Hashtbl.create 8 in
+  let draws = 16_000 in
+  for _ = 1 to draws do
+    let key = Bitvec.to_string (Affine.sample s rng) in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "all reached" 8 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c -> if abs (c - 2000) > 270 then Alcotest.failf "skew: %d" c)
+    counts
+
+let test_affine_inconsistent_rejected () =
+  let rows =
+    [
+      { Gf2.coeffs = Bitvec.of_string "1"; rhs = true };
+      { Gf2.coeffs = Bitvec.of_string "1"; rhs = false };
+    ]
+  in
+  match Affine.create ~nvars:1 rows with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_vatic_on_affine_stream () =
+  (* Stream of random XOR-constraint sets over 18 vars; truth by
+     enumeration. *)
+  let nvars = 18 in
+  let rng = Rng.create ~seed:124 in
+  let pool = ref [] in
+  while List.length !pool < 25 do
+    let rows = List.init (6 + Rng.int rng 6) (fun _ -> random_row rng ~nvars) in
+    match Affine.create_opt ~nvars rows with
+    | Some s -> pool := s :: !pool
+    | None -> ()
+  done;
+  let pool = !pool in
+  let member x = List.exists (fun s -> Affine.mem s (assignment_of_int nvars x)) pool in
+  let truth = ref 0 in
+  for x = 0 to (1 lsl nvars) - 1 do
+    if member x then incr truth
+  done;
+  let failures = ref 0 in
+  for i = 0 to 9 do
+    let t =
+      V_affine.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:(float_of_int nvars)
+        ~seed:(800 + i) ()
+    in
+    List.iter (V_affine.process t) pool;
+    if Float.abs (V_affine.estimate t -. float_of_int !truth) > 0.3 *. float_of_int !truth
+    then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/10" !failures) true (!failures <= 2)
+
+(* --- Hamming balls --- *)
+
+let test_ball_cardinality () =
+  let c = Bitvec.of_string "0000000000" in
+  let b = Ball.create ~center:c ~radius:2 in
+  (* 1 + 10 + 45 = 56 *)
+  Alcotest.(check string) "C(10,<=2)" "56" (B.to_string (Ball.cardinality b));
+  let full = Ball.create ~center:c ~radius:10 in
+  Alcotest.(check string) "full cube" "1024" (B.to_string (Ball.cardinality full));
+  let point = Ball.create ~center:c ~radius:0 in
+  Alcotest.(check string) "radius 0" "1" (B.to_string (Ball.cardinality point))
+
+let test_ball_membership () =
+  let c = Bitvec.of_string "10101" in
+  let b = Ball.create ~center:c ~radius:1 in
+  Alcotest.(check bool) "center in" true (Ball.mem b c);
+  Alcotest.(check bool) "distance 1 in" true (Ball.mem b (Bitvec.of_string "00101"));
+  Alcotest.(check bool) "distance 2 out" false (Ball.mem b (Bitvec.of_string "01101"
+                                                            |> fun v -> Bitvec.set v 4 false; v))
+
+let test_ball_sampling_uniform () =
+  let c = Bitvec.of_string "110010" in
+  let b = Ball.create ~center:c ~radius:2 in
+  let card = B.to_int_exn (Ball.cardinality b) in
+  let rng = Rng.create ~seed:125 in
+  let counts = Hashtbl.create 32 in
+  let draws = 44_000 in
+  for _ = 1 to draws do
+    let x = Ball.sample b rng in
+    Alcotest.(check bool) "member" true (Ball.mem b x);
+    let key = Bitvec.to_string x in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "all elements reached" card (Hashtbl.length counts);
+  let expected = float_of_int draws /. float_of_int card in
+  Hashtbl.iter
+    (fun _ count ->
+      if Float.abs (float_of_int count -. expected) > 6.5 *. sqrt expected then
+        Alcotest.failf "count %d far from %.1f" count expected)
+    counts
+
+let test_vatic_on_ball_stream () =
+  let nbits = 16 in
+  let rng = Rng.create ~seed:126 in
+  let pool =
+    List.init 20 (fun _ ->
+        Ball.create ~center:(Bitvec.random rng ~width:nbits) ~radius:(1 + Rng.int rng 3))
+  in
+  let truth = ref 0 in
+  for x = 0 to (1 lsl nbits) - 1 do
+    let v = assignment_of_int nbits x in
+    if List.exists (fun b -> Ball.mem b v) pool then incr truth
+  done;
+  let failures = ref 0 in
+  for i = 0 to 9 do
+    let t =
+      V_ball.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:(float_of_int nbits)
+        ~seed:(900 + i) ()
+    in
+    List.iter (V_ball.process t) pool;
+    if Float.abs (V_ball.estimate t -. float_of_int !truth) > 0.3 *. float_of_int !truth
+    then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/10" !failures) true (!failures <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "bitvec GF(2) operations" `Quick test_bitvec_gf2_ops;
+    Alcotest.test_case "solver vs brute force" `Quick test_solver_vs_bruteforce;
+    Alcotest.test_case "solver known system" `Quick test_solver_known_system;
+    Alcotest.test_case "solver detects inconsistency" `Quick test_solver_inconsistent;
+    Alcotest.test_case "affine family axioms" `Quick test_affine_family_axioms;
+    Alcotest.test_case "affine sampling uniform" `Quick test_affine_sampling_uniform;
+    Alcotest.test_case "affine rejects empty set" `Quick test_affine_inconsistent_rejected;
+    Alcotest.test_case "VATIC on XOR-constraint stream" `Quick test_vatic_on_affine_stream;
+    Alcotest.test_case "ball cardinality" `Quick test_ball_cardinality;
+    Alcotest.test_case "ball membership" `Quick test_ball_membership;
+    Alcotest.test_case "ball sampling uniform" `Quick test_ball_sampling_uniform;
+    Alcotest.test_case "VATIC on Hamming-ball stream" `Quick test_vatic_on_ball_stream;
+  ]

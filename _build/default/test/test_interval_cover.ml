@@ -1,0 +1,178 @@
+(* Interval_cover segment tree: covered length under add/remove, verified
+   against a naive boolean-array implementation on random operation
+   sequences, plus the 2-d sweep it powers (vs the grid measure). *)
+
+module Interval_cover = Delphic_sets.Interval_cover
+module Rectangle = Delphic_sets.Rectangle
+module Exact = Delphic_sets.Exact
+module Rng = Delphic_util.Rng
+module B = Delphic_util.Bigint
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Interval_cover.create [| 5 |]);
+  expect_invalid (fun () -> Interval_cover.create [| 3; 3 |]);
+  expect_invalid (fun () -> Interval_cover.create [| 5; 2 |]);
+  let t = Interval_cover.create [| 0; 5; 10 |] in
+  (* Endpoints must be cuts. *)
+  expect_invalid (fun () -> Interval_cover.add t ~lo:1 ~hi:5);
+  expect_invalid (fun () -> Interval_cover.add t ~lo:5 ~hi:5)
+
+let test_basic () =
+  let t = Interval_cover.create [| 0; 2; 5; 9; 14 |] in
+  Alcotest.(check int) "span" 14 (Interval_cover.span t);
+  Alcotest.(check int) "empty" 0 (Interval_cover.covered t);
+  Interval_cover.add t ~lo:0 ~hi:5;
+  Alcotest.(check int) "first" 5 (Interval_cover.covered t);
+  Interval_cover.add t ~lo:2 ~hi:9;
+  Alcotest.(check int) "overlap merges" 9 (Interval_cover.covered t);
+  Interval_cover.remove t ~lo:0 ~hi:5;
+  Alcotest.(check int) "partial remove" 7 (Interval_cover.covered t);
+  Interval_cover.remove t ~lo:2 ~hi:9;
+  Alcotest.(check int) "back to empty" 0 (Interval_cover.covered t)
+
+let test_against_naive () =
+  let rng = Rng.create ~seed:111 in
+  for _ = 1 to 30 do
+    let ncuts = 3 + Rng.int rng 20 in
+    (* Random strictly increasing cuts. *)
+    let cuts = Array.make ncuts 0 in
+    for i = 1 to ncuts - 1 do
+      cuts.(i) <- cuts.(i - 1) + 1 + Rng.int rng 10
+    done;
+    let t = Interval_cover.create cuts in
+    let hi_coord = cuts.(ncuts - 1) in
+    let naive = Array.make hi_coord 0 in
+    let active = ref [] in
+    for _step = 1 to 60 do
+      let pick () = cuts.(Rng.int rng ncuts) in
+      let a = pick () and b = pick () in
+      let lo = min a b and hi = max a b in
+      if lo < hi then begin
+        (* Randomly add, or remove an active interval. *)
+        if Rng.bool rng || !active = [] then begin
+          Interval_cover.add t ~lo ~hi;
+          for x = lo to hi - 1 do
+            naive.(x) <- naive.(x) + 1
+          done;
+          active := (lo, hi) :: !active
+        end
+        else begin
+          let lo, hi = List.hd !active in
+          active := List.tl !active;
+          Interval_cover.remove t ~lo ~hi;
+          for x = lo to hi - 1 do
+            naive.(x) <- naive.(x) - 1
+          done
+        end;
+        let expected = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 naive in
+        Alcotest.(check int) "covered matches naive" expected (Interval_cover.covered t)
+      end
+    done
+  done
+
+let test_sweep_matches_grid () =
+  let rng = Rng.create ~seed:112 in
+  for _ = 1 to 30 do
+    let boxes =
+      List.init (1 + Rng.int rng 25) (fun _ ->
+          let lo = Array.init 2 (fun _ -> Rng.int rng 500) in
+          let hi = Array.map (fun l -> l + Rng.int rng 200) lo in
+          Rectangle.create ~lo ~hi)
+    in
+    Alcotest.(check string) "sweep = grid"
+      (B.to_string (Exact.rectangle_union_grid boxes))
+      (B.to_string (Exact.rectangle_union_sweep2d boxes))
+  done
+
+let test_sweep_large_instance () =
+  (* m = 3000 boxes is far beyond the grid method; the sweep should handle
+     it instantly and agree with an independent inclusion-only check on a
+     known configuration: a full tiling has volume = universe area. *)
+  let tiles = ref [] in
+  for i = 0 to 29 do
+    for j = 0 to 29 do
+      tiles :=
+        Rectangle.create ~lo:[| i * 10; j * 10 |] ~hi:[| (i * 10) + 9; (j * 10) + 9 |]
+        :: !tiles
+    done
+  done;
+  (* Add overlapping random clutter; the union is still the full square. *)
+  let rng = Rng.create ~seed:113 in
+  for _ = 1 to 2100 do
+    let lo = Array.init 2 (fun _ -> Rng.int rng 250) in
+    let hi = Array.map (fun l -> min 299 (l + Rng.int rng 60)) lo in
+    tiles := Rectangle.create ~lo ~hi :: !tiles
+  done;
+  Alcotest.(check string) "tiled square" "90000"
+    (B.to_string (Exact.rectangle_union_sweep2d !tiles))
+
+let test_sweep3d_matches_grid () =
+  let rng = Rng.create ~seed:114 in
+  for _ = 1 to 20 do
+    let boxes =
+      List.init (1 + Rng.int rng 12) (fun _ ->
+          let lo = Array.init 3 (fun _ -> Rng.int rng 60) in
+          let hi = Array.map (fun l -> l + Rng.int rng 30) lo in
+          Rectangle.create ~lo ~hi)
+    in
+    Alcotest.(check string) "sweep3d = grid"
+      (B.to_string (Exact.rectangle_union_grid boxes))
+      (B.to_string (Exact.rectangle_union_sweep3d boxes))
+  done
+
+let test_sweep3d_tiling () =
+  (* An exact tiling of a cube plus clutter: the union is the whole cube. *)
+  let tiles = ref [] in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      for k = 0 to 4 do
+        tiles :=
+          Rectangle.create
+            ~lo:[| i * 20; j * 20; k * 20 |]
+            ~hi:[| (i * 20) + 19; (j * 20) + 19; (k * 20) + 19 |]
+          :: !tiles
+      done
+    done
+  done;
+  let rng = Rng.create ~seed:115 in
+  for _ = 1 to 200 do
+    let lo = Array.init 3 (fun _ -> Rng.int rng 80) in
+    let hi = Array.map (fun l -> min 99 (l + Rng.int rng 30)) lo in
+    tiles := Rectangle.create ~lo ~hi :: !tiles
+  done;
+  Alcotest.(check string) "tiled cube" "1000000"
+    (B.to_string (Exact.rectangle_union_sweep3d !tiles))
+
+let test_dispatch () =
+  (* rectangle_union must route to the right specialised algorithm. *)
+  let rng = Rng.create ~seed:116 in
+  List.iter
+    (fun dim ->
+      let boxes =
+        List.init 8 (fun _ ->
+            let lo = Array.init dim (fun _ -> Rng.int rng 20) in
+            let hi = Array.map (fun l -> l + Rng.int rng 10) lo in
+            Rectangle.create ~lo ~hi)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "dispatch agrees at d=%d" dim)
+        (B.to_string (Exact.rectangle_union_grid boxes))
+        (B.to_string (Exact.rectangle_union boxes)))
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "basic add/remove" `Quick test_basic;
+    Alcotest.test_case "random ops vs naive" `Quick test_against_naive;
+    Alcotest.test_case "2-d sweep = grid measure" `Quick test_sweep_matches_grid;
+    Alcotest.test_case "sweep at m = 3000" `Quick test_sweep_large_instance;
+    Alcotest.test_case "3-d sweep = grid measure" `Quick test_sweep3d_matches_grid;
+    Alcotest.test_case "3-d sweep on a tiled cube" `Quick test_sweep3d_tiling;
+    Alcotest.test_case "rectangle_union dispatch" `Quick test_dispatch;
+  ]

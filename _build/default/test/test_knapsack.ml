@@ -1,0 +1,130 @@
+(* Knapsack family: exact DP counting vs brute force, exact-uniform
+   sampling, and the rounded-DP approximate oracle's (alpha, eta) bounds. *)
+
+module Knapsack = Delphic_sets.Knapsack
+module Bitvec = Delphic_util.Bitvec
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+
+let brute_count weights bound =
+  let n = Array.length weights in
+  let count = ref 0 in
+  for x = 0 to (1 lsl n) - 1 do
+    let w = ref 0 in
+    for i = 0 to n - 1 do
+      if (x lsr i) land 1 = 1 then w := !w + weights.(i)
+    done;
+    if !w <= bound then incr count
+  done;
+  !count
+
+let test_count_matches_brute_force () =
+  let rng = Rng.create ~seed:71 in
+  for _ = 1 to 30 do
+    let n = 1 + Rng.int rng 10 in
+    let weights = Array.init n (fun _ -> 1 + Rng.int rng 20) in
+    let bound = Rng.int rng 60 in
+    let k = Knapsack.create ~weights ~bound in
+    Alcotest.(check int) "DP = brute force" (brute_count weights bound)
+      (B.to_int_exn (Knapsack.cardinality k))
+  done
+
+let test_edge_cases () =
+  (* bound 0: only the all-zero assignment. *)
+  let k = Knapsack.create ~weights:[| 3; 5 |] ~bound:0 in
+  Alcotest.(check string) "only empty solution" "1" (B.to_string (Knapsack.cardinality k));
+  (* bound >= total: all 2^n assignments. *)
+  let k = Knapsack.create ~weights:[| 1; 2; 3 |] ~bound:100 in
+  Alcotest.(check string) "full cube" "8" (B.to_string (Knapsack.cardinality k));
+  Alcotest.check_raises "non-positive weight"
+    (Invalid_argument "Knapsack.create: weights must be positive") (fun () ->
+      ignore (Knapsack.create ~weights:[| 0 |] ~bound:3))
+
+let test_membership () =
+  let k = Knapsack.create ~weights:[| 4; 3; 2 |] ~bound:5 in
+  Alcotest.(check bool) "101 weighs 6" false (Knapsack.mem k (Bitvec.of_string "101"));
+  Alcotest.(check bool) "011 weighs 5" true (Knapsack.mem k (Bitvec.of_string "011"));
+  Alcotest.(check bool) "wrong width" false (Knapsack.mem k (Bitvec.of_string "01"))
+
+let test_sampling_uniform () =
+  let weights = [| 4; 3; 2; 5 |] and bound = 7 in
+  let k = Knapsack.create ~weights ~bound in
+  let card = B.to_int_exn (Knapsack.cardinality k) in
+  let rng = Rng.create ~seed:72 in
+  let counts = Hashtbl.create 16 in
+  let draws = 30_000 in
+  for _ = 1 to draws do
+    let x = Knapsack.sample k rng in
+    Alcotest.(check bool) "sample is a solution" true (Knapsack.mem k x);
+    let key = Bitvec.to_string x in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "all solutions reached" card (Hashtbl.length counts);
+  let expected = float_of_int draws /. float_of_int card in
+  Hashtbl.iter
+    (fun _ c ->
+      if Float.abs (float_of_int c -. expected) > 6.0 *. sqrt expected then
+        Alcotest.failf "solution frequency %d far from %.1f" c expected)
+    counts
+
+let test_approx_cardinality_within_alpha () =
+  let rng = Rng.create ~seed:73 in
+  let rng2 = Rng.create ~seed:74 in
+  for _ = 1 to 20 do
+    let n = 6 + Rng.int rng 8 in
+    let weights = Array.init n (fun _ -> 1 + Rng.int rng 15) in
+    let bound = 10 + Rng.int rng 50 in
+    let exact = Knapsack.create ~weights ~bound in
+    let approx = Knapsack.Approx.create ~sigbits:6 exact in
+    let truth = B.to_float (Knapsack.cardinality exact) in
+    let claimed = B.to_float (Knapsack.Approx.approx_cardinality approx rng2) in
+    let alpha = Knapsack.Approx.alpha approx in
+    Alcotest.(check bool) "rounded count never above exact" true (claimed <= truth);
+    Alcotest.(check bool)
+      (Printf.sprintf "within 1/(1+alpha)=%.3f: %.0f vs %.0f" alpha claimed truth)
+      true
+      (claimed >= truth /. (1.0 +. alpha))
+  done
+
+let test_approx_sampling_within_eta () =
+  let weights = [| 4; 3; 2; 5 |] and bound = 7 in
+  let exact = Knapsack.create ~weights ~bound in
+  let approx = Knapsack.Approx.create ~sigbits:3 exact in
+  let eta = Knapsack.Approx.eta approx in
+  let card = B.to_float (Knapsack.cardinality exact) in
+  let rng = Rng.create ~seed:75 in
+  let counts = Hashtbl.create 16 in
+  let draws = 60_000 in
+  for _ = 1 to draws do
+    let x = Knapsack.Approx.approx_sample approx rng in
+    Alcotest.(check bool) "sample is a solution" true (Knapsack.mem exact x);
+    let key = Bitvec.to_string x in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  (* Every solution's empirical frequency must lie within the eta window
+     (with generous sampling slack). *)
+  Hashtbl.iter
+    (fun _ c ->
+      let p_hat = float_of_int c /. float_of_int draws in
+      let lo = 1.0 /. ((1.0 +. eta) *. card) /. 1.3 in
+      let hi = (1.0 +. eta) /. card *. 1.3 in
+      if p_hat < lo || p_hat > hi then
+        Alcotest.failf "frequency %.5f outside eta window [%.5f, %.5f]" p_hat lo hi)
+    counts
+
+let test_approx_validation () =
+  let exact = Knapsack.create ~weights:[| 1; 2 |] ~bound:2 in
+  Alcotest.check_raises "sigbits >= 2"
+    (Invalid_argument "Knapsack.Approx.create: sigbits must be >= 2") (fun () ->
+      ignore (Knapsack.Approx.create ~sigbits:1 exact))
+
+let suite =
+  [
+    Alcotest.test_case "DP count = brute force" `Quick test_count_matches_brute_force;
+    Alcotest.test_case "edge cases" `Quick test_edge_cases;
+    Alcotest.test_case "membership" `Quick test_membership;
+    Alcotest.test_case "exact sampling uniform" `Quick test_sampling_uniform;
+    Alcotest.test_case "approx cardinality within alpha" `Quick test_approx_cardinality_within_alpha;
+    Alcotest.test_case "approx sampling within eta" `Quick test_approx_sampling_within_eta;
+    Alcotest.test_case "approx validation" `Quick test_approx_validation;
+  ]

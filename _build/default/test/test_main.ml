@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "delphic"
+    [
+      ("rng", Test_rng.suite);
+      ("bigint", Test_bigint.suite);
+      ("comb", Test_comb.suite);
+      ("binomial", Test_binomial.suite);
+      ("dist", Test_dist.suite);
+      ("bitvec", Test_bitvec.suite);
+      ("summary", Test_summary.suite);
+      ("special", Test_special.suite);
+      ("families", Test_families.suite);
+      ("knapsack", Test_knapsack.suite);
+      ("bdd", Test_bdd.suite);
+      ("exact", Test_exact.suite);
+      ("interval-cover", Test_interval_cover.suite);
+      ("gf2-families", Test_gf2_families.suite);
+      ("mixed-coverage", Test_mixed_coverage.suite);
+      ("multi-interval", Test_multi_interval.suite);
+      ("claim-2.5", Test_claim_2_5.suite);
+      ("vatic", Test_vatic.suite);
+      ("vatic-families", Test_vatic_families.suite);
+      ("ext-vatic", Test_ext_vatic.suite);
+      ("aps", Test_aps.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("extensions", Test_extensions.suite);
+      ("xor-sketch", Test_xor_sketch.suite);
+      ("parsers", Test_parsers.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("harness", Test_harness.suite);
+    ]

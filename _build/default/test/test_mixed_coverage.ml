@@ -1,0 +1,111 @@
+(* Mixed-level coverage: elementary symmetric polynomial universe size,
+   family axioms, and a VATIC end-to-end run against brute-force truth. *)
+
+module Mc = Delphic_sets.Mixed_coverage
+module B = Delphic_util.Bigint
+module Comb = Delphic_util.Comb
+module Rng = Delphic_util.Rng
+module V = Delphic_core.Vatic.Make (Mc)
+
+let test_universe_size_esp () =
+  (* e_2(2,3,4) = 2*3 + 2*4 + 3*4 = 26. *)
+  Alcotest.(check string) "e_2(2,3,4)" "26"
+    (B.to_string (Mc.universe_size ~arities:[| 2; 3; 4 |] ~strength:2));
+  (* All binary: e_t(2,...,2) = C(n,t) * 2^t. *)
+  let n = 10 and t = 3 in
+  Alcotest.(check string) "binary reduces to C(n,t)*2^t"
+    (B.to_string (B.mul (Comb.choose n t) (B.pow2 t)))
+    (B.to_string (Mc.universe_size ~arities:(Array.make n 2) ~strength:t));
+  (* e_0 = 1; e_n = product. *)
+  Alcotest.(check string) "e_0" "1"
+    (B.to_string (Mc.universe_size ~arities:[| 5; 7 |] ~strength:0));
+  Alcotest.(check string) "e_n = product" "35"
+    (B.to_string (Mc.universe_size ~arities:[| 5; 7 |] ~strength:2))
+
+let test_universe_size_vs_bruteforce () =
+  let rng = Rng.create ~seed:181 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 8 in
+    let t = 1 + Rng.int rng n in
+    let arities = Array.init n (fun _ -> 1 + Rng.int rng 6) in
+    let brute = ref B.zero in
+    Comb.iter_subsets ~n ~k:t (fun subset ->
+        let product =
+          Array.fold_left (fun acc i -> acc * arities.(i)) 1 subset
+        in
+        brute := B.add !brute (B.of_int product));
+    Alcotest.(check string) "esp = subset sum" (B.to_string !brute)
+      (B.to_string (Mc.universe_size ~arities ~strength:t))
+  done
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Mc.create ~vector:[| 0 |] ~arities:[| 2; 3 |] ~strength:1);
+  expect_invalid (fun () -> Mc.create ~vector:[| 3 |] ~arities:[| 3 |] ~strength:1);
+  expect_invalid (fun () -> Mc.create ~vector:[| 0; 1 |] ~arities:[| 2; 3 |] ~strength:3)
+
+let test_family_axioms () =
+  let c = Mc.create ~vector:[| 1; 0; 2; 3 |] ~arities:[| 2; 3; 4; 5 |] ~strength:2 in
+  Alcotest.(check string) "C(4,2)" "6" (B.to_string (Mc.cardinality c));
+  (* Membership. *)
+  Alcotest.(check bool) "matching" true
+    (Mc.mem c { Mc.positions = [| 0; 2 |]; values = [| 1; 2 |] });
+  Alcotest.(check bool) "wrong value" false
+    (Mc.mem c { Mc.positions = [| 0; 2 |]; values = [| 0; 2 |] });
+  Alcotest.(check bool) "unsorted" false
+    (Mc.mem c { Mc.positions = [| 2; 0 |]; values = [| 2; 1 |] });
+  (* Sampling reaches all 6 subsets uniformly, every sample a member. *)
+  let rng = Rng.create ~seed:182 in
+  let counts = Hashtbl.create 8 in
+  let draws = 12_000 in
+  for _ = 1 to draws do
+    let x = Mc.sample c rng in
+    Alcotest.(check bool) "member" true (Mc.mem c x);
+    Hashtbl.replace counts (Mc.hash_elt x)
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts (Mc.hash_elt x)))
+  done;
+  Alcotest.(check int) "all reached" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ cnt -> if abs (cnt - 2000) > 270 then Alcotest.failf "skew %d" cnt)
+    counts
+
+let test_vatic_end_to_end () =
+  (* 200 random mixed-level test vectors, truth by enumeration. *)
+  let n = 10 in
+  let arities = [| 2; 3; 2; 4; 3; 2; 5; 2; 3; 4 |] in
+  let strength = 2 in
+  let rng = Rng.create ~seed:183 in
+  let vectors =
+    List.init 200 (fun _ -> Array.init n (fun i -> Rng.int rng arities.(i)))
+  in
+  let pool = List.map (fun vector -> Mc.create ~vector ~arities ~strength) vectors in
+  (* Exact union: for each position pair, count distinct value pairs. *)
+  let truth = ref 0 in
+  Comb.iter_subsets ~n ~k:strength (fun subset ->
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun v -> Hashtbl.replace seen (Array.map (fun i -> v.(i)) subset) ())
+        vectors;
+      truth := !truth + Hashtbl.length seen);
+  let log2u = B.log2 (Mc.universe_size ~arities ~strength) in
+  let failures = ref 0 in
+  for i = 0 to 9 do
+    let t = V.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:log2u ~seed:(950 + i) () in
+    List.iter (V.process t) pool;
+    if Float.abs (V.estimate t -. float_of_int !truth) > 0.3 *. float_of_int !truth
+    then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/10" !failures) true (!failures <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "universe size (esp identities)" `Quick test_universe_size_esp;
+    Alcotest.test_case "universe size vs brute force" `Quick test_universe_size_vs_bruteforce;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "family axioms" `Quick test_family_axioms;
+    Alcotest.test_case "VATIC on mixed-level coverage" `Quick test_vatic_end_to_end;
+  ]

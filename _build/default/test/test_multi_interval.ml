@@ -1,0 +1,100 @@
+(* Multi-interval sets: canonicalisation, O(log k) membership/sampling vs
+   brute force, family axioms, and VATIC end-to-end on blocklist-style
+   streams. *)
+
+module Mi = Delphic_sets.Multi_interval
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module V = Delphic_core.Vatic.Make (Mi)
+
+let test_canonicalisation () =
+  let t = Mi.create [ (10, 20); (15, 25); (26, 30); (50, 60); (0, 3) ] in
+  (* 10-25 and 26-30 are adjacent -> one interval 10-30. *)
+  Alcotest.(check (list (pair int int))) "canonical"
+    [ (0, 3); (10, 30); (50, 60) ]
+    (Mi.intervals t);
+  Alcotest.(check int) "pieces" 3 (Mi.pieces t);
+  Alcotest.(check int) "length" (4 + 21 + 11) (Mi.length t);
+  Alcotest.(check string) "cardinality" "36" (B.to_string (Mi.cardinality t))
+
+let test_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Mi.create []);
+  expect_invalid (fun () -> Mi.create [ (5, 4) ]);
+  expect_invalid (fun () -> Mi.create [ (-1, 4) ])
+
+let test_membership_vs_bruteforce () =
+  let rng = Rng.create ~seed:201 in
+  for _ = 1 to 40 do
+    let spans =
+      List.init (1 + Rng.int rng 8) (fun _ ->
+          let lo = Rng.int rng 200 in
+          (lo, lo + Rng.int rng 30))
+    in
+    let t = Mi.create spans in
+    for x = 0 to 260 do
+      let brute = List.exists (fun (lo, hi) -> lo <= x && x <= hi) spans in
+      if Mi.mem t x <> brute then Alcotest.failf "mem mismatch at %d" x
+    done
+  done
+
+let test_sampling_uniform () =
+  let t = Mi.create [ (0, 4); (100, 104); (1000, 1009) ] in
+  Alcotest.(check int) "length 20" 20 (Mi.length t);
+  let rng = Rng.create ~seed:202 in
+  let counts = Hashtbl.create 32 in
+  let draws = 40_000 in
+  for _ = 1 to draws do
+    let x = Mi.sample t rng in
+    Alcotest.(check bool) "member" true (Mi.mem t x);
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  Alcotest.(check int) "all 20 points reached" 20 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c -> if abs (c - 2000) > 280 then Alcotest.failf "skew %d" c)
+    counts
+
+let test_vatic_on_blocklists () =
+  (* Stream items are multi-piece blocklist entries; ground truth via the
+     flattened 1-d range union. *)
+  let rng = Rng.create ~seed:203 in
+  let universe = 1_000_000 in
+  let pool =
+    List.init 150 (fun _ ->
+        let spans =
+          List.init (1 + Rng.int rng 5) (fun _ ->
+              let lo = Rng.int rng universe in
+              (lo, min (universe - 1) (lo + Rng.int rng 3000)))
+        in
+        Mi.create spans)
+  in
+  let truth =
+    float_of_int
+      (Delphic_sets.Exact.range_union
+         (List.concat_map
+            (fun t ->
+              List.map
+                (fun (lo, hi) -> Delphic_sets.Range1d.create ~lo ~hi)
+                (Mi.intervals t))
+            pool))
+  in
+  let failures = ref 0 in
+  for i = 0 to 11 do
+    let t = V.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:(880 + i) () in
+    List.iter (V.process t) pool;
+    if Float.abs (V.estimate t -. truth) > 0.25 *. truth then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/12" !failures) true (!failures <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "canonicalisation" `Quick test_canonicalisation;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "membership vs brute force" `Quick test_membership_vs_bruteforce;
+    Alcotest.test_case "sampling uniform across pieces" `Quick test_sampling_uniform;
+    Alcotest.test_case "VATIC on blocklist streams" `Quick test_vatic_on_blocklists;
+  ]

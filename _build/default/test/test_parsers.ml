@@ -1,0 +1,89 @@
+(* File-format parsers: happy paths, comments/blank lines, and precise
+   error reporting. *)
+
+module Parsers = Delphic_stream.Parsers
+module Rectangle = Delphic_sets.Rectangle
+module Dnf = Delphic_sets.Dnf
+module Bitvec = Delphic_util.Bitvec
+module B = Delphic_util.Bigint
+
+let with_temp contents f =
+  let path = Filename.temp_file "delphic_parse" ".txt" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_rectangles () =
+  with_temp "# header comment\n0 9 0 9\n\n  5 14 5 14  \n" (fun path ->
+      let boxes = Parsers.rectangles_of_file path in
+      Alcotest.(check int) "two boxes" 2 (List.length boxes);
+      Alcotest.(check string) "union" "175"
+        (B.to_string (Delphic_sets.Exact.rectangle_union boxes)))
+
+let test_rectangles_1d_and_3d () =
+  with_temp "1 5\n2 9\n" (fun path ->
+      let boxes = Parsers.rectangles_of_file path in
+      Alcotest.(check int) "dim 1" 1 (Rectangle.dim (List.hd boxes)));
+  with_temp "0 1 0 1 0 1\n" (fun path ->
+      Alcotest.(check int) "dim 3" 3
+        (Rectangle.dim (List.hd (Parsers.rectangles_of_file path))))
+
+let test_rectangles_errors () =
+  let expect_failure contents fragment =
+    with_temp contents (fun path ->
+        match Parsers.rectangles_of_file path with
+        | exception Failure msg ->
+          if not (String.length msg >= String.length fragment) then
+            Alcotest.failf "unexpected message: %s" msg;
+          let rec contains i =
+            i + String.length fragment <= String.length msg
+            && (String.sub msg i (String.length fragment) = fragment || contains (i + 1))
+          in
+          Alcotest.(check bool) ("mentions " ^ fragment) true (contains 0)
+        | _ -> Alcotest.fail "expected Failure")
+  in
+  expect_failure "1 2 3\n" "line 1";
+  expect_failure "abc def\n" "not an integer";
+  expect_failure "0 9\n0 9 0 9\n" "line 2";
+  expect_failure "9 0\n" "line 1"
+
+let test_dnf () =
+  with_temp "1 -3\n2 4\n# done\n" (fun path ->
+      let terms = Parsers.dnf_of_file ~nvars:5 path in
+      Alcotest.(check int) "two terms" 2 (List.length terms);
+      let first = List.hd terms in
+      Alcotest.(check bool) "x1 & ~x3 satisfied" true
+        (Dnf.satisfies first (Bitvec.of_string "10000"));
+      Alcotest.(check bool) "~x3 violated" false
+        (Dnf.satisfies first (Bitvec.of_string "10100")))
+
+let test_dnf_errors () =
+  with_temp "0\n" (fun path ->
+      match Parsers.dnf_of_file ~nvars:3 path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "literal 0 must fail");
+  with_temp "4\n" (fun path ->
+      match Parsers.dnf_of_file ~nvars:3 path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "out-of-range variable must fail")
+
+let test_vectors () =
+  with_temp "0101\n1100\n# c\n0101\n" (fun path ->
+      let vectors = Parsers.vectors_of_file path in
+      Alcotest.(check int) "three vectors" 3 (List.length vectors);
+      Alcotest.(check string) "first" "0101" (Bitvec.to_string (List.hd vectors)));
+  with_temp "01x1\n" (fun path ->
+      match Parsers.vectors_of_file path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "bad character must fail")
+
+let suite =
+  [
+    Alcotest.test_case "rectangles" `Quick test_rectangles;
+    Alcotest.test_case "rectangles in 1-d and 3-d" `Quick test_rectangles_1d_and_3d;
+    Alcotest.test_case "rectangle errors" `Quick test_rectangles_errors;
+    Alcotest.test_case "dnf terms" `Quick test_dnf;
+    Alcotest.test_case "dnf errors" `Quick test_dnf_errors;
+    Alcotest.test_case "test vectors" `Quick test_vectors;
+  ]

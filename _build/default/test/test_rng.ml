@@ -1,0 +1,143 @@
+(* PRNG: determinism, range contracts, and coarse distributional checks.
+   Statistical assertions use fixed seeds and >= 5-sigma tolerances, so the
+   suite is deterministic in practice. *)
+
+module Rng = Delphic_util.Rng
+
+let test_deterministic () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_replays () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_split_decorrelates () =
+  let a = Rng.create ~seed:4 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create ~seed:6 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniform () =
+  let rng = Rng.create ~seed:7 in
+  let bound = 10 in
+  let counts = Array.make bound 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Each bin is Bin(n, 1/10): sd ~ 95; allow 6 sigma. *)
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bin near n/10" true (abs (c - (n / bound)) < 600))
+    counts
+
+let test_int_in_range () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.(check int) "singleton range" 9 (Rng.int_in_range rng ~lo:9 ~hi:9)
+
+let test_float_range_and_mean () =
+  let rng = Rng.create ~seed:9 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "float outside [0,1)";
+    sum := !sum +. v
+  done;
+  (* mean ~ 0.5, sd of mean ~ 0.289/sqrt(n) ~ 0.0009: allow 6 sigma. *)
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs ((!sum /. float_of_int n) -. 0.5) < 0.006)
+
+let test_bernoulli () =
+  let rng = Rng.create ~seed:10 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p_hat = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p near 0.3" true (Float.abs (p_hat -. 0.3) < 0.015);
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.0)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:11 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.03)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:12 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng
+  done;
+  Alcotest.(check bool) "mean near 1" true
+    (Float.abs ((!sum /. float_of_int n) -. 1.0) < 0.02)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 100 Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic from seed" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy replays stream" `Quick test_copy_replays;
+    Alcotest.test_case "split decorrelates" `Quick test_split_decorrelates;
+    Alcotest.test_case "int respects bound" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects non-positive bound" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int is uniform" `Quick test_int_uniform;
+    Alcotest.test_case "int_in_range inclusive" `Quick test_int_in_range;
+    Alcotest.test_case "float range and mean" `Quick test_float_range_and_mean;
+    Alcotest.test_case "bernoulli frequency and edges" `Quick test_bernoulli;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+  ]

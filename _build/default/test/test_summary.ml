@@ -1,0 +1,71 @@
+(* Summary statistics against hand-computed values. *)
+
+module Summary = Delphic_util.Summary
+
+let feq = Alcotest.float 1e-9
+
+let test_empty () =
+  let s = Summary.create () in
+  Alcotest.(check int) "count" 0 (Summary.count s);
+  Alcotest.check feq "mean" 0.0 (Summary.mean s);
+  Alcotest.check feq "variance" 0.0 (Summary.variance s);
+  Alcotest.check_raises "quantile empty" (Invalid_argument "Summary.quantile: empty")
+    (fun () -> ignore (Summary.quantile s 0.5))
+
+let test_known_values () =
+  let s = Summary.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check int) "count" 8 (Summary.count s);
+  Alcotest.check feq "mean" 5.0 (Summary.mean s);
+  (* Population variance is 4; sample variance = 32/7. *)
+  Alcotest.check feq "sample variance" (32.0 /. 7.0) (Summary.variance s);
+  Alcotest.check feq "min" 2.0 (Summary.min s);
+  Alcotest.check feq "max" 9.0 (Summary.max s);
+  Alcotest.check feq "total" 40.0 (Summary.total s)
+
+let test_quantiles () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check feq "q0" 1.0 (Summary.quantile s 0.0);
+  Alcotest.check feq "q1" 5.0 (Summary.quantile s 1.0);
+  Alcotest.check feq "median" 3.0 (Summary.median s);
+  Alcotest.check feq "q0.25" 2.0 (Summary.quantile s 0.25);
+  (* Interpolation between order statistics. *)
+  Alcotest.check feq "q0.1" 1.4 (Summary.quantile s 0.1)
+
+let test_quantile_unsorted_input () =
+  let s = Summary.of_array [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.check feq "median of unsorted" 3.0 (Summary.median s)
+
+let test_growth_beyond_initial_buffer () =
+  let s = Summary.create () in
+  for i = 1 to 1000 do
+    Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Summary.count s);
+  Alcotest.check feq "mean" 500.5 (Summary.mean s);
+  Alcotest.(check int) "values retained" 1000 (Array.length (Summary.values s))
+
+let test_relative_error () =
+  Alcotest.check feq "10% high" 0.1 (Summary.relative_error ~estimate:110.0 ~truth:100.0);
+  Alcotest.check feq "10% low" 0.1 (Summary.relative_error ~estimate:90.0 ~truth:100.0);
+  Alcotest.check_raises "zero truth"
+    (Invalid_argument "Summary.relative_error: zero truth") (fun () ->
+      ignore (Summary.relative_error ~estimate:1.0 ~truth:0.0))
+
+let prop_mean_matches_naive =
+  QCheck.Test.make ~name:"Welford mean matches naive" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50) (QCheck.float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Summary.of_array (Array.of_list xs) in
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Summary.mean s -. naive) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "empty accumulator" `Quick test_empty;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "quantiles" `Quick test_quantiles;
+    Alcotest.test_case "quantile sorts internally" `Quick test_quantile_unsorted_input;
+    Alcotest.test_case "buffer growth" `Quick test_growth_beyond_initial_buffer;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    QCheck_alcotest.to_alcotest prop_mean_matches_naive;
+  ]

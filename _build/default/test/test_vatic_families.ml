@@ -1,0 +1,97 @@
+(* End-to-end VATIC accuracy on every remaining family (ranges, boxes and
+   DNF live in test_vatic.ml; affine spaces, Hamming balls and mixed
+   coverage in their own files).  One shared harness: run trials, compare
+   against exact truth, tolerate delta-rate failures with slack. *)
+
+module Rng = Delphic_util.Rng
+module B = Delphic_util.Bigint
+module Bitvec = Delphic_util.Bitvec
+module Workload = Delphic_stream.Workload
+module Exact = Delphic_sets.Exact
+
+let check_accuracy (type s e) ~name ~trials ~epsilon ~log2_universe ~truth ~pool
+    (module F : Delphic_family.Family.FAMILY with type t = s and type elt = e) =
+  let module V = Delphic_core.Vatic.Make (F) in
+  let failures = ref 0 in
+  for i = 0 to trials - 1 do
+    let t =
+      V.create ~epsilon ~delta:0.2 ~log2_universe ~seed:(7000 + (37 * i)) ()
+    in
+    List.iter (V.process t) pool;
+    Alcotest.(check int) (name ^ ": no skips") 0 (V.skipped_sets t);
+    if Float.abs (V.estimate t -. truth) > epsilon *. truth then incr failures
+  done;
+  (* delta = 0.2; empirically failures are rare — allow 25%. *)
+  if 4 * !failures > trials then
+    Alcotest.failf "%s: %d/%d trials outside epsilon" name !failures trials
+
+let test_coverage_family () =
+  let nbits = 14 and strength = 2 in
+  let gen = Rng.create ~seed:191 in
+  let vectors = Workload.Coverage_suites.random gen ~nbits ~count:150 ~bias:0.4 in
+  let pool = Workload.Coverage_suites.coverage_sets ~strength vectors in
+  let truth = B.to_float (Exact.coverage_union ~strength vectors) in
+  check_accuracy ~name:"coverage" ~trials:12 ~epsilon:0.2
+    ~log2_universe:(B.log2 (Delphic_sets.Coverage.universe_size ~n:nbits ~strength))
+    ~truth ~pool
+    (module Delphic_sets.Coverage)
+
+let test_knapsack_family () =
+  let gen = Rng.create ~seed:192 in
+  let pool = Workload.Knapsacks.random gen ~nvars:16 ~max_weight:20 ~count:12 in
+  let truth = B.to_float (Exact.knapsack_union pool) in
+  check_accuracy ~name:"knapsack" ~trials:10 ~epsilon:0.25 ~log2_universe:16.0 ~truth
+    ~pool
+    (module Delphic_sets.Knapsack)
+
+let test_hypervolume_family () =
+  let gen = Rng.create ~seed:193 in
+  let pool = Workload.Hypervolumes.pareto_front gen ~universe:512 ~dim:3 ~count:40 in
+  let boxes = List.map Delphic_sets.Hypervolume.to_rectangle pool in
+  let truth = B.to_float (Exact.rectangle_union boxes) in
+  check_accuracy ~name:"hypervolume" ~trials:12 ~epsilon:0.25
+    ~log2_universe:(3.0 *. 9.0) ~truth ~pool
+    (module Delphic_sets.Hypervolume)
+
+let test_singleton_family () =
+  let gen = Rng.create ~seed:194 in
+  let pool = Workload.Singletons.zipf gen ~universe:65536 ~count:20_000 ~exponent:1.2 in
+  let truth =
+    float_of_int (Exact.distinct (List.map Delphic_sets.Singleton.value pool))
+  in
+  check_accuracy ~name:"singleton" ~trials:6 ~epsilon:0.25 ~log2_universe:16.0 ~truth
+    ~pool
+    (module Delphic_sets.Singleton)
+
+(* Mixed stream sanity: the same estimator instance across wildly different
+   set sizes within one family (tiny and huge ranges interleaved). *)
+let test_mixed_sizes () =
+  let module V = Delphic_core.Vatic.Make (Delphic_sets.Range1d) in
+  let gen = Rng.create ~seed:195 in
+  let pool =
+    List.concat
+      [
+        Workload.Ranges.uniform gen ~universe:1_000_000 ~count:100 ~max_len:5;
+        Workload.Ranges.uniform gen ~universe:1_000_000 ~count:10 ~max_len:100_000;
+        Workload.Ranges.heavy_tailed gen ~universe:1_000_000 ~count:100 ~shape:0.7;
+      ]
+  in
+  let truth = float_of_int (Exact.range_union pool) in
+  let failures = ref 0 in
+  for i = 0 to 9 do
+    let t =
+      V.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:(7300 + i) ()
+    in
+    List.iter (V.process t) (Workload.Orders.shuffled (Rng.create ~seed:i) pool);
+    if Float.abs (V.estimate t -. truth) > 0.25 *. truth then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/10" !failures) true (!failures <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "VATIC on coverage sets" `Quick test_coverage_family;
+    Alcotest.test_case "VATIC on knapsack sets" `Quick test_knapsack_family;
+    Alcotest.test_case "VATIC on hypervolume sets" `Quick test_hypervolume_family;
+    Alcotest.test_case "VATIC on zipf singletons" `Quick test_singleton_family;
+    Alcotest.test_case "VATIC on mixed-size streams" `Quick test_mixed_sizes;
+  ]

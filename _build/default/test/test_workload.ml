@@ -1,0 +1,171 @@
+(* Workload generators: every produced set is well-formed, counts match,
+   and the qualitative shape each generator promises actually holds. *)
+
+module Rng = Delphic_util.Rng
+module Rectangle = Delphic_sets.Rectangle
+module Workload = Delphic_stream.Workload
+
+let test_rect_uniform () =
+  let rng = Rng.create ~seed:501 in
+  let boxes = Workload.Rectangles.uniform rng ~universe:1000 ~dim:3 ~count:50 ~max_side:100 in
+  Alcotest.(check int) "count" 50 (List.length boxes);
+  List.iter
+    (fun b ->
+      Alcotest.(check int) "dim" 3 (Rectangle.dim b);
+      Array.iteri
+        (fun i l ->
+          let h = (Rectangle.hi b).(i) in
+          if l < 0 || h >= 1000 || h - l + 1 > 100 then
+            Alcotest.failf "box out of spec: [%d, %d]" l h)
+        (Rectangle.lo b))
+    boxes
+
+let test_rect_clustered_overlap () =
+  (* Clustered boxes must overlap far more than uniform ones: compare union
+     volume to total volume. *)
+  let rng = Rng.create ~seed:502 in
+  let density boxes =
+    let union = Delphic_util.Bigint.to_float (Delphic_sets.Exact.rectangle_union boxes) in
+    let total =
+      List.fold_left
+        (fun acc b -> acc +. Delphic_util.Bigint.to_float (Rectangle.volume b))
+        0.0 boxes
+    in
+    union /. total
+  in
+  let uniform =
+    Workload.Rectangles.uniform rng ~universe:100_000 ~dim:2 ~count:40 ~max_side:4000
+  in
+  let clustered =
+    Workload.Rectangles.clustered rng ~universe:100_000 ~dim:2 ~count:40 ~clusters:2
+      ~spread:1000 ~max_side:4000
+  in
+  Alcotest.(check bool) "clustered overlaps more" true (density clustered < density uniform)
+
+let test_rect_nested_chain () =
+  let rng = Rng.create ~seed:503 in
+  let boxes = Workload.Rectangles.nested rng ~universe:10_000 ~dim:2 ~count:20 in
+  Alcotest.(check int) "count" 20 (List.length boxes);
+  (* Sorted by volume descending, each must contain the next. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        Delphic_util.Bigint.compare (Rectangle.volume b) (Rectangle.volume a))
+      boxes
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "outer contains inner" true (Rectangle.contains_box a b);
+      check rest
+    | _ -> ()
+  in
+  check sorted
+
+let test_hypervolume_front () =
+  let rng = Rng.create ~seed:504 in
+  let front = Workload.Hypervolumes.pareto_front rng ~universe:1024 ~dim:3 ~count:30 in
+  Alcotest.(check int) "count" 30 (List.length front);
+  List.iter
+    (fun h ->
+      Array.iter
+        (fun c -> if c < 1 || c >= 1024 then Alcotest.failf "corner %d out of range" c)
+        (Delphic_sets.Hypervolume.corner h))
+    front
+
+let test_dnf_terms () =
+  let rng = Rng.create ~seed:505 in
+  let terms = Workload.Dnf_terms.random rng ~nvars:30 ~count:40 ~width:7 in
+  Alcotest.(check int) "count" 40 (List.length terms);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "width" 7 (Delphic_sets.Dnf.width t);
+      Alcotest.(check int) "nvars" 30 (Delphic_sets.Dnf.nvars t))
+    terms;
+  Alcotest.check_raises "width > nvars"
+    (Invalid_argument "Dnf_terms.random: width > nvars") (fun () ->
+      ignore (Workload.Dnf_terms.random rng ~nvars:3 ~count:1 ~width:4))
+
+let test_coverage_suites () =
+  let rng = Rng.create ~seed:506 in
+  let vectors = Workload.Coverage_suites.random rng ~nbits:20 ~count:100 ~bias:0.8 in
+  Alcotest.(check int) "count" 100 (List.length vectors);
+  let ones =
+    List.fold_left (fun acc v -> acc + Delphic_util.Bitvec.popcount v) 0 vectors
+  in
+  (* 2000 bits at bias 0.8: expect ~1600. *)
+  Alcotest.(check bool) "bias respected" true (abs (ones - 1600) < 150);
+  let sets = Workload.Coverage_suites.coverage_sets ~strength:2 vectors in
+  Alcotest.(check int) "lifted count" 100 (List.length sets)
+
+let test_singletons () =
+  let rng = Rng.create ~seed:507 in
+  let s = Workload.Singletons.uniform rng ~universe:50 ~count:1000 in
+  List.iter
+    (fun x ->
+      let v = Delphic_sets.Singleton.value x in
+      if v < 0 || v >= 50 then Alcotest.fail "singleton out of range")
+    s;
+  let z = Workload.Singletons.zipf rng ~universe:50 ~count:5000 ~exponent:1.5 in
+  let zero_count =
+    List.length (List.filter (fun x -> Delphic_sets.Singleton.value x = 0) z)
+  in
+  (* Zipf head should be very frequent. *)
+  Alcotest.(check bool) "zipf head heavy" true (zero_count > 1000)
+
+let test_ranges () =
+  let rng = Rng.create ~seed:508 in
+  let ranges = Workload.Ranges.uniform rng ~universe:1000 ~count:200 ~max_len:50 in
+  List.iter
+    (fun r ->
+      let lo = Delphic_sets.Range1d.lo r and hi = Delphic_sets.Range1d.hi r in
+      if lo < 0 || hi >= 1000 || hi - lo >= 50 then Alcotest.fail "range out of spec")
+    ranges
+
+let test_heavy_tailed_ranges () =
+  let rng = Rng.create ~seed:510 in
+  let ranges =
+    Workload.Ranges.heavy_tailed rng ~universe:1_000_000 ~count:2000 ~shape:0.8
+  in
+  Alcotest.(check int) "count" 2000 (List.length ranges);
+  let lengths =
+    List.map (fun r -> Delphic_sets.Range1d.length r) ranges
+  in
+  List.iter
+    (fun l -> if l < 1 || l > 1_000_000 then Alcotest.failf "length %d out of range" l)
+    lengths;
+  (* Heavy tail: the max length dwarfs the median. *)
+  let sorted = List.sort compare lengths in
+  let median = List.nth sorted 1000 in
+  let longest = List.nth sorted 1999 in
+  Alcotest.(check bool)
+    (Printf.sprintf "heavy tail (median %d, max %d)" median longest)
+    true
+    (longest > 100 * median);
+  (match Workload.Ranges.heavy_tailed rng ~universe:10 ~count:1 ~shape:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shape 0 must fail")
+
+let test_knapsacks () =
+  let rng = Rng.create ~seed:509 in
+  let instances = Workload.Knapsacks.random rng ~nvars:10 ~max_weight:30 ~count:10 in
+  List.iter
+    (fun k ->
+      Alcotest.(check int) "nvars" 10 (Delphic_sets.Knapsack.nvars k);
+      let total = Array.fold_left ( + ) 0 (Delphic_sets.Knapsack.weights k) in
+      let b = Delphic_sets.Knapsack.bound k in
+      Alcotest.(check bool) "bound near half total" true (b >= total / 2 && b <= total))
+    instances
+
+let suite =
+  [
+    Alcotest.test_case "rectangles: uniform" `Quick test_rect_uniform;
+    Alcotest.test_case "rectangles: clustered overlap" `Quick test_rect_clustered_overlap;
+    Alcotest.test_case "rectangles: nested chain" `Quick test_rect_nested_chain;
+    Alcotest.test_case "hypervolume front" `Quick test_hypervolume_front;
+    Alcotest.test_case "dnf terms" `Quick test_dnf_terms;
+    Alcotest.test_case "coverage suites" `Quick test_coverage_suites;
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "ranges" `Quick test_ranges;
+    Alcotest.test_case "heavy-tailed ranges" `Quick test_heavy_tailed_ranges;
+    Alcotest.test_case "knapsacks" `Quick test_knapsacks;
+  ]

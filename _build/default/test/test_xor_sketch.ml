@@ -1,0 +1,177 @@
+(* XOR-hash sketch ([32]-style hashing route): constrained counting and
+   enumeration, accuracy against exact counts on DNF and affine streams,
+   and the store-capacity invariant. *)
+
+module Bitvec = Delphic_util.Bitvec
+module Gf2 = Delphic_util.Gf2
+module B = Delphic_util.Bigint
+module Rng = Delphic_util.Rng
+module Dnf = Delphic_sets.Dnf
+module Affine = Delphic_sets.Affine_subspace
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+module Xs_dnf = Delphic_core.Xor_sketch.Make (Dnf)
+module Xs_affine = Delphic_core.Xor_sketch.Make (Affine)
+
+let parity_row ~nvars vars rhs =
+  let coeffs = Bitvec.create ~width:nvars in
+  List.iter (fun v -> Bitvec.set coeffs v true) vars;
+  { Gf2.coeffs; rhs }
+
+let test_count_constrained_dnf () =
+  (* Term x0 ∧ ¬x2 over 5 vars: 8 solutions; adding parity x1⊕x3 = 1 must
+     halve it. *)
+  let t =
+    Dnf.create ~nvars:5
+      [ { Dnf.var = 0; positive = true }; { Dnf.var = 2; positive = false } ]
+  in
+  Alcotest.(check string) "unconstrained" "8" (B.to_string (Dnf.count_constrained t []));
+  let row = parity_row ~nvars:5 [ 1; 3 ] true in
+  Alcotest.(check string) "one parity" "4" (B.to_string (Dnf.count_constrained t [ row ]));
+  (* Contradicting the term: x0 = 0. *)
+  let contra = parity_row ~nvars:5 [ 0 ] false in
+  Alcotest.(check string) "contradiction" "0"
+    (B.to_string (Dnf.count_constrained t [ contra ]))
+
+let test_count_constrained_matches_bruteforce () =
+  let rng = Rng.create ~seed:171 in
+  for _ = 1 to 40 do
+    let nvars = 4 + Rng.int rng 8 in
+    let term =
+      List.hd
+        (Workload.Dnf_terms.random rng ~nvars ~count:1 ~width:(1 + Rng.int rng 3))
+    in
+    let rows =
+      List.init (Rng.int rng 4) (fun _ ->
+          { Gf2.coeffs = Bitvec.random rng ~width:nvars; rhs = Rng.bool rng })
+    in
+    let brute = ref 0 in
+    for x = 0 to (1 lsl nvars) - 1 do
+      let v = Bitvec.create ~width:nvars in
+      for i = 0 to nvars - 1 do
+        Bitvec.set v i ((x lsr i) land 1 = 1)
+      done;
+      if Dnf.satisfies term v && List.for_all (fun r -> Gf2.satisfies r v) rows then
+        incr brute
+    done;
+    Alcotest.(check string) "count matches brute force" (string_of_int !brute)
+      (B.to_string (Dnf.count_constrained term rows))
+  done
+
+let test_enumerate_constrained () =
+  let t = Dnf.create ~nvars:6 [ { Dnf.var = 1; positive = true } ] in
+  (match Dnf.enumerate_constrained t [] ~limit:64 with
+  | None -> Alcotest.fail "32 solutions fit the limit"
+  | Some xs ->
+    Alcotest.(check int) "32 solutions" 32 (List.length xs);
+    List.iter
+      (fun x -> Alcotest.(check bool) "each satisfies" true (Dnf.satisfies t x))
+      xs;
+    let dedup = List.sort_uniq compare (List.map Bitvec.to_string xs) in
+    Alcotest.(check int) "all distinct" 32 (List.length dedup));
+  (match Dnf.enumerate_constrained t [] ~limit:10 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "limit must trigger None")
+
+let test_sketch_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Xs_dnf.create ~epsilon:0.0 ~delta:0.1 ~nvars:10 ~seed:1 ());
+  expect_invalid (fun () -> Xs_dnf.create ~capacity:1 ~epsilon:0.2 ~delta:0.1 ~nvars:10 ~seed:1 ());
+  let t = Xs_dnf.create ~epsilon:0.3 ~delta:0.2 ~nvars:10 ~seed:1 () in
+  expect_invalid (fun () ->
+      Xs_dnf.process t (Dnf.create ~nvars:9 [ { Dnf.var = 0; positive = true } ]))
+
+let test_sketch_accuracy_dnf () =
+  let nvars = 20 in
+  let gen = Rng.create ~seed:172 in
+  let terms = Workload.Dnf_terms.random gen ~nvars ~count:60 ~width:6 in
+  let truth = B.to_float (Exact.dnf_count ~nvars terms) in
+  let failures = ref 0 in
+  for i = 0 to 14 do
+    let t = Xs_dnf.create ~epsilon:0.25 ~delta:0.2 ~nvars ~seed:(700 + i) () in
+    List.iter (Xs_dnf.process t) terms;
+    Alcotest.(check bool) "store bounded" true (Xs_dnf.max_store_size t <= Xs_dnf.capacity t);
+    if Float.abs (Xs_dnf.estimate t -. truth) > 0.25 *. truth then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/15" !failures) true (!failures <= 3)
+
+let test_sketch_accuracy_affine () =
+  let nvars = 18 in
+  let rng = Rng.create ~seed:173 in
+  let pool = ref [] in
+  while List.length !pool < 20 do
+    let rows =
+      List.init (7 + Rng.int rng 5) (fun _ ->
+          { Gf2.coeffs = Bitvec.random rng ~width:nvars; rhs = Rng.bool rng })
+    in
+    match Affine.create_opt ~nvars rows with
+    | Some s -> pool := s :: !pool
+    | None -> ()
+  done;
+  let truth = ref 0 in
+  for x = 0 to (1 lsl nvars) - 1 do
+    let v = Bitvec.create ~width:nvars in
+    for i = 0 to nvars - 1 do
+      Bitvec.set v i ((x lsr i) land 1 = 1)
+    done;
+    if List.exists (fun s -> Affine.mem s v) !pool then incr truth
+  done;
+  let failures = ref 0 in
+  for i = 0 to 9 do
+    let t = Xs_affine.create ~epsilon:0.3 ~delta:0.2 ~nvars ~seed:(800 + i) () in
+    List.iter (Xs_affine.process t) !pool;
+    if Float.abs (Xs_affine.estimate t -. float_of_int !truth) > 0.3 *. float_of_int !truth
+    then incr failures
+  done;
+  Alcotest.(check bool) (Printf.sprintf "failures %d/10" !failures) true (!failures <= 2)
+
+let test_sketch_exact_when_small () =
+  (* A union small enough never to trigger a hash row is counted exactly. *)
+  let nvars = 12 in
+  let t = Xs_dnf.create ~capacity:5000 ~epsilon:0.3 ~delta:0.2 ~nvars ~seed:9 () in
+  let terms =
+    [
+      Dnf.create ~nvars (List.init 8 (fun i -> { Dnf.var = i; positive = true }));
+      Dnf.create ~nvars (List.init 8 (fun i -> { Dnf.var = i; positive = i > 0 }));
+    ]
+  in
+  List.iter (Xs_dnf.process t) terms;
+  (* Each term has 2^4 = 16 solutions; the two sets are disjoint (x0 differs). *)
+  Alcotest.(check int) "level 0" 0 (Xs_dnf.level t);
+  Alcotest.(check (float 0.0)) "exact 32" 32.0 (Xs_dnf.estimate t);
+  (* Duplicates are free. *)
+  List.iter (Xs_dnf.process t) terms;
+  Alcotest.(check (float 0.0)) "still 32" 32.0 (Xs_dnf.estimate t)
+
+let test_level_monotone_and_estimate_scale () =
+  let nvars = 22 in
+  let gen = Rng.create ~seed:174 in
+  let terms = Workload.Dnf_terms.random gen ~nvars ~count:40 ~width:5 in
+  let t = Xs_dnf.create ~capacity:500 ~epsilon:0.3 ~delta:0.2 ~nvars ~seed:30 () in
+  let last_level = ref 0 in
+  List.iter
+    (fun term ->
+      Xs_dnf.process t term;
+      if Xs_dnf.level t < !last_level then Alcotest.fail "level decreased";
+      last_level := Xs_dnf.level t;
+      if Xs_dnf.store_size t > Xs_dnf.capacity t then Alcotest.fail "capacity exceeded")
+    terms;
+  Alcotest.(check bool) "levels advanced under small capacity" true (Xs_dnf.level t > 0)
+
+let suite =
+  [
+    Alcotest.test_case "constrained counting (DNF)" `Quick test_count_constrained_dnf;
+    Alcotest.test_case "constrained counting vs brute force" `Quick
+      test_count_constrained_matches_bruteforce;
+    Alcotest.test_case "constrained enumeration" `Quick test_enumerate_constrained;
+    Alcotest.test_case "sketch validation" `Quick test_sketch_validation;
+    Alcotest.test_case "sketch accuracy on DNF" `Quick test_sketch_accuracy_dnf;
+    Alcotest.test_case "sketch accuracy on affine spaces" `Quick test_sketch_accuracy_affine;
+    Alcotest.test_case "sketch exact when small" `Quick test_sketch_exact_when_small;
+    Alcotest.test_case "level monotone, capacity respected" `Quick
+      test_level_monotone_and_estimate_scale;
+  ]
