@@ -170,6 +170,68 @@ let a_series_lean_update () =
   List.iter (Vatic_range.process t) pool;
   cycling pool (Vatic_range.process t)
 
+(* Service hot path (EXPERIMENTS.md, "server overhead"): the per-request cost
+   of the TCP service minus the socket — wire parsing alone, registry
+   dispatch alone, and the full parse -> dispatch -> render step.  The gap
+   between serve/registry-dispatch and E1's raw update time is the price of
+   the session table + protocol layer. *)
+
+module Protocol = Delphic_server.Protocol
+module Registry = Delphic_server.Registry
+
+let serve_request_lines () =
+  let gen = Rng.create ~seed:23 in
+  let boxes =
+    Workload.Rectangles.uniform gen ~universe:1_000_000 ~dim:2 ~count:200
+      ~max_side:50_000
+  in
+  "PING" :: "EST bench" :: "STATS bench"
+  :: List.map
+       (fun b ->
+         let lo = Rectangle.lo b and hi = Rectangle.hi b in
+         Printf.sprintf "ADD bench %d %d %d %d" lo.(0) hi.(0) lo.(1) hi.(1))
+       boxes
+
+let serve_registry () =
+  let reg = Registry.create ~seed:25 in
+  (match
+     Registry.open_session reg ~name:"bench" ~family:Protocol.Rect ~epsilon:0.2
+       ~delta:0.2 ~log2_universe:40.0
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  reg
+
+let serve_protocol_parse () =
+  cycling (serve_request_lines ()) (fun l -> ignore (Protocol.parse_request l))
+
+let serve_registry_dispatch () =
+  let reg = serve_registry () in
+  let reqs =
+    List.filter_map
+      (fun l -> Result.to_option (Protocol.parse_request l))
+      (serve_request_lines ())
+  in
+  List.iter (fun r -> ignore (Registry.dispatch reg r)) reqs;
+  cycling reqs (fun r -> ignore (Registry.dispatch reg r))
+
+let serve_request_step () =
+  let reg = serve_registry () in
+  let lines = serve_request_lines () in
+  List.iter
+    (fun l ->
+      match Protocol.parse_request l with
+      | Ok req -> ignore (Registry.dispatch reg req)
+      | Error _ -> ())
+    lines;
+  cycling lines (fun l ->
+      let resp =
+        match Protocol.parse_request l with
+        | Ok req -> Registry.dispatch reg req
+        | Error e -> Protocol.Error_reply e
+      in
+      ignore (Protocol.render_response resp))
+
 let micro_tests () =
   Test.make_grouped ~name:"delphic"
     [
@@ -187,6 +249,9 @@ let micro_tests () =
       Test.make ~name:"E11/vatic-bursty-update" (Staged.stage (e11_bursty_update ()));
       Test.make ~name:"E12/xor-sketch-dnf-update" (Staged.stage (e12_xor_sketch_update ()));
       Test.make ~name:"A/vatic-lean-capacity-update" (Staged.stage (a_series_lean_update ()));
+      Test.make ~name:"serve/protocol-parse" (Staged.stage (serve_protocol_parse ()));
+      Test.make ~name:"serve/registry-dispatch" (Staged.stage (serve_registry_dispatch ()));
+      Test.make ~name:"serve/request-step" (Staged.stage (serve_request_step ()));
     ]
 
 let run_micro () =

@@ -304,23 +304,13 @@ let watch_cmd =
   let run epsilon delta seed every log2u =
     let t = Watch_vatic.create ~epsilon ~delta ~log2_universe:log2u ~seed () in
     let items = ref 0 in
+    let lineno = ref 0 in
     (try
        while true do
          let line = String.trim (input_line stdin) in
+         incr lineno;
          if line <> "" && line.[0] <> '#' then begin
-           let fields =
-             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-             |> List.map int_of_string
-           in
-           let d = List.length fields / 2 in
-           if d = 0 || List.length fields mod 2 <> 0 then
-             failwith ("malformed box line: " ^ line);
-           let a = Array.of_list fields in
-           let box =
-             Rectangle.create
-               ~lo:(Array.init d (fun i -> a.(2 * i)))
-               ~hi:(Array.init d (fun i -> a.((2 * i) + 1)))
-           in
+           let box = Delphic_stream.Parsers.rectangle_of_line ~lineno:!lineno line in
            Watch_vatic.process t box;
            incr items;
            if !items mod every = 0 then
@@ -413,6 +403,96 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ epsilon $ delta $ seed $ count $ universe $ heavy)
 
+(* serve: the TCP estimation service (lib/server). *)
+
+let port_arg =
+  let doc = "TCP port (0 picks an ephemeral port and prints it)." in
+  Arg.(value & opt int 7764 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Address to bind/connect to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let serve_cmd =
+  let spool =
+    let doc =
+      "Spool directory for durable session snapshots: restored on start, \
+       written on SIGINT."
+    in
+    Arg.(value & opt string "delphic-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
+  in
+  let run seed port host spool =
+    let server = Delphic_server.Server.create ~host ~port ~spool ~seed () in
+    Delphic_server.Server.install_sigint server;
+    List.iter
+      (function
+        | name, Ok () -> Printf.printf "restored session %s from spool\n%!" name
+        | name, Error msg ->
+          Printf.printf "warning: spooled session %s not restored: %s\n%!" name msg)
+      (Delphic_server.Server.restored server);
+    Printf.printf "delphic serve: listening on %s:%d (spool: %s)\n%!" host
+      (Delphic_server.Server.port server)
+      spool;
+    Delphic_server.Server.serve server;
+    print_endline "delphic serve: stopped; sessions spooled"
+  in
+  let doc =
+    "Run the estimation service: a newline-delimited TCP protocol \
+     (OPEN/ADD/EST/STATS/SNAPSHOT/RESTORE/CLOSE/PING) over long-lived \
+     estimator sessions, with durable snapshots on shutdown."
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ seed $ port_arg $ host_arg $ spool)
+
+(* query: one-shot client for the service. *)
+
+let query_cmd =
+  let commands =
+    let doc =
+      "Request lines to send (e.g. \"PING\", \"OPEN s1 rect 0.2 0.1 40\"); \
+       with none, lines are read from stdin."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  let run port host commands =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    (try Unix.connect fd addr
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "delphic query: cannot connect to %s:%d: %s\n" host port
+         (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let failures = ref 0 in
+    let roundtrip line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | reply ->
+        print_endline reply;
+        if String.length reply >= 4 && String.sub reply 0 4 = "ERR " then incr failures
+      | exception End_of_file ->
+        prerr_endline "delphic query: server closed the connection";
+        exit 1
+    in
+    (match commands with
+    | [] -> (
+      try
+        while true do
+          roundtrip (input_line stdin)
+        done
+      with End_of_file -> ())
+    | _ -> List.iter roundtrip commands);
+    Unix.close fd;
+    if !failures > 0 then exit 3
+  in
+  let doc =
+    "Send protocol requests to a running $(b,delphic serve) and print the \
+     replies (exit 3 if any reply is an ERR)."
+  in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ port_arg $ host_arg $ commands)
+
 (* experiments *)
 
 let experiments_cmd =
@@ -445,8 +525,17 @@ let experiments_cmd =
 let () =
   let doc = "streaming estimation of the size of unions of Delphic sets (PODS'22)" in
   let info = Cmd.info "delphic" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-       [ kmp_cmd; dnf_cmd; coverage_cmd; distinct_cmd; hypervolume_cmd; xor_cmd;
-         compare_cmd; watch_cmd; experiments_cmd ]))
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group info
+         [ kmp_cmd; dnf_cmd; coverage_cmd; distinct_cmd; hypervolume_cmd; xor_cmd;
+           compare_cmd; watch_cmd; serve_cmd; query_cmd; experiments_cmd ])
+  with
+  | code -> exit code
+  | exception Delphic_stream.Parsers.Parse_error { line; msg } ->
+    (* Malformed input data is a user error, not a crash: no backtrace. *)
+    Printf.eprintf "delphic: parse error at line %d: %s\n" line msg;
+    exit 2
+  | exception exn ->
+    Printf.eprintf "delphic: internal error: %s\n" (Printexc.to_string exn);
+    exit 125

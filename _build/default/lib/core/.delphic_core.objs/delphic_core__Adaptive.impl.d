@@ -1,1 +1,1 @@
-lib/core/adaptive.ml: Delphic_family Delphic_util Float Hashtbl Option Params Printf Vatic
+lib/core/adaptive.ml: Delphic_family Delphic_util Float Hashtbl List Option Params Printf Stdlib Vatic

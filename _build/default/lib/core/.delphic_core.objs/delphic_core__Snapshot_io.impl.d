@@ -1,0 +1,1 @@
+lib/core/snapshot_io.ml: Buffer Fun List Params Printf Result String Sys

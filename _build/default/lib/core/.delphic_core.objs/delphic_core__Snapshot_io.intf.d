@@ -1,0 +1,1 @@
+lib/core/snapshot_io.mli: Params

@@ -12,6 +12,10 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
   end)
 
   type t = {
+    mode : Params.mode;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
     capacity : int;
     coupon_factor : float;
     rng : Rng.t;
@@ -47,7 +51,17 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
         (* Tiny universe: the whole of it fits by definition. *)
         1 + int_of_float (Float.ceil (2.0 ** log2_universe))
     in
+    let mode =
+      match (mode, sketch) with
+      | Some m, _ -> m
+      | None, Some v -> (Vatic.params v).Params.mode
+      | None, None -> Params.Practical
+    in
     {
+      mode;
+      epsilon;
+      delta;
+      log2_universe;
       capacity;
       coupon_factor = log 4.0 +. (log2_universe *. log 2.0) -. log delta;
       rng = Rng.create ~seed;
@@ -115,6 +129,9 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
   let max_bucket_size t =
     match t.sketch with Some v -> Vatic.max_bucket_size v | None -> 0
 
+  let sketch_size t =
+    match t.sketch with Some v -> Vatic.bucket_size v | None -> 0
+
   let skipped_sets t =
     match t.sketch with Some v -> Vatic.skipped_sets v | None -> 0
 
@@ -124,4 +141,103 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     else
       Printf.sprintf "sketch (max bucket %d, %d sets skipped)" (max_bucket_size t)
         (skipped_sets t)
+
+  type sketch_snapshot = {
+    capacity_scale : float;
+    coupon_scale : float;
+    sketch_items : int;
+    max_bucket : int;
+    skipped : int;
+    membership_calls : int;
+    cardinality_calls : int;
+    sampling_calls : int;
+    sketch_entries : (F.elt * int) list;
+  }
+
+  type snapshot = {
+    mode : Params.mode;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    exact_capacity : int;
+    items : int;
+    exact_active : bool;
+    exact_entries : F.elt list;
+    sketch : sketch_snapshot option;
+  }
+
+  let snapshot (t : t) =
+    {
+      mode = t.mode;
+      epsilon = t.epsilon;
+      delta = t.delta;
+      log2_universe = t.log2_universe;
+      exact_capacity = t.capacity;
+      items = t.items;
+      exact_active = t.exact_active;
+      exact_entries = Tbl.fold (fun x () acc -> x :: acc) t.exact [];
+      sketch =
+        Option.map
+          (fun v ->
+            let s = Vatic.snapshot v in
+            {
+              capacity_scale = s.Vatic.capacity_scale;
+              coupon_scale = s.Vatic.coupon_scale;
+              sketch_items = s.Vatic.items;
+              max_bucket = s.Vatic.max_bucket;
+              skipped = s.Vatic.skipped;
+              membership_calls = s.Vatic.calls.membership;
+              cardinality_calls = s.Vatic.calls.cardinality;
+              sampling_calls = s.Vatic.calls.sampling;
+              sketch_entries = s.Vatic.entries;
+            })
+          t.sketch;
+    }
+
+  let restore s ~seed =
+    if (not s.exact_active) && Option.is_none s.sketch then
+      invalid_arg "Adaptive.restore: snapshot is in sketch mode but has no sketch";
+    let sketch =
+      Option.map
+        (fun (sk : sketch_snapshot) ->
+          Vatic.restore
+            {
+              Vatic.mode = s.mode;
+              capacity_scale = sk.capacity_scale;
+              coupon_scale = sk.coupon_scale;
+              epsilon = s.epsilon;
+              delta = s.delta;
+              log2_universe = s.log2_universe;
+              items = sk.sketch_items;
+              max_bucket = sk.max_bucket;
+              skipped = sk.skipped;
+              calls =
+                {
+                  Vatic.membership = sk.membership_calls;
+                  cardinality = sk.cardinality_calls;
+                  sampling = sk.sampling_calls;
+                };
+              entries = sk.sketch_entries;
+            }
+            ~seed:(seed + 1))
+        s.sketch
+    in
+    if s.exact_capacity <= 0 then invalid_arg "Adaptive.restore: exact_capacity must be positive";
+    let t =
+      {
+        mode = s.mode;
+        epsilon = s.epsilon;
+        delta = s.delta;
+        log2_universe = s.log2_universe;
+        capacity = s.exact_capacity;
+        coupon_factor = log 4.0 +. (s.log2_universe *. log 2.0) -. log s.delta;
+        rng = Rng.create ~seed;
+        exact = Tbl.create (Stdlib.max 256 (2 * List.length s.exact_entries));
+        exact_active = s.exact_active;
+        sketch;
+        items = s.items;
+      }
+    in
+    List.iter (fun x -> Tbl.replace t.exact x ()) s.exact_entries;
+    t
 end

@@ -49,6 +49,9 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
   val max_bucket_size : t -> int
   (** Largest sketch bucket observed (0 while no sketch exists). *)
 
+  val sketch_size : t -> int
+  (** Current sketch bucket occupancy (0 while no sketch exists). *)
+
   val skipped_sets : t -> int
   (** Sets the underlying sketch dropped at the probability floor (0 in
       exact-only mode). *)
@@ -56,4 +59,42 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
   val describe : t -> string
   (** One-line state description for UIs: "exact (n distinct)" or
       "sketch (...)" . *)
+
+  (** {2 Checkpointing}
+
+      Same contract as {!Vatic.Make.snapshot}: the full estimator state —
+      both the exact table and the shadow sketch — as plain data, so a
+      session can be persisted (see {!Snapshot_io}) and resumed.  PRNG state
+      is not captured; restoration continues with fresh randomness from the
+      supplied seed, which the guarantees do not depend on. *)
+
+  type sketch_snapshot = {
+    capacity_scale : float;
+    coupon_scale : float;
+    sketch_items : int;
+    max_bucket : int;
+    skipped : int;
+    membership_calls : int;
+    cardinality_calls : int;
+    sampling_calls : int;
+    sketch_entries : (F.elt * int) list;  (** bucket contents: (element, level) *)
+  }
+
+  type snapshot = {
+    mode : Params.mode;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    exact_capacity : int;
+    items : int;
+    exact_active : bool;
+    exact_entries : F.elt list;  (** distinct elements held while exact *)
+    sketch : sketch_snapshot option;
+  }
+
+  val snapshot : t -> snapshot
+
+  val restore : snapshot -> seed:int -> t
+  (** Raises [Invalid_argument] on internally inconsistent snapshots (e.g.
+      sketch mode without a sketch, or parameters {!create} would refuse). *)
 end

@@ -13,6 +13,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
   type oracle_calls = { membership : int; cardinality : int; sampling : int }
 
   type t = {
+    mode : Params.mode;
     epsilon : float;
     delta : float;
     log2_universe : float;
@@ -91,6 +92,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
          probability floor L/|U| exceeds the initial rate 1/(2(1+alpha)^2)) — \
          count the union exactly instead";
     {
+      mode;
       epsilon;
       delta;
       log2_universe;
@@ -248,4 +250,49 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       | [] -> None
       | _ -> Some (List.nth kept (Rng.int t.rng (List.length kept)))
     end
+
+  type snapshot = {
+    mode : Params.mode;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    alpha : float;
+    gamma : float;
+    eta : float;
+    items : int;
+    max_bucket : int;
+    skipped : int;
+    calls : oracle_calls;
+    entries : (A.elt * int) list;
+  }
+
+  let snapshot (t : t) =
+    {
+      mode = t.mode;
+      epsilon = t.epsilon;
+      delta = t.delta;
+      log2_universe = t.log2_universe;
+      alpha = t.alpha;
+      gamma = t.gamma;
+      eta = t.eta;
+      items = t.items;
+      max_bucket = t.max_bucket;
+      skipped = t.skipped;
+      calls = oracle_calls t;
+      entries = Tbl.fold (fun x j acc -> (x, j) :: acc) t.bucket [];
+    }
+
+  let restore s ~seed =
+    let t =
+      create ~mode:s.mode ~epsilon:s.epsilon ~delta:s.delta
+        ~log2_universe:s.log2_universe ~alpha:s.alpha ~gamma:s.gamma ~eta:s.eta ~seed ()
+    in
+    List.iter (fun (x, j) -> Tbl.replace t.bucket x j) s.entries;
+    t.items <- s.items;
+    t.max_bucket <- s.max_bucket;
+    t.skipped <- s.skipped;
+    t.membership_calls <- s.calls.membership;
+    t.cardinality_calls <- s.calls.cardinality;
+    t.sampling_calls <- s.calls.sampling;
+    t
 end

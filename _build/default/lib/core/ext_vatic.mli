@@ -58,4 +58,29 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
   }
 
   val oracle_calls : t -> oracle_calls
+
+  (** {2 Checkpointing}
+
+      Same contract as {!Vatic.Make.snapshot}: plain data, cheap to persist,
+      PRNG state not captured (a restored sketch continues with fresh
+      randomness, which the guarantees do not depend on). *)
+
+  type snapshot = {
+    mode : Params.mode;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    alpha : float;
+    gamma : float;
+    eta : float;
+    items : int;
+    max_bucket : int;
+    skipped : int;
+    calls : oracle_calls;
+    entries : (A.elt * int) list;
+        (** bucket contents: (element, halving count [j]) *)
+  }
+
+  val snapshot : t -> snapshot
+  val restore : snapshot -> seed:int -> t
 end

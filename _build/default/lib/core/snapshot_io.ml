@@ -1,0 +1,228 @@
+type sketch = {
+  mode : Params.mode;
+  capacity_scale : float;
+  coupon_scale : float;
+  s_items : int;
+  max_bucket : int;
+  skipped : int;
+  membership_calls : int;
+  cardinality_calls : int;
+  sampling_calls : int;
+  entries : (int * string) list;
+}
+
+type t = {
+  family : string;
+  epsilon : float;
+  delta : float;
+  log2_universe : float;
+  exact_capacity : int;
+  items : int;
+  exact_active : bool;
+  exact_entries : string list;
+  sketch : sketch option;
+}
+
+let version = 1
+let magic = "delphic-snapshot"
+
+let string_of_mode = function Params.Paper -> "paper" | Params.Practical -> "practical"
+
+let mode_of_string = function
+  | "paper" -> Ok Params.Paper
+  | "practical" -> Ok Params.Practical
+  | s -> Error (Printf.sprintf "unknown mode %S" s)
+
+(* Hexadecimal float literals round-trip doubles exactly through
+   float_of_string, which "%.17g" only does modulo printf/strtod quirks. *)
+let float_out = Printf.sprintf "%h"
+
+let check_single_line what s =
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Snapshot_io.encode: %s contains a newline" what))
+    s
+
+let encode t =
+  check_single_line "family token" t.family;
+  if t.family = "" || String.contains t.family ' ' then
+    invalid_arg "Snapshot_io.encode: family token must be non-empty and space-free";
+  List.iter (check_single_line "an exact entry") t.exact_entries;
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "%s v%d" magic version;
+  line "family %s" t.family;
+  line "epsilon %s" (float_out t.epsilon);
+  line "delta %s" (float_out t.delta);
+  line "log2-universe %s" (float_out t.log2_universe);
+  line "exact-capacity %d" t.exact_capacity;
+  line "items %d" t.items;
+  line "exact-active %b" t.exact_active;
+  line "exact-entries %d" (List.length t.exact_entries);
+  List.iter (fun e -> line "E %s" e) t.exact_entries;
+  (match t.sketch with
+  | None -> line "no-sketch"
+  | Some s ->
+    line "sketch %s %s %s %d %d %d %d %d %d" (string_of_mode s.mode)
+      (float_out s.capacity_scale) (float_out s.coupon_scale) s.s_items s.max_bucket
+      s.skipped s.membership_calls s.cardinality_calls s.sampling_calls;
+    line "sketch-entries %d" (List.length s.entries);
+    List.iter
+      (fun (level, e) ->
+        check_single_line "a sketch entry" e;
+        line "%d %s" level e)
+      s.entries);
+  line "end";
+  Buffer.contents buf
+
+(* Decoding: a tiny sequential reader over the line list, every failure an
+   [Error] naming the offending line. *)
+
+let ( let* ) = Result.bind
+
+let decode text =
+  let lines = String.split_on_char '\n' text in
+  let lines = ref lines in
+  let lineno = ref 0 in
+  let next () =
+    match !lines with
+    | [] -> Error "truncated snapshot: unexpected end of input"
+    | l :: rest ->
+      lines := rest;
+      incr lineno;
+      Ok l
+  in
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" !lineno m)) fmt in
+  let keyed key =
+    let* l = next () in
+    let prefix = key ^ " " in
+    let plen = String.length prefix in
+    if String.length l >= plen && String.sub l 0 plen = prefix then
+      Ok (String.sub l plen (String.length l - plen))
+    else fail "expected %S, got %S" key l
+  in
+  let int_field key =
+    let* v = keyed key in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> fail "%s: not an integer: %S" key v
+  in
+  let float_field key =
+    let* v = keyed key in
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> fail "%s: not a float: %S" key v
+  in
+  let bool_field key =
+    let* v = keyed key in
+    match bool_of_string_opt v with
+    | Some b -> Ok b
+    | None -> fail "%s: not a boolean: %S" key v
+  in
+  let rec read_n n f acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let* x = f () in
+      read_n (n - 1) f (x :: acc)
+  in
+  let* header = next () in
+  let* () =
+    match String.split_on_char ' ' header with
+    | [ m; v ] when m = magic ->
+      if v = Printf.sprintf "v%d" version then Ok ()
+      else fail "unsupported snapshot version %S (this build reads v%d)" v version
+    | _ -> fail "not a delphic snapshot (bad magic line %S)" header
+  in
+  let* family = keyed "family" in
+  let* () = if family = "" || String.contains family ' ' then fail "empty or malformed family token" else Ok () in
+  let* epsilon = float_field "epsilon" in
+  let* delta = float_field "delta" in
+  let* log2_universe = float_field "log2-universe" in
+  let* exact_capacity = int_field "exact-capacity" in
+  let* items = int_field "items" in
+  let* exact_active = bool_field "exact-active" in
+  let* n_exact = int_field "exact-entries" in
+  let* () = if n_exact < 0 then fail "negative exact-entries count" else Ok () in
+  let* exact_entries = read_n n_exact (fun () -> keyed "E") [] in
+  let* sk_line = next () in
+  let* sketch =
+    if sk_line = "no-sketch" then Ok None
+    else
+      match String.split_on_char ' ' sk_line with
+      | [ "sketch"; mode; cs; ks; si; mb; sk; mc; cc; sc ] ->
+        let* mode = Result.map_error (Printf.sprintf "line %d: %s" !lineno) (mode_of_string mode) in
+        let num what conv v =
+          match conv v with Some x -> Ok x | None -> fail "sketch %s: bad number %S" what v
+        in
+        let* capacity_scale = num "capacity-scale" float_of_string_opt cs in
+        let* coupon_scale = num "coupon-scale" float_of_string_opt ks in
+        let* s_items = num "items" int_of_string_opt si in
+        let* max_bucket = num "max-bucket" int_of_string_opt mb in
+        let* skipped = num "skipped" int_of_string_opt sk in
+        let* membership_calls = num "membership-calls" int_of_string_opt mc in
+        let* cardinality_calls = num "cardinality-calls" int_of_string_opt cc in
+        let* sampling_calls = num "sampling-calls" int_of_string_opt sc in
+        let* n_entries = int_field "sketch-entries" in
+        let* () = if n_entries < 0 then fail "negative sketch-entries count" else Ok () in
+        let entry () =
+          let* l = next () in
+          let level, rest =
+            match String.index_opt l ' ' with
+            | Some i -> (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+            | None -> (l, "")
+          in
+          match int_of_string_opt level with
+          | Some lv -> Ok (lv, rest)
+          | None -> fail "sketch entry: bad level %S" level
+        in
+        let* entries = read_n n_entries entry [] in
+        Ok
+          (Some
+             {
+               mode;
+               capacity_scale;
+               coupon_scale;
+               s_items;
+               max_bucket;
+               skipped;
+               membership_calls;
+               cardinality_calls;
+               sampling_calls;
+               entries;
+             })
+      | _ -> fail "expected \"sketch ...\" or \"no-sketch\", got %S" sk_line
+  in
+  let* last = next () in
+  let* () = if last = "end" then Ok () else fail "expected \"end\", got %S" last in
+  Ok
+    {
+      family;
+      epsilon;
+      delta;
+      log2_universe;
+      exact_capacity;
+      items;
+      exact_active;
+      exact_entries;
+      sketch;
+    }
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (encode t);
+      flush oc);
+  Sys.rename tmp path
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in_noerr ic;
+    decode contents

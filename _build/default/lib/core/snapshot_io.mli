@@ -1,0 +1,72 @@
+(** Versioned on-disk codec for estimator snapshots.
+
+    {!Vatic}, {!Ext_vatic} and {!Adaptive} expose in-memory [snapshot]
+    records parameterised by the family's element type.  Durability must not
+    be tied to those records (they change as the estimators evolve), so this
+    module defines a neutral, {e versioned} interchange form in which
+    elements are opaque single-line strings — each serving family supplies
+    its own element codec (see [Delphic_server.Families]) and the text
+    format carries everything else.
+
+    Format (v1) is line-oriented and human-inspectable:
+
+    {v
+    delphic-snapshot v1
+    family rect
+    epsilon 0x1.999999999999ap-3
+    ...
+    exact-entries 2
+    E 3 7
+    E 12 40
+    sketch practical ...
+    sketch-entries 1
+    3 17 42
+    end
+    v}
+
+    Floats are printed with ["%h"] (hexadecimal) so that
+    [decode (encode s) = Ok s] holds {e exactly} — the qcheck property in
+    [test/test_snapshot_io.ml].  Unknown versions and malformed input decode
+    to [Error], never an exception. *)
+
+type sketch = {
+  mode : Params.mode;
+  capacity_scale : float;
+  coupon_scale : float;
+  s_items : int;  (** items the sketch itself has processed *)
+  max_bucket : int;
+  skipped : int;
+  membership_calls : int;
+  cardinality_calls : int;
+  sampling_calls : int;
+  entries : (int * string) list;  (** (sampling level, encoded element) *)
+}
+
+type t = {
+  family : string;
+      (** the protocol family token, e.g. ["rect"], ["dnf:40"],
+          ["cov:14:2"]; opaque to this module (no whitespace) *)
+  epsilon : float;
+  delta : float;
+  log2_universe : float;
+  exact_capacity : int;  (** the adaptive wrapper's exact-mode budget *)
+  items : int;
+  exact_active : bool;
+  exact_entries : string list;  (** encoded elements of the exact table *)
+  sketch : sketch option;  (** [None] on universes below the sketching floor *)
+}
+
+val version : int
+(** Current format version (1). *)
+
+val encode : t -> string
+(** Raises [Invalid_argument] if the family token or an encoded element
+    contains a newline (elements containing spaces are fine). *)
+
+val decode : string -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames, so a crash mid-write never
+    leaves a truncated snapshot behind. *)
+
+val load : path:string -> (t, string) result

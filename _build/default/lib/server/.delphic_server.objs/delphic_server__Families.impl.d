@@ -1,0 +1,1 @@
+lib/server/families.ml: Array Delphic_core Delphic_family Delphic_sets Delphic_stream Delphic_util List Option Printf Protocol Result String

@@ -1,0 +1,1 @@
+lib/server/families.mli: Delphic_core Protocol

@@ -1,0 +1,1 @@
+lib/server/protocol.ml: List Printf Result String

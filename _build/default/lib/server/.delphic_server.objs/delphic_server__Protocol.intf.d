@@ -1,0 +1,1 @@
+lib/server/protocol.mli:

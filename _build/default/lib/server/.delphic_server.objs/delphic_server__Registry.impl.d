@@ -1,0 +1,1 @@
+lib/server/registry.ml: Array Delphic_core Delphic_stream Families Filename Fun Hashtbl List Mutex Protocol Result String Sys Unix

@@ -1,0 +1,1 @@
+lib/server/registry.mli: Protocol

@@ -1,0 +1,1 @@
+lib/server/server.ml: Fun Hashtbl List Logs Mutex Printexc Protocol Registry Sys Thread Unix

@@ -1,0 +1,1 @@
+lib/server/server.mli: Registry Thread

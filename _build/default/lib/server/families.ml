@@ -1,0 +1,271 @@
+module Io = Delphic_core.Snapshot_io
+module Params = Delphic_core.Params
+module Parsers = Delphic_stream.Parsers
+module Bitvec = Delphic_util.Bitvec
+module Rectangle = Delphic_sets.Rectangle
+module Dnf = Delphic_sets.Dnf
+module Coverage = Delphic_sets.Coverage
+
+let ( let* ) = Result.bind
+
+let map_result f l =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* y = f x in
+      Ok (y :: acc))
+    l (Ok [])
+
+(* One Adaptive estimator per family plus the element codec Snapshot_io
+   needs; the functor writes the two conversions once instead of three
+   times. *)
+module Bridge (X : sig
+  module F : Delphic_family.Family.FAMILY
+
+  val encode_elt : F.elt -> string
+  val decode_elt : string -> (F.elt, string) result
+end) =
+struct
+  module A = Delphic_core.Adaptive.Make (X.F)
+
+  let to_io ~family_token est =
+    let s = A.snapshot est in
+    {
+      Io.family = family_token;
+      epsilon = s.A.epsilon;
+      delta = s.A.delta;
+      log2_universe = s.A.log2_universe;
+      exact_capacity = s.A.exact_capacity;
+      items = s.A.items;
+      exact_active = s.A.exact_active;
+      exact_entries = List.map X.encode_elt s.A.exact_entries;
+      sketch =
+        Option.map
+          (fun (sk : A.sketch_snapshot) ->
+            {
+              Io.mode = s.A.mode;
+              capacity_scale = sk.capacity_scale;
+              coupon_scale = sk.coupon_scale;
+              s_items = sk.sketch_items;
+              max_bucket = sk.max_bucket;
+              skipped = sk.skipped;
+              membership_calls = sk.membership_calls;
+              cardinality_calls = sk.cardinality_calls;
+              sampling_calls = sk.sampling_calls;
+              entries = List.map (fun (x, level) -> (level, X.encode_elt x)) sk.sketch_entries;
+            })
+          s.A.sketch;
+    }
+
+  let of_io ~seed (io : Io.t) =
+    let* exact_entries = map_result X.decode_elt io.Io.exact_entries in
+    let* sketch =
+      match io.Io.sketch with
+      | None -> Ok None
+      | Some sk ->
+        let* sketch_entries =
+          map_result
+            (fun (level, e) ->
+              let* x = X.decode_elt e in
+              Ok (x, level))
+            sk.Io.entries
+        in
+        Ok
+          (Some
+             {
+               A.capacity_scale = sk.Io.capacity_scale;
+               coupon_scale = sk.Io.coupon_scale;
+               sketch_items = sk.Io.s_items;
+               max_bucket = sk.Io.max_bucket;
+               skipped = sk.Io.skipped;
+               membership_calls = sk.Io.membership_calls;
+               cardinality_calls = sk.Io.cardinality_calls;
+               sampling_calls = sk.Io.sampling_calls;
+               sketch_entries;
+             })
+    in
+    let mode =
+      match io.Io.sketch with Some sk -> sk.Io.mode | None -> Params.Practical
+    in
+    match
+      A.restore
+        {
+          A.mode;
+          epsilon = io.Io.epsilon;
+          delta = io.Io.delta;
+          log2_universe = io.Io.log2_universe;
+          exact_capacity = io.Io.exact_capacity;
+          items = io.Io.items;
+          exact_active = io.Io.exact_active;
+          exact_entries;
+          sketch;
+        }
+        ~seed
+    with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error msg
+end
+
+module Rect_b = Bridge (struct
+  module F = Rectangle
+
+  let encode_elt p = String.concat " " (List.map string_of_int (Array.to_list p))
+
+  let decode_elt s =
+    let toks = String.split_on_char ' ' s |> List.filter (fun x -> x <> "") in
+    if toks = [] then Error "empty point"
+    else
+      let rec ints acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | x :: rest -> (
+          match int_of_string_opt x with
+          | Some v -> ints (v :: acc) rest
+          | None -> Error (Printf.sprintf "bad point coordinate %S" x))
+      in
+      ints [] toks
+end)
+
+module Dnf_b = Bridge (struct
+  module F = Dnf
+
+  let encode_elt = Bitvec.to_string
+
+  let decode_elt s =
+    match Bitvec.of_string s with
+    | v -> Ok v
+    | exception Invalid_argument msg -> Error msg
+end)
+
+module Cov_b = Bridge (struct
+  module F = Coverage
+
+  let encode_elt (e : Coverage.elt) =
+    String.concat "," (List.map string_of_int (Array.to_list e.Coverage.positions))
+    ^ ":"
+    ^ Bitvec.to_string e.Coverage.pattern
+
+  let decode_elt s =
+    match String.index_opt s ':' with
+    | None -> Error (Printf.sprintf "bad coverage element %S (no ':')" s)
+    | Some i -> (
+      let pos = String.sub s 0 i in
+      let pat = String.sub s (i + 1) (String.length s - i - 1) in
+      let* positions =
+        map_result
+          (fun x ->
+            match int_of_string_opt x with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "bad coverage position %S" x))
+          (String.split_on_char ',' pos |> List.filter (fun x -> x <> ""))
+      in
+      match Bitvec.of_string pat with
+      | pattern -> Ok { Coverage.positions = Array.of_list positions; pattern }
+      | exception Invalid_argument msg -> Error msg)
+end)
+
+type t =
+  | Rect_s of { est : Rect_b.A.t; mutable dims : int option }
+  | Dnf_s of { est : Dnf_b.A.t; nvars : int }
+  | Cov_s of { est : Cov_b.A.t; nbits : int; strength : int }
+
+let family = function
+  | Rect_s _ -> Protocol.Rect
+  | Dnf_s { nvars; _ } -> Protocol.Dnf { nvars }
+  | Cov_s { nbits; strength; _ } -> Protocol.Cov { nbits; strength }
+
+let family_token t = Protocol.family_to_token (family t)
+
+let create ~family ~epsilon ~delta ~log2_universe ~seed =
+  let guard f = match f () with t -> Ok t | exception Invalid_argument msg -> Error msg in
+  match (family : Protocol.family) with
+  | Protocol.Rect ->
+    let* est = guard (fun () -> Rect_b.A.create ~epsilon ~delta ~log2_universe ~seed ()) in
+    Ok (Rect_s { est; dims = None })
+  | Protocol.Dnf { nvars } ->
+    let* est = guard (fun () -> Dnf_b.A.create ~epsilon ~delta ~log2_universe ~seed ()) in
+    Ok (Dnf_s { est; nvars })
+  | Protocol.Cov { nbits; strength } ->
+    let* est = guard (fun () -> Cov_b.A.create ~epsilon ~delta ~log2_universe ~seed ()) in
+    Ok (Cov_s { est; nbits; strength })
+
+let add t ~lineno payload =
+  match t with
+  | Rect_s r ->
+    let box = Parsers.rectangle_of_line ?dims:r.dims ~lineno payload in
+    if r.dims = None then r.dims <- Some (Rectangle.dim box);
+    Rect_b.A.process r.est box
+  | Dnf_s d ->
+    let term = Parsers.dnf_term_of_line ~nvars:d.nvars ~lineno payload in
+    Dnf_b.A.process d.est term
+  | Cov_s c ->
+    let v = Parsers.vector_of_line ~lineno payload in
+    if Bitvec.width v <> c.nbits then
+      raise
+        (Parsers.Parse_error
+           {
+             line = lineno;
+             msg =
+               Printf.sprintf "vector has %d bits but the session is cov:%d:%d"
+                 (Bitvec.width v) c.nbits c.strength;
+           });
+    Cov_b.A.process c.est (Coverage.create ~vector:v ~strength:c.strength)
+
+let estimate = function
+  | Rect_s { est; _ } -> Rect_b.A.estimate est
+  | Dnf_s { est; _ } -> Dnf_b.A.estimate est
+  | Cov_s { est; _ } -> Cov_b.A.estimate est
+
+let items = function
+  | Rect_s { est; _ } -> Rect_b.A.items_processed est
+  | Dnf_s { est; _ } -> Dnf_b.A.items_processed est
+  | Cov_s { est; _ } -> Cov_b.A.items_processed est
+
+let is_exact = function
+  | Rect_s { est; _ } -> Rect_b.A.is_exact est
+  | Dnf_s { est; _ } -> Dnf_b.A.is_exact est
+  | Cov_s { est; _ } -> Cov_b.A.is_exact est
+
+let entries t =
+  let pick exact_size sketch_size = match exact_size with Some n -> n | None -> sketch_size in
+  match t with
+  | Rect_s { est; _ } -> pick (Rect_b.A.exact_size est) (Rect_b.A.sketch_size est)
+  | Dnf_s { est; _ } -> pick (Dnf_b.A.exact_size est) (Dnf_b.A.sketch_size est)
+  | Cov_s { est; _ } -> pick (Cov_b.A.exact_size est) (Cov_b.A.sketch_size est)
+
+let describe = function
+  | Rect_s { est; _ } -> Rect_b.A.describe est
+  | Dnf_s { est; _ } -> Dnf_b.A.describe est
+  | Cov_s { est; _ } -> Cov_b.A.describe est
+
+let to_io t =
+  let token = family_token t in
+  match t with
+  | Rect_s { est; _ } -> Rect_b.to_io ~family_token:token est
+  | Dnf_s { est; _ } -> Dnf_b.to_io ~family_token:token est
+  | Cov_s { est; _ } -> Cov_b.to_io ~family_token:token est
+
+let of_io (io : Io.t) ~seed =
+  let* family =
+    Result.map_error Protocol.describe_error (Protocol.family_of_token io.Io.family)
+  in
+  match family with
+  | Protocol.Rect ->
+    let* est = Rect_b.of_io ~seed io in
+    (* The dimension pin is recovered from any persisted element; a snapshot
+       with no entries ever processed none, so the next ADD re-pins it. *)
+    let point_dims s =
+      List.length (String.split_on_char ' ' s |> List.filter (fun x -> x <> ""))
+    in
+    let dims =
+      match (io.Io.exact_entries, io.Io.sketch) with
+      | e :: _, _ -> Some (point_dims e)
+      | [], Some { Io.entries = (_, e) :: _; _ } -> Some (point_dims e)
+      | [], _ -> None
+    in
+    Ok (Rect_s { est; dims })
+  | Protocol.Dnf { nvars } ->
+    let* est = Dnf_b.of_io ~seed io in
+    Ok (Dnf_s { est; nvars })
+  | Protocol.Cov { nbits; strength } ->
+    let* est = Cov_b.of_io ~seed io in
+    Ok (Cov_s { est; nbits; strength })

@@ -1,0 +1,47 @@
+(** A running estimation session with its family packed away.
+
+    The service supports several Delphic families behind one untyped wire
+    protocol; this module hides each family's element and set types behind a
+    uniform handle.  Each handle wraps a {!Delphic_core.Adaptive} estimator
+    (exact while small, VATIC sketch at scale), parses [ADD] payloads with
+    the family's {!Delphic_stream.Parsers} line format, and converts to and
+    from the neutral {!Delphic_core.Snapshot_io} form for durability. *)
+
+type t
+
+val create :
+  family:Protocol.family ->
+  epsilon:float ->
+  delta:float ->
+  log2_universe:float ->
+  seed:int ->
+  (t, string) result
+(** [Error] carries the estimator's refusal message (bad ε/δ, universe too
+    small, …). *)
+
+val family : t -> Protocol.family
+
+val family_token : t -> string
+
+val add : t -> lineno:int -> string -> unit
+(** Parse one set line and feed it to the estimator.  Raises
+    {!Delphic_stream.Parsers.Parse_error} on a malformed payload — the
+    caller turns that into an [ERR PARSE] reply; the estimator state is
+    untouched by a rejected line. *)
+
+val estimate : t -> float
+
+val items : t -> int
+
+val entries : t -> int
+(** Exact distinct elements held, or current sketch occupancy. *)
+
+val is_exact : t -> bool
+
+val describe : t -> string
+
+val to_io : t -> Delphic_core.Snapshot_io.t
+
+val of_io : Delphic_core.Snapshot_io.t -> seed:int -> (t, string) result
+(** Rebuild a session from a decoded snapshot; [Error] on an unknown family
+    token, an undecodable element, or parameters the estimator refuses. *)

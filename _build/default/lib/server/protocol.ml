@@ -1,0 +1,281 @@
+type family =
+  | Rect
+  | Dnf of { nvars : int }
+  | Cov of { nbits : int; strength : int }
+
+type request =
+  | Open of {
+      session : string;
+      family : family;
+      epsilon : float;
+      delta : float;
+      log2_universe : float;
+    }
+  | Add of { session : string; payload : string }
+  | Est of { session : string }
+  | Stats of { session : string }
+  | Snapshot of { session : string; path : string }
+  | Restore of { session : string; path : string }
+  | Close of { session : string }
+  | Ping
+
+type error =
+  | Empty_request
+  | Unknown_command of string
+  | Wrong_arity of { command : string; expected : string }
+  | Bad_number of { what : string; value : string }
+  | Bad_family of string
+  | Bad_session_name of string
+  | Unknown_session of string
+  | Session_exists of string
+  | Bad_params of string
+  | Bad_line of { line : int; msg : string }
+  | Io_error of string
+  | Server_error of string
+
+type stats = {
+  family : string;
+  items : int;
+  entries : int;
+  exact : bool;
+  last_estimate : float;
+  parse_rejects : int;
+}
+
+type response =
+  | Ok_reply of string option
+  | Estimate of float
+  | Stats_reply of stats
+  | Pong
+  | Error_reply of error
+
+let session_name_ok name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true | _ -> false)
+       name
+
+let family_to_token = function
+  | Rect -> "rect"
+  | Dnf { nvars } -> Printf.sprintf "dnf:%d" nvars
+  | Cov { nbits; strength } -> Printf.sprintf "cov:%d:%d" nbits strength
+
+let family_of_token token =
+  match String.split_on_char ':' token with
+  | [ "rect" ] -> Ok Rect
+  | [ "dnf"; n ] -> (
+    match int_of_string_opt n with
+    | Some nvars when nvars > 0 -> Ok (Dnf { nvars })
+    | _ -> Error (Bad_family token))
+  | [ "cov"; n; t ] -> (
+    match (int_of_string_opt n, int_of_string_opt t) with
+    | Some nbits, Some strength when nbits > 0 && strength > 0 && strength <= nbits ->
+      Ok (Cov { nbits; strength })
+    | _ -> Error (Bad_family token))
+  | _ -> Error (Bad_family token)
+
+(* 17 significant digits round-trip any double through float_of_string. *)
+let float_out = Printf.sprintf "%.17g"
+
+let ( let* ) = Result.bind
+
+let chop_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+(* First token and the remainder (trimmed); "" when exhausted. *)
+let cut line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_session name =
+  if session_name_ok name then Ok name else Error (Bad_session_name name)
+
+let parse_float ~what value =
+  match float_of_string_opt value with
+  | Some f -> Ok f
+  | None -> Error (Bad_number { what; value })
+
+let parse_request line =
+  let line = chop_cr line in
+  let verb, rest = cut line in
+  if verb = "" then Error Empty_request
+  else
+    match String.uppercase_ascii verb with
+    | "PING" -> if rest = "" then Ok Ping else Error (Wrong_arity { command = "PING"; expected = "PING" })
+    | "OPEN" -> (
+      match tokens rest with
+      | [ session; family; eps; delta; log2u ] ->
+        let* session = parse_session session in
+        let* family = family_of_token family in
+        let* epsilon = parse_float ~what:"epsilon" eps in
+        let* delta = parse_float ~what:"delta" delta in
+        let* log2_universe = parse_float ~what:"log2-universe" log2u in
+        Ok (Open { session; family; epsilon; delta; log2_universe })
+      | _ ->
+        Error
+          (Wrong_arity
+             { command = "OPEN"; expected = "OPEN <session> <family> <eps> <delta> <log2u>" }))
+    | "ADD" ->
+      let session, payload = cut rest in
+      if session = "" || payload = "" then
+        Error (Wrong_arity { command = "ADD"; expected = "ADD <session> <set-line>" })
+      else
+        let* session = parse_session session in
+        Ok (Add { session; payload })
+    | "EST" | "STATS" | "CLOSE" -> (
+      let command = String.uppercase_ascii verb in
+      match tokens rest with
+      | [ session ] ->
+        let* session = parse_session session in
+        Ok
+          (match command with
+          | "EST" -> Est { session }
+          | "STATS" -> Stats { session }
+          | _ -> Close { session })
+      | _ -> Error (Wrong_arity { command; expected = command ^ " <session>" }))
+    | "SNAPSHOT" | "RESTORE" ->
+      let command = String.uppercase_ascii verb in
+      let session, path = cut rest in
+      if session = "" || path = "" then
+        Error (Wrong_arity { command; expected = command ^ " <session> <path>" })
+      else
+        let* session = parse_session session in
+        Ok
+          (if command = "SNAPSHOT" then Snapshot { session; path }
+           else Restore { session; path })
+    | _ -> Error (Unknown_command verb)
+
+let render_request = function
+  | Open { session; family; epsilon; delta; log2_universe } ->
+    Printf.sprintf "OPEN %s %s %s %s %s" session (family_to_token family) (float_out epsilon)
+      (float_out delta) (float_out log2_universe)
+  | Add { session; payload } -> Printf.sprintf "ADD %s %s" session payload
+  | Est { session } -> "EST " ^ session
+  | Stats { session } -> "STATS " ^ session
+  | Snapshot { session; path } -> Printf.sprintf "SNAPSHOT %s %s" session path
+  | Restore { session; path } -> Printf.sprintf "RESTORE %s %s" session path
+  | Close { session } -> "CLOSE " ^ session
+  | Ping -> "PING"
+
+let error_code = function
+  | Empty_request -> "EMPTY"
+  | Unknown_command _ -> "UNKNOWN-COMMAND"
+  | Wrong_arity _ -> "ARITY"
+  | Bad_number _ -> "BAD-NUMBER"
+  | Bad_family _ -> "BAD-FAMILY"
+  | Bad_session_name _ -> "BAD-SESSION-NAME"
+  | Unknown_session _ -> "UNKNOWN-SESSION"
+  | Session_exists _ -> "SESSION-EXISTS"
+  | Bad_params _ -> "BAD-PARAMS"
+  | Bad_line _ -> "PARSE"
+  | Io_error _ -> "IO"
+  | Server_error _ -> "SERVER"
+
+(* Payload after "ERR <CODE>"; the first token is structured where decoding
+   needs it, the remainder freeform. *)
+let error_payload = function
+  | Empty_request -> ""
+  | Unknown_command s -> s
+  | Wrong_arity { command; expected } -> Printf.sprintf "%s %s" command expected
+  | Bad_number { what; value } -> Printf.sprintf "%s %s" what value
+  | Bad_family s -> s
+  | Bad_session_name s -> s
+  | Unknown_session s -> s
+  | Session_exists s -> s
+  | Bad_params s -> s
+  | Bad_line { line; msg } -> Printf.sprintf "%d %s" line msg
+  | Io_error s -> s
+  | Server_error s -> s
+
+let describe_error = function
+  | Empty_request -> "empty request"
+  | Unknown_command s -> Printf.sprintf "unknown command %S" s
+  | Wrong_arity { expected; _ } -> "usage: " ^ expected
+  | Bad_number { what; value } -> Printf.sprintf "%s: not a number: %S" what value
+  | Bad_family s -> Printf.sprintf "unknown family %S (want rect, dnf:<nvars> or cov:<nbits>:<strength>)" s
+  | Bad_session_name s -> Printf.sprintf "bad session name %S (use [A-Za-z0-9_.-]+)" s
+  | Unknown_session s -> Printf.sprintf "no session named %S" s
+  | Session_exists s -> Printf.sprintf "session %S already open" s
+  | Bad_params msg -> msg
+  | Bad_line { line; msg } -> Printf.sprintf "ADD line %d rejected: %s" line msg
+  | Io_error msg -> msg
+  | Server_error msg -> msg
+
+let parse_error_of_wire code payload =
+  let first, rest = cut payload in
+  match code with
+  | "EMPTY" -> Some Empty_request
+  | "UNKNOWN-COMMAND" -> Some (Unknown_command payload)
+  | "ARITY" when first <> "" -> Some (Wrong_arity { command = first; expected = rest })
+  | "BAD-NUMBER" when first <> "" -> Some (Bad_number { what = first; value = rest })
+  | "BAD-FAMILY" -> Some (Bad_family payload)
+  | "BAD-SESSION-NAME" -> Some (Bad_session_name payload)
+  | "UNKNOWN-SESSION" -> Some (Unknown_session payload)
+  | "SESSION-EXISTS" -> Some (Session_exists payload)
+  | "BAD-PARAMS" -> Some (Bad_params payload)
+  | "PARSE" -> (
+    match int_of_string_opt first with
+    | Some line -> Some (Bad_line { line; msg = rest })
+    | None -> None)
+  | "IO" -> Some (Io_error payload)
+  | "SERVER" -> Some (Server_error payload)
+  | _ -> None
+
+let render_response = function
+  | Ok_reply None -> "OK"
+  | Ok_reply (Some info) -> "OK " ^ info
+  | Estimate v -> "EST " ^ float_out v
+  | Stats_reply s ->
+    Printf.sprintf "STATS family=%s items=%d entries=%d mode=%s estimate=%s rejects=%d"
+      s.family s.items s.entries
+      (if s.exact then "exact" else "sketch")
+      (float_out s.last_estimate) s.parse_rejects
+  | Pong -> "PONG"
+  | Error_reply e -> Printf.sprintf "ERR %s %s" (error_code e) (error_payload e)
+
+let parse_response line =
+  let line = chop_cr line in
+  let verb, rest = cut line in
+  match verb with
+  | "OK" -> Ok (Ok_reply (if rest = "" then None else Some rest))
+  | "PONG" when rest = "" -> Ok Pong
+  | "EST" -> (
+    match float_of_string_opt rest with
+    | Some v -> Ok (Estimate v)
+    | None -> Error (Printf.sprintf "EST: bad float %S" rest))
+  | "STATS" -> (
+    let kv tok =
+      match String.index_opt tok '=' with
+      | Some i -> Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None
+    in
+    let assoc = List.filter_map kv (tokens rest) in
+    let field k = List.assoc_opt k assoc in
+    match
+      (field "family", field "items", field "entries", field "mode", field "estimate",
+       field "rejects")
+    with
+    | Some family, Some items, Some entries, Some mode, Some estimate, Some rejects -> (
+      match
+        (int_of_string_opt items, int_of_string_opt entries, float_of_string_opt estimate,
+         int_of_string_opt rejects, mode)
+      with
+      | Some items, Some entries, Some last_estimate, Some parse_rejects,
+        ("exact" | "sketch") ->
+        Ok
+          (Stats_reply
+             { family; items; entries; exact = mode = "exact"; last_estimate; parse_rejects })
+      | _ -> Error (Printf.sprintf "STATS: malformed fields in %S" rest))
+    | _ -> Error (Printf.sprintf "STATS: missing fields in %S" rest))
+  | "ERR" -> (
+    let code, payload = cut rest in
+    match parse_error_of_wire code payload with
+    | Some e -> Ok (Error_reply e)
+    | None -> Error (Printf.sprintf "ERR: unknown code %S" code))
+  | _ -> Error (Printf.sprintf "unparseable response %S" line)

@@ -1,0 +1,108 @@
+(** Wire protocol of the delphic estimation service: a pure request/response
+    codec with typed errors, fully unit-testable without sockets.
+
+    The protocol is newline-delimited text, one request per line, one
+    response line per request — scriptable with [nc]/[telnet].  Grammar
+    (trailing [\r] tolerated, verbs case-insensitive):
+
+    {v
+    OPEN <session> <family> <eps> <delta> <log2u>   open an estimation session
+    ADD <session> <set-line>                        feed one set (family line format)
+    EST <session>                                   current union-size estimate
+    STATS <session>                                 session counters
+    SNAPSHOT <session> <path>                       persist the session to a file
+    RESTORE <session> <path>                        open a session from a snapshot
+    CLOSE <session>                                 drop the session
+    PING                                            liveness probe
+    v}
+
+    [<family>] is [rect] (axis-parallel boxes, dimension fixed by the first
+    [ADD]), [dnf:<nvars>] (DIMACS-style terms), or [cov:<nbits>:<strength>]
+    (test vectors, t-wise coverage).  [ADD] payloads reuse the
+    {!Delphic_stream.Parsers} line formats verbatim.
+
+    Responses: [OK [<info>]], [EST <float>], [STATS k=v ...], [PONG], or
+    [ERR <CODE> <detail>].  Every response renders to exactly one line and
+    parses back losslessly ({!parse_response} ∘ {!render_response} = id, the
+    codec property tested in [test/test_protocol.ml]). *)
+
+type family =
+  | Rect  (** boxes; the dimension is pinned by the session's first [ADD] *)
+  | Dnf of { nvars : int }
+  | Cov of { nbits : int; strength : int }
+
+type request =
+  | Open of {
+      session : string;
+      family : family;
+      epsilon : float;
+      delta : float;
+      log2_universe : float;
+    }
+  | Add of { session : string; payload : string }
+  | Est of { session : string }
+  | Stats of { session : string }
+  | Snapshot of { session : string; path : string }
+  | Restore of { session : string; path : string }
+  | Close of { session : string }
+  | Ping
+
+type error =
+  | Empty_request
+  | Unknown_command of string
+  | Wrong_arity of { command : string; expected : string }
+  | Bad_number of { what : string; value : string }
+  | Bad_family of string
+  | Bad_session_name of string
+  | Unknown_session of string
+  | Session_exists of string
+  | Bad_params of string
+      (** estimator construction refused the (ε, δ, log2|Ω|) triple *)
+  | Bad_line of { line : int; msg : string }
+      (** an [ADD] payload failed to parse; [line] counts the session's
+          [ADD]s, so the client can locate the bad set in its own stream *)
+  | Io_error of string
+  | Server_error of string
+
+type stats = {
+  family : string;  (** family token, e.g. ["dnf:40"] *)
+  items : int;  (** sets processed *)
+  entries : int;  (** exact distinct elements held, or sketch bucket size *)
+  exact : bool;  (** still in the exact regime? *)
+  last_estimate : float;  (** estimate at the last [EST] (0 before any) *)
+  parse_rejects : int;  (** [ADD] lines rejected so far *)
+}
+
+type response =
+  | Ok_reply of string option
+  | Estimate of float
+  | Stats_reply of stats
+  | Pong
+  | Error_reply of error
+
+val session_name_ok : string -> bool
+(** Accepted session names: non-empty, characters from
+    [A-Za-z0-9_.-] only. *)
+
+val family_to_token : family -> string
+val family_of_token : string -> (family, error) result
+
+val parse_request : string -> (request, error) result
+(** Never raises; anything malformed becomes a typed [Error]. *)
+
+val render_request : request -> string
+(** One line, no trailing newline.  [parse_request (render_request r) = Ok r]
+    for every [r] whose strings respect the grammar (validated session
+    names, no newlines). *)
+
+val render_response : response -> string
+(** One line, no trailing newline. *)
+
+val parse_response : string -> (response, string) result
+(** Inverse of {!render_response}; used by the [delphic query] client. *)
+
+val error_code : error -> string
+(** The wire code, e.g. ["UNKNOWN-SESSION"] — stable, scriptable. *)
+
+val describe_error : error -> string
+(** Human-readable one-line description (no code prefix). *)

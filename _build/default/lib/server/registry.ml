@@ -1,0 +1,184 @@
+module Io = Delphic_core.Snapshot_io
+module Parsers = Delphic_stream.Parsers
+
+type session = {
+  runner : Families.t;
+  mutable adds : int;  (* ADD attempts, the per-session line counter *)
+  mutable parse_rejects : int;
+  mutable last_estimate : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  sessions : (string, session) Hashtbl.t;
+  base_seed : int;
+  mutable opened : int;  (* distinct seeds for successive sessions *)
+}
+
+let create ~seed = { lock = Mutex.create (); sessions = Hashtbl.create 16; base_seed = seed; opened = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let next_seed t =
+  t.opened <- t.opened + 1;
+  t.base_seed + (7919 * t.opened)
+
+let find t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> Ok s
+  | None -> Error (Protocol.Unknown_session name)
+
+let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.sessions name then Error (Protocol.Session_exists name)
+      else
+        match Families.create ~family ~epsilon ~delta ~log2_universe ~seed:(next_seed t) with
+        | Error msg -> Error (Protocol.Bad_params msg)
+        | Ok runner ->
+          Hashtbl.replace t.sessions name
+            { runner; adds = 0; parse_rejects = 0; last_estimate = 0.0 };
+          Ok ())
+
+let add t ~name ~payload =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok s -> (
+        s.adds <- s.adds + 1;
+        match Families.add s.runner ~lineno:s.adds payload with
+        | () -> Ok ()
+        | exception Parsers.Parse_error { line; msg } ->
+          s.parse_rejects <- s.parse_rejects + 1;
+          Error (Protocol.Bad_line { line; msg })))
+
+let estimate t ~name =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok s ->
+        let v = Families.estimate s.runner in
+        s.last_estimate <- v;
+        Ok v)
+
+let stats t ~name =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok s ->
+        Ok
+          {
+            Protocol.family = Families.family_token s.runner;
+            items = Families.items s.runner;
+            entries = Families.entries s.runner;
+            exact = Families.is_exact s.runner;
+            last_estimate = s.last_estimate;
+            parse_rejects = s.parse_rejects;
+          })
+
+let close t ~name =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok _ ->
+        Hashtbl.remove t.sessions name;
+        Ok ())
+
+let snapshot_session s ~path =
+  match Io.save ~path (Families.to_io s.runner) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Protocol.Io_error msg)
+  | exception Invalid_argument msg -> Error (Protocol.Server_error msg)
+
+let snapshot_to t ~name ~path =
+  with_lock t (fun () ->
+      match find t name with Error e -> Error e | Ok s -> snapshot_session s ~path)
+
+let restore_session t ~name ~path =
+  (* caller holds the lock *)
+  if Hashtbl.mem t.sessions name then Error (Protocol.Session_exists name)
+  else
+    match Io.load ~path with
+    | Error msg -> Error (Protocol.Io_error msg)
+    | Ok io -> (
+      match Families.of_io io ~seed:(next_seed t) with
+      | Error msg -> Error (Protocol.Io_error msg)
+      | Ok runner ->
+        Hashtbl.replace t.sessions name
+          { runner; adds = io.Io.items; parse_rejects = 0; last_estimate = 0.0 };
+        Ok ())
+
+let restore_from t ~name ~path = with_lock t (fun () -> restore_session t ~name ~path)
+
+let names t =
+  with_lock t (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions [] |> List.sort compare)
+
+let spool_path dir name = Filename.concat dir (name ^ ".snap")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let snapshot_all t ~dir =
+  with_lock t (fun () ->
+      match mkdir_p dir with
+      | exception Unix.Unix_error (e, _, _) ->
+        List.map
+          (fun (name, _) -> (name, Error (Unix.error_message e)))
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sessions [])
+      | () ->
+        Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sessions []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (name, s) ->
+               let path = spool_path dir name in
+               match snapshot_session s ~path with
+               | Ok () -> (name, Ok path)
+               | Error e -> (name, Error (Protocol.describe_error e))))
+
+let restore_all t ~dir =
+  with_lock t (fun () ->
+      match Sys.readdir dir with
+      | exception Sys_error _ -> []
+      | files ->
+        Array.to_list files
+        |> List.filter (fun f -> Filename.check_suffix f ".snap")
+        |> List.sort compare
+        |> List.map (fun f ->
+               let name = Filename.chop_suffix f ".snap" in
+               let path = Filename.concat dir f in
+               match restore_session t ~name ~path with
+               | Ok () ->
+                 (try Sys.remove path with Sys_error _ -> ());
+                 (name, Ok ())
+               | Error e -> (name, Error (Protocol.describe_error e))))
+
+let dispatch t (req : Protocol.request) : Protocol.response =
+  let reply = function Ok r -> r | Error e -> Protocol.Error_reply e in
+  match req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Open { session; family; epsilon; delta; log2_universe } ->
+    reply
+      (Result.map
+         (fun () -> Protocol.Ok_reply (Some ("opened " ^ session)))
+         (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
+  | Protocol.Add { session; payload } ->
+    reply (Result.map (fun () -> Protocol.Ok_reply None) (add t ~name:session ~payload))
+  | Protocol.Est { session } ->
+    reply (Result.map (fun v -> Protocol.Estimate v) (estimate t ~name:session))
+  | Protocol.Stats { session } ->
+    reply (Result.map (fun s -> Protocol.Stats_reply s) (stats t ~name:session))
+  | Protocol.Snapshot { session; path } ->
+    reply
+      (Result.map
+         (fun () -> Protocol.Ok_reply (Some ("snapshotted " ^ session)))
+         (snapshot_to t ~name:session ~path))
+  | Protocol.Restore { session; path } ->
+    reply
+      (Result.map
+         (fun () -> Protocol.Ok_reply (Some ("restored " ^ session)))
+         (restore_from t ~name:session ~path))
+  | Protocol.Close { session } ->
+    reply (Result.map (fun () -> Protocol.Ok_reply (Some ("closed " ^ session))) (close t ~name:session))

@@ -1,0 +1,55 @@
+(** Concurrent session table of the estimation service.
+
+    Maps session names to running {!Families} estimators plus per-session
+    counters (items processed, parse rejects, last estimate).  Every
+    operation holds one internal mutex, so handler threads may call into the
+    same registry freely; estimator updates are serialised, which matches
+    the stream semantics (sets are processed one at a time).
+
+    {!dispatch} is the full request → response step minus the socket — the
+    unit under test in [test/test_protocol.ml] and the hot path measured by
+    the [serve/*] micro-benchmarks. *)
+
+type t
+
+val create : seed:int -> t
+(** [seed] is the base PRNG seed; each opened or restored session derives a
+    distinct seed from it. *)
+
+val dispatch : t -> Protocol.request -> Protocol.response
+
+val open_session :
+  t ->
+  name:string ->
+  family:Protocol.family ->
+  epsilon:float ->
+  delta:float ->
+  log2_universe:float ->
+  (unit, Protocol.error) result
+
+val add : t -> name:string -> payload:string -> (unit, Protocol.error) result
+(** One bad payload yields [Error (Bad_line _)] and bumps the session's
+    reject counter; the session stays usable. *)
+
+val estimate : t -> name:string -> (float, Protocol.error) result
+
+val stats : t -> name:string -> (Protocol.stats, Protocol.error) result
+
+val close : t -> name:string -> (unit, Protocol.error) result
+
+val snapshot_to : t -> name:string -> path:string -> (unit, Protocol.error) result
+
+val restore_from : t -> name:string -> path:string -> (unit, Protocol.error) result
+(** Opens session [name] from a snapshot file; fails if the name is taken. *)
+
+val names : t -> string list
+
+val snapshot_all : t -> dir:string -> (string * (string, string) result) list
+(** Persist every open session to [dir/<name>.snap] (creating [dir]);
+    returns per-session outcomes ([Ok path] or the failure message).  Used
+    by the server's graceful shutdown. *)
+
+val restore_all : t -> dir:string -> (string * (unit, string) result) list
+(** Re-open every [dir/<name>.snap]; each successfully restored spool file
+    is consumed (removed) so stale state cannot resurrect later.  Missing
+    directory means nothing to restore. *)

@@ -1,0 +1,164 @@
+let log_src = Logs.Src.create "delphic.server" ~doc:"estimation service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  registry : Registry.t;
+  spool : string;
+  listen_fd : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable handlers : Thread.t list;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  restored : (string * (unit, string) result) list;
+  (* Self-pipe: request_stop writes a byte so the accept loop's select wakes
+     even when the stop request comes from a signal handler that ran on a
+     thread other than the one blocked on the listening socket. *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(host = "127.0.0.1") ~port ~spool ~seed () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let registry = Registry.create ~seed in
+  let restored = Registry.restore_all registry ~dir:spool in
+  List.iter
+    (function
+      | name, Ok () -> Log.info (fun m -> m "restored session %s from spool" name)
+      | name, Error msg -> Log.warn (fun m -> m "spooled session %s not restored: %s" name msg))
+    restored;
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  {
+    registry;
+    spool;
+    listen_fd = fd;
+    port;
+    lock = Mutex.create ();
+    stopping = false;
+    handlers = [];
+    conns = Hashtbl.create 16;
+    restored;
+    stop_r;
+    stop_w;
+  }
+
+let port t = t.port
+let registry t = t.registry
+let restored t = t.restored
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let continue = ref true in
+     while !continue do
+       match input_line ic with
+       | exception End_of_file -> continue := false
+       | line ->
+         let response =
+           match Protocol.parse_request line with
+           | Error e -> Protocol.Error_reply e
+           | Ok req -> (
+             match Registry.dispatch t.registry req with
+             | resp -> resp
+             | exception exn ->
+               (* A handler crash must kill one request, not the server. *)
+               Protocol.Error_reply (Protocol.Server_error (Printexc.to_string exn)))
+         in
+         output_string oc (Protocol.render_response response);
+         output_char oc '\n';
+         flush oc
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  with_lock t (fun () -> Hashtbl.remove t.conns fd);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request_stop t =
+  with_lock t (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        (* Wake the accept loop (it selects on the self-pipe alongside the
+           listening socket; closing a socket another thread is blocked on
+           does not reliably wake it); open connections are shut down so
+           their input_line sees EOF. *)
+        (try ignore (Unix.single_write_substring t.stop_w "x" 0 1)
+         with Unix.Unix_error _ -> ());
+        Hashtbl.iter
+          (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          t.conns
+      end)
+
+let install_sigint t =
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t)))
+
+(* Handler threads run with SIGINT blocked (the mask is inherited across
+   Thread.create), so a process-directed SIGINT is always delivered to the
+   accept thread — whose select returns EINTR, runs the OCaml handler, and
+   sees [stopping].  Without this, a SIGINT landing on a handler thread that
+   exits before reaching a safepoint is lost while accept stays blocked. *)
+let spawn_handler t fd =
+  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint ] in
+  let th = Thread.create (fun () -> handle_connection t fd) () in
+  ignore (Thread.sigmask Unix.SIG_SETMASK old_mask);
+  th
+
+let serve t =
+  Log.info (fun m -> m "listening on port %d (spool: %s)" t.port t.spool);
+  let rec accept_loop () =
+    if t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ when t.stopping -> ()
+      | ready, _, _ ->
+        if t.stopping || List.mem t.stop_r ready then ()
+        else if List.mem t.listen_fd ready then begin
+          match Unix.accept t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                  | Unix.EWOULDBLOCK ),
+                  _,
+                  _ ) ->
+            accept_loop ()
+          | exception Unix.Unix_error _ when t.stopping -> ()
+          | fd, _ ->
+            with_lock t (fun () -> Hashtbl.replace t.conns fd ());
+            let th = spawn_handler t fd in
+            with_lock t (fun () -> t.handlers <- th :: t.handlers);
+            accept_loop ()
+        end
+        else accept_loop ()
+  in
+  accept_loop ();
+  request_stop t;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* drain: join every handler that was ever spawned *)
+  let handlers = with_lock t (fun () -> t.handlers) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
+  let outcomes = Registry.snapshot_all t.registry ~dir:t.spool in
+  List.iter
+    (function
+      | name, Ok path -> Log.info (fun m -> m "spooled session %s to %s" name path)
+      | name, Error msg -> Log.err (fun m -> m "failed to spool session %s: %s" name msg))
+    outcomes;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Log.info (fun m -> m "server stopped (%d sessions spooled)" (List.length outcomes))
+
+let start t = Thread.create serve t

@@ -1,0 +1,40 @@
+(** TCP front end of the estimation service: an accept loop with one handler
+    thread per connection, built on stdlib [Unix] + [threads.posix] only.
+
+    Durability contract: {!create} restores every session spooled under the
+    given directory (consuming the spool files); a graceful stop — SIGINT in
+    the CLI, or {!request_stop} — drains the open connections and snapshots
+    every live session back to the spool, so a restart pointing at the same
+    directory resumes exactly where the previous process left off.  The
+    loopback test in [test/test_server.ml] exercises this full cycle. *)
+
+type t
+
+val create :
+  ?host:string -> port:int -> spool:string -> seed:int -> unit -> t
+(** Bind and listen ([host] defaults to ["127.0.0.1"]; [port] 0 picks an
+    ephemeral port, see {!port}), then restore any spooled sessions.
+    Raises [Unix.Unix_error] if the address is unavailable. *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val registry : t -> Registry.t
+
+val restored : t -> (string * (unit, string) result) list
+(** Outcome of the spool restoration done by {!create}. *)
+
+val serve : t -> unit
+(** Run the accept loop on the calling thread until {!request_stop}; on the
+    way out, close client connections, join handler threads, and snapshot
+    all sessions to the spool.  Returns normally after a graceful stop. *)
+
+val start : t -> Thread.t
+(** {!serve} on a daemon thread — the loopback tests use this. *)
+
+val request_stop : t -> unit
+(** Trigger a graceful shutdown from any thread or from a signal handler;
+    idempotent, returns immediately ({!serve} performs the drain). *)
+
+val install_sigint : t -> unit
+(** Route SIGINT to {!request_stop}. *)

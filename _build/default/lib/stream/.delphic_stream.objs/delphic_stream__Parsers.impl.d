@@ -1,1 +1,1 @@
-lib/stream/parsers.ml: Array Delphic_sets Delphic_util Fun List Printf String
+lib/stream/parsers.ml: Array Delphic_sets Delphic_util Fun List Printexc Printf String

@@ -2,6 +2,17 @@ module Bitvec = Delphic_util.Bitvec
 module Rectangle = Delphic_sets.Rectangle
 module Dnf = Delphic_sets.Dnf
 
+exception Parse_error of { line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; msg } ->
+      Some (Printf.sprintf "Parse_error (line %d: %s)" line msg)
+    | _ -> None)
+
+let parse_error ~lineno fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line = lineno; msg })) fmt
+
 let fold_lines channel f =
   let rec loop acc lineno =
     match input_line channel with
@@ -25,50 +36,56 @@ let fields line = String.split_on_char ' ' line |> List.filter (fun s -> s <> ""
 let parse_int ~lineno s =
   match int_of_string_opt s with
   | Some v -> v
-  | None -> failwith (Printf.sprintf "line %d: not an integer: %s" lineno s)
+  | None -> parse_error ~lineno "not an integer: %s" s
+
+let rectangle_of_line ?dims ~lineno line =
+  let values = List.map (parse_int ~lineno) (fields line) in
+  let n = List.length values in
+  if n = 0 || n mod 2 <> 0 then
+    parse_error ~lineno "need an even, positive number of fields";
+  (match dims with
+  | Some d when d <> n / 2 ->
+    parse_error ~lineno "dimension %d but stream started with %d" (n / 2) d
+  | _ -> ());
+  let a = Array.of_list values in
+  let d = n / 2 in
+  match
+    Rectangle.create
+      ~lo:(Array.init d (fun i -> a.(2 * i)))
+      ~hi:(Array.init d (fun i -> a.((2 * i) + 1)))
+  with
+  | box -> box
+  | exception Invalid_argument msg -> parse_error ~lineno "%s" msg
 
 let rectangles_of_channel channel =
-  let dims = ref (-1) in
+  let dims = ref None in
   fold_lines channel (fun lineno line ->
-      let values = List.map (parse_int ~lineno) (fields line) in
-      let n = List.length values in
-      if n = 0 || n mod 2 <> 0 then
-        failwith (Printf.sprintf "line %d: need an even, positive number of fields" lineno);
-      if !dims = -1 then dims := n / 2
-      else if !dims <> n / 2 then
-        failwith (Printf.sprintf "line %d: dimension %d but file started with %d" lineno (n / 2) !dims);
-      let a = Array.of_list values in
-      let d = n / 2 in
-      match
-        Rectangle.create
-          ~lo:(Array.init d (fun i -> a.(2 * i)))
-          ~hi:(Array.init d (fun i -> a.((2 * i) + 1)))
-      with
-      | box -> box
-      | exception Invalid_argument msg ->
-        failwith (Printf.sprintf "line %d: %s" lineno msg))
+      let box = rectangle_of_line ?dims:!dims ~lineno line in
+      if !dims = None then dims := Some (Rectangle.dim box);
+      box)
+
+let dnf_term_of_line ~nvars ~lineno line =
+  let lits =
+    List.map
+      (fun s ->
+        let v = parse_int ~lineno s in
+        if v = 0 then parse_error ~lineno "0 is not a literal";
+        { Dnf.var = abs v - 1; positive = v > 0 })
+      (fields line)
+  in
+  match Dnf.create ~nvars lits with
+  | term -> term
+  | exception Invalid_argument msg -> parse_error ~lineno "%s" msg
 
 let dnf_of_channel ~nvars channel =
-  fold_lines channel (fun lineno line ->
-      let lits =
-        List.map
-          (fun s ->
-            let v = parse_int ~lineno s in
-            if v = 0 then failwith (Printf.sprintf "line %d: 0 is not a literal" lineno);
-            { Dnf.var = abs v - 1; positive = v > 0 })
-          (fields line)
-      in
-      match Dnf.create ~nvars lits with
-      | term -> term
-      | exception Invalid_argument msg ->
-        failwith (Printf.sprintf "line %d: %s" lineno msg))
+  fold_lines channel (fun lineno line -> dnf_term_of_line ~nvars ~lineno line)
 
-let vectors_of_channel channel =
-  fold_lines channel (fun lineno line ->
-      match Bitvec.of_string line with
-      | v -> v
-      | exception Invalid_argument msg ->
-        failwith (Printf.sprintf "line %d: %s" lineno msg))
+let vector_of_line ~lineno line =
+  match Bitvec.of_string line with
+  | v -> v
+  | exception Invalid_argument msg -> parse_error ~lineno "%s" msg
+
+let vectors_of_channel channel = fold_lines channel (fun lineno line -> vector_of_line ~lineno line)
 
 let rectangles_of_file path = with_file path rectangles_of_channel
 let dnf_of_file ~nvars path = with_file path (dnf_of_channel ~nvars)

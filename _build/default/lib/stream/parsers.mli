@@ -10,9 +10,32 @@
       caller);
     - {b test vectors}: ['0']/['1'] strings, e.g. [0110101].
 
-    All parsers raise [Failure] with a line number on malformed input.
-    The [_of_file] variants accept ["-"] for stdin, so streams pipe
-    straight into the CLI. *)
+    All parsers raise {!Parse_error} carrying the offending line number on
+    malformed input — a dedicated exception, so callers (the CLI, the
+    estimation server) can reject one bad line cleanly instead of
+    pattern-matching on [Failure] messages.  The [_of_file] variants accept
+    ["-"] for stdin, so streams pipe straight into the CLI. *)
+
+exception Parse_error of { line : int; msg : string }
+(** Raised by every parser here on malformed input.  [line] is 1-based and,
+    for the [_of_line] parsers, whatever the caller supplied as [lineno]
+    (e.g. the server's per-session [ADD] counter). *)
+
+(** {1 Single-line parsers}
+
+    These parse one set per call and are what the estimation service's [ADD]
+    command uses; the [_of_channel]/[_of_file] parsers below are built on
+    them. *)
+
+val rectangle_of_line : ?dims:int -> lineno:int -> string -> Delphic_sets.Rectangle.t
+(** [dims], when given, enforces dimensional consistency with the stream's
+    earlier boxes. *)
+
+val dnf_term_of_line : nvars:int -> lineno:int -> string -> Delphic_sets.Dnf.t
+
+val vector_of_line : lineno:int -> string -> Delphic_util.Bitvec.t
+
+(** {1 Whole-stream parsers} *)
 
 val rectangles_of_channel : in_channel -> Delphic_sets.Rectangle.t list
 

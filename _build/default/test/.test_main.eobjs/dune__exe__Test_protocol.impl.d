@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Delphic_server Filename Format List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Buffer Delphic_server Delphic_sets Delphic_stream Delphic_util Filename Float List Printf String Sys Thread Unix

@@ -1,0 +1,1 @@
+test/test_snapshot_io.ml: Alcotest Delphic_core Delphic_sets Delphic_stream Delphic_util Filename Float List Option Printf QCheck QCheck_alcotest String Sys

@@ -26,6 +26,9 @@ let () =
       ("extensions", Test_extensions.suite);
       ("xor-sketch", Test_xor_sketch.suite);
       ("parsers", Test_parsers.suite);
+      ("snapshot-io", Test_snapshot_io.suite);
+      ("protocol", Test_protocol.suite);
+      ("server", Test_server.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);

@@ -1,0 +1,316 @@
+(* Wire-protocol codec and registry dispatch, no sockets involved: parsing,
+   rendering, round-trips, and the full request -> response step. *)
+
+module P = Delphic_server.Protocol
+module Registry = Delphic_server.Registry
+
+let request =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (P.render_request r))
+    ( = )
+
+let response =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (P.render_response r))
+    ( = )
+
+let parse_ok line =
+  match P.parse_request line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: ERR %s" line (P.error_code e)
+
+let parse_err line =
+  match P.parse_request line with
+  | Ok r -> Alcotest.failf "parse %S: expected error, got %s" line (P.render_request r)
+  | Error e -> P.error_code e
+
+(* --- request parsing --- *)
+
+let test_parse_requests () =
+  Alcotest.check request "open"
+    (P.Open
+       {
+         session = "s1";
+         family = P.Rect;
+         epsilon = 0.2;
+         delta = 0.1;
+         log2_universe = 40.0;
+       })
+    (parse_ok "OPEN s1 rect 0.2 0.1 40");
+  Alcotest.check request "open dnf"
+    (P.Open
+       {
+         session = "a.b-c_9";
+         family = P.Dnf { nvars = 30 };
+         epsilon = 0.3;
+         delta = 0.2;
+         log2_universe = 30.0;
+       })
+    (parse_ok "open a.b-c_9 dnf:30 0.3 0.2 30");
+  Alcotest.check request "open cov"
+    (P.Open
+       {
+         session = "c";
+         family = P.Cov { nbits = 14; strength = 2 };
+         epsilon = 0.25;
+         delta = 0.1;
+         log2_universe = 20.0;
+       })
+    (parse_ok "OPEN c cov:14:2 0.25 0.1 20");
+  Alcotest.check request "add keeps payload verbatim"
+    (P.Add { session = "s1"; payload = "3 7 12 40" })
+    (parse_ok "ADD s1 3 7 12 40");
+  Alcotest.check request "est" (P.Est { session = "s1" }) (parse_ok "EST s1");
+  Alcotest.check request "stats (case, cr)"
+    (P.Stats { session = "s1" })
+    (parse_ok "stats s1\r");
+  Alcotest.check request "snapshot"
+    (P.Snapshot { session = "s1"; path = "/tmp/a b.snap" })
+    (parse_ok "SNAPSHOT s1 /tmp/a b.snap");
+  Alcotest.check request "restore"
+    (P.Restore { session = "s2"; path = "x.snap" })
+    (parse_ok "RESTORE s2 x.snap");
+  Alcotest.check request "close" (P.Close { session = "s1" }) (parse_ok "CLOSE s1");
+  Alcotest.check request "ping" P.Ping (parse_ok "PING")
+
+let test_parse_errors () =
+  Alcotest.(check string) "empty" "EMPTY" (parse_err "");
+  Alcotest.(check string) "blank" "EMPTY" (parse_err "   ");
+  Alcotest.(check string) "unknown verb" "UNKNOWN-COMMAND" (parse_err "FROB s1");
+  Alcotest.(check string) "open arity" "ARITY" (parse_err "OPEN s1 rect 0.2");
+  Alcotest.(check string) "est arity" "ARITY" (parse_err "EST");
+  Alcotest.(check string) "ping arity" "ARITY" (parse_err "PING extra");
+  Alcotest.(check string) "bad eps" "BAD-NUMBER" (parse_err "OPEN s1 rect zero 0.1 40");
+  Alcotest.(check string) "bad family" "BAD-FAMILY" (parse_err "OPEN s1 pentagon 0.2 0.1 40");
+  Alcotest.(check string) "dnf needs nvars" "BAD-FAMILY" (parse_err "OPEN s1 dnf:0 0.2 0.1 40");
+  Alcotest.(check string) "cov strength > nbits" "BAD-FAMILY"
+    (parse_err "OPEN s1 cov:4:5 0.2 0.1 40");
+  Alcotest.(check string) "bad session name" "BAD-SESSION-NAME"
+    (parse_err "EST has/slash");
+  Alcotest.(check string) "add without payload" "ARITY" (parse_err "ADD s1")
+
+let test_session_names () =
+  Alcotest.(check bool) "plain ok" true (P.session_name_ok "run-2.b_7");
+  Alcotest.(check bool) "empty rejected" false (P.session_name_ok "");
+  Alcotest.(check bool) "space rejected" false (P.session_name_ok "a b");
+  Alcotest.(check bool) "slash rejected" false (P.session_name_ok "a/b")
+
+let test_family_tokens () =
+  List.iter
+    (fun f ->
+      match P.family_of_token (P.family_to_token f) with
+      | Ok f' -> Alcotest.(check bool) "token roundtrip" true (f = f')
+      | Error e -> Alcotest.failf "token %s: %s" (P.family_to_token f) (P.error_code e))
+    [ P.Rect; P.Dnf { nvars = 40 }; P.Cov { nbits = 14; strength = 2 } ]
+
+(* --- render/parse round-trips --- *)
+
+let roundtrip_request r =
+  match P.parse_request (P.render_request r) with
+  | Ok r' -> r = r'
+  | Error _ -> false
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (P.render_request r))
+        true (roundtrip_request r))
+    [
+      P.Open
+        {
+          session = "s";
+          family = P.Cov { nbits = 10; strength = 3 };
+          epsilon = 0.05;
+          delta = 0.001;
+          log2_universe = 64.0;
+        };
+      P.Add { session = "s"; payload = "0 9 0 9" };
+      P.Est { session = "s" };
+      P.Stats { session = "s" };
+      P.Snapshot { session = "s"; path = "spool/s.snap" };
+      P.Restore { session = "s"; path = "spool/s.snap" };
+      P.Close { session = "s" };
+      P.Ping;
+    ]
+
+let gen_session =
+  QCheck.string_gen_of_size
+    (QCheck.Gen.int_range 1 12)
+    (QCheck.Gen.oneofl
+       [ 'a'; 'z'; 'A'; 'Z'; '0'; '9'; '_'; '.'; '-' ])
+
+let prop_open_roundtrip =
+  QCheck.Test.make ~name:"OPEN roundtrip (random)" ~count:300
+    (QCheck.triple gen_session
+       (QCheck.float_range 0.01 0.99)
+       (QCheck.float_range 1.0 128.0))
+    (fun (session, eps, log2u) ->
+      roundtrip_request
+        (P.Open
+           {
+             session;
+             family = P.Dnf { nvars = 17 };
+             epsilon = eps;
+             delta = eps /. 2.0;
+             log2_universe = log2u;
+           }))
+
+let prop_add_roundtrip =
+  QCheck.Test.make ~name:"ADD payload roundtrip (random)" ~count:300
+    (QCheck.pair gen_session
+       (QCheck.string_gen_of_size
+          (QCheck.Gen.int_range 1 40)
+          (QCheck.Gen.oneofl [ '0'; '5'; '9'; ' '; '-'; 'x' ])))
+    (fun (session, payload) ->
+      let payload = String.trim payload in
+      QCheck.assume (payload <> "");
+      roundtrip_request (P.Add { session; payload }))
+
+let all_errors =
+  [
+    P.Empty_request;
+    P.Unknown_command "FROB";
+    P.Wrong_arity { command = "OPEN"; expected = "OPEN <session> <family> <eps> <delta> <log2u>" };
+    P.Bad_number { what = "eps"; value = "zero" };
+    P.Bad_family "pentagon";
+    P.Bad_session_name "a/b";
+    P.Unknown_session "ghost";
+    P.Session_exists "s1";
+    P.Bad_params "epsilon must lie in (0, 1)";
+    P.Bad_line { line = 7; msg = "not an integer: bogus" };
+    P.Io_error "no such file";
+    P.Server_error "boom";
+  ]
+
+let test_response_roundtrip () =
+  let responses =
+    [
+      P.Ok_reply None;
+      P.Ok_reply (Some "opened s1");
+      P.Estimate 1745152.0;
+      P.Estimate 0.0;
+      P.Estimate 1.5e12;
+      P.Stats_reply
+        {
+          family = "cov:14:2";
+          items = 42;
+          entries = 6817;
+          exact = false;
+          last_estimate = 1745152.0;
+          parse_rejects = 1;
+        };
+      P.Pong;
+    ]
+    @ List.map (fun e -> P.Error_reply e) all_errors
+  in
+  List.iter
+    (fun r ->
+      match P.parse_response (P.render_response r) with
+      | Ok r' -> Alcotest.check response (P.render_response r) r r'
+      | Error msg -> Alcotest.failf "parse %S: %s" (P.render_response r) msg)
+    responses
+
+let test_single_line () =
+  List.iter
+    (fun e ->
+      let s = P.render_response (P.Error_reply e) in
+      Alcotest.(check bool)
+        (Printf.sprintf "one line: %s" s)
+        false
+        (String.contains s '\n'))
+    all_errors
+
+(* --- registry dispatch (request -> response, still no sockets) --- *)
+
+let dispatch reg line = Registry.dispatch reg (parse_ok line)
+
+let test_dispatch_lifecycle () =
+  let reg = Registry.create ~seed:42 in
+  Alcotest.check response "ping" P.Pong (dispatch reg "PING");
+  Alcotest.check response "open"
+    (P.Ok_reply (Some "opened s1"))
+    (dispatch reg "OPEN s1 rect 0.3 0.2 20");
+  Alcotest.check response "double open"
+    (P.Error_reply (P.Session_exists "s1"))
+    (dispatch reg "OPEN s1 rect 0.3 0.2 20");
+  Alcotest.check response "add" (P.Ok_reply None) (dispatch reg "ADD s1 0 9 0 9");
+  Alcotest.check response "overlapping add" (P.Ok_reply None)
+    (dispatch reg "ADD s1 5 14 0 9");
+  (* 10x10 and 10x10 overlapping on a 5x10 strip: 150 points, exact mode. *)
+  Alcotest.check response "exact estimate" (P.Estimate 150.0) (dispatch reg "EST s1");
+  Alcotest.check response "bad line keeps session"
+    (P.Error_reply (P.Bad_line { line = 3; msg = "not an integer: bogus" }))
+    (dispatch reg "ADD s1 bogus 9 0 9");
+  Alcotest.check response "dim mismatch rejected"
+    (P.Error_reply
+       (P.Bad_line { line = 4; msg = "dimension 3 but stream started with 2" }))
+    (dispatch reg "ADD s1 0 1 0 1 0 1");
+  Alcotest.check response "estimate unchanged" (P.Estimate 150.0) (dispatch reg "EST s1");
+  (match dispatch reg "STATS s1" with
+  | P.Stats_reply s ->
+    Alcotest.(check string) "family" "rect" s.P.family;
+    Alcotest.(check int) "items" 2 s.P.items;
+    Alcotest.(check int) "entries" 150 s.P.entries;
+    Alcotest.(check bool) "exact" true s.P.exact;
+    Alcotest.(check int) "rejects" 2 s.P.parse_rejects
+  | r -> Alcotest.failf "STATS: %s" (P.render_response r));
+  Alcotest.check response "close"
+    (P.Ok_reply (Some "closed s1"))
+    (dispatch reg "CLOSE s1");
+  Alcotest.check response "closed session gone"
+    (P.Error_reply (P.Unknown_session "s1"))
+    (dispatch reg "EST s1")
+
+let test_dispatch_validation () =
+  let reg = Registry.create ~seed:7 in
+  Alcotest.check response "unknown session"
+    (P.Error_reply (P.Unknown_session "ghost"))
+    (dispatch reg "EST ghost");
+  (match dispatch reg "OPEN bad rect 2.0 0.1 40" with
+  | P.Error_reply (P.Bad_params _) -> ()
+  | r -> Alcotest.failf "expected BAD-PARAMS, got %s" (P.render_response r));
+  (* dnf sessions parse DIMACS-style terms *)
+  Alcotest.check response "open dnf"
+    (P.Ok_reply (Some "opened d"))
+    (dispatch reg "OPEN d dnf:10 0.3 0.2 10");
+  Alcotest.check response "dnf add" (P.Ok_reply None) (dispatch reg "ADD d 1 -3 7");
+  (match dispatch reg "ADD d 1 99" with
+  | P.Error_reply (P.Bad_line _) -> ()
+  | r -> Alcotest.failf "expected PARSE, got %s" (P.render_response r))
+
+let test_dispatch_snapshot_restore () =
+  let reg = Registry.create ~seed:11 in
+  let path = Filename.temp_file "delphic-proto" ".snap" in
+  ignore (dispatch reg "OPEN s rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD s 0 9 0 9");
+  Alcotest.check response "snapshot"
+    (P.Ok_reply (Some "snapshotted s"))
+    (dispatch reg (Printf.sprintf "SNAPSHOT s %s" path));
+  Alcotest.check response "restore under new name"
+    (P.Ok_reply (Some "restored s2"))
+    (dispatch reg (Printf.sprintf "RESTORE s2 %s" path));
+  Alcotest.check response "restored estimate" (P.Estimate 100.0) (dispatch reg "EST s2");
+  Alcotest.check response "restore over live session"
+    (P.Error_reply (P.Session_exists "s"))
+    (dispatch reg (Printf.sprintf "RESTORE s %s" path));
+  (match dispatch reg "RESTORE s3 /nonexistent/nowhere.snap" with
+  | P.Error_reply (P.Io_error _) -> ()
+  | r -> Alcotest.failf "expected IO error, got %s" (P.render_response r));
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "parse requests" `Quick test_parse_requests;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "session names" `Quick test_session_names;
+    Alcotest.test_case "family tokens" `Quick test_family_tokens;
+    Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+    Alcotest.test_case "responses are one line" `Quick test_single_line;
+    QCheck_alcotest.to_alcotest prop_open_roundtrip;
+    QCheck_alcotest.to_alcotest prop_add_roundtrip;
+    Alcotest.test_case "dispatch lifecycle" `Quick test_dispatch_lifecycle;
+    Alcotest.test_case "dispatch validation" `Quick test_dispatch_validation;
+    Alcotest.test_case "dispatch snapshot/restore" `Quick test_dispatch_snapshot_restore;
+  ]

@@ -1,0 +1,169 @@
+(* Loopback end-to-end test of the estimation service: a real socket, a real
+   accept loop, and the full durability cycle — serve, stream, stop (spooling
+   to disk), restart from the spool, resume the stream. *)
+
+module Server = Delphic_server.Server
+module Rng = Delphic_util.Rng
+module Bigint = Delphic_util.Bigint
+module Rectangle = Delphic_sets.Rectangle
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+
+let spool_dir =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "delphic-test-spool-%d" (Unix.getpid ()))
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let rpc (_, ic, oc) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+let disconnect (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let est_of reply =
+  match String.split_on_char ' ' reply with
+  | [ "EST"; v ] -> float_of_string v
+  | _ -> Alcotest.failf "expected EST reply, got %S" reply
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let add_line box =
+  let lo = Rectangle.lo box and hi = Rectangle.hi box in
+  let b = Buffer.create 32 in
+  Buffer.add_string b "ADD e2e";
+  Array.iteri
+    (fun i l ->
+      Buffer.add_string b (Printf.sprintf " %d %d" l hi.(i)))
+    lo;
+  Buffer.contents b
+
+let check_close est truth =
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f within tolerance of %.0f" est truth)
+    true
+    (Float.abs (est -. truth) <= 0.3 *. truth)
+
+let test_serve_stop_restart () =
+  rm_rf spool_dir;
+  let gen = Rng.create ~seed:4242 in
+  let first =
+    Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:120
+      ~max_side:400
+  in
+  let rest =
+    Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:40
+      ~max_side:400
+  in
+  let truth boxes = Bigint.to_float (Exact.rectangle_union boxes) in
+
+  (* first server: open a session and stream the first batch *)
+  let s1 = Server.create ~port:0 ~spool:spool_dir ~seed:42 () in
+  Alcotest.(check (list (pair string (result unit string))))
+    "nothing to restore" [] (Server.restored s1);
+  let th1 = Server.start s1 in
+  let c = connect (Server.port s1) in
+  Alcotest.(check string) "ping" "PONG" (rpc c "PING");
+  Alcotest.(check string) "open" "OK opened e2e" (rpc c "OPEN e2e rect 0.2 0.1 40");
+  List.iter (fun b -> Alcotest.(check string) "add" "OK" (rpc c (add_line b))) first;
+  let bad = rpc c "ADD e2e one two three four" in
+  Alcotest.(check bool)
+    (Printf.sprintf "bad line rejected (%s)" bad)
+    true
+    (starts_with "ERR PARSE" bad);
+  check_close (est_of (rpc c "EST e2e")) (truth first);
+  let stats = rpc c "STATS e2e" in
+  Alcotest.(check bool)
+    (Printf.sprintf "stats after rejects (%s)" stats)
+    true
+    (starts_with "STATS family=rect items=120 " stats);
+  disconnect c;
+
+  (* graceful stop spools the session *)
+  Server.request_stop s1;
+  Thread.join th1;
+  Alcotest.(check bool) "spool file written" true
+    (Sys.file_exists (Filename.concat spool_dir "e2e.snap"));
+
+  (* second server restores from the spool and resumes the stream *)
+  let s2 = Server.create ~port:0 ~spool:spool_dir ~seed:977 () in
+  Alcotest.(check (list (pair string (result unit string))))
+    "restored e2e" [ ("e2e", Ok ()) ] (Server.restored s2);
+  Alcotest.(check bool) "spool file consumed" false
+    (Sys.file_exists (Filename.concat spool_dir "e2e.snap"));
+  let th2 = Server.start s2 in
+  let c2 = connect (Server.port s2) in
+  check_close (est_of (rpc c2 "EST e2e")) (truth first);
+  let stats2 = rpc c2 "STATS e2e" in
+  Alcotest.(check bool)
+    (Printf.sprintf "items survive the restart (%s)" stats2)
+    true
+    (starts_with "STATS family=rect items=120 " stats2);
+  (* the restored session still enforces the pinned dimension *)
+  Alcotest.(check bool) "dim still pinned" true
+    (starts_with "ERR PARSE" (rpc c2 "ADD e2e 0 1 0 1 0 1"));
+  List.iter (fun b -> ignore (rpc c2 (add_line b))) rest;
+  check_close (est_of (rpc c2 "EST e2e")) (truth (first @ rest));
+  disconnect c2;
+  Server.request_stop s2;
+  Thread.join th2;
+  Alcotest.(check bool) "spooled again" true
+    (Sys.file_exists (Filename.concat spool_dir "e2e.snap"));
+  rm_rf spool_dir
+
+let test_concurrent_sessions () =
+  rm_rf spool_dir;
+  let s = Server.create ~port:0 ~spool:spool_dir ~seed:7 () in
+  let th = Server.start s in
+  let a = connect (Server.port s) and b = connect (Server.port s) in
+  Alcotest.(check string) "open a" "OK opened a" (rpc a "OPEN a rect 0.3 0.2 20");
+  Alcotest.(check string) "open b" "OK opened b" (rpc b "OPEN b dnf:10 0.3 0.2 10");
+  (* interleave the two sessions over two connections *)
+  Alcotest.(check string) "a add" "OK" (rpc a "ADD a 0 9 0 9");
+  Alcotest.(check string) "b add" "OK" (rpc b "ADD b 1 -3");
+  Alcotest.(check string) "a add 2" "OK" (rpc b "ADD a 5 14 0 9");
+  Alcotest.(check string) "exact estimate a" "EST 150" (rpc a "EST a");
+  Alcotest.(check string) "duplicate open refused"
+    "ERR SESSION-EXISTS a" (rpc b "OPEN a rect 0.3 0.2 20");
+  Alcotest.(check string) "unknown session"
+    "ERR UNKNOWN-SESSION ghost" (rpc a "EST ghost");
+  Alcotest.(check string) "close b" "OK closed b" (rpc b "CLOSE b");
+  disconnect a;
+  disconnect b;
+  Server.request_stop s;
+  Thread.join th;
+  Alcotest.(check bool) "only a spooled" true
+    (Sys.file_exists (Filename.concat spool_dir "a.snap")
+    && not (Sys.file_exists (Filename.concat spool_dir "b.snap")));
+  rm_rf spool_dir
+
+let test_stop_is_idempotent () =
+  rm_rf spool_dir;
+  let s = Server.create ~port:0 ~spool:spool_dir ~seed:1 () in
+  let th = Server.start s in
+  Server.request_stop s;
+  Server.request_stop s;
+  Thread.join th;
+  Server.request_stop s;
+  rm_rf spool_dir
+
+let suite =
+  [
+    Alcotest.test_case "serve / stop / restart cycle" `Quick test_serve_stop_restart;
+    Alcotest.test_case "concurrent sessions" `Quick test_concurrent_sessions;
+    Alcotest.test_case "stop is idempotent" `Quick test_stop_is_idempotent;
+  ]

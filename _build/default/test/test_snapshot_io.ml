@@ -1,0 +1,294 @@
+(* Versioned snapshot codec: exact text round-trips (qcheck), atomic file
+   persistence, decode robustness, and estimator snapshot/restore parity for
+   the Adaptive wrapper and EXT-VATIC. *)
+
+module Io = Delphic_core.Snapshot_io
+module Params = Delphic_core.Params
+module Rng = Delphic_util.Rng
+module Range1d = Delphic_sets.Range1d
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+module A = Delphic_core.Adaptive.Make (Range1d)
+module Wrap = Delphic_sets.Approx_wrap.Make (Range1d)
+module Ext = Delphic_core.Ext_vatic.Make (Wrap)
+
+let sample_io =
+  {
+    Io.family = "cov:14:2";
+    epsilon = 0.2;
+    delta = 0.1;
+    log2_universe = 40.0;
+    exact_capacity = 1835;
+    items = 123;
+    exact_active = false;
+    exact_entries = [ "3 7"; "0 0"; "12 40" ];
+    sketch =
+      Some
+        {
+          Io.mode = Params.Practical;
+          capacity_scale = 1.0;
+          coupon_scale = 2.5;
+          s_items = 123;
+          max_bucket = 7012;
+          skipped = 0;
+          membership_calls = 14;
+          cardinality_calls = 123;
+          sampling_calls = 9;
+          entries = [ (3, "1,2:1010"); (3, "5:0001"); (4, "9,9:1111") ];
+        };
+  }
+
+let check_roundtrip name io =
+  match Io.decode (Io.encode io) with
+  | Ok io' -> Alcotest.(check bool) name true (io = io')
+  | Error msg -> Alcotest.failf "%s: decode failed: %s" name msg
+
+let test_fixed_roundtrips () =
+  check_roundtrip "with sketch" sample_io;
+  check_roundtrip "exact only"
+    {
+      sample_io with
+      Io.family = "rect";
+      exact_active = true;
+      sketch = None;
+      exact_entries = [];
+    };
+  (* Element strings are opaque: spaces and punctuation must survive. *)
+  check_roundtrip "awkward elements"
+    {
+      sample_io with
+      Io.exact_entries = [ " leading space"; "trailing "; "in ner" ];
+      sketch =
+        Some
+          {
+            (Option.get sample_io.Io.sketch) with
+            Io.mode = Params.Paper;
+            entries = [ (0, "a b c"); (-1, "") ];
+          };
+    }
+
+let test_header () =
+  Alcotest.(check bool)
+    "magic + version first line" true
+    (String.length (Io.encode sample_io) > 0
+    && String.sub (Io.encode sample_io) 0
+         (String.length "delphic-snapshot v1")
+       = "delphic-snapshot v1")
+
+(* --- qcheck: decode . encode = Ok, over random snapshots --- *)
+
+let gen_elt =
+  QCheck.Gen.(
+    string_size (int_range 0 20)
+      ~gen:(oneofl [ '0'; '9'; ' '; ','; ':'; '-'; 'x' ]))
+
+let gen_io =
+  QCheck.Gen.(
+    let* family = oneofl [ "rect"; "dnf:40"; "cov:14:2" ] in
+    let* epsilon = float_range 0.001 0.999 in
+    let* delta = float_range 0.001 0.999 in
+    let* log2_universe = float_range 1.0 128.0 in
+    let* exact_capacity = int_range 1 100_000 in
+    let* items = int_range 0 1_000_000 in
+    let* exact_active = bool in
+    let* exact_entries = list_size (int_range 0 20) gen_elt in
+    let* sketch =
+      oneof
+        [
+          return None;
+          (let* mode = oneofl [ Params.Paper; Params.Practical ] in
+           let* capacity_scale = float_range 0.25 8.0 in
+           let* coupon_scale = float_range 0.25 8.0 in
+           let* s_items = int_range 0 1_000_000 in
+           let* max_bucket = int_range 0 100_000 in
+           let* skipped = int_range 0 100 in
+           let* membership_calls = int_range 0 1_000_000 in
+           let* cardinality_calls = int_range 0 1_000_000 in
+           let* sampling_calls = int_range 0 1_000_000 in
+           let* entries =
+             list_size (int_range 0 20)
+               (pair (int_range (-4) 60) gen_elt)
+           in
+           return
+             (Some
+                {
+                  Io.mode;
+                  capacity_scale;
+                  coupon_scale;
+                  s_items;
+                  max_bucket;
+                  skipped;
+                  membership_calls;
+                  cardinality_calls;
+                  sampling_calls;
+                  entries;
+                }));
+        ]
+    in
+    return
+      {
+        Io.family;
+        epsilon;
+        delta;
+        log2_universe;
+        exact_capacity;
+        items;
+        exact_active;
+        exact_entries;
+        sketch;
+      })
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decode . encode = Ok (random)" ~count:300
+    (QCheck.make gen_io)
+    (fun io -> Io.decode (Io.encode io) = Ok io)
+
+(* --- file persistence --- *)
+
+let test_save_load () =
+  let path = Filename.temp_file "delphic-io" ".snap" in
+  Io.save ~path sample_io;
+  Alcotest.(check bool) "no tmp left" false (Sys.file_exists (path ^ ".tmp"));
+  (match Io.load ~path with
+  | Ok io -> Alcotest.(check bool) "load = save" true (io = sample_io)
+  | Error msg -> Alcotest.failf "load: %s" msg);
+  Sys.remove path;
+  match Io.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load of a removed file must fail"
+
+let test_decode_rejects () =
+  let expect_error name text =
+    match Io.decode text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: decode accepted garbage" name
+  in
+  expect_error "empty" "";
+  expect_error "bad magic" "not-a-snapshot v1\n";
+  expect_error "future version" "delphic-snapshot v99\nfamily rect\n";
+  expect_error "truncated"
+    "delphic-snapshot v1\nfamily rect\nepsilon 0x1p-2\n";
+  expect_error "count larger than payload"
+    "delphic-snapshot v1\nfamily rect\nepsilon 0x1p-2\ndelta 0x1p-3\n\
+     log2-universe 0x1.4p5\nexact-capacity 10\nitems 1\nexact-active true\n\
+     exact-entries 99\nE 1\nno-sketch\nend\n";
+  expect_error "trailing garbage after a bad sketch line"
+    "delphic-snapshot v1\nfamily rect\nepsilon 0x1p-2\ndelta 0x1p-3\n\
+     log2-universe 0x1.4p5\nexact-capacity 10\nitems 0\nexact-active true\n\
+     exact-entries 0\nsketch nonsense\nend\n"
+
+let test_encode_validates () =
+  Alcotest.check_raises "newline in element"
+    (Invalid_argument "Snapshot_io.encode: an exact entry contains a newline")
+    (fun () ->
+      ignore (Io.encode { sample_io with Io.exact_entries = [ "a\nb" ] }));
+  Alcotest.check_raises "space in family"
+    (Invalid_argument
+       "Snapshot_io.encode: family token must be non-empty and space-free")
+    (fun () -> ignore (Io.encode { sample_io with Io.family = "re ct" }))
+
+(* --- estimator snapshot/restore parity --- *)
+
+let sorted_exact (s : A.snapshot) = List.sort compare s.A.exact_entries
+
+let sorted_sketch (s : A.snapshot) =
+  Option.map
+    (fun (sk : A.sketch_snapshot) -> List.sort compare sk.A.sketch_entries)
+    s.A.sketch
+
+let test_adaptive_exact_parity () =
+  let t = A.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~seed:1 () in
+  List.iter (A.process t)
+    [
+      Range1d.create ~lo:0 ~hi:9;
+      Range1d.create ~lo:5 ~hi:14;
+      Range1d.create ~lo:100 ~hi:100;
+    ];
+  let s = A.snapshot t in
+  let t' = A.restore s ~seed:99 in
+  Alcotest.(check bool) "still exact" true (A.is_exact t');
+  Alcotest.(check (float 0.0)) "same exact estimate" (A.estimate t) (A.estimate t');
+  Alcotest.(check int) "same items" (A.items_processed t) (A.items_processed t');
+  let s' = A.snapshot t' in
+  Alcotest.(check bool)
+    "snapshot of restore = snapshot (up to entry order)" true
+    (sorted_exact s = sorted_exact s'
+    && sorted_sketch s = sorted_sketch s'
+    && { s with A.exact_entries = []; sketch = None }
+       = { s' with A.exact_entries = []; sketch = None });
+  (* the restored copy keeps estimating correctly as the stream continues *)
+  A.process t' (Range1d.create ~lo:200 ~hi:209);
+  Alcotest.(check (float 0.0)) "resumed exact count" 26.0 (A.estimate t')
+
+let test_adaptive_sketch_parity () =
+  let gen = Rng.create ~seed:77 in
+  let pool = Workload.Ranges.uniform gen ~universe:1_000_000 ~count:200 ~max_len:5000 in
+  let truth = float_of_int (Exact.range_union pool) in
+  let t = A.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~seed:2 () in
+  List.iter (A.process t) pool;
+  Alcotest.(check bool) "in sketch mode" false (A.is_exact t);
+  let s = A.snapshot t in
+  let t' = A.restore s ~seed:1234 in
+  Alcotest.(check bool) "restored in sketch mode" false (A.is_exact t');
+  Alcotest.(check int) "same items" (A.items_processed t) (A.items_processed t');
+  let s' = A.snapshot t' in
+  Alcotest.(check bool)
+    "sketch state survives the round trip" true
+    (sorted_sketch s = sorted_sketch s');
+  let est = A.estimate t' in
+  Alcotest.(check bool)
+    (Printf.sprintf "restored estimate %.0f near %.0f" est truth)
+    true
+    (Float.abs (est -. truth) <= 0.3 *. truth)
+
+let test_adaptive_restore_validates () =
+  let t = A.create ~epsilon:0.3 ~delta:0.2 ~log2_universe:20.0 ~seed:3 () in
+  A.process t (Range1d.create ~lo:0 ~hi:9);
+  let s = A.snapshot t in
+  (match A.restore { s with A.exact_capacity = 0 } ~seed:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "exact_capacity 0 must be rejected");
+  match A.restore { s with A.exact_active = false; sketch = None } ~seed:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sketch mode without a sketch must be rejected"
+
+let test_ext_vatic_parity () =
+  let gen = Rng.create ~seed:88 in
+  let pool = Workload.Ranges.uniform gen ~universe:1_000_000 ~count:150 ~max_len:4000 in
+  let alpha = 0.2 and gamma = 0.05 and eta = 0.1 in
+  let wrapped = List.map (Wrap.wrap ~alpha ~gamma ~eta ~salt:5) pool in
+  let t =
+    Ext.create ~epsilon:0.25 ~delta:0.2 ~log2_universe:20.0 ~alpha ~gamma ~eta
+      ~seed:5 ()
+  in
+  List.iter (Ext.process t) wrapped;
+  let s = Ext.snapshot t in
+  let t' = Ext.restore s ~seed:500 in
+  Alcotest.(check int) "same items" (Ext.items_processed t) (Ext.items_processed t');
+  Alcotest.(check int) "same bucket size" (Ext.bucket_size t) (Ext.bucket_size t');
+  let s' = Ext.snapshot t' in
+  Alcotest.(check bool)
+    "bucket survives the round trip" true
+    (List.sort compare s.Ext.entries = List.sort compare s'.Ext.entries
+    && { s with Ext.entries = [] } = { s' with Ext.entries = [] });
+  let truth = float_of_int (Exact.range_union pool) in
+  let est = Ext.estimate t' in
+  let lo, hi = Ext.window t' in
+  Alcotest.(check bool)
+    (Printf.sprintf "restored estimate %.0f within window of %.0f" est truth)
+    true
+    (est >= lo *. truth && est <= hi *. truth)
+
+let suite =
+  [
+    Alcotest.test_case "fixed round-trips" `Quick test_fixed_roundtrips;
+    Alcotest.test_case "header" `Quick test_header;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects;
+    Alcotest.test_case "encode validates" `Quick test_encode_validates;
+    Alcotest.test_case "adaptive exact parity" `Quick test_adaptive_exact_parity;
+    Alcotest.test_case "adaptive sketch parity" `Quick test_adaptive_sketch_parity;
+    Alcotest.test_case "adaptive restore validates" `Quick test_adaptive_restore_validates;
+    Alcotest.test_case "ext-vatic parity" `Quick test_ext_vatic_parity;
+  ]

@@ -30,23 +30,22 @@ let test_rectangles_1d_and_3d () =
         (Rectangle.dim (List.hd (Parsers.rectangles_of_file path))))
 
 let test_rectangles_errors () =
-  let expect_failure contents fragment =
+  let expect_error contents ~line fragment =
     with_temp contents (fun path ->
         match Parsers.rectangles_of_file path with
-        | exception Failure msg ->
-          if not (String.length msg >= String.length fragment) then
-            Alcotest.failf "unexpected message: %s" msg;
+        | exception Parsers.Parse_error { line = l; msg } ->
+          Alcotest.(check int) "line number" line l;
           let rec contains i =
             i + String.length fragment <= String.length msg
             && (String.sub msg i (String.length fragment) = fragment || contains (i + 1))
           in
           Alcotest.(check bool) ("mentions " ^ fragment) true (contains 0)
-        | _ -> Alcotest.fail "expected Failure")
+        | _ -> Alcotest.fail "expected Parse_error")
   in
-  expect_failure "1 2 3\n" "line 1";
-  expect_failure "abc def\n" "not an integer";
-  expect_failure "0 9\n0 9 0 9\n" "line 2";
-  expect_failure "9 0\n" "line 1"
+  expect_error "1 2 3\n" ~line:1 "even";
+  expect_error "abc def\n" ~line:1 "not an integer";
+  expect_error "0 9\n0 9 0 9\n" ~line:2 "dimension";
+  expect_error "9 0\n" ~line:1 ""
 
 let test_dnf () =
   with_temp "1 -3\n2 4\n# done\n" (fun path ->
@@ -61,11 +60,11 @@ let test_dnf () =
 let test_dnf_errors () =
   with_temp "0\n" (fun path ->
       match Parsers.dnf_of_file ~nvars:3 path with
-      | exception Failure _ -> ()
+      | exception Parsers.Parse_error _ -> ()
       | _ -> Alcotest.fail "literal 0 must fail");
   with_temp "4\n" (fun path ->
       match Parsers.dnf_of_file ~nvars:3 path with
-      | exception Failure _ -> ()
+      | exception Parsers.Parse_error _ -> ()
       | _ -> Alcotest.fail "out-of-range variable must fail")
 
 let test_vectors () =
@@ -75,8 +74,21 @@ let test_vectors () =
       Alcotest.(check string) "first" "0101" (Bitvec.to_string (List.hd vectors)));
   with_temp "01x1\n" (fun path ->
       match Parsers.vectors_of_file path with
-      | exception Failure _ -> ()
+      | exception Parsers.Parse_error _ -> ()
       | _ -> Alcotest.fail "bad character must fail")
+
+let test_line_parsers () =
+  (* The single-line parsers the server's ADD command uses: success, the
+     dimension guard, and the reported line number being caller-supplied. *)
+  let box = Parsers.rectangle_of_line ~lineno:7 "0 9 0 9" in
+  Alcotest.(check int) "dim" 2 (Rectangle.dim box);
+  (match Parsers.rectangle_of_line ~dims:3 ~lineno:7 "0 9 0 9" with
+  | exception Parsers.Parse_error { line; _ } -> Alcotest.(check int) "lineno" 7 line
+  | _ -> Alcotest.fail "dimension mismatch must fail");
+  let term = Parsers.dnf_term_of_line ~nvars:5 ~lineno:1 "1 -3" in
+  Alcotest.(check bool) "term parses" true (Dnf.satisfies term (Bitvec.of_string "10000"));
+  let v = Parsers.vector_of_line ~lineno:1 "0101" in
+  Alcotest.(check string) "vector" "0101" (Bitvec.to_string v)
 
 let suite =
   [
@@ -86,4 +98,5 @@ let suite =
     Alcotest.test_case "dnf terms" `Quick test_dnf;
     Alcotest.test_case "dnf errors" `Quick test_dnf_errors;
     Alcotest.test_case "test vectors" `Quick test_vectors;
+    Alcotest.test_case "single-line parsers" `Quick test_line_parsers;
   ]
