@@ -10,7 +10,12 @@
 
    Run with:  dune exec bench/main.exe            (everything)
               dune exec bench/main.exe -- micro   (micro-benchmarks only)
-              dune exec bench/main.exe -- macro   (experiment tables only) *)
+              dune exec bench/main.exe -- macro   (experiment tables only)
+              dune exec bench/main.exe -- cluster (1-vs-4-worker scatter/gather)
+
+   Any benchmarking mode also accepts [--json FILE] to write the measured
+   rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
+   cluster mode defaults to BENCH_cluster.json. *)
 
 open Bechamel
 open Toolkit
@@ -254,14 +259,12 @@ let micro_tests () =
       Test.make ~name:"serve/request-step" (Staged.stage (serve_request_step ()));
     ]
 
-let run_micro () =
+let run_bechamel tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "Micro-benchmarks (bechamel, monotonic clock)";
-  print_endline "============================================";
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
@@ -272,13 +275,144 @@ let run_micro () =
       in
       rows := (name, ns) :: !rows)
     results;
+  List.sort compare !rows
+
+let print_rows ~title rows =
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  List.iter (fun (name, ns) -> Printf.printf "%-44s %12.1f ns/op\n" name ns) rows
+
+let write_json ~path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, ns) ->
+      let ns = if Float.is_nan ns then 0.0 else ns in
+      let ops = if ns > 0.0 then 1e9 /. ns else 0.0 in
+      Printf.fprintf oc
+        "  {\"name\": %S, \"ns_per_op\": %.1f, \"ops_per_s\": %.1f}%s\n" name ns
+        ops
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path
+
+let run_micro ?json () =
+  let rows = run_bechamel (micro_tests ()) in
+  print_rows ~title:"Micro-benchmarks (bechamel, monotonic clock)" rows;
+  Option.iter (fun path -> write_json ~path rows) json
+
+(* Cluster benchmark: the same rect stream scattered through a coordinator
+   backed by 1 vs 4 loopback in-process workers — the per-set cost of the
+   pipelined scatter path and the per-query cost of a full gather+fold. *)
+
+module Server = Delphic_server.Server
+module Coordinator = Delphic_cluster.Coordinator
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let cluster_env ~n_workers ~seed =
+  let spool n =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "delphic-bench-spool-%d-%d-%d" (Unix.getpid ()) n_workers n)
+  in
+  let workers =
+    List.init n_workers (fun n ->
+        rm_rf (spool n);
+        let s = Server.create ~port:0 ~spool:(spool n) ~seed:(seed + n) () in
+        (s, Server.start s))
+  in
+  let coord =
+    Coordinator.create
+      ~workers:(List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers)
+      ~seed ()
+  in
+  (match
+     Coordinator.open_session coord ~name:"bench" ~family:Protocol.Rect
+       ~epsilon:0.2 ~delta:0.2 ~log2_universe:40.0
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let gen = Rng.create ~seed:31 in
+  let payloads =
+    List.map
+      (fun b ->
+        let lo = Rectangle.lo b and hi = Rectangle.hi b in
+        Printf.sprintf "%d %d %d %d" lo.(0) hi.(0) lo.(1) hi.(1))
+      (Workload.Rectangles.uniform gen ~universe:1_000_000 ~dim:2 ~count:300
+         ~max_side:50_000)
+  in
   List.iter
-    (fun (name, ns) -> Printf.printf "%-44s %12.1f ns/op\n" name ns)
-    (List.sort compare !rows)
+    (fun p -> ignore (Coordinator.add coord ~name:"bench" ~payload:p))
+    payloads;
+  Coordinator.flush coord;
+  let teardown () =
+    ignore (Coordinator.close coord ~name:"bench");
+    Coordinator.shutdown coord;
+    List.iteri
+      (fun n (s, th) ->
+        Server.request_stop s;
+        Thread.join th;
+        rm_rf (spool n))
+      workers
+  in
+  (coord, payloads, teardown)
+
+let run_cluster ?(json = "BENCH_cluster.json") () =
+  let c1, p1, teardown1 = cluster_env ~n_workers:1 ~seed:41 in
+  let c4, p4, teardown4 = cluster_env ~n_workers:4 ~seed:47 in
+  let scatter coord payloads =
+    cycling payloads (fun p ->
+        ignore (Coordinator.add coord ~name:"bench" ~payload:p))
+  in
+  let gather coord () = ignore (Coordinator.estimate coord ~name:"bench") in
+  let tests =
+    Test.make_grouped ~name:"cluster"
+      [
+        Test.make ~name:"scatter-add/1-worker" (Staged.stage (scatter c1 p1));
+        Test.make ~name:"scatter-add/4-workers" (Staged.stage (scatter c4 p4));
+        Test.make ~name:"gather-est/1-worker" (Staged.stage (fun () -> gather c1 ()));
+        Test.make ~name:"gather-est/4-workers" (Staged.stage (fun () -> gather c4 ()));
+      ]
+  in
+  let rows = run_bechamel tests in
+  teardown1 ();
+  teardown4 ();
+  print_rows ~title:"Cluster scatter/gather (loopback, in-process workers)" rows;
+  write_json ~path:json rows
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode = "micro" || mode = "all" then run_micro ();
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split mode json = function
+    | [] -> (mode, json)
+    | "--json" :: path :: rest -> split mode (Some path) rest
+    | arg :: rest when mode = None && String.length arg > 0 && arg.[0] <> '-' ->
+      split (Some arg) json rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+  in
+  let mode, json = split None None args in
+  let mode = Option.value mode ~default:"all" in
+  (match mode with
+  | "micro" | "all" -> run_micro ?json ()
+  | "macro" | "cluster" -> ()
+  | m ->
+    Printf.eprintf "unknown mode %S (expected micro, macro, cluster or all)\n" m;
+    exit 2);
+  (match mode with
+  | "cluster" -> (
+    match json with
+    | Some path -> run_cluster ~json:path ()
+    | None -> run_cluster ())
+  | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();
     print_endline "Experiment tables (see EXPERIMENTS.md for the paper-claim mapping)";

@@ -443,6 +443,113 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ seed $ port_arg $ host_arg $ spool)
 
+(* worker / coord: the sharded cluster (lib/cluster).  A worker is just a
+   server under a name that reads well in cluster commands. *)
+
+let worker_cmd =
+  let spool =
+    let doc = "Spool directory for durable session snapshots." in
+    Arg.(value & opt string "delphic-worker-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
+  in
+  let run seed port host spool =
+    let server = Delphic_server.Server.create ~host ~port ~spool ~seed () in
+    Delphic_server.Server.install_sigint server;
+    Printf.printf "delphic worker: listening on %s:%d (spool: %s)\n%!" host
+      (Delphic_server.Server.port server)
+      spool;
+    Delphic_server.Server.serve server;
+    print_endline "delphic worker: stopped; sessions spooled"
+  in
+  let doc =
+    "Run one cluster worker: a full estimation server (every verb including \
+     SNAPSHOT/MERGE), ready to be driven by $(b,delphic coord)."
+  in
+  Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ seed $ port_arg $ host_arg $ spool)
+
+let workers_arg =
+  let parse s =
+    let worker tok =
+      match String.rindex_opt tok ':' with
+      | None -> Error (Printf.sprintf "%S: want host:port" tok)
+      | Some i -> (
+        let host = String.sub tok 0 i in
+        let port = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && host <> "" -> Ok (host, p)
+        | _ -> Error (Printf.sprintf "%S: want host:port" tok))
+    in
+    let rec all acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+        match worker tok with Ok w -> all (w :: acc) rest | Error _ as e -> e)
+    in
+    match
+      all [] (String.split_on_char ',' s |> List.filter (fun x -> String.trim x <> ""))
+    with
+    | Ok [] -> Error (`Msg "empty worker list")
+    | Ok ws -> Ok ws
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf ws =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) ws))
+  in
+  let workers_conv = Arg.conv (parse, print) in
+  let doc = "Comma-separated worker addresses, e.g. $(b,127.0.0.1:7801,127.0.0.1:7802)." in
+  Arg.(
+    required & opt (some workers_conv) None & info [ "w"; "workers" ] ~docv:"HOST:PORT,..." ~doc)
+
+let coord_cmd =
+  let shard =
+    let doc = "Sharding policy: $(b,hash) (default; duplicate lines collapse) or $(b,rr)." in
+    let shard_conv =
+      Arg.conv
+        ( (function
+          | "hash" -> Ok Delphic_cluster.Coordinator.By_hash
+          | "rr" -> Ok Delphic_cluster.Coordinator.Round_robin
+          | s -> Error (`Msg (Printf.sprintf "%S: want hash or rr" s))),
+          fun ppf s ->
+            Format.pp_print_string ppf
+              (match s with
+              | Delphic_cluster.Coordinator.By_hash -> "hash"
+              | Delphic_cluster.Coordinator.Round_robin -> "rr") )
+    in
+    Arg.(
+      value & opt shard_conv Delphic_cluster.Coordinator.By_hash & info [ "shard" ] ~docv:"POLICY" ~doc)
+  in
+  let timeout =
+    let doc = "Per-worker connect/read/write timeout in seconds." in
+    Arg.(value & opt float 2.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run seed port host workers shard timeout =
+    let coord =
+      Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~workers ~seed ()
+    in
+    let frontend =
+      Delphic_cluster.Frontend.create ~host ~port
+        ~dispatch:(Delphic_cluster.Coordinator.dispatch coord)
+        ()
+    in
+    Delphic_cluster.Frontend.install_sigint frontend;
+    Printf.printf "delphic coord: listening on %s:%d, %d workers (%s sharding)\n%!" host
+      (Delphic_cluster.Frontend.port frontend)
+      (List.length workers)
+      (match shard with
+      | Delphic_cluster.Coordinator.By_hash -> "hash"
+      | Delphic_cluster.Coordinator.Round_robin -> "round-robin");
+    Delphic_cluster.Frontend.serve frontend;
+    Delphic_cluster.Coordinator.shutdown coord;
+    print_endline "delphic coord: stopped (workers keep running)"
+  in
+  let doc =
+    "Run the scatter/gather coordinator: speaks the same protocol as \
+     $(b,delphic serve), sharding ADDs across workers and answering EST by \
+     merging their sketches (DEGRADED is flagged when a worker is down)."
+  in
+  Cmd.v
+    (Cmd.info "coord" ~doc)
+    Term.(const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout)
+
 (* query: one-shot client for the service. *)
 
 let query_cmd =
@@ -529,7 +636,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ kmp_cmd; dnf_cmd; coverage_cmd; distinct_cmd; hypervolume_cmd; xor_cmd;
-           compare_cmd; watch_cmd; serve_cmd; query_cmd; experiments_cmd ])
+           compare_cmd; watch_cmd; serve_cmd; worker_cmd; coord_cmd; query_cmd;
+           experiments_cmd ])
   with
   | code -> exit code
   | exception Delphic_stream.Parsers.Parse_error { line; msg } ->

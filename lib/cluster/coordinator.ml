@@ -1,0 +1,558 @@
+module P = Delphic_server.Protocol
+module Families = Delphic_server.Families
+module Io = Delphic_core.Snapshot_io
+
+let log_src = Logs.Src.create "delphic.cluster" ~doc:"scatter/gather coordinator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type sharding = Round_robin | By_hash
+
+type worker = {
+  wid : int;
+  host : string;
+  port : int;
+  mutable conn : Rpc.t option;
+  mutable failures : int; (* consecutive, drives the backoff *)
+  mutable quarantined_until : float; (* epoch seconds; 0.0 = available *)
+  pending : (string * string * int) Queue.t; (* unacked (session, payload, hops) *)
+  last_good : (string, Io.t) Hashtbl.t; (* session -> last fetched sketch *)
+}
+
+type session_info = {
+  family : P.family;
+  epsilon : float;
+  delta : float;
+  log2_universe : float;
+  mutable rr : int; (* round-robin cursor *)
+  mutable last_estimate : float;
+  mutable degraded : bool; (* the last gather used stale or missing data *)
+  mutable rejects : int; (* Bad_line acks seen for this session *)
+  mutable lost : int; (* adds dropped because no worker would take them *)
+  mutable merges : int; (* gather folds performed *)
+}
+
+type t = {
+  workers : worker array;
+  sharding : sharding;
+  timeout : float;
+  retries : int;
+  backoff : float; (* first retry delay; doubles per consecutive failure *)
+  window : int;
+  seed : int;
+  lock : Mutex.t;
+  sessions : (string, session_info) Hashtbl.t;
+  mutable seq : int; (* distinct seeds for successive folds *)
+}
+
+let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
+    ?(window = 64) ~workers ~seed () =
+  if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
+  if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
+  if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
+  if window < 1 then invalid_arg "Coordinator.create: need window >= 1";
+  {
+    workers =
+      Array.of_list
+        (List.mapi
+           (fun wid (host, port) ->
+             {
+               wid;
+               host;
+               port;
+               conn = None;
+               failures = 0;
+               quarantined_until = 0.0;
+               pending = Queue.create ();
+               last_good = Hashtbl.create 4;
+             })
+           workers);
+    sharding;
+    timeout;
+    retries;
+    backoff;
+    window;
+    seed;
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 4;
+    seq = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let next_seed t =
+  t.seq <- t.seq + 1;
+  t.seed + (7919 * t.seq)
+
+let address w = Printf.sprintf "%s:%d" w.host w.port
+
+(* --- worker lifecycle: connect with bounded retry, quarantine on death --- *)
+
+let kill_requeue : (t -> worker -> unit) ref = ref (fun _ _ -> ())
+
+let quarantine t w =
+  (match w.conn with Some c -> Rpc.close c | None -> ());
+  w.conn <- None;
+  w.failures <- w.failures + 1;
+  let pause = Float.min 30.0 (t.backoff *. Float.ldexp 1.0 w.failures) in
+  w.quarantined_until <- Unix.gettimeofday () +. pause;
+  Log.warn (fun m ->
+      m "worker %s quarantined for %.2fs (%d consecutive failures)" (address w) pause
+        w.failures);
+  !kill_requeue t w
+
+(* After a (re)connect the worker may be a fresh process: re-open every
+   session and reinject its last known state.  SESSION-EXISTS means the
+   worker kept its state across a connection blip — nothing to do. *)
+let resync t w conn =
+  let ok = ref true in
+  Hashtbl.iter
+    (fun name (si : session_info) ->
+      if !ok then
+        match
+          Rpc.call conn
+            (P.Open
+               {
+                 session = name;
+                 family = si.family;
+                 epsilon = si.epsilon;
+                 delta = si.delta;
+                 log2_universe = si.log2_universe;
+               })
+        with
+        | Ok (P.Ok_reply _) -> (
+          match Hashtbl.find_opt w.last_good name with
+          | None -> ()
+          | Some io -> (
+            Log.info (fun m ->
+                m "worker %s: reinjecting last good sketch of %s" (address w) name);
+            match Rpc.call conn (P.Merge { session = name; encoded = Io.to_wire io }) with
+            | Ok (P.Ok_reply _) -> ()
+            | Ok r ->
+              Log.warn (fun m ->
+                  m "worker %s: reinject failed: %s" (address w) (P.render_response r));
+              ok := false
+            | Error msg ->
+              Log.warn (fun m -> m "worker %s: reinject failed: %s" (address w) msg);
+              ok := false))
+        | Ok (P.Error_reply (P.Session_exists _)) -> ()
+        | Ok r ->
+          Log.warn (fun m ->
+              m "worker %s: re-open of %s failed: %s" (address w) name
+                (P.render_response r));
+          ok := false
+        | Error msg ->
+          Log.warn (fun m -> m "worker %s: re-open of %s failed: %s" (address w) name msg);
+          ok := false)
+    t.sessions;
+  !ok
+
+(* The worker's connection if it is usable now: an existing one, or a fresh
+   connect-and-resync with [retries] attempts under exponential backoff.
+   [None] while quarantined or unreachable. *)
+let ensure_conn t w =
+  match w.conn with
+  | Some c -> Some c
+  | None ->
+    if Unix.gettimeofday () < w.quarantined_until then None
+    else begin
+      let rec attempt i =
+        match Rpc.connect ~host:w.host ~port:w.port ~timeout:t.timeout with
+        | Ok conn ->
+          if resync t w conn then begin
+            w.conn <- Some conn;
+            w.failures <- 0;
+            w.quarantined_until <- 0.0;
+            Some conn
+          end
+          else begin
+            Rpc.close conn;
+            quarantine t w;
+            None
+          end
+        | Error msg ->
+          if i >= t.retries then begin
+            Log.warn (fun m -> m "worker %s unreachable: %s" (address w) msg);
+            quarantine t w;
+            None
+          end
+          else begin
+            Thread.delay (t.backoff *. Float.ldexp 1.0 i);
+            attempt (i + 1)
+          end
+      in
+      attempt 0
+    end
+
+(* --- pipelined scatter with at-least-once re-routing --- *)
+
+let find_session t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some si -> Ok si
+  | None -> Error (P.Unknown_session name)
+
+(* Read acks until [w.pending] holds at most [down_to] entries.  Union
+   estimation is duplicate-insensitive, so on failure the unacked tail can
+   be replayed on other workers without harming correctness. *)
+let rec drain_acks t w ~down_to =
+  if Queue.length w.pending <= down_to then ()
+  else
+    match w.conn with
+    | None -> quarantine t w
+    | Some conn -> (
+      match Rpc.recv conn with
+      | Ok (P.Ok_reply _) ->
+        ignore (Queue.pop w.pending);
+        drain_acks t w ~down_to
+      | Ok (P.Error_reply (P.Bad_line _)) ->
+        let session, _, _ = Queue.pop w.pending in
+        (match Hashtbl.find_opt t.sessions session with
+        | Some si -> si.rejects <- si.rejects + 1
+        | None -> ());
+        drain_acks t w ~down_to
+      | Ok r ->
+        (* ack-shaped but unexpected: count the item as delivered *)
+        ignore (Queue.pop w.pending);
+        Log.warn (fun m ->
+            m "worker %s: unexpected ADD ack %s" (address w) (P.render_response r));
+        drain_acks t w ~down_to
+      | Error msg ->
+        Log.warn (fun m -> m "worker %s: lost while draining acks: %s" (address w) msg);
+        quarantine t w)
+
+(* Route one payload to a live worker, starting the probe at [start] and
+   giving up after every worker has been tried [hops] times over. *)
+let rec route t si name payload ~start ~hops =
+  let n = Array.length t.workers in
+  if hops > n then begin
+    si.lost <- si.lost + 1;
+    Error (P.Server_error "no live worker accepted the set")
+  end
+  else begin
+    let chosen = ref None in
+    let i = ref 0 in
+    while !chosen = None && !i < n do
+      let w = t.workers.((start + !i) mod n) in
+      (match ensure_conn t w with Some conn -> chosen := Some (w, conn) | None -> ());
+      incr i
+    done;
+    match !chosen with
+    | None ->
+      si.lost <- si.lost + 1;
+      Error (P.Server_error "no workers available")
+    | Some (w, conn) -> (
+      match Rpc.send conn (P.Add { session = name; payload }) with
+      | Ok () ->
+        Queue.push (name, payload, hops) w.pending;
+        if Queue.length w.pending >= t.window then
+          (* keep half the window in flight so the pipe never fully stalls *)
+          drain_acks t w ~down_to:(t.window / 2);
+        Ok ()
+      | Error msg ->
+        Log.warn (fun m -> m "worker %s: ADD failed: %s" (address w) msg);
+        quarantine t w;
+        route t si name payload ~start:(w.wid + 1) ~hops:(hops + 1))
+  end
+
+(* Re-route a dead worker's unacked tail; wired into [quarantine] via the
+   forward reference because death and re-routing are mutually recursive. *)
+let requeue t w =
+  let orphans = Queue.fold (fun acc item -> item :: acc) [] w.pending in
+  Queue.clear w.pending;
+  List.iter
+    (fun (session, payload, hops) ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> ()
+      | Some si -> (
+        match route t si session payload ~start:(w.wid + 1) ~hops:(hops + 1) with
+        | Ok () -> ()
+        | Error _ -> () (* already counted in si.lost *)))
+    (List.rev orphans)
+
+let () = kill_requeue := requeue
+
+let shard_start t si payload =
+  match t.sharding with
+  | Round_robin ->
+    si.rr <- si.rr + 1;
+    si.rr mod Array.length t.workers
+  | By_hash ->
+    (* identical set lines land on one worker, so duplicate-heavy streams
+       cost nothing extra and cross-shard overlap stays geometric *)
+    Hashtbl.hash payload mod Array.length t.workers
+
+(* --- public operations --- *)
+
+let broadcast t req ~accept =
+  let failures = ref [] in
+  Array.iter
+    (fun w ->
+      match ensure_conn t w with
+      | None -> failures := address w :: !failures
+      | Some conn -> (
+        match Rpc.call conn req with
+        | Ok r when accept r -> ()
+        | Ok r ->
+          failures := Printf.sprintf "%s (%s)" (address w) (P.render_response r) :: !failures
+        | Error msg ->
+          quarantine t w;
+          failures := Printf.sprintf "%s (%s)" (address w) msg :: !failures))
+    t.workers;
+  !failures
+
+let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.sessions name then Error (P.Session_exists name)
+      else begin
+        (* Register first: resync inside ensure_conn must re-open this
+           session on workers that connect during the broadcast. *)
+        Hashtbl.replace t.sessions name
+          {
+            family;
+            epsilon;
+            delta;
+            log2_universe;
+            rr = 0;
+            last_estimate = 0.0;
+            degraded = false;
+            rejects = 0;
+            lost = 0;
+            merges = 0;
+          };
+        let failures =
+          broadcast t
+            (P.Open { session = name; family; epsilon; delta; log2_universe })
+            ~accept:(function
+              | P.Ok_reply _ | P.Error_reply (P.Session_exists _) -> true
+              | _ -> false)
+        in
+        let live =
+          Array.fold_left (fun n w -> if w.conn <> None then n + 1 else n) 0 t.workers
+        in
+        if live = 0 then begin
+          Hashtbl.remove t.sessions name;
+          Error
+            (P.Server_error
+               (Printf.sprintf "no reachable workers: %s" (String.concat ", " failures)))
+        end
+        else Ok ()
+      end)
+
+let add t ~name ~payload =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si -> route t si name payload ~start:(shard_start t si payload) ~hops:0)
+
+let flush t =
+  Array.iter (fun w -> if w.conn <> None then drain_acks t w ~down_to:0) t.workers
+
+(* Gather every worker's sketch for [name] and fold.  A worker that cannot
+   answer contributes its last good snapshot (or nothing) and flags the
+   estimate degraded. *)
+let gather t si name =
+  flush t;
+  let degraded = ref false in
+  let parts = ref [] in
+  Array.iter
+    (fun w ->
+      let stale () =
+        degraded := true;
+        match Hashtbl.find_opt w.last_good name with
+        | Some io -> parts := (w, io) :: !parts
+        | None -> ()
+      in
+      match ensure_conn t w with
+      | None -> stale ()
+      | Some conn -> (
+        match Rpc.call conn (P.Fetch { session = name }) with
+        | Ok (P.Sketch encoded) -> (
+          match Io.of_wire encoded with
+          | Ok io ->
+            Hashtbl.replace w.last_good name io;
+            parts := (w, io) :: !parts
+          | Error msg ->
+            Log.warn (fun m -> m "worker %s: bad sketch: %s" (address w) msg);
+            stale ())
+        | Ok (P.Error_reply (P.Unknown_session _)) ->
+          (* a revived worker the resync could not refill *)
+          stale ()
+        | Ok r ->
+          Log.warn (fun m ->
+              m "worker %s: SNAPSHOT answered %s" (address w) (P.render_response r));
+          stale ()
+        | Error msg ->
+          Log.warn (fun m -> m "worker %s: SNAPSHOT failed: %s" (address w) msg);
+          quarantine t w;
+          stale ()))
+    t.workers;
+  match List.rev !parts with
+  | [] -> Error (P.Server_error "no worker holds any data for this session")
+  | (_, first) :: rest -> (
+    match Families.of_io first ~seed:(next_seed t) with
+    | Error msg -> Error (P.Server_error msg)
+    | Ok acc ->
+      let fold acc (_, io) =
+        Result.bind acc (fun acc ->
+            Result.bind (Families.of_io io ~seed:(next_seed t)) (fun other ->
+                Families.merge acc other ~seed:(next_seed t)))
+      in
+      (match List.fold_left fold (Ok acc) rest with
+      | Error msg -> Error (P.Server_error msg)
+      | Ok folded ->
+        si.merges <- si.merges + List.length rest;
+        Ok (folded, !degraded)))
+
+let estimate t ~name =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si -> (
+        match gather t si name with
+        | Error e -> Error e
+        | Ok (folded, degraded) ->
+          let value = Families.estimate folded in
+          si.last_estimate <- value;
+          si.degraded <- degraded;
+          Ok (value, degraded)))
+
+let stats t ~name =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si -> (
+        match gather t si name with
+        | Error e -> Error e
+        | Ok (folded, _) ->
+          Ok
+            {
+              P.family = Families.family_token folded;
+              items = Families.items folded;
+              entries = Families.entries folded;
+              exact = Families.is_exact folded;
+              last_estimate = si.last_estimate;
+              parse_rejects = si.rejects;
+              merges = si.merges;
+            }))
+
+let fetch t ~name =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si -> (
+        match gather t si name with
+        | Error e -> Error e
+        | Ok (folded, _) -> (
+          match Io.to_wire (Families.to_io ~merges:si.merges folded) with
+          | encoded -> Ok encoded
+          | exception Invalid_argument msg -> Error (P.Server_error msg))))
+
+let snapshot_to t ~name ~path =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si -> (
+        match gather t si name with
+        | Error e -> Error e
+        | Ok (folded, _) -> (
+          match Io.save ~path (Families.to_io ~merges:si.merges folded) with
+          | () -> Ok ()
+          | exception Sys_error msg -> Error (P.Io_error msg)
+          | exception Invalid_argument msg -> Error (P.Server_error msg))))
+
+(* An externally supplied sketch joins the union through whichever worker
+   the round-robin cursor picks — the next gather folds it back in. *)
+let merge_in t ~name ~encoded =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si ->
+        let n = Array.length t.workers in
+        si.rr <- si.rr + 1;
+        let start = si.rr mod n in
+        let rec try_from i =
+          if i >= n then Error (P.Server_error "no workers available")
+          else
+            let w = t.workers.((start + i) mod n) in
+            match ensure_conn t w with
+            | None -> try_from (i + 1)
+            | Some conn -> (
+              match Rpc.call conn (P.Merge { session = name; encoded }) with
+              | Ok (P.Ok_reply _) -> Ok ()
+              | Ok (P.Error_reply e) -> Error e
+              | Ok r ->
+                Error (P.Server_error ("unexpected MERGE reply " ^ P.render_response r))
+              | Error msg ->
+                Log.warn (fun m -> m "worker %s: MERGE failed: %s" (address w) msg);
+                quarantine t w;
+                try_from (i + 1))
+        in
+        try_from 0)
+
+let close t ~name =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok _ ->
+        flush t;
+        ignore
+          (broadcast t
+             (P.Close { session = name })
+             ~accept:(function
+               | P.Ok_reply _ | P.Error_reply (P.Unknown_session _) -> true
+               | _ -> false));
+        Array.iter (fun w -> Hashtbl.remove w.last_good name) t.workers;
+        Hashtbl.remove t.sessions name;
+        Ok ())
+
+let live_workers t =
+  with_lock t (fun () ->
+      Array.fold_left (fun n w -> if w.conn <> None then n + 1 else n) 0 t.workers)
+
+let shutdown t =
+  with_lock t (fun () ->
+      flush t;
+      Array.iter
+        (fun w ->
+          (match w.conn with Some c -> Rpc.close c | None -> ());
+          w.conn <- None)
+        t.workers)
+
+let dispatch t (req : P.request) : P.response =
+  let reply = function Ok r -> r | Error e -> P.Error_reply e in
+  match req with
+  | P.Ping -> P.Pong
+  | P.Open { session; family; epsilon; delta; log2_universe } ->
+    reply
+      (Result.map
+         (fun () -> P.Ok_reply (Some ("opened " ^ session)))
+         (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
+  | P.Add { session; payload } ->
+    reply (Result.map (fun () -> P.Ok_reply None) (add t ~name:session ~payload))
+  | P.Est { session } ->
+    reply
+      (Result.map
+         (fun (value, degraded) -> P.Estimate { value; degraded })
+         (estimate t ~name:session))
+  | P.Stats { session } ->
+    reply (Result.map (fun s -> P.Stats_reply s) (stats t ~name:session))
+  | P.Fetch { session } ->
+    reply (Result.map (fun encoded -> P.Sketch encoded) (fetch t ~name:session))
+  | P.Snapshot { session; path } ->
+    reply
+      (Result.map
+         (fun () -> P.Ok_reply (Some ("snapshotted " ^ session)))
+         (snapshot_to t ~name:session ~path))
+  | P.Merge { session; encoded } ->
+    reply
+      (Result.map
+         (fun () -> P.Ok_reply (Some ("merged into " ^ session)))
+         (merge_in t ~name:session ~encoded))
+  | P.Restore _ ->
+    P.Error_reply
+      (P.Server_error
+         "RESTORE names a file on a worker host; restore there and MERGE the sketch")
+  | P.Close { session } ->
+    reply (Result.map (fun () -> P.Ok_reply (Some ("closed " ^ session))) (close t ~name:session))

@@ -1,0 +1,99 @@
+(** Scatter/gather coordinator for sharded union estimation.
+
+    A coordinator owns a pool of workers — ordinary
+    {!Delphic_server.Server} instances, unchanged — and presents the same
+    line protocol as a single server:
+
+    - [OPEN] broadcasts, so every worker holds a same-parameter session;
+    - [ADD] scatters: each set is routed to one worker ({!sharding}),
+      pipelined with a bounded window of unacknowledged sends;
+    - [EST]/[STATS]/[SNAPSHOT] gather: every worker ships its sketch
+      ([SNAPSHOT <sid>] wire form) and the coordinator folds them with
+      {!Delphic_server.Families.merge}.
+
+    Failure handling: every RPC is bounded by a timeout ({!Rpc}); a worker
+    that fails is quarantined with exponential backoff and its
+    unacknowledged sets are replayed on the survivors — safe because union
+    estimation is duplicate-insensitive, so at-least-once delivery never
+    biases the answer.  A gather that had to fall back to a dead worker's
+    last fetched sketch (or found nothing at all) flags the estimate
+    [degraded] in the reply.  A worker that comes back is re-opened and
+    refilled from its last good sketch before rejoining the pool.
+
+    With [By_hash] sharding, duplicate set lines always land on the same
+    worker, so cross-shard overlap is limited to geometrically overlapping
+    {e distinct} sets — see DESIGN.md on merge semantics for why that keeps
+    the sharded estimate within the single-stream envelope on realistic
+    workloads. *)
+
+type t
+
+type sharding =
+  | Round_robin  (** spread by arrival order *)
+  | By_hash  (** route by hash of the set line; duplicates collapse *)
+
+val create :
+  ?sharding:sharding ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?window:int ->
+  workers:(string * int) list ->
+  seed:int ->
+  unit ->
+  t
+(** [workers] are [host, port] pairs; connections are opened lazily.
+    [timeout] (default 2s) bounds every connect/send/recv; [retries]
+    (default 3) bounds reconnect attempts, with delays starting at
+    [backoff] (default 50ms) and doubling; [window] (default 64) is the
+    pipelined-ADD depth per worker.  Raises [Invalid_argument] on an empty
+    pool or nonsensical knobs. *)
+
+val dispatch : t -> Delphic_server.Protocol.request -> Delphic_server.Protocol.response
+(** The full request → response step, same contract as
+    {!Delphic_server.Registry.dispatch} — plug into {!Frontend} to serve
+    the cluster over TCP. *)
+
+val open_session :
+  t ->
+  name:string ->
+  family:Delphic_server.Protocol.family ->
+  epsilon:float ->
+  delta:float ->
+  log2_universe:float ->
+  (unit, Delphic_server.Protocol.error) result
+(** Fails only if {e no} worker is reachable; workers joining later are
+    brought up to date by the resync-on-reconnect path. *)
+
+val add : t -> name:string -> payload:string -> (unit, Delphic_server.Protocol.error) result
+(** Fire-and-forget into the pipeline: parse errors surface asynchronously
+    in {!stats} ([parse_rejects]), not here. *)
+
+val estimate : t -> name:string -> (float * bool, Delphic_server.Protocol.error) result
+(** The folded estimate and whether it is degraded (some worker answered
+    from a stale snapshot or not at all). *)
+
+val stats : t -> name:string -> (Delphic_server.Protocol.stats, Delphic_server.Protocol.error) result
+
+val fetch : t -> name:string -> (string, Delphic_server.Protocol.error) result
+(** The folded sketch as one wire token — coordinators compose: a parent
+    coordinator can treat this one as a worker. *)
+
+val snapshot_to : t -> name:string -> path:string -> (unit, Delphic_server.Protocol.error) result
+
+val merge_in : t -> name:string -> encoded:string -> (unit, Delphic_server.Protocol.error) result
+(** Route an external sketch to one worker; the next gather folds it in. *)
+
+val close : t -> name:string -> (unit, Delphic_server.Protocol.error) result
+
+val live_workers : t -> int
+(** Workers with an open connection right now (0 before any operation —
+    connections are lazy). *)
+
+val flush : t -> unit
+(** Drain every pipelined ADD ack.  Called internally before each gather;
+    exposed for tests and orderly shutdown. *)
+
+val shutdown : t -> unit
+(** Flush, then close every worker connection.  The workers keep running —
+    they own the sessions. *)

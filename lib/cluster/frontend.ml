@@ -1,0 +1,134 @@
+module P = Delphic_server.Protocol
+
+let log_src = Logs.Src.create "delphic.frontend" ~doc:"cluster frontend"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  dispatch : P.request -> P.response;
+  listen_fd : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable handlers : Thread.t list;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(host = "127.0.0.1") ~port ~dispatch () =
+  (* a client that hangs up mid-reply must cost one handler, not the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  {
+    dispatch;
+    listen_fd = fd;
+    port;
+    lock = Mutex.create ();
+    stopping = false;
+    handlers = [];
+    conns = Hashtbl.create 16;
+    stop_r;
+    stop_w;
+  }
+
+let port t = t.port
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let continue = ref true in
+     while !continue do
+       match input_line ic with
+       | exception End_of_file -> continue := false
+       | line ->
+         let response =
+           match P.parse_request line with
+           | Error e -> P.Error_reply e
+           | Ok req -> (
+             match t.dispatch req with
+             | resp -> resp
+             | exception exn -> P.Error_reply (P.Server_error (Printexc.to_string exn)))
+         in
+         output_string oc (P.render_response response);
+         output_char oc '\n';
+         flush oc
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  with_lock t (fun () -> Hashtbl.remove t.conns fd);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request_stop t =
+  with_lock t (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        (try ignore (Unix.single_write_substring t.stop_w "x" 0 1)
+         with Unix.Unix_error _ -> ());
+        Hashtbl.iter
+          (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          t.conns
+      end)
+
+let install_sigint t =
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t)))
+
+let spawn_handler t fd =
+  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint ] in
+  let th = Thread.create (fun () -> handle_connection t fd) () in
+  ignore (Thread.sigmask Unix.SIG_SETMASK old_mask);
+  th
+
+let serve t =
+  Log.info (fun m -> m "frontend listening on port %d" t.port);
+  let rec accept_loop () =
+    if t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ when t.stopping -> ()
+      | ready, _, _ ->
+        if t.stopping || List.mem t.stop_r ready then ()
+        else if List.mem t.listen_fd ready then begin
+          match Unix.accept t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            accept_loop ()
+          | exception Unix.Unix_error _ when t.stopping -> ()
+          | fd, _ ->
+            with_lock t (fun () -> Hashtbl.replace t.conns fd ());
+            let th = spawn_handler t fd in
+            with_lock t (fun () -> t.handlers <- th :: t.handlers);
+            accept_loop ()
+        end
+        else accept_loop ()
+  in
+  accept_loop ();
+  request_stop t;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  let handlers = with_lock t (fun () -> t.handlers) in
+  List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Log.info (fun m -> m "frontend stopped")
+
+let start t = Thread.create serve t

@@ -1,0 +1,34 @@
+(** Threaded TCP front door for any request → response step.
+
+    The accept loop, per-connection handler threads, self-pipe shutdown and
+    SIGINT handling of {!Delphic_server.Server}, detached from the registry:
+    the dispatch function is injected, so the same loop serves a
+    single-node registry or a {!Coordinator} unchanged.  One thread per
+    connection; the protocol is newline-delimited, one response line per
+    request line. *)
+
+type t
+
+val create :
+  ?host:string ->
+  port:int ->
+  dispatch:(Delphic_server.Protocol.request -> Delphic_server.Protocol.response) ->
+  unit ->
+  t
+(** Binds immediately ([port] 0 picks a free port — see {!port}); serving
+    starts with {!serve}/{!start}.  [dispatch] runs on handler threads and
+    must be thread-safe ({!Coordinator.dispatch} is). *)
+
+val port : t -> int
+
+val serve : t -> unit
+(** Run the accept loop on the calling thread until {!request_stop}. *)
+
+val start : t -> Thread.t
+(** {!serve} on a daemon thread; join the result for a clean shutdown. *)
+
+val request_stop : t -> unit
+(** Idempotent, signal-safe: wakes the accept loop and shuts down open
+    connections so handler threads drain. *)
+
+val install_sigint : t -> unit

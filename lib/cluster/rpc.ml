@@ -1,0 +1,99 @@
+module P = Delphic_server.Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  host : string;
+  port : int;
+}
+
+let address t = Printf.sprintf "%s:%d" t.host t.port
+
+(* A write to a worker that died mid-conversation must surface as EPIPE
+   (caught in [send]), not kill the whole coordinator process. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> Error (Printf.sprintf "no address for %S" host)
+    | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+    | exception Not_found -> Error (Printf.sprintf "cannot resolve %S" host))
+
+let connect ~host ~port ~timeout =
+  Lazy.force ignore_sigpipe;
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let fail e =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
+    in
+    (* Nonblocking connect bounded by select: a plain connect can hang for
+       minutes on an unreachable host, far beyond any useful RPC budget. *)
+    Unix.set_nonblock fd;
+    match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ fd ] [] timeout with
+      | _, [ _ ], _ -> (
+        match Unix.getsockopt_error fd with
+        | None ->
+          Unix.clear_nonblock fd;
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+          Ok
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+              host;
+              port;
+            }
+        | Some e -> fail e)
+      | _ -> fail Unix.ETIMEDOUT
+      | exception Unix.Unix_error (e, _, _) -> fail e)
+    | exception Unix.Unix_error (e, _, _) -> fail e
+    | () ->
+      (* loopback can connect synchronously even in nonblocking mode *)
+      Unix.clear_nonblock fd;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          host;
+          port;
+        })
+
+let send t req =
+  match
+    output_string t.oc (P.render_request req);
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let recv t =
+  match input_line t.ic with
+  | line -> Result.map_error (fun msg -> msg) (P.parse_response line)
+  | exception End_of_file -> Error "connection closed by peer"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let call t req = Result.bind (send t req) (fun () -> recv t)
+
+let close t =
+  (* close_in would close the shared fd twice via the out channel *)
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

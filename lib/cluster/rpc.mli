@@ -1,0 +1,31 @@
+(** One client connection to a worker, speaking the line protocol of
+    {!Delphic_server.Protocol} with every blocking step bounded by a
+    deadline.
+
+    The coordinator cannot afford an unbounded stall on one worker while
+    the others idle: {!connect} uses a nonblocking connect raced against
+    [select], and the established socket carries [SO_RCVTIMEO]/[SO_SNDTIMEO]
+    so {!send}/{!recv} fail with [Error] after [timeout] seconds instead of
+    hanging.  All failures are [Error message] — never exceptions — so the
+    caller's retry/quarantine logic sees every outcome. *)
+
+type t
+
+val connect : host:string -> port:int -> timeout:float -> (t, string) result
+
+val address : t -> string
+(** ["host:port"], for log and error messages. *)
+
+val call : t -> Delphic_server.Protocol.request -> (Delphic_server.Protocol.response, string) result
+(** [send] then [recv]: the one-outstanding-request case. *)
+
+val send : t -> Delphic_server.Protocol.request -> (unit, string) result
+(** Write one request without waiting for the reply — the pipelined scatter
+    path.  Replies arrive in request order via {!recv}. *)
+
+val recv : t -> (Delphic_server.Protocol.response, string) result
+(** [Error] on timeout, closed connection, or an unparseable reply line. *)
+
+val close : t -> unit
+(** Idempotent; shuts down both directions first so a blocked peer sees
+    EOF. *)

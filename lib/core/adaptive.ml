@@ -142,6 +142,52 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       Printf.sprintf "sketch (max bucket %d, %d sets skipped)" (max_bucket_size t)
         (skipped_sets t)
 
+  (* Sharded-stream merge of two adaptive estimators over the same family
+     and parameters.  Exact tables union while both sides are exact and the
+     result fits the budget; otherwise the merged estimator runs on the
+     merged sketch (which has been fed both shards' whole streams from the
+     start, so nothing is lost in the hand-over — same argument as
+     process's own transition). *)
+  let merge a b ~seed =
+    if
+      a.epsilon <> b.epsilon || a.delta <> b.delta
+      || a.log2_universe <> b.log2_universe
+      || a.mode <> b.mode || a.capacity <> b.capacity
+    then invalid_arg "Adaptive.merge: parameter mismatch";
+    let sketch =
+      match (a.sketch, b.sketch) with
+      | Some x, Some y -> Some (Vatic.merge x y ~seed:(seed + 1))
+      | None, None -> None
+      | _ -> invalid_arg "Adaptive.merge: sketch presence mismatch"
+    in
+    let t =
+      {
+        mode = a.mode;
+        epsilon = a.epsilon;
+        delta = a.delta;
+        log2_universe = a.log2_universe;
+        capacity = a.capacity;
+        coupon_factor = a.coupon_factor;
+        rng = Rng.create ~seed;
+        exact = Tbl.create 256;
+        exact_active = a.exact_active && b.exact_active;
+        sketch;
+        items = a.items + b.items;
+      }
+    in
+    if t.exact_active then begin
+      Tbl.iter (fun x () -> Tbl.replace t.exact x ()) a.exact;
+      Tbl.iter (fun x () -> Tbl.replace t.exact x ()) b.exact;
+      if Tbl.length t.exact > t.capacity then begin
+        if Option.is_none t.sketch then
+          failwith
+            "Adaptive.merge: merged union exceeds exact capacity on a universe too small for sketching"
+        else deactivate t
+      end
+    end
+    else t.exact <- Tbl.create 1;
+    t
+
   type sketch_snapshot = {
     capacity_scale : float;
     coupon_scale : float;

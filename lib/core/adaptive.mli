@@ -97,4 +97,13 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
   val restore : snapshot -> seed:int -> t
   (** Raises [Invalid_argument] on internally inconsistent snapshots (e.g.
       sketch mode without a sketch, or parameters {!create} would refuse). *)
+
+  val merge : t -> t -> seed:int -> t
+  (** Sharded-stream merge (the cluster's gather/fold step): exact tables
+      union while both sides are exact and the result fits the budget,
+      otherwise the merged estimator runs on {!Vatic.Make.merge} of the two
+      shadow sketches — which saw both shards' whole streams, so the
+      hand-over loses nothing.  Inputs are unchanged.  Raises
+      [Invalid_argument] on a parameter mismatch, [Failure] if an exact-only
+      (unsketchable) union outgrows the budget. *)
 end

@@ -39,3 +39,14 @@ let estimate t =
 
 let k t = t.k
 let size t = Fset.cardinal t.heap
+
+(* Exact merge: both sketches hash with the same (fixed) function, so the
+   union of the two heaps is precisely the sketch of the concatenated
+   streams — keep the k smallest of the union. *)
+let merge a b =
+  if a.k <> b.k then invalid_arg "Bottom_k.merge: sketches have different k";
+  let heap = ref (Fset.union a.heap b.heap) in
+  while Fset.cardinal !heap > a.k do
+    heap := Fset.remove (Fset.max_elt !heap) !heap
+  done;
+  { k = a.k; heap = !heap }

@@ -17,3 +17,9 @@ val estimate : t -> float
 val k : t -> int
 val size : t -> int
 (** Number of hash values currently retained (≤ k). *)
+
+val merge : t -> t -> t
+(** Exact (lossless) merge: the hash function is shared, so keeping the [k]
+    smallest of the union of the two heaps is precisely the sketch of the
+    concatenated streams — deterministic, commutative, idempotent.  Both
+    sketches must share [k]. *)

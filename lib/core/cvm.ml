@@ -43,3 +43,51 @@ let add t x =
   end
 
 let estimate t = Float.ldexp (float_of_int (buffer_size t)) t.level
+
+(* Sharded-stream merge: downsample both buffers to the common minimum
+   probability (the larger level), union with dedup, and re-apply the
+   threshold rule so the merged buffer obeys the same invariant.  Merging
+   with an empty sketch is the exact identity; elements surviving in both
+   shards are deduplicated (the same caveat as Vatic.merge applies: the
+   inclusion coins are independent across shards). *)
+let merge a b ~seed =
+  if a.thresh <> b.thresh then invalid_arg "Cvm.merge: sketches have different thresh";
+  let t =
+    {
+      thresh = a.thresh;
+      rng = Rng.create ~seed;
+      buffer = Hashtbl.create (2 * a.thresh);
+      level = 0;
+    }
+  in
+  if buffer_size a = 0 then begin
+    Hashtbl.iter (fun x () -> Hashtbl.replace t.buffer x ()) b.buffer;
+    t.level <- b.level
+  end
+  else if buffer_size b = 0 then begin
+    Hashtbl.iter (fun x () -> Hashtbl.replace t.buffer x ()) a.buffer;
+    t.level <- a.level
+  end
+  else begin
+    let l0 = Stdlib.max a.level b.level in
+    let absorb src =
+      Hashtbl.iter
+        (fun x () ->
+          if
+            (not (Hashtbl.mem t.buffer x))
+            && Rng.bernoulli t.rng (Float.ldexp 1.0 (src.level - l0))
+          then Hashtbl.replace t.buffer x ())
+        src.buffer
+    in
+    absorb a;
+    absorb b;
+    t.level <- l0;
+    while Hashtbl.length t.buffer >= t.thresh do
+      let doomed =
+        Hashtbl.fold (fun y () acc -> if Rng.bool t.rng then y :: acc else acc) t.buffer []
+      in
+      List.iter (Hashtbl.remove t.buffer) doomed;
+      t.level <- t.level + 1
+    done
+  end;
+  t

@@ -23,3 +23,10 @@ val buffer_size : t -> int
 val thresh : t -> int
 val level : t -> int
 (** Number of halvings so far. *)
+
+val merge : t -> t -> seed:int -> t
+(** Sharded-stream merge: downsample both buffers to the common minimum
+    probability, union with dedup, re-apply the threshold rule.  Inputs are
+    unchanged; the result draws coins from [seed].  Merging with an empty
+    sketch is the exact identity.  Both sketches must share [thresh]
+    ([Invalid_argument] otherwise). *)

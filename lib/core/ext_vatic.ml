@@ -295,4 +295,57 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     t.cardinality_calls <- s.calls.cardinality;
     t.sampling_calls <- s.calls.sampling;
     t
+
+  (* Same merge semantics as Vatic.merge, expressed in halving counts j
+     (p = p_init·2^-j): downsample both buckets to the common minimum rate
+     j0, union with dedup, re-apply the capacity/halving rule of process
+     (stopping at the probability floor rather than discarding data). *)
+  let merge (a : t) (b : t) ~seed =
+    if
+      a.epsilon <> b.epsilon || a.delta <> b.delta
+      || a.log2_universe <> b.log2_universe
+      || a.alpha <> b.alpha || a.gamma <> b.gamma || a.eta <> b.eta
+      || a.mode <> b.mode
+      || a.bucket_capacity <> b.bucket_capacity
+    then invalid_arg "Ext_vatic.merge: parameter mismatch";
+    let t =
+      create ~mode:a.mode ~epsilon:a.epsilon ~delta:a.delta
+        ~log2_universe:a.log2_universe ~alpha:a.alpha ~gamma:a.gamma ~eta:a.eta ~seed ()
+    in
+    (if bucket_size a = 0 then Tbl.iter (fun x j -> Tbl.replace t.bucket x j) b.bucket
+     else if bucket_size b = 0 then
+       Tbl.iter (fun x j -> Tbl.replace t.bucket x j) a.bucket
+     else begin
+       let max_j acc_t = Tbl.fold (fun _ j acc -> Stdlib.max j acc) acc_t.bucket 0 in
+       let j0 = ref (Stdlib.max (max_j a) (max_j b)) in
+       let absorb src =
+         Tbl.iter
+           (fun x j ->
+             if
+               (not (Tbl.mem t.bucket x))
+               && Rng.bernoulli t.rng (Float.ldexp 1.0 (j - !j0))
+             then Tbl.replace t.bucket x !j0)
+           src.bucket
+       in
+       absorb a;
+       absorb b;
+       let capacity = float_of_int t.bucket_capacity in
+       let log2p () = t.log2_p_init -. float_of_int !j0 in
+       let needed () = Float.ceil (float_of_int (bucket_size t) /. capacity) in
+       while log2p () > -.(needed ()) && log2p () -. 1.0 >= t.log2_p_min do
+         incr j0;
+         let survivors =
+           Tbl.fold (fun x _ acc -> if Rng.bool t.rng then x :: acc else acc) t.bucket []
+         in
+         Tbl.reset t.bucket;
+         List.iter (fun x -> Tbl.replace t.bucket x !j0) survivors
+       done
+     end);
+    t.items <- a.items + b.items;
+    t.max_bucket <- Stdlib.max (Stdlib.max a.max_bucket b.max_bucket) (bucket_size t);
+    t.skipped <- a.skipped + b.skipped;
+    t.membership_calls <- a.membership_calls + b.membership_calls;
+    t.cardinality_calls <- a.cardinality_calls + b.cardinality_calls;
+    t.sampling_calls <- a.sampling_calls + b.sampling_calls;
+    t
 end

@@ -83,4 +83,12 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
 
   val snapshot : t -> snapshot
   val restore : snapshot -> seed:int -> t
+
+  val merge : t -> t -> seed:int -> t
+  (** Sharded-stream union, same contract and caveats as
+      {!Vatic.Make.merge} expressed in halving counts: downsample both
+      buckets to the common minimum rate [j₀], union with dedup, re-apply
+      the capacity/halving rule.  Merging with an empty sketch is the exact
+      identity on the bucket.  Raises [Invalid_argument] on an
+      [(ε, δ, log2|Ω|, α, γ, η, mode)] mismatch. *)
 end

@@ -18,12 +18,13 @@ type t = {
   log2_universe : float;
   exact_capacity : int;
   items : int;
+  merges : int;
   exact_active : bool;
   exact_entries : string list;
   sketch : sketch option;
 }
 
-let version = 1
+let version = 2
 let magic = "delphic-snapshot"
 
 let string_of_mode = function Params.Paper -> "paper" | Params.Practical -> "practical"
@@ -58,6 +59,7 @@ let encode t =
   line "log2-universe %s" (float_out t.log2_universe);
   line "exact-capacity %d" t.exact_capacity;
   line "items %d" t.items;
+  line "merges %d" t.merges;
   line "exact-active %b" t.exact_active;
   line "exact-entries %d" (List.length t.exact_entries);
   List.iter (fun e -> line "E %s" e) t.exact_entries;
@@ -127,11 +129,13 @@ let decode text =
       read_n (n - 1) f (x :: acc)
   in
   let* header = next () in
-  let* () =
+  let* read_version =
     match String.split_on_char ' ' header with
-    | [ m; v ] when m = magic ->
-      if v = Printf.sprintf "v%d" version then Ok ()
-      else fail "unsupported snapshot version %S (this build reads v%d)" v version
+    | [ m; v ] when m = magic -> (
+      match v with
+      | "v1" -> Ok 1
+      | "v2" -> Ok 2
+      | _ -> fail "unsupported snapshot version %S (this build reads v1..v%d)" v version)
     | _ -> fail "not a delphic snapshot (bad magic line %S)" header
   in
   let* family = keyed "family" in
@@ -141,6 +145,8 @@ let decode text =
   let* log2_universe = float_field "log2-universe" in
   let* exact_capacity = int_field "exact-capacity" in
   let* items = int_field "items" in
+  (* v1 predates merge tracking; those snapshots have never been merged. *)
+  let* merges = if read_version >= 2 then int_field "merges" else Ok 0 in
   let* exact_active = bool_field "exact-active" in
   let* n_exact = int_field "exact-entries" in
   let* () = if n_exact < 0 then fail "negative exact-entries count" else Ok () in
@@ -203,10 +209,53 @@ let decode text =
       log2_universe;
       exact_capacity;
       items;
+      merges;
       exact_active;
       exact_entries;
       sketch;
     }
+
+(* Wire armor: percent-escape the four characters that would break a
+   space-delimited line protocol, turning a whole snapshot into one
+   space-free token that can ride inside a MERGE/SKETCH verb. *)
+
+let to_wire t =
+  let text = encode t in
+  let buf = Buffer.create (String.length text + (String.length text / 4)) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | ' ' -> Buffer.add_string buf "%20"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let of_wire s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec unescape i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 >= n then Error "wire snapshot: truncated percent-escape"
+      else
+        match String.sub s (i + 1) 2 with
+        | "25" -> Buffer.add_char buf '%'; unescape (i + 3)
+        | "0A" -> Buffer.add_char buf '\n'; unescape (i + 3)
+        | "0D" -> Buffer.add_char buf '\r'; unescape (i + 3)
+        | "20" -> Buffer.add_char buf ' '; unescape (i + 3)
+        | esc -> Error (Printf.sprintf "wire snapshot: unknown escape %%%s" esc)
+    else if s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\r' then
+      Error "wire snapshot: unescaped whitespace"
+    else begin
+      Buffer.add_char buf s.[i];
+      unescape (i + 1)
+    end
+  in
+  let* text = unescape 0 in
+  decode text
 
 let save ~path t =
   let tmp = path ^ ".tmp" in

@@ -8,12 +8,15 @@
     its own element codec (see [Delphic_server.Families]) and the text
     format carries everything else.
 
-    Format (v1) is line-oriented and human-inspectable:
+    The format is line-oriented and human-inspectable (v2 shown; v2 added
+    the [merges] line and older v1 snapshots still decode):
 
     {v
-    delphic-snapshot v1
+    delphic-snapshot v2
     family rect
     epsilon 0x1.999999999999ap-3
+    ...
+    merges 0
     ...
     exact-entries 2
     E 3 7
@@ -51,19 +54,32 @@ type t = {
   log2_universe : float;
   exact_capacity : int;  (** the adaptive wrapper's exact-mode budget *)
   items : int;
+  merges : int;
+      (** how many sketch merges produced this state (0 for a single-stream
+          session; v1 snapshots decode with 0) *)
   exact_active : bool;
   exact_entries : string list;  (** encoded elements of the exact table *)
   sketch : sketch option;  (** [None] on universes below the sketching floor *)
 }
 
 val version : int
-(** Current format version (1). *)
+(** Current format version (2).  v2 adds the [merges] line; {!decode} still
+    reads v1 snapshots (with [merges = 0]). *)
 
 val encode : t -> string
 (** Raises [Invalid_argument] if the family token or an encoded element
     contains a newline (elements containing spaces are fine). *)
 
 val decode : string -> (t, string) result
+
+val to_wire : t -> string
+(** {!encode} armored for line protocols: ['%'], [' '], ['\n'] and ['\r']
+    are percent-escaped ([%25]/[%20]/[%0A]/[%0D]), so the result is a single
+    space-free token that can ride inside a [MERGE]/[SKETCH] verb. *)
+
+val of_wire : string -> (t, string) result
+(** Inverse of {!to_wire}: [of_wire (to_wire s) = Ok s].  Unknown escapes,
+    truncated escapes and raw whitespace are [Error]s, never exceptions. *)
 
 val save : path:string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"] then renames, so a crash mid-write never

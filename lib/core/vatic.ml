@@ -218,4 +218,68 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     t.cardinality_calls <- s.calls.cardinality;
     t.sampling_calls <- s.calls.sampling;
     t
+
+  (* Sharded-stream union: the two sketches sample disjoint (or overlapping)
+     sub-streams of one logical stream.  Downsample both buckets to the
+     common minimum sampling probability p0 = 2^-l0, union with dedup, then
+     re-apply the capacity/halving rule so the merged bucket obeys the same
+     occupancy invariant a single-stream sketch would.
+
+     Coverage shared between the two shards is double-counted in expectation
+     (inclusion events are independent across shards — there is no shared
+     hash as in theta sketches), so the merged estimate lies between |∪| and
+     the sum of the per-shard union sizes; hash-of-set sharding keeps the
+     gap to the geometric overlap between distinct sets.  A merge with an
+     empty sketch is the exact identity. *)
+  let merge a b ~seed =
+    let pa = a.params and pb = b.params in
+    if
+      pa.Params.epsilon <> pb.Params.epsilon
+      || pa.Params.delta <> pb.Params.delta
+      || pa.Params.log2_universe <> pb.Params.log2_universe
+      || pa.Params.mode <> pb.Params.mode
+      || pa.Params.bucket_capacity <> pb.Params.bucket_capacity
+    then invalid_arg "Vatic.merge: parameter mismatch";
+    let t =
+      create ~mode:pa.Params.mode ~capacity_scale:pa.Params.capacity_scale
+        ~coupon_scale:pa.Params.coupon_scale ~epsilon:pa.Params.epsilon
+        ~delta:pa.Params.delta ~log2_universe:pa.Params.log2_universe ~seed ()
+    in
+    (if bucket_size a = 0 then Tbl.iter (fun x l -> Tbl.replace t.bucket x l) b.bucket
+     else if bucket_size b = 0 then
+       Tbl.iter (fun x l -> Tbl.replace t.bucket x l) a.bucket
+     else begin
+       let l0 = ref (Stdlib.max (min_sampling_level a) (min_sampling_level b)) in
+       let absorb src =
+         Tbl.iter
+           (fun x l ->
+             if
+               (not (Tbl.mem t.bucket x))
+               && Rng.bernoulli t.rng (Float.ldexp 1.0 (l - !l0))
+             then Tbl.replace t.bucket x !l0)
+           src.bucket
+       in
+       absorb a;
+       absorb b;
+       (* Halve until the merged occupancy fits the capacity at its own
+          level, exactly as process does for an insertion; past the
+          probability floor the bucket is kept over-full rather than
+          discarding data. *)
+       let max_level = t.params.Params.max_level in
+       while level_for t (bucket_size t) > !l0 && !l0 < max_level do
+         incr l0;
+         let survivors =
+           Tbl.fold (fun x _ acc -> if Rng.bool t.rng then x :: acc else acc) t.bucket []
+         in
+         Tbl.reset t.bucket;
+         List.iter (fun x -> Tbl.replace t.bucket x !l0) survivors
+       done
+     end);
+    t.items <- a.items + b.items;
+    t.max_bucket <- Stdlib.max (Stdlib.max a.max_bucket b.max_bucket) (bucket_size t);
+    t.skipped <- a.skipped + b.skipped;
+    t.membership_calls <- a.membership_calls + b.membership_calls;
+    t.cardinality_calls <- a.cardinality_calls + b.cardinality_calls;
+    t.sampling_calls <- a.sampling_calls + b.sampling_calls;
+    t
 end

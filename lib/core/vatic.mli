@@ -107,4 +107,29 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
 
   val snapshot : t -> snapshot
   val restore : snapshot -> seed:int -> t
+
+  (** {2 Mergeability}
+
+      The union operation is order- and partition-insensitive, so a stream
+      may be sharded across workers and the per-worker sketches combined —
+      the distributed-streams setting of Dasgupta et al.'s theta-sketch
+      framework, applied to VATIC's level-sampled bucket. *)
+
+  val merge : t -> t -> seed:int -> t
+  (** [merge a b ~seed] is a sketch of the union of the two sharded
+      sub-streams: both buckets are downsampled to the common minimum
+      sampling probability [p₀], unioned with dedup, and the capacity/halving
+      rule is re-applied.  Inputs are unchanged; the result draws future
+      coins from [seed].  Merging with an empty sketch is the exact
+      identity on the bucket.
+
+      Caveat: inclusion events are independent across shards (no shared
+      hash), so coverage shared by both shards is double-counted in
+      expectation at small [p₀] — the estimate lies between [|∪|] and the
+      sum of the shard union sizes.  Shard by hash-of-set so duplicate sets
+      land on one worker and the gap stays bounded by the geometric overlap
+      between {e distinct} sets.
+
+      Raises [Invalid_argument] if the two sketches were built with
+      different [(ε, δ, log2|Ω|, mode, B)] parameters. *)
 end

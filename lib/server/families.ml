@@ -28,7 +28,7 @@ end) =
 struct
   module A = Delphic_core.Adaptive.Make (X.F)
 
-  let to_io ~family_token est =
+  let to_io ~family_token ~merges est =
     let s = A.snapshot est in
     {
       Io.family = family_token;
@@ -37,6 +37,7 @@ struct
       log2_universe = s.A.log2_universe;
       exact_capacity = s.A.exact_capacity;
       items = s.A.items;
+      merges;
       exact_active = s.A.exact_active;
       exact_entries = List.map X.encode_elt s.A.exact_entries;
       sketch =
@@ -237,12 +238,12 @@ let describe = function
   | Dnf_s { est; _ } -> Dnf_b.A.describe est
   | Cov_s { est; _ } -> Cov_b.A.describe est
 
-let to_io t =
+let to_io ?(merges = 0) t =
   let token = family_token t in
   match t with
-  | Rect_s { est; _ } -> Rect_b.to_io ~family_token:token est
-  | Dnf_s { est; _ } -> Dnf_b.to_io ~family_token:token est
-  | Cov_s { est; _ } -> Cov_b.to_io ~family_token:token est
+  | Rect_s { est; _ } -> Rect_b.to_io ~family_token:token ~merges est
+  | Dnf_s { est; _ } -> Dnf_b.to_io ~family_token:token ~merges est
+  | Cov_s { est; _ } -> Cov_b.to_io ~family_token:token ~merges est
 
 let of_io (io : Io.t) ~seed =
   let* family =
@@ -269,3 +270,40 @@ let of_io (io : Io.t) ~seed =
   | Protocol.Cov { nbits; strength } ->
     let* est = Cov_b.of_io ~seed io in
     Ok (Cov_s { est; nbits; strength })
+
+(* The cluster's fold step: combine two same-family sessions.  The
+   estimator-level merge (Adaptive.Make.merge) raises on parameter
+   mismatches; at this layer a family or shape mismatch is an [Error]
+   message the protocol can relay verbatim. *)
+let merge a b ~seed =
+  let guard f =
+    match f () with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error msg
+    | exception Failure msg -> Error msg
+  in
+  match (a, b) with
+  | Rect_s x, Rect_s y -> (
+    match (x.dims, y.dims) with
+    | Some d1, Some d2 when d1 <> d2 ->
+      Error (Printf.sprintf "cannot merge rect sessions of %d and %d dimensions" d1 d2)
+    | _ ->
+      let dims = match x.dims with Some _ -> x.dims | None -> y.dims in
+      guard (fun () -> Rect_s { est = Rect_b.A.merge x.est y.est ~seed; dims }))
+  | Dnf_s x, Dnf_s y ->
+    if x.nvars <> y.nvars then
+      Error (Printf.sprintf "cannot merge dnf:%d with dnf:%d" x.nvars y.nvars)
+    else guard (fun () -> Dnf_s { est = Dnf_b.A.merge x.est y.est ~seed; nvars = x.nvars })
+  | Cov_s x, Cov_s y ->
+    if x.nbits <> y.nbits || x.strength <> y.strength then
+      Error
+        (Printf.sprintf "cannot merge cov:%d:%d with cov:%d:%d" x.nbits x.strength
+           y.nbits y.strength)
+    else
+      guard (fun () ->
+          Cov_s
+            { est = Cov_b.A.merge x.est y.est ~seed; nbits = x.nbits; strength = x.strength })
+  | _ ->
+    Error
+      (Printf.sprintf "cannot merge a %s session with a %s session" (family_token a)
+         (family_token b))

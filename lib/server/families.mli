@@ -40,8 +40,16 @@ val is_exact : t -> bool
 
 val describe : t -> string
 
-val to_io : t -> Delphic_core.Snapshot_io.t
+val to_io : ?merges:int -> t -> Delphic_core.Snapshot_io.t
+(** [merges] (default 0) stamps the snapshot's merge count — the session
+    registry tracks it, not the estimator. *)
 
 val of_io : Delphic_core.Snapshot_io.t -> seed:int -> (t, string) result
 (** Rebuild a session from a decoded snapshot; [Error] on an unknown family
-    token, an undecodable element, or parameters the estimator refuses. *)
+    token, an undecodable element, or parameters the estimator refuses.
+    The snapshot's [merges] count is the caller's to keep. *)
+
+val merge : t -> t -> seed:int -> (t, string) result
+(** Combine two same-family sessions (the cluster coordinator's fold step,
+    see {!Delphic_core.Adaptive.Make.merge} for semantics).  Inputs are
+    unchanged.  [Error] on a family, shape, or parameter mismatch. *)

@@ -16,6 +16,8 @@ type request =
   | Stats of { session : string }
   | Snapshot of { session : string; path : string }
   | Restore of { session : string; path : string }
+  | Fetch of { session : string }
+  | Merge of { session : string; encoded : string }
   | Close of { session : string }
   | Ping
 
@@ -40,12 +42,14 @@ type stats = {
   exact : bool;
   last_estimate : float;
   parse_rejects : int;
+  merges : int;
 }
 
 type response =
   | Ok_reply of string option
-  | Estimate of float
+  | Estimate of { value : float; degraded : bool }
   | Stats_reply of stats
+  | Sketch of string
   | Pong
   | Error_reply of error
 
@@ -139,16 +143,30 @@ let parse_request line =
           | "STATS" -> Stats { session }
           | _ -> Close { session })
       | _ -> Error (Wrong_arity { command; expected = command ^ " <session>" }))
-    | "SNAPSHOT" | "RESTORE" ->
-      let command = String.uppercase_ascii verb in
+    | "SNAPSHOT" ->
+      (* One token: return the wire-encoded sketch inline (the cluster
+         gather).  Two: persist to a server-side file, as in v1. *)
       let session, path = cut rest in
-      if session = "" || path = "" then
-        Error (Wrong_arity { command; expected = command ^ " <session> <path>" })
+      if session = "" then
+        Error
+          (Wrong_arity { command = "SNAPSHOT"; expected = "SNAPSHOT <session> [<path>]" })
       else
         let* session = parse_session session in
-        Ok
-          (if command = "SNAPSHOT" then Snapshot { session; path }
-           else Restore { session; path })
+        Ok (if path = "" then Fetch { session } else Snapshot { session; path })
+    | "RESTORE" ->
+      let session, path = cut rest in
+      if session = "" || path = "" then
+        Error (Wrong_arity { command = "RESTORE"; expected = "RESTORE <session> <path>" })
+      else
+        let* session = parse_session session in
+        Ok (Restore { session; path })
+    | "MERGE" -> (
+      match tokens rest with
+      | [ session; encoded ] ->
+        let* session = parse_session session in
+        Ok (Merge { session; encoded })
+      | _ ->
+        Error (Wrong_arity { command = "MERGE"; expected = "MERGE <session> <wire-snapshot>" }))
     | _ -> Error (Unknown_command verb)
 
 let render_request = function
@@ -160,12 +178,14 @@ let render_request = function
   | Stats { session } -> "STATS " ^ session
   | Snapshot { session; path } -> Printf.sprintf "SNAPSHOT %s %s" session path
   | Restore { session; path } -> Printf.sprintf "RESTORE %s %s" session path
+  | Fetch { session } -> "SNAPSHOT " ^ session
+  | Merge { session; encoded } -> Printf.sprintf "MERGE %s %s" session encoded
   | Close { session } -> "CLOSE " ^ session
   | Ping -> "PING"
 
 let error_code = function
   | Empty_request -> "EMPTY"
-  | Unknown_command _ -> "UNKNOWN-COMMAND"
+  | Unknown_command _ -> "UNSUPPORTED"
   | Wrong_arity _ -> "ARITY"
   | Bad_number _ -> "BAD-NUMBER"
   | Bad_family _ -> "BAD-FAMILY"
@@ -211,7 +231,8 @@ let parse_error_of_wire code payload =
   let first, rest = cut payload in
   match code with
   | "EMPTY" -> Some Empty_request
-  | "UNKNOWN-COMMAND" -> Some (Unknown_command payload)
+  (* UNKNOWN-COMMAND is the pre-cluster spelling of UNSUPPORTED. *)
+  | "UNSUPPORTED" | "UNKNOWN-COMMAND" -> Some (Unknown_command payload)
   | "ARITY" when first <> "" -> Some (Wrong_arity { command = first; expected = rest })
   | "BAD-NUMBER" when first <> "" -> Some (Bad_number { what = first; value = rest })
   | "BAD-FAMILY" -> Some (Bad_family payload)
@@ -230,12 +251,15 @@ let parse_error_of_wire code payload =
 let render_response = function
   | Ok_reply None -> "OK"
   | Ok_reply (Some info) -> "OK " ^ info
-  | Estimate v -> "EST " ^ float_out v
+  | Estimate { value; degraded } ->
+    "EST " ^ float_out value ^ if degraded then " DEGRADED" else ""
   | Stats_reply s ->
-    Printf.sprintf "STATS family=%s items=%d entries=%d mode=%s estimate=%s rejects=%d"
+    Printf.sprintf
+      "STATS family=%s items=%d entries=%d mode=%s estimate=%s rejects=%d merges=%d"
       s.family s.items s.entries
       (if s.exact then "exact" else "sketch")
-      (float_out s.last_estimate) s.parse_rejects
+      (float_out s.last_estimate) s.parse_rejects s.merges
+  | Sketch encoded -> "SKETCH " ^ encoded
   | Pong -> "PONG"
   | Error_reply e -> Printf.sprintf "ERR %s %s" (error_code e) (error_payload e)
 
@@ -246,9 +270,19 @@ let parse_response line =
   | "OK" -> Ok (Ok_reply (if rest = "" then None else Some rest))
   | "PONG" when rest = "" -> Ok Pong
   | "EST" -> (
-    match float_of_string_opt rest with
-    | Some v -> Ok (Estimate v)
+    let value, degraded =
+      match tokens rest with
+      | [ v; "DEGRADED" ] -> (float_of_string_opt v, true)
+      | [ v ] -> (float_of_string_opt v, false)
+      | _ -> (None, false)
+    in
+    match value with
+    | Some value -> Ok (Estimate { value; degraded })
     | None -> Error (Printf.sprintf "EST: bad float %S" rest))
+  | "SKETCH" ->
+    if rest = "" || String.contains rest ' ' then
+      Error (Printf.sprintf "SKETCH: want exactly one wire-snapshot token, got %S" rest)
+    else Ok (Sketch rest)
   | "STATS" -> (
     let kv tok =
       match String.index_opt tok '=' with
@@ -257,11 +291,16 @@ let parse_response line =
     in
     let assoc = List.filter_map kv (tokens rest) in
     let field k = List.assoc_opt k assoc in
+    (* merges is optional so pre-cluster STATS lines still parse (as 0). *)
+    let merges =
+      match field "merges" with None -> Some 0 | Some v -> int_of_string_opt v
+    in
     match
       (field "family", field "items", field "entries", field "mode", field "estimate",
-       field "rejects")
+       field "rejects", merges)
     with
-    | Some family, Some items, Some entries, Some mode, Some estimate, Some rejects -> (
+    | Some family, Some items, Some entries, Some mode, Some estimate, Some rejects,
+      Some merges -> (
       match
         (int_of_string_opt items, int_of_string_opt entries, float_of_string_opt estimate,
          int_of_string_opt rejects, mode)
@@ -270,7 +309,15 @@ let parse_response line =
         ("exact" | "sketch") ->
         Ok
           (Stats_reply
-             { family; items; entries; exact = mode = "exact"; last_estimate; parse_rejects })
+             {
+               family;
+               items;
+               entries;
+               exact = mode = "exact";
+               last_estimate;
+               parse_rejects;
+               merges;
+             })
       | _ -> Error (Printf.sprintf "STATS: malformed fields in %S" rest))
     | _ -> Error (Printf.sprintf "STATS: missing fields in %S" rest))
   | "ERR" -> (

@@ -11,10 +11,17 @@
     EST <session>                                   current union-size estimate
     STATS <session>                                 session counters
     SNAPSHOT <session> <path>                       persist the session to a file
+    SNAPSHOT <session>                              reply with the wire-encoded sketch
     RESTORE <session> <path>                        open a session from a snapshot
+    MERGE <session> <wire-snapshot>                 fold a peer's sketch into the session
     CLOSE <session>                                 drop the session
     PING                                            liveness probe
     v}
+
+    [SNAPSHOT] with no path ({!Fetch}) and [MERGE] are the cluster verbs:
+    any server can act as a worker, shipping its sketch to a coordinator as
+    the single space-free token of {!Delphic_core.Snapshot_io.to_wire}, or
+    absorbing a peer's.
 
     [<family>] is [rect] (axis-parallel boxes, dimension fixed by the first
     [ADD]), [dnf:<nvars>] (DIMACS-style terms), or [cov:<nbits>:<strength>]
@@ -44,6 +51,11 @@ type request =
   | Stats of { session : string }
   | Snapshot of { session : string; path : string }
   | Restore of { session : string; path : string }
+  | Fetch of { session : string }
+      (** wire form [SNAPSHOT <session>] — the sketch comes back inline as a
+          {!Sketch} reply instead of being written server-side *)
+  | Merge of { session : string; encoded : string }
+      (** [encoded] is a {!Delphic_core.Snapshot_io.to_wire} token *)
   | Close of { session : string }
   | Ping
 
@@ -71,12 +83,16 @@ type stats = {
   exact : bool;  (** still in the exact regime? *)
   last_estimate : float;  (** estimate at the last [EST] (0 before any) *)
   parse_rejects : int;  (** [ADD] lines rejected so far *)
+  merges : int;  (** peer sketches folded in via [MERGE] *)
 }
 
 type response =
   | Ok_reply of string option
-  | Estimate of float
+  | Estimate of { value : float; degraded : bool }
+      (** [degraded] renders as a trailing [DEGRADED] token — set by a
+          coordinator answering from stale snapshots after losing a worker *)
   | Stats_reply of stats
+  | Sketch of string  (** [SKETCH <wire-snapshot>], the reply to {!Fetch} *)
   | Pong
   | Error_reply of error
 
@@ -102,7 +118,10 @@ val parse_response : string -> (response, string) result
 (** Inverse of {!render_response}; used by the [delphic query] client. *)
 
 val error_code : error -> string
-(** The wire code, e.g. ["UNKNOWN-SESSION"] — stable, scriptable. *)
+(** The wire code, e.g. ["UNKNOWN-SESSION"] — stable, scriptable.  An
+    unrecognised verb is [ERR UNSUPPORTED <verb>] (the server replies and
+    keeps the connection open rather than dropping it); {!parse_response}
+    also accepts the pre-cluster spelling [UNKNOWN-COMMAND]. *)
 
 val describe_error : error -> string
 (** Human-readable one-line description (no code prefix). *)

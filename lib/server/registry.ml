@@ -2,10 +2,11 @@ module Io = Delphic_core.Snapshot_io
 module Parsers = Delphic_stream.Parsers
 
 type session = {
-  runner : Families.t;
+  mutable runner : Families.t;  (* replaced wholesale by MERGE *)
   mutable adds : int;  (* ADD attempts, the per-session line counter *)
   mutable parse_rejects : int;
   mutable last_estimate : float;
+  mutable merges : int;
 }
 
 type t = {
@@ -38,7 +39,7 @@ let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
         | Error msg -> Error (Protocol.Bad_params msg)
         | Ok runner ->
           Hashtbl.replace t.sessions name
-            { runner; adds = 0; parse_rejects = 0; last_estimate = 0.0 };
+            { runner; adds = 0; parse_rejects = 0; last_estimate = 0.0; merges = 0 };
           Ok ())
 
 let add t ~name ~payload =
@@ -75,6 +76,7 @@ let stats t ~name =
             exact = Families.is_exact s.runner;
             last_estimate = s.last_estimate;
             parse_rejects = s.parse_rejects;
+            merges = s.merges;
           })
 
 let close t ~name =
@@ -86,7 +88,7 @@ let close t ~name =
         Ok ())
 
 let snapshot_session s ~path =
-  match Io.save ~path (Families.to_io s.runner) with
+  match Io.save ~path (Families.to_io ~merges:s.merges s.runner) with
   | () -> Ok ()
   | exception Sys_error msg -> Error (Protocol.Io_error msg)
   | exception Invalid_argument msg -> Error (Protocol.Server_error msg)
@@ -94,6 +96,34 @@ let snapshot_session s ~path =
 let snapshot_to t ~name ~path =
   with_lock t (fun () ->
       match find t name with Error e -> Error e | Ok s -> snapshot_session s ~path)
+
+let fetch t ~name =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok s -> (
+        match Io.to_wire (Families.to_io ~merges:s.merges s.runner) with
+        | encoded -> Ok encoded
+        | exception Invalid_argument msg -> Error (Protocol.Server_error msg)))
+
+let merge_in t ~name ~encoded =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok s -> (
+        match Io.of_wire encoded with
+        | Error msg -> Error (Protocol.Bad_params msg)
+        | Ok io -> (
+          match Families.of_io io ~seed:(next_seed t) with
+          | Error msg -> Error (Protocol.Bad_params msg)
+          | Ok other -> (
+            match Families.merge s.runner other ~seed:(next_seed t) with
+            | Error msg -> Error (Protocol.Bad_params msg)
+            | Ok merged ->
+              s.runner <- merged;
+              s.adds <- s.adds + io.Io.items;
+              s.merges <- s.merges + 1 + io.Io.merges;
+              Ok ()))))
 
 let restore_session t ~name ~path =
   (* caller holds the lock *)
@@ -106,7 +136,13 @@ let restore_session t ~name ~path =
       | Error msg -> Error (Protocol.Io_error msg)
       | Ok runner ->
         Hashtbl.replace t.sessions name
-          { runner; adds = io.Io.items; parse_rejects = 0; last_estimate = 0.0 };
+          {
+            runner;
+            adds = io.Io.items;
+            parse_rejects = 0;
+            last_estimate = 0.0;
+            merges = io.Io.merges;
+          };
         Ok ())
 
 let restore_from t ~name ~path = with_lock t (fun () -> restore_session t ~name ~path)
@@ -167,7 +203,10 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   | Protocol.Add { session; payload } ->
     reply (Result.map (fun () -> Protocol.Ok_reply None) (add t ~name:session ~payload))
   | Protocol.Est { session } ->
-    reply (Result.map (fun v -> Protocol.Estimate v) (estimate t ~name:session))
+    reply
+      (Result.map
+         (fun value -> Protocol.Estimate { value; degraded = false })
+         (estimate t ~name:session))
   | Protocol.Stats { session } ->
     reply (Result.map (fun s -> Protocol.Stats_reply s) (stats t ~name:session))
   | Protocol.Snapshot { session; path } ->
@@ -180,5 +219,12 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       (Result.map
          (fun () -> Protocol.Ok_reply (Some ("restored " ^ session)))
          (restore_from t ~name:session ~path))
+  | Protocol.Fetch { session } ->
+    reply (Result.map (fun encoded -> Protocol.Sketch encoded) (fetch t ~name:session))
+  | Protocol.Merge { session; encoded } ->
+    reply
+      (Result.map
+         (fun () -> Protocol.Ok_reply (Some ("merged into " ^ session)))
+         (merge_in t ~name:session ~encoded))
   | Protocol.Close { session } ->
     reply (Result.map (fun () -> Protocol.Ok_reply (Some ("closed " ^ session))) (close t ~name:session))

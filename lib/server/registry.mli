@@ -42,6 +42,16 @@ val snapshot_to : t -> name:string -> path:string -> (unit, Protocol.error) resu
 val restore_from : t -> name:string -> path:string -> (unit, Protocol.error) result
 (** Opens session [name] from a snapshot file; fails if the name is taken. *)
 
+val fetch : t -> name:string -> (string, Protocol.error) result
+(** The session's state as one {!Delphic_core.Snapshot_io.to_wire} token —
+    the worker half of the cluster's gather step. *)
+
+val merge_in : t -> name:string -> encoded:string -> (unit, Protocol.error) result
+(** Fold a wire-encoded peer sketch into session [name]
+    ({!Families.merge} semantics); the session's item and merge counters
+    absorb the peer's.  [Error (Bad_params _)] on an undecodable token or a
+    family/parameter mismatch, leaving the session untouched. *)
+
 val names : t -> string list
 
 val snapshot_all : t -> dir:string -> (string * (string, string) result) list

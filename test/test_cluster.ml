@@ -1,0 +1,202 @@
+(* Loopback end-to-end test of the sharded cluster: three real worker
+   servers, a real coordinator, real sockets.  Streams a rect workload
+   through the scatter path, checks the gathered estimate against exact
+   truth, then kills a worker mid-stream and checks the cluster keeps
+   answering — flagged degraded, still inside the envelope. *)
+
+module Server = Delphic_server.Server
+module P = Delphic_server.Protocol
+module Coordinator = Delphic_cluster.Coordinator
+module Frontend = Delphic_cluster.Frontend
+module Rng = Delphic_util.Rng
+module Bigint = Delphic_util.Bigint
+module Rectangle = Delphic_sets.Rectangle
+module Exact = Delphic_sets.Exact
+module Workload = Delphic_stream.Workload
+
+let spool n =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "delphic-cluster-spool-%d-%d" (Unix.getpid ()) n)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let start_worker n ~seed =
+  rm_rf (spool n);
+  let s = Server.create ~port:0 ~spool:(spool n) ~seed () in
+  let th = Server.start s in
+  (s, th)
+
+let stop_worker (s, th) =
+  Server.request_stop s;
+  Thread.join th
+
+let payload_of box =
+  let lo = Rectangle.lo box and hi = Rectangle.hi box in
+  let b = Buffer.create 32 in
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (Printf.sprintf "%d %d" l hi.(i)))
+    lo;
+  Buffer.contents b
+
+let truth boxes = Bigint.to_float (Exact.rectangle_union boxes)
+
+let check_close name est t =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.0f within tolerance of %.0f" name est t)
+    true
+    (Float.abs (est -. t) <= 0.3 *. t)
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+    Alcotest.failf "unexpected error: %s"
+      (P.render_response (P.Error_reply e))
+
+let test_scatter_gather_failover () =
+  let workers = List.init 3 (fun n -> start_worker n ~seed:(100 + n)) in
+  let addrs = List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers in
+  let coord =
+    Coordinator.create ~sharding:Coordinator.By_hash ~timeout:5.0
+      ~backoff:0.01 ~workers:addrs ~seed:4242 ()
+  in
+  let gen = Rng.create ~seed:31 in
+  let first =
+    Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:300
+      ~max_side:400
+  in
+  let rest =
+    Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:120
+      ~max_side:400
+  in
+  ok
+    (Coordinator.open_session coord ~name:"e2e" ~family:P.Rect ~epsilon:0.2
+       ~delta:0.1 ~log2_universe:34.0);
+  Alcotest.(check int) "all workers reached by OPEN" 3
+    (Coordinator.live_workers coord);
+
+  (* phase 1: a duplicate-heavy stream sharded across three live workers *)
+  let stream = Workload.Orders.bursty ~copies:20 first in
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"e2e" ~payload:(payload_of b)))
+    stream;
+  let est, degraded = ok (Coordinator.estimate coord ~name:"e2e") in
+  Alcotest.(check bool) "not degraded with all workers up" false degraded;
+  check_close "phase 1" est (truth first);
+
+  let st = ok (Coordinator.stats coord ~name:"e2e") in
+  Alcotest.(check int) "every add accounted for" (List.length stream)
+    st.P.items;
+
+  (* kill the middle worker; its sketch survives as the coordinator's
+     last good snapshot from the phase-1 gather *)
+  stop_worker (List.nth workers 1);
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"e2e" ~payload:(payload_of b)))
+    (Workload.Orders.bursty ~copies:10 rest);
+  let est2, degraded2 = ok (Coordinator.estimate coord ~name:"e2e") in
+  Alcotest.(check bool) "degraded after losing a worker" true degraded2;
+  check_close "phase 2" est2 (truth (first @ rest));
+
+  (* the folded sketch round-trips as one wire token: cluster-of-clusters *)
+  let encoded = ok (Coordinator.fetch coord ~name:"e2e") in
+  Alcotest.(check bool) "sketch is one space-free token" true
+    (String.length encoded > 0
+    && not (String.exists (fun c -> c = ' ' || c = '\n') encoded));
+
+  (* a sketch built outside the pool joins the union through MERGE *)
+  let extra =
+    Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:120
+      ~max_side:400
+  in
+  let outsider, oth = start_worker 3 ~seed:555 in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port outsider));
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let rpc line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  Alcotest.(check string) "outsider open" "OK opened e2e"
+    (rpc "OPEN e2e rect 0.2 0.1 34");
+  List.iter (fun b -> ignore (rpc ("ADD e2e " ^ payload_of b))) extra;
+  let sketch = rpc "SNAPSHOT e2e" in
+  Alcotest.(check bool) "outsider sketch" true
+    (String.length sketch > 7 && String.sub sketch 0 7 = "SKETCH ");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  stop_worker (outsider, oth);
+  rm_rf (spool 3);
+  let token = String.sub sketch 7 (String.length sketch - 7) in
+  ok (Coordinator.merge_in coord ~name:"e2e" ~encoded:token);
+  let est3, _ = ok (Coordinator.estimate coord ~name:"e2e") in
+  check_close "external sketch folded in" est3 (truth (first @ rest @ extra));
+
+  ok (Coordinator.close coord ~name:"e2e");
+  Coordinator.shutdown coord;
+  stop_worker (List.nth workers 0);
+  stop_worker (List.nth workers 2);
+  List.iteri (fun n _ -> rm_rf (spool n)) workers
+
+(* The same line protocol end to end: a Frontend serving
+   Coordinator.dispatch over TCP, exercised with a raw socket like any
+   client would — including the UNSUPPORTED-verb reply. *)
+let test_frontend_protocol () =
+  let workers = List.init 2 (fun n -> start_worker (10 + n) ~seed:(200 + n)) in
+  let addrs = List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers in
+  let coord = Coordinator.create ~timeout:5.0 ~workers:addrs ~seed:7 () in
+  let fe =
+    Frontend.create ~port:0 ~dispatch:(Coordinator.dispatch coord) ()
+  in
+  let th = Frontend.start fe in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Frontend.port fe));
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let rpc line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  in
+  Alcotest.(check string) "ping" "PONG" (rpc "PING");
+  Alcotest.(check string) "open" "OK opened c1" (rpc "OPEN c1 rect 0.3 0.2 20");
+  Alcotest.(check string) "add" "OK" (rpc "ADD c1 0 9 0 9");
+  Alcotest.(check string) "add 2" "OK" (rpc "ADD c1 5 14 0 9");
+  Alcotest.(check string) "exact estimate" "EST 150" (rpc "EST c1");
+  let reply = rpc "FROB c1" in
+  Alcotest.(check string) "unsupported verb" "ERR UNSUPPORTED FROB" reply;
+  Alcotest.(check string) "still serving after bad verb" "PONG" (rpc "PING");
+  (* SNAPSHOT <sid> gathers; MERGE feeds it back through a worker *)
+  let sketch = rpc "SNAPSHOT c1" in
+  Alcotest.(check bool)
+    (Printf.sprintf "sketch reply (%s)" sketch)
+    true
+    (String.length sketch > 7 && String.sub sketch 0 7 = "SKETCH ");
+  let token = String.sub sketch 7 (String.length sketch - 7) in
+  Alcotest.(check string) "merge back" "OK merged into c1"
+    (rpc ("MERGE c1 " ^ token));
+  Alcotest.(check string) "estimate unchanged by self-merge" "EST 150"
+    (rpc "EST c1");
+  Alcotest.(check string) "close" "OK closed c1" (rpc "CLOSE c1");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Frontend.request_stop fe;
+  Thread.join th;
+  Coordinator.shutdown coord;
+  List.iter stop_worker workers;
+  List.iteri (fun n _ -> rm_rf (spool (10 + n))) workers
+
+let suite =
+  [
+    Alcotest.test_case "scatter/gather with mid-stream worker loss" `Quick
+      test_scatter_gather_failover;
+    Alcotest.test_case "frontend speaks the full protocol" `Quick
+      test_frontend_protocol;
+  ]

@@ -27,8 +27,10 @@ let () =
       ("xor-sketch", Test_xor_sketch.suite);
       ("parsers", Test_parsers.suite);
       ("snapshot-io", Test_snapshot_io.suite);
+      ("merge", Test_merge.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);

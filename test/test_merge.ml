@@ -1,0 +1,222 @@
+(* Merge algebra for the mergeable sketches (the cluster's gather/fold
+   step).  The deterministic sketches (bottom-k, HyperLogLog) obey the
+   full semilattice laws exactly; the coin-flipping ones (VATIC, CVM)
+   are checked for the exact laws they do guarantee — merge-with-empty
+   identity, parameter-mismatch rejection — and for the law that matters
+   to the cluster: a k-way sharded stream folds to an estimate inside
+   the same (ε, δ) envelope as the single-stream run. *)
+
+module Rng = Delphic_util.Rng
+module B = Delphic_util.Bigint
+module Workload = Delphic_stream.Workload
+module Exact = Delphic_sets.Exact
+module Bottom_k = Delphic_core.Bottom_k
+module Hll = Delphic_core.Hyperloglog
+module Cvm = Delphic_core.Cvm
+module V_rect = Delphic_core.Vatic.Make (Delphic_sets.Rectangle)
+
+let gen_values =
+  QCheck.Gen.(list_size (int_range 0 400) (int_range 0 5_000))
+
+let arb_two_streams =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%d values, %d values)" (List.length a) (List.length b))
+    QCheck.Gen.(pair gen_values gen_values)
+
+(* Bottom-k shares its hash function across instances, so merge is a
+   true semilattice join: commutative, associative, idempotent. *)
+let prop_bottom_k_lattice =
+  QCheck.Test.make ~name:"bottom-k merge: commutative + idempotent" ~count:100
+    arb_two_streams (fun (xs, ys) ->
+      let sk vs =
+        let t = Bottom_k.create ~k:64 ~epsilon:0.25 () in
+        List.iter (Bottom_k.add t) vs;
+        t
+      in
+      let a = sk xs and b = sk ys in
+      let ab = Bottom_k.estimate (Bottom_k.merge a b)
+      and ba = Bottom_k.estimate (Bottom_k.merge b a)
+      and aa = Bottom_k.estimate (Bottom_k.merge a a) in
+      ab = ba && aa = Bottom_k.estimate a)
+
+let prop_hll_lattice =
+  QCheck.Test.make ~name:"hyperloglog merge: commutative + idempotent"
+    ~count:100 arb_two_streams (fun (xs, ys) ->
+      let sk vs =
+        let t = Hll.create ~bits:8 () in
+        List.iter (Hll.add t) vs;
+        t
+      in
+      let a = sk xs and b = sk ys in
+      let ab = Hll.estimate (Hll.merge a b)
+      and ba = Hll.estimate (Hll.merge b a)
+      and aa = Hll.estimate (Hll.merge a a) in
+      ab = ba && aa = Hll.estimate a)
+
+(* A merged deterministic sketch equals the sketch of the concatenated
+   stream — the defining property of a lossless merge. *)
+let prop_bottom_k_lossless =
+  QCheck.Test.make ~name:"bottom-k merge = sketch of concatenation" ~count:100
+    arb_two_streams (fun (xs, ys) ->
+      let sk vs =
+        let t = Bottom_k.create ~k:64 ~epsilon:0.25 () in
+        List.iter (Bottom_k.add t) vs;
+        t
+      in
+      Bottom_k.estimate (Bottom_k.merge (sk xs) (sk ys))
+      = Bottom_k.estimate (sk (xs @ ys)))
+
+let rect_pool ?(seed = 11) ?(count = 150) ?(max_side = 400) () =
+  let gen = Rng.create ~seed in
+  Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count ~max_side
+
+let test_vatic_empty_identity () =
+  let pool = rect_pool () in
+  let mk seed =
+    V_rect.create ~epsilon:0.2 ~delta:0.1 ~log2_universe:34.0 ~seed ()
+  in
+  let full = mk 42 in
+  List.iter (V_rect.process full) pool;
+  let empty = mk 977 in
+  (* [estimate] draws fresh subsampling coins, so exact identity is
+     checked on the deterministic Horvitz–Thompson estimator: the
+     empty-side merge copies the bucket (elements and levels) verbatim. *)
+  let ht = V_rect.estimate_horvitz_thompson in
+  let reference = ht full in
+  Alcotest.(check (float 0.0))
+    "merge full empty = full" reference
+    (ht (V_rect.merge full empty ~seed:5));
+  Alcotest.(check (float 0.0))
+    "merge empty full = full" reference
+    (ht (V_rect.merge empty full ~seed:6));
+  Alcotest.(check (float 0.0))
+    "merge empty empty = 0" 0.0
+    (V_rect.estimate (V_rect.merge empty (mk 3) ~seed:7));
+  (* inputs unchanged by the merge *)
+  Alcotest.(check (float 0.0)) "input untouched" reference (ht full)
+
+let test_vatic_param_mismatch () =
+  let mk ~epsilon ~delta ~log2_universe seed =
+    V_rect.create ~epsilon ~delta ~log2_universe ~seed ()
+  in
+  let base = mk ~epsilon:0.2 ~delta:0.1 ~log2_universe:34.0 1 in
+  let check name other =
+    Alcotest.check_raises name
+      (Invalid_argument "Vatic.merge: parameter mismatch") (fun () ->
+        ignore (V_rect.merge base other ~seed:9))
+  in
+  check "epsilon differs" (mk ~epsilon:0.3 ~delta:0.1 ~log2_universe:34.0 2);
+  check "delta differs" (mk ~epsilon:0.2 ~delta:0.2 ~log2_universe:34.0 3);
+  check "universe differs" (mk ~epsilon:0.2 ~delta:0.1 ~log2_universe:20.0 4)
+
+let test_cvm_empty_identity_and_mismatch () =
+  let gen = Rng.create ~seed:88 in
+  let mk seed =
+    Cvm.create ~epsilon:0.2 ~delta:0.1 ~stream_bound:10_000 ~seed ()
+  in
+  let full = mk 1 in
+  for _ = 1 to 2_000 do
+    Cvm.add full (Rng.int gen 3_000)
+  done;
+  let reference = Cvm.estimate full in
+  Alcotest.(check (float 0.0))
+    "merge full empty = full" reference
+    (Cvm.estimate (Cvm.merge full (mk 2) ~seed:5));
+  Alcotest.(check (float 0.0))
+    "merge empty full = full" reference
+    (Cvm.estimate (Cvm.merge (mk 3) full ~seed:6));
+  let other = Cvm.create ~thresh:97 ~epsilon:0.2 ~delta:0.1 ~stream_bound:10_000 ~seed:4 () in
+  Alcotest.check_raises "thresh mismatch"
+    (Invalid_argument "Cvm.merge: sketches have different thresh") (fun () ->
+      ignore (Cvm.merge full other ~seed:7))
+
+(* The cluster law: shard the stream k ways by hash of the set (so
+   duplicate sets collapse onto one shard), run one sketch per shard,
+   fold with merge — the result must sit in the same relative-error
+   envelope as a single-stream run.  Checked on a disjoint-heavy and on
+   an overlapping workload, for both a geometric (rect) and a boolean
+   (DNF) family. *)
+let check_sharded (type s e) ~name ~k ~trials ~epsilon ~log2_universe ~truth
+    ~pool
+    (module F : Delphic_family.Family.FAMILY with type t = s and type elt = e) =
+  let module V = Delphic_core.Vatic.Make (F) in
+  let failures = ref 0 in
+  for i = 0 to trials - 1 do
+    let base = 9_000 + (131 * i) in
+    let shards =
+      Array.init k (fun j ->
+          V.create ~epsilon ~delta:0.2 ~log2_universe ~seed:(base + j) ())
+    in
+    List.iter
+      (fun s -> V.process shards.(Hashtbl.hash s mod k) s)
+      pool;
+    let folded =
+      Array.fold_left
+        (fun acc sk ->
+          match acc with
+          | None -> Some sk
+          | Some prev -> Some (V.merge prev sk ~seed:(base + 71)))
+        None shards
+    in
+    let est = match folded with Some sk -> V.estimate sk | None -> 0.0 in
+    if Float.abs (est -. truth) > epsilon *. truth then incr failures
+  done;
+  (* delta = 0.2 per shard-fold; allow a 25% failure rate as elsewhere. *)
+  if 4 * !failures > trials then
+    Alcotest.failf "%s: %d/%d sharded trials outside epsilon" name !failures
+      trials
+
+let test_sharded_rect_disjoint () =
+  (* small boxes in a huge universe: shards barely overlap *)
+  let pool = Workload.Orders.bursty ~copies:3 (rect_pool ~seed:21 ~count:120 ~max_side:300 ()) in
+  let truth = B.to_float (Exact.rectangle_union pool) in
+  check_sharded ~name:"rect disjoint-heavy" ~k:4 ~trials:10 ~epsilon:0.25
+    ~log2_universe:34.0 ~truth ~pool
+    (module Delphic_sets.Rectangle)
+
+let test_sharded_rect_overlapping () =
+  (* bigger boxes in a denser universe: distinct sets overlap across
+     shards (~25% coverage density), where merge's independent inclusion
+     coins bias upward — the bias must stay inside the envelope *)
+  let gen = Rng.create ~seed:23 in
+  let pool =
+    Workload.Rectangles.uniform gen ~universe:20_000 ~dim:2 ~count:100
+      ~max_side:2_000
+  in
+  let truth = B.to_float (Exact.rectangle_union pool) in
+  check_sharded ~name:"rect overlapping" ~k:3 ~trials:10 ~epsilon:0.25
+    ~log2_universe:29.0 ~truth ~pool
+    (module Delphic_sets.Rectangle)
+
+let test_sharded_dnf () =
+  (* width-7 terms on 20 vars: union covers ~25% of the cube with real
+     term-to-term overlap, duplicated terms collapse onto one shard *)
+  let gen = Rng.create ~seed:29 in
+  let pool =
+    Workload.Orders.bursty ~copies:2
+      (Workload.Dnf_terms.random gen ~nvars:20 ~count:40 ~width:7)
+  in
+  let truth = B.to_float (Exact.dnf_count ~nvars:20 pool) in
+  check_sharded ~name:"dnf overlapping" ~k:4 ~trials:10 ~epsilon:0.25
+    ~log2_universe:20.0 ~truth ~pool
+    (module Delphic_sets.Dnf)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_bottom_k_lattice;
+    QCheck_alcotest.to_alcotest prop_hll_lattice;
+    QCheck_alcotest.to_alcotest prop_bottom_k_lossless;
+    Alcotest.test_case "VATIC merge-with-empty identity" `Quick
+      test_vatic_empty_identity;
+    Alcotest.test_case "VATIC merge parameter mismatch" `Quick
+      test_vatic_param_mismatch;
+    Alcotest.test_case "CVM merge identity + mismatch" `Quick
+      test_cvm_empty_identity_and_mismatch;
+    Alcotest.test_case "sharded VATIC: disjoint-heavy rects" `Quick
+      test_sharded_rect_disjoint;
+    Alcotest.test_case "sharded VATIC: overlapping rects" `Quick
+      test_sharded_rect_overlapping;
+    Alcotest.test_case "sharded VATIC: overlapping DNF" `Quick
+      test_sharded_dnf;
+  ]

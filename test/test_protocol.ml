@@ -67,6 +67,12 @@ let test_parse_requests () =
   Alcotest.check request "snapshot"
     (P.Snapshot { session = "s1"; path = "/tmp/a b.snap" })
     (parse_ok "SNAPSHOT s1 /tmp/a b.snap");
+  Alcotest.check request "snapshot without path is a fetch"
+    (P.Fetch { session = "s1" })
+    (parse_ok "SNAPSHOT s1");
+  Alcotest.check request "merge"
+    (P.Merge { session = "s1"; encoded = "delphic-snapshot%20v2%0A..." })
+    (parse_ok "MERGE s1 delphic-snapshot%20v2%0A...");
   Alcotest.check request "restore"
     (P.Restore { session = "s2"; path = "x.snap" })
     (parse_ok "RESTORE s2 x.snap");
@@ -76,8 +82,11 @@ let test_parse_requests () =
 let test_parse_errors () =
   Alcotest.(check string) "empty" "EMPTY" (parse_err "");
   Alcotest.(check string) "blank" "EMPTY" (parse_err "   ");
-  Alcotest.(check string) "unknown verb" "UNKNOWN-COMMAND" (parse_err "FROB s1");
+  Alcotest.(check string) "unknown verb" "UNSUPPORTED" (parse_err "FROB s1");
   Alcotest.(check string) "open arity" "ARITY" (parse_err "OPEN s1 rect 0.2");
+  Alcotest.(check string) "merge arity" "ARITY" (parse_err "MERGE s1");
+  Alcotest.(check string) "merge with spaces" "ARITY" (parse_err "MERGE s1 two tokens");
+  Alcotest.(check string) "snapshot arity" "ARITY" (parse_err "SNAPSHOT");
   Alcotest.(check string) "est arity" "ARITY" (parse_err "EST");
   Alcotest.(check string) "ping arity" "ARITY" (parse_err "PING extra");
   Alcotest.(check string) "bad eps" "BAD-NUMBER" (parse_err "OPEN s1 rect zero 0.1 40");
@@ -130,6 +139,8 @@ let test_request_roundtrip () =
       P.Stats { session = "s" };
       P.Snapshot { session = "s"; path = "spool/s.snap" };
       P.Restore { session = "s"; path = "spool/s.snap" };
+      P.Fetch { session = "s" };
+      P.Merge { session = "s"; encoded = "delphic-snapshot%20v2%0Aend%0A" };
       P.Close { session = "s" };
       P.Ping;
     ]
@@ -183,14 +194,36 @@ let all_errors =
     P.Server_error "boom";
   ]
 
+(* The degraded flag and the legacy error spelling have fixed wire forms. *)
+let test_wire_forms () =
+  Alcotest.(check string)
+    "degraded estimate" "EST 150 DEGRADED"
+    (P.render_response (P.Estimate { value = 150.0; degraded = true }));
+  Alcotest.(check string)
+    "clean estimate" "EST 150"
+    (P.render_response (P.Estimate { value = 150.0; degraded = false }));
+  Alcotest.(check string)
+    "unsupported verb code" "ERR UNSUPPORTED FROB"
+    (P.render_response (P.Error_reply (P.Unknown_command "FROB")));
+  (match P.parse_response "ERR UNKNOWN-COMMAND FROB" with
+  | Ok (P.Error_reply (P.Unknown_command "FROB")) -> ()
+  | _ -> Alcotest.fail "legacy UNKNOWN-COMMAND spelling must still parse");
+  (* pre-cluster STATS lines (no merges=) parse with merges = 0 *)
+  match
+    P.parse_response
+      "STATS family=rect items=2 entries=150 mode=exact estimate=150 rejects=0"
+  with
+  | Ok (P.Stats_reply s) -> Alcotest.(check int) "legacy stats merges" 0 s.P.merges
+  | _ -> Alcotest.fail "legacy STATS line must parse"
+
 let test_response_roundtrip () =
   let responses =
     [
       P.Ok_reply None;
       P.Ok_reply (Some "opened s1");
-      P.Estimate 1745152.0;
-      P.Estimate 0.0;
-      P.Estimate 1.5e12;
+      P.Estimate { value = 1745152.0; degraded = false };
+      P.Estimate { value = 0.0; degraded = false };
+      P.Estimate { value = 1.5e12; degraded = true };
       P.Stats_reply
         {
           family = "cov:14:2";
@@ -199,7 +232,9 @@ let test_response_roundtrip () =
           exact = false;
           last_estimate = 1745152.0;
           parse_rejects = 1;
+          merges = 3;
         };
+      P.Sketch "delphic-snapshot%20v2%0Afamily%20rect%0Aend%0A";
       P.Pong;
     ]
     @ List.map (fun e -> P.Error_reply e) all_errors
@@ -238,7 +273,9 @@ let test_dispatch_lifecycle () =
   Alcotest.check response "overlapping add" (P.Ok_reply None)
     (dispatch reg "ADD s1 5 14 0 9");
   (* 10x10 and 10x10 overlapping on a 5x10 strip: 150 points, exact mode. *)
-  Alcotest.check response "exact estimate" (P.Estimate 150.0) (dispatch reg "EST s1");
+  Alcotest.check response "exact estimate"
+    (P.Estimate { value = 150.0; degraded = false })
+    (dispatch reg "EST s1");
   Alcotest.check response "bad line keeps session"
     (P.Error_reply (P.Bad_line { line = 3; msg = "not an integer: bogus" }))
     (dispatch reg "ADD s1 bogus 9 0 9");
@@ -246,14 +283,17 @@ let test_dispatch_lifecycle () =
     (P.Error_reply
        (P.Bad_line { line = 4; msg = "dimension 3 but stream started with 2" }))
     (dispatch reg "ADD s1 0 1 0 1 0 1");
-  Alcotest.check response "estimate unchanged" (P.Estimate 150.0) (dispatch reg "EST s1");
+  Alcotest.check response "estimate unchanged"
+    (P.Estimate { value = 150.0; degraded = false })
+    (dispatch reg "EST s1");
   (match dispatch reg "STATS s1" with
   | P.Stats_reply s ->
     Alcotest.(check string) "family" "rect" s.P.family;
     Alcotest.(check int) "items" 2 s.P.items;
     Alcotest.(check int) "entries" 150 s.P.entries;
     Alcotest.(check bool) "exact" true s.P.exact;
-    Alcotest.(check int) "rejects" 2 s.P.parse_rejects
+    Alcotest.(check int) "rejects" 2 s.P.parse_rejects;
+    Alcotest.(check int) "merges" 0 s.P.merges
   | r -> Alcotest.failf "STATS: %s" (P.render_response r));
   Alcotest.check response "close"
     (P.Ok_reply (Some "closed s1"))
@@ -290,7 +330,9 @@ let test_dispatch_snapshot_restore () =
   Alcotest.check response "restore under new name"
     (P.Ok_reply (Some "restored s2"))
     (dispatch reg (Printf.sprintf "RESTORE s2 %s" path));
-  Alcotest.check response "restored estimate" (P.Estimate 100.0) (dispatch reg "EST s2");
+  Alcotest.check response "restored estimate"
+    (P.Estimate { value = 100.0; degraded = false })
+    (dispatch reg "EST s2");
   Alcotest.check response "restore over live session"
     (P.Error_reply (P.Session_exists "s"))
     (dispatch reg (Printf.sprintf "RESTORE s %s" path));
@@ -299,6 +341,67 @@ let test_dispatch_snapshot_restore () =
   | r -> Alcotest.failf "expected IO error, got %s" (P.render_response r));
   Sys.remove path
 
+(* SNAPSHOT <sid> / MERGE <sid> <token>: the worker half of the cluster.
+   Exact-mode sessions make the merged union deterministic. *)
+let test_dispatch_fetch_merge () =
+  let reg = Registry.create ~seed:23 in
+  ignore (dispatch reg "OPEN a rect 0.3 0.2 20");
+  ignore (dispatch reg "OPEN b rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD a 0 9 0 9");
+  ignore (dispatch reg "ADD b 5 14 0 9");
+  let encoded =
+    match dispatch reg "SNAPSHOT b" with
+    | P.Sketch e -> e
+    | r -> Alcotest.failf "SNAPSHOT b: %s" (P.render_response r)
+  in
+  Alcotest.(check bool)
+    "wire token is space-free" false
+    (String.exists (fun c -> c = ' ' || c = '\n') encoded);
+  Alcotest.check response "merge b into a"
+    (P.Ok_reply (Some "merged into a"))
+    (dispatch reg (Printf.sprintf "MERGE a %s" encoded));
+  (* both squares are 10x10, overlapping on a 5x10 strip: union 150 *)
+  Alcotest.check response "merged exact union"
+    (P.Estimate { value = 150.0; degraded = false })
+    (dispatch reg "EST a");
+  (match dispatch reg "STATS a" with
+  | P.Stats_reply s ->
+    Alcotest.(check int) "merges counted" 1 s.P.merges;
+    Alcotest.(check int) "items absorbed" 2 s.P.items
+  | r -> Alcotest.failf "STATS a: %s" (P.render_response r));
+  (* donor is untouched *)
+  Alcotest.check response "donor estimate unchanged"
+    (P.Estimate { value = 100.0; degraded = false })
+    (dispatch reg "EST b");
+  (* error paths: garbage token, family mismatch, unknown session *)
+  (match dispatch reg "MERGE a not-a-snapshot" with
+  | P.Error_reply (P.Bad_params _) -> ()
+  | r -> Alcotest.failf "garbage MERGE: %s" (P.render_response r));
+  ignore (dispatch reg "OPEN d dnf:10 0.3 0.2 10");
+  (match dispatch reg (Printf.sprintf "MERGE d %s" encoded) with
+  | P.Error_reply (P.Bad_params _) -> ()
+  | r -> Alcotest.failf "family-mismatch MERGE: %s" (P.render_response r));
+  Alcotest.check response "fetch of unknown session"
+    (P.Error_reply (P.Unknown_session "ghost"))
+    (dispatch reg "SNAPSHOT ghost")
+
+(* An unsupported verb must be answered, not punished: the registry replies
+   ERR UNSUPPORTED and the session keeps working. *)
+let test_dispatch_unsupported () =
+  let reg = Registry.create ~seed:29 in
+  ignore (dispatch reg "OPEN s rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD s 0 9 0 9");
+  (match P.parse_request "FROB s" with
+  | Error e ->
+    Alcotest.(check string) "code" "UNSUPPORTED" (P.error_code e);
+    Alcotest.(check string)
+      "rendered reply" "ERR UNSUPPORTED FROB"
+      (P.render_response (P.Error_reply e))
+  | Ok r -> Alcotest.failf "FROB parsed as %s" (P.render_request r));
+  Alcotest.check response "session survives the unknown verb"
+    (P.Estimate { value = 100.0; degraded = false })
+    (dispatch reg "EST s")
+
 let suite =
   [
     Alcotest.test_case "parse requests" `Quick test_parse_requests;
@@ -306,6 +409,7 @@ let suite =
     Alcotest.test_case "session names" `Quick test_session_names;
     Alcotest.test_case "family tokens" `Quick test_family_tokens;
     Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "wire forms" `Quick test_wire_forms;
     Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
     Alcotest.test_case "responses are one line" `Quick test_single_line;
     QCheck_alcotest.to_alcotest prop_open_roundtrip;
@@ -313,4 +417,6 @@ let suite =
     Alcotest.test_case "dispatch lifecycle" `Quick test_dispatch_lifecycle;
     Alcotest.test_case "dispatch validation" `Quick test_dispatch_validation;
     Alcotest.test_case "dispatch snapshot/restore" `Quick test_dispatch_snapshot_restore;
+    Alcotest.test_case "dispatch fetch/merge" `Quick test_dispatch_fetch_merge;
+    Alcotest.test_case "dispatch unsupported verb" `Quick test_dispatch_unsupported;
   ]

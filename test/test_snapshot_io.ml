@@ -20,6 +20,7 @@ let sample_io =
     log2_universe = 40.0;
     exact_capacity = 1835;
     items = 123;
+    merges = 4;
     exact_active = false;
     exact_entries = [ "3 7"; "0 0"; "12 40" ];
     sketch =
@@ -72,8 +73,22 @@ let test_header () =
     "magic + version first line" true
     (String.length (Io.encode sample_io) > 0
     && String.sub (Io.encode sample_io) 0
-         (String.length "delphic-snapshot v1")
-       = "delphic-snapshot v1")
+         (String.length "delphic-snapshot v2")
+       = "delphic-snapshot v2")
+
+(* v1 snapshots (no merges line) must keep decoding, with merges = 0. *)
+let v1_text =
+  "delphic-snapshot v1\nfamily rect\nepsilon 0x1p-2\ndelta 0x1p-3\n\
+   log2-universe 0x1.4p5\nexact-capacity 10\nitems 2\nexact-active true\n\
+   exact-entries 2\nE 3 7\nE 0 0\nno-sketch\nend\n"
+
+let test_decode_v1 () =
+  match Io.decode v1_text with
+  | Error msg -> Alcotest.failf "v1 decode: %s" msg
+  | Ok io ->
+    Alcotest.(check int) "v1 merges default" 0 io.Io.merges;
+    Alcotest.(check int) "v1 items" 2 io.Io.items;
+    Alcotest.(check bool) "v1 entries" true (io.Io.exact_entries = [ "3 7"; "0 0" ])
 
 (* --- qcheck: decode . encode = Ok, over random snapshots --- *)
 
@@ -90,6 +105,7 @@ let gen_io =
     let* log2_universe = float_range 1.0 128.0 in
     let* exact_capacity = int_range 1 100_000 in
     let* items = int_range 0 1_000_000 in
+    let* merges = int_range 0 1000 in
     let* exact_active = bool in
     let* exact_entries = list_size (int_range 0 20) gen_elt in
     let* sketch =
@@ -133,6 +149,7 @@ let gen_io =
         log2_universe;
         exact_capacity;
         items;
+        merges;
         exact_active;
         exact_entries;
         sketch;
@@ -142,6 +159,28 @@ let prop_roundtrip =
   QCheck.Test.make ~name:"decode . encode = Ok (random)" ~count:300
     (QCheck.make gen_io)
     (fun io -> Io.decode (Io.encode io) = Ok io)
+
+(* --- wire armor --- *)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"of_wire . to_wire = Ok (random)" ~count:300
+    (QCheck.make gen_io)
+    (fun io ->
+      let w = Io.to_wire io in
+      (* a wire token must survive a space-delimited line protocol *)
+      (not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r') w))
+      && Io.of_wire w = Ok io)
+
+let test_wire_rejects () =
+  let expect_error name s =
+    match Io.of_wire s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: of_wire accepted garbage" name
+  in
+  expect_error "raw space" "delphic snapshot";
+  expect_error "truncated escape" (Io.to_wire sample_io ^ "%2");
+  expect_error "unknown escape" "%ZZ";
+  expect_error "not a snapshot underneath" "hello-world"
 
 (* --- file persistence --- *)
 
@@ -283,7 +322,10 @@ let suite =
   [
     Alcotest.test_case "fixed round-trips" `Quick test_fixed_roundtrips;
     Alcotest.test_case "header" `Quick test_header;
+    Alcotest.test_case "v1 compatibility" `Quick test_decode_v1;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    Alcotest.test_case "wire rejects garbage" `Quick test_wire_rejects;
     Alcotest.test_case "save/load" `Quick test_save_load;
     Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects;
     Alcotest.test_case "encode validates" `Quick test_encode_validates;
