@@ -273,6 +273,28 @@ let requeue t w =
 
 let () = kill_requeue := requeue
 
+(* Synchronous round-trip on [w]'s connection.  Pipelined ADD acks share the
+   reply stream with every other verb, so they must be drained first: calling
+   with acks in flight would read an ADD ack as this request's reply and
+   leave the stream permanently off by one (a pending ADD silently marked
+   acked, later replies misframed).  Draining can itself kill the worker —
+   and requeueing during a drain can put new ADDs in flight on *other*
+   workers — so the queue is re-checked right before the call.  On transport
+   failure the worker is quarantined here; callers only decide fallback. *)
+let call_sync t w req =
+  drain_acks t w ~down_to:0;
+  if not (Queue.is_empty w.pending) then
+    Error "pending acks could not be drained"
+  else
+    match w.conn with
+    | None -> Error "connection lost while draining pending acks"
+    | Some conn -> (
+      match Rpc.call conn req with
+      | Ok _ as ok -> ok
+      | Error msg ->
+        quarantine t w;
+        Error msg)
+
 let shard_start t si payload =
   match t.sharding with
   | Round_robin ->
@@ -291,13 +313,12 @@ let broadcast t req ~accept =
     (fun w ->
       match ensure_conn t w with
       | None -> failures := address w :: !failures
-      | Some conn -> (
-        match Rpc.call conn req with
+      | Some _ -> (
+        match call_sync t w req with
         | Ok r when accept r -> ()
         | Ok r ->
           failures := Printf.sprintf "%s (%s)" (address w) (P.render_response r) :: !failures
         | Error msg ->
-          quarantine t w;
           failures := Printf.sprintf "%s (%s)" (address w) msg :: !failures))
     t.workers;
   !failures
@@ -366,8 +387,11 @@ let gather t si name =
       in
       match ensure_conn t w with
       | None -> stale ()
-      | Some conn -> (
-        match Rpc.call conn (P.Fetch { session = name }) with
+      | Some _ -> (
+        (* requeue during this very loop can put new ADDs in flight on this
+           worker; call_sync drains them before the Fetch so the reply is
+           really the sketch *)
+        match call_sync t w (P.Fetch { session = name }) with
         | Ok (P.Sketch encoded) -> (
           match Io.of_wire encoded with
           | Ok io ->
@@ -385,7 +409,6 @@ let gather t si name =
           stale ()
         | Error msg ->
           Log.warn (fun m -> m "worker %s: SNAPSHOT failed: %s" (address w) msg);
-          quarantine t w;
           stale ()))
     t.workers;
   match List.rev !parts with
@@ -478,15 +501,14 @@ let merge_in t ~name ~encoded =
             let w = t.workers.((start + i) mod n) in
             match ensure_conn t w with
             | None -> try_from (i + 1)
-            | Some conn -> (
-              match Rpc.call conn (P.Merge { session = name; encoded }) with
+            | Some _ -> (
+              match call_sync t w (P.Merge { session = name; encoded }) with
               | Ok (P.Ok_reply _) -> Ok ()
               | Ok (P.Error_reply e) -> Error e
               | Ok r ->
                 Error (P.Server_error ("unexpected MERGE reply " ^ P.render_response r))
               | Error msg ->
                 Log.warn (fun m -> m "worker %s: MERGE failed: %s" (address w) msg);
-                quarantine t w;
                 try_from (i + 1))
         in
         try_from 0)

@@ -10,7 +10,7 @@ type t = {
   port : int;
   lock : Mutex.t;
   mutable stopping : bool;
-  mutable handlers : Thread.t list;
+  handlers : (Unix.file_descr, Thread.t) Hashtbl.t;
   conns : (Unix.file_descr, unit) Hashtbl.t;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
@@ -43,7 +43,7 @@ let create ?(host = "127.0.0.1") ~port ~dispatch () =
     port;
     lock = Mutex.create ();
     stopping = false;
-    handlers = [];
+    handlers = Hashtbl.create 16;
     conns = Hashtbl.create 16;
     stop_r;
     stop_w;
@@ -73,7 +73,11 @@ let handle_connection t fd =
          flush oc
      done
    with Sys_error _ | Unix.Unix_error _ -> ());
-  with_lock t (fun () -> Hashtbl.remove t.conns fd);
+  (* drop the handler entry too, or a long-running frontend leaks one
+     Thread.t per connection it ever accepted *)
+  with_lock t (fun () ->
+      Hashtbl.remove t.conns fd;
+      Hashtbl.remove t.handlers fd);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let request_stop t =
@@ -115,9 +119,12 @@ let serve t =
             accept_loop ()
           | exception Unix.Unix_error _ when t.stopping -> ()
           | fd, _ ->
-            with_lock t (fun () -> Hashtbl.replace t.conns fd ());
-            let th = spawn_handler t fd in
-            with_lock t (fun () -> t.handlers <- th :: t.handlers);
+            (* register conn and handler under one lock hold: the handler's
+               cleanup takes the same lock, so even an instantly-closing
+               connection removes its entry only after it exists *)
+            with_lock t (fun () ->
+                Hashtbl.replace t.conns fd ();
+                Hashtbl.replace t.handlers fd (spawn_handler t fd));
             accept_loop ()
         end
         else accept_loop ()
@@ -125,7 +132,9 @@ let serve t =
   accept_loop ();
   request_stop t;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  let handlers = with_lock t (fun () -> t.handlers) in
+  let handlers =
+    with_lock t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.handlers [])
+  in
   List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());

@@ -47,9 +47,9 @@ let estimate t = Float.ldexp (float_of_int (buffer_size t)) t.level
 (* Sharded-stream merge: downsample both buffers to the common minimum
    probability (the larger level), union with dedup, and re-apply the
    threshold rule so the merged buffer obeys the same invariant.  Merging
-   with an empty sketch is the exact identity; elements surviving in both
-   shards are deduplicated (the same caveat as Vatic.merge applies: the
-   inclusion coins are independent across shards). *)
+   with an empty sketch is the exact identity; an element surviving in both
+   buffers flips a single downsampling coin (shard a's), never two — the
+   same rule, and the same residual cross-shard caveat, as Vatic.merge. *)
 let merge a b ~seed =
   if a.thresh <> b.thresh then invalid_arg "Cvm.merge: sketches have different thresh";
   let t =
@@ -70,17 +70,15 @@ let merge a b ~seed =
   end
   else begin
     let l0 = Stdlib.max a.level b.level in
-    let absorb src =
+    let absorb ~dup src =
       Hashtbl.iter
         (fun x () ->
-          if
-            (not (Hashtbl.mem t.buffer x))
-            && Rng.bernoulli t.rng (Float.ldexp 1.0 (src.level - l0))
+          if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (src.level - l0))
           then Hashtbl.replace t.buffer x ())
         src.buffer
     in
-    absorb a;
-    absorb b;
+    absorb ~dup:(fun _ -> false) a;
+    absorb ~dup:(Hashtbl.mem a.buffer) b;
     t.level <- l0;
     while Hashtbl.length t.buffer >= t.thresh do
       let doomed =

@@ -318,17 +318,17 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
      else begin
        let max_j acc_t = Tbl.fold (fun _ j acc -> Stdlib.max j acc) acc_t.bucket 0 in
        let j0 = ref (Stdlib.max (max_j a) (max_j b)) in
-       let absorb src =
+       (* one coin per distinct element: an element retained by both buckets
+          flips only shard a's coin, as in Vatic.merge *)
+       let absorb ~dup src =
          Tbl.iter
            (fun x j ->
-             if
-               (not (Tbl.mem t.bucket x))
-               && Rng.bernoulli t.rng (Float.ldexp 1.0 (j - !j0))
+             if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (j - !j0))
              then Tbl.replace t.bucket x !j0)
            src.bucket
        in
-       absorb a;
-       absorb b;
+       absorb ~dup:(fun _ -> false) a;
+       absorb ~dup:(Tbl.mem a.bucket) b;
        let capacity = float_of_int t.bucket_capacity in
        let log2p () = t.log2_p_init -. float_of_int !j0 in
        let needed () = Float.ceil (float_of_int (bucket_size t) /. capacity) in

@@ -229,8 +229,12 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
      (inclusion events are independent across shards — there is no shared
      hash as in theta sketches), so the merged estimate lies between |∪| and
      the sum of the per-shard union sizes; hash-of-set sharding keeps the
-     gap to the geometric overlap between distinct sets.  A merge with an
-     empty sketch is the exact identity. *)
+     gap to the geometric overlap between distinct sets.  An element retained
+     by BOTH buckets is visible as a duplicate, though, and gets exactly one
+     downsampling coin (at shard a's level) — two independent coins would
+     push its inclusion probability above 2^-l0 on top of that inherent
+     cross-shard caveat.  A merge with an empty sketch is the exact
+     identity. *)
   let merge a b ~seed =
     let pa = a.params and pb = b.params in
     if
@@ -250,17 +254,17 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
        Tbl.iter (fun x l -> Tbl.replace t.bucket x l) a.bucket
      else begin
        let l0 = ref (Stdlib.max (min_sampling_level a) (min_sampling_level b)) in
-       let absorb src =
+       (* [dup] marks elements whose coin was already flipped while absorbing
+          the other shard — they must not get a second chance *)
+       let absorb ~dup src =
          Tbl.iter
            (fun x l ->
-             if
-               (not (Tbl.mem t.bucket x))
-               && Rng.bernoulli t.rng (Float.ldexp 1.0 (l - !l0))
+             if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (l - !l0))
              then Tbl.replace t.bucket x !l0)
            src.bucket
        in
-       absorb a;
-       absorb b;
+       absorb ~dup:(fun _ -> false) a;
+       absorb ~dup:(Tbl.mem a.bucket) b;
        (* Halve until the merged occupancy fits the capacity at its own
           level, exactly as process does for an insertion; past the
           probability floor the bucket is kept over-full rather than
