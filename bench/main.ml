@@ -12,10 +12,12 @@
               dune exec bench/main.exe -- micro   (micro-benchmarks only)
               dune exec bench/main.exe -- macro   (experiment tables only)
               dune exec bench/main.exe -- cluster (1-vs-4-worker scatter/gather)
+              dune exec bench/main.exe -- ingest  (ADDB batch-size sweep)
 
    Any benchmarking mode also accepts [--json FILE] to write the measured
    rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
-   cluster mode defaults to BENCH_cluster.json. *)
+   cluster mode defaults to BENCH_cluster.json and the ingest mode to
+   BENCH_ingest.json. *)
 
 open Bechamel
 open Toolkit
@@ -317,11 +319,12 @@ let rm_rf dir =
     Unix.rmdir dir
   end
 
-let cluster_env ~n_workers ~seed =
+let cluster_env ?(batch = 64) ~n_workers ~seed () =
   let spool n =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "delphic-bench-spool-%d-%d-%d" (Unix.getpid ()) n_workers n)
+      (Printf.sprintf "delphic-bench-spool-%d-%d-%d-%d" (Unix.getpid ())
+         n_workers batch n)
   in
   let workers =
     List.init n_workers (fun n ->
@@ -330,7 +333,7 @@ let cluster_env ~n_workers ~seed =
         (s, Server.start s))
   in
   let coord =
-    Coordinator.create
+    Coordinator.create ~batch
       ~workers:(List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers)
       ~seed ()
   in
@@ -340,14 +343,19 @@ let cluster_env ~n_workers ~seed =
    with
   | Ok () -> ()
   | Error _ -> assert false);
+  (* Tiny sets (at most 9 points each, union below the session's exact
+     capacity) keep the worker-side update in the microsecond range, so the
+     scatter rows measure the ingestion pipeline — framing, staging, flush,
+     ack draining — rather than sketch CPU.  Heavy-update cost is E1's row
+     in the micro bench. *)
   let gen = Rng.create ~seed:31 in
   let payloads =
     List.map
       (fun b ->
         let lo = Rectangle.lo b and hi = Rectangle.hi b in
         Printf.sprintf "%d %d %d %d" lo.(0) hi.(0) lo.(1) hi.(1))
-      (Workload.Rectangles.uniform gen ~universe:1_000_000 ~dim:2 ~count:300
-         ~max_side:50_000)
+      (Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:300
+         ~max_side:3)
   in
   List.iter
     (fun p -> ignore (Coordinator.add coord ~name:"bench" ~payload:p))
@@ -366,8 +374,8 @@ let cluster_env ~n_workers ~seed =
   (coord, payloads, teardown)
 
 let run_cluster ?(json = "BENCH_cluster.json") () =
-  let c1, p1, teardown1 = cluster_env ~n_workers:1 ~seed:41 in
-  let c4, p4, teardown4 = cluster_env ~n_workers:4 ~seed:47 in
+  let c1, p1, teardown1 = cluster_env ~n_workers:1 ~seed:41 () in
+  let c4, p4, teardown4 = cluster_env ~n_workers:4 ~seed:47 () in
   let scatter coord payloads =
     cycling payloads (fun p ->
         ignore (Coordinator.add coord ~name:"bench" ~payload:p))
@@ -388,6 +396,33 @@ let run_cluster ?(json = "BENCH_cluster.json") () =
   print_rows ~title:"Cluster scatter/gather (loopback, in-process workers)" rows;
   write_json ~path:json rows
 
+(* Ingest benchmark: the same 1-worker loopback scatter path swept across
+   coordinator batch sizes — how much of the per-set RPC cost the ADDB
+   framing amortises away.  batch=1 is the unbatched baseline (one ADD
+   frame and one flush per set). *)
+
+let run_ingest ?(json = "BENCH_ingest.json") () =
+  let sweep = [ 1; 16; 64; 256 ] in
+  let envs =
+    List.map (fun b -> (b, cluster_env ~batch:b ~n_workers:1 ~seed:(60 + b) ()))
+      sweep
+  in
+  let tests =
+    Test.make_grouped ~name:"ingest"
+      (List.map
+         (fun (b, (coord, payloads, _)) ->
+           Test.make
+             ~name:(Printf.sprintf "scatter-add/batch-%d" b)
+             (Staged.stage
+                (cycling payloads (fun p ->
+                     ignore (Coordinator.add coord ~name:"bench" ~payload:p)))))
+         envs)
+  in
+  let rows = run_bechamel tests in
+  List.iter (fun (_, (_, _, teardown)) -> teardown ()) envs;
+  print_rows ~title:"Batched ingestion sweep (1-worker loopback)" rows;
+  write_json ~path:json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split mode json = function
@@ -403,15 +438,20 @@ let () =
   let mode = Option.value mode ~default:"all" in
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
-  | "macro" | "cluster" -> ()
+  | "macro" | "cluster" | "ingest" -> ()
   | m ->
-    Printf.eprintf "unknown mode %S (expected micro, macro, cluster or all)\n" m;
+    Printf.eprintf
+      "unknown mode %S (expected micro, macro, cluster, ingest or all)\n" m;
     exit 2);
   (match mode with
   | "cluster" -> (
     match json with
     | Some path -> run_cluster ~json:path ()
     | None -> run_cluster ())
+  | "ingest" -> (
+    match json with
+    | Some path -> run_ingest ~json:path ()
+    | None -> run_ingest ())
   | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();

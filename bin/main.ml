@@ -521,9 +521,17 @@ let coord_cmd =
     let doc = "Per-worker connect/read/write timeout in seconds." in
     Arg.(value & opt float 2.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
-  let run seed port host workers shard timeout =
+  let batch =
+    let doc =
+      "Scatter batch size: up to $(docv) consecutive same-session sets are \
+       framed into one ADDB request per worker ($(b,1) disables batching)."
+    in
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let run seed port host workers shard timeout batch =
     let coord =
-      Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~workers ~seed ()
+      Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~batch ~workers
+        ~seed ()
     in
     let frontend =
       Delphic_cluster.Frontend.create ~host ~port
@@ -548,7 +556,9 @@ let coord_cmd =
   in
   Cmd.v
     (Cmd.info "coord" ~doc)
-    Term.(const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout)
+    Term.(
+      const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout
+      $ batch)
 
 (* query: one-shot client for the service. *)
 

@@ -8,6 +8,11 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type sharding = Round_robin | By_hash
 
+(* One wire frame awaiting its single reply line: either a legacy [ADD]
+   (one item) or an [ADDB] carrying the whole array.  [bitems] keeps each
+   payload's hop count so a replay after worker death still converges. *)
+type batch = { bsession : string; bitems : (string * int) array (* payload, hops *) }
+
 type worker = {
   wid : int;
   host : string;
@@ -15,7 +20,11 @@ type worker = {
   mutable conn : Rpc.t option;
   mutable failures : int; (* consecutive, drives the backoff *)
   mutable quarantined_until : float; (* epoch seconds; 0.0 = available *)
-  pending : (string * string * int) Queue.t; (* unacked (session, payload, hops) *)
+  staged : (string * string * int) Queue.t;
+      (* routed but not yet framed: (session, payload, hops).  Nothing here
+         has touched the socket; a death replays these verbatim. *)
+  pending : batch Queue.t; (* frames on the wire, one reply line owed each *)
+  mutable in_flight : int; (* payload units across [pending] *)
   last_good : (string, Io.t) Hashtbl.t; (* session -> last fetched sketch *)
 }
 
@@ -38,7 +47,8 @@ type t = {
   timeout : float;
   retries : int;
   backoff : float; (* first retry delay; doubles per consecutive failure *)
-  window : int;
+  window : int; (* unacked payload units per worker before a drain *)
+  batch : int; (* max payloads per ADDB frame; the flush high-water mark *)
   seed : int;
   lock : Mutex.t;
   sessions : (string, session_info) Hashtbl.t;
@@ -46,11 +56,12 @@ type t = {
 }
 
 let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
-    ?(window = 64) ~workers ~seed () =
+    ?(window = 256) ?(batch = 64) ~workers ~seed () =
   if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
   if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
   if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
   if window < 1 then invalid_arg "Coordinator.create: need window >= 1";
+  if batch < 1 then invalid_arg "Coordinator.create: need batch >= 1";
   {
     workers =
       Array.of_list
@@ -63,7 +74,9 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
                conn = None;
                failures = 0;
                quarantined_until = 0.0;
+               staged = Queue.create ();
                pending = Queue.create ();
+               in_flight = 0;
                last_good = Hashtbl.create 4;
              })
            workers);
@@ -72,6 +85,7 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     retries;
     backoff;
     window;
+    batch;
     seed;
     lock = Mutex.create ();
     sessions = Hashtbl.create 4;
@@ -186,45 +200,101 @@ let ensure_conn t w =
       attempt 0
     end
 
-(* --- pipelined scatter with at-least-once re-routing --- *)
+(* --- batched pipelined scatter with at-least-once re-routing --- *)
 
 let find_session t name =
   match Hashtbl.find_opt t.sessions name with
   | Some si -> Ok si
   | None -> Error (P.Unknown_session name)
 
-(* Read acks until [w.pending] holds at most [down_to] entries.  Union
-   estimation is duplicate-insensitive, so on failure the unacked tail can
-   be replayed on other workers without harming correctness. *)
+(* Read reply lines until at most [down_to] payload units remain unacked.
+   One reply retires one whole frame — [OKB] for an ADDB, [OK] for a legacy
+   single ADD.  Union estimation is duplicate-insensitive, so on failure the
+   unacked frames can be replayed on other workers without harming
+   correctness. *)
 let rec drain_acks t w ~down_to =
-  if Queue.length w.pending <= down_to then ()
+  if w.in_flight <= down_to then ()
   else
     match w.conn with
     | None -> quarantine t w
     | Some conn -> (
       match Rpc.recv conn with
-      | Ok (P.Ok_reply _) ->
-        ignore (Queue.pop w.pending);
-        drain_acks t w ~down_to
-      | Ok (P.Error_reply (P.Bad_line _)) ->
-        let session, _, _ = Queue.pop w.pending in
-        (match Hashtbl.find_opt t.sessions session with
-        | Some si -> si.rejects <- si.rejects + 1
-        | None -> ());
-        drain_acks t w ~down_to
-      | Ok r ->
-        (* ack-shaped but unexpected: count the item as delivered *)
-        ignore (Queue.pop w.pending);
-        Log.warn (fun m ->
-            m "worker %s: unexpected ADD ack %s" (address w) (P.render_response r));
+      | Ok reply ->
+        (match Queue.take_opt w.pending with
+        | None -> w.in_flight <- 0 (* unreachable: in_flight tracks pending *)
+        | Some b ->
+          w.in_flight <- w.in_flight - Array.length b.bitems;
+          let reject n =
+            if n > 0 then
+              match Hashtbl.find_opt t.sessions b.bsession with
+              | Some si -> si.rejects <- si.rejects + n
+              | None -> ()
+          in
+          (match reply with
+          | P.Ok_reply _ -> ()
+          | P.Ok_batch { accepted = _; errors } -> reject (List.length errors)
+          | P.Error_reply (P.Bad_line _) ->
+            (* the whole frame was refused — for a 1-item ADD frame that is
+               exactly one rejected payload *)
+            reject (Array.length b.bitems)
+          | r ->
+            (* ack-shaped but unexpected: count the frame as delivered *)
+            Log.warn (fun m ->
+                m "worker %s: unexpected ingest ack %s" (address w) (P.render_response r))));
         drain_acks t w ~down_to
       | Error msg ->
         Log.warn (fun m -> m "worker %s: lost while draining acks: %s" (address w) msg);
         quarantine t w)
 
+(* Frame [w.staged] into ADDB requests — consecutive same-session runs of up
+   to [t.batch] payloads each, a lone payload as a legacy ADD — stage them
+   all on the connection, and ship the accumulation as one coalesced write.
+   Frames enter [w.pending] before the flush so a transport failure replays
+   them via the quarantine path. *)
+let flush_worker t w =
+  if not (Queue.is_empty w.staged) then
+    match w.conn with
+    | None ->
+      (* connection already gone with payloads still staged: hand them to
+         the re-router directly *)
+      !kill_requeue t w
+    | Some conn ->
+      while not (Queue.is_empty w.staged) do
+        let s0, p0, h0 = Queue.pop w.staged in
+        let items = ref [ (p0, h0) ] in
+        let count = ref 1 in
+        let same_session = ref true in
+        while !same_session && !count < t.batch do
+          match Queue.peek_opt w.staged with
+          | Some (s, _, _) when String.equal s s0 ->
+            let _, p, h = Queue.pop w.staged in
+            items := (p, h) :: !items;
+            incr count
+          | _ -> same_session := false
+        done;
+        let bitems = Array.of_list (List.rev !items) in
+        let req =
+          match bitems with
+          | [| (payload, _) |] -> P.Add { session = s0; payload }
+          | _ ->
+            P.Add_batch
+              { session = s0; payloads = Array.to_list (Array.map fst bitems) }
+        in
+        Rpc.stage conn req;
+        Queue.push { bsession = s0; bitems } w.pending;
+        w.in_flight <- w.in_flight + Array.length bitems
+      done;
+      (match Rpc.flush_staged conn with
+      | Ok () -> ()
+      | Error msg ->
+        Log.warn (fun m -> m "worker %s: batch flush failed: %s" (address w) msg);
+        quarantine t w)
+
 (* Route one payload to a live worker, starting the probe at [start] and
-   giving up after every worker has been tried [hops] times over. *)
-let rec route t si name payload ~start ~hops =
+   giving up after every worker has been tried [hops] times over.  Routing
+   only stages — the socket is touched when the worker's staging queue
+   reaches the batch high-water mark (or at an explicit [flush]/gather). *)
+let route t si name payload ~start ~hops =
   let n = Array.length t.workers in
   if hops > n then begin
     si.lost <- si.lost + 1;
@@ -242,25 +312,31 @@ let rec route t si name payload ~start ~hops =
     | None ->
       si.lost <- si.lost + 1;
       Error (P.Server_error "no workers available")
-    | Some (w, conn) -> (
-      match Rpc.send conn (P.Add { session = name; payload }) with
-      | Ok () ->
-        Queue.push (name, payload, hops) w.pending;
-        if Queue.length w.pending >= t.window then
-          (* keep half the window in flight so the pipe never fully stalls *)
-          drain_acks t w ~down_to:(t.window / 2);
-        Ok ()
-      | Error msg ->
-        Log.warn (fun m -> m "worker %s: ADD failed: %s" (address w) msg);
-        quarantine t w;
-        route t si name payload ~start:(w.wid + 1) ~hops:(hops + 1))
+    | Some (w, _conn) ->
+      Queue.push (name, payload, hops) w.staged;
+      if Queue.length w.staged >= t.batch then begin
+        flush_worker t w;
+        (* keep half the window in flight so the pipe never fully stalls *)
+        if w.conn <> None && w.in_flight >= t.window then
+          drain_acks t w ~down_to:(t.window / 2)
+      end;
+      Ok ()
   end
 
-(* Re-route a dead worker's unacked tail; wired into [quarantine] via the
-   forward reference because death and re-routing are mutually recursive. *)
+(* Re-route a dead worker's staged payloads and unacked frames — oldest
+   (sent-but-unacked) first, then the never-sent staging queue; wired into
+   [quarantine] via the forward reference because death and re-routing are
+   mutually recursive. *)
 let requeue t w =
-  let orphans = Queue.fold (fun acc item -> item :: acc) [] w.pending in
+  let orphans = ref [] in
+  Queue.iter
+    (fun b ->
+      Array.iter (fun (payload, hops) -> orphans := (b.bsession, payload, hops) :: !orphans) b.bitems)
+    w.pending;
+  Queue.iter (fun item -> orphans := item :: !orphans) w.staged;
   Queue.clear w.pending;
+  Queue.clear w.staged;
+  w.in_flight <- 0;
   List.iter
     (fun (session, payload, hops) ->
       match Hashtbl.find_opt t.sessions session with
@@ -269,21 +345,23 @@ let requeue t w =
         match route t si session payload ~start:(w.wid + 1) ~hops:(hops + 1) with
         | Ok () -> ()
         | Error _ -> () (* already counted in si.lost *)))
-    (List.rev orphans)
+    (List.rev !orphans)
 
 let () = kill_requeue := requeue
 
-(* Synchronous round-trip on [w]'s connection.  Pipelined ADD acks share the
-   reply stream with every other verb, so they must be drained first: calling
-   with acks in flight would read an ADD ack as this request's reply and
-   leave the stream permanently off by one (a pending ADD silently marked
-   acked, later replies misframed).  Draining can itself kill the worker —
-   and requeueing during a drain can put new ADDs in flight on *other*
-   workers — so the queue is re-checked right before the call.  On transport
-   failure the worker is quarantined here; callers only decide fallback. *)
+(* Synchronous round-trip on [w]'s connection.  Pipelined ingest acks share
+   the reply stream with every other verb, so staged frames must be shipped
+   and every ack drained first: calling with acks in flight would read an
+   ingest ack as this request's reply and leave the stream permanently off
+   by one (a pending frame silently marked acked, later replies misframed).
+   Draining can itself kill the worker — and requeueing during a drain can
+   put new frames in flight on *other* workers — so both queues are
+   re-checked right before the call.  On transport failure the worker is
+   quarantined here; callers only decide fallback. *)
 let call_sync t w req =
+  flush_worker t w;
   drain_acks t w ~down_to:0;
-  if not (Queue.is_empty w.pending) then
+  if w.in_flight > 0 || not (Queue.is_empty w.staged) then
     Error "pending acks could not be drained"
   else
     match w.conn with
@@ -367,8 +445,30 @@ let add t ~name ~payload =
       | Error e -> Error e
       | Ok si -> route t si name payload ~start:(shard_start t si payload) ~hops:0)
 
+(* A whole client ADDB frame routed under one lock acquisition.  Each
+   payload still shards independently (By_hash must keep duplicates
+   colocated), so a frame may fan out across workers and re-batch there. *)
+let add_batch t ~name ~payloads =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si ->
+        let accepted = ref 0 in
+        let errors = ref [] in
+        List.iteri
+          (fun i payload ->
+            match route t si name payload ~start:(shard_start t si payload) ~hops:0 with
+            | Ok () -> incr accepted
+            | Error e -> errors := (i, P.describe_error e) :: !errors)
+          payloads;
+        Ok (!accepted, List.rev !errors))
+
 let flush t =
-  Array.iter (fun w -> if w.conn <> None then drain_acks t w ~down_to:0) t.workers
+  Array.iter
+    (fun w ->
+      flush_worker t w;
+      if w.conn <> None then drain_acks t w ~down_to:0)
+    t.workers
 
 (* Gather every worker's sketch for [name] and fold.  A worker that cannot
    answer contributes its last good snapshot (or nothing) and flags the
@@ -553,6 +653,11 @@ let dispatch t (req : P.request) : P.response =
          (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
   | P.Add { session; payload } ->
     reply (Result.map (fun () -> P.Ok_reply None) (add t ~name:session ~payload))
+  | P.Add_batch { session; payloads } ->
+    reply
+      (Result.map
+         (fun (accepted, errors) -> P.Ok_batch { accepted; errors })
+         (add_batch t ~name:session ~payloads))
   | P.Est { session } ->
     reply
       (Result.map

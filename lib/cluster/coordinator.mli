@@ -5,17 +5,21 @@
     line protocol as a single server:
 
     - [OPEN] broadcasts, so every worker holds a same-parameter session;
-    - [ADD] scatters: each set is routed to one worker ({!sharding}),
-      pipelined with a bounded window of unacknowledged sends;
+    - [ADD]/[ADDB] scatter: each set is routed to one worker ({!sharding})
+      and staged there; staged payloads are framed into [ADDB] batches
+      (consecutive same-session runs, up to [batch] payloads per frame) and
+      shipped as one coalesced write when the staging queue hits the batch
+      high-water mark, with a bounded window of unacknowledged payloads;
     - [EST]/[STATS]/[SNAPSHOT] gather: every worker ships its sketch
       ([SNAPSHOT <sid>] wire form) and the coordinator folds them with
       {!Delphic_server.Families.merge}.
 
     Failure handling: every RPC is bounded by a timeout ({!Rpc}); a worker
-    that fails is quarantined with exponential backoff and its
-    unacknowledged sets are replayed on the survivors — safe because union
-    estimation is duplicate-insensitive, so at-least-once delivery never
-    biases the answer.  A gather that had to fall back to a dead worker's
+    that fails is quarantined with exponential backoff and its staged
+    payloads plus every unacknowledged frame are replayed {e payload by
+    payload} on the survivors — safe because union estimation is
+    duplicate-insensitive, so at-least-once delivery never biases the
+    answer.  A gather that had to fall back to a dead worker's
     last fetched sketch (or found nothing at all) flags the estimate
     [degraded] in the reply.  A worker that comes back is re-opened and
     refilled from its last good sketch before rejoining the pool.
@@ -38,6 +42,7 @@ val create :
   ?retries:int ->
   ?backoff:float ->
   ?window:int ->
+  ?batch:int ->
   workers:(string * int) list ->
   seed:int ->
   unit ->
@@ -45,9 +50,12 @@ val create :
 (** [workers] are [host, port] pairs; connections are opened lazily.
     [timeout] (default 2s) bounds every connect/send/recv; [retries]
     (default 3) bounds reconnect attempts, with delays starting at
-    [backoff] (default 50ms) and doubling; [window] (default 64) is the
-    pipelined-ADD depth per worker.  Raises [Invalid_argument] on an empty
-    pool or nonsensical knobs. *)
+    [backoff] (default 50ms) and doubling; [window] (default 256) is the
+    unacknowledged-payload depth per worker; [batch] (default 64) is both
+    the per-worker staging high-water mark and the maximum payloads per
+    [ADDB] frame — [batch = 1] degenerates to the unbatched one-ADD-per-line
+    pipeline.  Raises [Invalid_argument] on an empty pool or nonsensical
+    knobs. *)
 
 val dispatch : t -> Delphic_server.Protocol.request -> Delphic_server.Protocol.response
 (** The full request → response step, same contract as
@@ -66,8 +74,20 @@ val open_session :
     brought up to date by the resync-on-reconnect path. *)
 
 val add : t -> name:string -> payload:string -> (unit, Delphic_server.Protocol.error) result
-(** Fire-and-forget into the pipeline: parse errors surface asynchronously
-    in {!stats} ([parse_rejects]), not here. *)
+(** Fire-and-forget into the pipeline: the payload is staged on its shard
+    and framed into an [ADDB] at the next flush point.  Parse errors surface
+    asynchronously in {!stats} ([parse_rejects]), not here. *)
+
+val add_batch :
+  t ->
+  name:string ->
+  payloads:string list ->
+  (int * (int * string) list, Delphic_server.Protocol.error) result
+(** A whole client [ADDB] frame under one lock acquisition.  Each payload
+    still routes through {!sharding} independently, so a frame may fan out
+    and re-batch per worker.  Returns [(accepted, errors)] where [errors]
+    pairs a payload's 0-based frame index with the routing failure; parse
+    errors, as with {!add}, surface later in [parse_rejects]. *)
 
 val estimate : t -> name:string -> (float * bool, Delphic_server.Protocol.error) result
 (** The folded estimate and whether it is degraded (some worker answered
@@ -91,8 +111,9 @@ val live_workers : t -> int
     connections are lazy). *)
 
 val flush : t -> unit
-(** Drain every pipelined ADD ack.  Called internally before each gather;
-    exposed for tests and orderly shutdown. *)
+(** Ship every staged payload and drain every pipelined ingest ack.  Called
+    internally before each gather; exposed for tests and orderly
+    shutdown. *)
 
 val shutdown : t -> unit
 (** Flush, then close every worker connection.  The workers keep running —

@@ -6,6 +6,11 @@ type t = {
   oc : out_channel;
   host : string;
   port : int;
+  (* Staged-but-unsent request lines: [stage] appends here without touching
+     the socket, [flush_staged] ships the whole accumulation as one
+     write+flush (writev-style coalescing).  [send]/[call] drain it first so
+     a synchronous request can never leapfrog staged frames on the wire. *)
+  buf : Buffer.t;
 }
 
 let address t = Printf.sprintf "%s:%d" t.host t.port
@@ -55,6 +60,7 @@ let connect ~host ~port ~timeout =
               oc = Unix.out_channel_of_descr fd;
               host;
               port;
+              buf = Buffer.create 4096;
             }
         | Some e -> fail e)
       | _ -> fail Unix.ETIMEDOUT
@@ -72,17 +78,35 @@ let connect ~host ~port ~timeout =
           oc = Unix.out_channel_of_descr fd;
           host;
           port;
+          buf = Buffer.create 4096;
         })
 
+let stage t req =
+  Buffer.add_string t.buf (P.render_request req);
+  Buffer.add_char t.buf '\n'
+
+let staged_bytes t = Buffer.length t.buf
+
+let flush_staged t =
+  if Buffer.length t.buf = 0 then Ok ()
+  else begin
+    let payload = Buffer.contents t.buf in
+    (* Cleared unconditionally: on failure the caller quarantines the
+       connection and replays from its own pending queue, so resending these
+       bytes on a fresh socket would duplicate frames mid-line. *)
+    Buffer.clear t.buf;
+    match
+      output_string t.oc payload;
+      flush t.oc
+    with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  end
+
 let send t req =
-  match
-    output_string t.oc (P.render_request req);
-    output_char t.oc '\n';
-    flush t.oc
-  with
-  | () -> Ok ()
-  | exception Sys_error msg -> Error msg
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  stage t req;
+  flush_staged t
 
 let recv t =
   match input_line t.ic with

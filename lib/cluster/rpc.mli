@@ -21,7 +21,24 @@ val call : t -> Delphic_server.Protocol.request -> (Delphic_server.Protocol.resp
 
 val send : t -> Delphic_server.Protocol.request -> (unit, string) result
 (** Write one request without waiting for the reply — the pipelined scatter
-    path.  Replies arrive in request order via {!recv}. *)
+    path.  Replies arrive in request order via {!recv}.  Any staged requests
+    are shipped first, so the wire order always matches the stage/send
+    order. *)
+
+val stage : t -> Delphic_server.Protocol.request -> unit
+(** Append one request to the connection's staging buffer without touching
+    the socket.  Nothing is transmitted until {!flush_staged} (or a
+    {!send}/{!call}, which drain the buffer first); staged requests reach
+    the wire in staging order as a single coalesced write. *)
+
+val staged_bytes : t -> int
+(** Bytes currently staged and unsent — a flush-policy input. *)
+
+val flush_staged : t -> (unit, string) result
+(** Ship every staged request in one write+flush.  On [Error] the staged
+    bytes are discarded (a retry on the same socket could split a frame
+    mid-line); the caller is expected to drop the connection and replay
+    from its own pending queue. *)
 
 val recv : t -> (Delphic_server.Protocol.response, string) result
 (** [Error] on timeout, closed connection, or an unparseable reply line. *)

@@ -29,6 +29,12 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     median_reps : int; (* amplification count for the cardinality oracle *)
     rng : Rng.t;
     bucket : int Tbl.t; (* element -> halving count j; p = p_init · 2^-j *)
+    scratch : unit Tbl.t;
+        (* reusable distinct-sample workspace shared by [estimate_set_size]
+           and the coupon loop of [process]; always left empty between
+           uses *)
+    mutable counts : int array; (* counts.(j) = elements held at halving count j *)
+    mutable top : int; (* highest occupied j; -1 when the bucket is empty *)
     mutable items : int;
     mutable max_bucket : int;
     mutable skipped : int;
@@ -108,6 +114,9 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       median_reps;
       rng = Rng.create ~seed;
       bucket = Tbl.create 1024;
+      scratch = Tbl.create 256;
+      counts = Array.make 64 0;
+      top = -1;
       items = 0;
       max_bucket = 0;
       skipped = 0;
@@ -120,6 +129,37 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
   let max_bucket_size t = t.max_bucket
   let items_processed t = t.items
   let skipped_sets t = t.skipped
+
+  (* Per-level occupancy histogram, as in {!Vatic.Make}: keeps the maximum
+     halving count an O(1) read instead of a bucket fold.  All bucket
+     mutation funnels through these helpers. *)
+
+  let ensure_level t j =
+    if j >= Array.length t.counts then begin
+      let grown = Array.make (2 * (j + 1)) 0 in
+      Array.blit t.counts 0 grown 0 (Array.length t.counts);
+      t.counts <- grown
+    end
+
+  let note_add t j =
+    ensure_level t j;
+    t.counts.(j) <- t.counts.(j) + 1;
+    if j > t.top then t.top <- j
+
+  let note_remove t j =
+    t.counts.(j) <- t.counts.(j) - 1;
+    while t.top >= 0 && t.counts.(t.top) = 0 do
+      t.top <- t.top - 1
+    done
+
+  let bucket_add t x j =
+    (match Tbl.find_opt t.bucket x with
+    | Some old -> note_remove t old
+    | None -> ());
+    Tbl.replace t.bucket x j;
+    note_add t j
+
+  let max_halving_count t = Stdlib.max t.top 0
 
   let oracle_calls t =
     {
@@ -154,7 +194,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
      go through the amplified oracle, inflated by (1+α) so that E_i(1+α)
      upper-bounds |S_i| (Observation 5.1(1)). *)
   let estimate_set_size t s =
-    let seen = Tbl.create (2 * t.thresh1) in
+    let seen = t.scratch in
     let k = ref 0 in
     while !k < t.thresh2 && Tbl.length seen <= t.thresh1 do
       incr k;
@@ -162,15 +202,21 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       if not (Tbl.mem seen y) then Tbl.replace seen y ()
     done;
     t.sampling_calls <- t.sampling_calls + !k;
-    if Tbl.length seen <= t.thresh1 then Bigint.of_int (Tbl.length seen)
+    let distinct = Tbl.length seen in
+    Tbl.clear seen;
+    if distinct <= t.thresh1 then Bigint.of_int distinct
     else scale_up (amplified_cardinality t s) (1.0 +. t.alpha)
 
   let remove_covered t s =
     t.membership_calls <- t.membership_calls + bucket_size t;
-    let doomed =
-      Tbl.fold (fun x _ acc -> if A.mem s x then x :: acc else acc) t.bucket []
-    in
-    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+    Tbl.filter_map_inplace
+      (fun x j ->
+        if A.mem s x then begin
+          note_remove t j;
+          None
+        end
+        else Some j)
+      t.bucket
 
   (* Draw Bin(card, 2^log2p) with the same large-value guards as VATIC. *)
   let binomial_of_cardinality rng card ~log2p =
@@ -210,7 +256,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
         let budget =
           int_of_float (Float.ceil (4.0 *. float_of_int wanted *. t.coupon_factor))
         in
-        let fresh = Tbl.create (2 * wanted) in
+        let fresh = t.scratch in
         let drawn = ref 0 in
         while Tbl.length fresh < wanted && !drawn < budget do
           incr drawn;
@@ -218,20 +264,21 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
           if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
         done;
         t.sampling_calls <- t.sampling_calls + !drawn;
-        Tbl.iter (fun y () -> Tbl.replace t.bucket y !j) fresh;
+        Tbl.iter (fun y () -> bucket_add t y !j) fresh;
+        Tbl.clear fresh;
         if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
       end
     end
 
+  (* Survivor count only — nothing materialised (see Vatic.subsample). *)
   let subsample t =
-    let j0 = Tbl.fold (fun _ j acc -> Stdlib.max j acc) t.bucket 0 in
-    let kept =
-      Tbl.fold
-        (fun x j acc ->
-          if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then x :: acc else acc)
-        t.bucket []
-    in
-    (j0, kept)
+    let j0 = max_halving_count t in
+    let kept = ref 0 in
+    Tbl.iter
+      (fun _ j ->
+        if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then incr kept)
+      t.bucket;
+    (j0, !kept)
 
   (* Lines 30-33. *)
   let estimate t =
@@ -239,16 +286,24 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     else begin
       let j0, kept = subsample t in
       let log2_p0 = t.log2_p_init -. float_of_int j0 in
-      float_of_int (List.length kept) /. (2.0 ** log2_p0) /. (1.0 +. t.alpha)
+      float_of_int kept /. (2.0 ** log2_p0) /. (1.0 +. t.alpha)
     end
 
+  (* One-pass reservoir draw over the j0-level subsample. *)
   let sample_union t =
     if bucket_size t = 0 then None
     else begin
-      let _, kept = subsample t in
-      match kept with
-      | [] -> None
-      | _ -> Some (List.nth kept (Rng.int t.rng (List.length kept)))
+      let j0 = max_halving_count t in
+      let kept = ref 0 in
+      let chosen = ref None in
+      Tbl.iter
+        (fun x j ->
+          if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then begin
+            incr kept;
+            if Rng.int t.rng !kept = 0 then chosen := Some x
+          end)
+        t.bucket;
+      !chosen
     end
 
   type snapshot = {
@@ -287,7 +342,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       create ~mode:s.mode ~epsilon:s.epsilon ~delta:s.delta
         ~log2_universe:s.log2_universe ~alpha:s.alpha ~gamma:s.gamma ~eta:s.eta ~seed ()
     in
-    List.iter (fun (x, j) -> Tbl.replace t.bucket x j) s.entries;
+    List.iter (fun (x, j) -> bucket_add t x j) s.entries;
     t.items <- s.items;
     t.max_bucket <- s.max_bucket;
     t.skipped <- s.skipped;
@@ -312,19 +367,17 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       create ~mode:a.mode ~epsilon:a.epsilon ~delta:a.delta
         ~log2_universe:a.log2_universe ~alpha:a.alpha ~gamma:a.gamma ~eta:a.eta ~seed ()
     in
-    (if bucket_size a = 0 then Tbl.iter (fun x j -> Tbl.replace t.bucket x j) b.bucket
-     else if bucket_size b = 0 then
-       Tbl.iter (fun x j -> Tbl.replace t.bucket x j) a.bucket
+    (if bucket_size a = 0 then Tbl.iter (fun x j -> bucket_add t x j) b.bucket
+     else if bucket_size b = 0 then Tbl.iter (fun x j -> bucket_add t x j) a.bucket
      else begin
-       let max_j acc_t = Tbl.fold (fun _ j acc -> Stdlib.max j acc) acc_t.bucket 0 in
-       let j0 = ref (Stdlib.max (max_j a) (max_j b)) in
+       let j0 = ref (Stdlib.max (max_halving_count a) (max_halving_count b)) in
        (* one coin per distinct element: an element retained by both buckets
           flips only shard a's coin, as in Vatic.merge *)
        let absorb ~dup src =
          Tbl.iter
            (fun x j ->
              if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (j - !j0))
-             then Tbl.replace t.bucket x !j0)
+             then bucket_add t x !j0)
            src.bucket
        in
        absorb ~dup:(fun _ -> false) a;
@@ -334,11 +387,17 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
        let needed () = Float.ceil (float_of_int (bucket_size t) /. capacity) in
        while log2p () > -.(needed ()) && log2p () -. 1.0 >= t.log2_p_min do
          incr j0;
-         let survivors =
-           Tbl.fold (fun x _ acc -> if Rng.bool t.rng then x :: acc else acc) t.bucket []
-         in
-         Tbl.reset t.bucket;
-         List.iter (fun x -> Tbl.replace t.bucket x !j0) survivors
+         (* survivors migrate in place; every entry sits at the
+            pre-increment j0 *)
+         Tbl.filter_map_inplace
+           (fun _ j ->
+             note_remove t j;
+             if Rng.bool t.rng then begin
+               note_add t !j0;
+               Some !j0
+             end
+             else None)
+           t.bucket
        done
      end);
     t.items <- a.items + b.items;

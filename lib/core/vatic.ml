@@ -20,6 +20,12 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     params : Params.t;
     rng : Rng.t;
     bucket : int Tbl.t; (* element -> sampling level ℓ, i.e. p = 2^-ℓ *)
+    scratch : unit Tbl.t;
+        (* reusable coupon-draw workspace for [process]; always left empty
+           between updates so the sketch never pins a processed set's
+           elements *)
+    mutable counts : int array; (* counts.(ℓ) = elements held at level ℓ *)
+    mutable top : int; (* highest occupied level; -1 when the bucket is empty *)
     mutable items : int;
     mutable max_bucket : int;
     mutable skipped : int;
@@ -37,6 +43,9 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       params;
       rng = Rng.create ~seed;
       bucket = Tbl.create 1024;
+      scratch = Tbl.create 256;
+      counts = Array.make (Stdlib.max 8 (params.Params.max_level + 2)) 0;
+      top = -1;
       items = 0;
       max_bucket = 0;
       skipped = 0;
@@ -51,15 +60,44 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
   let items_processed t = t.items
   let skipped_sets t = t.skipped
 
+  (* The per-level occupancy histogram [counts]/[top] shadows the bucket so
+     the level queries the hot path issues on every update — minimum
+     sampling level, Horvitz-Thompson sum — are O(1)/O(top) instead of a
+     fold over the whole bucket.  All bucket mutation funnels through these
+     three helpers. *)
+
+  let ensure_level t l =
+    if l >= Array.length t.counts then begin
+      let grown = Array.make (2 * (l + 1)) 0 in
+      Array.blit t.counts 0 grown 0 (Array.length t.counts);
+      t.counts <- grown
+    end
+
+  let note_add t l =
+    ensure_level t l;
+    t.counts.(l) <- t.counts.(l) + 1;
+    if l > t.top then t.top <- l
+
+  let note_remove t l =
+    t.counts.(l) <- t.counts.(l) - 1;
+    while t.top >= 0 && t.counts.(t.top) = 0 do
+      t.top <- t.top - 1
+    done
+
+  let bucket_add t x l =
+    (match Tbl.find_opt t.bucket x with
+    | Some old -> note_remove t old
+    | None -> ());
+    Tbl.replace t.bucket x l;
+    note_add t l
+
   let level_for t occupancy =
     (* ⌈occupancy / B⌉ *)
     let b = t.params.Params.bucket_capacity in
     (occupancy + b - 1) / b
 
   let current_level t = level_for t (bucket_size t)
-
-  let min_sampling_level t =
-    Tbl.fold (fun _ l acc -> Stdlib.max l acc) t.bucket 0
+  let min_sampling_level t = Stdlib.max t.top 0
 
   let oracle_calls t =
     {
@@ -84,10 +122,15 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
 
   let remove_covered t s =
     t.membership_calls <- t.membership_calls + bucket_size t;
-    let doomed =
-      Tbl.fold (fun x _ acc -> if F.mem s x then x :: acc else acc) t.bucket []
-    in
-    List.iter (fun x -> Tbl.remove t.bucket x) doomed
+    (* single in-place pass: no doomed-list allocation, no second traversal *)
+    Tbl.filter_map_inplace
+      (fun x l ->
+        if F.mem s x then begin
+          note_remove t l;
+          None
+        end
+        else Some l)
+      t.bucket
 
   let process t s =
     t.items <- t.items + 1;
@@ -125,7 +168,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       let wanted = int_of_float !n in
       if wanted > 0 then begin
         let budget = Params.max_samples t.params ~n_distinct:wanted in
-        let fresh = Tbl.create (2 * wanted) in
+        let fresh = t.scratch in
         let drawn = ref 0 in
         while Tbl.length fresh < wanted && !drawn < budget do
           incr drawn;
@@ -133,46 +176,62 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
           if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
         done;
         t.sampling_calls <- t.sampling_calls + !drawn;
-        Tbl.iter (fun y () -> Tbl.replace t.bucket y !level) fresh;
+        Tbl.iter (fun y () -> bucket_add t y !level) fresh;
+        Tbl.clear fresh;
         if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
       end
     end
 
   (* Lines 18-21 on a virtual copy: subsample every element down to the
-     minimum probability p0 and return |X| / p0. *)
+     minimum probability p0 and return |X| / p0.  Only the survivor count
+     matters for the estimate, so nothing is materialised. *)
   let subsample t =
     let p0_level = min_sampling_level t in
-    let kept =
-      Tbl.fold
-        (fun x l acc ->
-          let keep_probability = Float.ldexp 1.0 (l - p0_level) in
-          if Rng.bernoulli t.rng keep_probability then x :: acc else acc)
-        t.bucket []
-    in
-    (p0_level, kept)
+    let kept = ref 0 in
+    Tbl.iter
+      (fun _ l ->
+        if Rng.bernoulli t.rng (Float.ldexp 1.0 (l - p0_level)) then incr kept)
+      t.bucket;
+    (p0_level, !kept)
 
   let estimate t =
     if bucket_size t = 0 then 0.0
     else begin
       let p0_level, kept = subsample t in
-      Float.ldexp (float_of_int (List.length kept)) p0_level
+      Float.ldexp (float_of_int kept) p0_level
     end
 
   (* Footnote 5 of the paper: the "natural" estimator is Σ_j N(p_j)/p_j;
      the published algorithm resamples down to p_0 purely to simplify the
      concentration argument.  This is the direct Horvitz-Thompson sum — it
      skips the extra Bernoulli noise, is deterministic given the sketch, and
-     A4 in EXPERIMENTS.md measures its variance advantage. *)
+     A4 in EXPERIMENTS.md measures its variance advantage.  The level
+     histogram makes it a sum over occupied levels, not a bucket fold. *)
   let estimate_horvitz_thompson t =
-    Tbl.fold (fun _ l acc -> acc +. Float.ldexp 1.0 l) t.bucket 0.0
+    let acc = ref 0.0 in
+    for l = 0 to t.top do
+      if t.counts.(l) > 0 then
+        acc := !acc +. Float.ldexp (float_of_int t.counts.(l)) l
+    done;
+    !acc
 
+  (* One pass, reservoir-style: each level-p0 survivor replaces the current
+     choice with probability 1/(survivors so far), so the draw is uniform
+     over the subsample without building it. *)
   let sample_union t =
     if bucket_size t = 0 then None
     else begin
-      let _, kept = subsample t in
-      match kept with
-      | [] -> None
-      | _ -> Some (List.nth kept (Rng.int t.rng (List.length kept)))
+      let p0_level = min_sampling_level t in
+      let kept = ref 0 in
+      let chosen = ref None in
+      Tbl.iter
+        (fun x l ->
+          if Rng.bernoulli t.rng (Float.ldexp 1.0 (l - p0_level)) then begin
+            incr kept;
+            if Rng.int t.rng !kept = 0 then chosen := Some x
+          end)
+        t.bucket;
+      !chosen
     end
 
   type snapshot = {
@@ -210,7 +269,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       create ~mode:s.mode ~capacity_scale:s.capacity_scale ~coupon_scale:s.coupon_scale
         ~epsilon:s.epsilon ~delta:s.delta ~log2_universe:s.log2_universe ~seed ()
     in
-    List.iter (fun (x, l) -> Tbl.replace t.bucket x l) s.entries;
+    List.iter (fun (x, l) -> bucket_add t x l) s.entries;
     t.items <- s.items;
     t.max_bucket <- s.max_bucket;
     t.skipped <- s.skipped;
@@ -249,9 +308,8 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
         ~coupon_scale:pa.Params.coupon_scale ~epsilon:pa.Params.epsilon
         ~delta:pa.Params.delta ~log2_universe:pa.Params.log2_universe ~seed ()
     in
-    (if bucket_size a = 0 then Tbl.iter (fun x l -> Tbl.replace t.bucket x l) b.bucket
-     else if bucket_size b = 0 then
-       Tbl.iter (fun x l -> Tbl.replace t.bucket x l) a.bucket
+    (if bucket_size a = 0 then Tbl.iter (fun x l -> bucket_add t x l) b.bucket
+     else if bucket_size b = 0 then Tbl.iter (fun x l -> bucket_add t x l) a.bucket
      else begin
        let l0 = ref (Stdlib.max (min_sampling_level a) (min_sampling_level b)) in
        (* [dup] marks elements whose coin was already flipped while absorbing
@@ -260,7 +318,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
          Tbl.iter
            (fun x l ->
              if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (l - !l0))
-             then Tbl.replace t.bucket x !l0)
+             then bucket_add t x !l0)
            src.bucket
        in
        absorb ~dup:(fun _ -> false) a;
@@ -268,15 +326,20 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
        (* Halve until the merged occupancy fits the capacity at its own
           level, exactly as process does for an insertion; past the
           probability floor the bucket is kept over-full rather than
-          discarding data. *)
+          discarding data.  Every entry sits at the pre-increment l0, so
+          survivors migrate level in place — no rebuild. *)
        let max_level = t.params.Params.max_level in
        while level_for t (bucket_size t) > !l0 && !l0 < max_level do
          incr l0;
-         let survivors =
-           Tbl.fold (fun x _ acc -> if Rng.bool t.rng then x :: acc else acc) t.bucket []
-         in
-         Tbl.reset t.bucket;
-         List.iter (fun x -> Tbl.replace t.bucket x !l0) survivors
+         Tbl.filter_map_inplace
+           (fun _ l ->
+             note_remove t l;
+             if Rng.bool t.rng then begin
+               note_add t !l0;
+               Some !l0
+             end
+             else None)
+           t.bucket
        done
      end);
     t.items <- a.items + b.items;

@@ -12,6 +12,7 @@ type request =
       log2_universe : float;
     }
   | Add of { session : string; payload : string }
+  | Add_batch of { session : string; payloads : string list }
   | Est of { session : string }
   | Stats of { session : string }
   | Snapshot of { session : string; path : string }
@@ -47,6 +48,7 @@ type stats = {
 
 type response =
   | Ok_reply of string option
+  | Ok_batch of { accepted : int; errors : (int * string) list }
   | Estimate of { value : float; degraded : bool }
   | Stats_reply of stats
   | Sketch of string
@@ -97,6 +99,57 @@ let cut line =
 
 let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
 
+(* Batch payload armor: the same four-character percent-escape as the v2
+   sketch wire form (Snapshot_io.to_wire), so an arbitrary set line rides
+   inside an ADDB frame as one space-free token. *)
+let armor_payload payload =
+  let n = String.length payload in
+  let extra = ref 0 in
+  String.iter
+    (function '%' | ' ' | '\n' | '\r' -> extra := !extra + 2 | _ -> ())
+    payload;
+  if !extra = 0 then payload
+  else begin
+    let buf = Buffer.create (n + !extra) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' -> Buffer.add_string buf "%25"
+        | ' ' -> Buffer.add_string buf "%20"
+        | '\n' -> Buffer.add_string buf "%0A"
+        | '\r' -> Buffer.add_string buf "%0D"
+        | c -> Buffer.add_char buf c)
+      payload;
+    Buffer.contents buf
+  end
+
+let unarmor_payload token =
+  let n = String.length token in
+  if not (String.contains token '%') then
+    if String.contains token ' ' then Error "unescaped space in payload token"
+    else Ok token
+  else begin
+    let buf = Buffer.create n in
+    let rec unescape i =
+      if i >= n then Ok (Buffer.contents buf)
+      else if token.[i] = '%' then
+        if i + 2 >= n then Error "truncated percent-escape in payload token"
+        else
+          match String.sub token (i + 1) 2 with
+          | "25" -> Buffer.add_char buf '%'; unescape (i + 3)
+          | "20" -> Buffer.add_char buf ' '; unescape (i + 3)
+          | "0A" -> Buffer.add_char buf '\n'; unescape (i + 3)
+          | "0D" -> Buffer.add_char buf '\r'; unescape (i + 3)
+          | esc -> Error (Printf.sprintf "unknown payload escape %%%s" esc)
+      else if token.[i] = ' ' then Error "unescaped space in payload token"
+      else begin
+        Buffer.add_char buf token.[i];
+        unescape (i + 1)
+      end
+    in
+    unescape 0
+  end
+
 let parse_session name =
   if session_name_ok name then Ok name else Error (Bad_session_name name)
 
@@ -132,6 +185,29 @@ let parse_request line =
       else
         let* session = parse_session session in
         Ok (Add { session; payload })
+    | "ADDB" -> (
+      let expected = "ADDB <session> <k> <payload-token>{k}" in
+      match tokens rest with
+      | session :: k :: toks ->
+        let* session = parse_session session in
+        let* k =
+          match int_of_string_opt k with
+          | Some k when k > 0 -> Ok k
+          | _ -> Error (Bad_number { what = "batch-size"; value = k })
+        in
+        if List.length toks <> k then
+          Error (Wrong_arity { command = "ADDB"; expected })
+        else
+          let rec unarmor i acc = function
+            | [] -> Ok (List.rev acc)
+            | tok :: rest -> (
+              match unarmor_payload tok with
+              | Ok payload -> unarmor (i + 1) (payload :: acc) rest
+              | Error msg -> Error (Bad_line { line = i; msg }))
+          in
+          let* payloads = unarmor 0 [] toks in
+          Ok (Add_batch { session; payloads })
+      | _ -> Error (Wrong_arity { command = "ADDB"; expected }))
     | "EST" | "STATS" | "CLOSE" -> (
       let command = String.uppercase_ascii verb in
       match tokens rest with
@@ -174,6 +250,18 @@ let render_request = function
     Printf.sprintf "OPEN %s %s %s %s %s" session (family_to_token family) (float_out epsilon)
       (float_out delta) (float_out log2_universe)
   | Add { session; payload } -> Printf.sprintf "ADD %s %s" session payload
+  | Add_batch { session; payloads } ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "ADDB ";
+    Buffer.add_string buf session;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int (List.length payloads));
+    List.iter
+      (fun p ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (armor_payload p))
+      payloads;
+    Buffer.contents buf
   | Est { session } -> "EST " ^ session
   | Stats { session } -> "STATS " ^ session
   | Snapshot { session; path } -> Printf.sprintf "SNAPSHOT %s %s" session path
@@ -251,6 +339,18 @@ let parse_error_of_wire code payload =
 let render_response = function
   | Ok_reply None -> "OK"
   | Ok_reply (Some info) -> "OK " ^ info
+  | Ok_batch { accepted; errors } ->
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf "OKB ";
+    Buffer.add_string buf (string_of_int accepted);
+    List.iter
+      (fun (i, msg) ->
+        Buffer.add_string buf " ERRAT ";
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (armor_payload (if msg = "" then " " else msg)))
+      errors;
+    Buffer.contents buf
   | Estimate { value; degraded } ->
     "EST " ^ float_out value ^ if degraded then " DEGRADED" else ""
   | Stats_reply s ->
@@ -268,6 +368,22 @@ let parse_response line =
   let verb, rest = cut line in
   match verb with
   | "OK" -> Ok (Ok_reply (if rest = "" then None else Some rest))
+  | "OKB" -> (
+    match tokens rest with
+    | accepted :: errs -> (
+      match int_of_string_opt accepted with
+      | Some accepted when accepted >= 0 ->
+        let rec parse_errs acc = function
+          | [] -> Ok (Ok_batch { accepted; errors = List.rev acc })
+          | "ERRAT" :: i :: msg :: rest -> (
+            match (int_of_string_opt i, unarmor_payload msg) with
+            | Some i, Ok msg when i >= 0 -> parse_errs ((i, msg) :: acc) rest
+            | _ -> Error (Printf.sprintf "OKB: malformed ERRAT %S %S" i msg))
+          | _ -> Error (Printf.sprintf "OKB: malformed error list in %S" rest)
+        in
+        parse_errs [] errs
+      | _ -> Error (Printf.sprintf "OKB: bad accepted count %S" accepted))
+    | [] -> Error "OKB: missing accepted count")
   | "PONG" when rest = "" -> Ok Pong
   | "EST" -> (
     let value, degraded =

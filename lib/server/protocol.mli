@@ -8,6 +8,7 @@
     {v
     OPEN <session> <family> <eps> <delta> <log2u>   open an estimation session
     ADD <session> <set-line>                        feed one set (family line format)
+    ADDB <session> <k> <tok1> ... <tokk>            feed k sets in one frame
     EST <session>                                   current union-size estimate
     STATS <session>                                 session counters
     SNAPSHOT <session> <path>                       persist the session to a file
@@ -17,6 +18,15 @@
     CLOSE <session>                                 drop the session
     PING                                            liveness probe
     v}
+
+    [ADDB] is the batched ingestion verb: each [tok] is one [ADD] payload
+    percent-armored into a single space-free token ({!armor_payload}, the
+    same escape scheme as the v2 sketch wire form), so a whole batch rides
+    on one line and is answered by one line.  The reply is
+    [OKB <accepted> [ERRAT <i> <msg>]...] ({!Ok_batch}): [accepted] counts
+    payloads the estimator took, and each [ERRAT] pinpoints a rejected
+    payload by its 0-based index in the frame — later payloads still land
+    (a bad set costs itself, not its batch).
 
     [SNAPSHOT] with no path ({!Fetch}) and [MERGE] are the cluster verbs:
     any server can act as a worker, shipping its sketch to a coordinator as
@@ -47,6 +57,9 @@ type request =
       log2_universe : float;
     }
   | Add of { session : string; payload : string }
+  | Add_batch of { session : string; payloads : string list }
+      (** wire form [ADDB <session> <k> <tok>{k}]; payloads are carried
+          verbatim in memory and armored only on the wire *)
   | Est of { session : string }
   | Stats of { session : string }
   | Snapshot of { session : string; path : string }
@@ -88,6 +101,9 @@ type stats = {
 
 type response =
   | Ok_reply of string option
+  | Ok_batch of { accepted : int; errors : (int * string) list }
+      (** reply to {!Add_batch}: payloads accepted, plus [(index, message)]
+          for each rejected payload (0-based index into the frame) *)
   | Estimate of { value : float; degraded : bool }
       (** [degraded] renders as a trailing [DEGRADED] token — set by a
           coordinator answering from stale snapshots after losing a worker *)
@@ -99,6 +115,16 @@ type response =
 val session_name_ok : string -> bool
 (** Accepted session names: non-empty, characters from
     [A-Za-z0-9_.-] only. *)
+
+val armor_payload : string -> string
+(** Percent-escape ['%'], [' '], ['\n'] and ['\r'] ([%25]/[%20]/[%0A]/[%0D])
+    so an arbitrary set line becomes one space-free token for an [ADDB]
+    frame.  A payload with none of those characters is returned as-is (no
+    allocation). *)
+
+val unarmor_payload : string -> (string, string) result
+(** Inverse of {!armor_payload}: [unarmor_payload (armor_payload p) = Ok p].
+    Unknown escapes, truncated escapes and bare spaces are [Error]. *)
 
 val family_to_token : family -> string
 val family_of_token : string -> (family, error) result

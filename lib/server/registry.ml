@@ -54,6 +54,28 @@ let add t ~name ~payload =
           s.parse_rejects <- s.parse_rejects + 1;
           Error (Protocol.Bad_line { line; msg })))
 
+(* One mutex acquisition for the whole frame — the point of ADDB.  A payload
+   that fails to parse is recorded as (index, msg) and the rest of the frame
+   still lands, mirroring the singleton path's keep-the-session-usable
+   contract. *)
+let add_batch t ~name ~payloads =
+  with_lock t (fun () ->
+      match find t name with
+      | Error e -> Error e
+      | Ok s ->
+        let accepted = ref 0 in
+        let errors = ref [] in
+        List.iteri
+          (fun i payload ->
+            s.adds <- s.adds + 1;
+            match Families.add s.runner ~lineno:s.adds payload with
+            | () -> incr accepted
+            | exception Parsers.Parse_error { line = _; msg } ->
+              s.parse_rejects <- s.parse_rejects + 1;
+              errors := (i, msg) :: !errors)
+          payloads;
+        Ok (!accepted, List.rev !errors))
+
 let estimate t ~name =
   with_lock t (fun () ->
       match find t name with
@@ -202,6 +224,11 @@ let dispatch t (req : Protocol.request) : Protocol.response =
          (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
   | Protocol.Add { session; payload } ->
     reply (Result.map (fun () -> Protocol.Ok_reply None) (add t ~name:session ~payload))
+  | Protocol.Add_batch { session; payloads } ->
+    reply
+      (Result.map
+         (fun (accepted, errors) -> Protocol.Ok_batch { accepted; errors })
+         (add_batch t ~name:session ~payloads))
   | Protocol.Est { session } ->
     reply
       (Result.map

@@ -31,6 +31,13 @@ val add : t -> name:string -> payload:string -> (unit, Protocol.error) result
 (** One bad payload yields [Error (Bad_line _)] and bumps the session's
     reject counter; the session stays usable. *)
 
+val add_batch :
+  t -> name:string -> payloads:string list -> (int * (int * string) list, Protocol.error) result
+(** Feed a whole [ADDB] frame under a single mutex acquisition.  Returns
+    [(accepted, errors)] where [errors] pairs each rejected payload's
+    0-based index in the frame with its parse message; payloads after a bad
+    one still land.  [Error] only when the session does not exist. *)
+
 val estimate : t -> name:string -> (float, Protocol.error) result
 
 val stats : t -> name:string -> (Protocol.stats, Protocol.error) result

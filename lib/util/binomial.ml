@@ -13,8 +13,10 @@ let binv rng ~n ~p =
   let q = 1.0 -. p in
   let s = p /. q in
   let a = float_of_int (n + 1) *. s in
+  (* r0 depends only on (n, q): hoisted so rejection retries don't pay the
+     pow again. *)
+  let r0 = q ** float_of_int n in
   let rec attempt () =
-    let r0 = q ** float_of_int n in
     let u = ref (Rng.float rng) in
     let x = ref 0 in
     let r = ref r0 in

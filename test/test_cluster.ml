@@ -146,6 +146,49 @@ let test_scatter_gather_failover () =
   stop_worker (List.nth workers 2);
   List.iteri (fun n _ -> rm_rf (spool n)) workers
 
+(* Mid-stream worker kill during batched scatter must lose no acked set.
+   Small exact-regime sessions make the check sharp: every worker sketch
+   stays an exact element list and the folded estimate equals the exact
+   union, so a single dropped set would show as a wrong count, not as
+   tolerable noise.  A small batch/window forces many partially-filled
+   frames across the kill boundary. *)
+let test_batched_kill_no_loss () =
+  let workers = List.init 2 (fun n -> start_worker (20 + n) ~seed:(300 + n)) in
+  let addrs = List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers in
+  let coord =
+    Coordinator.create ~timeout:5.0 ~backoff:0.01 ~batch:8 ~window:32
+      ~workers:addrs ~seed:99 ()
+  in
+  let gen = Rng.create ~seed:77 in
+  let first =
+    Workload.Rectangles.uniform gen ~universe:300 ~dim:2 ~count:30 ~max_side:6
+  in
+  let rest =
+    Workload.Rectangles.uniform gen ~universe:300 ~dim:2 ~count:30 ~max_side:6
+  in
+  ok
+    (Coordinator.open_session coord ~name:"nl" ~family:P.Rect ~epsilon:0.3
+       ~delta:0.2 ~log2_universe:17.0);
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"nl" ~payload:(payload_of b)))
+    first;
+  (* the gather inside estimate acks every frame and stores each worker's
+     last good sketch — the state the kill must not claw back *)
+  let est1, degraded1 = ok (Coordinator.estimate coord ~name:"nl") in
+  Alcotest.(check bool) "clean before the kill" false degraded1;
+  Alcotest.(check (float 0.0)) "exact union before the kill" (truth first) est1;
+  stop_worker (List.nth workers 0);
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"nl" ~payload:(payload_of b)))
+    rest;
+  let est2, degraded2 = ok (Coordinator.estimate coord ~name:"nl") in
+  Alcotest.(check bool) "degraded after the kill" true degraded2;
+  Alcotest.(check (float 0.0)) "no acked set lost" (truth (first @ rest)) est2;
+  ignore (Coordinator.close coord ~name:"nl");
+  Coordinator.shutdown coord;
+  stop_worker (List.nth workers 1);
+  List.iteri (fun n _ -> rm_rf (spool (20 + n))) workers
+
 (* The same line protocol end to end: a Frontend serving
    Coordinator.dispatch over TCP, exercised with a raw socket like any
    client would — including the UNSUPPORTED-verb reply. *)
@@ -171,6 +214,10 @@ let test_frontend_protocol () =
   Alcotest.(check string) "add" "OK" (rpc "ADD c1 0 9 0 9");
   Alcotest.(check string) "add 2" "OK" (rpc "ADD c1 5 14 0 9");
   Alcotest.(check string) "exact estimate" "EST 150" (rpc "EST c1");
+  (* one ADDB frame over the wire: a duplicate box and a new 5x10 strip *)
+  Alcotest.(check string) "addb" "OKB 2"
+    (rpc "ADDB c1 2 0%209%200%209 15%2019%200%209");
+  Alcotest.(check string) "estimate after addb" "EST 200" (rpc "EST c1");
   let reply = rpc "FROB c1" in
   Alcotest.(check string) "unsupported verb" "ERR UNSUPPORTED FROB" reply;
   Alcotest.(check string) "still serving after bad verb" "PONG" (rpc "PING");
@@ -183,7 +230,7 @@ let test_frontend_protocol () =
   let token = String.sub sketch 7 (String.length sketch - 7) in
   Alcotest.(check string) "merge back" "OK merged into c1"
     (rpc ("MERGE c1 " ^ token));
-  Alcotest.(check string) "estimate unchanged by self-merge" "EST 150"
+  Alcotest.(check string) "estimate unchanged by self-merge" "EST 200"
     (rpc "EST c1");
   Alcotest.(check string) "close" "OK closed c1" (rpc "CLOSE c1");
   (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -197,6 +244,8 @@ let suite =
   [
     Alcotest.test_case "scatter/gather with mid-stream worker loss" `Quick
       test_scatter_gather_failover;
+    Alcotest.test_case "batched scatter loses no acked set on worker kill" `Quick
+      test_batched_kill_no_loss;
     Alcotest.test_case "frontend speaks the full protocol" `Quick
       test_frontend_protocol;
   ]

@@ -60,6 +60,9 @@ let test_parse_requests () =
   Alcotest.check request "add keeps payload verbatim"
     (P.Add { session = "s1"; payload = "3 7 12 40" })
     (parse_ok "ADD s1 3 7 12 40");
+  Alcotest.check request "addb unarmors each token"
+    (P.Add_batch { session = "s1"; payloads = [ "0 9 0 9"; "5 14 0 9" ] })
+    (parse_ok "ADDB s1 2 0%209%200%209 5%2014%200%209");
   Alcotest.check request "est" (P.Est { session = "s1" }) (parse_ok "EST s1");
   Alcotest.check request "stats (case, cr)"
     (P.Stats { session = "s1" })
@@ -96,7 +99,30 @@ let test_parse_errors () =
     (parse_err "OPEN s1 cov:4:5 0.2 0.1 40");
   Alcotest.(check string) "bad session name" "BAD-SESSION-NAME"
     (parse_err "EST has/slash");
-  Alcotest.(check string) "add without payload" "ARITY" (parse_err "ADD s1")
+  Alcotest.(check string) "add without payload" "ARITY" (parse_err "ADD s1");
+  Alcotest.(check string) "addb without payloads" "ARITY" (parse_err "ADDB s1");
+  Alcotest.(check string) "addb count mismatch" "ARITY" (parse_err "ADDB s1 3 a b");
+  Alcotest.(check string) "addb bad count" "BAD-NUMBER" (parse_err "ADDB s1 x a");
+  Alcotest.(check string) "addb zero count" "BAD-NUMBER" (parse_err "ADDB s1 0");
+  Alcotest.(check string) "addb bad escape" "PARSE" (parse_err "ADDB s1 1 a%ZZb")
+
+let test_payload_armor () =
+  Alcotest.(check string) "spaces escape" "0%209%200%209" (P.armor_payload "0 9 0 9");
+  Alcotest.(check string) "percent escapes itself" "50%2525" (P.armor_payload "50%25");
+  let plain = "plain-token" in
+  Alcotest.(check bool) "clean payload returned as-is" true (P.armor_payload plain == plain);
+  (match P.unarmor_payload "0%209%0A%0D%25" with
+  | Ok s -> Alcotest.(check string) "all four escapes decode" "0 9\n\r%" s
+  | Error e -> Alcotest.failf "unarmor: %s" e);
+  (match P.unarmor_payload "a b" with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "bare space must not decode (got %S)" s);
+  (match P.unarmor_payload "abc%2" with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "truncated escape must not decode (got %S)" s);
+  match P.unarmor_payload "abc%ZZ" with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "unknown escape must not decode (got %S)" s
 
 let test_session_names () =
   Alcotest.(check bool) "plain ok" true (P.session_name_ok "run-2.b_7");
@@ -135,6 +161,8 @@ let test_request_roundtrip () =
           log2_universe = 64.0;
         };
       P.Add { session = "s"; payload = "0 9 0 9" };
+      P.Add_batch
+        { session = "s"; payloads = [ "0 9 0 9"; "5 14 0 9"; "50% off\r\n" ] };
       P.Est { session = "s" };
       P.Stats { session = "s" };
       P.Snapshot { session = "s"; path = "spool/s.snap" };
@@ -177,6 +205,28 @@ let prop_add_roundtrip =
       let payload = String.trim payload in
       QCheck.assume (payload <> "");
       roundtrip_request (P.Add { session; payload }))
+
+let gen_payload =
+  QCheck.string_gen_of_size
+    (QCheck.Gen.int_range 1 30)
+    (QCheck.Gen.oneofl [ '0'; '9'; ' '; '%'; '\n'; '\r'; '-'; 'x'; '2'; '5' ])
+
+let prop_armor_roundtrip =
+  QCheck.Test.make ~name:"payload armor roundtrip (random)" ~count:500 gen_payload
+    (fun payload ->
+      let tok = P.armor_payload payload in
+      (not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r') tok))
+      && P.unarmor_payload tok = Ok payload)
+
+let prop_addb_roundtrip =
+  QCheck.Test.make ~name:"ADDB frame roundtrip (random)" ~count:300
+    (QCheck.pair gen_session
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 10) gen_payload))
+    (fun (session, payloads) ->
+      (* an all-escapable payload armors to a non-empty token, so any
+         non-empty payload survives the frame *)
+      QCheck.assume (List.for_all (fun p -> p <> "") payloads);
+      roundtrip_request (P.Add_batch { session; payloads }))
 
 let all_errors =
   [
@@ -235,6 +285,16 @@ let test_response_roundtrip () =
           merges = 3;
         };
       P.Sketch "delphic-snapshot%20v2%0Afamily%20rect%0Aend%0A";
+      P.Ok_batch { accepted = 64; errors = [] };
+      P.Ok_batch
+        {
+          accepted = 3;
+          errors =
+            [
+              (1, "not an integer: bogus");
+              (4, "dimension 3 but stream started with 2");
+            ];
+        };
       P.Pong;
     ]
     @ List.map (fun e -> P.Error_reply e) all_errors
@@ -301,6 +361,97 @@ let test_dispatch_lifecycle () =
   Alcotest.check response "closed session gone"
     (P.Error_reply (P.Unknown_session "s1"))
     (dispatch reg "EST s1")
+
+(* ADDB through the registry: one frame, one reply, per-payload errors
+   reported by index while later payloads still land. *)
+let test_dispatch_batch () =
+  let reg = Registry.create ~seed:53 in
+  ignore (dispatch reg "OPEN s1 rect 0.3 0.2 20");
+  Alcotest.check response "clean frame"
+    (P.Ok_batch { accepted = 2; errors = [] })
+    (dispatch reg "ADDB s1 2 0%209%200%209 5%2014%200%209");
+  Alcotest.check response "estimate after batch"
+    (P.Estimate { value = 150.0; degraded = false })
+    (dispatch reg "EST s1");
+  (* malformed payload mid-batch: index 1 is rejected, indexes 0 and 2 land *)
+  Alcotest.check response "frame with one bad payload"
+    (P.Ok_batch { accepted = 2; errors = [ (1, "not an integer: bogus") ] })
+    (Registry.dispatch reg
+       (P.Add_batch
+          { session = "s1"; payloads = [ "20 29 0 9"; "bogus 9 0 9"; "30 39 0 9" ] }));
+  Alcotest.check response "later payloads landed"
+    (P.Estimate { value = 350.0; degraded = false })
+    (dispatch reg "EST s1");
+  (* two bad payloads: both indexes reported, the frame still half-lands *)
+  Alcotest.check response "frame with two bad payloads"
+    (P.Ok_batch
+       {
+         accepted = 1;
+         errors =
+           [
+             (0, "not an integer: x");
+             (2, "dimension 3 but stream started with 2");
+           ];
+       })
+    (Registry.dispatch reg
+       (P.Add_batch
+          {
+            session = "s1";
+            payloads = [ "x 9 0 9"; "40 49 0 9"; "0 1 0 1 0 1" ];
+          }));
+  (match dispatch reg "STATS s1" with
+  | P.Stats_reply s ->
+    Alcotest.(check int) "every accepted payload processed" 5 s.P.items;
+    Alcotest.(check int) "rejects accumulated" 3 s.P.parse_rejects
+  | r -> Alcotest.failf "STATS: %s" (P.render_response r));
+  Alcotest.check response "unknown session refuses the whole frame"
+    (P.Error_reply (P.Unknown_session "ghost"))
+    (dispatch reg "ADDB ghost 1 0%209%200%209")
+
+(* The batching equivalence behind the whole ADDB design: chopping one
+   stream into arbitrary frames must leave the registry in exactly the
+   state singleton ADDs produce — same RNG consumption, same counters,
+   same estimate. *)
+let prop_batch_equivalence =
+  QCheck.Test.make ~name:"ADDB frames match singleton ADDs" ~count:60
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 12) (QCheck.int_range 1 7))
+    (fun chops ->
+      let payloads =
+        List.init 40 (fun i ->
+            let x = i * 17 mod 83 and y = i * 29 mod 71 in
+            Printf.sprintf "%d %d %d %d" x (x + (i mod 9)) y (y + (i mod 7)))
+      in
+      let open_req = parse_ok "OPEN s rect 0.3 0.2 20" in
+      let reg_single = Registry.create ~seed:1234 in
+      let reg_batch = Registry.create ~seed:1234 in
+      ignore (Registry.dispatch reg_single open_req);
+      ignore (Registry.dispatch reg_batch open_req);
+      List.iter
+        (fun p ->
+          ignore (Registry.dispatch reg_single (P.Add { session = "s"; payload = p })))
+        payloads;
+      let rec take n = function
+        | [] -> ([], [])
+        | l when n = 0 -> ([], l)
+        | x :: tl ->
+          let a, b = take (n - 1) tl in
+          (x :: a, b)
+      in
+      let rec feed i = function
+        | [] -> ()
+        | remaining ->
+          let k = List.nth chops (i mod List.length chops) in
+          let frame, rest = take k remaining in
+          ignore
+            (Registry.dispatch reg_batch (P.Add_batch { session = "s"; payloads = frame }));
+          feed (i + 1) rest
+      in
+      feed 0 payloads;
+      let e1 = Registry.dispatch reg_single (P.Est { session = "s" }) in
+      let e2 = Registry.dispatch reg_batch (P.Est { session = "s" }) in
+      let s1 = Registry.dispatch reg_single (P.Stats { session = "s" }) in
+      let s2 = Registry.dispatch reg_batch (P.Stats { session = "s" }) in
+      e1 = e2 && s1 = s2)
 
 let test_dispatch_validation () =
   let reg = Registry.create ~seed:7 in
@@ -406,6 +557,7 @@ let suite =
   [
     Alcotest.test_case "parse requests" `Quick test_parse_requests;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "payload armor" `Quick test_payload_armor;
     Alcotest.test_case "session names" `Quick test_session_names;
     Alcotest.test_case "family tokens" `Quick test_family_tokens;
     Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
@@ -414,7 +566,11 @@ let suite =
     Alcotest.test_case "responses are one line" `Quick test_single_line;
     QCheck_alcotest.to_alcotest prop_open_roundtrip;
     QCheck_alcotest.to_alcotest prop_add_roundtrip;
+    QCheck_alcotest.to_alcotest prop_armor_roundtrip;
+    QCheck_alcotest.to_alcotest prop_addb_roundtrip;
     Alcotest.test_case "dispatch lifecycle" `Quick test_dispatch_lifecycle;
+    Alcotest.test_case "dispatch batched adds" `Quick test_dispatch_batch;
+    QCheck_alcotest.to_alcotest prop_batch_equivalence;
     Alcotest.test_case "dispatch validation" `Quick test_dispatch_validation;
     Alcotest.test_case "dispatch snapshot/restore" `Quick test_dispatch_snapshot_restore;
     Alcotest.test_case "dispatch fetch/merge" `Quick test_dispatch_fetch_merge;
