@@ -528,10 +528,18 @@ let coord_cmd =
     in
     Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N" ~doc)
   in
-  let run seed port host workers shard timeout batch =
+  let gather_domains =
+    let doc =
+      "Domains spent on the gather's sketch decode/merge tree ($(b,1) keeps \
+       the fold on the calling thread; the folded sketch is identical either \
+       way).  Defaults to the machine's recommended domain count, capped at 4."
+    in
+    Arg.(value & opt (some int) None & info [ "gather-domains" ] ~docv:"N" ~doc)
+  in
+  let run seed port host workers shard timeout batch gather_domains =
     let coord =
-      Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~batch ~workers
-        ~seed ()
+      Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~batch
+        ?gather_domains ~workers ~seed ()
     in
     let frontend =
       Delphic_cluster.Frontend.create ~host ~port
@@ -558,7 +566,7 @@ let coord_cmd =
     (Cmd.info "coord" ~doc)
     Term.(
       const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout
-      $ batch)
+      $ batch $ gather_domains)
 
 (* query: one-shot client for the service. *)
 

@@ -1,6 +1,7 @@
 module P = Delphic_server.Protocol
 module Families = Delphic_server.Families
 module Io = Delphic_core.Snapshot_io
+module Parallel = Delphic_harness.Parallel
 
 let log_src = Logs.Src.create "delphic.cluster" ~doc:"scatter/gather coordinator"
 
@@ -39,6 +40,12 @@ type session_info = {
   mutable rejects : int; (* Bad_line acks seen for this session *)
   mutable lost : int; (* adds dropped because no worker would take them *)
   mutable merges : int; (* gather folds performed *)
+  (* Memoised fold: the wire tokens of the last all-fresh gather and the
+     sketch they folded to.  Workers encode lazily ({!Registry.fetch}'s
+     wire cache), so a quiescent cluster answers every worker with a
+     byte-identical token and the whole decode + merge tree is skipped —
+     repeated EST on an idle cluster costs the RPCs alone. *)
+  mutable fold_cache : (string array * Families.t) option;
 }
 
 type t = {
@@ -49,19 +56,33 @@ type t = {
   backoff : float; (* first retry delay; doubles per consecutive failure *)
   window : int; (* unacked payload units per worker before a drain *)
   batch : int; (* max payloads per ADDB frame; the flush high-water mark *)
+  gather_domains : int; (* domains for the gather decode/merge tree *)
   seed : int;
   lock : Mutex.t;
   sessions : (string, session_info) Hashtbl.t;
   mutable seq : int; (* distinct seeds for successive folds *)
+  (* While a gather has Fetch requests on the wire, a dying worker must not
+     trigger an immediate requeue: re-routing its orphans would stage new
+     frames on peers *behind* their un-collected sketch replies and misframe
+     their streams.  Deaths are parked here and re-routed after collect. *)
+  mutable in_gather : bool;
+  deferred_deaths : worker Queue.t;
 }
 
 let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
-    ?(window = 256) ?(batch = 64) ~workers ~seed () =
+    ?(window = 256) ?(batch = 64) ?gather_domains ~workers ~seed () =
   if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
   if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
   if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
   if window < 1 then invalid_arg "Coordinator.create: need window >= 1";
   if batch < 1 then invalid_arg "Coordinator.create: need batch >= 1";
+  let gather_domains =
+    match gather_domains with
+    | None -> Parallel.default_domains ()
+    | Some d ->
+      if d < 1 then invalid_arg "Coordinator.create: need gather_domains >= 1";
+      d
+  in
   {
     workers =
       Array.of_list
@@ -86,10 +107,13 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     backoff;
     window;
     batch;
+    gather_domains;
     seed;
     lock = Mutex.create ();
     sessions = Hashtbl.create 4;
     seq = 0;
+    in_gather = false;
+    deferred_deaths = Queue.create ();
   }
 
 let with_lock t f =
@@ -207,11 +231,35 @@ let find_session t name =
   | Some si -> Ok si
   | None -> Error (P.Unknown_session name)
 
+(* Retire the oldest pending frame against one ack-shaped reply — [OKB] for
+   an ADDB, [OK] for a legacy single ADD. *)
+let retire_ack t w reply =
+  match Queue.take_opt w.pending with
+  | None -> w.in_flight <- 0 (* unreachable: in_flight tracks pending *)
+  | Some b ->
+    w.in_flight <- w.in_flight - Array.length b.bitems;
+    let reject n =
+      if n > 0 then
+        match Hashtbl.find_opt t.sessions b.bsession with
+        | Some si -> si.rejects <- si.rejects + n
+        | None -> ()
+    in
+    (match reply with
+    | P.Ok_reply _ -> ()
+    | P.Ok_batch { accepted = _; errors } -> reject (List.length errors)
+    | P.Error_reply (P.Bad_line _) ->
+      (* the whole frame was refused — for a 1-item ADD frame that is
+         exactly one rejected payload *)
+      reject (Array.length b.bitems)
+    | r ->
+      (* ack-shaped but unexpected: count the frame as delivered *)
+      Log.warn (fun m ->
+          m "worker %s: unexpected ingest ack %s" (address w) (P.render_response r)))
+
 (* Read reply lines until at most [down_to] payload units remain unacked.
-   One reply retires one whole frame — [OKB] for an ADDB, [OK] for a legacy
-   single ADD.  Union estimation is duplicate-insensitive, so on failure the
-   unacked frames can be replayed on other workers without harming
-   correctness. *)
+   One reply retires one whole frame.  Union estimation is
+   duplicate-insensitive, so on failure the unacked frames can be replayed
+   on other workers without harming correctness. *)
 let rec drain_acks t w ~down_to =
   if w.in_flight <= down_to then ()
   else
@@ -220,27 +268,7 @@ let rec drain_acks t w ~down_to =
     | Some conn -> (
       match Rpc.recv conn with
       | Ok reply ->
-        (match Queue.take_opt w.pending with
-        | None -> w.in_flight <- 0 (* unreachable: in_flight tracks pending *)
-        | Some b ->
-          w.in_flight <- w.in_flight - Array.length b.bitems;
-          let reject n =
-            if n > 0 then
-              match Hashtbl.find_opt t.sessions b.bsession with
-              | Some si -> si.rejects <- si.rejects + n
-              | None -> ()
-          in
-          (match reply with
-          | P.Ok_reply _ -> ()
-          | P.Ok_batch { accepted = _; errors } -> reject (List.length errors)
-          | P.Error_reply (P.Bad_line _) ->
-            (* the whole frame was refused — for a 1-item ADD frame that is
-               exactly one rejected payload *)
-            reject (Array.length b.bitems)
-          | r ->
-            (* ack-shaped but unexpected: count the frame as delivered *)
-            Log.warn (fun m ->
-                m "worker %s: unexpected ingest ack %s" (address w) (P.render_response r))));
+        retire_ack t w reply;
         drain_acks t w ~down_to
       | Error msg ->
         Log.warn (fun m -> m "worker %s: lost while draining acks: %s" (address w) msg);
@@ -347,7 +375,15 @@ let requeue t w =
         | Error _ -> () (* already counted in si.lost *)))
     (List.rev !orphans)
 
-let () = kill_requeue := requeue
+let () =
+  kill_requeue :=
+    fun t w ->
+      (* mid-gather deaths are parked: see [deferred_deaths] *)
+      if t.in_gather then begin
+        if not (Queue.fold (fun seen d -> seen || d == w) false t.deferred_deaths)
+        then Queue.push w t.deferred_deaths
+      end
+      else requeue t w
 
 (* Synchronous round-trip on [w]'s connection.  Pipelined ingest acks share
    the reply stream with every other verb, so staged frames must be shipped
@@ -419,6 +455,7 @@ let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
             rejects = 0;
             lost = 0;
             merges = 0;
+            fold_cache = None;
           };
         let failures =
           broadcast t
@@ -472,61 +509,210 @@ let flush t =
 
 (* Gather every worker's sketch for [name] and fold.  A worker that cannot
    answer contributes its last good snapshot (or nothing) and flags the
-   estimate degraded. *)
+   estimate degraded.
+
+   The fetch round-trips overlap.  Phase one walks the pool doing only
+   writes: each connection's queued ADDB frames are shipped and the Fetch is
+   staged behind them in the same stream, so every worker starts encoding
+   its snapshot while its peers still receive theirs.  Phase two collects
+   each connection's replies — first the acks owed for frames sent before
+   the Fetch (the reply stream is strictly ordered, so reading exactly that
+   many keeps it framed), then the sketch — under one shared absolute
+   deadline: a slow worker can only burn whatever budget remains, and a
+   fast worker's already-buffered reply is still collected at budget zero,
+   so gather latency is max-of-workers, not sum-of-workers.  Phase three
+   decodes each sketch in its own task and folds them with a balanced merge
+   tree ({!Parallel.reduce}), O(log k) depth across [gather_domains]. *)
 let gather t si name =
-  flush t;
+  let deadline = Unix.gettimeofday () +. t.timeout in
+  let n = Array.length t.workers in
+  (* per worker: frames owed ahead of the sketch reply; -1 = never asked *)
+  let expect = Array.make n (-1) in
   let degraded = ref false in
   let parts = ref [] in
-  Array.iter
-    (fun w ->
-      let stale () =
-        degraded := true;
-        match Hashtbl.find_opt w.last_good name with
-        | Some io -> parts := (w, io) :: !parts
-        | None -> ()
-      in
-      match ensure_conn t w with
-      | None -> stale ()
-      | Some _ -> (
-        (* requeue during this very loop can put new ADDs in flight on this
-           worker; call_sync drains them before the Fetch so the reply is
-           really the sketch *)
-        match call_sync t w (P.Fetch { session = name }) with
-        | Ok (P.Sketch encoded) -> (
-          match Io.of_wire encoded with
-          | Ok io ->
-            Hashtbl.replace w.last_good name io;
-            parts := (w, io) :: !parts
-          | Error msg ->
-            Log.warn (fun m -> m "worker %s: bad sketch: %s" (address w) msg);
-            stale ())
-        | Ok (P.Error_reply (P.Unknown_session _)) ->
-          (* a revived worker the resync could not refill *)
-          stale ()
-        | Ok r ->
-          Log.warn (fun m ->
-              m "worker %s: SNAPSHOT answered %s" (address w) (P.render_response r));
-          stale ()
-        | Error msg ->
-          Log.warn (fun m -> m "worker %s: SNAPSHOT failed: %s" (address w) msg);
-          stale ()))
-    t.workers;
+  t.in_gather <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.in_gather <- false;
+      (* Re-route the orphans of workers that died mid-gather, now that no
+         un-collected sketch reply is left for a requeue to misframe. *)
+      while not (Queue.is_empty t.deferred_deaths) do
+        requeue t (Queue.pop t.deferred_deaths)
+      done)
+    (fun () ->
+      (* phase one: broadcast, per connection, no reads *)
+      Array.iteri
+        (fun i w ->
+          match ensure_conn t w with
+          | None -> ()
+          | Some _ ->
+            flush_worker t w;
+            (match w.conn with
+            | None -> ()
+            | Some conn ->
+              Rpc.stage conn (P.Fetch { session = name });
+              (match Rpc.flush_staged conn with
+              | Ok () -> expect.(i) <- Queue.length w.pending
+              | Error msg ->
+                Log.warn (fun m ->
+                    m "worker %s: fetch broadcast failed: %s" (address w) msg);
+                quarantine t w)))
+        t.workers;
+      (* phase two: collect, each worker bounded by the shared deadline *)
+      Array.iteri
+        (fun i w ->
+          let stale () =
+            degraded := true;
+            match Hashtbl.find_opt w.last_good name with
+            | Some io -> parts := (w, `Stale io) :: !parts
+            | None -> ()
+          in
+          if expect.(i) < 0 then stale ()
+          else
+            match w.conn with
+            | None -> stale ()
+            | Some conn -> (
+              let rec acks k =
+                if k = 0 then Ok ()
+                else
+                  match Rpc.recv_timeout ~deadline conn with
+                  | Ok reply ->
+                    retire_ack t w reply;
+                    acks (k - 1)
+                  | Error _ as e -> e
+              in
+              match acks expect.(i) with
+              | Error e ->
+                Log.warn (fun m ->
+                    m "worker %s: lost while draining acks: %s" (address w)
+                      (Rpc.describe_recv_error e));
+                quarantine t w;
+                stale ()
+              | Ok () -> (
+                match Rpc.recv_timeout ~deadline conn with
+                | Ok (P.Sketch encoded) -> parts := (w, `Fresh encoded) :: !parts
+                | Ok (P.Error_reply (P.Unknown_session _)) ->
+                  (* a revived worker the resync could not refill *)
+                  stale ()
+                | Ok r ->
+                  Log.warn (fun m ->
+                      m "worker %s: SNAPSHOT answered %s" (address w)
+                        (P.render_response r));
+                  stale ()
+                | Error e ->
+                  (match e with
+                  | Rpc.Timed_out ->
+                    Log.warn (fun m ->
+                        m
+                          "worker %s: no sketch by the gather deadline — \
+                           falling back to its last good snapshot"
+                          (address w))
+                  | Rpc.Closed msg ->
+                    Log.warn (fun m ->
+                        m "worker %s: SNAPSHOT failed: %s" (address w) msg));
+                  quarantine t w;
+                  stale ())))
+        t.workers);
+  (* phase three: decode in parallel tasks, fold with a balanced merge tree *)
   match List.rev !parts with
   | [] -> Error (P.Server_error "no worker holds any data for this session")
-  | (_, first) :: rest -> (
-    match Families.of_io first ~seed:(next_seed t) with
-    | Error msg -> Error (P.Server_error msg)
-    | Ok acc ->
-      let fold acc (_, io) =
-        Result.bind acc (fun acc ->
-            Result.bind (Families.of_io io ~seed:(next_seed t)) (fun other ->
-                Families.merge acc other ~seed:(next_seed t)))
+  | parts_list -> (
+    (* the gather was clean and every token is fresh off the wire: if they
+       are byte-identical to the last such gather, the fold is too *)
+    let all_fresh =
+      if !degraded then None
+      else
+        let rec go acc = function
+          | [] -> Some (Array.of_list (List.rev acc))
+          | (_, `Fresh e) :: rest -> go (e :: acc) rest
+          | (_, `Stale _) :: _ -> None
+        in
+        go [] parts_list
+    in
+    let cached =
+      match (all_fresh, si.fold_cache) with
+      | Some encs, Some (prev, folded)
+        when Array.length prev = Array.length encs
+             && Array.for_all2 String.equal prev encs ->
+        Some folded
+      | _ -> None
+    in
+    match cached with
+    | Some folded -> Ok (folded, false)
+    | None ->
+    let parts = Array.of_list parts_list in
+    let k = Array.length parts in
+    (* Leaves run in domains but [next_seed] mutates [t], so the seeds are
+       drawn up front and claimed through an atomic cursor (≤ k decodes +
+       ≤ k stale fallbacks + k-1 merges < 3k). *)
+    let seeds = Array.init (3 * k) (fun _ -> next_seed t) in
+    let cursor = Atomic.make 0 in
+    let seed () = seeds.(Atomic.fetch_and_add cursor 1) in
+    let fresh_io = Array.make k None in
+    let bad_wire = Array.make k None in
+    let contributed = Array.make k false in
+    (* [Ok None] = this worker contributes nothing (bad token, no fallback);
+       [Error] aborts the whole fold, as a family mismatch always did. *)
+    let leaf i : (Families.t option, string) result =
+      let w, part = parts.(i) in
+      let finish = function
+        | Ok fam ->
+          contributed.(i) <- true;
+          Ok (Some fam)
+        | Error msg -> Error msg
       in
-      (match List.fold_left fold (Ok acc) rest with
-      | Error msg -> Error (P.Server_error msg)
-      | Ok folded ->
-        si.merges <- si.merges + List.length rest;
-        Ok (folded, !degraded)))
+      match part with
+      | `Stale io -> finish (Families.of_io io ~seed:(seed ()))
+      | `Fresh encoded -> (
+        match Io.of_wire encoded with
+        | Ok io ->
+          fresh_io.(i) <- Some io;
+          finish (Families.of_io io ~seed:(seed ()))
+        | Error msg -> (
+          bad_wire.(i) <- Some msg;
+          match Hashtbl.find_opt w.last_good name with
+          | Some io -> finish (Families.of_io io ~seed:(seed ()))
+          | None -> Ok None))
+    in
+    let merge a b =
+      match (a, b) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok None, x | x, Ok None -> x
+      | Ok (Some x), Ok (Some y) -> (
+        match Families.merge x y ~seed:(seed ()) with
+        | Ok m -> Ok (Some m)
+        | Error msg -> Error msg)
+    in
+    let root =
+      Parallel.reduce ~domains:t.gather_domains ~map:leaf ~merge (List.init k Fun.id)
+    in
+    (* leaf side effects land only after the join above *)
+    Array.iteri
+      (fun i (w, _) ->
+        (match bad_wire.(i) with
+        | Some msg ->
+          degraded := true;
+          Log.warn (fun m -> m "worker %s: bad sketch: %s" (address w) msg)
+        | None -> ());
+        match fresh_io.(i) with
+        | Some io -> Hashtbl.replace w.last_good name io
+        | None -> ())
+      parts;
+    (match root with
+    | None | Some (Ok None) ->
+      Error (P.Server_error "no worker holds any data for this session")
+    | Some (Error msg) -> Error (P.Server_error msg)
+    | Some (Ok (Some folded)) ->
+      let folds =
+        Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 contributed
+      in
+      si.merges <- si.merges + Stdlib.max 0 (folds - 1);
+      (* only a gather where every token decoded cleanly may seed the memo —
+         [degraded] picks up bad_wire fallbacks after the join, so re-check *)
+      (match all_fresh with
+      | Some encs when not !degraded -> si.fold_cache <- Some (encs, folded)
+      | _ -> ());
+      Ok (folded, !degraded)))
 
 let estimate t ~name =
   with_lock t (fun () ->

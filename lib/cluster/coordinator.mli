@@ -43,18 +43,25 @@ val create :
   ?backoff:float ->
   ?window:int ->
   ?batch:int ->
+  ?gather_domains:int ->
   workers:(string * int) list ->
   seed:int ->
   unit ->
   t
 (** [workers] are [host, port] pairs; connections are opened lazily.
-    [timeout] (default 2s) bounds every connect/send/recv; [retries]
-    (default 3) bounds reconnect attempts, with delays starting at
+    [timeout] (default 2s) bounds every connect/send/recv — a gather gives
+    the {e whole} collect phase one [timeout] as a shared absolute deadline,
+    so one slow worker costs at most one timeout however many are slow;
+    [retries] (default 3) bounds reconnect attempts, with delays starting at
     [backoff] (default 50ms) and doubling; [window] (default 256) is the
     unacknowledged-payload depth per worker; [batch] (default 64) is both
     the per-worker staging high-water mark and the maximum payloads per
     [ADDB] frame — [batch = 1] degenerates to the unbatched one-ADD-per-line
-    pipeline.  Raises [Invalid_argument] on an empty pool or nonsensical
+    pipeline; [gather_domains] (default
+    {!Delphic_harness.Parallel.default_domains}) bounds the domains spent on
+    the gather's decode/merge tree — [1] keeps the fold on the calling
+    thread (the merge-tree shape, hence the folded sketch, is the same
+    either way).  Raises [Invalid_argument] on an empty pool or nonsensical
     knobs. *)
 
 val dispatch : t -> Delphic_server.Protocol.request -> Delphic_server.Protocol.response

@@ -1,19 +1,42 @@
 module P = Delphic_server.Protocol
 
+type recv_error =
+  | Timed_out  (** the deadline passed with no complete reply line; the peer
+                   may still be alive, but its reply stream can no longer be
+                   trusted to stay framed *)
+  | Closed of string  (** EOF, a transport error, or an unparseable line *)
+
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
   oc : out_channel;
   host : string;
   port : int;
+  timeout : float; (* default per-recv budget when no deadline is given *)
   (* Staged-but-unsent request lines: [stage] appends here without touching
      the socket, [flush_staged] ships the whole accumulation as one
      write+flush (writev-style coalescing).  [send]/[call] drain it first so
      a synchronous request can never leapfrog staged frames on the wire. *)
   buf : Buffer.t;
+  (* Reads bypass in_channel: a raw [Unix.read] surfaces EAGAIN from
+     SO_RCVTIMEO as a typed timeout instead of a Sys_error string, which is
+     what lets [recv_timeout] tell "slow" from "dead".  [pend] holds bytes
+     received but not yet consumed as a line (always starting at a line
+     boundary); [scanned] is the prefix of [pend] already known to hold no
+     newline, so a line arriving across several reads is scanned once. *)
+  rbuf : Bytes.t;
+  mutable pend : string;
+  mutable scanned : int;
+  (* the SO_RCVTIMEO value currently armed on [fd]: re-arming costs a
+     syscall per read, and in the steady state every recv wants the same
+     budget, so [read_chunk] skips the setsockopt when close enough *)
+  mutable armed : float;
 }
 
 let address t = Printf.sprintf "%s:%d" t.host t.port
+
+let describe_recv_error = function
+  | Timed_out -> "timed out waiting for a reply"
+  | Closed msg -> msg
 
 (* A write to a worker that died mid-conversation must surface as EPIPE
    (caught in [send]), not kill the whole coordinator process. *)
@@ -30,6 +53,22 @@ let resolve host =
     | { Unix.h_addr_list = [||]; _ } -> Error (Printf.sprintf "no address for %S" host)
     | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
     | exception Not_found -> Error (Printf.sprintf "cannot resolve %S" host))
+
+let make_conn fd ~host ~port ~timeout =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+  {
+    fd;
+    oc = Unix.out_channel_of_descr fd;
+    host;
+    port;
+    timeout;
+    buf = Buffer.create 4096;
+    rbuf = Bytes.create 65536;
+    pend = "";
+    scanned = 0;
+    armed = timeout;
+  }
 
 let connect ~host ~port ~timeout =
   Lazy.force ignore_sigpipe;
@@ -51,17 +90,7 @@ let connect ~host ~port ~timeout =
         match Unix.getsockopt_error fd with
         | None ->
           Unix.clear_nonblock fd;
-          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
-          Ok
-            {
-              fd;
-              ic = Unix.in_channel_of_descr fd;
-              oc = Unix.out_channel_of_descr fd;
-              host;
-              port;
-              buf = Buffer.create 4096;
-            }
+          Ok (make_conn fd ~host ~port ~timeout)
         | Some e -> fail e)
       | _ -> fail Unix.ETIMEDOUT
       | exception Unix.Unix_error (e, _, _) -> fail e)
@@ -69,17 +98,7 @@ let connect ~host ~port ~timeout =
     | () ->
       (* loopback can connect synchronously even in nonblocking mode *)
       Unix.clear_nonblock fd;
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
-      Ok
-        {
-          fd;
-          ic = Unix.in_channel_of_descr fd;
-          oc = Unix.out_channel_of_descr fd;
-          host;
-          port;
-          buf = Buffer.create 4096;
-        })
+      Ok (make_conn fd ~host ~port ~timeout))
 
 let stage t req =
   Buffer.add_string t.buf (P.render_request req);
@@ -108,16 +127,65 @@ let send t req =
   stage t req;
   flush_staged t
 
-let recv t =
-  match input_line t.ic with
-  | line -> Result.map_error (fun msg -> msg) (P.parse_response line)
-  | exception End_of_file -> Error "connection closed by peer"
-  | exception Sys_error msg -> Error msg
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+(* One chunk off the socket, with SO_RCVTIMEO armed to whatever remains of
+   [deadline] (clamped to 1ms: a zero timeout means block forever, and
+   bytes already delivered to the kernel buffer are returned regardless, so
+   an exhausted budget still collects a reply that has in fact arrived).
+   The setsockopt is skipped when the armed value is already within 10% of
+   the budget — a stale-armed EAGAIN before the deadline just re-arms and
+   retries, so the skip can delay a timeout by at most that 10%. *)
+let rec read_chunk t ~deadline =
+  let remaining = deadline -. Unix.gettimeofday () in
+  let budget = if remaining < 0.001 then 0.001 else remaining in
+  if Float.abs (t.armed -. budget) > 0.1 *. budget then begin
+    (try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO budget
+     with Unix.Unix_error _ -> ());
+    t.armed <- budget
+  end;
+  match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+  | 0 -> Error (Closed "connection closed by peer")
+  | k -> Ok (Bytes.sub_string t.rbuf 0 k)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    ->
+    if Unix.gettimeofday () < deadline -. 0.0005 then read_chunk t ~deadline
+    else Error Timed_out
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk t ~deadline
+  | exception Unix.Unix_error (e, _, _) -> Error (Closed (Unix.error_message e))
+
+let rec read_line t ~deadline =
+  match String.index_from_opt t.pend t.scanned '\n' with
+  | Some i ->
+    let line = String.sub t.pend 0 i in
+    t.pend <- String.sub t.pend (i + 1) (String.length t.pend - i - 1);
+    t.scanned <- 0;
+    Ok line
+  | None -> (
+    t.scanned <- String.length t.pend;
+    match read_chunk t ~deadline with
+    | Ok chunk ->
+      t.pend <- (if t.pend = "" then chunk else t.pend ^ chunk);
+      read_line t ~deadline
+    | Error _ as e -> e)
+
+let recv_timeout ?deadline t =
+  let deadline =
+    match deadline with Some d -> d | None -> Unix.gettimeofday () +. t.timeout
+  in
+  match read_line t ~deadline with
+  | Error _ as e -> e
+  | Ok line -> (
+    match P.parse_response line with
+    | Ok _ as ok -> ok
+    (* an unparseable line means the stream is misframed — the connection is
+       as good as dead even though the socket is open *)
+    | Error msg -> Error (Closed msg))
+
+let recv t = Result.map_error describe_recv_error (recv_timeout t)
 
 let call t req = Result.bind (send t req) (fun () -> recv t)
 
 let close t =
-  (* close_in would close the shared fd twice via the out channel *)
+  (* shutdown first so a blocked peer sees EOF; the out channel shares the
+     fd, so only the fd itself is closed *)
   (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -4,17 +4,32 @@
 
     The coordinator cannot afford an unbounded stall on one worker while
     the others idle: {!connect} uses a nonblocking connect raced against
-    [select], and the established socket carries [SO_RCVTIMEO]/[SO_SNDTIMEO]
-    so {!send}/{!recv} fail with [Error] after [timeout] seconds instead of
-    hanging.  All failures are [Error message] — never exceptions — so the
-    caller's retry/quarantine logic sees every outcome. *)
+    [select], and reads go through a raw [Unix.read] loop (not an
+    [in_channel]) so [SO_RCVTIMEO] expiry surfaces as the typed
+    {!recv_error.Timed_out} instead of an exception string.  All failures
+    are values — never exceptions — so the caller's retry/quarantine logic
+    sees every outcome. *)
 
 type t
+
+type recv_error =
+  | Timed_out
+      (** the budget passed without a complete reply line.  The peer may
+          merely be slow — but a reply consumed after a timeout would land
+          on a stream whose framing the caller has given up on, so the
+          connection should be dropped either way; the constructor exists so
+          that callers can {e log and decide} without matching on message
+          strings. *)
+  | Closed of string
+      (** EOF, a transport error, or an unparseable reply line (a misframed
+          stream is as dead as a closed one). *)
 
 val connect : host:string -> port:int -> timeout:float -> (t, string) result
 
 val address : t -> string
 (** ["host:port"], for log and error messages. *)
+
+val describe_recv_error : recv_error -> string
 
 val call : t -> Delphic_server.Protocol.request -> (Delphic_server.Protocol.response, string) result
 (** [send] then [recv]: the one-outstanding-request case. *)
@@ -40,8 +55,20 @@ val flush_staged : t -> (unit, string) result
     mid-line); the caller is expected to drop the connection and replay
     from its own pending queue. *)
 
+val recv_timeout :
+  ?deadline:float -> t -> (Delphic_server.Protocol.response, recv_error) result
+(** Read one reply line, bounded by [deadline] (an [Unix.gettimeofday]
+    epoch; default now + the connect timeout).  The deadline bounds the
+    {e whole line}, not each read syscall, so the overlapped gather can hand
+    every worker the same absolute deadline and collect serially: a reply
+    already sitting in the kernel buffer is returned even when the budget
+    has been consumed by an earlier, slower worker, while a worker that has
+    not answered by the deadline costs at most the remaining budget.
+    Partial lines read before a timeout stay buffered on the connection. *)
+
 val recv : t -> (Delphic_server.Protocol.response, string) result
-(** [Error] on timeout, closed connection, or an unparseable reply line. *)
+(** {!recv_timeout} with the connection's default budget and the error
+    flattened to a message. *)
 
 val close : t -> unit
 (** Idempotent; shuts down both directions first so a blocked peer sees

@@ -62,7 +62,14 @@ let encode t =
   line "merges %d" t.merges;
   line "exact-active %b" t.exact_active;
   line "exact-entries %d" (List.length t.exact_entries);
-  List.iter (fun e -> line "E %s" e) t.exact_entries;
+  (* entry lines dominate a large snapshot: append them directly instead of
+     paying a printf interpretation per element *)
+  List.iter
+    (fun e ->
+      Buffer.add_string buf "E ";
+      Buffer.add_string buf e;
+      Buffer.add_char buf '\n')
+    t.exact_entries;
   (match t.sketch with
   | None -> line "no-sketch"
   | Some s ->
@@ -73,7 +80,10 @@ let encode t =
     List.iter
       (fun (level, e) ->
         check_single_line "a sketch entry" e;
-        line "%d %s" level e)
+        Buffer.add_string buf (string_of_int level);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf e;
+        Buffer.add_char buf '\n')
       s.entries);
   line "end";
   Buffer.contents buf
@@ -98,10 +108,9 @@ let decode text =
   let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" !lineno m)) fmt in
   let keyed key =
     let* l = next () in
-    let prefix = key ^ " " in
-    let plen = String.length prefix in
-    if String.length l >= plen && String.sub l 0 plen = prefix then
-      Ok (String.sub l plen (String.length l - plen))
+    let klen = String.length key in
+    if String.length l > klen && l.[klen] = ' ' && String.starts_with ~prefix:key l
+    then Ok (String.sub l (klen + 1) (String.length l - klen - 1))
     else fail "expected %S, got %S" key l
   in
   let int_field key =
@@ -221,40 +230,60 @@ let decode text =
 
 let to_wire t =
   let text = encode t in
-  let buf = Buffer.create (String.length text + (String.length text / 4)) in
-  String.iter
-    (fun c ->
-      match c with
-      | '%' -> Buffer.add_string buf "%25"
-      | '\n' -> Buffer.add_string buf "%0A"
-      | '\r' -> Buffer.add_string buf "%0D"
-      | ' ' -> Buffer.add_string buf "%20"
-      | c -> Buffer.add_char buf c)
-    text;
+  let n = String.length text in
+  let buf = Buffer.create (n + (n / 4)) in
+  (* copy maximal clean runs in one go; [i] is the start of the current run *)
+  let rec run i j =
+    if j >= n then Buffer.add_substring buf text i (n - i)
+    else
+      match String.unsafe_get text j with
+      | '%' | '\n' | '\r' | ' ' ->
+        Buffer.add_substring buf text i (j - i);
+        Buffer.add_string buf
+          (match text.[j] with
+          | '%' -> "%25"
+          | '\n' -> "%0A"
+          | '\r' -> "%0D"
+          | _ -> "%20");
+        run (j + 1) (j + 1)
+      | _ -> run i (j + 1)
+  in
+  run 0 0;
   Buffer.contents buf
 
 let of_wire s =
   let n = String.length s in
   let buf = Buffer.create n in
-  let rec unescape i =
-    if i >= n then Ok (Buffer.contents buf)
-    else if s.[i] = '%' then
-      if i + 2 >= n then Error "wire snapshot: truncated percent-escape"
-      else
-        match String.sub s (i + 1) 2 with
-        | "25" -> Buffer.add_char buf '%'; unescape (i + 3)
-        | "0A" -> Buffer.add_char buf '\n'; unescape (i + 3)
-        | "0D" -> Buffer.add_char buf '\r'; unescape (i + 3)
-        | "20" -> Buffer.add_char buf ' '; unescape (i + 3)
-        | esc -> Error (Printf.sprintf "wire snapshot: unknown escape %%%s" esc)
-    else if s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\r' then
-      Error "wire snapshot: unescaped whitespace"
-    else begin
-      Buffer.add_char buf s.[i];
-      unescape (i + 1)
+  (* mirror of [to_wire]: clean runs copy as substrings, [i] = run start *)
+  let rec unescape i j =
+    if j >= n then begin
+      Buffer.add_substring buf s i (j - i);
+      Ok (Buffer.contents buf)
     end
+    else
+      match String.unsafe_get s j with
+      | '%' ->
+        Buffer.add_substring buf s i (j - i);
+        if j + 2 >= n then Error "wire snapshot: truncated percent-escape"
+        else (
+          match (s.[j + 1], s.[j + 2]) with
+          | '2', '5' ->
+            Buffer.add_char buf '%';
+            unescape (j + 3) (j + 3)
+          | '0', 'A' ->
+            Buffer.add_char buf '\n';
+            unescape (j + 3) (j + 3)
+          | '0', 'D' ->
+            Buffer.add_char buf '\r';
+            unescape (j + 3) (j + 3)
+          | '2', '0' ->
+            Buffer.add_char buf ' ';
+            unescape (j + 3) (j + 3)
+          | a, b -> Error (Printf.sprintf "wire snapshot: unknown escape %%%c%c" a b))
+      | ' ' | '\n' | '\r' -> Error "wire snapshot: unescaped whitespace"
+      | _ -> unescape i (j + 1)
   in
-  let* text = unescape 0 in
+  let* text = unescape 0 0 in
   decode text
 
 let save ~path t =

@@ -1,25 +1,82 @@
 let default_domains () =
   Stdlib.max 1 (Stdlib.min 4 (Domain.recommended_domain_count () - 1))
 
+(* Work-stealing assignment: every domain (including the caller) pulls the
+   next unclaimed index from a shared atomic counter, so a workload whose
+   cost is monotone in index — the accuracy experiments sweep stream length
+   exactly like that — no longer lands all its heavy trials on the last
+   domain the way contiguous slicing did.  Results are written back at
+   their original index, so order is preserved. *)
 let map ?domains f items =
   let domains = match domains with Some d -> Stdlib.max 1 d | None -> default_domains () in
   let n = List.length items in
   if domains = 1 || n <= 1 then List.map f items
   else begin
     let items = Array.of_list items in
-    let chunks = Stdlib.min domains n in
-    (* Contiguous slices [lo, hi) per domain. *)
-    let bounds =
-      Array.init chunks (fun i ->
-          let lo = i * n / chunks and hi = (i + 1) * n / chunks in
-          (lo, hi))
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f items.(i));
+          loop ()
+        end
+      in
+      loop ()
     in
-    let workers =
-      Array.map
-        (fun (lo, hi) ->
-          Domain.spawn (fun () -> Array.init (hi - lo) (fun j -> f items.(lo + j))))
-        bounds
+    let spawned =
+      Array.init (Stdlib.min (domains - 1) (n - 1)) (fun _ -> Domain.spawn work)
     in
-    let results = Array.map Domain.join workers in
-    Array.to_list (Array.concat (Array.to_list results))
+    let caller_exn = match work () with () -> None | exception e -> Some e in
+    let spawned_exn =
+      Array.fold_left
+        (fun acc d ->
+          match Domain.join d with
+          | () -> acc
+          | exception e -> ( match acc with None -> Some e | Some _ -> acc))
+        None spawned
+    in
+    (match (caller_exn, spawned_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) results)
   end
+
+(* Balanced binary merge tree: leaves run [map], inner nodes run [merge],
+   and with a budget of [domains] the two subtrees of a node execute in
+   different domains until the budget is spent, giving O(log n) depth on
+   enough cores.  The tree shape — and therefore the sequence of [merge]
+   applications — depends only on the item count, never on [domains], so a
+   merge that is associative-but-not-commutative still gives identical
+   results serial or parallel. *)
+let reduce ?domains ~map:leaf ~merge items =
+  match items with
+  | [] -> None
+  | [ x ] -> Some (leaf x)
+  | _ ->
+    let domains =
+      match domains with Some d -> Stdlib.max 1 d | None -> default_domains ()
+    in
+    let arr = Array.of_list items in
+    (* [go lo hi budget] folds [lo, hi), spending at most [budget] domains. *)
+    let rec go lo hi budget =
+      if hi - lo = 1 then leaf arr.(lo)
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if budget <= 1 then merge (go lo mid 1) (go mid hi 1)
+        else begin
+          let right = Domain.spawn (fun () -> go mid hi (budget / 2)) in
+          let l =
+            match go lo mid (budget - (budget / 2)) with
+            | l -> l
+            | exception e ->
+              (try ignore (Domain.join right) with _ -> ());
+              raise e
+          in
+          merge l (Domain.join right)
+        end
+      end
+    in
+    Some (go 0 (Array.length arr) domains)

@@ -8,13 +8,18 @@ module Coverage = Delphic_sets.Coverage
 
 let ( let* ) = Result.bind
 
+(* Decoding a big snapshot maps this over thousands of entries: a local
+   exception keeps the loop allocation-free instead of threading a Result
+   through every cons. *)
+exception Map_error of string
+
 let map_result f l =
-  List.fold_right
-    (fun x acc ->
-      let* acc = acc in
-      let* y = f x in
-      Ok (y :: acc))
-    l (Ok [])
+  match
+    List.rev
+      (List.rev_map (fun x -> match f x with Ok y -> y | Error e -> raise (Map_error e)) l)
+  with
+  | ys -> Ok ys
+  | exception Map_error e -> Error e
 
 (* One Adaptive estimator per family plus the element codec Snapshot_io
    needs; the functor writes the two conversions once instead of three
@@ -113,17 +118,15 @@ module Rect_b = Bridge (struct
   let encode_elt p = String.concat " " (List.map string_of_int (Array.to_list p))
 
   let decode_elt s =
-    let toks = String.split_on_char ' ' s |> List.filter (fun x -> x <> "") in
-    if toks = [] then Error "empty point"
-    else
-      let rec ints acc = function
-        | [] -> Ok (Array.of_list (List.rev acc))
-        | x :: rest -> (
-          match int_of_string_opt x with
-          | Some v -> ints (v :: acc) rest
-          | None -> Error (Printf.sprintf "bad point coordinate %S" x))
-      in
-      ints [] toks
+    let rec ints n acc = function
+      | [] -> if n = 0 then Error "empty point" else Ok (Array.of_list (List.rev acc))
+      | "" :: rest -> ints n acc rest
+      | x :: rest -> (
+        match int_of_string_opt x with
+        | Some v -> ints (n + 1) (v :: acc) rest
+        | None -> Error (Printf.sprintf "bad point coordinate %S" x))
+    in
+    ints 0 [] (String.split_on_char ' ' s)
 end)
 
 module Dnf_b = Bridge (struct

@@ -2,112 +2,149 @@ module Io = Delphic_core.Snapshot_io
 module Parsers = Delphic_stream.Parsers
 
 type session = {
+  slock : Mutex.t;  (* serialises estimator mutation for this session only *)
   mutable runner : Families.t;  (* replaced wholesale by MERGE *)
   mutable adds : int;  (* ADD attempts, the per-session line counter *)
   mutable parse_rejects : int;
   mutable last_estimate : float;
   mutable merges : int;
+  mutable wire_cache : string option;
+      (* the session's Fetch token, memoised until the next mutation: a
+         coordinator polling EST on a quiescent shard pays the snapshot
+         encode once, not per gather *)
 }
 
+(* The table is striped: a session name hashes to one segment, whose mutex
+   guards only that segment's [Hashtbl] — held for the lookup/insert/remove
+   itself, never across estimator work.  Estimator mutation happens under
+   the per-session [slock], so SNAPSHOT/EST on one session never blocks
+   ADDB on another, even in the same segment. *)
+type segment = { seg_lock : Mutex.t; sessions : (string, session) Hashtbl.t }
+
 type t = {
-  lock : Mutex.t;
-  sessions : (string, session) Hashtbl.t;
+  segments : segment array;
   base_seed : int;
+  meta : Mutex.t;  (* guards [opened] *)
   mutable opened : int;  (* distinct seeds for successive sessions *)
 }
 
-let create ~seed = { lock = Mutex.create (); sessions = Hashtbl.create 16; base_seed = seed; opened = 0 }
+let create ?(stripes = 16) ~seed () =
+  if stripes < 1 then invalid_arg "Registry.create: need stripes >= 1";
+  {
+    segments =
+      Array.init stripes (fun _ ->
+          { seg_lock = Mutex.create (); sessions = Hashtbl.create 8 });
+    base_seed = seed;
+    meta = Mutex.create ();
+    opened = 0;
+  }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let with_mutex m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let segment_of t name = t.segments.(Hashtbl.hash name mod Array.length t.segments)
 
 let next_seed t =
-  t.opened <- t.opened + 1;
-  t.base_seed + (7919 * t.opened)
+  with_mutex t.meta (fun () ->
+      t.opened <- t.opened + 1;
+      t.base_seed + (7919 * t.opened))
 
-let find t name =
-  match Hashtbl.find_opt t.sessions name with
-  | Some s -> Ok s
+(* Lock ordering: a segment lock may be taken while holding nothing, or all
+   segment locks together in index order (the whole-table operations); the
+   [meta] and session locks are only ever taken under at most the segment
+   locks and never the other way round, so no cycle exists. *)
+
+let find_session t name =
+  let seg = segment_of t name in
+  with_mutex seg.seg_lock (fun () -> Hashtbl.find_opt seg.sessions name)
+
+(* Run [f] on session [name] under its own lock.  The segment lock is
+   released before [slock] is taken: a racing CLOSE can orphan the session
+   so [f] mutates a table-less estimator, which is harmless — the stream
+   semantics only promise that each session's operations serialise. *)
+let with_session t name f =
+  match find_session t name with
   | None -> Error (Protocol.Unknown_session name)
+  | Some s -> with_mutex s.slock (fun () -> f s)
 
 let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
-  with_lock t (fun () ->
-      if Hashtbl.mem t.sessions name then Error (Protocol.Session_exists name)
+  let seg = segment_of t name in
+  with_mutex seg.seg_lock (fun () ->
+      if Hashtbl.mem seg.sessions name then Error (Protocol.Session_exists name)
       else
         match Families.create ~family ~epsilon ~delta ~log2_universe ~seed:(next_seed t) with
         | Error msg -> Error (Protocol.Bad_params msg)
         | Ok runner ->
-          Hashtbl.replace t.sessions name
-            { runner; adds = 0; parse_rejects = 0; last_estimate = 0.0; merges = 0 };
+          Hashtbl.replace seg.sessions name
+            {
+              slock = Mutex.create ();
+              runner;
+              adds = 0;
+              parse_rejects = 0;
+              last_estimate = 0.0;
+              merges = 0;
+              wire_cache = None;
+            };
           Ok ())
 
 let add t ~name ~payload =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok s -> (
-        s.adds <- s.adds + 1;
-        match Families.add s.runner ~lineno:s.adds payload with
-        | () -> Ok ()
-        | exception Parsers.Parse_error { line; msg } ->
-          s.parse_rejects <- s.parse_rejects + 1;
-          Error (Protocol.Bad_line { line; msg })))
+  with_session t name (fun s ->
+      s.adds <- s.adds + 1;
+      s.wire_cache <- None;
+      match Families.add s.runner ~lineno:s.adds payload with
+      | () -> Ok ()
+      | exception Parsers.Parse_error { line; msg } ->
+        s.parse_rejects <- s.parse_rejects + 1;
+        Error (Protocol.Bad_line { line; msg }))
 
-(* One mutex acquisition for the whole frame — the point of ADDB.  A payload
-   that fails to parse is recorded as (index, msg) and the rest of the frame
-   still lands, mirroring the singleton path's keep-the-session-usable
-   contract. *)
+(* One session-mutex acquisition for the whole frame — the point of ADDB.
+   A payload that fails to parse is recorded as (index, msg) and the rest of
+   the frame still lands, mirroring the singleton path's
+   keep-the-session-usable contract. *)
 let add_batch t ~name ~payloads =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok s ->
-        let accepted = ref 0 in
-        let errors = ref [] in
-        List.iteri
-          (fun i payload ->
-            s.adds <- s.adds + 1;
-            match Families.add s.runner ~lineno:s.adds payload with
-            | () -> incr accepted
-            | exception Parsers.Parse_error { line = _; msg } ->
-              s.parse_rejects <- s.parse_rejects + 1;
-              errors := (i, msg) :: !errors)
-          payloads;
-        Ok (!accepted, List.rev !errors))
+  with_session t name (fun s ->
+      s.wire_cache <- None;
+      let accepted = ref 0 in
+      let errors = ref [] in
+      List.iteri
+        (fun i payload ->
+          s.adds <- s.adds + 1;
+          match Families.add s.runner ~lineno:s.adds payload with
+          | () -> incr accepted
+          | exception Parsers.Parse_error { line = _; msg } ->
+            s.parse_rejects <- s.parse_rejects + 1;
+            errors := (i, msg) :: !errors)
+        payloads;
+      Ok (!accepted, List.rev !errors))
 
 let estimate t ~name =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok s ->
-        let v = Families.estimate s.runner in
-        s.last_estimate <- v;
-        Ok v)
+  with_session t name (fun s ->
+      let v = Families.estimate s.runner in
+      s.last_estimate <- v;
+      Ok v)
 
 let stats t ~name =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok s ->
-        Ok
-          {
-            Protocol.family = Families.family_token s.runner;
-            items = Families.items s.runner;
-            entries = Families.entries s.runner;
-            exact = Families.is_exact s.runner;
-            last_estimate = s.last_estimate;
-            parse_rejects = s.parse_rejects;
-            merges = s.merges;
-          })
+  with_session t name (fun s ->
+      Ok
+        {
+          Protocol.family = Families.family_token s.runner;
+          items = Families.items s.runner;
+          entries = Families.entries s.runner;
+          exact = Families.is_exact s.runner;
+          last_estimate = s.last_estimate;
+          parse_rejects = s.parse_rejects;
+          merges = s.merges;
+        })
 
 let close t ~name =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok _ ->
-        Hashtbl.remove t.sessions name;
-        Ok ())
+  let seg = segment_of t name in
+  with_mutex seg.seg_lock (fun () ->
+      if Hashtbl.mem seg.sessions name then begin
+        Hashtbl.remove seg.sessions name;
+        Ok ()
+      end
+      else Error (Protocol.Unknown_session name))
 
 let snapshot_session s ~path =
   match Io.save ~path (Families.to_io ~merges:s.merges s.runner) with
@@ -116,40 +153,40 @@ let snapshot_session s ~path =
   | exception Invalid_argument msg -> Error (Protocol.Server_error msg)
 
 let snapshot_to t ~name ~path =
-  with_lock t (fun () ->
-      match find t name with Error e -> Error e | Ok s -> snapshot_session s ~path)
+  with_session t name (fun s -> snapshot_session s ~path)
 
 let fetch t ~name =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok s -> (
+  with_session t name (fun s ->
+      match s.wire_cache with
+      | Some encoded -> Ok encoded
+      | None -> (
         match Io.to_wire (Families.to_io ~merges:s.merges s.runner) with
-        | encoded -> Ok encoded
+        | encoded ->
+          s.wire_cache <- Some encoded;
+          Ok encoded
         | exception Invalid_argument msg -> Error (Protocol.Server_error msg)))
 
 let merge_in t ~name ~encoded =
-  with_lock t (fun () ->
-      match find t name with
-      | Error e -> Error e
-      | Ok s -> (
-        match Io.of_wire encoded with
+  with_session t name (fun s ->
+      match Io.of_wire encoded with
+      | Error msg -> Error (Protocol.Bad_params msg)
+      | Ok io -> (
+        match Families.of_io io ~seed:(next_seed t) with
         | Error msg -> Error (Protocol.Bad_params msg)
-        | Ok io -> (
-          match Families.of_io io ~seed:(next_seed t) with
+        | Ok other -> (
+          match Families.merge s.runner other ~seed:(next_seed t) with
           | Error msg -> Error (Protocol.Bad_params msg)
-          | Ok other -> (
-            match Families.merge s.runner other ~seed:(next_seed t) with
-            | Error msg -> Error (Protocol.Bad_params msg)
-            | Ok merged ->
-              s.runner <- merged;
-              s.adds <- s.adds + io.Io.items;
-              s.merges <- s.merges + 1 + io.Io.merges;
-              Ok ()))))
+          | Ok merged ->
+            s.runner <- merged;
+            s.adds <- s.adds + io.Io.items;
+            s.merges <- s.merges + 1 + io.Io.merges;
+            s.wire_cache <- None;
+            Ok ())))
 
+(* caller holds the segment lock for [name] (or all of them) *)
 let restore_session t ~name ~path =
-  (* caller holds the lock *)
-  if Hashtbl.mem t.sessions name then Error (Protocol.Session_exists name)
+  let seg = segment_of t name in
+  if Hashtbl.mem seg.sessions name then Error (Protocol.Session_exists name)
   else
     match Io.load ~path with
     | Error msg -> Error (Protocol.Io_error msg)
@@ -157,20 +194,40 @@ let restore_session t ~name ~path =
       match Families.of_io io ~seed:(next_seed t) with
       | Error msg -> Error (Protocol.Io_error msg)
       | Ok runner ->
-        Hashtbl.replace t.sessions name
+        Hashtbl.replace seg.sessions name
           {
+            slock = Mutex.create ();
             runner;
             adds = io.Io.items;
             parse_rejects = 0;
             last_estimate = 0.0;
             merges = io.Io.merges;
+            wire_cache = None;
           };
         Ok ())
 
-let restore_from t ~name ~path = with_lock t (fun () -> restore_session t ~name ~path)
+let restore_from t ~name ~path =
+  let seg = segment_of t name in
+  with_mutex seg.seg_lock (fun () -> restore_session t ~name ~path)
+
+(* Whole-table operations take every segment lock in index order (cycle-free
+   by the ordering argument above), so they observe one consistent table:
+   no session can be opened, closed, or restored while they run.  Per-session
+   estimator reads still go through each session's own lock, so a handler
+   mid-ADDB finishes its frame before the spool encodes that session. *)
+let lock_all t f =
+  Array.iter (fun seg -> Mutex.lock seg.seg_lock) t.segments;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun seg -> Mutex.unlock seg.seg_lock) t.segments)
+    f
+
+let all_sessions_locked t =
+  Array.to_list t.segments
+  |> List.concat_map (fun seg ->
+         Hashtbl.fold (fun name s acc -> (name, s) :: acc) seg.sessions [])
 
 let names t =
-  with_lock t (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions [] |> List.sort compare)
+  lock_all t (fun () -> List.map fst (all_sessions_locked t) |> List.sort compare)
 
 let spool_path dir name = Filename.concat dir (name ^ ".snap")
 
@@ -181,23 +238,23 @@ let rec mkdir_p dir =
   end
 
 let snapshot_all t ~dir =
-  with_lock t (fun () ->
+  lock_all t (fun () ->
+      let sessions = all_sessions_locked t in
       match mkdir_p dir with
       | exception Unix.Unix_error (e, _, _) ->
-        List.map
-          (fun (name, _) -> (name, Error (Unix.error_message e)))
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sessions [])
+        List.map (fun (name, _) -> (name, Error (Unix.error_message e))) sessions
       | () ->
-        Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.sessions []
+        sessions
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
         |> List.map (fun (name, s) ->
-               let path = spool_path dir name in
-               match snapshot_session s ~path with
-               | Ok () -> (name, Ok path)
-               | Error e -> (name, Error (Protocol.describe_error e))))
+               with_mutex s.slock (fun () ->
+                   let path = spool_path dir name in
+                   match snapshot_session s ~path with
+                   | Ok () -> (name, Ok path)
+                   | Error e -> (name, Error (Protocol.describe_error e)))))
 
 let restore_all t ~dir =
-  with_lock t (fun () ->
+  lock_all t (fun () ->
       match Sys.readdir dir with
       | exception Sys_error _ -> []
       | files ->

@@ -35,7 +35,7 @@ let create ?(host = "127.0.0.1") ~port ~spool ~seed () =
   let port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let registry = Registry.create ~seed in
+  let registry = Registry.create ~seed () in
   let restored = Registry.restore_all registry ~dir:spool in
   List.iter
     (function

@@ -6,6 +6,7 @@
 
 module Server = Delphic_server.Server
 module P = Delphic_server.Protocol
+module Registry = Delphic_server.Registry
 module Coordinator = Delphic_cluster.Coordinator
 module Frontend = Delphic_cluster.Frontend
 module Rng = Delphic_util.Rng
@@ -189,6 +190,83 @@ let test_batched_kill_no_loss () =
   stop_worker (List.nth workers 1);
   List.iteri (fun n _ -> rm_rf (spool (20 + n))) workers
 
+(* The overlapped gather gives the whole collect phase ONE shared deadline:
+   slow workers burn it concurrently, so the gather costs max-of-workers,
+   not sum.  Four workers served by Frontend-wrapped registries; two of
+   them sleep past the timeout on Fetch.  A serial per-worker collect would
+   take >= 2 timeouts; the shared deadline takes ~1.  Exact-regime equality
+   proves the answer fell back to the slow workers' last good sketches, and
+   a later quiet gather proves they rejoin undegraded. *)
+let test_slow_workers_share_one_deadline () =
+  let slow = Atomic.make false in
+  let workers =
+    List.init 4 (fun n ->
+        let reg = Registry.create ~seed:(700 + n) () in
+        let dispatch req =
+          (match req with
+          | P.Fetch _ when n < 2 && Atomic.get slow -> Thread.delay 1.0
+          | _ -> ());
+          Registry.dispatch reg req
+        in
+        let fe = Frontend.create ~port:0 ~dispatch () in
+        (fe, Frontend.start fe))
+  in
+  let addrs = List.map (fun (fe, _) -> ("127.0.0.1", Frontend.port fe)) workers in
+  let timeout = 0.4 in
+  let coord =
+    Coordinator.create ~timeout ~backoff:0.01 ~workers:addrs ~seed:1234 ()
+  in
+  let gen = Rng.create ~seed:55 in
+  let boxes =
+    Workload.Rectangles.uniform gen ~universe:300 ~dim:2 ~count:40 ~max_side:6
+  in
+  ok
+    (Coordinator.open_session coord ~name:"slow" ~family:P.Rect ~epsilon:0.3
+       ~delta:0.2 ~log2_universe:17.0);
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"slow" ~payload:(payload_of b)))
+    boxes;
+  (* the clean gather stores every worker's sketch as its last good *)
+  let est1, degraded1 = ok (Coordinator.estimate coord ~name:"slow") in
+  Alcotest.(check bool) "clean gather not degraded" false degraded1;
+  Alcotest.(check (float 0.0)) "clean gather exact" (truth boxes) est1;
+
+  Atomic.set slow true;
+  let t0 = Unix.gettimeofday () in
+  let est2, degraded2 = ok (Coordinator.estimate coord ~name:"slow") in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set slow false;
+  Alcotest.(check bool) "degraded with slow workers" true degraded2;
+  Alcotest.(check (float 0.0)) "last-good sketches used" (truth boxes) est2;
+  Alcotest.(check bool)
+    (Printf.sprintf "two slow workers cost one shared deadline (%.2fs < %.2fs)"
+       elapsed (1.8 *. timeout))
+    true
+    (elapsed < 1.8 *. timeout);
+
+  (* quarantine expires, the workers kept their sessions: quiet again *)
+  Thread.delay 0.1;
+  let est3, degraded3 = ok (Coordinator.estimate coord ~name:"slow") in
+  Alcotest.(check bool) "recovered after quarantine" false degraded3;
+  Alcotest.(check (float 0.0)) "recovered exact" (truth boxes) est3;
+
+  (* the merge tree folds the same answer however many domains share it *)
+  let coord1 =
+    Coordinator.create ~timeout ~gather_domains:1 ~workers:addrs ~seed:1234 ()
+  in
+  ok
+    (Coordinator.open_session coord1 ~name:"slow" ~family:P.Rect ~epsilon:0.3
+       ~delta:0.2 ~log2_universe:17.0);
+  let est4, _ = ok (Coordinator.estimate coord1 ~name:"slow") in
+  Alcotest.(check (float 0.0)) "serial fold = parallel fold" est2 est4;
+  Coordinator.shutdown coord1;
+  Coordinator.shutdown coord;
+  List.iter
+    (fun (fe, th) ->
+      Frontend.request_stop fe;
+      Thread.join th)
+    workers
+
 (* The same line protocol end to end: a Frontend serving
    Coordinator.dispatch over TCP, exercised with a raw socket like any
    client would — including the UNSUPPORTED-verb reply. *)
@@ -246,6 +324,8 @@ let suite =
       test_scatter_gather_failover;
     Alcotest.test_case "batched scatter loses no acked set on worker kill" `Quick
       test_batched_kill_no_loss;
+    Alcotest.test_case "slow workers share one gather deadline" `Quick
+      test_slow_workers_share_one_deadline;
     Alcotest.test_case "frontend speaks the full protocol" `Quick
       test_frontend_protocol;
   ]

@@ -95,6 +95,53 @@ let test_parallel_map_with_estimators () =
     (List.map run seeds)
     (Delphic_harness.Parallel.map ~domains:4 run seeds)
 
+let test_parallel_map_skewed () =
+  (* Work stealing: one item a thousand times heavier than the rest must not
+     serialise the pool behind a fixed chunk split — here we only pin the
+     correctness half (order preserved, every item done exactly once). *)
+  let calls = Atomic.make 0 in
+  let f x =
+    Atomic.incr calls;
+    let spins = if x = 7 then 200_000 else 200 in
+    let acc = ref 0 in
+    for i = 1 to spins do
+      acc := !acc + (i mod 3)
+    done;
+    (x, !acc land 1)
+  in
+  let input = List.init 64 Fun.id in
+  let out = Delphic_harness.Parallel.map ~domains:4 f input in
+  Alcotest.(check (list int)) "order preserved under skew" input (List.map fst out);
+  Alcotest.(check int) "each item computed once" 64 (Atomic.get calls)
+
+let test_reduce_edges () =
+  let module Par = Delphic_harness.Parallel in
+  Alcotest.(check (option int)) "empty" None
+    (Par.reduce ~domains:4 ~map:Fun.id ~merge:( + ) []);
+  Alcotest.(check (option int)) "singleton maps, never merges" (Some 10)
+    (Par.reduce ~domains:4 ~map:(fun x -> x * 10) ~merge:(fun _ _ -> assert false) [ 1 ]);
+  Alcotest.(check (option string)) "single domain" (Some "abc")
+    (Par.reduce ~domains:1 ~map:Fun.id ~merge:( ^ ) [ "a"; "b"; "c" ])
+
+(* The contract the coordinator's gather leans on: for an associative merge
+   the tree fold equals the serial left fold, whatever the item count or
+   domain budget.  String concatenation is associative but not commutative,
+   so any leaf misordering or tree-shape asymmetry shows up verbatim. *)
+let qcheck_reduce_matches_fold =
+  QCheck.Test.make ~count:200 ~name:"Parallel.reduce = List.fold_left"
+    QCheck.(pair (list small_string) (int_range 1 8))
+    (fun (items, domains) ->
+      let mapped = List.map (fun s -> "<" ^ s ^ ">") items in
+      let expected =
+        match mapped with
+        | [] -> None
+        | x :: rest -> Some (List.fold_left ( ^ ) x rest)
+      in
+      Delphic_harness.Parallel.reduce ~domains
+        ~map:(fun s -> "<" ^ s ^ ">")
+        ~merge:( ^ ) items
+      = expected)
+
 let suite =
   [
     Alcotest.test_case "table alignment" `Quick test_table_alignment;
@@ -106,4 +153,7 @@ let suite =
     Alcotest.test_case "failure rate" `Quick test_failure_rate;
     Alcotest.test_case "parallel map matches sequential" `Quick test_parallel_map_matches_sequential;
     Alcotest.test_case "parallel estimator trials" `Quick test_parallel_map_with_estimators;
+    Alcotest.test_case "parallel map under skew" `Quick test_parallel_map_skewed;
+    Alcotest.test_case "reduce edge cases" `Quick test_reduce_edges;
+    QCheck_alcotest.to_alcotest qcheck_reduce_matches_fold;
   ]

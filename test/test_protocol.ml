@@ -321,7 +321,7 @@ let test_single_line () =
 let dispatch reg line = Registry.dispatch reg (parse_ok line)
 
 let test_dispatch_lifecycle () =
-  let reg = Registry.create ~seed:42 in
+  let reg = Registry.create ~seed:42 () in
   Alcotest.check response "ping" P.Pong (dispatch reg "PING");
   Alcotest.check response "open"
     (P.Ok_reply (Some "opened s1"))
@@ -365,7 +365,7 @@ let test_dispatch_lifecycle () =
 (* ADDB through the registry: one frame, one reply, per-payload errors
    reported by index while later payloads still land. *)
 let test_dispatch_batch () =
-  let reg = Registry.create ~seed:53 in
+  let reg = Registry.create ~seed:53 () in
   ignore (dispatch reg "OPEN s1 rect 0.3 0.2 20");
   Alcotest.check response "clean frame"
     (P.Ok_batch { accepted = 2; errors = [] })
@@ -422,8 +422,8 @@ let prop_batch_equivalence =
             Printf.sprintf "%d %d %d %d" x (x + (i mod 9)) y (y + (i mod 7)))
       in
       let open_req = parse_ok "OPEN s rect 0.3 0.2 20" in
-      let reg_single = Registry.create ~seed:1234 in
-      let reg_batch = Registry.create ~seed:1234 in
+      let reg_single = Registry.create ~seed:1234 () in
+      let reg_batch = Registry.create ~seed:1234 () in
       ignore (Registry.dispatch reg_single open_req);
       ignore (Registry.dispatch reg_batch open_req);
       List.iter
@@ -454,7 +454,7 @@ let prop_batch_equivalence =
       e1 = e2 && s1 = s2)
 
 let test_dispatch_validation () =
-  let reg = Registry.create ~seed:7 in
+  let reg = Registry.create ~seed:7 () in
   Alcotest.check response "unknown session"
     (P.Error_reply (P.Unknown_session "ghost"))
     (dispatch reg "EST ghost");
@@ -471,7 +471,7 @@ let test_dispatch_validation () =
   | r -> Alcotest.failf "expected PARSE, got %s" (P.render_response r))
 
 let test_dispatch_snapshot_restore () =
-  let reg = Registry.create ~seed:11 in
+  let reg = Registry.create ~seed:11 () in
   let path = Filename.temp_file "delphic-proto" ".snap" in
   ignore (dispatch reg "OPEN s rect 0.3 0.2 20");
   ignore (dispatch reg "ADD s 0 9 0 9");
@@ -495,7 +495,7 @@ let test_dispatch_snapshot_restore () =
 (* SNAPSHOT <sid> / MERGE <sid> <token>: the worker half of the cluster.
    Exact-mode sessions make the merged union deterministic. *)
 let test_dispatch_fetch_merge () =
-  let reg = Registry.create ~seed:23 in
+  let reg = Registry.create ~seed:23 () in
   ignore (dispatch reg "OPEN a rect 0.3 0.2 20");
   ignore (dispatch reg "OPEN b rect 0.3 0.2 20");
   ignore (dispatch reg "ADD a 0 9 0 9");
@@ -539,7 +539,7 @@ let test_dispatch_fetch_merge () =
 (* An unsupported verb must be answered, not punished: the registry replies
    ERR UNSUPPORTED and the session keeps working. *)
 let test_dispatch_unsupported () =
-  let reg = Registry.create ~seed:29 in
+  let reg = Registry.create ~seed:29 () in
   ignore (dispatch reg "OPEN s rect 0.3 0.2 20");
   ignore (dispatch reg "ADD s 0 9 0 9");
   (match P.parse_request "FROB s" with
@@ -552,6 +552,103 @@ let test_dispatch_unsupported () =
   Alcotest.check response "session survives the unknown verb"
     (P.Estimate { value = 100.0; degraded = false })
     (dispatch reg "EST s")
+
+(* Striped locking under fire: two writers hammering ADDB into different
+   sessions, a reader spinning EST/STATS/FETCH on a third, and the main
+   thread taking whole-table snapshots throughout.  Exact-regime sessions
+   make loss visible — every accepted payload is a distinct unit cell, so
+   the final counts and estimates are deterministic.  A lock-ordering bug
+   shows up as a hang, a lost add as a wrong exact count, a torn snapshot
+   as a failed per-session outcome. *)
+let test_striped_concurrency () =
+  let reg = Registry.create ~stripes:4 ~seed:97 () in
+  let open_s name =
+    match
+      Registry.open_session reg ~name ~family:P.Rect ~epsilon:0.3 ~delta:0.2
+        ~log2_universe:17.0
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "open %s: %s" name (P.render_response (P.Error_reply e))
+  in
+  List.iter open_s [ "wa"; "wb"; "rc" ];
+  (match Registry.add reg ~name:"rc" ~payload:"0 4 0 4" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "seed rc");
+  (* writer [row] fills row [row] of the grid with distinct unit cells *)
+  let payload row i = Printf.sprintf "%d %d %d %d" i i row row in
+  let rounds = 40 and per = 10 in
+  let err_lock = Mutex.create () in
+  let errs = ref [] in
+  let record msg =
+    Mutex.lock err_lock;
+    errs := msg :: !errs;
+    Mutex.unlock err_lock
+  in
+  let writer row name =
+    Thread.create
+      (fun () ->
+        for r = 0 to rounds - 1 do
+          let payloads = List.init per (fun j -> payload row ((r * per) + j)) in
+          match Registry.add_batch reg ~name ~payloads with
+          | Ok (n, []) when n = per -> ()
+          | Ok (n, e) ->
+            record
+              (Printf.sprintf "%s: frame accepted %d/%d with %d rejects" name n per
+                 (List.length e))
+          | Error e -> record (name ^ ": " ^ P.render_response (P.Error_reply e))
+        done)
+      ()
+  in
+  let reader =
+    Thread.create
+      (fun () ->
+        for _ = 1 to 300 do
+          (match Registry.estimate reg ~name:"rc" with
+          | Ok v when v = 25.0 -> ()
+          | Ok v -> record (Printf.sprintf "rc estimate drifted to %g" v)
+          | Error e -> record ("rc est: " ^ P.render_response (P.Error_reply e)));
+          (match Registry.fetch reg ~name:"rc" with
+          | Ok _ -> ()
+          | Error e -> record ("rc fetch: " ^ P.render_response (P.Error_reply e)));
+          match Registry.stats reg ~name:"rc" with
+          | Ok _ -> ()
+          | Error e -> record ("rc stats: " ^ P.render_response (P.Error_reply e))
+        done)
+      ()
+  in
+  let threads = [ writer 1 "wa"; writer 2 "wb"; reader ] in
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "delphic-stripes-%d" (Unix.getpid ()))
+  in
+  for _ = 1 to 5 do
+    let outcomes = Registry.snapshot_all reg ~dir in
+    Alcotest.(check int) "snapshot_all sees the whole table" 3 (List.length outcomes);
+    List.iter
+      (fun (name, r) ->
+        match r with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "snapshot_all %s: %s" name msg)
+      outcomes;
+    Thread.delay 0.002
+  done;
+  List.iter Thread.join threads;
+  (match !errs with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "%d concurrent failures, first: %s" (List.length !errs) e);
+  let total = rounds * per in
+  List.iter
+    (fun name ->
+      match (Registry.stats reg ~name, Registry.estimate reg ~name) with
+      | Ok st, Ok est ->
+        Alcotest.(check int) (name ^ " adds all landed") total st.P.items;
+        Alcotest.(check int) (name ^ " no parse rejects") 0 st.P.parse_rejects;
+        Alcotest.(check (float 0.0)) (name ^ " exact union") (float_of_int total) est
+      | _ -> Alcotest.failf "%s unreadable after the run" name)
+    [ "wa"; "wb" ];
+  Alcotest.(check (list string)) "all sessions present" [ "rc"; "wa"; "wb" ]
+    (List.sort compare (Registry.names reg));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
 
 let suite =
   [
@@ -575,4 +672,6 @@ let suite =
     Alcotest.test_case "dispatch snapshot/restore" `Quick test_dispatch_snapshot_restore;
     Alcotest.test_case "dispatch fetch/merge" `Quick test_dispatch_fetch_merge;
     Alcotest.test_case "dispatch unsupported verb" `Quick test_dispatch_unsupported;
+    Alcotest.test_case "striped registry under concurrent fire" `Quick
+      test_striped_concurrency;
   ]
