@@ -14,11 +14,13 @@
               dune exec bench/main.exe -- cluster (1-vs-4-worker scatter/gather)
               dune exec bench/main.exe -- ingest  (ADDB batch-size sweep)
               dune exec bench/main.exe -- gather  (worker x fold-strategy sweep)
+              dune exec bench/main.exe -- wal     (journal fsync-policy sweep)
 
    Any benchmarking mode also accepts [--json FILE] to write the measured
    rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
    cluster mode defaults to BENCH_cluster.json, the ingest mode to
-   BENCH_ingest.json and the gather mode to BENCH_gather.json. *)
+   BENCH_ingest.json, the gather mode to BENCH_gather.json and the wal
+   mode to BENCH_wal.json. *)
 
 open Bechamel
 open Toolkit
@@ -312,25 +314,39 @@ let run_micro ?json () =
    pipelined scatter path and the per-query cost of a full gather+fold. *)
 
 module Server = Delphic_server.Server
+module Wal = Delphic_server.Wal
 module Coordinator = Delphic_cluster.Coordinator
 
-let rm_rf dir =
+let rec rm_rf dir =
   if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
     Unix.rmdir dir
   end
 
-let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ~n_workers ~seed () =
+let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal ~n_workers
+    ~seed () =
   let spool n =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "delphic-bench-spool-%d-%d-%d-%d-%d" (Unix.getpid ())
          n_workers batch (seed + n) n)
   in
+  let wal_dir n = spool n ^ "-wal" in
   let workers =
     List.init n_workers (fun n ->
         rm_rf (spool n);
-        let s = Server.create ~port:0 ~spool:(spool n) ~seed:(seed + n) () in
+        rm_rf (wal_dir n);
+        let wal =
+          Option.map
+            (fun (fsync, checkpoint_every) ->
+              { Server.dir = wal_dir n; fsync; checkpoint_every })
+            wal
+        in
+        let s = Server.create ?wal ~port:0 ~spool:(spool n) ~seed:(seed + n) () in
         (s, Server.start s))
   in
   let coord =
@@ -369,7 +385,8 @@ let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ~n_workers ~seed ()
       (fun n (s, th) ->
         Server.request_stop s;
         Thread.join th;
-        rm_rf (spool n))
+        rm_rf (spool n);
+        rm_rf (wal_dir n))
       workers
   in
   (coord, payloads, teardown)
@@ -497,6 +514,43 @@ let run_ingest ?(json = "BENCH_ingest.json") () =
   print_rows ~title:"Batched ingestion sweep (1-worker loopback)" rows;
   write_json ~path:json rows
 
+(* WAL overhead: the batch-64 scatter path (the ingest mode's fastest row)
+   against a 1-worker loopback server sweeping the journal configuration —
+   what does "an acknowledged set is on disk" cost per set?  The journal
+   appends one CRC-framed record per accepted ADDB frame, so the batch
+   amortises the write (and, under [Always], the fsync) across up to 64
+   sets; the checkpoint row adds the periodic spool-and-truncate on top. *)
+
+let run_wal ?(json = "BENCH_wal.json") () =
+  let configs =
+    [
+      ("no-wal", None);
+      ("wal/fsync-never", Some (Wal.Never, 0));
+      ("wal/fsync-interval", Some (Wal.Interval 0.2, 0));
+      ("wal/fsync-interval-ckpt512", Some (Wal.Interval 0.2, 512));
+      ("wal/fsync-always", Some (Wal.Always, 0));
+    ]
+  in
+  let envs =
+    List.mapi
+      (fun i (name, wal) ->
+        (name, cluster_env ?wal ~n_workers:1 ~seed:(120 + i) ()))
+      configs
+  in
+  let tests =
+    Test.make_grouped ~name:"wal"
+      (List.map
+         (fun (name, (coord, payloads, _)) ->
+           Test.make
+             ~name:(Printf.sprintf "scatter-add/batch-64/%s" name)
+             (Staged.stage (scatter coord payloads)))
+         envs)
+  in
+  let rows = run_bechamel tests in
+  List.iter (fun (_, (_, _, teardown)) -> teardown ()) envs;
+  print_rows ~title:"WAL overhead sweep (batch-64 scatter, 1-worker loopback)" rows;
+  write_json ~path:json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split mode json = function
@@ -512,10 +566,11 @@ let () =
   let mode = Option.value mode ~default:"all" in
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
-  | "macro" | "cluster" | "ingest" | "gather" -> ()
+  | "macro" | "cluster" | "ingest" | "gather" | "wal" -> ()
   | m ->
     Printf.eprintf
-      "unknown mode %S (expected micro, macro, cluster, ingest, gather or all)\n" m;
+      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal or all)\n"
+      m;
     exit 2);
   (match mode with
   | "cluster" -> (
@@ -530,6 +585,10 @@ let () =
     match json with
     | Some path -> run_gather ~json:path ()
     | None -> run_gather ())
+  | "wal" -> (
+    match json with
+    | Some path -> run_wal ~json:path ()
+    | None -> run_wal ())
   | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();

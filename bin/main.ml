@@ -413,35 +413,94 @@ let host_arg =
   let doc = "Address to bind/connect to." in
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
 
+(* WAL options, shared by serve and worker: --wal DIR upgrades the
+   durability contract from "graceful stop" to "kill -9". *)
+
+let wal_term =
+  let wal_dir =
+    let doc =
+      "Write-ahead journal directory.  Every accepted mutation is journalled \
+       (length-prefixed, CRC-framed) before its OK leaves the socket, and \
+       startup recovers from the last checkpoint plus the journal tail — the \
+       process survives $(b,kill -9) without losing an acknowledged set.  \
+       The spool directory is then unused."
+    in
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"DIR" ~doc)
+  in
+  let fsync =
+    let fsync_conv =
+      Arg.conv
+        ( (fun s ->
+            match Delphic_server.Wal.fsync_policy_of_string s with
+            | Ok p -> Ok p
+            | Error msg -> Error (`Msg msg)),
+          fun ppf p ->
+            Format.pp_print_string ppf
+              (Delphic_server.Wal.fsync_policy_to_string p) )
+    in
+    let doc =
+      "Journal fsync policy: $(b,always) (survives power cuts), $(b,never) \
+       (survives process death only), or $(b,interval)[:SECONDS] (fsync at \
+       most once per interval; default 0.2s).  Only meaningful with \
+       $(b,--wal)."
+    in
+    Arg.(
+      value
+      & opt fsync_conv (Delphic_server.Wal.Interval 0.2)
+      & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
+  let checkpoint_every =
+    let doc =
+      "Snapshot the sessions and truncate the journal every $(docv) journal \
+       records ($(b,0) disables periodic checkpoints; the graceful-stop one \
+       remains).  Only meaningful with $(b,--wal)."
+    in
+    Arg.(value & opt int 512 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let combine dir fsync checkpoint_every =
+    Option.map
+      (fun dir -> { Delphic_server.Server.dir; fsync; checkpoint_every })
+      dir
+  in
+  Term.(const combine $ wal_dir $ fsync $ checkpoint_every)
+
+let durability_banner = function
+  | None -> ""
+  | Some { Delphic_server.Server.dir; fsync; _ } ->
+    Printf.sprintf ", wal: %s (fsync %s)" dir
+      (Delphic_server.Wal.fsync_policy_to_string fsync)
+
 let serve_cmd =
   let spool =
     let doc =
       "Spool directory for durable session snapshots: restored on start, \
-       written on SIGINT."
+       written on SIGINT/SIGTERM.  Superseded by $(b,--wal) when given."
     in
     Arg.(value & opt string "delphic-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
   in
-  let run seed port host spool =
-    let server = Delphic_server.Server.create ~host ~port ~spool ~seed () in
-    Delphic_server.Server.install_sigint server;
+  let run seed port host spool wal =
+    let server = Delphic_server.Server.create ~host ?wal ~port ~spool ~seed () in
+    Delphic_server.Server.install_signals server;
     List.iter
       (function
-        | name, Ok () -> Printf.printf "restored session %s from spool\n%!" name
+        | name, Ok () -> Printf.printf "restored session %s\n%!" name
         | name, Error msg ->
-          Printf.printf "warning: spooled session %s not restored: %s\n%!" name msg)
+          Printf.printf "warning: session %s not restored: %s\n%!" name msg)
       (Delphic_server.Server.restored server);
-    Printf.printf "delphic serve: listening on %s:%d (spool: %s)\n%!" host
+    Printf.printf "delphic serve: listening on %s:%d (spool: %s%s)\n%!" host
       (Delphic_server.Server.port server)
-      spool;
+      spool (durability_banner wal);
     Delphic_server.Server.serve server;
     print_endline "delphic serve: stopped; sessions spooled"
   in
   let doc =
     "Run the estimation service: a newline-delimited TCP protocol \
      (OPEN/ADD/EST/STATS/SNAPSHOT/RESTORE/CLOSE/PING) over long-lived \
-     estimator sessions, with durable snapshots on shutdown."
+     estimator sessions, with durable snapshots on shutdown (or a \
+     write-ahead journal with $(b,--wal))."
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ seed $ port_arg $ host_arg $ spool)
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term)
 
 (* worker / coord: the sharded cluster (lib/cluster).  A worker is just a
    server under a name that reads well in cluster commands. *)
@@ -451,20 +510,22 @@ let worker_cmd =
     let doc = "Spool directory for durable session snapshots." in
     Arg.(value & opt string "delphic-worker-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
   in
-  let run seed port host spool =
-    let server = Delphic_server.Server.create ~host ~port ~spool ~seed () in
-    Delphic_server.Server.install_sigint server;
-    Printf.printf "delphic worker: listening on %s:%d (spool: %s)\n%!" host
+  let run seed port host spool wal =
+    let server = Delphic_server.Server.create ~host ?wal ~port ~spool ~seed () in
+    Delphic_server.Server.install_signals server;
+    Printf.printf "delphic worker: listening on %s:%d (spool: %s%s)\n%!" host
       (Delphic_server.Server.port server)
-      spool;
+      spool (durability_banner wal);
     Delphic_server.Server.serve server;
     print_endline "delphic worker: stopped; sessions spooled"
   in
   let doc =
     "Run one cluster worker: a full estimation server (every verb including \
-     SNAPSHOT/MERGE), ready to be driven by $(b,delphic coord)."
+     SNAPSHOT/MERGE/HELLO), ready to be driven by $(b,delphic coord); with \
+     $(b,--wal) an acknowledged set survives $(b,kill -9)."
   in
-  Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ seed $ port_arg $ host_arg $ spool)
+  Cmd.v (Cmd.info "worker" ~doc)
+    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term)
 
 let workers_arg =
   let parse s =
@@ -546,7 +607,7 @@ let coord_cmd =
         ~dispatch:(Delphic_cluster.Coordinator.dispatch coord)
         ()
     in
-    Delphic_cluster.Frontend.install_sigint frontend;
+    Delphic_cluster.Frontend.install_signals frontend;
     Printf.printf "delphic coord: listening on %s:%d, %d workers (%s sharding)\n%!" host
       (Delphic_cluster.Frontend.port frontend)
       (List.length workers)

@@ -2,6 +2,7 @@ module P = Delphic_server.Protocol
 module Families = Delphic_server.Families
 module Io = Delphic_core.Snapshot_io
 module Parallel = Delphic_harness.Parallel
+module Rng = Delphic_util.Rng
 
 let log_src = Logs.Src.create "delphic.cluster" ~doc:"scatter/gather coordinator"
 
@@ -21,6 +22,12 @@ type worker = {
   mutable conn : Rpc.t option;
   mutable failures : int; (* consecutive, drives the backoff *)
   mutable quarantined_until : float; (* epoch seconds; 0.0 = available *)
+  mutable generation : int;
+      (* the worker's HELLO generation at the last successful resync; 0 =
+         never asked, or a legacy worker that answers ERR UNSUPPORTED.  A
+         reconnect that reads the same nonzero generation is a connection
+         blip — the process (and its state) survived — and skips the
+         re-open/reinject sweep entirely. *)
   staged : (string * string * int) Queue.t;
       (* routed but not yet framed: (session, payload, hops).  Nothing here
          has touched the socket; a death replays these verbatim. *)
@@ -58,9 +65,15 @@ type t = {
   batch : int; (* max payloads per ADDB frame; the flush high-water mark *)
   gather_domains : int; (* domains for the gather decode/merge tree *)
   seed : int;
+  io : Rpc.io; (* socket ops for every worker connection (chaos hook) *)
+  rng : Rng.t; (* backoff jitter; guarded by [lock] like everything else *)
   lock : Mutex.t;
   sessions : (string, session_info) Hashtbl.t;
   mutable seq : int; (* distinct seeds for successive folds *)
+  (* Payloads refused by an ack (e.g. UNKNOWN-SESSION from a worker that
+     restarted with partial state): parked here by [retire_ack] — which can
+     run deep inside a drain — and re-routed at the next safe point. *)
+  orphans : (string * string * int) Queue.t;
   (* While a gather has Fetch requests on the wire, a dying worker must not
      trigger an immediate requeue: re-routing its orphans would stage new
      frames on peers *behind* their un-collected sketch replies and misframe
@@ -70,7 +83,8 @@ type t = {
 }
 
 let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
-    ?(window = 256) ?(batch = 64) ?gather_domains ~workers ~seed () =
+    ?(window = 256) ?(batch = 64) ?gather_domains ?(io = Rpc.default_io) ~workers ~seed
+    () =
   if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
   if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
   if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
@@ -95,6 +109,7 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
                conn = None;
                failures = 0;
                quarantined_until = 0.0;
+               generation = 0;
                staged = Queue.create ();
                pending = Queue.create ();
                in_flight = 0;
@@ -109,9 +124,12 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     batch;
     gather_domains;
     seed;
+    io;
+    rng = Rng.create ~seed:(seed lxor 0x2545F491);
     lock = Mutex.create ();
     sessions = Hashtbl.create 4;
     seq = 0;
+    orphans = Queue.create ();
     in_gather = false;
     deferred_deaths = Queue.create ();
   }
@@ -135,6 +153,9 @@ let quarantine t w =
   w.conn <- None;
   w.failures <- w.failures + 1;
   let pause = Float.min 30.0 (t.backoff *. Float.ldexp 1.0 w.failures) in
+  (* ±25% jitter: workers felled by one event (a restarting shard host, a
+     network hiccup) must not retry in lockstep and re-fail together *)
+  let pause = pause *. (0.75 +. (0.5 *. Rng.float t.rng)) in
   w.quarantined_until <- Unix.gettimeofday () +. pause;
   Log.warn (fun m ->
       m "worker %s quarantined for %.2fs (%d consecutive failures)" (address w) pause
@@ -144,7 +165,7 @@ let quarantine t w =
 (* After a (re)connect the worker may be a fresh process: re-open every
    session and reinject its last known state.  SESSION-EXISTS means the
    worker kept its state across a connection blip — nothing to do. *)
-let resync t w conn =
+let full_resync t w conn =
   let ok = ref true in
   Hashtbl.iter
     (fun name (si : session_info) ->
@@ -187,6 +208,45 @@ let resync t w conn =
     t.sessions;
   !ok
 
+(* Epoch-fenced rejoin.  HELLO asks the worker who it is: a nonzero
+   generation equal to the one recorded at the last successful resync means
+   the same process answered — the disconnect was a connection blip, its
+   sessions and sketches are intact, and the re-open/reinject sweep (and
+   the duplicate MERGE traffic it ships) can be skipped.  Any other answer
+   — a new generation (restarted process, possibly recovered from its
+   journal minus the unsynced tail), a zero, or ERR UNSUPPORTED from a
+   pre-fencing worker — takes the full resync path, which is duplicate-safe
+   either way. *)
+let resync t w conn =
+  match Rpc.call conn P.Hello with
+  | Ok (P.Hello_reply { generation }) when generation <> 0 && generation = w.generation
+    ->
+    Log.debug (fun m ->
+        m "worker %s: generation %d unchanged — state intact, skipping resync"
+          (address w) generation);
+    true
+  | Ok (P.Hello_reply { generation }) ->
+    if w.generation <> 0 then
+      Log.info (fun m ->
+          m "worker %s: generation %d -> %d — restarted, re-driving state" (address w)
+            w.generation generation);
+    if full_resync t w conn then begin
+      w.generation <- generation;
+      true
+    end
+    else false
+  | Ok (P.Error_reply (P.Unknown_command _)) ->
+    (* legacy worker: no fence available, resync unconditionally *)
+    w.generation <- 0;
+    full_resync t w conn
+  | Ok r ->
+    Log.warn (fun m ->
+        m "worker %s: HELLO answered %s" (address w) (P.render_response r));
+    false
+  | Error msg ->
+    Log.warn (fun m -> m "worker %s: HELLO failed: %s" (address w) msg);
+    false
+
 (* The worker's connection if it is usable now: an existing one, or a fresh
    connect-and-resync with [retries] attempts under exponential backoff.
    [None] while quarantined or unreachable. *)
@@ -197,7 +257,7 @@ let ensure_conn t w =
     if Unix.gettimeofday () < w.quarantined_until then None
     else begin
       let rec attempt i =
-        match Rpc.connect ~host:w.host ~port:w.port ~timeout:t.timeout with
+        match Rpc.connect ~io:t.io ~host:w.host ~port:w.port ~timeout:t.timeout () with
         | Ok conn ->
           if resync t w conn then begin
             w.conn <- Some conn;
@@ -251,8 +311,20 @@ let retire_ack t w reply =
       (* the whole frame was refused — for a 1-item ADD frame that is
          exactly one rejected payload *)
       reject (Array.length b.bitems)
+    | P.Error_reply e ->
+      (* Refused whole without being ingested — typically UNKNOWN-SESSION
+         from a worker that restarted mid-conversation with partial state.
+         Counting the frame delivered would silently lose its payloads;
+         park them for re-routing at the next safe point (retiring can run
+         deep inside a drain, where routing would recurse). *)
+      Log.warn (fun m ->
+          m "worker %s: ingest refused (%s) — re-routing %d payload(s)" (address w)
+            (P.describe_error e) (Array.length b.bitems));
+      Array.iter
+        (fun (payload, hops) -> Queue.push (b.bsession, payload, hops + 1) t.orphans)
+        b.bitems
     | r ->
-      (* ack-shaped but unexpected: count the frame as delivered *)
+      (* non-error, non-ack: the reply stream itself is suspect *)
       Log.warn (fun m ->
           m "worker %s: unexpected ingest ack %s" (address w) (P.render_response r)))
 
@@ -419,6 +491,22 @@ let shard_start t si payload =
        cost nothing extra and cross-shard overlap stays geometric *)
     Hashtbl.hash payload mod Array.length t.workers
 
+(* Re-route payloads parked by [retire_ack].  Deferred until no gather is
+   collecting (new frames behind an un-collected Fetch are fine, but the
+   drain a route can trigger is not) and until the drain that parked them
+   has unwound. *)
+let reroute_orphans t =
+  if not t.in_gather then
+    while not (Queue.is_empty t.orphans) do
+      let session, payload, hops = Queue.pop t.orphans in
+      match Hashtbl.find_opt t.sessions session with
+      | None -> ()
+      | Some si -> (
+        match route t si session payload ~start:(shard_start t si payload) ~hops with
+        | Ok () -> ()
+        | Error _ -> () (* already counted in si.lost *))
+    done
+
 (* --- public operations --- *)
 
 let broadcast t req ~accept =
@@ -480,7 +568,10 @@ let add t ~name ~payload =
   with_lock t (fun () ->
       match find_session t name with
       | Error e -> Error e
-      | Ok si -> route t si name payload ~start:(shard_start t si payload) ~hops:0)
+      | Ok si ->
+        let r = route t si name payload ~start:(shard_start t si payload) ~hops:0 in
+        reroute_orphans t;
+        r)
 
 (* A whole client ADDB frame routed under one lock acquisition.  Each
    payload still shards independently (By_hash must keep duplicates
@@ -498,14 +589,28 @@ let add_batch t ~name ~payloads =
             | Ok () -> incr accepted
             | Error e -> errors := (i, P.describe_error e) :: !errors)
           payloads;
+        reroute_orphans t;
         Ok (!accepted, List.rev !errors))
 
 let flush t =
-  Array.iter
-    (fun w ->
-      flush_worker t w;
-      if w.conn <> None then drain_acks t w ~down_to:0)
-    t.workers
+  (* Settle to quiescence: draining can park refused payloads, rerouting
+     them stages fresh frames, so repeat until nothing moves (bounded — a
+     payload refused everywhere is dropped by the hop limit). *)
+  let rec go attempts =
+    Array.iter
+      (fun w ->
+        flush_worker t w;
+        if w.conn <> None then drain_acks t w ~down_to:0)
+      t.workers;
+    reroute_orphans t;
+    if
+      attempts > 0
+      && Array.exists
+           (fun w -> w.in_flight > 0 || not (Queue.is_empty w.staged))
+           t.workers
+    then go (attempts - 1)
+  in
+  go (Array.length t.workers + 2)
 
 (* Gather every worker's sketch for [name] and fold.  A worker that cannot
    answer contributes its last good snapshot (or nothing) and flags the
@@ -538,7 +643,8 @@ let gather t si name =
          un-collected sketch reply is left for a requeue to misframe. *)
       while not (Queue.is_empty t.deferred_deaths) do
         requeue t (Queue.pop t.deferred_deaths)
-      done)
+      done;
+      reroute_orphans t)
     (fun () ->
       (* phase one: broadcast, per connection, no reads *)
       Array.iteri
@@ -832,6 +938,9 @@ let dispatch t (req : P.request) : P.response =
   let reply = function Ok r -> r | Error e -> P.Error_reply e in
   match req with
   | P.Ping -> P.Pong
+  (* The coordinator is a client-facing aggregate, not a restartable worker;
+     it has no journal generation to advertise. *)
+  | P.Hello -> P.Hello_reply { generation = 0 }
   | P.Open { session; family; epsilon; delta; log2_universe } ->
     reply
       (Result.map

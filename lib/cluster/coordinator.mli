@@ -21,8 +21,15 @@
     duplicate-insensitive, so at-least-once delivery never biases the
     answer.  A gather that had to fall back to a dead worker's
     last fetched sketch (or found nothing at all) flags the estimate
-    [degraded] in the reply.  A worker that comes back is re-opened and
-    refilled from its last good sketch before rejoining the pool.
+    [degraded] in the reply.  A worker that comes back is interrogated with
+    [HELLO] first: if it answers the same generation it had before the
+    disconnect, the process (and its state) survived a mere connection blip
+    and it rejoins as-is; a new generation — a restarted process, possibly
+    recovered from its write-ahead journal minus the unsynced tail — gets
+    re-opened and refilled from its last good sketch before rejoining, and
+    an acknowledgement-time refusal (e.g. [UNKNOWN-SESSION] from a worker
+    that lost state mid-conversation) re-routes the refused payloads
+    instead of counting them delivered.
 
     With [By_hash] sharding, duplicate set lines always land on the same
     worker, so cross-shard overlap is limited to geometrically overlapping
@@ -44,11 +51,17 @@ val create :
   ?window:int ->
   ?batch:int ->
   ?gather_domains:int ->
+  ?io:Rpc.io ->
   workers:(string * int) list ->
   seed:int ->
   unit ->
   t
 (** [workers] are [host, port] pairs; connections are opened lazily.
+    [io] (default {!Rpc.default_io}) supplies the socket operations for
+    every worker connection — the fault-injection hook: the chaos tests
+    pass [Delphic_harness.Chaos] wrappers here and the coordinator's
+    retry/quarantine/rejoin machinery runs against a deliberately lossy
+    transport.
     [timeout] (default 2s) bounds every connect/send/recv — a gather gives
     the {e whole} collect phase one [timeout] as a shared absolute deadline,
     so one slow worker costs at most one timeout however many are slow;

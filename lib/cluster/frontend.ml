@@ -91,11 +91,16 @@ let request_stop t =
           t.conns
       end)
 
-let install_sigint t =
-  ignore (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t)))
+(* SIGTERM drains like SIGINT: a supervisor's stop is a graceful stop. *)
+let install_signals t =
+  List.iter
+    (fun signum -> ignore (Sys.signal signum (Sys.Signal_handle (fun _ -> request_stop t))))
+    [ Sys.sigint; Sys.sigterm ]
+
+let install_sigint = install_signals
 
 let spawn_handler t fd =
-  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint ] in
+  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ] in
   let th = Thread.create (fun () -> handle_connection t fd) () in
   ignore (Thread.sigmask Unix.SIG_SETMASK old_mask);
   th

@@ -31,4 +31,8 @@ val request_stop : t -> unit
 (** Idempotent, signal-safe: wakes the accept loop and shuts down open
     connections so handler threads drain. *)
 
+val install_signals : t -> unit
+(** Route SIGINT and SIGTERM to {!request_stop}. *)
+
 val install_sigint : t -> unit
+(** Alias of {!install_signals} (kept for older callers). *)

@@ -6,9 +6,19 @@ type recv_error =
                    trusted to stay framed *)
   | Closed of string  (** EOF, a transport error, or an unparseable line *)
 
+(* The socket ops behind a connection, pluggable so a fault-injection
+   harness can wrap them.  Semantics mirror [Unix.read]/[Unix.write_substring]
+   exactly: same return conventions, same exceptions. *)
+type io = {
+  io_read : Unix.file_descr -> Bytes.t -> int -> int -> int;
+  io_write : Unix.file_descr -> string -> int -> int -> int;
+}
+
+let default_io = { io_read = Unix.read; io_write = Unix.write_substring }
+
 type t = {
   fd : Unix.file_descr;
-  oc : out_channel;
+  io : io;
   host : string;
   port : int;
   timeout : float; (* default per-recv budget when no deadline is given *)
@@ -28,7 +38,10 @@ type t = {
   mutable scanned : int;
   (* the SO_RCVTIMEO value currently armed on [fd]: re-arming costs a
      syscall per read, and in the steady state every recv wants the same
-     budget, so [read_chunk] skips the setsockopt when close enough *)
+     budget, so [read_chunk] skips the setsockopt when close enough.
+     Starts at 0.0 — an impossible budget — so the first read on any fresh
+     or reconnected socket always arms explicitly instead of trusting a
+     value inherited from a previous connection's life. *)
   mutable armed : float;
 }
 
@@ -54,12 +67,11 @@ let resolve host =
     | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
     | exception Not_found -> Error (Printf.sprintf "cannot resolve %S" host))
 
-let make_conn fd ~host ~port ~timeout =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+let make_conn fd ~io ~host ~port ~timeout =
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
   {
     fd;
-    oc = Unix.out_channel_of_descr fd;
+    io;
     host;
     port;
     timeout;
@@ -67,10 +79,10 @@ let make_conn fd ~host ~port ~timeout =
     rbuf = Bytes.create 65536;
     pend = "";
     scanned = 0;
-    armed = timeout;
+    armed = 0.0;
   }
 
-let connect ~host ~port ~timeout =
+let connect ?(io = default_io) ~host ~port ~timeout () =
   Lazy.force ignore_sigpipe;
   match resolve host with
   | Error _ as e -> e
@@ -90,7 +102,7 @@ let connect ~host ~port ~timeout =
         match Unix.getsockopt_error fd with
         | None ->
           Unix.clear_nonblock fd;
-          Ok (make_conn fd ~host ~port ~timeout)
+          Ok (make_conn fd ~io ~host ~port ~timeout)
         | Some e -> fail e)
       | _ -> fail Unix.ETIMEDOUT
       | exception Unix.Unix_error (e, _, _) -> fail e)
@@ -98,13 +110,23 @@ let connect ~host ~port ~timeout =
     | () ->
       (* loopback can connect synchronously even in nonblocking mode *)
       Unix.clear_nonblock fd;
-      Ok (make_conn fd ~host ~port ~timeout))
+      Ok (make_conn fd ~io ~host ~port ~timeout))
 
 let stage t req =
   Buffer.add_string t.buf (P.render_request req);
   Buffer.add_char t.buf '\n'
 
 let staged_bytes t = Buffer.length t.buf
+
+let write_all t payload =
+  let n = String.length payload in
+  let off = ref 0 in
+  while !off < n do
+    match t.io.io_write t.fd payload !off (n - !off) with
+    | 0 -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
 
 let flush_staged t =
   if Buffer.length t.buf = 0 then Ok ()
@@ -114,10 +136,7 @@ let flush_staged t =
        connection and replays from its own pending queue, so resending these
        bytes on a fresh socket would duplicate frames mid-line. *)
     Buffer.clear t.buf;
-    match
-      output_string t.oc payload;
-      flush t.oc
-    with
+    match write_all t payload with
     | () -> Ok ()
     | exception Sys_error msg -> Error msg
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
@@ -142,7 +161,7 @@ let rec read_chunk t ~deadline =
      with Unix.Unix_error _ -> ());
     t.armed <- budget
   end;
-  match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+  match t.io.io_read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
   | 0 -> Error (Closed "connection closed by peer")
   | k -> Ok (Bytes.sub_string t.rbuf 0 k)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)

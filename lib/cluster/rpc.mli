@@ -12,6 +12,21 @@
 
 type t
 
+type io = {
+  io_read : Unix.file_descr -> Bytes.t -> int -> int -> int;
+      (** [Unix.read] semantics: returns bytes read, 0 on EOF, raises
+          [Unix.Unix_error] (EAGAIN surfaces as {!recv_error.Timed_out}) *)
+  io_write : Unix.file_descr -> string -> int -> int -> int;
+      (** [Unix.write_substring] semantics: returns bytes written, raises
+          [Unix.Unix_error] on a dead peer *)
+}
+(** The socket operations behind a connection.  The default is the real
+    [Unix] pair; [Delphic_harness.Chaos] wraps them to inject seeded delays,
+    drops, partial writes, closes and corruption without touching any of
+    the framing or retry logic above. *)
+
+val default_io : io
+
 type recv_error =
   | Timed_out
       (** the budget passed without a complete reply line.  The peer may
@@ -24,7 +39,10 @@ type recv_error =
       (** EOF, a transport error, or an unparseable reply line (a misframed
           stream is as dead as a closed one). *)
 
-val connect : host:string -> port:int -> timeout:float -> (t, string) result
+val connect :
+  ?io:io -> host:string -> port:int -> timeout:float -> unit -> (t, string) result
+(** [io] defaults to {!default_io}; a fault-injection harness passes its
+    wrapped pair here (threaded through [Coordinator.create ?io]). *)
 
 val address : t -> string
 (** ["host:port"], for log and error messages. *)

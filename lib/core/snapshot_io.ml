@@ -286,14 +286,16 @@ let of_wire s =
   let* text = unescape 0 0 in
   decode text
 
-let save ~path t =
+let save ?(fsync = false) ~path t =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc (encode t);
-      flush oc);
+      flush oc;
+      if fsync then
+        try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
   Sys.rename tmp path
 
 let load ~path =

@@ -81,8 +81,11 @@ val of_wire : string -> (t, string) result
 (** Inverse of {!to_wire}: [of_wire (to_wire s) = Ok s].  Unknown escapes,
     truncated escapes and raw whitespace are [Error]s, never exceptions. *)
 
-val save : path:string -> t -> unit
+val save : ?fsync:bool -> path:string -> t -> unit
 (** Atomic: writes [path ^ ".tmp"] then renames, so a crash mid-write never
-    leaves a truncated snapshot behind. *)
+    leaves a truncated snapshot behind.  With [fsync] (default [false]) the
+    temporary file is fsynced before the rename — a checkpoint that the
+    write-ahead journal is about to truncate against must survive power
+    loss, not merely process death. *)
 
 val load : path:string -> (t, string) result

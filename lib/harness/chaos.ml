@@ -1,0 +1,130 @@
+module Rng = Delphic_util.Rng
+
+type config = {
+  seed : int;
+  delay_p : float;
+  max_delay : float;
+  drop_p : float;
+  partial_p : float;
+  close_p : float;
+  corrupt_p : float;
+}
+
+let config ?(delay_p = 0.0) ?(max_delay = 0.005) ?(drop_p = 0.0) ?(partial_p = 0.0)
+    ?(close_p = 0.0) ?(corrupt_p = 0.0) ~seed () =
+  let prob what p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Chaos.config: %s must be in [0, 1]" what)
+  in
+  prob "delay_p" delay_p;
+  prob "drop_p" drop_p;
+  prob "partial_p" partial_p;
+  prob "close_p" close_p;
+  prob "corrupt_p" corrupt_p;
+  if max_delay < 0.0 then invalid_arg "Chaos.config: max_delay must be >= 0";
+  { seed; delay_p; max_delay; drop_p; partial_p; close_p; corrupt_p }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;  (* guarded by [lock]: wrappers run on many threads *)
+  lock : Mutex.t;
+  mutable enabled : bool;
+  mutable injected : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    rng = Rng.create ~seed:cfg.seed;
+    lock = Mutex.create ();
+    enabled = true;
+    injected = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_enabled t v = with_lock t (fun () -> t.enabled <- v)
+let enabled t = with_lock t (fun () -> t.enabled)
+let injected t = with_lock t (fun () -> t.injected)
+
+(* One seeded decision per operation, drawn under the lock; the fault itself
+   (sleeps, syscalls) runs outside it.  [faults] is the kind-specific
+   (probability, tag) menu — first match on a single uniform draw wins, so
+   the per-op fault distribution is exactly the configured probabilities. *)
+type decision = { delay : float option; fault : [ `Drop | `Partial | `Close | `Corrupt | `None ] }
+
+let decide t faults =
+  with_lock t (fun () ->
+      if not t.enabled then { delay = None; fault = `None }
+      else begin
+        let delay =
+          if t.cfg.delay_p > 0.0 && Rng.bernoulli t.rng t.cfg.delay_p then
+            Some (Rng.float t.rng *. t.cfg.max_delay)
+          else None
+        in
+        let roll = Rng.float t.rng in
+        let fault =
+          let rec pick acc = function
+            | [] -> `None
+            | (p, tag) :: rest -> if roll < acc +. p then tag else pick (acc +. p) rest
+          in
+          pick 0.0 faults
+        in
+        if delay <> None then t.injected <- t.injected + 1;
+        if fault <> `None then t.injected <- t.injected + 1;
+        { delay; fault }
+      end)
+
+let apply_delay = function None -> () | Some secs -> if secs > 0.0 then Unix.sleepf secs
+
+let shutdown_quiet fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+let epipe op = raise (Unix.Unix_error (Unix.EPIPE, op, "chaos"))
+
+(* A corrupt byte position inside [0, len): drawn separately so [decide]
+   stays allocation-light on the common no-fault path. *)
+let corrupt_pos t len = with_lock t (fun () -> Rng.int t.rng len)
+
+let wrap_write t base fd s ofs len =
+  let d =
+    decide t
+      [
+        (t.cfg.drop_p, `Drop);
+        (t.cfg.partial_p, `Partial);
+        (t.cfg.close_p, `Close);
+        (t.cfg.corrupt_p, `Corrupt);
+      ]
+  in
+  apply_delay d.delay;
+  match d.fault with
+  | `None -> base fd s ofs len
+  | `Drop -> len (* claim success, ship nothing *)
+  | `Partial ->
+    let k = if len <= 1 then len else 1 + corrupt_pos t (len - 1) in
+    ignore (base fd s ofs k);
+    epipe "write"
+  | `Close ->
+    shutdown_quiet fd;
+    epipe "write"
+  | `Corrupt ->
+    let b = Bytes.of_string (String.sub s ofs len) in
+    let i = corrupt_pos t len in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    base fd (Bytes.to_string b) 0 len
+
+let wrap_read t base fd buf ofs len =
+  let d = decide t [ (t.cfg.close_p, `Close); (t.cfg.corrupt_p, `Corrupt) ] in
+  apply_delay d.delay;
+  match d.fault with
+  | `None | `Drop | `Partial -> base fd buf ofs len
+  | `Close ->
+    shutdown_quiet fd;
+    0 (* EOF *)
+  | `Corrupt ->
+    let k = base fd buf ofs len in
+    if k > 0 then begin
+      let i = ofs + corrupt_pos t k in
+      Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0x20))
+    end;
+    k

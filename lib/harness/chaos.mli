@@ -1,0 +1,104 @@
+(** Deterministic fault injection for socket transports.
+
+    Wraps a [Unix.read]/[Unix.write_substring]-shaped pair of socket
+    operations with seeded, probabilistic faults — delays, dropped writes,
+    partial writes, mid-stream closes, single-byte corruption — so a
+    cluster's retry/quarantine/rejoin machinery can be exercised against a
+    deliberately lossy transport {e without} touching any framing or retry
+    logic, and reproducibly: the same seed draws the same fault sequence
+    (thread interleavings aside).
+
+    The wrappers are signature-generic — this module knows nothing about
+    the RPC layer above.  The cluster side plugs them in through
+    [Delphic_cluster.Rpc.io]:
+
+    {[
+      let chaos = Chaos.create (Chaos.config ~drop_p:0.02 ~seed:42 ()) in
+      let io =
+        Delphic_cluster.Rpc.
+          {
+            io_read = Chaos.wrap_read chaos Unix.read;
+            io_write = Chaos.wrap_write chaos Unix.write_substring;
+          }
+      in
+      Delphic_cluster.Coordinator.create ~io ~workers ~seed ()
+    ]}
+
+    Fault semantics, rolled independently per operation:
+
+    - {b delay}: sleep uniformly on [0, max_delay) before the op proceeds
+      (models congestion; composes with any other fault).
+    - {b drop} (write only): claim every byte was written, ship none.  The
+      peer never sees the frame; the caller discovers the loss when the
+      acks it is owed never arrive.
+    - {b partial} (write only): ship a prefix of the buffer, then raise
+      [EPIPE] — a frame torn mid-line, the classic crash artifact.
+    - {b close}: shut the socket down; a write raises [EPIPE], a read
+      returns 0 (EOF).
+    - {b corrupt}: flip one random byte (in the written prefix, or in the
+      bytes just read) — exercises the CRC/parse rejection paths.
+
+    All probabilities default to 0, so [config ~seed ()] is a transparent
+    wrapper; tests enable exactly the faults they mean to test. *)
+
+type config = {
+  seed : int;
+  delay_p : float;
+  max_delay : float;  (** seconds; uniform on [0, max_delay) when delayed *)
+  drop_p : float;
+  partial_p : float;
+  close_p : float;
+  corrupt_p : float;
+}
+
+val config :
+  ?delay_p:float ->
+  ?max_delay:float ->
+  ?drop_p:float ->
+  ?partial_p:float ->
+  ?close_p:float ->
+  ?corrupt_p:float ->
+  seed:int ->
+  unit ->
+  config
+(** All probabilities default to [0.0]; [max_delay] to [5ms].  Raises
+    [Invalid_argument] if any probability is outside [0, 1] or [max_delay]
+    is negative. *)
+
+type t
+
+val create : config -> t
+
+val set_enabled : t -> bool -> unit
+(** Fault injection toggles atomically; disabled, the wrappers pass every
+    call straight through.  The convergence tests run a chaotic phase, then
+    disable injection and assert the cluster settles to the exact
+    fault-free answer. *)
+
+val enabled : t -> bool
+
+val injected : t -> int
+(** Total faults injected so far (delays included) — lets a test assert
+    that chaos actually happened at its chosen seed and probabilities. *)
+
+val wrap_read :
+  t ->
+  (Unix.file_descr -> Bytes.t -> int -> int -> int) ->
+  Unix.file_descr ->
+  Bytes.t ->
+  int ->
+  int ->
+  int
+(** [wrap_read t base] has [base]'s own semantics ([Unix.read]-shaped) with
+    faults injected around it. *)
+
+val wrap_write :
+  t ->
+  (Unix.file_descr -> string -> int -> int -> int) ->
+  Unix.file_descr ->
+  string ->
+  int ->
+  int ->
+  int
+(** [wrap_write t base] has [base]'s own semantics
+    ([Unix.write_substring]-shaped) with faults injected around it. *)

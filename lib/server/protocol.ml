@@ -21,6 +21,7 @@ type request =
   | Merge of { session : string; encoded : string }
   | Close of { session : string }
   | Ping
+  | Hello
 
 type error =
   | Empty_request
@@ -53,6 +54,7 @@ type response =
   | Stats_reply of stats
   | Sketch of string
   | Pong
+  | Hello_reply of { generation : int }
   | Error_reply of error
 
 let session_name_ok name =
@@ -165,6 +167,9 @@ let parse_request line =
   else
     match String.uppercase_ascii verb with
     | "PING" -> if rest = "" then Ok Ping else Error (Wrong_arity { command = "PING"; expected = "PING" })
+    | "HELLO" ->
+      if rest = "" then Ok Hello
+      else Error (Wrong_arity { command = "HELLO"; expected = "HELLO" })
     | "OPEN" -> (
       match tokens rest with
       | [ session; family; eps; delta; log2u ] ->
@@ -270,6 +275,7 @@ let render_request = function
   | Merge { session; encoded } -> Printf.sprintf "MERGE %s %s" session encoded
   | Close { session } -> "CLOSE " ^ session
   | Ping -> "PING"
+  | Hello -> "HELLO"
 
 let error_code = function
   | Empty_request -> "EMPTY"
@@ -361,6 +367,7 @@ let render_response = function
       (float_out s.last_estimate) s.parse_rejects s.merges
   | Sketch encoded -> "SKETCH " ^ encoded
   | Pong -> "PONG"
+  | Hello_reply { generation } -> "HELLO " ^ string_of_int generation
   | Error_reply e -> Printf.sprintf "ERR %s %s" (error_code e) (error_payload e)
 
 let parse_response line =
@@ -385,6 +392,10 @@ let parse_response line =
       | _ -> Error (Printf.sprintf "OKB: bad accepted count %S" accepted))
     | [] -> Error "OKB: missing accepted count")
   | "PONG" when rest = "" -> Ok Pong
+  | "HELLO" -> (
+    match int_of_string_opt rest with
+    | Some generation -> Ok (Hello_reply { generation })
+    | None -> Error (Printf.sprintf "HELLO: bad generation %S" rest))
   | "EST" -> (
     let value, degraded =
       match tokens rest with

@@ -17,6 +17,7 @@
     MERGE <session> <wire-snapshot>                 fold a peer's sketch into the session
     CLOSE <session>                                 drop the session
     PING                                            liveness probe
+    HELLO                                           identity probe (reply: HELLO <generation>)
     v}
 
     [ADDB] is the batched ingestion verb: each [tok] is one [ADD] payload
@@ -71,6 +72,14 @@ type request =
       (** [encoded] is a {!Delphic_core.Snapshot_io.to_wire} token *)
   | Close of { session : string }
   | Ping
+  | Hello
+      (** wire form [HELLO] — identity probe: the server answers
+          [HELLO <generation>] ({!Hello_reply}), where the generation is a
+          number that changes every time the process (re)starts.  The
+          cluster coordinator uses it to tell "same worker, same state"
+          apart from "worker restarted and lost its unjournalled tail".
+          Pre-crash-safety servers answer [ERR UNSUPPORTED HELLO], which
+          callers treat as "generation unknown, assume restart". *)
 
 type error =
   | Empty_request
@@ -110,6 +119,8 @@ type response =
   | Stats_reply of stats
   | Sketch of string  (** [SKETCH <wire-snapshot>], the reply to {!Fetch} *)
   | Pong
+  | Hello_reply of { generation : int }
+      (** [HELLO <generation>], the reply to {!Hello} *)
   | Error_reply of error
 
 val session_name_ok : string -> bool

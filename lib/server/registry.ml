@@ -146,8 +146,8 @@ let close t ~name =
       end
       else Error (Protocol.Unknown_session name))
 
-let snapshot_session s ~path =
-  match Io.save ~path (Families.to_io ~merges:s.merges s.runner) with
+let snapshot_session ?fsync s ~path =
+  match Io.save ?fsync ~path (Families.to_io ~merges:s.merges s.runner) with
   | () -> Ok ()
   | exception Sys_error msg -> Error (Protocol.Io_error msg)
   | exception Invalid_argument msg -> Error (Protocol.Server_error msg)
@@ -237,7 +237,7 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let snapshot_all t ~dir =
+let snapshot_all ?fsync t ~dir =
   lock_all t (fun () ->
       let sessions = all_sessions_locked t in
       match mkdir_p dir with
@@ -249,11 +249,11 @@ let snapshot_all t ~dir =
         |> List.map (fun (name, s) ->
                with_mutex s.slock (fun () ->
                    let path = spool_path dir name in
-                   match snapshot_session s ~path with
+                   match snapshot_session ?fsync s ~path with
                    | Ok () -> (name, Ok path)
                    | Error e -> (name, Error (Protocol.describe_error e)))))
 
-let restore_all t ~dir =
+let restore_all ?(consume = true) t ~dir =
   lock_all t (fun () ->
       match Sys.readdir dir with
       | exception Sys_error _ -> []
@@ -266,7 +266,7 @@ let restore_all t ~dir =
                let path = Filename.concat dir f in
                match restore_session t ~name ~path with
                | Ok () ->
-                 (try Sys.remove path with Sys_error _ -> ());
+                 if consume then (try Sys.remove path with Sys_error _ -> ());
                  (name, Ok ())
                | Error e -> (name, Error (Protocol.describe_error e))))
 
@@ -274,6 +274,9 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   let reply = function Ok r -> r | Error e -> Protocol.Error_reply e in
   match req with
   | Protocol.Ping -> Protocol.Pong
+  (* The registry has no process identity; the TCP server intercepts HELLO
+     and answers with its real generation.  0 = "not generation-fenced". *)
+  | Protocol.Hello -> Protocol.Hello_reply { generation = 0 }
   | Protocol.Open { session; family; epsilon; delta; log2_universe } ->
     reply
       (Result.map

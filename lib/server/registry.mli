@@ -68,12 +68,17 @@ val merge_in : t -> name:string -> encoded:string -> (unit, Protocol.error) resu
 
 val names : t -> string list
 
-val snapshot_all : t -> dir:string -> (string * (string, string) result) list
+val snapshot_all : ?fsync:bool -> t -> dir:string -> (string * (string, string) result) list
 (** Persist every open session to [dir/<name>.snap] (creating [dir]);
     returns per-session outcomes ([Ok path] or the failure message).  Used
-    by the server's graceful shutdown. *)
+    by the server's graceful shutdown.  [fsync] (default [false]) forces
+    each snapshot to stable storage before its rename — required when the
+    caller is a {!Wal} checkpoint about to truncate the journal. *)
 
-val restore_all : t -> dir:string -> (string * (unit, string) result) list
-(** Re-open every [dir/<name>.snap]; each successfully restored spool file
-    is consumed (removed) so stale state cannot resurrect later.  Missing
-    directory means nothing to restore. *)
+val restore_all : ?consume:bool -> t -> dir:string -> (string * (unit, string) result) list
+(** Re-open every [dir/<name>.snap].  With [consume] (the default) each
+    successfully restored spool file is removed so stale state cannot
+    resurrect later — the graceful-shutdown spool contract.  Checkpoint
+    recovery passes [~consume:false]: the checkpoint must survive the
+    restore so a second crash before the next checkpoint can recover
+    again. *)

@@ -2,6 +2,8 @@ let log_src = Logs.Src.create "delphic.server" ~doc:"estimation service"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type wal_config = { dir : string; fsync : Wal.fsync_policy; checkpoint_every : int }
+
 type t = {
   registry : Registry.t;
   spool : string;
@@ -12,6 +14,9 @@ type t = {
   mutable handlers : Thread.t list;
   conns : (Unix.file_descr, unit) Hashtbl.t;
   restored : (string * (unit, string) result) list;
+  wal : (Wal.t * wal_config) option;
+  generation : int;
+  mutable checkpointing : bool;  (* one checkpoint at a time; extras skip *)
   (* Self-pipe: request_stop writes a byte so the accept loop's select wakes
      even when the stop request comes from a signal handler that ran on a
      thread other than the one blocked on the listening socket. *)
@@ -23,7 +28,48 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let create ?(host = "127.0.0.1") ~port ~spool ~seed () =
+(* A journal-less server still answers HELLO: the fence only compares
+   generations for equality, so any value that differs across restarts of
+   the same process slot works.  High bit keeps it clear of journal
+   generations, which count up from 1. *)
+let ephemeral_generation () =
+  0x40000000 lor (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0x3FFFFFFF)
+
+(* WAL recovery: load the last checkpoint (non-consuming — it must survive
+   for the next crash), then re-drive the journal tail through the ordinary
+   dispatch path.  Re-applied records double-count only counters; the
+   estimators are unions, and unions are duplicate-insensitive. *)
+let recover_from_wal registry w =
+  let restored = Registry.restore_all ~consume:false registry ~dir:(Wal.checkpoint_dir w) in
+  List.iter
+    (function
+      | name, Ok () -> Log.info (fun m -> m "restored session %s from checkpoint" name)
+      | name, Error msg ->
+        Log.warn (fun m -> m "checkpointed session %s not restored: %s" name msg))
+    restored;
+  let replayed, cut =
+    Wal.replay w ~f:(fun line ->
+        match Protocol.parse_request line with
+        | Error e ->
+          Log.warn (fun m -> m "journal record unparseable: %s" (Protocol.describe_error e))
+        | Ok req -> (
+          match Registry.dispatch registry req with
+          | Protocol.Error_reply e ->
+            (* OPENs for checkpointed sessions replay as SESSION-EXISTS and
+               the like — expected, the record predates the checkpoint race
+               window.  Keep them out of the default log level. *)
+            Log.debug (fun m -> m "journal replay: %s" (Protocol.describe_error e))
+          | _ -> ()))
+  in
+  (match cut with
+  | Some reason -> Log.warn (fun m -> m "journal tail dropped: %s" reason)
+  | None -> ());
+  Log.info (fun m ->
+      m "recovery: %d checkpointed sessions, %d journal records replayed (generation %d)"
+        (List.length restored) replayed (Wal.generation w));
+  restored
+
+let create ?(host = "127.0.0.1") ?wal ~port ~spool ~seed () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -36,12 +82,25 @@ let create ?(host = "127.0.0.1") ~port ~spool ~seed () =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
   let registry = Registry.create ~seed () in
-  let restored = Registry.restore_all registry ~dir:spool in
-  List.iter
-    (function
-      | name, Ok () -> Log.info (fun m -> m "restored session %s from spool" name)
-      | name, Error msg -> Log.warn (fun m -> m "spooled session %s not restored: %s" name msg))
-    restored;
+  let wal =
+    Option.map (fun cfg -> (Wal.open_ ~dir:cfg.dir ~fsync:cfg.fsync, cfg)) wal
+  in
+  let restored =
+    match wal with
+    | Some (w, _) -> recover_from_wal registry w
+    | None ->
+      let restored = Registry.restore_all registry ~dir:spool in
+      List.iter
+        (function
+          | name, Ok () -> Log.info (fun m -> m "restored session %s from spool" name)
+          | name, Error msg ->
+            Log.warn (fun m -> m "spooled session %s not restored: %s" name msg))
+        restored;
+      restored
+  in
+  let generation =
+    match wal with Some (w, _) -> Wal.generation w | None -> ephemeral_generation ()
+  in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   {
     registry;
@@ -53,6 +112,9 @@ let create ?(host = "127.0.0.1") ~port ~spool ~seed () =
     handlers = [];
     conns = Hashtbl.create 16;
     restored;
+    wal;
+    generation;
+    checkpointing = false;
     stop_r;
     stop_w;
   }
@@ -60,6 +122,52 @@ let create ?(host = "127.0.0.1") ~port ~spool ~seed () =
 let port t = t.port
 let registry t = t.registry
 let restored t = t.restored
+let generation t = t.generation
+
+(* Which verbs go through the journal: the ones that change what a future
+   EST would answer.  Reads, probes and server-side SNAPSHOT (its own file
+   is the durability) stay out. *)
+let journaled_request = function
+  | Protocol.Open _ | Protocol.Add _ | Protocol.Add_batch _ | Protocol.Merge _
+  | Protocol.Restore _ | Protocol.Close _ ->
+    true
+  | Protocol.Est _ | Protocol.Stats _ | Protocol.Snapshot _ | Protocol.Fetch _
+  | Protocol.Ping | Protocol.Hello ->
+    false
+
+let mutation_succeeded = function
+  | Protocol.Ok_reply _ | Protocol.Ok_batch _ -> true
+  | _ -> false
+
+let run_checkpoint t w cfg =
+  let fsync = cfg.fsync <> Wal.Never in
+  let outcomes =
+    Wal.checkpoint w ~spool:(fun ~dir -> Registry.snapshot_all ~fsync t.registry ~dir)
+  in
+  List.iter
+    (function
+      | _, Ok _ -> ()
+      | name, Error msg -> Log.err (fun m -> m "checkpoint: session %s not spooled: %s" name msg))
+    outcomes
+
+(* Periodic checkpoint, claimed by whichever handler thread crosses the
+   record threshold first; racers skip rather than re-spool. *)
+let maybe_checkpoint t w cfg =
+  if cfg.checkpoint_every > 0 && Wal.records_since_checkpoint w >= cfg.checkpoint_every
+  then begin
+    let claimed =
+      with_lock t (fun () ->
+          if t.checkpointing then false
+          else begin
+            t.checkpointing <- true;
+            true
+          end)
+    in
+    if claimed then
+      Fun.protect
+        ~finally:(fun () -> with_lock t (fun () -> t.checkpointing <- false))
+        (fun () -> run_checkpoint t w cfg)
+  end
 
 let handle_connection t fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -73,9 +181,26 @@ let handle_connection t fd =
          let response =
            match Protocol.parse_request line with
            | Error e -> Protocol.Error_reply e
+           | Ok Protocol.Hello -> Protocol.Hello_reply { generation = t.generation }
            | Ok req -> (
              match Registry.dispatch t.registry req with
-             | resp -> resp
+             | resp -> (
+               (* Journal the accepted mutation BEFORE the reply leaves: an
+                  OK the client saw is a record the journal holds.  A failed
+                  append turns the reply into an error — the mutation did
+                  land in memory, but re-driving it is duplicate-safe and
+                  honest about lost durability. *)
+               match t.wal with
+               | Some (w, cfg) when journaled_request req && mutation_succeeded resp -> (
+                 match Wal.append w (Protocol.render_request req) with
+                 | () ->
+                   maybe_checkpoint t w cfg;
+                   resp
+                 | exception exn ->
+                   Log.err (fun m -> m "journal append failed: %s" (Printexc.to_string exn));
+                   Protocol.Error_reply
+                     (Protocol.Io_error ("journal append failed: " ^ Printexc.to_string exn)))
+               | _ -> resp)
              | exception exn ->
                (* A handler crash must kill one request, not the server. *)
                Protocol.Error_reply (Protocol.Server_error (Printexc.to_string exn)))
@@ -103,16 +228,23 @@ let request_stop t =
           t.conns
       end)
 
-let install_sigint t =
-  ignore (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop t)))
+(* SIGTERM gets the same graceful path as SIGINT: a supervisor's stop (or a
+   container runtime's) must spool/checkpoint exactly like a ^C. *)
+let install_signals t =
+  List.iter
+    (fun signum -> ignore (Sys.signal signum (Sys.Signal_handle (fun _ -> request_stop t))))
+    [ Sys.sigint; Sys.sigterm ]
 
-(* Handler threads run with SIGINT blocked (the mask is inherited across
-   Thread.create), so a process-directed SIGINT is always delivered to the
-   accept thread — whose select returns EINTR, runs the OCaml handler, and
-   sees [stopping].  Without this, a SIGINT landing on a handler thread that
-   exits before reaching a safepoint is lost while accept stays blocked. *)
+let install_sigint = install_signals
+
+(* Handler threads run with SIGINT/SIGTERM blocked (the mask is inherited
+   across Thread.create), so a process-directed stop signal is always
+   delivered to the accept thread — whose select returns EINTR, runs the
+   OCaml handler, and sees [stopping].  Without this, a signal landing on a
+   handler thread that exits before reaching a safepoint is lost while
+   accept stays blocked. *)
 let spawn_handler t fd =
-  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint ] in
+  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ] in
   let th = Thread.create (fun () -> handle_connection t fd) () in
   ignore (Thread.sigmask Unix.SIG_SETMASK old_mask);
   th
@@ -151,14 +283,31 @@ let serve t =
   (* drain: join every handler that was ever spawned *)
   let handlers = with_lock t (fun () -> t.handlers) in
   List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
-  let outcomes = Registry.snapshot_all t.registry ~dir:t.spool in
-  List.iter
-    (function
-      | name, Ok path -> Log.info (fun m -> m "spooled session %s to %s" name path)
-      | name, Error msg -> Log.err (fun m -> m "failed to spool session %s: %s" name msg))
-    outcomes;
+  let n_spooled =
+    match t.wal with
+    | Some (w, cfg) ->
+      (* Graceful stop under a journal = one final checkpoint; the spool
+         directory stays untouched (the checkpoint dir is the durable home).
+         A failure here is survivable — the journal still holds the tail. *)
+      let outcomes =
+        try run_checkpoint t w cfg; Registry.names t.registry |> List.length
+        with exn ->
+          Log.err (fun m -> m "final checkpoint failed: %s" (Printexc.to_string exn));
+          0
+      in
+      Wal.close w;
+      outcomes
+    | None ->
+      let outcomes = Registry.snapshot_all t.registry ~dir:t.spool in
+      List.iter
+        (function
+          | name, Ok path -> Log.info (fun m -> m "spooled session %s to %s" name path)
+          | name, Error msg -> Log.err (fun m -> m "failed to spool session %s: %s" name msg))
+        outcomes;
+      List.length outcomes
+  in
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
-  Log.info (fun m -> m "server stopped (%d sessions spooled)" (List.length outcomes))
+  Log.info (fun m -> m "server stopped (%d sessions spooled)" n_spooled)
 
 let start t = Thread.create serve t

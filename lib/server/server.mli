@@ -1,19 +1,37 @@
 (** TCP front end of the estimation service: an accept loop with one handler
     thread per connection, built on stdlib [Unix] + [threads.posix] only.
 
-    Durability contract: {!create} restores every session spooled under the
-    given directory (consuming the spool files); a graceful stop — SIGINT in
-    the CLI, or {!request_stop} — drains the open connections and snapshots
-    every live session back to the spool, so a restart pointing at the same
-    directory resumes exactly where the previous process left off.  The
-    loopback test in [test/test_server.ml] exercises this full cycle. *)
+    Durability contract without a journal: {!create} restores every session
+    spooled under the given directory (consuming the spool files); a
+    graceful stop — SIGINT/SIGTERM in the CLI, or {!request_stop} — drains
+    the open connections and snapshots every live session back to the
+    spool, so a restart pointing at the same directory resumes exactly
+    where the previous process left off.  The loopback test in
+    [test/test_server.ml] exercises this full cycle.
+
+    With a {!wal_config}, the contract hardens from "graceful stop" to
+    "kill -9": every accepted mutation is appended to a {!Wal} journal
+    {e before} its [OK]/[OKB] leaves the socket, a checkpoint is taken
+    every [checkpoint_every] records (and on graceful stop), and {!create}
+    recovers by loading the last checkpoint and replaying the journal tail.
+    The spool directory is then unused — the WAL directory is the durable
+    home.  [test/test_cluster.ml]'s kill-9 test exercises this cycle. *)
 
 type t
 
+type wal_config = {
+  dir : string;  (** journal + checkpoint home, created if missing *)
+  fsync : Wal.fsync_policy;
+  checkpoint_every : int;
+      (** spool state and truncate the journal every this many records;
+          [<= 0] disables periodic checkpoints (graceful-stop one remains) *)
+}
+
 val create :
-  ?host:string -> port:int -> spool:string -> seed:int -> unit -> t
+  ?host:string -> ?wal:wal_config -> port:int -> spool:string -> seed:int -> unit -> t
 (** Bind and listen ([host] defaults to ["127.0.0.1"]; [port] 0 picks an
-    ephemeral port, see {!port}), then restore any spooled sessions.
+    ephemeral port, see {!port}), then restore state: from [wal]'s
+    checkpoint + journal when given, else from the spool directory.
     Raises [Unix.Unix_error] if the address is unavailable. *)
 
 val port : t -> int
@@ -22,7 +40,13 @@ val port : t -> int
 val registry : t -> Registry.t
 
 val restored : t -> (string * (unit, string) result) list
-(** Outcome of the spool restoration done by {!create}. *)
+(** Outcome of the spool (or checkpoint) restoration done by {!create}. *)
+
+val generation : t -> int
+(** The value served to [HELLO]: the journal generation when running with a
+    WAL (bumped on every {!create}), otherwise an ephemeral per-process
+    number.  Either way it differs across restarts, which is all the
+    cluster's rejoin fence compares. *)
 
 val serve : t -> unit
 (** Run the accept loop on the calling thread until {!request_stop}; on the
@@ -36,5 +60,9 @@ val request_stop : t -> unit
 (** Trigger a graceful shutdown from any thread or from a signal handler;
     idempotent, returns immediately ({!serve} performs the drain). *)
 
+val install_signals : t -> unit
+(** Route SIGINT {e and} SIGTERM to {!request_stop} — a supervisor's stop
+    must spool/checkpoint exactly like a ^C. *)
+
 val install_sigint : t -> unit
-(** Route SIGINT to {!request_stop}. *)
+(** Alias of {!install_signals} (kept for older callers). *)

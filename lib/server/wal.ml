@@ -1,0 +1,262 @@
+let log_src = Logs.Src.create "delphic.wal" ~doc:"write-ahead journal"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type fsync_policy = Always | Interval of float | Never
+
+let fsync_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | "interval" -> Ok (Interval 0.2)
+  | s when String.length s > 9 && String.sub s 0 9 = "interval:" -> (
+    let v = String.sub s 9 (String.length s - 9) in
+    match float_of_string_opt v with
+    | Some secs when secs > 0.0 -> Ok (Interval secs)
+    | _ -> Error (Printf.sprintf "bad fsync interval %S" v))
+  | _ -> Error (Printf.sprintf "unknown fsync policy %S (want always, interval[:secs] or never)" s)
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Interval secs -> Printf.sprintf "interval:%g" secs
+
+(* CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the standard zlib polynomial,
+   table-driven.  Stdlib has no checksum, and the journal cannot depend on
+   one: a torn tail must be detectable with what the binary always has. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF
+
+type t = {
+  dir : string;
+  fd : Unix.file_descr;
+  fsync : fsync_policy;
+  lock : Mutex.t;
+  gen : int;
+  mutable records : int; (* since the last checkpoint/truncate *)
+  mutable last_sync : float;
+  mutable dirty : bool; (* bytes written since the last fsync *)
+  mutable closed : bool;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let journal_path dir = Filename.concat dir "journal"
+let generation_path dir = Filename.concat dir "generation"
+let checkpoint_dir t = Filename.concat t.dir "checkpoint"
+
+(* Bump-and-persist: read the last epoch, write epoch+1 via tmp + rename +
+   fsync so a crash mid-update leaves either the old or the new number,
+   never a torn one.  The fence only needs monotonicity, not contiguity. *)
+let next_generation dir =
+  let path = generation_path dir in
+  let prev =
+    match open_in path with
+    | exception Sys_error _ -> 0
+    | ic ->
+      let g =
+        match input_line ic with
+        | line -> Option.value (int_of_string_opt (String.trim line)) ~default:0
+        | exception End_of_file -> 0
+      in
+      close_in_noerr ic;
+      g
+  in
+  let gen = prev + 1 in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let s = string_of_int gen ^ "\n" in
+      ignore (Unix.write_substring fd s 0 (String.length s));
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  gen
+
+let open_ ~dir ~fsync =
+  mkdir_p dir;
+  mkdir_p (Filename.concat dir "checkpoint");
+  let gen = next_generation dir in
+  let fd =
+    Unix.openfile (journal_path dir) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  {
+    dir;
+    fd;
+    fsync;
+    lock = Mutex.create ();
+    gen;
+    records = 0;
+    last_sync = Unix.gettimeofday ();
+    dirty = false;
+    closed = false;
+  }
+
+let generation t = t.gen
+let records_since_checkpoint t = t.records
+
+let be32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame body =
+  let buf = Buffer.create (String.length body + 8) in
+  be32 buf (String.length body);
+  be32 buf (crc32 body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let maybe_fsync t =
+  match t.fsync with
+  | Never -> ()
+  | Always ->
+    Unix.fsync t.fd;
+    t.dirty <- false
+  | Interval secs ->
+    let now = Unix.gettimeofday () in
+    if now -. t.last_sync >= secs then begin
+      Unix.fsync t.fd;
+      t.last_sync <- now;
+      t.dirty <- false
+    end
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let append t body =
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then invalid_arg "Wal.append: record contains a newline")
+    body;
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Wal.append: journal closed";
+      (* one write() per record: a kill -9 can tear only the record being
+         written, and the tear is visible as a short or CRC-failing frame *)
+      write_all t.fd (frame body);
+      t.dirty <- true;
+      t.records <- t.records + 1;
+      maybe_fsync t)
+
+let read_whole fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       match Unix.read fd buf !off (len - !off) with
+       | 0 -> raise Exit
+       | k -> off := !off + k
+     done
+   with Exit -> ());
+  Bytes.sub_string buf 0 !off
+
+let replay t ~f =
+  with_lock t (fun () ->
+      let data = read_whole t.fd in
+      let n = String.length data in
+      let pos = ref 0 in
+      let replayed = ref 0 in
+      let cut = ref None in
+      (try
+         while !pos < n && !cut = None do
+           if n - !pos < 8 then
+             cut := Some (Printf.sprintf "torn header at byte %d (%d trailing bytes)" !pos (n - !pos))
+           else begin
+             let len = read_be32 data !pos in
+             let crc = read_be32 data (!pos + 4) in
+             if len < 0 || !pos + 8 + len > n then
+               cut :=
+                 Some
+                   (Printf.sprintf "torn record at byte %d (%d of %d body bytes present)"
+                      !pos (n - !pos - 8) len)
+             else begin
+               let body = String.sub data (!pos + 8) len in
+               if crc32 body <> crc then
+                 cut := Some (Printf.sprintf "CRC mismatch at byte %d" !pos)
+               else begin
+                 f body;
+                 incr replayed;
+                 pos := !pos + 8 + len
+               end
+             end
+           end
+         done
+       with exn ->
+         (* [f] raised: keep the journal intact past this record and rethrow *)
+         ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+         raise exn);
+      (match !cut with
+      | None -> ()
+      | Some reason ->
+        Log.warn (fun m -> m "journal truncated: %s" reason);
+        Unix.ftruncate t.fd !pos;
+        if t.fsync <> Never then Unix.fsync t.fd);
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+      t.records <- !replayed;
+      (!replayed, !cut))
+
+let checkpoint t ~spool =
+  (* The spool callback takes the registry's own locks; the journal lock is
+     held throughout so no append can land between the state capture and the
+     truncation that retires its record. *)
+  with_lock t (fun () ->
+      let outcomes = spool ~dir:(checkpoint_dir t) in
+      let all_ok = List.for_all (fun (_, r) -> Result.is_ok r) outcomes in
+      if all_ok then begin
+        Unix.ftruncate t.fd 0;
+        ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+        if t.fsync <> Never then Unix.fsync t.fd;
+        t.records <- 0;
+        t.dirty <- false
+      end
+      else
+        Log.warn (fun m ->
+            m "checkpoint incomplete (%d sessions failed to spool); journal kept"
+              (List.length (List.filter (fun (_, r) -> Result.is_error r) outcomes)));
+      outcomes)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (if t.dirty && t.fsync <> Never then
+           try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+        try Unix.close t.fd with Unix.Unix_error _ -> ()
+      end)

@@ -5,6 +5,7 @@
    answering — flagged degraded, still inside the envelope. *)
 
 module Server = Delphic_server.Server
+module Wal = Delphic_server.Wal
 module P = Delphic_server.Protocol
 module Registry = Delphic_server.Registry
 module Coordinator = Delphic_cluster.Coordinator
@@ -318,6 +319,181 @@ let test_frontend_protocol () =
   List.iter stop_worker workers;
   List.iteri (fun n _ -> rm_rf (spool (10 + n))) workers
 
+(* --- kill -9 against a journaled worker ------------------------------- *)
+
+let rm_rf_deep dir =
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir
+
+(* A worker in its own PROCESS, so the parent can kill -9 it: the child
+   opens a WAL-backed server, publishes its port through [portfile], and
+   serves until killed.  Bind retried briefly — a restart can race the
+   kernel reclaiming the predecessor's address. *)
+let fork_wal_worker ~wal_dir ~spool_dir ~port ~seed ~portfile =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let rec create tries =
+         match
+           Server.create
+             ~wal:{ Server.dir = wal_dir; fsync = Wal.Interval 0.05; checkpoint_every = 4 }
+             ~port ~spool:spool_dir ~seed ()
+         with
+         | s -> s
+         | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when tries > 0 ->
+           Thread.delay 0.1;
+           create (tries - 1)
+       in
+       let s = create 20 in
+       let oc = open_out portfile in
+       output_string oc (string_of_int (Server.port s));
+       output_char oc '\n';
+       close_out oc;
+       Server.serve s
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let wait_for ~timeout msg pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match pred () with
+    | Some v -> v
+    | None ->
+      if Unix.gettimeofday () > deadline then Alcotest.fail msg
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+  in
+  go ()
+
+(* Raw-socket HELLO probe: [Some generation] once the worker answers. *)
+let hello_generation port =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd -> (
+    let finish r =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+    in
+    try
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+      output_string oc "HELLO\n";
+      flush oc;
+      match String.split_on_char ' ' (input_line ic) with
+      | [ "HELLO"; g ] -> finish (int_of_string_opt g)
+      | _ -> finish None
+    with Unix.Unix_error _ | Sys_error _ | End_of_file -> finish None)
+
+(* The tentpole end to end: a journaled worker is killed with SIGKILL mid
+   conversation and restarted on the same port; the coordinator's HELLO
+   fence sees the new generation and re-drives; the WAL replay hands back
+   every acknowledged set.  Exact-regime equality makes the recovery check
+   sharp: the estimate is a count, one lost set = wrong answer.  Crucially
+   no gather runs before the kill, so the coordinator holds no last-good
+   sketch for the victim — the recovered state can only have come from the
+   checkpoint + journal on disk. *)
+let test_kill9_wal_recovery () =
+  let tmp = Filename.get_temp_dir_name () in
+  let wal_dir = Filename.concat tmp (Printf.sprintf "delphic-wal-e2e-%d" (Unix.getpid ())) in
+  let spool_dir = Filename.concat tmp (Printf.sprintf "delphic-wal-e2e-spool-%d" (Unix.getpid ())) in
+  let portfile = Filename.concat tmp (Printf.sprintf "delphic-wal-e2e-port-%d" (Unix.getpid ())) in
+  rm_rf_deep wal_dir;
+  rm_rf_deep spool_dir;
+  if Sys.file_exists portfile then Sys.remove portfile;
+  (* the victim forks FIRST, before this test owns any thread *)
+  let pid_a = fork_wal_worker ~wal_dir ~spool_dir ~port:0 ~seed:4000 ~portfile in
+  let port =
+    wait_for ~timeout:10.0 "forked worker never published its port" (fun () ->
+        match open_in portfile with
+        | exception Sys_error _ -> None
+        | ic ->
+          let r = try int_of_string_opt (input_line ic) with End_of_file -> None in
+          close_in_noerr ic;
+          r)
+  in
+  let gen_a =
+    wait_for ~timeout:10.0 "forked worker never answered HELLO" (fun () ->
+        hello_generation port)
+  in
+  Alcotest.(check bool) "journal generations count from 1" true (gen_a >= 1);
+  (* a journal-less sibling: its ephemeral generation must not look like a
+     journal epoch *)
+  let sibling, sibling_th = start_worker 30 ~seed:4100 in
+  Alcotest.(check bool) "ephemeral generation carries the high bit" true
+    (Server.generation sibling land 0x40000000 <> 0);
+  let coord =
+    Coordinator.create ~timeout:2.0 ~backoff:0.01 ~batch:8 ~window:32
+      ~workers:[ ("127.0.0.1", port); ("127.0.0.1", Server.port sibling) ]
+      ~seed:606 ()
+  in
+  let gen = Rng.create ~seed:42 in
+  let first =
+    Workload.Rectangles.uniform gen ~universe:300 ~dim:2 ~count:30 ~max_side:6
+  in
+  let rest =
+    Workload.Rectangles.uniform gen ~universe:300 ~dim:2 ~count:30 ~max_side:6
+  in
+  ok
+    (Coordinator.open_session coord ~name:"crash" ~family:P.Rect ~epsilon:0.3
+       ~delta:0.2 ~log2_universe:17.0);
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"crash" ~payload:(payload_of b)))
+    first;
+  (* every phase-1 set acked — and, by the WAL contract, journaled — but
+     deliberately never gathered *)
+  Coordinator.flush coord;
+
+  Unix.kill pid_a Sys.sigkill;
+  ignore (Unix.waitpid [] pid_a);
+  let pid_b = fork_wal_worker ~wal_dir ~spool_dir ~port ~seed:4001 ~portfile in
+  let gen_b =
+    wait_for ~timeout:10.0 "restarted worker never answered HELLO" (fun () ->
+        match hello_generation port with
+        | Some g when g <> gen_a -> Some g
+        | _ -> None)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "the fence sees a new epoch (%d -> %d)" gen_a gen_b)
+    true (gen_b > gen_a);
+
+  List.iter
+    (fun b -> ok (Coordinator.add coord ~name:"crash" ~payload:(payload_of b)))
+    rest;
+  (* the coordinator notices the dead connection on first use, re-routes,
+     reconnects behind the HELLO fence and re-drives; give the quarantine a
+     few beats to expire before insisting on a clean gather *)
+  let est =
+    wait_for ~timeout:10.0 "cluster never produced a clean gather" (fun () ->
+        Coordinator.flush coord;
+        match Coordinator.estimate coord ~name:"crash" with
+        | Ok (est, false) -> Some est
+        | Ok (_, true) | Error _ -> None)
+  in
+  Alcotest.(check (float 0.0)) "kill -9 lost no acknowledged set"
+    (truth (first @ rest)) est;
+  let st = ok (Coordinator.stats coord ~name:"crash") in
+  Alcotest.(check int) "no payload was rejected" 0 st.P.parse_rejects;
+
+  ok (Coordinator.close coord ~name:"crash");
+  Coordinator.shutdown coord;
+  Unix.kill pid_b Sys.sigkill;
+  ignore (Unix.waitpid [] pid_b);
+  stop_worker (sibling, sibling_th);
+  rm_rf (spool 30);
+  rm_rf_deep wal_dir;
+  rm_rf_deep spool_dir;
+  Sys.remove portfile
+
 let suite =
   [
     Alcotest.test_case "scatter/gather with mid-stream worker loss" `Quick
@@ -328,4 +504,6 @@ let suite =
       test_slow_workers_share_one_deadline;
     Alcotest.test_case "frontend speaks the full protocol" `Quick
       test_frontend_protocol;
+    Alcotest.test_case "kill -9 mid-stream recovers from the WAL" `Quick
+      test_kill9_wal_recovery;
   ]

@@ -80,7 +80,9 @@ let test_parse_requests () =
     (P.Restore { session = "s2"; path = "x.snap" })
     (parse_ok "RESTORE s2 x.snap");
   Alcotest.check request "close" (P.Close { session = "s1" }) (parse_ok "CLOSE s1");
-  Alcotest.check request "ping" P.Ping (parse_ok "PING")
+  Alcotest.check request "ping" P.Ping (parse_ok "PING");
+  Alcotest.check request "hello" P.Hello (parse_ok "HELLO");
+  Alcotest.check request "hello (case)" P.Hello (parse_ok "hello")
 
 let test_parse_errors () =
   Alcotest.(check string) "empty" "EMPTY" (parse_err "");
@@ -92,6 +94,7 @@ let test_parse_errors () =
   Alcotest.(check string) "snapshot arity" "ARITY" (parse_err "SNAPSHOT");
   Alcotest.(check string) "est arity" "ARITY" (parse_err "EST");
   Alcotest.(check string) "ping arity" "ARITY" (parse_err "PING extra");
+  Alcotest.(check string) "hello arity" "ARITY" (parse_err "HELLO extra");
   Alcotest.(check string) "bad eps" "BAD-NUMBER" (parse_err "OPEN s1 rect zero 0.1 40");
   Alcotest.(check string) "bad family" "BAD-FAMILY" (parse_err "OPEN s1 pentagon 0.2 0.1 40");
   Alcotest.(check string) "dnf needs nvars" "BAD-FAMILY" (parse_err "OPEN s1 dnf:0 0.2 0.1 40");
@@ -171,6 +174,7 @@ let test_request_roundtrip () =
       P.Merge { session = "s"; encoded = "delphic-snapshot%20v2%0Aend%0A" };
       P.Close { session = "s" };
       P.Ping;
+      P.Hello;
     ]
 
 let gen_session =
@@ -296,6 +300,8 @@ let test_response_roundtrip () =
             ];
         };
       P.Pong;
+      P.Hello_reply { generation = 1 };
+      P.Hello_reply { generation = 0x40000000 lor 12345 };
     ]
     @ List.map (fun e -> P.Error_reply e) all_errors
   in
@@ -323,6 +329,11 @@ let dispatch reg line = Registry.dispatch reg (parse_ok line)
 let test_dispatch_lifecycle () =
   let reg = Registry.create ~seed:42 () in
   Alcotest.check response "ping" P.Pong (dispatch reg "PING");
+  (* the registry has no process identity; 0 = unfenced (the TCP server
+     overrides this with its real generation) *)
+  Alcotest.check response "hello"
+    (P.Hello_reply { generation = 0 })
+    (dispatch reg "HELLO");
   Alcotest.check response "open"
     (P.Ok_reply (Some "opened s1"))
     (dispatch reg "OPEN s1 rect 0.3 0.2 20");

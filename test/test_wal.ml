@@ -1,0 +1,310 @@
+(* Write-ahead journal: framed round-trips (fixed and qcheck), torn-tail
+   and CRC-failure truncation via byte surgery on the journal file,
+   checkpoint truncation semantics, and the generation fence.  Every test
+   drives the real file — the crash artifacts are produced with ftruncate
+   and in-place byte flips, the same shapes a kill -9 leaves behind. *)
+
+module Wal = Delphic_server.Wal
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "delphic-wal-%d-%d" (Unix.getpid ()) !n)
+    in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm dir;
+    dir
+
+let journal dir = Filename.concat dir "journal"
+
+let replay_all w =
+  let seen = ref [] in
+  let n, cut = Wal.replay w ~f:(fun body -> seen := body :: !seen) in
+  (List.rev !seen, n, cut)
+
+(* Reopen-and-replay: what a restarted process would see. *)
+let recover ~dir =
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  let r = replay_all w in
+  (w, r)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd len;
+  Unix.close fd
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x5A));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let bodies = [ "OPEN s rect 0.3 0.2 17"; "ADD s 0 9 0 9"; "ADD s 5 14 0 9" ]
+
+let test_roundtrip () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Always in
+  List.iter (Wal.append w) bodies;
+  Alcotest.(check int) "records counted" (List.length bodies)
+    (Wal.records_since_checkpoint w);
+  Wal.close w;
+  let w', (seen, n, cut) = recover ~dir in
+  Alcotest.(check (list string)) "replay = append order" bodies seen;
+  Alcotest.(check int) "replay count" (List.length bodies) n;
+  Alcotest.(check bool) "no cut on a clean journal" true (cut = None);
+  Alcotest.(check int) "replay primes the checkpoint counter"
+    (List.length bodies)
+    (Wal.records_since_checkpoint w');
+  (* the replayed handle appends after the survivors, not over them *)
+  Wal.append w' "ADD s 100 100 100 100";
+  Wal.close w';
+  let w'', (seen'', _, cut'') = recover ~dir in
+  Alcotest.(check (list string)) "append after replay lands at the tail"
+    (bodies @ [ "ADD s 100 100 100 100" ]) seen'';
+  Alcotest.(check bool) "still clean" true (cut'' = None);
+  Wal.close w''
+
+let test_torn_tail () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  List.iter (Wal.append w) bodies;
+  Wal.close w;
+  (* a kill -9 mid-write leaves a short final frame: cut 3 bytes *)
+  let size = file_size (journal dir) in
+  truncate_file (journal dir) (size - 3);
+  let w', (seen, n, cut) = recover ~dir in
+  Alcotest.(check (list string)) "intact prefix replayed"
+    [ List.nth bodies 0; List.nth bodies 1 ]
+    seen;
+  Alcotest.(check int) "two of three" 2 n;
+  (match cut with
+  | Some reason ->
+    Alcotest.(check bool)
+      (Printf.sprintf "cut names the tear (%s)" reason)
+      true
+      (String.length reason > 0)
+  | None -> Alcotest.fail "torn tail must be reported");
+  Wal.close w';
+  (* the tear was truncated away: the next recovery is clean *)
+  let w'', (seen'', _, cut'') = recover ~dir in
+  Alcotest.(check (list string)) "truncation is durable" seen seen'';
+  Alcotest.(check bool) "no cut after truncation" true (cut'' = None);
+  Wal.close w''
+
+let test_torn_header () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  List.iter (Wal.append w) bodies;
+  Wal.close w;
+  (* tear inside the length/CRC header of a fresh fourth record *)
+  let size = file_size (journal dir) in
+  let fd = Unix.openfile (journal dir) [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd size Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "\x00\x00" 0 2);
+  Unix.close fd;
+  let w', (seen, _, cut) = recover ~dir in
+  Alcotest.(check (list string)) "whole records survive" bodies seen;
+  Alcotest.(check bool) "torn header reported" true (cut <> None);
+  Wal.close w'
+
+let test_crc_mismatch () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  List.iter (Wal.append w) bodies;
+  Wal.close w;
+  (* corrupt one body byte of the LAST record: frames are 8 + |body| *)
+  let last = List.nth bodies 2 in
+  let off = file_size (journal dir) - String.length last in
+  flip_byte (journal dir) off;
+  let w', (seen, n, cut) = recover ~dir in
+  Alcotest.(check (list string)) "records before the corruption replay"
+    [ List.nth bodies 0; List.nth bodies 1 ]
+    seen;
+  Alcotest.(check int) "stops at the bad CRC" 2 n;
+  (match cut with
+  | Some reason ->
+    Alcotest.(check bool)
+      (Printf.sprintf "cut names the CRC failure (%s)" reason)
+      true
+      (String.length reason > 0)
+  | None -> Alcotest.fail "CRC mismatch must be reported");
+  (* corrupt journals truncate too — acknowledged-but-poisoned state must
+     not resurrect on the recovery after next *)
+  Alcotest.(check int) "file truncated at the bad record"
+    (List.fold_left (fun acc b -> acc + 8 + String.length b) 0 [ List.nth bodies 0; List.nth bodies 1 ])
+    (file_size (journal dir));
+  Wal.close w'
+
+let test_append_validates () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  Alcotest.check_raises "newline rejected"
+    (Invalid_argument "Wal.append: record contains a newline") (fun () ->
+      Wal.append w "ADD s 1\n2");
+  Alcotest.check_raises "carriage return rejected"
+    (Invalid_argument "Wal.append: record contains a newline") (fun () ->
+      Wal.append w "ADD s 1\r2");
+  Wal.close w;
+  Alcotest.check_raises "append after close rejected"
+    (Invalid_argument "Wal.append: journal closed") (fun () -> Wal.append w "x");
+  Wal.close w (* idempotent *)
+
+let test_checkpoint () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  List.iter (Wal.append w) bodies;
+  (* a failing spool must keep the journal: replay still covers everything *)
+  let outcomes =
+    Wal.checkpoint w ~spool:(fun ~dir:_ ->
+        [ ("good", Ok "good.snap"); ("bad", Error "disk full") ])
+  in
+  Alcotest.(check int) "outcomes returned" 2 (List.length outcomes);
+  Alcotest.(check int) "journal kept on spool failure" (List.length bodies)
+    (Wal.records_since_checkpoint w);
+  Alcotest.(check bool) "journal bytes intact" true (file_size (journal dir) > 0);
+  (* a clean spool retires the journal *)
+  let spooled = ref None in
+  ignore
+    (Wal.checkpoint w ~spool:(fun ~dir ->
+         spooled := Some dir;
+         [ ("good", Ok "good.snap") ]));
+  Alcotest.(check (option string)) "spool ran in the checkpoint dir"
+    (Some (Wal.checkpoint_dir w))
+    !spooled;
+  Alcotest.(check int) "counter reset" 0 (Wal.records_since_checkpoint w);
+  Alcotest.(check int) "journal truncated" 0 (file_size (journal dir));
+  (* appends after the checkpoint journal afresh *)
+  Wal.append w "ADD s 7 7 7 7";
+  Wal.close w;
+  let w', (seen, _, cut) = recover ~dir in
+  Alcotest.(check (list string)) "only the post-checkpoint tail replays"
+    [ "ADD s 7 7 7 7" ] seen;
+  Alcotest.(check bool) "clean" true (cut = None);
+  Wal.close w'
+
+let test_generation_fence () =
+  let dir = fresh_dir () in
+  let w1 = Wal.open_ ~dir ~fsync:Wal.Never in
+  let g1 = Wal.generation w1 in
+  Wal.close w1;
+  let w2 = Wal.open_ ~dir ~fsync:Wal.Never in
+  let g2 = Wal.generation w2 in
+  Wal.close w2;
+  let w3 = Wal.open_ ~dir ~fsync:Wal.Never in
+  let g3 = Wal.generation w3 in
+  Wal.close w3;
+  Alcotest.(check bool) "first generation positive" true (g1 > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "generations strictly climb (%d < %d < %d)" g1 g2 g3)
+    true
+    (g1 < g2 && g2 < g3);
+  (* a different directory counts independently from 1 *)
+  let other = fresh_dir () in
+  let w = Wal.open_ ~dir:other ~fsync:Wal.Never in
+  Alcotest.(check int) "fresh directory starts over" 1 (Wal.generation w);
+  Wal.close w
+
+let test_fsync_policy_strings () =
+  let ok s p =
+    match Wal.fsync_policy_of_string s with
+    | Ok p' -> Alcotest.(check string) s (Wal.fsync_policy_to_string p) (Wal.fsync_policy_to_string p')
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  ok "always" Wal.Always;
+  ok "never" Wal.Never;
+  ok "interval" (Wal.Interval 0.2);
+  ok "interval:0.5" (Wal.Interval 0.5);
+  ok "ALWAYS" Wal.Always;
+  List.iter
+    (fun s ->
+      match Wal.fsync_policy_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must be rejected" s)
+    [ "sometimes"; "interval:"; "interval:-1"; "interval:nope"; "" ]
+
+(* qcheck: any newline-free bodies round-trip through append/replay, across
+   all three fsync policies. *)
+let gen_body =
+  QCheck.Gen.(
+    string_size (int_range 0 60)
+      ~gen:
+        (oneofl
+           [ 'A'; 'z'; '0'; '9'; ' '; '%'; '-'; ':'; '.'; '\t'; '\x00'; '\xff' ]))
+
+let gen_policy = QCheck.Gen.oneofl [ Wal.Always; Wal.Interval 0.01; Wal.Never ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"append/replay roundtrip (random)" ~count:40
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 0 12) gen_body) gen_policy))
+    (fun (bodies, policy) ->
+      let dir = fresh_dir () in
+      let w = Wal.open_ ~dir ~fsync:policy in
+      List.iter (Wal.append w) bodies;
+      Wal.close w;
+      let w', (seen, n, cut) = recover ~dir in
+      Wal.close w';
+      seen = bodies && n = List.length bodies && cut = None)
+
+(* qcheck: cut the journal at ANY byte length — replay must yield a prefix
+   of the appended bodies and never crash, whatever the tear position. *)
+let prop_any_tear =
+  QCheck.Test.make ~name:"arbitrary tear yields a clean prefix (random)" ~count:40
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 1 8) gen_body) (int_range 0 200)))
+    (fun (bodies, cut_at) ->
+      let dir = fresh_dir () in
+      let w = Wal.open_ ~dir ~fsync:Wal.Never in
+      List.iter (Wal.append w) bodies;
+      Wal.close w;
+      let size = file_size (journal dir) in
+      let cut_at = min cut_at size in
+      truncate_file (journal dir) cut_at;
+      let w', (seen, n, cut) = recover ~dir in
+      Wal.close w';
+      (* frames fully inside the tear replay; a partial frame is the cut *)
+      let expected = ref [] in
+      let boundary = ref 0 in
+      let stopped = ref false in
+      List.iter
+        (fun b ->
+          let next = !boundary + 8 + String.length b in
+          if (not !stopped) && next <= cut_at then begin
+            expected := b :: !expected;
+            boundary := next
+          end
+          else stopped := true)
+        bodies;
+      seen = List.rev !expected
+      && n = List.length !expected
+      && (cut = None) = (!boundary = cut_at))
+
+let suite =
+  [
+    Alcotest.test_case "append/replay round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "torn tail truncates to the intact prefix" `Quick test_torn_tail;
+    Alcotest.test_case "torn header drops only the tear" `Quick test_torn_header;
+    Alcotest.test_case "CRC mismatch cuts the journal" `Quick test_crc_mismatch;
+    Alcotest.test_case "append validates" `Quick test_append_validates;
+    Alcotest.test_case "checkpoint truncates only after a clean spool" `Quick
+      test_checkpoint;
+    Alcotest.test_case "generation fence climbs" `Quick test_generation_fence;
+    Alcotest.test_case "fsync policy strings" `Quick test_fsync_policy_strings;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_any_tear;
+  ]
