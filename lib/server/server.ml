@@ -30,10 +30,35 @@ let with_lock t f =
 
 (* A journal-less server still answers HELLO: the fence only compares
    generations for equality, so any value that differs across restarts of
-   the same process slot works.  High bit keeps it clear of journal
-   generations, which count up from 1. *)
+   the same process slot works.  A collision would silently skip the
+   coordinator's restart resync, so draw real entropy rather than hashing
+   (pid, time) — 30 random bits from the OS, with the hash only as a
+   fallback for hosts without /dev/urandom.  High bit keeps the value clear
+   of journal generations, which count up from 1. *)
 let ephemeral_generation () =
-  0x40000000 lor (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0x3FFFFFFF)
+  let entropy =
+    match open_in_bin "/dev/urandom" with
+    | exception Sys_error _ -> None
+    | ic ->
+      let v =
+        match really_input_string ic 4 with
+        | s ->
+          Some
+            ((Char.code s.[0] lsl 24)
+            lor (Char.code s.[1] lsl 16)
+            lor (Char.code s.[2] lsl 8)
+            lor Char.code s.[3])
+        | exception End_of_file -> None
+      in
+      close_in_noerr ic;
+      v
+  in
+  let entropy =
+    match entropy with
+    | Some v -> v
+    | None -> Hashtbl.hash (Unix.getpid (), Unix.gettimeofday (), Sys.time ())
+  in
+  0x40000000 lor (entropy land 0x3FFFFFFF)
 
 (* WAL recovery: load the last checkpoint (non-consuming — it must survive
    for the next crash), then re-drive the journal tail through the ordinary

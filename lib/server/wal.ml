@@ -43,9 +43,10 @@ let crc32 s =
 
 type t = {
   dir : string;
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr; (* swapped when a checkpoint compacts the tail *)
   fsync : fsync_policy;
   lock : Mutex.t;
+  ckpt_lock : Mutex.t; (* serialises whole checkpoints; taken before [lock] *)
   gen : int;
   mutable records : int; (* since the last checkpoint/truncate *)
   mutable last_sync : float;
@@ -56,6 +57,20 @@ type t = {
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let with_ckpt_lock t f =
+  Mutex.lock t.ckpt_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ckpt_lock) f
+
+(* Durability of metadata operations (rename, create, unlink) needs the
+   parent directory flushed too — an fsynced file reachable only through an
+   unsynced directory entry can vanish across a power cut. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -94,6 +109,10 @@ let next_generation dir =
       ignore (Unix.write_substring fd s 0 (String.length s));
       Unix.fsync fd);
   Sys.rename tmp path;
+  (* Without this the rename itself can be lost to a power cut: the next
+     boot would reuse [prev], the coordinator's HELLO fence would see an
+     unchanged generation and skip the resync a restart requires. *)
+  fsync_dir dir;
   gen
 
 let open_ ~dir ~fsync =
@@ -103,12 +122,15 @@ let open_ ~dir ~fsync =
   let fd =
     Unix.openfile (journal_path dir) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
   in
+  (* pin the journal's directory entry, in case openfile just created it *)
+  fsync_dir dir;
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   {
     dir;
     fd;
     fsync;
     lock = Mutex.create ();
+    ckpt_lock = Mutex.create ();
     gen;
     records = 0;
     last_sync = Unix.gettimeofday ();
@@ -232,20 +254,112 @@ let replay t ~f =
       t.records <- !replayed;
       (!replayed, !cut))
 
+(* Delete checkpoint files for sessions not in [live]: a .snap left behind
+   by a since-CLOSEd session would be resurrected by the next recovery once
+   the journal truncation retires its CLOSE record.  Spool temporaries from
+   an interrupted earlier checkpoint go too — Snapshot_io writes via
+   tmp+rename, so a bare .tmp is never the only copy of anything. *)
+let prune_stale_snapshots t ~live =
+  let dir = checkpoint_dir t in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    let pruned = ref 0 in
+    Array.iter
+      (fun f ->
+        let stale =
+          if Filename.check_suffix f ".tmp" then true
+          else
+            Filename.check_suffix f ".snap"
+            && not (List.mem (Filename.chop_suffix f ".snap") live)
+        in
+        if stale then begin
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          incr pruned;
+          Log.info (fun m -> m "checkpoint: pruned stale %s" f)
+        end)
+      files;
+    if !pruned > 0 && t.fsync <> Never then fsync_dir dir
+
+(* Retire journal bytes [0, boundary): the checkpoint just written covers
+   them.  With no appends past the boundary this is a plain truncate;
+   otherwise the tail is copied into a fresh file that atomically replaces
+   the journal, so a crash at any point leaves either the whole old journal
+   (a wider, duplicate-safe replay) or exactly the tail — never a torn
+   middle.  Caller holds the journal lock. *)
+let retire_prefix t ~boundary =
+  let size = (Unix.fstat t.fd).Unix.st_size in
+  if size <= boundary then begin
+    Unix.ftruncate t.fd 0;
+    ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+    if t.fsync <> Never then begin
+      Unix.fsync t.fd;
+      t.dirty <- false
+    end
+  end
+  else begin
+    let tail_len = size - boundary in
+    ignore (Unix.lseek t.fd boundary Unix.SEEK_SET);
+    let tail = Bytes.create tail_len in
+    let off = ref 0 in
+    (try
+       while !off < tail_len do
+         match Unix.read t.fd tail !off (tail_len - !off) with
+         | 0 -> raise Exit
+         | k -> off := !off + k
+       done
+     with Exit -> ());
+    let tail = Bytes.sub_string tail 0 !off in
+    let path = journal_path t.dir in
+    let tmp = path ^ ".compact" in
+    let nfd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    (match write_all nfd tail with
+    | () -> ()
+    | exception exn ->
+      (try Unix.close nfd with Unix.Unix_error _ -> ());
+      (try Sys.remove tmp with Sys_error _ -> ());
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+      raise exn);
+    if t.fsync <> Never then Unix.fsync nfd;
+    Sys.rename tmp path;
+    if t.fsync <> Never then fsync_dir t.dir;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    t.fd <- nfd;
+    ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+    t.dirty <- t.fsync = Never
+  end
+
 let checkpoint t ~spool =
-  (* The spool callback takes the registry's own locks; the journal lock is
-     held throughout so no append can land between the state capture and the
-     truncation that retires its record. *)
-  with_lock t (fun () ->
+  (* The journal lock is held only to capture the spool boundary and, after
+     the spool, to retire the spooled prefix — never across the
+     multi-session spool itself, which can run for long enough (per-file
+     fsync, many sessions) that stalling every concurrent [append] inside it
+     would be a periodic full-service write pause.  Appends landing during
+     the spool stay in the kept tail; replaying one whose effect the
+     checkpoint already captured is safe — union replay is
+     duplicate-insensitive.  [ckpt_lock] keeps whole checkpoints mutually
+     exclusive so two spools never interleave their prune/retire steps. *)
+  with_ckpt_lock t (fun () ->
+      let boundary, records_at_boundary =
+        with_lock t (fun () ->
+            if t.closed then invalid_arg "Wal.checkpoint: journal closed";
+            (* the boundary must be on disk before the checkpoint may
+               retire it *)
+            if t.dirty && t.fsync <> Never then begin
+              Unix.fsync t.fd;
+              t.dirty <- false
+            end;
+            ((Unix.fstat t.fd).Unix.st_size, t.records))
+      in
       let outcomes = spool ~dir:(checkpoint_dir t) in
       let all_ok = List.for_all (fun (_, r) -> Result.is_ok r) outcomes in
-      if all_ok then begin
-        Unix.ftruncate t.fd 0;
-        ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
-        if t.fsync <> Never then Unix.fsync t.fd;
-        t.records <- 0;
-        t.dirty <- false
-      end
+      if all_ok then
+        with_lock t (fun () ->
+            if not t.closed then begin
+              prune_stale_snapshots t ~live:(List.map fst outcomes);
+              retire_prefix t ~boundary;
+              t.records <- t.records - records_at_boundary
+            end)
       else
         Log.warn (fun m ->
             m "checkpoint incomplete (%d sessions failed to spool); journal kept"

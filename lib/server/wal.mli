@@ -36,9 +36,13 @@
     {2 Checkpoints}
 
     {!checkpoint} asks the caller to spool the live {!Delphic_core.Snapshot_io}
-    state into the checkpoint directory, then truncates the journal.  A
-    crash between the two steps only widens the replayed tail — again
-    duplicates, never loss.
+    state into the checkpoint directory, deletes [.snap] files for sessions
+    that are no longer live (a stale snapshot would resurrect a closed
+    session once the journal truncation retires its CLOSE record), then
+    retires the journal prefix the spool covered.  A crash between the
+    steps only widens the replayed tail — again duplicates, never loss.
+    The journal lock is {e not} held across the spool: appends proceed
+    concurrently and land in the kept tail.
 
     {2 Generation fencing}
 
@@ -95,10 +99,13 @@ val replay : t -> f:(string -> unit) -> int * string option
 val checkpoint : t -> spool:(dir:string -> (string * (string, string) result) list) -> (string * (string, string) result) list
 (** Run [spool ~dir:(checkpoint_dir t)] — expected to write one [.snap]
     per live session, as {!Registry.snapshot_all} does — then, if every
-    outcome is [Ok], truncate the journal and reset
-    {!records_since_checkpoint}.  On any spool failure the journal is left
-    intact so replay still covers the failed sessions.  Returns the spool
-    outcomes. *)
+    outcome is [Ok], delete [.snap] files for sessions absent from the
+    outcomes and retire the journal prefix that predates the spool,
+    adjusting {!records_since_checkpoint} down to the concurrently-appended
+    tail.  On any spool failure the journal and checkpoint files are left
+    intact so replay still covers the failed sessions.  Concurrent
+    {!append}s are never blocked for the duration of the spool; concurrent
+    checkpoints serialise.  Returns the spool outcomes. *)
 
 val close : t -> unit
 (** Final fsync and close.  Idempotent. *)

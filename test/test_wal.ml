@@ -199,6 +199,121 @@ let test_checkpoint () =
   Alcotest.(check bool) "clean" true (cut = None);
   Wal.close w'
 
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* A .snap left behind by a closed session must not survive the checkpoint
+   that retires its CLOSE record from the journal — recovery restores every
+   snapshot file, so a stale one resurrects the session with pre-close
+   state. *)
+let test_checkpoint_prunes_stale () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  let ckpt = Wal.checkpoint_dir w in
+  (* leftovers from earlier checkpoints: a since-closed session's snapshot
+     and an interrupted spool temporary *)
+  write_file (Filename.concat ckpt "dead.snap") "stale";
+  write_file (Filename.concat ckpt "dead.snap.tmp") "partial";
+  Wal.append w "CLOSE dead";
+  ignore
+    (Wal.checkpoint w ~spool:(fun ~dir ->
+         write_file (Filename.concat dir "live.snap") "fresh";
+         [ ("live", Ok "live.snap") ]));
+  Alcotest.(check bool) "live snapshot kept" true
+    (Sys.file_exists (Filename.concat ckpt "live.snap"));
+  Alcotest.(check bool) "dead snapshot pruned" false
+    (Sys.file_exists (Filename.concat ckpt "dead.snap"));
+  Alcotest.(check bool) "spool temporary pruned" false
+    (Sys.file_exists (Filename.concat ckpt "dead.snap.tmp"));
+  (* a failing spool keeps the journal AND the checkpoint files: replay
+     still needs both *)
+  write_file (Filename.concat ckpt "dead.snap") "stale";
+  ignore (Wal.checkpoint w ~spool:(fun ~dir:_ -> [ ("live", Error "disk full") ]));
+  Alcotest.(check bool) "failed spool prunes nothing" true
+    (Sys.file_exists (Filename.concat ckpt "dead.snap"));
+  Wal.close w
+
+(* The journal lock is not held across the spool; an append that lands
+   mid-spool must survive the prefix retirement and replay afterwards. *)
+let test_checkpoint_keeps_concurrent_appends () =
+  let dir = fresh_dir () in
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  List.iter (Wal.append w) bodies;
+  ignore
+    (Wal.checkpoint w ~spool:(fun ~dir:_ ->
+         Wal.append w "ADD s 42 42 42 42";
+         [ ("s", Ok "s.snap") ]));
+  Alcotest.(check int) "only the concurrent append stays uncovered" 1
+    (Wal.records_since_checkpoint w);
+  Wal.append w "ADD s 43 43 43 43";
+  Wal.close w;
+  let w', (seen, _, cut) = recover ~dir in
+  Alcotest.(check (list string)) "tail = records past the spool boundary"
+    [ "ADD s 42 42 42 42"; "ADD s 43 43 43 43" ]
+    seen;
+  Alcotest.(check bool) "clean" true (cut = None);
+  Wal.close w'
+
+module Registry = Delphic_server.Registry
+module Protocol = Delphic_server.Protocol
+
+(* What Server.create does on boot with a journal, minus the socket:
+   restore the checkpoint (non-consuming), then replay the tail. *)
+let boot ~dir ~seed =
+  let w = Wal.open_ ~dir ~fsync:Wal.Never in
+  let reg = Registry.create ~seed () in
+  ignore (Registry.restore_all ~consume:false reg ~dir:(Wal.checkpoint_dir w));
+  ignore
+    (Wal.replay w ~f:(fun line ->
+         match Protocol.parse_request line with
+         | Error _ -> ()
+         | Ok req -> ignore (Registry.dispatch reg req)));
+  (w, reg)
+
+(* End-to-end resurrection regression: checkpoint, CLOSE, checkpoint again
+   (which retires the CLOSE record), crash, reboot — the closed session
+   must stay closed even though no journal record mentions it any more. *)
+let test_closed_session_not_resurrected () =
+  let dir = fresh_dir () in
+  let w, reg = boot ~dir ~seed:11 in
+  let drive line =
+    match Protocol.parse_request line with
+    | Error e -> Alcotest.failf "bad request %S: %s" line (Protocol.describe_error e)
+    | Ok req ->
+      (match Registry.dispatch reg req with
+      | Protocol.Error_reply e ->
+        Alcotest.failf "%S failed: %s" line (Protocol.describe_error e)
+      | _ -> ());
+      Wal.append w line
+  in
+  drive "OPEN keep rect 0.3 0.2 17";
+  drive "OPEN doomed rect 0.3 0.2 17";
+  drive "ADD keep 0 9 0 9";
+  drive "ADD doomed 0 99 0 99";
+  let ckpt () =
+    let outcomes =
+      Wal.checkpoint w ~spool:(fun ~dir -> Registry.snapshot_all reg ~dir)
+    in
+    List.iter
+      (function
+        | _, Ok _ -> ()
+        | name, Error msg -> Alcotest.failf "spool of %s failed: %s" name msg)
+      outcomes
+  in
+  ckpt ();
+  (* the CLOSE lands in the journal; the next checkpoint retires the record,
+     which is exactly the window where a stale doomed.snap used to win *)
+  drive "CLOSE doomed";
+  ckpt ();
+  (* crash: no graceful close — reboot from checkpoint + journal *)
+  let w2, reg2 = boot ~dir ~seed:11 in
+  Alcotest.(check (list string)) "closed session stays closed" [ "keep" ]
+    (Registry.names reg2);
+  Wal.close w2;
+  Wal.close w
+
 let test_generation_fence () =
   let dir = fresh_dir () in
   let w1 = Wal.open_ ~dir ~fsync:Wal.Never in
@@ -303,6 +418,12 @@ let suite =
     Alcotest.test_case "append validates" `Quick test_append_validates;
     Alcotest.test_case "checkpoint truncates only after a clean spool" `Quick
       test_checkpoint;
+    Alcotest.test_case "checkpoint prunes stale snapshots" `Quick
+      test_checkpoint_prunes_stale;
+    Alcotest.test_case "checkpoint keeps appends that race the spool" `Quick
+      test_checkpoint_keeps_concurrent_appends;
+    Alcotest.test_case "closed session is not resurrected after crash" `Quick
+      test_closed_session_not_resurrected;
     Alcotest.test_case "generation fence climbs" `Quick test_generation_fence;
     Alcotest.test_case "fsync policy strings" `Quick test_fsync_policy_strings;
     QCheck_alcotest.to_alcotest prop_roundtrip;
