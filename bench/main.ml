@@ -19,8 +19,8 @@
    Any benchmarking mode also accepts [--json FILE] to write the measured
    rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
    cluster mode defaults to BENCH_cluster.json, the ingest mode to
-   BENCH_ingest.json, the gather mode to BENCH_gather.json and the wal
-   mode to BENCH_wal.json. *)
+   BENCH_ingest.json, the gather mode to BENCH_gather.json, the wal mode
+   to BENCH_wal.json and the expr mode to BENCH_expr.json. *)
 
 open Bechamel
 open Toolkit
@@ -551,6 +551,104 @@ let run_wal ?(json = "BENCH_wal.json") () =
   print_rows ~title:"WAL overhead sweep (batch-64 scatter, 1-worker loopback)" rows;
   write_json ~path:json rows
 
+(* EXPR query cost over a 3-worker cluster: expression depth crossed with
+   the sample budget m, in two regimes.  Idle reuses the coordinator's
+   per-leaf fold memo and the cross-session union memo, so the query prices
+   clone + sample-and-probe; live scatters 8 adds into one leaf first, so
+   every query re-gathers that leaf and re-folds the union. *)
+let run_expr ?(json = "BENCH_expr.json") () =
+  let n_workers = 3 in
+  let spool n =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "delphic-bench-expr-%d-%d" (Unix.getpid ()) n)
+  in
+  let workers =
+    List.init n_workers (fun n ->
+        rm_rf (spool n);
+        let s = Server.create ~port:0 ~spool:(spool n) ~seed:(140 + n) () in
+        (s, Server.start s))
+  in
+  let coord =
+    Coordinator.create ~batch:64
+      ~workers:(List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers)
+      ~seed:73 ()
+  in
+  let sessions = [ "A"; "B"; "C" ] in
+  List.iter
+    (fun name ->
+      match
+        Coordinator.open_session coord ~name ~family:Protocol.Rect ~epsilon:0.2
+          ~delta:0.2 ~log2_universe:40.0
+      with
+      | Ok () -> ()
+      | Error _ -> assert false)
+    sessions;
+  (* one shared small universe so the three sessions genuinely overlap and
+     the deeper expressions have evidence to find *)
+  let gen = Rng.create ~seed:29 in
+  let pool () =
+    List.map
+      (fun b ->
+        let lo = Rectangle.lo b and hi = Rectangle.hi b in
+        Printf.sprintf "%d %d %d %d" lo.(0) hi.(0) lo.(1) hi.(1))
+      (Workload.Rectangles.uniform gen ~universe:400 ~dim:2 ~count:200
+         ~max_side:30)
+  in
+  List.iter
+    (fun name ->
+      List.iter (fun p -> ignore (Coordinator.add coord ~name ~payload:p)) (pool ()))
+    sessions;
+  Coordinator.flush coord;
+  let parse = Delphic_stream.Parsers.expr_of_string in
+  let exprs =
+    [ ("depth1", "A | B"); ("depth2", "(A & B) \\ C"); ("depth3", "((A | B) & C) ^ A") ]
+  in
+  (* warm every leaf's last-good sketch and the fold memos *)
+  List.iter
+    (fun (_, src) ->
+      ignore (Coordinator.expr_query coord ~expr:(parse src) ~m:(Some 64)))
+    exprs;
+  let live_arr = Array.of_list (pool ()) in
+  let live_i = ref 0 in
+  let query e m () = ignore (Coordinator.expr_query coord ~expr:e ~m:(Some m)) in
+  let live e m () =
+    for _ = 1 to 8 do
+      ignore (Coordinator.add coord ~name:"A" ~payload:live_arr.(!live_i));
+      live_i := (!live_i + 1) mod Array.length live_arr
+    done;
+    query e m ()
+  in
+  let tests =
+    Test.make_grouped ~name:"expr"
+      (List.concat_map
+         (fun (dname, src) ->
+           let e = parse src in
+           List.concat_map
+             (fun m ->
+               [
+                 Test.make
+                   ~name:(Printf.sprintf "%s/m=%d/idle" dname m)
+                   (Staged.stage (query e m));
+                 Test.make
+                   ~name:(Printf.sprintf "%s/m=%d/live" dname m)
+                   (Staged.stage (live e m));
+               ])
+             [ 64; 256; 1024 ])
+         exprs)
+  in
+  let rows = run_bechamel tests in
+  List.iter (fun name -> ignore (Coordinator.close coord ~name)) sessions;
+  Coordinator.shutdown coord;
+  List.iteri
+    (fun n (s, th) ->
+      Server.request_stop s;
+      Thread.join th;
+      rm_rf (spool n))
+    workers;
+  print_rows ~title:"EXPR query sweep (3-worker loopback cluster)" rows;
+  write_json ~path:json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split mode json = function
@@ -566,10 +664,10 @@ let () =
   let mode = Option.value mode ~default:"all" in
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
-  | "macro" | "cluster" | "ingest" | "gather" | "wal" -> ()
+  | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" -> ()
   | m ->
     Printf.eprintf
-      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal or all)\n"
+      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr or all)\n"
       m;
     exit 2);
   (match mode with
@@ -589,6 +687,10 @@ let () =
     match json with
     | Some path -> run_wal ~json:path ()
     | None -> run_wal ())
+  | "expr" -> (
+    match json with
+    | Some path -> run_expr ~json:path ()
+    | None -> run_expr ())
   | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();

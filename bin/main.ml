@@ -495,9 +495,11 @@ let serve_cmd =
   in
   let doc =
     "Run the estimation service: a newline-delimited TCP protocol \
-     (OPEN/ADD/EST/STATS/SNAPSHOT/RESTORE/CLOSE/PING) over long-lived \
+     (OPEN/ADD/EST/EXPR/STATS/SNAPSHOT/RESTORE/CLOSE/PING) over long-lived \
      estimator sessions, with durable snapshots on shutdown (or a \
-     write-ahead journal with $(b,--wal))."
+     write-ahead journal with $(b,--wal)).  EXPR estimates the cardinality \
+     of a set expression over open sessions, e.g. \
+     $(b,EXPR (A & B) \\\\ C)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term)
@@ -621,7 +623,9 @@ let coord_cmd =
   let doc =
     "Run the scatter/gather coordinator: speaks the same protocol as \
      $(b,delphic serve), sharding ADDs across workers and answering EST by \
-     merging their sketches (DEGRADED is flagged when a worker is down)."
+     merging their sketches (DEGRADED is flagged when a worker is down).  \
+     EXPR set-expression queries are answered coordinator-side from the \
+     same gathered sketches — workers need no new verb."
   in
   Cmd.v
     (Cmd.info "coord" ~doc)
@@ -634,8 +638,8 @@ let coord_cmd =
 let query_cmd =
   let commands =
     let doc =
-      "Request lines to send (e.g. \"PING\", \"OPEN s1 rect 0.2 0.1 40\"); \
-       with none, lines are read from stdin."
+      "Request lines to send (e.g. \"PING\", \"OPEN s1 rect 0.2 0.1 40\", \
+       \"EXPR (A & B) \\\\ C\"); with none, lines are read from stdin."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
   in

@@ -80,6 +80,12 @@ type t = {
      their streams.  Deaths are parked here and re-routed after collect. *)
   mutable in_gather : bool;
   deferred_deaths : worker Queue.t;
+  (* Memoised cross-session fold of the last EXPR query: leaf names plus the
+     physical identities of their per-session folds, and the union they
+     folded to.  On an idle cluster every leaf gather hits its session's
+     [fold_cache] and hands back the same physical value, so a repeated EXPR
+     skips the cross-session merge tree too. *)
+  mutable expr_cache : (string array * Families.t array * Families.t) option;
 }
 
 let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
@@ -132,6 +138,7 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     orphans = Queue.create ();
     in_gather = false;
     deferred_deaths = Queue.create ();
+    expr_cache = None;
   }
 
 let with_lock t f =
@@ -235,8 +242,12 @@ let resync t w conn =
       true
     end
     else false
-  | Ok (P.Error_reply (P.Unknown_command _)) ->
-    (* legacy worker: no fence available, resync unconditionally *)
+  | Ok (P.Error_reply (P.Unknown_command verb)) ->
+    (* legacy worker: the ERR UNSUPPORTED reply echoes the verb it lacks;
+       no fence available, resync unconditionally *)
+    Log.info (fun m ->
+        m "worker %s: does not support %s — legacy worker, full resync" (address w)
+          (if verb = "" then "HELLO" else verb));
     w.generation <- 0;
     full_resync t w conn
   | Ok r ->
@@ -852,6 +863,77 @@ let stats t ~name =
               merges = si.merges;
             }))
 
+(* An EXPR query needs no new worker verb: each leaf session is gathered
+   exactly as EST gathers it — same degraded/last-good fallback, same
+   per-session fold memo — and the cross-session union fold plus the
+   sample-and-probe evaluation run coordinator-side on the folded sketches.
+   The answer is degraded iff any leaf's gather was. *)
+let expr_query t ~expr ~m =
+  with_lock t (fun () ->
+      let module E = P.Expr_ast in
+      let names = E.leaves expr in
+      if List.length names > E.max_leaves then
+        Error
+          (P.Bad_params
+             (Printf.sprintf "expression names %d distinct sessions; the cap is %d"
+                (List.length names) E.max_leaves))
+      else
+        let samples =
+          match m with
+          | None -> Delphic_server.Registry.default_expr_samples
+          | Some n -> min n Delphic_server.Registry.max_expr_samples
+        in
+        let rec gather_leaves acc degraded = function
+          | [] -> Ok (List.rev acc, degraded)
+          | name :: rest -> (
+            match find_session t name with
+            | Error e -> Error e
+            | Ok si -> (
+              match gather t si name with
+              | Error e -> Error e
+              | Ok (folded, d) -> gather_leaves ((name, folded) :: acc) (degraded || d) rest))
+        in
+        match gather_leaves [] false names with
+        | Error e -> Error e
+        | Ok (leaves, degraded) -> (
+          let names_arr = Array.of_list (List.map fst leaves) in
+          let folds_arr = Array.of_list (List.map snd leaves) in
+          let union =
+            match t.expr_cache with
+            | Some (ns, fs, u)
+              when Array.length ns = Array.length names_arr
+                   && Array.for_all2 String.equal ns names_arr
+                   && Array.for_all2 ( == ) fs folds_arr ->
+              (* every leaf fold is physically the one we folded last time
+                 (the per-session memo handed it back): the union is too *)
+              Ok u
+            | _ -> (
+              let folded =
+                match leaves with
+                | [] -> Error (P.Bad_params "expression names no sessions")
+                | [ (_, f) ] -> Ok f
+                | (_, first) :: rest ->
+                  List.fold_left
+                    (fun acc (_, f) ->
+                      Result.bind acc (fun u ->
+                          Result.map_error
+                            (fun msg -> P.Bad_params msg)
+                            (Families.merge u f ~seed:(next_seed t))))
+                    (Ok first) rest
+              in
+              match folded with
+              | Ok u ->
+                t.expr_cache <- Some (names_arr, folds_arr, u);
+                Ok u
+              | Error _ as e -> e)
+          in
+          match union with
+          | Error e -> Error e
+          | Ok union -> (
+            match Families.expr_estimate ~union ~leaves ~expr ~samples with
+            | Ok outcome -> Ok (outcome, degraded)
+            | Error msg -> Error (P.Bad_params msg))))
+
 let fetch t ~name =
   with_lock t (fun () ->
       match find_session t name with
@@ -972,6 +1054,11 @@ let dispatch t (req : P.request) : P.response =
       (Result.map
          (fun () -> P.Ok_reply (Some ("merged into " ^ session)))
          (merge_in t ~name:session ~encoded))
+  | P.Expr { expr; m } ->
+    reply
+      (Result.map
+         (fun (outcome, degraded) -> P.expr_reply_of_outcome ~degraded outcome)
+         (expr_query t ~expr ~m))
   | P.Restore _ ->
     P.Error_reply
       (P.Server_error

@@ -115,6 +115,19 @@ val estimate : t -> name:string -> (float * bool, Delphic_server.Protocol.error)
 
 val stats : t -> name:string -> (Delphic_server.Protocol.stats, Delphic_server.Protocol.error) result
 
+val expr_query :
+  t ->
+  expr:Delphic_server.Protocol.Expr_ast.t ->
+  m:int option ->
+  (Delphic_server.Protocol.Expr_ast.outcome * bool, Delphic_server.Protocol.error) result
+(** Evaluate a set expression cluster-wide.  Each leaf session is gathered
+    exactly as {!estimate} gathers it — same degraded/last-good fallback,
+    same fold memo — and the cross-session union fold plus the
+    sample-and-probe evaluation ({!Delphic_server.Families.expr_estimate})
+    run coordinator-side, so workers need no new verb.  The [bool] flags a
+    degraded answer (any leaf's gather was).  [m] as in
+    {!Delphic_server.Registry.expr_query}. *)
+
 val fetch : t -> name:string -> (string, Delphic_server.Protocol.error) result
 (** The folded sketch as one wire token — coordinators compose: a parent
     coordinator can treat this one as a worker. *)

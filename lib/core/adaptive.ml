@@ -73,6 +73,8 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
 
   let items_processed t = t.items
   let is_exact t = t.exact_active
+  let epsilon t = t.epsilon
+  let delta t = t.delta
 
   let exact_size t = if t.exact_active then Some (Tbl.length t.exact) else None
 
@@ -134,6 +136,42 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
 
   let skipped_sets t =
     match t.sketch with Some v -> Vatic.skipped_sets v | None -> 0
+
+  (* Membership probe for the set-expression evaluator.  The exact regime
+     holds every distinct element, so the probe is the true indicator; the
+     sketch regime answers with the Horvitz-Thompson weight 2^ℓ of a bucket
+     hit (unbiased for the indicator, no false positives). *)
+  type probe = Absent | Member | Sampled of float
+
+  let probe t x =
+    if t.exact_active then if Tbl.mem t.exact x then Member else Absent
+    else
+      match t.sketch with
+      | Some v -> (
+        match Vatic.probe_level v x with
+        | Some level -> Sampled (Float.ldexp 1.0 level)
+        | None -> Absent)
+      | None -> assert false (* exact mode never deactivates without a sketch *)
+
+  let probe_weight t x =
+    match probe t x with Absent -> 0.0 | Member -> 1.0 | Sampled w -> w
+
+  (* n i.i.d. union draws: uniform over the exact table while exact (a true
+     uniform sample of ∪S_i), the sketch's subsample draw at scale. *)
+  let sample_union_n t n =
+    if n <= 0 then []
+    else if t.exact_active then begin
+      let k = Tbl.length t.exact in
+      if k = 0 then []
+      else begin
+        let arr = Array.of_list (Tbl.fold (fun x () acc -> x :: acc) t.exact []) in
+        List.init n (fun _ -> arr.(Rng.int t.rng k))
+      end
+    end
+    else
+      match t.sketch with
+      | Some v -> Vatic.sample_union_n v n
+      | None -> assert false
 
   let describe t =
     if t.exact_active then

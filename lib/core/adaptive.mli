@@ -60,6 +60,34 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
   (** One-line state description for UIs: "exact (n distinct)" or
       "sketch (...)" . *)
 
+  val epsilon : t -> float
+  val delta : t -> float
+
+  (** {2 Membership probes and union sampling}
+
+      The entry points of the set-expression evaluator
+      ({!Delphic_expr.Expr.Eval}): draw union samples here, probe each
+      operand session there. *)
+
+  type probe =
+    | Absent  (** not held — certainly outside the union while exact *)
+    | Member  (** held by the exact table: a true membership indicator *)
+    | Sampled of float
+        (** held by the sketch bucket at level ℓ; the payload is the
+            Horvitz–Thompson weight [2^ℓ], an unbiased estimate of the
+            membership indicator (no false positives) *)
+
+  val probe : t -> F.elt -> probe
+
+  val probe_weight : t -> F.elt -> float
+  (** [probe] collapsed to its weight: 0, 1, or [2^ℓ]. *)
+
+  val sample_union_n : t -> int -> F.elt list
+  (** [n] i.i.d. draws from the running union: uniform over the exact table
+      while exact (an {e exactly} uniform sample), the sketch's one-pass
+      subsample draw at scale ({!Vatic.Make.sample_union_n}).  Empty when
+      nothing has been processed or [n <= 0]. *)
+
   (** {2 Checkpointing}
 
       Same contract as {!Vatic.Make.snapshot}: the full estimator state —

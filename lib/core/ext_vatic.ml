@@ -289,22 +289,38 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       float_of_int kept /. (2.0 ** log2_p0) /. (1.0 +. t.alpha)
     end
 
-  (* One-pass reservoir draw over the j0-level subsample. *)
-  let sample_union t =
-    if bucket_size t = 0 then None
+  (* Membership probe, as in {!Vatic.Make.probe_level}: an element held at
+     halving count j was retained with probability p_init·2^-j, so the
+     Horvitz-Thompson membership weight is 2^(j - log2_p_init). *)
+  let probe_weight t x =
+    match Tbl.find_opt t.bucket x with
+    | None -> None
+    | Some j -> Some (2.0 ** (float_of_int j -. t.log2_p_init))
+
+  (* One bucket pass materialising the j0-rate subsample, then n uniform
+     index draws — i.i.d. with replacement, O(|X| + n). *)
+  let sample_union_n t n =
+    if n <= 0 || bucket_size t = 0 then []
     else begin
       let j0 = max_halving_count t in
+      let survivors = ref [] in
       let kept = ref 0 in
-      let chosen = ref None in
       Tbl.iter
         (fun x j ->
           if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then begin
             incr kept;
-            if Rng.int t.rng !kept = 0 then chosen := Some x
+            survivors := x :: !survivors
           end)
         t.bucket;
-      !chosen
+      if !kept = 0 then []
+      else begin
+        let arr = Array.of_list !survivors in
+        List.init n (fun _ -> arr.(Rng.int t.rng !kept))
+      end
     end
+
+  let sample_union t =
+    match sample_union_n t 1 with [] -> None | x :: _ -> Some x
 
   type snapshot = {
     mode : Params.mode;

@@ -40,6 +40,17 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
       subsample.  The η-tilt of the oracle carries through, so uniformity is
       within the same (1+η)-band as the sampler's.  [None] when empty. *)
 
+  val sample_union_n : t -> int -> A.elt list
+  (** [n] i.i.d. draws (with replacement) from one minimum-rate subsample —
+      a single bucket pass however large [n] is.  {!sample_union} is the
+      [n = 1] wrapper. *)
+
+  val probe_weight : t -> A.elt -> float option
+  (** The Horvitz–Thompson membership weight [1/p] for an element the
+      bucket holds at retention probability [p = p_init · 2^{-j}], [None]
+      when absent.  No false positives; the η-tilt of the sampling oracle
+      carries into the weight's bias band. *)
+
   val window : t -> float * float
   (** Multiplicative guarantee [(lo, hi)] such that the output is within
       [[lo·|∪S_i|, hi·|∪S_i|]] with probability [1-δ]. *)

@@ -215,24 +215,37 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     done;
     !acc
 
-  (* One pass, reservoir-style: each level-p0 survivor replaces the current
-     choice with probability 1/(survivors so far), so the draw is uniform
-     over the subsample without building it. *)
-  let sample_union t =
-    if bucket_size t = 0 then None
+  (* Membership probe for the expression evaluator: the bucket never holds
+     an element outside ∪S_i, and holds x ∈ ∪S_i at level ℓ with probability
+     2^-ℓ, so 1[held]·2^ℓ is an unbiased Horvitz-Thompson estimate of the
+     membership indicator with no false positives. *)
+  let probe_level t x = Tbl.find_opt t.bucket x
+
+  (* One pass over the bucket materialising the level-p0 subsample, then n
+     uniform index draws — i.i.d. with replacement over the subsample, at
+     O(|X| + n) instead of n full-table reservoir scans. *)
+  let sample_union_n t n =
+    if n <= 0 || bucket_size t = 0 then []
     else begin
       let p0_level = min_sampling_level t in
+      let survivors = ref [] in
       let kept = ref 0 in
-      let chosen = ref None in
       Tbl.iter
         (fun x l ->
           if Rng.bernoulli t.rng (Float.ldexp 1.0 (l - p0_level)) then begin
             incr kept;
-            if Rng.int t.rng !kept = 0 then chosen := Some x
+            survivors := x :: !survivors
           end)
         t.bucket;
-      !chosen
+      if !kept = 0 then []
+      else begin
+        let arr = Array.of_list !survivors in
+        List.init n (fun _ -> arr.(Rng.int t.rng !kept))
+      end
     end
+
+  let sample_union t =
+    match sample_union_n t 1 with [] -> None | x :: _ -> Some x
 
   type snapshot = {
     mode : Params.mode;

@@ -50,6 +50,21 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
       paper's conclusion): a uniform element of the level-[p_0] subsample.
       [None] when the sketch is empty. *)
 
+  val sample_union_n : t -> int -> F.elt list
+  (** [n] i.i.d. draws (with replacement) from one level-[p_0] subsample —
+      a single bucket pass however large [n] is, which is what the
+      set-expression evaluator's Monte-Carlo loop needs.  {!sample_union}
+      is the [n = 1] wrapper.  Empty list when the sketch (or the
+      subsample) is empty or [n <= 0]. *)
+
+  val probe_level : t -> F.elt -> int option
+  (** The sampling level at which the bucket currently holds [x], [None]
+      when absent.  The bucket holds only elements of [∪ S_i] (no false
+      positives) and holds a union element at level [ℓ] with probability
+      [2^{-ℓ}], so [1[held] · 2^ℓ] is an unbiased Horvitz–Thompson estimate
+      of the membership indicator — the probe the set-expression estimator
+      evaluates. *)
+
   (** {2 Instrumentation} *)
 
   val bucket_size : t -> int

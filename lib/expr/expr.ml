@@ -1,0 +1,251 @@
+type t =
+  | Leaf of string
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+  | Sym_diff of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> String.equal x y
+  | Union (a1, a2), Union (b1, b2)
+  | Inter (a1, a2), Inter (b1, b2)
+  | Diff (a1, a2), Diff (b1, b2)
+  | Sym_diff (a1, a2), Sym_diff (b1, b2) -> equal a1 b1 && equal a2 b2
+  | _ -> false
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Union (a, b) | Inter (a, b) | Diff (a, b) | Sym_diff (a, b) ->
+    1 + Stdlib.max (depth a) (depth b)
+
+let leaves e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Leaf n ->
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.replace seen n ();
+        acc := n :: !acc
+      end
+    | Union (a, b) | Inter (a, b) | Diff (a, b) | Sym_diff (a, b) ->
+      go a;
+      go b
+  in
+  go e;
+  List.rev !acc
+
+let max_leaves = 12
+
+let rec eval_bool lookup = function
+  | Leaf n -> lookup n
+  | Union (a, b) -> eval_bool lookup a || eval_bool lookup b
+  | Inter (a, b) -> eval_bool lookup a && eval_bool lookup b
+  | Diff (a, b) -> eval_bool lookup a && not (eval_bool lookup b)
+  | Sym_diff (a, b) -> eval_bool lookup a <> eval_bool lookup b
+
+(* [&] binds at 2, the additive operators [| \ ^] at 1, all left-associative
+   — a right child at its parent's precedence needs parens so the printed
+   form re-parses to the same tree. *)
+let prec = function
+  | Leaf _ -> 3
+  | Inter _ -> 2
+  | Union _ | Diff _ | Sym_diff _ -> 1
+
+let to_string e =
+  let buf = Buffer.create 32 in
+  let rec go e =
+    match e with
+    | Leaf n -> Buffer.add_string buf n
+    | Union (a, b) -> binary e a "|" b
+    | Inter (a, b) -> binary e a "&" b
+    | Diff (a, b) -> binary e a "\\" b
+    | Sym_diff (a, b) -> binary e a "^" b
+  and binary parent a op b =
+    let p = prec parent in
+    wrap (prec a < p) a;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf op;
+    Buffer.add_char buf ' ';
+    wrap (prec b <= p) b
+  and wrap needed child =
+    if needed then begin
+      Buffer.add_char buf '(';
+      go child;
+      Buffer.add_char buf ')'
+    end
+    else go child
+  in
+  go e;
+  Buffer.contents buf
+
+type quality = Exact_probes | Sketch_probes
+
+type outcome =
+  | Estimate of { value : float; support : float; samples : int; quality : quality }
+  | Low_support of {
+      support : float;
+      needed : float;
+      samples : int;
+      quality : quality;
+    }
+
+let min_support ~delta = 16.0 *. log (4.0 /. Float.max 1e-300 delta)
+
+module Eval (F : Delphic_family.Family.FAMILY) = struct
+  (* Multilinear extension of an arbitrary payoff over the leaf-membership
+     cube, evaluated at the probe weights by branching on each leaf's
+     inclusion bit with zero-product pruning: a weight of 0 kills the
+     included branch outright and a weight of 1 the excluded one, so exact
+     probes cost one path and sketch probes 2^(leaves holding x) — not 2^k.
+     Multilinearity is what makes this unbiased: for independent weights
+     with E[w_i] = a_i the extension's mean is exactly payoff(a). *)
+  let score payoff names idx weights =
+    let k = Array.length names in
+    let assign = Array.make k false in
+    let lookup name = assign.(Hashtbl.find idx name) in
+    let rec go i acc =
+      if acc = 0.0 then 0.0
+      else if i = k then acc *. payoff lookup
+      else begin
+        let w = weights.(i) in
+        let inc =
+          if w = 0.0 then 0.0
+          else begin
+            assign.(i) <- true;
+            go (i + 1) (acc *. w)
+          end
+        in
+        let exc =
+          if w = 1.0 then 0.0
+          else begin
+            assign.(i) <- false;
+            go (i + 1) (acc *. (1.0 -. w))
+          end
+        in
+        inc +. exc
+      end
+    in
+    go 0 1.0
+
+  let estimate ~expr ~union ~draw ~probe ~exact_probes ~samples ~delta =
+    let names = Array.of_list (leaves expr) in
+    let k = Array.length names in
+    if k > max_leaves then
+      invalid_arg
+        (Printf.sprintf "Expr.estimate: %d distinct leaves exceeds the %d cap" k
+           max_leaves);
+    if samples < 1 then invalid_arg "Expr.estimate: need samples >= 1";
+    if union <= 0.0 then
+      (* an empty union decides every expression: E ⊆ U = ∅ *)
+      Estimate { value = 0.0; support = 0.0; samples = 0; quality = Exact_probes }
+    else begin
+      let idx = Hashtbl.create k in
+      Array.iteri (fun i n -> Hashtbl.replace idx n i) names;
+      let weights = Array.make k 0.0 in
+      let xs = draw samples in
+      let drawn = List.length xs in
+      let sum = ref 0.0 in
+      let mass = ref 0.0 in
+      let payoff lookup = if eval_bool lookup expr then 1.0 else 0.0 in
+      List.iter
+        (fun x ->
+          Array.iteri (fun i name -> weights.(i) <- probe name x) names;
+          let s = score payoff names idx weights in
+          sum := !sum +. s;
+          mass := !mass +. Float.abs s)
+        xs;
+      let needed = min_support ~delta in
+      let quality = if exact_probes then Exact_probes else Sketch_probes in
+      if drawn = 0 || !mass < needed then
+        Low_support { support = !mass; needed; samples = drawn; quality }
+      else
+        let value =
+          Float.min union (Float.max 0.0 (union *. !sum /. float_of_int drawn))
+        in
+        Estimate { value; support = !mass; samples = drawn; quality }
+    end
+
+  (* Sketch-regime estimator. Drawing from the *merged* union sketch and
+     probing the leaf buckets is biased: the merged bucket's coins are the
+     leaf buckets' coins, so a drawn sample is (nearly) guaranteed to sit in
+     some leaf bucket and the 2^level Horvitz–Thompson weights over-correct.
+     Instead we stratify: draw from each leaf's own bucket (sessions flip
+     independent coins, so the other leaves' probes are independent of the
+     draw), pin the host leaf's weight to 1, and evaluate the multilinear
+     extension of a ↦ expr(a) / |{j : a_j}| — the 1/multiplicity importance
+     correction that turns per-leaf sums into the union sum:
+       |E| = Σ_i |A_i| · E_{x~A_i}[ expr(x) / mult(x) ]. *)
+  let estimate_stratified ~expr ~leaf_sizes ~draw_leaf ~probe ~samples ~delta =
+    let names = Array.of_list (leaves expr) in
+    let k = Array.length names in
+    if k > max_leaves then
+      invalid_arg
+        (Printf.sprintf "Expr.estimate_stratified: %d distinct leaves exceeds the %d cap"
+           k max_leaves);
+    if samples < 1 then invalid_arg "Expr.estimate_stratified: need samples >= 1";
+    let sizes =
+      Array.map
+        (fun n ->
+          match List.assoc_opt n leaf_sizes with
+          | Some s -> Float.max 0.0 s
+          | None ->
+            invalid_arg ("Expr.estimate_stratified: no size for leaf " ^ n))
+        names
+    in
+    let total = Array.fold_left ( +. ) 0.0 sizes in
+    if total <= 0.0 then
+      Estimate { value = 0.0; support = 0.0; samples = 0; quality = Sketch_probes }
+    else begin
+      let idx = Hashtbl.create k in
+      Array.iteri (fun i n -> Hashtbl.replace idx n i) names;
+      let weights = Array.make k 0.0 in
+      let payoff lookup =
+        if eval_bool lookup expr then begin
+          let mult =
+            Array.fold_left (fun acc n -> if lookup n then acc + 1 else acc) 0 names
+          in
+          1.0 /. float_of_int mult
+        end
+        else 0.0
+      in
+      let drawn = ref 0 in
+      let mass = ref 0.0 in
+      let value = ref 0.0 in
+      Array.iteri
+        (fun i name ->
+          if sizes.(i) > 0.0 then begin
+            let want =
+              Stdlib.max 1
+                (int_of_float
+                   (Float.round (float_of_int samples *. sizes.(i) /. total)))
+            in
+            let xs = draw_leaf name want in
+            let got = List.length xs in
+            if got > 0 then begin
+              let sum_i = ref 0.0 in
+              List.iter
+                (fun x ->
+                  Array.iteri
+                    (fun j nj ->
+                      weights.(j) <- (if j = i then 1.0 else probe nj x))
+                    names;
+                  let s = score payoff names idx weights in
+                  sum_i := !sum_i +. s;
+                  mass := !mass +. Float.abs s)
+                xs;
+              drawn := !drawn + got;
+              value := !value +. (sizes.(i) *. !sum_i /. float_of_int got)
+            end
+          end)
+        names;
+      let needed = min_support ~delta in
+      if !drawn = 0 || !mass < needed then
+        Low_support
+          { support = !mass; needed; samples = !drawn; quality = Sketch_probes }
+      else
+        let value = Float.min total (Float.max 0.0 !value) in
+        Estimate
+          { value; support = !mass; samples = !drawn; quality = Sketch_probes }
+    end
+end

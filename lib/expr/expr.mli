@@ -1,0 +1,176 @@
+(** Set-expression queries over Delphic sessions.
+
+    The paper's membership oracle is exactly what upgrades a union-size
+    sketch into an estimator for arbitrary set expressions (the
+    distributed-streams framework of Dasgupta–Lang–Rhodes–Thaler): draw
+    samples from the union of every session named by the expression, probe
+    each operand for membership, and scale the hit rate by the union
+    estimate.  This module is the query engine's core: the typed expression
+    AST, its textual form, and the sample-and-probe estimator {!Eval}.
+
+    {2 Estimator}
+
+    Let [U = A₁ ∪ … ∪ A_k] over the expression's distinct leaves.  Every
+    expression built from [∪ ∩ \ Δ] denotes a subset [E ⊆ U], so
+    [|E| = |U| · Pr_{x ~ U}[x ∈ E]] and the probability is estimated by
+    Monte-Carlo over [m] union samples.  Membership of a sample [x] in leaf
+    [A_i] is probed against that session's estimator state:
+
+    - an {e exact-regime} session holds all its distinct elements, so the
+      probe weight is the true indicator [w_i ∈ {0, 1}];
+    - a {e sketch-regime} session holds [x] at level [ℓ] with probability
+      [2^{-ℓ}] and never holds an element outside its union, so the
+      Horvitz–Thompson weight [w_i = 1[x ∈ bucket_i] · 2^ℓ] is an unbiased
+      estimate of the indicator, with no false positives — {e provided the
+      probe coins are independent of how [x] was drawn}.
+
+    Given weights, the {e multilinear extension} of the expression's truth
+    table evaluated at them,
+
+    {v score(x) = Σ_{a ∈ {0,1}^k, expr(a) = 1}  Π_i (w_i if a_i else 1−w_i) v}
+
+    is an unbiased estimate of [1[x ∈ E]] — including repeated leaves, which
+    share one weight.  With every leaf exact ({!Eval.estimate}) the answer
+    is [|U|_est · (Σ_x score(x)) / m], clamped to [[0, |U|_est]].
+
+    {2 Sketch regime: why the draw is stratified}
+
+    The independence proviso fails for the obvious sketch-regime plan of
+    drawing from the {e merged} union sketch: the merged bucket's contents
+    are exactly the survivors of the leaf buckets being probed, so a drawn
+    sample is (nearly) certain to sit in some leaf bucket and the [2^ℓ]
+    weights over-correct — intersections come out several-fold high.
+    {!Eval.estimate_stratified} therefore never draws from the fold.  It
+    draws from each leaf's own bucket (sessions flip independent coins, so
+    the {e other} leaves' probes are independent of the draw), pins the host
+    leaf's weight to 1, and evaluates the multilinear extension of the
+    importance-corrected payoff [a ↦ expr(a) / |{j : a_j = 1}|], using the
+    identity
+
+    {v |E| = Σ_i |A_i| · E_{x ~ A_i}[ 1[x ∈ E] / mult(x) ] v}
+
+    where [mult(x)] counts the leaves containing [x].  Each stratum's mean
+    is scaled by the leaf's own size estimate and the strata are summed,
+    clamped to [[0, Σ_i |A_i|_est]].
+
+    {2 Error bound}
+
+    With every leaf in the exact regime ([Exact_probes]) the scores are
+    Bernoulli and two error sources compose: the union estimate's own
+    [(ε, δ/2)] guarantee and a multiplicative Chernoff bound on the hit
+    count [h = Σ score], giving relative error at most
+
+    {v ε_expr  ≤  ε_union + sqrt(3 · ln(4/δ) / h) v}
+
+    with probability [≥ 1 − δ], {e independent of expression depth} — depth
+    only changes which assignments count as hits.  Sketch-regime probes
+    ([Sketch_probes]) keep the stratified estimator unbiased but the weights
+    are unbounded ([2^ℓ]), so the same expression needs more mass: the bound
+    is heuristic there and the reply says so.  When the evidence mass [h] is
+    below {!min_support} (the point where the Chernoff radical crosses
+    [~43%]) no multiplicative guarantee is worth certifying and the typed
+    {!outcome} is [Low_support] instead of a number. *)
+
+type t =
+  | Leaf of string  (** a session name, [A-Za-z0-9_.-]+ *)
+  | Union of t * t  (** [A | B] *)
+  | Inter of t * t  (** [A & B] *)
+  | Diff of t * t  (** [A \ B] *)
+  | Sym_diff of t * t  (** [A ^ B] *)
+
+val equal : t -> t -> bool
+
+val depth : t -> int
+(** Operator nesting depth: a leaf is 0, [(A & B) \ C] is 2. *)
+
+val leaves : t -> string list
+(** Distinct session names, in first-appearance order. *)
+
+val max_leaves : int
+(** Most distinct leaves {!Eval} accepts (the multilinear enumeration is
+    [2^k] in the worst case; 12 keeps it bounded at 4096 assignments). *)
+
+val eval_bool : (string -> bool) -> t -> bool
+(** Truth of the expression under a membership assignment for each leaf —
+    the ground-truth evaluator the tests drive against enumerable
+    universes. *)
+
+val to_string : t -> string
+(** Minimal-parenthesis textual form: [&] binds tighter than [| \ ^], which
+    associate left at equal precedence.  Round-trips through
+    [Delphic_stream.Parsers.expr_of_string]. *)
+
+type quality =
+  | Exact_probes
+      (** every leaf session was in the exact regime: probes are true
+          indicators and the documented bound applies as stated *)
+  | Sketch_probes
+      (** at least one leaf answered from its sketch bucket: the draw was
+          stratified over leaf buckets with unbiased Horvitz–Thompson
+          probes of the other leaves, the bound is heuristic *)
+
+type outcome =
+  | Estimate of { value : float; support : float; samples : int; quality : quality }
+      (** [value] estimates [|E|]; [support] is the evidence mass
+          [Σ_x |score(x)|] (the hit count under {!Exact_probes}); [samples]
+          is the number of union draws actually evaluated *)
+  | Low_support of {
+      support : float;
+      needed : float;
+      samples : int;
+      quality : quality;
+    }
+      (** the evidence mass fell short of {!min_support}: the expression
+          selects too small a fraction of the union for [m] samples to
+          certify — retry with a larger [m], or treat the answer as
+          "below [|U|·needed/m]" *)
+
+val min_support : delta:float -> float
+(** [16 · ln(4/δ)]: the evidence mass below which the Chernoff radical
+    exceeds [sqrt(3/16) ≈ 0.43] and {!Eval} declines to certify. *)
+
+(** The estimator, instantiated per Delphic family (only the element type is
+    used; the probe and draw callbacks carry the session state). *)
+module Eval (F : Delphic_family.Family.FAMILY) : sig
+  val estimate :
+    expr:t ->
+    union:float ->
+    draw:(int -> F.elt list) ->
+    probe:(string -> F.elt -> float) ->
+    exact_probes:bool ->
+    samples:int ->
+    delta:float ->
+    outcome
+  (** [union] is the folded union estimate over all leaf sessions; [draw n]
+      returns up to [n] i.i.d. approximate-uniform union samples; [probe
+      name x] is the leaf's membership weight (0 when absent, 1 for an
+      exact member, [2^ℓ] for a sketch hit at level ℓ); [exact_probes]
+      declares whether every leaf probes from an exact table.  A [union] of
+      0 answers [Estimate 0] directly — an empty union decides every
+      expression.  Raises [Invalid_argument] when the expression has more
+      than {!max_leaves} distinct leaves or [samples < 1].
+
+      Callers must not pair sketch-regime probes with draws from a sketch
+      {e merged from those same leaves} — the shared coins bias the weights
+      (see the module header); route that case to {!estimate_stratified}. *)
+
+  val estimate_stratified :
+    expr:t ->
+    leaf_sizes:(string * float) list ->
+    draw_leaf:(string -> int -> F.elt list) ->
+    probe:(string -> F.elt -> float) ->
+    samples:int ->
+    delta:float ->
+    outcome
+  (** Sketch-regime estimator (see the module header).  [leaf_sizes] maps
+      every distinct leaf to its own size estimate; [draw_leaf name n]
+      returns up to [n] approximate-uniform samples of that session's
+      union; [probe] is as in {!estimate} and is only consulted for leaves
+      other than the one a sample was drawn from.  [samples] is apportioned
+      across leaves proportionally to [leaf_sizes] (at least one per
+      non-empty leaf); the outcome's [samples] field reports the number
+      actually drawn.  A total size of 0 answers [Estimate 0].  Quality is
+      always [Sketch_probes].  Raises [Invalid_argument] on more than
+      {!max_leaves} distinct leaves, [samples < 1], or a leaf missing from
+      [leaf_sizes]. *)
+end

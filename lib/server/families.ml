@@ -32,6 +32,7 @@ module Bridge (X : sig
 end) =
 struct
   module A = Delphic_core.Adaptive.Make (X.F)
+  module E = Delphic_expr.Expr.Eval (X.F)
 
   let to_io ~family_token ~merges est =
     let s = A.snapshot est in
@@ -274,6 +275,11 @@ let of_io (io : Io.t) ~seed =
     let* est = Cov_b.of_io ~seed io in
     Ok (Cov_s { est; nbits; strength })
 
+(* Deep copy through the snapshot codec: an EXPR query probes and samples a
+   point-in-time clone of each leaf, so concurrent ADDs keep landing on the
+   live estimator while the query runs. *)
+let copy t ~seed = of_io (to_io t) ~seed
+
 (* The cluster's fold step: combine two same-family sessions.  The
    estimator-level merge (Adaptive.Make.merge) raises on parameter
    mismatches; at this layer a family or shape mismatch is an [Error]
@@ -310,3 +316,88 @@ let merge a b ~seed =
     Error
       (Printf.sprintf "cannot merge a %s session with a %s session" (family_token a)
          (family_token b))
+
+(* The sample-and-probe evaluation step of an EXPR query.  [union] is the
+   fold of every leaf (same family by construction of the fold, but checked
+   again here so a mixed-family expression is a clean [Error]).  With every
+   leaf exact the fold supplies the draws and the probes are indicators;
+   once any leaf is sketching the fold shares coins with the leaf buckets,
+   so the draw switches to the stratified per-leaf scheme (see
+   Delphic_expr.Expr) and the fold only contributes its |U| memoisation to
+   the caller. *)
+let expr_estimate ~union ~leaves ~expr ~samples =
+  let guard f =
+    match f () with v -> Ok v | exception Invalid_argument msg -> Error msg
+  in
+  let mismatch name leaf =
+    Error
+      (Printf.sprintf "session %s is %s but the expression folds %s sessions" name
+         (family_token leaf) (family_token union))
+  in
+  match union with
+  | Rect_s u ->
+    let* ests =
+      map_result
+        (fun (name, leaf) ->
+          match leaf with
+          | Rect_s l -> Ok (name, l.est)
+          | other -> mismatch name other)
+        leaves
+    in
+    let probe name x = Rect_b.A.probe_weight (List.assoc name ests) x in
+    if List.for_all (fun (_, e) -> Rect_b.A.is_exact e) ests then
+      guard (fun () ->
+          Rect_b.E.estimate ~expr
+            ~union:(Rect_b.A.estimate u.est)
+            ~draw:(Rect_b.A.sample_union_n u.est)
+            ~probe ~exact_probes:true ~samples ~delta:(Rect_b.A.delta u.est))
+    else
+      guard (fun () ->
+          Rect_b.E.estimate_stratified ~expr
+            ~leaf_sizes:(List.map (fun (n, e) -> (n, Rect_b.A.estimate e)) ests)
+            ~draw_leaf:(fun name n -> Rect_b.A.sample_union_n (List.assoc name ests) n)
+            ~probe ~samples ~delta:(Rect_b.A.delta u.est))
+  | Dnf_s u ->
+    let* ests =
+      map_result
+        (fun (name, leaf) ->
+          match leaf with
+          | Dnf_s l -> Ok (name, l.est)
+          | other -> mismatch name other)
+        leaves
+    in
+    let probe name x = Dnf_b.A.probe_weight (List.assoc name ests) x in
+    if List.for_all (fun (_, e) -> Dnf_b.A.is_exact e) ests then
+      guard (fun () ->
+          Dnf_b.E.estimate ~expr
+            ~union:(Dnf_b.A.estimate u.est)
+            ~draw:(Dnf_b.A.sample_union_n u.est)
+            ~probe ~exact_probes:true ~samples ~delta:(Dnf_b.A.delta u.est))
+    else
+      guard (fun () ->
+          Dnf_b.E.estimate_stratified ~expr
+            ~leaf_sizes:(List.map (fun (n, e) -> (n, Dnf_b.A.estimate e)) ests)
+            ~draw_leaf:(fun name n -> Dnf_b.A.sample_union_n (List.assoc name ests) n)
+            ~probe ~samples ~delta:(Dnf_b.A.delta u.est))
+  | Cov_s u ->
+    let* ests =
+      map_result
+        (fun (name, leaf) ->
+          match leaf with
+          | Cov_s l -> Ok (name, l.est)
+          | other -> mismatch name other)
+        leaves
+    in
+    let probe name x = Cov_b.A.probe_weight (List.assoc name ests) x in
+    if List.for_all (fun (_, e) -> Cov_b.A.is_exact e) ests then
+      guard (fun () ->
+          Cov_b.E.estimate ~expr
+            ~union:(Cov_b.A.estimate u.est)
+            ~draw:(Cov_b.A.sample_union_n u.est)
+            ~probe ~exact_probes:true ~samples ~delta:(Cov_b.A.delta u.est))
+    else
+      guard (fun () ->
+          Cov_b.E.estimate_stratified ~expr
+            ~leaf_sizes:(List.map (fun (n, e) -> (n, Cov_b.A.estimate e)) ests)
+            ~draw_leaf:(fun name n -> Cov_b.A.sample_union_n (List.assoc name ests) n)
+            ~probe ~samples ~delta:(Cov_b.A.delta u.est))

@@ -53,3 +53,22 @@ val merge : t -> t -> seed:int -> (t, string) result
 (** Combine two same-family sessions (the cluster coordinator's fold step,
     see {!Delphic_core.Adaptive.Make.merge} for semantics).  Inputs are
     unchanged.  [Error] on a family, shape, or parameter mismatch. *)
+
+val copy : t -> seed:int -> (t, string) result
+(** Deep copy via the snapshot codec (the input is unchanged and shares no
+    mutable state with the copy).  An [EXPR] query clones each leaf under
+    its session lock and then evaluates lock-free on the clones, so
+    concurrent ingestion never blocks on a long query. *)
+
+val expr_estimate :
+  union:t ->
+  leaves:(string * t) list ->
+  expr:Protocol.Expr_ast.t ->
+  samples:int ->
+  (Protocol.Expr_ast.outcome, string) result
+(** Evaluate a set expression by sample-and-probe
+    ({!Delphic_expr.Expr.Eval}): draw [samples] elements from [union] — the
+    fold of every leaf in [leaves] — and probe each leaf's estimator for
+    membership weights.  [leaves] maps each distinct leaf name of [expr] to
+    its session handle; all must be the same family as [union] ([Error]
+    otherwise, e.g. a rect session folded with a dnf one). *)

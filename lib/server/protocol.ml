@@ -1,3 +1,5 @@
+module Expr_ast = Delphic_expr.Expr
+
 type family =
   | Rect
   | Dnf of { nvars : int }
@@ -20,6 +22,7 @@ type request =
   | Fetch of { session : string }
   | Merge of { session : string; encoded : string }
   | Close of { session : string }
+  | Expr of { expr : Expr_ast.t; m : int option }
   | Ping
   | Hello
 
@@ -33,6 +36,7 @@ type error =
   | Unknown_session of string
   | Session_exists of string
   | Bad_params of string
+  | Bad_expr of { pos : int; msg : string }
   | Bad_line of { line : int; msg : string }
   | Io_error of string
   | Server_error of string
@@ -47,10 +51,20 @@ type stats = {
   merges : int;
 }
 
+type expr_quality = Probes_exact | Probes_sketch
+
 type response =
   | Ok_reply of string option
   | Ok_batch of { accepted : int; errors : (int * string) list }
   | Estimate of { value : float; degraded : bool }
+  | Expr_reply of {
+      value : float option;
+      support : float;
+      needed : float;
+      samples : int;
+      quality : expr_quality;
+      degraded : bool;
+    }
   | Stats_reply of stats
   | Sketch of string
   | Pong
@@ -248,6 +262,25 @@ let parse_request line =
         Ok (Merge { session; encoded })
       | _ ->
         Error (Wrong_arity { command = "MERGE"; expected = "MERGE <session> <wire-snapshot>" }))
+    | "EXPR" ->
+      (* Optional leading m=<n> token; '=' is not in the session-name
+         alphabet so the prefix is unambiguous. *)
+      let first, after = cut rest in
+      let* m, body =
+        if String.length first > 2 && String.sub first 0 2 = "m=" then
+          let v = String.sub first 2 (String.length first - 2) in
+          match int_of_string_opt v with
+          | Some n when n > 0 -> Ok (Some n, after)
+          | _ -> Error (Bad_number { what = "samples"; value = v })
+        else Ok (None, rest)
+      in
+      if body = "" then
+        Error (Wrong_arity { command = "EXPR"; expected = "EXPR [m=<samples>] <expression>" })
+      else (
+        match Delphic_stream.Parsers.expr_of_string body with
+        | expr -> Ok (Expr { expr; m })
+        | exception Delphic_stream.Parsers.Parse_error { line; msg } ->
+          Error (Bad_expr { pos = line; msg }))
     | _ -> Error (Unknown_command verb)
 
 let render_request = function
@@ -274,6 +307,10 @@ let render_request = function
   | Fetch { session } -> "SNAPSHOT " ^ session
   | Merge { session; encoded } -> Printf.sprintf "MERGE %s %s" session encoded
   | Close { session } -> "CLOSE " ^ session
+  | Expr { expr; m } ->
+    "EXPR "
+    ^ (match m with Some n -> Printf.sprintf "m=%d " n | None -> "")
+    ^ Expr_ast.to_string expr
   | Ping -> "PING"
   | Hello -> "HELLO"
 
@@ -287,6 +324,7 @@ let error_code = function
   | Unknown_session _ -> "UNKNOWN-SESSION"
   | Session_exists _ -> "SESSION-EXISTS"
   | Bad_params _ -> "BAD-PARAMS"
+  | Bad_expr _ -> "BAD-EXPR"
   | Bad_line _ -> "PARSE"
   | Io_error _ -> "IO"
   | Server_error _ -> "SERVER"
@@ -303,6 +341,7 @@ let error_payload = function
   | Unknown_session s -> s
   | Session_exists s -> s
   | Bad_params s -> s
+  | Bad_expr { pos; msg } -> Printf.sprintf "%d %s" pos msg
   | Bad_line { line; msg } -> Printf.sprintf "%d %s" line msg
   | Io_error s -> s
   | Server_error s -> s
@@ -317,6 +356,7 @@ let describe_error = function
   | Unknown_session s -> Printf.sprintf "no session named %S" s
   | Session_exists s -> Printf.sprintf "session %S already open" s
   | Bad_params msg -> msg
+  | Bad_expr { pos; msg } -> Printf.sprintf "expression column %d: %s" pos msg
   | Bad_line { line; msg } -> Printf.sprintf "ADD line %d rejected: %s" line msg
   | Io_error msg -> msg
   | Server_error msg -> msg
@@ -334,6 +374,10 @@ let parse_error_of_wire code payload =
   | "UNKNOWN-SESSION" -> Some (Unknown_session payload)
   | "SESSION-EXISTS" -> Some (Session_exists payload)
   | "BAD-PARAMS" -> Some (Bad_params payload)
+  | "BAD-EXPR" -> (
+    match int_of_string_opt first with
+    | Some pos -> Some (Bad_expr { pos; msg = rest })
+    | None -> None)
   | "PARSE" -> (
     match int_of_string_opt first with
     | Some line -> Some (Bad_line { line; msg = rest })
@@ -359,6 +403,19 @@ let render_response = function
     Buffer.contents buf
   | Estimate { value; degraded } ->
     "EST " ^ float_out value ^ if degraded then " DEGRADED" else ""
+  | Expr_reply { value; support; needed; samples; quality; degraded } ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "EXPR ";
+    (match value with
+    | Some v -> Buffer.add_string buf (float_out v)
+    | None -> Buffer.add_string buf "LOWSUPPORT");
+    Buffer.add_string buf (" support=" ^ float_out support);
+    if value = None then Buffer.add_string buf (" need=" ^ float_out needed);
+    Buffer.add_string buf (Printf.sprintf " m=%d" samples);
+    Buffer.add_string buf
+      (" probes=" ^ match quality with Probes_exact -> "exact" | Probes_sketch -> "sketch");
+    if degraded then Buffer.add_string buf " DEGRADED";
+    Buffer.contents buf
   | Stats_reply s ->
     Printf.sprintf
       "STATS family=%s items=%d entries=%d mode=%s estimate=%s rejects=%d merges=%d"
@@ -368,7 +425,12 @@ let render_response = function
   | Sketch encoded -> "SKETCH " ^ encoded
   | Pong -> "PONG"
   | Hello_reply { generation } -> "HELLO " ^ string_of_int generation
-  | Error_reply e -> Printf.sprintf "ERR %s %s" (error_code e) (error_payload e)
+  | Error_reply e -> (
+    (* No trailing space when the payload is empty ("ERR EMPTY", not
+       "ERR EMPTY "). *)
+    match error_payload e with
+    | "" -> "ERR " ^ error_code e
+    | payload -> Printf.sprintf "ERR %s %s" (error_code e) payload)
 
 let parse_response line =
   let line = chop_cr line in
@@ -406,6 +468,49 @@ let parse_response line =
     match value with
     | Some value -> Ok (Estimate { value; degraded })
     | None -> Error (Printf.sprintf "EST: bad float %S" rest))
+  | "EXPR" -> (
+    match tokens rest with
+    | head :: fields -> (
+      let value =
+        if head = "LOWSUPPORT" then Ok None
+        else
+          match float_of_string_opt head with
+          | Some v -> Ok (Some v)
+          | None -> Error (Printf.sprintf "EXPR: bad value %S" head)
+      in
+      match value with
+      | Error _ as e -> e
+      | Ok value -> (
+        let degraded = List.mem "DEGRADED" fields in
+        let kv tok =
+          match String.index_opt tok '=' with
+          | Some i ->
+            Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+          | None -> None
+        in
+        let assoc = List.filter_map kv fields in
+        let field k = List.assoc_opt k assoc in
+        (* need= only rides on LOWSUPPORT lines; absent means 0. *)
+        let needed =
+          match field "need" with None -> Some 0.0 | Some v -> float_of_string_opt v
+        in
+        match (field "support", needed, field "m", field "probes") with
+        | Some support, Some needed, Some m, Some probes -> (
+          match (float_of_string_opt support, int_of_string_opt m, probes) with
+          | Some support, Some samples, ("exact" | "sketch") ->
+            Ok
+              (Expr_reply
+                 {
+                   value;
+                   support;
+                   needed;
+                   samples;
+                   quality = (if probes = "exact" then Probes_exact else Probes_sketch);
+                   degraded;
+                 })
+          | _ -> Error (Printf.sprintf "EXPR: malformed fields in %S" rest))
+        | _ -> Error (Printf.sprintf "EXPR: missing fields in %S" rest)))
+    | [] -> Error "EXPR: empty reply")
   | "SKETCH" ->
     if rest = "" || String.contains rest ' ' then
       Error (Printf.sprintf "SKETCH: want exactly one wire-snapshot token, got %S" rest)
@@ -453,3 +558,23 @@ let parse_response line =
     | Some e -> Ok (Error_reply e)
     | None -> Error (Printf.sprintf "ERR: unknown code %S" code))
   | _ -> Error (Printf.sprintf "unparseable response %S" line)
+
+let expr_reply_of_outcome ~degraded (outcome : Expr_ast.outcome) =
+  let quality_of = function
+    | Expr_ast.Exact_probes -> Probes_exact
+    | Expr_ast.Sketch_probes -> Probes_sketch
+  in
+  match outcome with
+  | Expr_ast.Estimate { value; support; samples; quality } ->
+    Expr_reply
+      {
+        value = Some value;
+        support;
+        needed = 0.0;
+        samples;
+        quality = quality_of quality;
+        degraded;
+      }
+  | Expr_ast.Low_support { support; needed; samples; quality } ->
+    Expr_reply
+      { value = None; support; needed; samples; quality = quality_of quality; degraded }

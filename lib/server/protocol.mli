@@ -16,6 +16,7 @@
     RESTORE <session> <path>                        open a session from a snapshot
     MERGE <session> <wire-snapshot>                 fold a peer's sketch into the session
     CLOSE <session>                                 drop the session
+    EXPR [m=<samples>] <expression>                 set-expression cardinality estimate
     PING                                            liveness probe
     HELLO                                           identity probe (reply: HELLO <generation>)
     v}
@@ -39,10 +40,23 @@
     (test vectors, t-wise coverage).  [ADD] payloads reuse the
     {!Delphic_stream.Parsers} line formats verbatim.
 
-    Responses: [OK [<info>]], [EST <float>], [STATS k=v ...], [PONG], or
-    [ERR <CODE> <detail>].  Every response renders to exactly one line and
-    parses back losslessly ({!parse_response} ∘ {!render_response} = id, the
-    codec property tested in [test/test_protocol.ml]). *)
+    [EXPR] evaluates a set expression over open sessions — the grammar is
+    that of {!Delphic_stream.Parsers.expr_of_string}: session names combined
+    with [& | \ ^] and parentheses, [&] binding tighter, e.g.
+    [EXPR (A & B) \ C].  The reply is
+    [EXPR <float> support=<f> m=<d> probes=exact|sketch [DEGRADED]] when the
+    estimator certifies a value, or
+    [EXPR LOWSUPPORT support=<f> need=<f> m=<d> probes=...] when the
+    evidence mass fell short ({!Expr_reply}).  A malformed expression is
+    [ERR BAD-EXPR <column> <msg>].
+
+    Responses: [OK [<info>]], [EST <float>], [EXPR ...], [STATS k=v ...],
+    [PONG], or [ERR <CODE> <detail>].  Every response renders to exactly one
+    line and parses back losslessly
+    ({!parse_response} ∘ {!render_response} = id, the codec property tested
+    in [test/test_protocol.ml]). *)
+
+module Expr_ast = Delphic_expr.Expr
 
 type family =
   | Rect  (** boxes; the dimension is pinned by the session's first [ADD] *)
@@ -71,6 +85,9 @@ type request =
   | Merge of { session : string; encoded : string }
       (** [encoded] is a {!Delphic_core.Snapshot_io.to_wire} token *)
   | Close of { session : string }
+  | Expr of { expr : Expr_ast.t; m : int option }
+      (** wire form [EXPR [m=<samples>] <expression>]; [m] overrides the
+          server's default union-sample count *)
   | Ping
   | Hello
       (** wire form [HELLO] — identity probe: the server answers
@@ -92,6 +109,9 @@ type error =
   | Session_exists of string
   | Bad_params of string
       (** estimator construction refused the (ε, δ, log2|Ω|) triple *)
+  | Bad_expr of { pos : int; msg : string }
+      (** an [EXPR] expression failed to parse; [pos] is the 1-based column
+          in the expression text *)
   | Bad_line of { line : int; msg : string }
       (** an [ADD] payload failed to parse; [line] counts the session's
           [ADD]s, so the client can locate the bad set in its own stream *)
@@ -108,6 +128,13 @@ type stats = {
   merges : int;  (** peer sketches folded in via [MERGE] *)
 }
 
+(** Probe regime of an [EXPR] answer: [Probes_exact] when every leaf session
+    was still holding its elements exactly (the documented bound applies as
+    stated), [Probes_sketch] when at least one leaf answered with
+    Horvitz–Thompson weights from its sketch bucket (unbiased, heuristic
+    bound). *)
+type expr_quality = Probes_exact | Probes_sketch
+
 type response =
   | Ok_reply of string option
   | Ok_batch of { accepted : int; errors : (int * string) list }
@@ -116,6 +143,19 @@ type response =
   | Estimate of { value : float; degraded : bool }
       (** [degraded] renders as a trailing [DEGRADED] token — set by a
           coordinator answering from stale snapshots after losing a worker *)
+  | Expr_reply of {
+      value : float option;
+      support : float;
+      needed : float;
+      samples : int;
+      quality : expr_quality;
+      degraded : bool;
+    }
+      (** reply to {!Expr}.  [value = Some v] certifies the estimate;
+          [None] renders as [LOWSUPPORT] with [need=<needed>] — the evidence
+          mass [support] fell short of the {!Delphic_expr.Expr.min_support}
+          threshold [needed] (which is 0 on certified replies).  [samples]
+          is the union draws evaluated, [degraded] as in {!Estimate}. *)
   | Stats_reply of stats
   | Sketch of string  (** [SKETCH <wire-snapshot>], the reply to {!Fetch} *)
   | Pong
@@ -162,3 +202,8 @@ val error_code : error -> string
 
 val describe_error : error -> string
 (** Human-readable one-line description (no code prefix). *)
+
+val expr_reply_of_outcome : degraded:bool -> Expr_ast.outcome -> response
+(** Lift an estimator {!Delphic_expr.Expr.outcome} into the wire reply:
+    [Estimate] becomes a certified {!Expr_reply} ([needed = 0]),
+    [Low_support] a [LOWSUPPORT] one. *)

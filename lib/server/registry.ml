@@ -1,6 +1,8 @@
 module Io = Delphic_core.Snapshot_io
 module Parsers = Delphic_stream.Parsers
 
+let ( let* ) = Result.bind
+
 type session = {
   slock : Mutex.t;  (* serialises estimator mutation for this session only *)
   mutable runner : Families.t;  (* replaced wholesale by MERGE *)
@@ -183,6 +185,58 @@ let merge_in t ~name ~encoded =
             s.wire_cache <- None;
             Ok ())))
 
+let default_expr_samples = 256
+let max_expr_samples = 65536
+
+(* An EXPR query in three steps: clone each leaf session under its own lock
+   (cheap snapshot round-trip, so ingestion resumes immediately), fold the
+   clones into one union sketch, then sample-and-probe lock-free on the
+   clones.  Cross-leaf consistency is per-leaf point-in-time — the same
+   contract a coordinator gather gives. *)
+let expr_query t ~expr ~m =
+  let module E = Protocol.Expr_ast in
+  let names = E.leaves expr in
+  if List.length names > E.max_leaves then
+    Error
+      (Protocol.Bad_params
+         (Printf.sprintf "expression names %d distinct sessions; the cap is %d"
+            (List.length names) E.max_leaves))
+  else
+    let samples =
+      match m with
+      | None -> default_expr_samples
+      | Some n -> min n max_expr_samples
+    in
+    let rec clone acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        let copied =
+          with_session t name (fun s ->
+              Result.map_error
+                (fun msg -> Protocol.Server_error msg)
+                (Families.copy s.runner ~seed:(next_seed t)))
+        in
+        match copied with
+        | Ok c -> clone ((name, c) :: acc) rest
+        | Error e -> Error e)
+    in
+    let* leaves = clone [] names in
+    let* union =
+      match leaves with
+      | [] -> Error (Protocol.Bad_params "expression names no sessions")
+      | (_, first) :: rest ->
+        List.fold_left
+          (fun acc (_, c) ->
+            let* u = acc in
+            Result.map_error
+              (fun msg -> Protocol.Bad_params msg)
+              (Families.merge u c ~seed:(next_seed t)))
+          (Ok first) rest
+    in
+    match Families.expr_estimate ~union ~leaves ~expr ~samples with
+    | Ok outcome -> Ok outcome
+    | Error msg -> Error (Protocol.Bad_params msg)
+
 (* caller holds the segment lock for [name] (or all of them) *)
 let restore_session t ~name ~path =
   let seg = segment_of t name in
@@ -315,3 +369,8 @@ let dispatch t (req : Protocol.request) : Protocol.response =
          (merge_in t ~name:session ~encoded))
   | Protocol.Close { session } ->
     reply (Result.map (fun () -> Protocol.Ok_reply (Some ("closed " ^ session))) (close t ~name:session))
+  | Protocol.Expr { expr; m } ->
+    reply
+      (Result.map
+         (Protocol.expr_reply_of_outcome ~degraded:false)
+         (expr_query t ~expr ~m))

@@ -66,6 +66,26 @@ val merge_in : t -> name:string -> encoded:string -> (unit, Protocol.error) resu
     absorb the peer's.  [Error (Bad_params _)] on an undecodable token or a
     family/parameter mismatch, leaving the session untouched. *)
 
+val default_expr_samples : int
+(** Union draws per [EXPR] query when the request carries no [m=] (256). *)
+
+val max_expr_samples : int
+(** Hard cap on requested [m=] (65536); larger requests are clamped, not
+    refused — more samples only cost time. *)
+
+val expr_query :
+  t ->
+  expr:Protocol.Expr_ast.t ->
+  m:int option ->
+  (Protocol.Expr_ast.outcome, Protocol.error) result
+(** Evaluate a set expression over open sessions by sample-and-probe
+    ({!Families.expr_estimate}).  Each leaf session is cloned under its own
+    lock and the query then runs lock-free on the clones, so concurrent
+    ingestion is never blocked.  [m] is the union-sample count (default 256,
+    capped at 65536).  [Error (Bad_params _)] when the expression names more
+    than {!Delphic_expr.Expr.max_leaves} distinct sessions or mixes
+    families; [Error (Unknown_session _)] on an unopened leaf. *)
+
 val names : t -> string list
 
 val snapshot_all : ?fsync:bool -> t -> dir:string -> (string * (string, string) result) list

@@ -157,7 +157,7 @@ let journaled_request = function
   | Protocol.Restore _ | Protocol.Close _ ->
     true
   | Protocol.Est _ | Protocol.Stats _ | Protocol.Snapshot _ | Protocol.Fetch _
-  | Protocol.Ping | Protocol.Hello ->
+  | Protocol.Expr _ | Protocol.Ping | Protocol.Hello ->
     false
 
 let mutation_succeeded = function

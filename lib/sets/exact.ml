@@ -103,6 +103,19 @@ let coverage_union ~strength vectors =
         total := !total + Hashtbl.length seen);
     Bigint.of_int !total
 
+(* Union-membership probes: the Delphic membership oracle lifted from one
+   set to a whole stream, uniformly across families.  Ground truth for the
+   set-expression evaluator's per-leaf probes. *)
+
+let union_mem mem sets x = List.exists (fun s -> mem s x) sets
+let rectangle_union_mem boxes p = union_mem Rectangle.mem boxes p
+let dnf_union_mem terms v = union_mem Dnf.mem terms v
+
+let coverage_union_mem ~strength vectors (e : Coverage.elt) =
+  union_mem Coverage.mem
+    (List.map (fun v -> Coverage.create ~vector:v ~strength) vectors)
+    e
+
 let distinct values =
   let seen = Hashtbl.create 64 in
   List.iter (fun v -> Hashtbl.replace seen v ()) values;

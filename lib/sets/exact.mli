@@ -35,6 +35,21 @@ val coverage_union :
 (** [|Cov_t(A)|]: for every size-[strength] position subset, the number of
     distinct patterns the suite exhibits.  O(C(n,t) · m). *)
 
+(** {2 Union membership}
+
+    The Delphic membership oracle lifted from one set to a whole stream —
+    [x ∈ ∪ S_i] — exposed uniformly across families.  These are the exact
+    per-leaf probes the set-expression tests evaluate ground truth with
+    (each estimator leaf probes its own sketch instead). *)
+
+val rectangle_union_mem : Rectangle.t list -> int array -> bool
+
+val dnf_union_mem : Dnf.t list -> Delphic_util.Bitvec.t -> bool
+
+val coverage_union_mem :
+  strength:int -> Delphic_util.Bitvec.t list -> Coverage.elt -> bool
+(** Membership of a (positions, pattern) pair in [Cov_t] of the suite. *)
+
 val distinct : int list -> int
 (** Number of distinct values (ground truth for singleton streams). *)
 

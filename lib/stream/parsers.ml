@@ -87,6 +87,92 @@ let vector_of_line ~lineno line =
 
 let vectors_of_channel channel = fold_lines channel (fun lineno line -> vector_of_line ~lineno line)
 
+(* Set-expression grammar (the EXPR protocol verb and the CLI query tool):
+
+     expr  := inter (('|' | '\' | '^') inter)*
+     inter := atom ('&' atom)*
+     atom  := name | '(' expr ')'
+
+   Session names are [A-Za-z0-9_.-]+ (the protocol's session alphabet, which
+   is disjoint from every operator).  [&] binds tighter than the additive
+   operators, which associate left.  Errors raise {!Parse_error} with [line]
+   carrying the 1-based character position in the expression string. *)
+let expr_of_string text =
+  let module E = Delphic_expr.Expr in
+  let n = String.length text in
+  let pos = ref 0 in
+  let error ?at fmt =
+    let at = match at with Some p -> p | None -> !pos + 1 in
+    parse_error ~lineno:at fmt
+  in
+  let skip_ws () =
+    while !pos < n && (text.[!pos] = ' ' || text.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+    | _ -> false
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let rec parse_expr () =
+    let left = ref (parse_inter ()) in
+    let additive = ref true in
+    while !additive do
+      skip_ws ();
+      match peek () with
+      | Some '|' ->
+        incr pos;
+        left := E.Union (!left, parse_inter ())
+      | Some '\\' ->
+        incr pos;
+        left := E.Diff (!left, parse_inter ())
+      | Some '^' ->
+        incr pos;
+        left := E.Sym_diff (!left, parse_inter ())
+      | _ -> additive := false
+    done;
+    !left
+  and parse_inter () =
+    let left = ref (parse_atom ()) in
+    let more = ref true in
+    while !more do
+      skip_ws ();
+      match peek () with
+      | Some '&' ->
+        incr pos;
+        left := E.Inter (!left, parse_atom ())
+      | _ -> more := false
+    done;
+    !left
+  and parse_atom () =
+    skip_ws ();
+    match peek () with
+    | None -> error "expected a session name or '('"
+    | Some '(' ->
+      let open_at = !pos + 1 in
+      incr pos;
+      let inner = parse_expr () in
+      skip_ws ();
+      (match peek () with
+      | Some ')' ->
+        incr pos;
+        inner
+      | _ -> error "unclosed '(' opened at column %d" open_at)
+    | Some c when is_name_char c ->
+      let start = !pos in
+      while !pos < n && is_name_char text.[!pos] do
+        incr pos
+      done;
+      E.Leaf (String.sub text start (!pos - start))
+    | Some c -> error "expected a session name or '(', got %C" c
+  in
+  let e = parse_expr () in
+  skip_ws ();
+  match peek () with
+  | None -> e
+  | Some c -> error "expected an operator (& | \\ ^), got %C" c
+
 let rectangles_of_file path = with_file path rectangles_of_channel
 let dnf_of_file ~nvars path = with_file path (dnf_of_channel ~nvars)
 let vectors_of_file path = with_file path vectors_of_channel

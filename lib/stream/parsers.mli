@@ -35,6 +35,24 @@ val dnf_term_of_line : nvars:int -> lineno:int -> string -> Delphic_sets.Dnf.t
 
 val vector_of_line : lineno:int -> string -> Delphic_util.Bitvec.t
 
+(** {1 Set expressions} *)
+
+val expr_of_string : string -> Delphic_expr.Expr.t
+(** Parse a set expression over session names — the payload of the [EXPR]
+    protocol verb.  Grammar (left-associative, [&] binds tighter):
+
+    {v
+    expr  := inter (('|' | '\' | '^') inter)*
+    inter := atom ('&' atom)*
+    atom  := name | '(' expr )'
+    v}
+
+    where [name] is [A-Za-z0-9_.-]+ (the session-name alphabet) and the
+    operators are union [|], intersection [&], difference [\] and symmetric
+    difference [^].  Whitespace between tokens is free.  Raises
+    {!Parse_error} with [line] carrying the 1-based {e character position}
+    of the offending token in the expression string. *)
+
 (** {1 Whole-stream parsers} *)
 
 val rectangles_of_channel : in_channel -> Delphic_sets.Rectangle.t list

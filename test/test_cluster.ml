@@ -319,6 +319,113 @@ let test_frontend_protocol () =
   List.iter stop_worker workers;
   List.iteri (fun n _ -> rm_rf (spool (10 + n))) workers
 
+(* --- EXPR over a live cluster ----------------------------------------- *)
+
+(* Set-expression queries against three sharded sessions, evaluated
+   coordinator-side from the same gathers EST uses.  Small exact-regime
+   content keeps every folded leaf an exact table, so [A | B] answers the
+   union size exactly (every draw hits) and [(A & B) \ C] carries the
+   documented exact-probe bound.  The query runs mid-ingest (C half
+   loaded), then again after a worker kill — the degraded flag must agree
+   with EST's. *)
+let test_expr_cluster () =
+  let workers = List.init 3 (fun n -> start_worker (30 + n) ~seed:(400 + n)) in
+  let addrs = List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers in
+  let coord =
+    Coordinator.create ~timeout:5.0 ~backoff:0.01 ~workers:addrs ~seed:17 ()
+  in
+  let gen = Rng.create ~seed:83 in
+  (* content sized so even the three-leaf fold stays inside the exact
+     capacity (~2400 at these parameters): sharp exact-regime assertions *)
+  let boxes () =
+    Workload.Rectangles.uniform gen ~universe:80 ~dim:2 ~count:15 ~max_side:14
+  in
+  let set_a = boxes () and set_b = boxes () and set_c = boxes () in
+  let open_s name =
+    ok
+      (Coordinator.open_session coord ~name ~family:P.Rect ~epsilon:0.3
+         ~delta:0.2 ~log2_universe:17.0)
+  in
+  List.iter open_s [ "A"; "B"; "C" ];
+  let ingest name bs =
+    List.iter (fun b -> ok (Coordinator.add coord ~name ~payload:(payload_of b))) bs
+  in
+  let c_half = List.filteri (fun i _ -> i < 8) set_c in
+  let c_rest = List.filteri (fun i _ -> i >= 8) set_c in
+  ingest "A" set_a;
+  ingest "B" set_b;
+  ingest "C" c_half;
+  let parse = Delphic_stream.Parsers.expr_of_string in
+  (* exact |expr| by grid enumeration over the current leaf contents *)
+  let exact_count expr ~c =
+    let sets = [ ("A", set_a); ("B", set_b); ("C", c) ] in
+    let n = ref 0 in
+    for x = 0 to 79 do
+      for y = 0 to 79 do
+        let p = [| x; y |] in
+        let lookup name = Exact.rectangle_union_mem (List.assoc name sets) p in
+        if P.Expr_ast.eval_bool lookup expr then incr n
+      done
+    done;
+    float_of_int !n
+  in
+  (* mid-ingest: C is half loaded, the expression sees its current state *)
+  let e_union = parse "A | B" in
+  (match ok (Coordinator.expr_query coord ~expr:e_union ~m:(Some 1024)) with
+  | P.Expr_ast.Estimate { value; quality; _ }, degraded ->
+    Alcotest.(check bool) "union query clean with all workers up" false degraded;
+    Alcotest.(check bool) "exact probes" true (quality = P.Expr_ast.Exact_probes);
+    (* every union draw is a hit, so the answer is the union size itself *)
+    Alcotest.(check (float 0.0)) "A | B answers the exact union"
+      (exact_count e_union ~c:c_half) value
+  | P.Expr_ast.Low_support _, _ -> Alcotest.fail "A | B cannot lack support");
+  let e_deep = parse "(A & B) \\ C" in
+  let tol = 0.35 in
+  (match ok (Coordinator.expr_query coord ~expr:e_deep ~m:(Some 4096)) with
+  | P.Expr_ast.Estimate { value; quality; _ }, degraded ->
+    Alcotest.(check bool) "deep query clean" false degraded;
+    Alcotest.(check bool) "deep query exact probes" true
+      (quality = P.Expr_ast.Exact_probes);
+    let tru = exact_count e_deep ~c:c_half in
+    Alcotest.(check bool)
+      (Printf.sprintf "(A & B) \\ C mid-ingest: %.0f within %.0f%% of %.0f" value
+         (100.0 *. tol) tru)
+      true
+      (Float.abs (value -. tru) <= tol *. tru)
+  | P.Expr_ast.Low_support { support; needed; _ }, _ ->
+    Alcotest.failf "(A & B) \\ C: low support %.1f < %.1f" support needed);
+  (* finish C's ingest, then lose a worker: the gather answers from last
+     good snapshots and both EST and EXPR must say so *)
+  ingest "C" c_rest;
+  (match ok (Coordinator.expr_query coord ~expr:e_deep ~m:(Some 4096)) with
+  | P.Expr_ast.Estimate _, degraded ->
+    Alcotest.(check bool) "still clean after C completes" false degraded
+  | P.Expr_ast.Low_support _, _ -> Alcotest.fail "C complete: support vanished");
+  stop_worker (List.nth workers 0);
+  let _, est_degraded = ok (Coordinator.estimate coord ~name:"A") in
+  Alcotest.(check bool) "EST degraded after the kill" true est_degraded;
+  (match ok (Coordinator.expr_query coord ~expr:e_deep ~m:(Some 4096)) with
+  | P.Expr_ast.Estimate { value; _ }, degraded ->
+    Alcotest.(check bool) "EXPR degraded agrees with EST" est_degraded degraded;
+    let tru = exact_count e_deep ~c:set_c in
+    Alcotest.(check bool)
+      (Printf.sprintf "(A & B) \\ C degraded: %.0f within %.0f%% of %.0f" value
+         (100.0 *. tol) tru)
+      true
+      (Float.abs (value -. tru) <= tol *. tru)
+  | P.Expr_ast.Low_support { support; needed; _ }, _ ->
+    Alcotest.failf "degraded expr: low support %.1f < %.1f" support needed);
+  (* a leaf the cluster has never opened is a clean error *)
+  (match Coordinator.expr_query coord ~expr:(parse "A & ghost") ~m:None with
+  | Error e ->
+    Alcotest.(check string) "unknown leaf" "UNKNOWN-SESSION" (P.error_code e)
+  | Ok _ -> Alcotest.fail "ghost leaf must be UNKNOWN-SESSION");
+  List.iter (fun n -> ignore (Coordinator.close coord ~name:n)) [ "A"; "B"; "C" ];
+  Coordinator.shutdown coord;
+  stop_worker (List.nth workers 1);
+  stop_worker (List.nth workers 2);
+  List.iteri (fun n _ -> rm_rf (spool (30 + n))) workers
+
 (* --- kill -9 against a journaled worker ------------------------------- *)
 
 let rm_rf_deep dir =
@@ -502,6 +609,8 @@ let suite =
       test_batched_kill_no_loss;
     Alcotest.test_case "slow workers share one gather deadline" `Quick
       test_slow_workers_share_one_deadline;
+    Alcotest.test_case "EXPR over a live cluster with worker loss" `Quick
+      test_expr_cluster;
     Alcotest.test_case "frontend speaks the full protocol" `Quick
       test_frontend_protocol;
     Alcotest.test_case "kill -9 mid-stream recovers from the WAL" `Quick

@@ -1,0 +1,427 @@
+(* Set-expression engine: AST/parser properties (round-trip, precedence,
+   error positions) and the sample-and-probe estimator against exact ground
+   truth on enumerable universes, for all three families, depths 1-3. *)
+
+module Expr = Delphic_expr.Expr
+module Parsers = Delphic_stream.Parsers
+module Exact = Delphic_sets.Exact
+module Rectangle = Delphic_sets.Rectangle
+module Dnf = Delphic_sets.Dnf
+module Coverage = Delphic_sets.Coverage
+module Bitvec = Delphic_util.Bitvec
+module Rng = Delphic_util.Rng
+
+let expr_t =
+  Alcotest.testable (fun ppf e -> Format.pp_print_string ppf (Expr.to_string e)) Expr.equal
+
+let parse = Parsers.expr_of_string
+
+(* --- parser: fixed cases --- *)
+
+let leaf n = Expr.Leaf n
+
+let test_parse_precedence () =
+  Alcotest.check expr_t "bare leaf" (leaf "A") (parse "A");
+  Alcotest.check expr_t "& binds tighter than |"
+    (Expr.Union (leaf "A", Expr.Inter (leaf "B", leaf "C")))
+    (parse "A | B & C");
+  Alcotest.check expr_t "& binds tighter than \\"
+    (Expr.Diff (Expr.Inter (leaf "A", leaf "B"), leaf "C"))
+    (parse "A & B \\ C");
+  Alcotest.check expr_t "additive ops associate left"
+    (Expr.Union (Expr.Diff (leaf "A", leaf "B"), leaf "C"))
+    (parse "A \\ B | C");
+  Alcotest.check expr_t "difference chains left"
+    (Expr.Diff (Expr.Diff (leaf "A", leaf "B"), leaf "C"))
+    (parse "A \\ B \\ C");
+  Alcotest.check expr_t "parens override"
+    (Expr.Diff (leaf "A", Expr.Diff (leaf "B", leaf "C")))
+    (parse "A \\ (B \\ C)");
+  Alcotest.check expr_t "issue example"
+    (Expr.Diff (Expr.Inter (leaf "A", leaf "B"), leaf "C"))
+    (parse "(A & B) \\ C");
+  Alcotest.check expr_t "sym-diff at additive precedence"
+    (Expr.Union (Expr.Sym_diff (leaf "A", leaf "B"), leaf "C"))
+    (parse "A ^ B | C");
+  Alcotest.check expr_t "dotted and dashed names survive"
+    (Expr.Inter (leaf "shard-1.us", leaf "shard_2"))
+    (parse "  shard-1.us & shard_2  ")
+
+let test_parse_errors () =
+  let expect_error text ~at fragment =
+    match parse text with
+    | e -> Alcotest.failf "%S parsed as %s" text (Expr.to_string e)
+    | exception Parsers.Parse_error { line; msg } ->
+      Alcotest.(check int) (Printf.sprintf "%S: error column" text) at line;
+      let contains =
+        let n = String.length msg and k = String.length fragment in
+        let rec go i = i + k <= n && (String.sub msg i k = fragment || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S: %S mentions %S" text msg fragment)
+        true contains
+  in
+  expect_error "" ~at:1 "expected a session name";
+  expect_error "   " ~at:4 "expected a session name";
+  expect_error "&" ~at:1 "expected a session name";
+  expect_error "A &" ~at:4 "expected a session name";
+  expect_error "A & | B" ~at:5 "expected a session name";
+  expect_error "(A & B" ~at:7 "unclosed '(' opened at column 1";
+  expect_error "A & (B | " ~at:10 "expected a session name";
+  expect_error "A B" ~at:3 "expected an operator";
+  expect_error "A ) B" ~at:3 "expected an operator"
+
+let test_ast_helpers () =
+  let e = parse "(A & B) \\ C ^ A" in
+  Alcotest.(check int) "depth" 3 (Expr.depth e);
+  Alcotest.(check (list string)) "leaves, distinct, in order" [ "A"; "B"; "C" ]
+    (Expr.leaves e);
+  Alcotest.(check int) "leaf depth" 0 (Expr.depth (leaf "A"));
+  let lookup = function "A" -> true | "B" -> true | _ -> false in
+  Alcotest.(check bool) "eval_bool" true (Expr.eval_bool lookup (parse "(A & B) \\ C"));
+  Alcotest.(check bool) "eval_bool sym-diff" false
+    (Expr.eval_bool lookup (parse "A ^ B"))
+
+(* --- parser: qcheck properties --- *)
+
+let names = [| "A"; "B"; "C"; "D2"; "x_1.y-z" |]
+
+let gen_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf_gen = map (fun i -> Expr.Leaf names.(i)) (int_bound 4) in
+           if n <= 0 then leaf_gen
+           else
+             let sub = self (n / 2) in
+             frequency
+               [
+                 (1, leaf_gen);
+                 (2, map2 (fun a b -> Expr.Union (a, b)) sub sub);
+                 (2, map2 (fun a b -> Expr.Inter (a, b)) sub sub);
+                 (2, map2 (fun a b -> Expr.Diff (a, b)) sub sub);
+                 (2, map2 (fun a b -> Expr.Sym_diff (a, b)) sub sub);
+               ]))
+
+let arb_expr = QCheck.make ~print:Expr.to_string gen_expr
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string e) = e" ~count:500 arb_expr (fun e ->
+      Expr.equal e (parse (Expr.to_string e)))
+
+let prop_print_parse_print_fixed =
+  QCheck.Test.make ~name:"to_string is a fixed point of parse" ~count:200 arb_expr
+    (fun e -> String.equal (Expr.to_string e) (Expr.to_string (parse (Expr.to_string e))))
+
+let prop_eval_consistent =
+  (* the printed form evaluates identically under every assignment of the
+     five leaf names — printing preserves semantics, not just shape *)
+  QCheck.Test.make ~name:"printed form keeps the truth table" ~count:100
+    (QCheck.pair arb_expr (QCheck.int_bound 31)) (fun (e, bits) ->
+      let lookup name =
+        let i = ref 0 in
+        Array.iteri (fun j n -> if String.equal n name then i := j) names;
+        bits land (1 lsl !i) <> 0
+      in
+      Expr.eval_bool lookup e = Expr.eval_bool lookup (parse (Expr.to_string e)))
+
+(* --- estimator vs exact ground truth ---
+
+   The universe is small enough to enumerate, so for each family we compute
+   the exact union, the exact |expr|, and drive Eval with uniform draws from
+   the enumerated union and exact membership probes.  The documented
+   exact-probe bound is eps_union + sqrt(3 ln(4/delta) / h) with
+   probability >= 1 - delta per run; over [n_seeds] independent runs we
+   assert every relative error within the bound at the run's observed
+   support (allowing the <= delta failure quota) and a much tighter median. *)
+
+let n_seeds = 40
+let m_samples = 2048
+let delta = 0.05
+
+let percentile sorted p =
+  sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted))))
+
+(* Run one family's workload: [universe] enumerates every element, [mem]
+   probes one leaf.  Returns (errors, bound_violations) across seeds. *)
+let run_trials (type elt) ~universe ~(mem : string -> elt -> bool) ~exprs
+    ~(estimate :
+       expr:Expr.t ->
+       union:float ->
+       draw:(int -> elt list) ->
+       probe:(string -> elt -> float) ->
+       exact_probes:bool ->
+       samples:int ->
+       delta:float ->
+       Expr.outcome) =
+  let in_union leaves x = List.exists (fun n -> mem n x) leaves in
+  List.concat_map
+    (fun expr ->
+      let leaves = Expr.leaves expr in
+      let union_elts =
+        Array.of_list (List.filter (in_union leaves) (Array.to_list universe))
+      in
+      let union = float_of_int (Array.length union_elts) in
+      let lookup x name = mem name x in
+      let tru =
+        float_of_int
+          (Array.fold_left
+             (fun acc x -> if Expr.eval_bool (lookup x) expr then acc + 1 else acc)
+             0 union_elts)
+      in
+      List.init n_seeds (fun seed ->
+          let rng = Rng.create ~seed:(1000 + (7 * seed)) in
+          let draw n =
+            List.init n (fun _ -> union_elts.(Rng.int rng (Array.length union_elts)))
+          in
+          let probe name x = if mem name x then 1.0 else 0.0 in
+          match
+            estimate ~expr ~union ~draw ~probe ~exact_probes:true ~samples:m_samples
+              ~delta
+          with
+          | Expr.Low_support { support; needed; _ } ->
+            Alcotest.failf "%s (seed %d): low support %.1f < %.1f — workload too thin"
+              (Expr.to_string expr) seed support needed
+          | Expr.Estimate { value; support; quality; _ } ->
+            if quality <> Expr.Exact_probes then
+              Alcotest.failf "%s: expected exact probes" (Expr.to_string expr);
+            let err = if tru = 0.0 then Float.abs value else Float.abs (value -. tru) /. tru in
+            let bound = sqrt (3.0 *. log (4.0 /. delta) /. support) in
+            (err, err > bound)))
+    exprs
+
+let check_trials name trials =
+  let errs = Array.of_list (List.map fst trials) in
+  Array.sort compare errs;
+  let violations = List.length (List.filter snd trials) in
+  let quota =
+    (* per-run failure probability is delta; leave slack for discreteness *)
+    int_of_float (ceil (2.0 *. delta *. float_of_int (List.length trials)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %d/%d runs exceed the documented bound (quota %d)" name
+       violations (List.length trials) quota)
+    true (violations <= quota);
+  let med = percentile errs 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: median relative error %.3f <= 0.15" name med)
+    true (med <= 0.15)
+
+(* depth 1, 2, 3 over three leaves *)
+let depth_exprs =
+  [ parse "A | B"; parse "A & B"; parse "A \\ B"; parse "(A & B) \\ C";
+    parse "(A | B) ^ C"; parse "((A | B) & C) ^ A" ]
+
+module REval = Expr.Eval (Rectangle)
+
+let test_eval_rect () =
+  let side = 24 in
+  let universe =
+    Array.init (side * side) (fun i -> [| i mod side; i / side |])
+  in
+  let gen = Rng.create ~seed:9 in
+  let boxes () =
+    List.init 8 (fun _ ->
+        let x0 = Rng.int gen side and y0 = Rng.int gen side in
+        let w = 2 + Rng.int gen 9 and h = 2 + Rng.int gen 9 in
+        Rectangle.create ~lo:[| x0; y0 |]
+          ~hi:[| min (side - 1) (x0 + w); min (side - 1) (y0 + h) |])
+  in
+  let sets = [ ("A", boxes ()); ("B", boxes ()); ("C", boxes ()) ] in
+  let mem name p = Exact.rectangle_union_mem (List.assoc name sets) p in
+  check_trials "rect"
+    (run_trials ~universe ~mem ~exprs:depth_exprs ~estimate:REval.estimate)
+
+module DEval = Expr.Eval (Dnf)
+
+let test_eval_dnf () =
+  let nvars = 10 in
+  let universe =
+    Array.init (1 lsl nvars) (fun v ->
+        Bitvec.of_string
+          (String.init nvars (fun i -> if v land (1 lsl i) <> 0 then '1' else '0')))
+  in
+  let gen = Rng.create ~seed:21 in
+  let terms () =
+    List.init 5 (fun _ ->
+        let v1 = Rng.int gen nvars in
+        let v2 = (v1 + 1 + Rng.int gen (nvars - 1)) mod nvars in
+        Dnf.create ~nvars
+          [
+            { Dnf.var = v1; positive = Rng.int gen 2 = 0 };
+            { Dnf.var = v2; positive = Rng.int gen 2 = 0 };
+          ])
+  in
+  let sets = [ ("A", terms ()); ("B", terms ()); ("C", terms ()) ] in
+  let mem name v = Exact.dnf_union_mem (List.assoc name sets) v in
+  check_trials "dnf"
+    (run_trials ~universe ~mem ~exprs:depth_exprs ~estimate:DEval.estimate)
+
+module CEval = Expr.Eval (Coverage)
+
+let test_eval_cov () =
+  let nbits = 8 and strength = 2 in
+  (* universe: every (position pair, 2-bit pattern) *)
+  let universe =
+    Array.of_list
+      (List.concat_map
+         (fun i ->
+           List.concat_map
+             (fun j ->
+               List.map
+                 (fun p ->
+                   {
+                     Coverage.positions = [| i; j |];
+                     pattern =
+                       Bitvec.of_string
+                         (String.init 2 (fun b -> if p land (1 lsl b) <> 0 then '1' else '0'));
+                   })
+                 [ 0; 1; 2; 3 ])
+             (List.init (nbits - i - 1) (fun d -> i + d + 1)))
+         (List.init nbits Fun.id))
+  in
+  let gen = Rng.create ~seed:33 in
+  let vectors () =
+    List.init 4 (fun _ ->
+        Bitvec.of_string
+          (String.init nbits (fun _ -> if Rng.int gen 2 = 0 then '0' else '1')))
+  in
+  let sets = [ ("A", vectors ()); ("B", vectors ()); ("C", vectors ()) ] in
+  let mem name e = Exact.coverage_union_mem ~strength (List.assoc name sets) e in
+  check_trials "cov"
+    (run_trials ~universe ~mem ~exprs:depth_exprs ~estimate:CEval.estimate)
+
+(* --- estimator edge cases --- *)
+
+let test_eval_edges () =
+  let no_draw _ = [] in
+  let no_probe _ _ = 0.0 in
+  (* empty union decides everything *)
+  (match
+     REval.estimate ~expr:(parse "A & B") ~union:0.0 ~draw:no_draw ~probe:no_probe
+       ~exact_probes:true ~samples:64 ~delta:0.1
+   with
+  | Expr.Estimate { value; _ } -> Alcotest.(check (float 0.0)) "empty union" 0.0 value
+  | Expr.Low_support _ -> Alcotest.fail "empty union must answer 0");
+  (* disjoint leaves: A & B finds no evidence -> Low_support, not 0-with-a-face *)
+  let universe = Array.init 100 (fun i -> [| i; 0 |]) in
+  let mem name (p : int array) = if name = "A" then p.(0) < 50 else p.(0) >= 50 in
+  let rng = Rng.create ~seed:5 in
+  let draw n = List.init n (fun _ -> universe.(Rng.int rng 100)) in
+  let probe name x = if mem name x then 1.0 else 0.0 in
+  (match
+     REval.estimate ~expr:(parse "A & B") ~union:100.0 ~draw ~probe
+       ~exact_probes:true ~samples:256 ~delta:0.1
+   with
+  | Expr.Low_support { support; needed; _ } ->
+    Alcotest.(check (float 0.0)) "no evidence at all" 0.0 support;
+    Alcotest.(check bool) "needed is min_support" true
+      (needed = Expr.min_support ~delta:0.1)
+  | Expr.Estimate { value; _ } ->
+    Alcotest.failf "disjoint intersection certified %.2f" value);
+  (* the leaf cap *)
+  let wide =
+    List.fold_left
+      (fun acc i -> Expr.Union (acc, leaf (Printf.sprintf "s%d" i)))
+      (leaf "s0")
+      (List.init Expr.max_leaves (fun i -> i + 1))
+  in
+  (match
+     REval.estimate ~expr:wide ~union:1.0 ~draw ~probe ~exact_probes:true ~samples:8
+       ~delta:0.1
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "13 leaves must be refused");
+  match
+    REval.estimate ~expr:(parse "A") ~union:1.0 ~draw ~probe ~exact_probes:true
+      ~samples:0 ~delta:0.1
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "samples = 0 must be refused"
+
+(* --- sketch regime: the stratified estimator through real sketches ---
+
+   Drawing from a sketch merged from the probed leaves would share coins
+   with the probes and bias intersections several-fold high (observed ~4.4x
+   before the estimator was stratified), so the sketch path draws from each
+   leaf's own bucket and importance-corrects by 1/multiplicity.  Sessions
+   flip independent coins, so the cross-leaf probes are unbiased and the
+   20-run mean should land close to the exact intersection. *)
+
+module RA = Delphic_core.Adaptive.Make (Rectangle)
+
+let test_eval_sketch_probes () =
+  let side = 200 in
+  let gen = Rng.create ~seed:13 in
+  let boxes n =
+    List.init n (fun _ ->
+        let x0 = Rng.int gen side and y0 = Rng.int gen side in
+        let w = 3 + Rng.int gen 20 and h = 3 + Rng.int gen 20 in
+        Rectangle.create ~lo:[| x0; y0 |]
+          ~hi:[| min (side - 1) (x0 + w); min (side - 1) (y0 + h) |])
+  in
+  let set_a = boxes 60 and set_b = boxes 60 in
+  (* a tiny exact budget forces both sessions into the sketch regime *)
+  let session seed bs =
+    let t =
+      RA.create ~exact_capacity:32 ~epsilon:0.15 ~delta:0.1 ~log2_universe:16.0 ~seed ()
+    in
+    List.iter (RA.process t) bs;
+    t
+  in
+  let a = session 71 set_a and b = session 72 set_b in
+  Alcotest.(check bool) "A sketching" false (RA.is_exact a);
+  let ests = [ ("A", a); ("B", b) ] in
+  let errs =
+    List.init 20 (fun i ->
+        match
+          REval.estimate_stratified ~expr:(parse "A & B")
+            ~leaf_sizes:(List.map (fun (n, e) -> (n, RA.estimate e)) ests)
+            ~draw_leaf:(fun name n -> RA.sample_union_n (List.assoc name ests) n)
+            ~probe:(fun name x -> RA.probe_weight (List.assoc name ests) x)
+            ~samples:(2048 + i) ~delta:0.1
+        with
+        | Expr.Estimate { value; quality; _ } ->
+          Alcotest.(check bool) (Printf.sprintf "run %d: sketch quality" i) true
+            (quality = Expr.Sketch_probes);
+          Some value
+        | Expr.Low_support _ -> None)
+  in
+  let vals = List.filter_map Fun.id errs in
+  Alcotest.(check bool) "most runs certify" true (List.length vals >= 15);
+  let mean = List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals) in
+  let tru =
+    let inter = ref 0 in
+    for x = 0 to side - 1 do
+      for y = 0 to side - 1 do
+        let p = [| x; y |] in
+        if Exact.rectangle_union_mem set_a p && Exact.rectangle_union_mem set_b p then
+          incr inter
+      done
+    done;
+    float_of_int !inter
+  in
+  (* stratified draws + HT probes are unbiased but noisy; the mean of 20
+     runs through real sketches should land well inside a loose envelope *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sketch-probe mean %.0f within 40%% of %.0f" mean tru)
+    true
+    (Float.abs (mean -. tru) <= 0.40 *. tru)
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_print_parse_print_fixed; prop_eval_consistent ]
+
+let suite =
+  [
+    Alcotest.test_case "parser precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser error positions" `Quick test_parse_errors;
+    Alcotest.test_case "AST helpers" `Quick test_ast_helpers;
+    Alcotest.test_case "eval vs exact: rect" `Quick test_eval_rect;
+    Alcotest.test_case "eval vs exact: dnf" `Quick test_eval_dnf;
+    Alcotest.test_case "eval vs exact: coverage" `Quick test_eval_cov;
+    Alcotest.test_case "eval edge cases" `Quick test_eval_edges;
+    Alcotest.test_case "sketch-regime HT probes" `Quick test_eval_sketch_probes;
+  ]
+  @ qcheck_suite

@@ -82,7 +82,20 @@ let test_parse_requests () =
   Alcotest.check request "close" (P.Close { session = "s1" }) (parse_ok "CLOSE s1");
   Alcotest.check request "ping" P.Ping (parse_ok "PING");
   Alcotest.check request "hello" P.Hello (parse_ok "HELLO");
-  Alcotest.check request "hello (case)" P.Hello (parse_ok "hello")
+  Alcotest.check request "hello (case)" P.Hello (parse_ok "hello");
+  Alcotest.check request "expr"
+    (P.Expr
+       {
+         expr = P.Expr_ast.Diff (P.Expr_ast.Inter (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B"), P.Expr_ast.Leaf "C");
+         m = None;
+       })
+    (parse_ok "EXPR (A & B) \\ C");
+  Alcotest.check request "expr with sample override"
+    (P.Expr { expr = P.Expr_ast.Union (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B"); m = Some 1024 })
+    (parse_ok "EXPR m=1024 A | B");
+  Alcotest.check request "m= is not a leaf prefix"
+    (P.Expr { expr = P.Expr_ast.Leaf "m0"; m = None })
+    (parse_ok "EXPR m0")
 
 let test_parse_errors () =
   Alcotest.(check string) "empty" "EMPTY" (parse_err "");
@@ -107,7 +120,17 @@ let test_parse_errors () =
   Alcotest.(check string) "addb count mismatch" "ARITY" (parse_err "ADDB s1 3 a b");
   Alcotest.(check string) "addb bad count" "BAD-NUMBER" (parse_err "ADDB s1 x a");
   Alcotest.(check string) "addb zero count" "BAD-NUMBER" (parse_err "ADDB s1 0");
-  Alcotest.(check string) "addb bad escape" "PARSE" (parse_err "ADDB s1 1 a%ZZb")
+  Alcotest.(check string) "addb bad escape" "PARSE" (parse_err "ADDB s1 1 a%ZZb");
+  Alcotest.(check string) "expr arity" "ARITY" (parse_err "EXPR");
+  Alcotest.(check string) "expr arity with only m=" "ARITY" (parse_err "EXPR m=64");
+  Alcotest.(check string) "expr zero samples" "BAD-NUMBER" (parse_err "EXPR m=0 A");
+  Alcotest.(check string) "expr bad sample count" "BAD-NUMBER" (parse_err "EXPR m=lots A");
+  Alcotest.(check string) "malformed expression" "BAD-EXPR" (parse_err "EXPR A &");
+  (match P.parse_request "EXPR (A & B" with
+  | Error (P.Bad_expr { pos; _ }) ->
+    (* columns count within the expression text, not the wire line *)
+    Alcotest.(check int) "expr error column" 7 pos
+  | _ -> Alcotest.fail "unclosed paren must be BAD-EXPR")
 
 let test_payload_armor () =
   Alcotest.(check string) "spaces escape" "0%209%200%209" (P.armor_payload "0 9 0 9");
@@ -175,6 +198,15 @@ let test_request_roundtrip () =
       P.Close { session = "s" };
       P.Ping;
       P.Hello;
+      P.Expr
+        {
+          expr =
+            P.Expr_ast.Sym_diff
+              ( P.Expr_ast.Union (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B"),
+                P.Expr_ast.Inter (P.Expr_ast.Leaf "C", P.Expr_ast.Leaf "A") );
+          m = None;
+        };
+      P.Expr { expr = P.Expr_ast.Leaf "shard-1.us"; m = Some 4096 };
     ]
 
 let gen_session =
@@ -244,6 +276,7 @@ let all_errors =
     P.Session_exists "s1";
     P.Bad_params "epsilon must lie in (0, 1)";
     P.Bad_line { line = 7; msg = "not an integer: bogus" };
+    P.Bad_expr { pos = 7; msg = "unclosed '(' opened at column 1" };
     P.Io_error "no such file";
     P.Server_error "boom";
   ]
@@ -262,6 +295,34 @@ let test_wire_forms () =
   (match P.parse_response "ERR UNKNOWN-COMMAND FROB" with
   | Ok (P.Error_reply (P.Unknown_command "FROB")) -> ()
   | _ -> Alcotest.fail "legacy UNKNOWN-COMMAND spelling must still parse");
+  (* payload-free errors render without a trailing space *)
+  Alcotest.(check string)
+    "empty-request error has no trailing space" "ERR EMPTY"
+    (P.render_response (P.Error_reply P.Empty_request));
+  Alcotest.(check string)
+    "certified expr reply" "EXPR 1234.5 support=96 m=2048 probes=exact"
+    (P.render_response
+       (P.Expr_reply
+          {
+            value = Some 1234.5;
+            support = 96.0;
+            needed = 0.0;
+            samples = 2048;
+            quality = P.Probes_exact;
+            degraded = false;
+          }));
+  Alcotest.(check string)
+    "low-support expr reply" "EXPR LOWSUPPORT support=12.5 need=70.5 m=256 probes=sketch DEGRADED"
+    (P.render_response
+       (P.Expr_reply
+          {
+            value = None;
+            support = 12.5;
+            needed = 70.5;
+            samples = 256;
+            quality = P.Probes_sketch;
+            degraded = true;
+          }));
   (* pre-cluster STATS lines (no merges=) parse with merges = 0 *)
   match
     P.parse_response
@@ -302,6 +363,33 @@ let test_response_roundtrip () =
       P.Pong;
       P.Hello_reply { generation = 1 };
       P.Hello_reply { generation = 0x40000000 lor 12345 };
+      P.Expr_reply
+        {
+          value = Some 1745152.0;
+          support = 812.0;
+          needed = 0.0;
+          samples = 2048;
+          quality = P.Probes_exact;
+          degraded = false;
+        };
+      P.Expr_reply
+        {
+          value = Some 0.25;
+          support = 71.5;
+          needed = 0.0;
+          samples = 64;
+          quality = P.Probes_sketch;
+          degraded = true;
+        };
+      P.Expr_reply
+        {
+          value = None;
+          support = 12.5;
+          needed = 70.5;
+          samples = 256;
+          quality = P.Probes_sketch;
+          degraded = false;
+        };
     ]
     @ List.map (fun e -> P.Error_reply e) all_errors
   in
@@ -564,6 +652,47 @@ let test_dispatch_unsupported () =
     (P.Estimate { value = 100.0; degraded = false })
     (dispatch reg "EST s")
 
+(* EXPR through the registry: exact-regime sessions make the answers
+   deterministic — every union sample of [A | B] is a hit, so the reply is
+   exactly the union size; disjoint leaves yield LOWSUPPORT; unknown leaves
+   and mixed families are clean errors that leave the sessions working. *)
+let test_dispatch_expr () =
+  let reg = Registry.create ~seed:61 () in
+  ignore (dispatch reg "OPEN A rect 0.3 0.2 20");
+  ignore (dispatch reg "OPEN B rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD A 0 9 0 9");
+  ignore (dispatch reg "ADD B 5 14 0 9");
+  (match dispatch reg "EXPR A | B" with
+  | P.Expr_reply { value = Some v; support; samples; quality; degraded; _ } ->
+    Alcotest.(check (float 0.0)) "A | B is the whole union" 150.0 v;
+    Alcotest.(check (float 0.0)) "every draw hits" (float_of_int samples) support;
+    Alcotest.(check int) "default sample count" 256 samples;
+    Alcotest.(check bool) "exact probes" true (quality = P.Probes_exact);
+    Alcotest.(check bool) "single registry is never degraded" false degraded
+  | r -> Alcotest.failf "EXPR A | B: %s" (P.render_response r));
+  (match dispatch reg "EXPR m=64 A | B" with
+  | P.Expr_reply { samples = 64; _ } -> ()
+  | r -> Alcotest.failf "EXPR m=64: %s" (P.render_response r));
+  (* disjoint sessions: no evidence for the intersection *)
+  ignore (dispatch reg "OPEN far rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD far 500 509 500 509");
+  (match dispatch reg "EXPR m=128 A & far" with
+  | P.Expr_reply { value = None; support; needed; _ } ->
+    Alcotest.(check (float 0.0)) "no evidence" 0.0 support;
+    Alcotest.(check bool) "needed is positive" true (needed > 0.0)
+  | r -> Alcotest.failf "EXPR A & far: %s" (P.render_response r));
+  (match dispatch reg "EXPR A & ghost" with
+  | P.Error_reply e -> Alcotest.(check string) "unknown leaf" "UNKNOWN-SESSION" (P.error_code e)
+  | r -> Alcotest.failf "EXPR A & ghost: %s" (P.render_response r));
+  ignore (dispatch reg "OPEN D dnf:8 0.3 0.2 8");
+  (match dispatch reg "EXPR A & D" with
+  | P.Error_reply e -> Alcotest.(check string) "mixed family" "BAD-PARAMS" (P.error_code e)
+  | r -> Alcotest.failf "EXPR A & D: %s" (P.render_response r));
+  (* the query cloned its leaves: the live sessions keep ingesting *)
+  Alcotest.check response "A still serves EST"
+    (P.Estimate { value = 100.0; degraded = false })
+    (dispatch reg "EST A")
+
 (* Striped locking under fire: two writers hammering ADDB into different
    sessions, a reader spinning EST/STATS/FETCH on a third, and the main
    thread taking whole-table snapshots throughout.  Exact-regime sessions
@@ -683,6 +812,7 @@ let suite =
     Alcotest.test_case "dispatch snapshot/restore" `Quick test_dispatch_snapshot_restore;
     Alcotest.test_case "dispatch fetch/merge" `Quick test_dispatch_fetch_merge;
     Alcotest.test_case "dispatch unsupported verb" `Quick test_dispatch_unsupported;
+    Alcotest.test_case "dispatch expr" `Quick test_dispatch_expr;
     Alcotest.test_case "striped registry under concurrent fire" `Quick
       test_striped_concurrency;
   ]
