@@ -15,12 +15,14 @@
               dune exec bench/main.exe -- ingest  (ADDB batch-size sweep)
               dune exec bench/main.exe -- gather  (worker x fold-strategy sweep)
               dune exec bench/main.exe -- wal     (journal fsync-policy sweep)
+              dune exec bench/main.exe -- window  (WIN window-length sweep)
 
    Any benchmarking mode also accepts [--json FILE] to write the measured
    rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
    cluster mode defaults to BENCH_cluster.json, the ingest mode to
    BENCH_ingest.json, the gather mode to BENCH_gather.json, the wal mode
-   to BENCH_wal.json and the expr mode to BENCH_expr.json. *)
+   to BENCH_wal.json, the expr mode to BENCH_expr.json and the window
+   mode to BENCH_window.json. *)
 
 open Bechamel
 open Toolkit
@@ -649,6 +651,65 @@ let run_expr ?(json = "BENCH_expr.json") () =
   print_rows ~title:"EXPR query sweep (3-worker loopback cluster)" rows;
   write_json ~path:json rows
 
+(* Windowed query cost over a 3-worker cluster: WIN swept across window
+   lengths (1 s / 10 s / 60 s) in two regimes, with idle EST as the
+   yardstick.  Idle leans on the cutoff-bucket quantization: repeated WIN
+   inside one bucket ships byte-identical Fetch cutoffs, so the workers'
+   wire caches and the coordinator's fold memo serve it just like EST —
+   the design target is idle WIN within ~3x idle EST.  Live scatters 8
+   ADDB-framed adds between queries, so every query re-gathers and
+   re-folds. *)
+let run_window ?(json = "BENCH_window.json") () =
+  let coord, payloads, teardown =
+    cluster_env ~n_workers:3 ~count:300 ~seed:200 ()
+  in
+  let windows = [ 1.0; 10.0; 60.0 ] in
+  (* warm the wire caches and fold memos for the idle rows *)
+  ignore (Coordinator.estimate coord ~name:"bench");
+  List.iter
+    (fun s -> ignore (Coordinator.win coord ~name:"bench" ~seconds:s ~at:None))
+    windows;
+  let win s () = ignore (Coordinator.win coord ~name:"bench" ~seconds:s ~at:None) in
+  let arr = Array.of_list payloads in
+  let i = ref 0 in
+  let live s () =
+    for _ = 1 to 8 do
+      ignore (Coordinator.add coord ~name:"bench" ~payload:arr.(!i));
+      i := (!i + 1) mod Array.length arr
+    done;
+    win s ()
+  in
+  let tests =
+    Test.make_grouped ~name:"window"
+      (Test.make ~name:"est-idle" (Staged.stage (fun () -> idle_gather coord ()))
+      :: List.concat_map
+           (fun s ->
+             [
+               Test.make
+                 ~name:(Printf.sprintf "win-idle/%gs" s)
+                 (Staged.stage (win s));
+               Test.make
+                 ~name:(Printf.sprintf "win-live/%gs" s)
+                 (Staged.stage (live s));
+             ])
+           windows)
+  in
+  let rows = run_bechamel tests in
+  teardown ();
+  print_rows ~title:"Windowed query sweep (3-worker loopback cluster)" rows;
+  (match List.assoc_opt "window/est-idle" rows with
+  | Some est when est > 0.0 ->
+    List.iter
+      (fun s ->
+        match List.assoc_opt (Printf.sprintf "window/win-idle/%gs" s) rows with
+        | Some w ->
+          Printf.printf "win-idle/%gs = %.2fx est-idle%s\n" s (w /. est)
+            (if w <= 3.0 *. est then "" else "  (above the 3x target)")
+        | None -> ())
+      windows
+  | _ -> ());
+  write_json ~path:json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split mode json = function
@@ -664,10 +725,10 @@ let () =
   let mode = Option.value mode ~default:"all" in
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
-  | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" -> ()
+  | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" | "window" -> ()
   | m ->
     Printf.eprintf
-      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr or all)\n"
+      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr, window or all)\n"
       m;
     exit 2);
   (match mode with
@@ -691,6 +752,10 @@ let () =
     match json with
     | Some path -> run_expr ~json:path ()
     | None -> run_expr ())
+  | "window" -> (
+    match json with
+    | Some path -> run_window ~json:path ()
+    | None -> run_window ())
   | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();

@@ -639,11 +639,35 @@ let query_cmd =
   let commands =
     let doc =
       "Request lines to send (e.g. \"PING\", \"OPEN s1 rect 0.2 0.1 40\", \
-       \"EXPR (A & B) \\\\ C\"); with none, lines are read from stdin."
+       \"ADD s1 t=12.5 0 9 0 9\", \"WIN s1 60\", \"EXPR (A & B) \\\\ C\"); \
+       with none, lines are read from stdin."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
   in
-  let run port host commands =
+  let at =
+    let doc =
+      "Pin the logical clock at $(docv) seconds: WIN lines without an \
+       explicit $(b,at=) are pinned to it, and ADD/ADDB lines without \
+       $(b,t=) are stamped with it — reproducible windowed runs without \
+       editing every line."
+    in
+    Arg.(value & opt (some float) None & info [ "at" ] ~docv:"SECS" ~doc)
+  in
+  let run port host at commands =
+    let pin line =
+      match at with
+      | None -> line
+      | Some a -> (
+        let module P = Delphic_server.Protocol in
+        match P.parse_request line with
+        | Ok (P.Win ({ at = None; _ } as r)) ->
+          P.render_request (P.Win { r with at = Some a })
+        | Ok (P.Add ({ ts = None; _ } as r)) ->
+          P.render_request (P.Add { r with ts = Some a })
+        | Ok (P.Add_batch ({ ts = None; _ } as r)) ->
+          P.render_request (P.Add_batch { r with ts = Some a })
+        | Ok _ | Error _ -> line (* anything else goes out verbatim *))
+    in
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
     (try Unix.connect fd addr
@@ -655,6 +679,7 @@ let query_cmd =
     let oc = Unix.out_channel_of_descr fd in
     let failures = ref 0 in
     let roundtrip line =
+      let line = pin line in
       output_string oc line;
       output_char oc '\n';
       flush oc;
@@ -679,9 +704,12 @@ let query_cmd =
   in
   let doc =
     "Send protocol requests to a running $(b,delphic serve) and print the \
-     replies (exit 3 if any reply is an ERR)."
+     replies (exit 3 if any reply is an ERR).  Supports the full grammar \
+     including timestamped ingestion (ADD/ADDB $(b,t=) tokens) and windowed \
+     queries ($(b,WIN <session> <seconds> [at=<secs>])); $(b,--at) pins the \
+     logical clock across a whole scripted run."
   in
-  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ port_arg $ host_arg $ commands)
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ port_arg $ host_arg $ at $ commands)
 
 (* experiments *)
 

@@ -12,8 +12,15 @@ type sharding = Round_robin | By_hash
 
 (* One wire frame awaiting its single reply line: either a legacy [ADD]
    (one item) or an [ADDB] carrying the whole array.  [bitems] keeps each
-   payload's hop count so a replay after worker death still converges. *)
-type batch = { bsession : string; bitems : (string * int) array (* payload, hops *) }
+   payload's hop count so a replay after worker death still converges.
+   [bts] is the frame's ingest timestamp — [ADDB] stamps a whole frame, so
+   only same-timestamp payloads share one; [None] lets the worker stamp its
+   own receive time. *)
+type batch = {
+  bsession : string;
+  bts : float option;
+  bitems : (string * int) array; (* payload, hops *)
+}
 
 type worker = {
   wid : int;
@@ -28,9 +35,9 @@ type worker = {
          reconnect that reads the same nonzero generation is a connection
          blip — the process (and its state) survived — and skips the
          re-open/reinject sweep entirely. *)
-  staged : (string * string * int) Queue.t;
-      (* routed but not yet framed: (session, payload, hops).  Nothing here
-         has touched the socket; a death replays these verbatim. *)
+  staged : (string * string * float option * int) Queue.t;
+      (* routed but not yet framed: (session, payload, ts, hops).  Nothing
+         here has touched the socket; a death replays these verbatim. *)
   pending : batch Queue.t; (* frames on the wire, one reply line owed each *)
   mutable in_flight : int; (* payload units across [pending] *)
   last_good : (string, Io.t) Hashtbl.t; (* session -> last fetched sketch *)
@@ -47,12 +54,13 @@ type session_info = {
   mutable rejects : int; (* Bad_line acks seen for this session *)
   mutable lost : int; (* adds dropped because no worker would take them *)
   mutable merges : int; (* gather folds performed *)
-  (* Memoised fold: the wire tokens of the last all-fresh gather and the
-     sketch they folded to.  Workers encode lazily ({!Registry.fetch}'s
-     wire cache), so a quiescent cluster answers every worker with a
-     byte-identical token and the whole decode + merge tree is skipped —
-     repeated EST on an idle cluster costs the RPCs alone. *)
-  mutable fold_cache : (string array * Families.t) option;
+  (* Memoised fold: the cutoff and wire tokens of the last all-fresh gather
+     and the sketch they folded to.  Workers encode lazily
+     ({!Registry.fetch}'s wire cache), so a quiescent cluster answers every
+     worker with a byte-identical token and the whole decode + merge tree is
+     skipped — repeated EST (and repeated WIN at a stable cutoff bucket) on
+     an idle cluster costs the RPCs alone. *)
+  mutable fold_cache : (float option * string array * Families.t) option;
 }
 
 type t = {
@@ -64,6 +72,8 @@ type t = {
   window : int; (* unacked payload units per worker before a drain *)
   batch : int; (* max payloads per ADDB frame; the flush high-water mark *)
   gather_domains : int; (* domains for the gather decode/merge tree *)
+  clock : unit -> float; (* query instant for un-pinned WIN / EXPR w= *)
+  cutoff_bucket : float; (* window cutoffs quantize down to this grain *)
   seed : int;
   io : Rpc.io; (* socket ops for every worker connection (chaos hook) *)
   rng : Rng.t; (* backoff jitter; guarded by [lock] like everything else *)
@@ -73,7 +83,7 @@ type t = {
   (* Payloads refused by an ack (e.g. UNKNOWN-SESSION from a worker that
      restarted with partial state): parked here by [retire_ack] — which can
      run deep inside a drain — and re-routed at the next safe point. *)
-  orphans : (string * string * int) Queue.t;
+  orphans : (string * string * float option * int) Queue.t;
   (* While a gather has Fetch requests on the wire, a dying worker must not
      trigger an immediate requeue: re-routing its orphans would stage new
      frames on peers *behind* their un-collected sketch replies and misframe
@@ -89,13 +99,15 @@ type t = {
 }
 
 let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
-    ?(window = 256) ?(batch = 64) ?gather_domains ?(io = Rpc.default_io) ~workers ~seed
-    () =
+    ?(window = 256) ?(batch = 64) ?gather_domains ?(io = Rpc.default_io)
+    ?(clock = Unix.gettimeofday) ?(cutoff_bucket = 1.0) ~workers ~seed () =
   if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
   if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
   if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
   if window < 1 then invalid_arg "Coordinator.create: need window >= 1";
   if batch < 1 then invalid_arg "Coordinator.create: need batch >= 1";
+  if not (cutoff_bucket > 0.0) then
+    invalid_arg "Coordinator.create: need cutoff_bucket > 0";
   let gather_domains =
     match gather_domains with
     | None -> Parallel.default_domains ()
@@ -129,6 +141,8 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     window;
     batch;
     gather_domains;
+    clock;
+    cutoff_bucket;
     seed;
     io;
     rng = Rng.create ~seed:(seed lxor 0x2545F491);
@@ -332,7 +346,8 @@ let retire_ack t w reply =
           m "worker %s: ingest refused (%s) — re-routing %d payload(s)" (address w)
             (P.describe_error e) (Array.length b.bitems));
       Array.iter
-        (fun (payload, hops) -> Queue.push (b.bsession, payload, hops + 1) t.orphans)
+        (fun (payload, hops) ->
+          Queue.push (b.bsession, payload, b.bts, hops + 1) t.orphans)
         b.bitems
     | r ->
       (* non-error, non-ack: the reply stream itself is suspect *)
@@ -371,28 +386,29 @@ let flush_worker t w =
       !kill_requeue t w
     | Some conn ->
       while not (Queue.is_empty w.staged) do
-        let s0, p0, h0 = Queue.pop w.staged in
+        let s0, p0, ts0, h0 = Queue.pop w.staged in
         let items = ref [ (p0, h0) ] in
         let count = ref 1 in
-        let same_session = ref true in
-        while !same_session && !count < t.batch do
+        let same_run = ref true in
+        (* an ADDB frame carries one t=, so only same-timestamp runs batch *)
+        while !same_run && !count < t.batch do
           match Queue.peek_opt w.staged with
-          | Some (s, _, _) when String.equal s s0 ->
-            let _, p, h = Queue.pop w.staged in
+          | Some (s, _, ts, _) when String.equal s s0 && ts = ts0 ->
+            let _, p, _, h = Queue.pop w.staged in
             items := (p, h) :: !items;
             incr count
-          | _ -> same_session := false
+          | _ -> same_run := false
         done;
         let bitems = Array.of_list (List.rev !items) in
         let req =
           match bitems with
-          | [| (payload, _) |] -> P.Add { session = s0; payload }
+          | [| (payload, _) |] -> P.Add { session = s0; payload; ts = ts0 }
           | _ ->
             P.Add_batch
-              { session = s0; payloads = Array.to_list (Array.map fst bitems) }
+              { session = s0; payloads = Array.to_list (Array.map fst bitems); ts = ts0 }
         in
         Rpc.stage conn req;
-        Queue.push { bsession = s0; bitems } w.pending;
+        Queue.push { bsession = s0; bts = ts0; bitems } w.pending;
         w.in_flight <- w.in_flight + Array.length bitems
       done;
       (match Rpc.flush_staged conn with
@@ -405,7 +421,7 @@ let flush_worker t w =
    giving up after every worker has been tried [hops] times over.  Routing
    only stages — the socket is touched when the worker's staging queue
    reaches the batch high-water mark (or at an explicit [flush]/gather). *)
-let route t si name payload ~start ~hops =
+let route t si name payload ~ts ~start ~hops =
   let n = Array.length t.workers in
   if hops > n then begin
     si.lost <- si.lost + 1;
@@ -424,7 +440,7 @@ let route t si name payload ~start ~hops =
       si.lost <- si.lost + 1;
       Error (P.Server_error "no workers available")
     | Some (w, _conn) ->
-      Queue.push (name, payload, hops) w.staged;
+      Queue.push (name, payload, ts, hops) w.staged;
       if Queue.length w.staged >= t.batch then begin
         flush_worker t w;
         (* keep half the window in flight so the pipe never fully stalls *)
@@ -442,18 +458,20 @@ let requeue t w =
   let orphans = ref [] in
   Queue.iter
     (fun b ->
-      Array.iter (fun (payload, hops) -> orphans := (b.bsession, payload, hops) :: !orphans) b.bitems)
+      Array.iter
+        (fun (payload, hops) -> orphans := (b.bsession, payload, b.bts, hops) :: !orphans)
+        b.bitems)
     w.pending;
   Queue.iter (fun item -> orphans := item :: !orphans) w.staged;
   Queue.clear w.pending;
   Queue.clear w.staged;
   w.in_flight <- 0;
   List.iter
-    (fun (session, payload, hops) ->
+    (fun (session, payload, ts, hops) ->
       match Hashtbl.find_opt t.sessions session with
       | None -> ()
       | Some si -> (
-        match route t si session payload ~start:(w.wid + 1) ~hops:(hops + 1) with
+        match route t si session payload ~ts ~start:(w.wid + 1) ~hops:(hops + 1) with
         | Ok () -> ()
         | Error _ -> () (* already counted in si.lost *)))
     (List.rev !orphans)
@@ -509,11 +527,11 @@ let shard_start t si payload =
 let reroute_orphans t =
   if not t.in_gather then
     while not (Queue.is_empty t.orphans) do
-      let session, payload, hops = Queue.pop t.orphans in
+      let session, payload, ts, hops = Queue.pop t.orphans in
       match Hashtbl.find_opt t.sessions session with
       | None -> ()
       | Some si -> (
-        match route t si session payload ~start:(shard_start t si payload) ~hops with
+        match route t si session payload ~ts ~start:(shard_start t si payload) ~hops with
         | Ok () -> ()
         | Error _ -> () (* already counted in si.lost *))
     done
@@ -575,19 +593,19 @@ let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
         else Ok ()
       end)
 
-let add t ~name ~payload =
+let add ?ts t ~name ~payload =
   with_lock t (fun () ->
       match find_session t name with
       | Error e -> Error e
       | Ok si ->
-        let r = route t si name payload ~start:(shard_start t si payload) ~hops:0 in
+        let r = route t si name payload ~ts ~start:(shard_start t si payload) ~hops:0 in
         reroute_orphans t;
         r)
 
 (* A whole client ADDB frame routed under one lock acquisition.  Each
    payload still shards independently (By_hash must keep duplicates
    colocated), so a frame may fan out across workers and re-batch there. *)
-let add_batch t ~name ~payloads =
+let add_batch ?ts t ~name ~payloads =
   with_lock t (fun () ->
       match find_session t name with
       | Error e -> Error e
@@ -596,7 +614,9 @@ let add_batch t ~name ~payloads =
         let errors = ref [] in
         List.iteri
           (fun i payload ->
-            match route t si name payload ~start:(shard_start t si payload) ~hops:0 with
+            match
+              route t si name payload ~ts ~start:(shard_start t si payload) ~hops:0
+            with
             | Ok () -> incr accepted
             | Error e -> errors := (i, P.describe_error e) :: !errors)
           payloads;
@@ -638,8 +658,14 @@ let flush t =
    fast worker's already-buffered reply is still collected at budget zero,
    so gather latency is max-of-workers, not sum-of-workers.  Phase three
    decodes each sketch in its own task and folds them with a balanced merge
-   tree ({!Parallel.reduce}), O(log k) depth across [gather_domains]. *)
-let gather t si name =
+   tree ({!Parallel.reduce}), O(log k) depth across [gather_domains].
+
+   [cutoff] makes the gather windowed: the absolute instant is computed once
+   by the caller and shipped verbatim in every Fetch, so all replicas expire
+   against the same wall-clock point.  A windowed gather never updates
+   [last_good] (a restricted sketch must not become the full-estimate
+   fallback) and memoises its fold under its own cutoff key. *)
+let gather ?cutoff t si name =
   let deadline = Unix.gettimeofday () +. t.timeout in
   let n = Array.length t.workers in
   (* per worker: frames owed ahead of the sketch reply; -1 = never asked *)
@@ -667,7 +693,7 @@ let gather t si name =
             (match w.conn with
             | None -> ()
             | Some conn ->
-              Rpc.stage conn (P.Fetch { session = name });
+              Rpc.stage conn (P.Fetch { session = name; cutoff });
               (match Rpc.flush_staged conn with
               | Ok () -> expect.(i) <- Queue.length w.pending
               | Error msg ->
@@ -748,8 +774,9 @@ let gather t si name =
     in
     let cached =
       match (all_fresh, si.fold_cache) with
-      | Some encs, Some (prev, folded)
-        when Array.length prev = Array.length encs
+      | Some encs, Some (prev_cut, prev, folded)
+        when prev_cut = cutoff
+             && Array.length prev = Array.length encs
              && Array.for_all2 String.equal prev encs ->
         Some folded
       | _ -> None
@@ -812,8 +839,8 @@ let gather t si name =
           Log.warn (fun m -> m "worker %s: bad sketch: %s" (address w) msg)
         | None -> ());
         match fresh_io.(i) with
-        | Some io -> Hashtbl.replace w.last_good name io
-        | None -> ())
+        | Some io when cutoff = None -> Hashtbl.replace w.last_good name io
+        | Some _ | None -> ())
       parts;
     (match root with
     | None | Some (Ok None) ->
@@ -827,7 +854,7 @@ let gather t si name =
       (* only a gather where every token decoded cleanly may seed the memo —
          [degraded] picks up bad_wire fallbacks after the join, so re-check *)
       (match all_fresh with
-      | Some encs when not !degraded -> si.fold_cache <- Some (encs, folded)
+      | Some encs when not !degraded -> si.fold_cache <- Some (cutoff, encs, folded)
       | _ -> ());
       Ok (folded, !degraded)))
 
@@ -841,6 +868,45 @@ let estimate t ~name =
         | Ok (folded, degraded) ->
           let value = Families.estimate folded in
           si.last_estimate <- value;
+          si.degraded <- degraded;
+          Ok (value, degraded)))
+
+(* The query's absolute cutoff, computed once coordinator-side.  An
+   un-pinned instant comes from the injectable clock and is quantized down
+   to [cutoff_bucket] so repeated idle-cluster WINs inside one bucket ship
+   byte-identical Fetch cutoffs — the workers' wire caches and the fold memo
+   then both hit.  A pinned [at] is taken exactly (reproducible runs). *)
+let win_cutoff t ~seconds ~at =
+  let instant =
+    match at with
+    | Some a -> a
+    | None ->
+      let now = t.clock () in
+      Float.floor (now /. t.cutoff_bucket) *. t.cutoff_bucket
+  in
+  instant -. seconds
+
+let win t ~name ~seconds ~at =
+  with_lock t (fun () ->
+      match find_session t name with
+      | Error e -> Error e
+      | Ok si ->
+        let cutoff = win_cutoff t ~seconds ~at in
+        (* an infinite window is a plain estimate: gather un-windowed so the
+           fetch shares EST's memo and refreshes [last_good] *)
+        let cutoff = if Float.is_finite cutoff then Some cutoff else None in
+        (match gather ?cutoff t si name with
+        | Error e -> Error e
+        | Ok (folded, degraded) ->
+          let value =
+            match cutoff with
+            | None -> Families.estimate folded
+            | Some c ->
+              (* re-filter on the fold: fresh parts are already restricted
+                 (no-op), but a degraded gather's stale full fallback still
+                 carries its timestamps and gets windowed correctly here *)
+              Families.estimate_window folded ~cutoff:c
+          in
           si.degraded <- degraded;
           Ok (value, degraded)))
 
@@ -867,8 +933,13 @@ let stats t ~name =
    exactly as EST gathers it — same degraded/last-good fallback, same
    per-session fold memo — and the cross-session union fold plus the
    sample-and-probe evaluation run coordinator-side on the folded sketches.
-   The answer is degraded iff any leaf's gather was. *)
-let expr_query t ~expr ~m =
+   The answer is degraded iff any leaf's gather was.
+
+   [w] windows the query: each leaf still gathers un-windowed (sharing EST's
+   fold memo and refreshing last_good), then the coordinator restricts each
+   folded leaf against one cutoff computed up front — so all leaves, and any
+   stale fallback inside them, see the same instant. *)
+let expr_query ?w t ~expr ~m =
   with_lock t (fun () ->
       let module E = P.Expr_ast in
       let names = E.leaves expr in
@@ -893,9 +964,30 @@ let expr_query t ~expr ~m =
               | Error e -> Error e
               | Ok (folded, d) -> gather_leaves ((name, folded) :: acc) (degraded || d) rest))
         in
+        let cutoff =
+          match w with
+          | Some secs when Float.is_finite secs ->
+            Some (win_cutoff t ~seconds:secs ~at:None)
+          | Some _ | None -> None
+        in
         match gather_leaves [] false names with
         | Error e -> Error e
         | Ok (leaves, degraded) -> (
+          match
+            match cutoff with
+            | None -> Ok leaves
+            | Some c ->
+              List.fold_left
+                (fun acc (name, f) ->
+                  Result.bind acc (fun rev ->
+                      match Families.restrict f ~cutoff:c ~seed:(next_seed t) with
+                      | Ok r -> Ok ((name, r) :: rev)
+                      | Error msg -> Error (P.Server_error msg)))
+                (Ok []) leaves
+              |> Result.map List.rev
+          with
+          | Error e -> Error e
+          | Ok leaves -> (
           let names_arr = Array.of_list (List.map fst leaves) in
           let folds_arr = Array.of_list (List.map snd leaves) in
           let union =
@@ -923,7 +1015,10 @@ let expr_query t ~expr ~m =
               in
               match folded with
               | Ok u ->
-                t.expr_cache <- Some (names_arr, folds_arr, u);
+                (* a windowed union is a throwaway view — caching it would
+                   evict the full-query memo for nothing (the restricted
+                   leaves are fresh values, the identity check cannot hit) *)
+                if cutoff = None then t.expr_cache <- Some (names_arr, folds_arr, u);
                 Ok u
               | Error _ as e -> e)
           in
@@ -932,17 +1027,23 @@ let expr_query t ~expr ~m =
           | Ok union -> (
             match Families.expr_estimate ~union ~leaves ~expr ~samples with
             | Ok outcome -> Ok (outcome, degraded)
-            | Error msg -> Error (P.Bad_params msg))))
+            | Error msg -> Error (P.Bad_params msg)))))
 
-let fetch t ~name =
+let fetch ?cutoff t ~name =
   with_lock t (fun () ->
       match find_session t name with
       | Error e -> Error e
       | Ok si -> (
-        match gather t si name with
+        match gather ?cutoff t si name with
         | Error e -> Error e
         | Ok (folded, _) -> (
-          match Io.to_wire (Families.to_io ~merges:si.merges folded) with
+          let io = Families.to_io ~merges:si.merges folded in
+          (* restrict the encoded fold too: a degraded gather may have folded
+             in a stale, un-windowed fallback *)
+          let io =
+            match cutoff with None -> io | Some c -> Io.restrict ~cutoff:c io
+          in
+          match Io.to_wire io with
           | encoded -> Ok encoded
           | exception Invalid_argument msg -> Error (P.Server_error msg))))
 
@@ -1028,22 +1129,27 @@ let dispatch t (req : P.request) : P.response =
       (Result.map
          (fun () -> P.Ok_reply (Some ("opened " ^ session)))
          (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
-  | P.Add { session; payload } ->
-    reply (Result.map (fun () -> P.Ok_reply None) (add t ~name:session ~payload))
-  | P.Add_batch { session; payloads } ->
+  | P.Add { session; payload; ts } ->
+    reply (Result.map (fun () -> P.Ok_reply None) (add ?ts t ~name:session ~payload))
+  | P.Add_batch { session; payloads; ts } ->
     reply
       (Result.map
          (fun (accepted, errors) -> P.Ok_batch { accepted; errors })
-         (add_batch t ~name:session ~payloads))
+         (add_batch ?ts t ~name:session ~payloads))
   | P.Est { session } ->
     reply
       (Result.map
          (fun (value, degraded) -> P.Estimate { value; degraded })
          (estimate t ~name:session))
+  | P.Win { session; seconds; at } ->
+    reply
+      (Result.map
+         (fun (value, degraded) -> P.Estimate { value; degraded })
+         (win t ~name:session ~seconds ~at))
   | P.Stats { session } ->
     reply (Result.map (fun s -> P.Stats_reply s) (stats t ~name:session))
-  | P.Fetch { session } ->
-    reply (Result.map (fun encoded -> P.Sketch encoded) (fetch t ~name:session))
+  | P.Fetch { session; cutoff } ->
+    reply (Result.map (fun encoded -> P.Sketch encoded) (fetch ?cutoff t ~name:session))
   | P.Snapshot { session; path } ->
     reply
       (Result.map
@@ -1054,11 +1160,11 @@ let dispatch t (req : P.request) : P.response =
       (Result.map
          (fun () -> P.Ok_reply (Some ("merged into " ^ session)))
          (merge_in t ~name:session ~encoded))
-  | P.Expr { expr; m } ->
+  | P.Expr { expr; m; w } ->
     reply
       (Result.map
          (fun (outcome, degraded) -> P.expr_reply_of_outcome ~degraded outcome)
-         (expr_query t ~expr ~m))
+         (expr_query ?w t ~expr ~m))
   | P.Restore _ ->
     P.Error_reply
       (P.Server_error

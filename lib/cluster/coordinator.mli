@@ -52,6 +52,8 @@ val create :
   ?batch:int ->
   ?gather_domains:int ->
   ?io:Rpc.io ->
+  ?clock:(unit -> float) ->
+  ?cutoff_bucket:float ->
   workers:(string * int) list ->
   seed:int ->
   unit ->
@@ -74,7 +76,13 @@ val create :
     {!Delphic_harness.Parallel.default_domains}) bounds the domains spent on
     the gather's decode/merge tree — [1] keeps the fold on the calling
     thread (the merge-tree shape, hence the folded sketch, is the same
-    either way).  Raises [Invalid_argument] on an empty pool or nonsensical
+    either way).  [clock] (default [Unix.gettimeofday]) supplies the query
+    instant for un-pinned [WIN] and [EXPR w=] — injectable for deterministic
+    tests; [cutoff_bucket] (default 1s) quantizes clock-derived window
+    cutoffs down to that grain, so repeated idle-cluster windowed queries
+    inside one bucket ship byte-identical Fetch cutoffs and hit the workers'
+    wire caches and the fold memo (a [WIN ... at=] pinned instant is taken
+    exactly).  Raises [Invalid_argument] on an empty pool or nonsensical
     knobs. *)
 
 val dispatch : t -> Delphic_server.Protocol.request -> Delphic_server.Protocol.response
@@ -93,29 +101,50 @@ val open_session :
 (** Fails only if {e no} worker is reachable; workers joining later are
     brought up to date by the resync-on-reconnect path. *)
 
-val add : t -> name:string -> payload:string -> (unit, Delphic_server.Protocol.error) result
+val add :
+  ?ts:float ->
+  t -> name:string -> payload:string -> (unit, Delphic_server.Protocol.error) result
 (** Fire-and-forget into the pipeline: the payload is staged on its shard
-    and framed into an [ADDB] at the next flush point.  Parse errors surface
-    asynchronously in {!stats} ([parse_rejects]), not here. *)
+    and framed into an [ADDB] at the next flush point.  [ts] is the ingest
+    timestamp forwarded to the worker ([t=] on the wire); [None] lets the
+    worker stamp its own receive time.  Parse errors surface asynchronously
+    in {!stats} ([parse_rejects]), not here. *)
 
 val add_batch :
+  ?ts:float ->
   t ->
   name:string ->
   payloads:string list ->
   (int * (int * string) list, Delphic_server.Protocol.error) result
 (** A whole client [ADDB] frame under one lock acquisition.  Each payload
     still routes through {!sharding} independently, so a frame may fan out
-    and re-batch per worker.  Returns [(accepted, errors)] where [errors]
-    pairs a payload's 0-based frame index with the routing failure; parse
-    errors, as with {!add}, surface later in [parse_rejects]. *)
+    and re-batch per worker (only same-timestamp runs share a frame).
+    Returns [(accepted, errors)] where [errors] pairs a payload's 0-based
+    frame index with the routing failure; parse errors, as with {!add},
+    surface later in [parse_rejects]. *)
 
 val estimate : t -> name:string -> (float * bool, Delphic_server.Protocol.error) result
 (** The folded estimate and whether it is degraded (some worker answered
     from a stale snapshot or not at all). *)
 
+val win :
+  t ->
+  name:string ->
+  seconds:float ->
+  at:float option ->
+  (float * bool, Delphic_server.Protocol.error) result
+(** Cluster-wide windowed estimate: the absolute cutoff is computed once
+    ([at], or the quantized coordinator clock, minus [seconds]) and shipped
+    in every worker's Fetch, so all replicas expire against the same
+    instant.  A degraded gather's stale full fallback is re-windowed
+    coordinator-side against the same cutoff, so [DEGRADED] answers still
+    honor the window.  [seconds = infinity] degenerates to {!estimate}'s
+    gather (and shares its fold memo). *)
+
 val stats : t -> name:string -> (Delphic_server.Protocol.stats, Delphic_server.Protocol.error) result
 
 val expr_query :
+  ?w:float ->
   t ->
   expr:Delphic_server.Protocol.Expr_ast.t ->
   m:int option ->
@@ -124,13 +153,16 @@ val expr_query :
     exactly as {!estimate} gathers it — same degraded/last-good fallback,
     same fold memo — and the cross-session union fold plus the
     sample-and-probe evaluation ({!Delphic_server.Families.expr_estimate})
-    run coordinator-side, so workers need no new verb.  The [bool] flags a
-    degraded answer (any leaf's gather was).  [m] as in
+    run coordinator-side, so workers need no new verb.  [w] windows the
+    query: one cutoff is computed up front and every folded leaf is
+    restricted against it before evaluation.  The [bool] flags a degraded
+    answer (any leaf's gather was).  [m] as in
     {!Delphic_server.Registry.expr_query}. *)
 
-val fetch : t -> name:string -> (string, Delphic_server.Protocol.error) result
+val fetch : ?cutoff:float -> t -> name:string -> (string, Delphic_server.Protocol.error) result
 (** The folded sketch as one wire token — coordinators compose: a parent
-    coordinator can treat this one as a worker. *)
+    coordinator can treat this one as a worker ([cutoff] is the windowed
+    Fetch, forwarded to this pool's own workers). *)
 
 val snapshot_to : t -> name:string -> path:string -> (unit, Delphic_server.Protocol.error) result
 

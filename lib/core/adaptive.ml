@@ -19,7 +19,9 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     capacity : int;
     coupon_factor : float;
     rng : Rng.t;
-    mutable exact : unit Tbl.t;
+    mutable exact : float Tbl.t;
+        (* element -> last-occurrence timestamp; exact windowed counts are
+           exact too *)
     mutable exact_active : bool;
     sketch : Vatic.t option; (* None when the universe is below VATIC's floor *)
     mutable items : int;
@@ -103,9 +105,9 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     t.exact_active <- false;
     t.exact <- Tbl.create 1
 
-  let process t s =
+  let process ?(ts = 0.0) t s =
     t.items <- t.items + 1;
-    (match t.sketch with Some v -> Vatic.process v s | None -> ());
+    (match t.sketch with Some v -> Vatic.process ~ts v s | None -> ());
     if t.exact_active then begin
       match enumerate t s with
       | None ->
@@ -113,7 +115,12 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
           failwith "Adaptive.process: set exceeds exact capacity on a universe too small for sketching"
         else deactivate t
       | Some elements ->
-        Tbl.iter (fun x () -> Tbl.replace t.exact x ()) elements;
+        Tbl.iter
+          (fun x () ->
+            match Tbl.find_opt t.exact x with
+            | Some old_ts -> Tbl.replace t.exact x (Float.max old_ts ts)
+            | None -> Tbl.replace t.exact x ts)
+          elements;
         if Tbl.length t.exact > t.capacity then begin
           if Option.is_none t.sketch then
             failwith "Adaptive.process: union exceeds exact capacity on a universe too small for sketching"
@@ -126,6 +133,20 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     else
       match t.sketch with
       | Some v -> Vatic.estimate v
+      | None -> assert false (* exact mode never deactivates without a sketch *)
+
+  (* Union size restricted to elements whose last occurrence is ≥ cutoff.
+     Exact regime: a plain count over the timestamped table — exactly
+     correct.  Sketch regime: the restricted Horvitz-Thompson sum. *)
+  let estimate_window t ~cutoff =
+    if t.exact_active then begin
+      let n = ref 0 in
+      Tbl.iter (fun _ ts -> if ts >= cutoff then incr n) t.exact;
+      float_of_int !n
+    end
+    else
+      match t.sketch with
+      | Some v -> Vatic.estimate_window v ~cutoff
       | None -> assert false (* exact mode never deactivates without a sketch *)
 
   let max_bucket_size t =
@@ -164,7 +185,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       let k = Tbl.length t.exact in
       if k = 0 then []
       else begin
-        let arr = Array.of_list (Tbl.fold (fun x () acc -> x :: acc) t.exact []) in
+        let arr = Array.of_list (Tbl.fold (fun x _ acc -> x :: acc) t.exact []) in
         List.init n (fun _ -> arr.(Rng.int t.rng k))
       end
     end
@@ -214,8 +235,13 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       }
     in
     if t.exact_active then begin
-      Tbl.iter (fun x () -> Tbl.replace t.exact x ()) a.exact;
-      Tbl.iter (fun x () -> Tbl.replace t.exact x ()) b.exact;
+      let absorb x ts =
+        match Tbl.find_opt t.exact x with
+        | Some old_ts -> Tbl.replace t.exact x (Float.max old_ts ts)
+        | None -> Tbl.replace t.exact x ts
+      in
+      Tbl.iter absorb a.exact;
+      Tbl.iter absorb b.exact;
       if Tbl.length t.exact > t.capacity then begin
         if Option.is_none t.sketch then
           failwith
@@ -235,7 +261,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     membership_calls : int;
     cardinality_calls : int;
     sampling_calls : int;
-    sketch_entries : (F.elt * int) list;
+    sketch_entries : (F.elt * int * float) list;
   }
 
   type snapshot = {
@@ -246,7 +272,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     exact_capacity : int;
     items : int;
     exact_active : bool;
-    exact_entries : F.elt list;
+    exact_entries : (F.elt * float) list;
     sketch : sketch_snapshot option;
   }
 
@@ -259,7 +285,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       exact_capacity = t.capacity;
       items = t.items;
       exact_active = t.exact_active;
-      exact_entries = Tbl.fold (fun x () acc -> x :: acc) t.exact [];
+      exact_entries = Tbl.fold (fun x ts acc -> (x, ts) :: acc) t.exact [];
       sketch =
         Option.map
           (fun v ->
@@ -322,6 +348,6 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
         items = s.items;
       }
     in
-    List.iter (fun x -> Tbl.replace t.exact x ()) s.exact_entries;
+    List.iter (fun (x, ts) -> Tbl.replace t.exact x ts) s.exact_entries;
     t
 end

@@ -32,11 +32,20 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
       [B·(max_level+1)] — exact mode never uses more memory than the sketch
       it replaces. *)
 
-  val process : t -> F.t -> unit
+  val process : ?ts:float -> t -> F.t -> unit
   (** Raises [Failure] only in the exact-only regime (universe too small for
-      VATIC) when the capacity is exceeded. *)
+      VATIC) when the capacity is exceeded.  [ts] (default 0) is the logical
+      ingest timestamp; both the exact table and the shadow sketch record the
+      newest timestamp per element, the invariant {!estimate_window} needs. *)
 
   val estimate : t -> float
+
+  val estimate_window : t -> cutoff:float -> float
+  (** Union size restricted to elements whose last occurrence is at or after
+      [cutoff].  Exactly correct in the exact regime (a count over the
+      timestamped table); the restricted Horvitz–Thompson sum
+      ({!Vatic.Make.estimate_window}) in the sketch regime.
+      Non-destructive. *)
 
   val is_exact : t -> bool
   (** Whether {!estimate} currently returns the exact union size. *)
@@ -105,7 +114,8 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
     membership_calls : int;
     cardinality_calls : int;
     sampling_calls : int;
-    sketch_entries : (F.elt * int) list;  (** bucket contents: (element, level) *)
+    sketch_entries : (F.elt * int * float) list;
+        (** bucket contents: (element, level, last-occurrence timestamp) *)
   }
 
   type snapshot = {
@@ -116,7 +126,9 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
     exact_capacity : int;
     items : int;
     exact_active : bool;
-    exact_entries : F.elt list;  (** distinct elements held while exact *)
+    exact_entries : (F.elt * float) list;
+        (** distinct elements held while exact, with last-occurrence
+            timestamps *)
     sketch : sketch_snapshot option;
   }
 

@@ -28,7 +28,9 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     coupon_factor : float; (* ln(4|Ω|/δ) *)
     median_reps : int; (* amplification count for the cardinality oracle *)
     rng : Rng.t;
-    bucket : int Tbl.t; (* element -> halving count j; p = p_init · 2^-j *)
+    bucket : (int * float) Tbl.t;
+        (* element -> (halving count j with p = p_init · 2^-j,
+                       last-occurrence ingest timestamp) *)
     scratch : unit Tbl.t;
         (* reusable distinct-sample workspace shared by [estimate_set_size]
            and the coupon loop of [process]; always left empty between
@@ -152,11 +154,17 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       t.top <- t.top - 1
     done
 
-  let bucket_add t x j =
-    (match Tbl.find_opt t.bucket x with
-    | Some old -> note_remove t old
-    | None -> ());
-    Tbl.replace t.bucket x j;
+  (* Keep the newest timestamp per retained element (see Vatic.bucket_add):
+     expiry must never make an entry look older than its last occurrence. *)
+  let bucket_add ?(ts = 0.0) t x j =
+    let ts =
+      match Tbl.find_opt t.bucket x with
+      | Some (old, old_ts) ->
+          note_remove t old;
+          Float.max old_ts ts
+      | None -> ts
+    in
+    Tbl.replace t.bucket x (j, ts);
     note_add t j
 
   let max_halving_count t = Stdlib.max t.top 0
@@ -210,12 +218,12 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
   let remove_covered t s =
     t.membership_calls <- t.membership_calls + bucket_size t;
     Tbl.filter_map_inplace
-      (fun x j ->
+      (fun x ((j, _) as e) ->
         if A.mem s x then begin
           note_remove t j;
           None
         end
-        else Some j)
+        else Some e)
       t.bucket
 
   (* Draw Bin(card, 2^log2p) with the same large-value guards as VATIC. *)
@@ -226,7 +234,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     else if l2n > 1000.0 then 2.0 ** Float.min l2np 1020.0
     else Binomial.sample_bigint rng ~n:card ~p:(2.0 ** log2p)
 
-  let process t s =
+  let process ?(ts = 0.0) t s =
     t.items <- t.items + 1;
     remove_covered t s;
     let e = estimate_set_size t s in
@@ -264,7 +272,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
           if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
         done;
         t.sampling_calls <- t.sampling_calls + !drawn;
-        Tbl.iter (fun y () -> bucket_add t y !j) fresh;
+        Tbl.iter (fun y () -> bucket_add ~ts t y !j) fresh;
         Tbl.clear fresh;
         if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
       end
@@ -275,7 +283,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     let j0 = max_halving_count t in
     let kept = ref 0 in
     Tbl.iter
-      (fun _ j ->
+      (fun _ (j, _) ->
         if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then incr kept)
       t.bucket;
     (j0, !kept)
@@ -289,13 +297,38 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       float_of_int kept /. (2.0 ** log2_p0) /. (1.0 +. t.alpha)
     end
 
+  (* Horvitz-Thompson sum over entries whose last occurrence is inside the
+     window, with the same (1+α) correction as [estimate] — the windowed
+     counterpart of {!Vatic.Make.estimate_window}, expressed through the
+     retention probability p_init·2^-j. *)
+  let estimate_window t ~cutoff =
+    let acc = ref 0.0 in
+    Tbl.iter
+      (fun _ (j, ts) ->
+        if ts >= cutoff then
+          acc := !acc +. (2.0 ** (float_of_int j -. t.log2_p_init)))
+      t.bucket;
+    !acc /. (1.0 +. t.alpha)
+
+  (* Destructive expiry for fixed-horizon owners; query-time restriction
+     must use [estimate_window]. *)
+  let expire t ~cutoff =
+    Tbl.filter_map_inplace
+      (fun _ ((j, ts) as e) ->
+        if ts < cutoff then begin
+          note_remove t j;
+          None
+        end
+        else Some e)
+      t.bucket
+
   (* Membership probe, as in {!Vatic.Make.probe_level}: an element held at
      halving count j was retained with probability p_init·2^-j, so the
      Horvitz-Thompson membership weight is 2^(j - log2_p_init). *)
   let probe_weight t x =
     match Tbl.find_opt t.bucket x with
     | None -> None
-    | Some j -> Some (2.0 ** (float_of_int j -. t.log2_p_init))
+    | Some (j, _) -> Some (2.0 ** (float_of_int j -. t.log2_p_init))
 
   (* One bucket pass materialising the j0-rate subsample, then n uniform
      index draws — i.i.d. with replacement, O(|X| + n). *)
@@ -306,7 +339,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       let survivors = ref [] in
       let kept = ref 0 in
       Tbl.iter
-        (fun x j ->
+        (fun x (j, _) ->
           if Rng.bernoulli t.rng (Float.ldexp 1.0 (j - j0)) then begin
             incr kept;
             survivors := x :: !survivors
@@ -334,7 +367,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
     max_bucket : int;
     skipped : int;
     calls : oracle_calls;
-    entries : (A.elt * int) list;
+    entries : (A.elt * int * float) list;
   }
 
   let snapshot (t : t) =
@@ -350,7 +383,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       max_bucket = t.max_bucket;
       skipped = t.skipped;
       calls = oracle_calls t;
-      entries = Tbl.fold (fun x j acc -> (x, j) :: acc) t.bucket [];
+      entries = Tbl.fold (fun x (j, ts) acc -> (x, j, ts) :: acc) t.bucket [];
     }
 
   let restore s ~seed =
@@ -358,7 +391,7 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       create ~mode:s.mode ~epsilon:s.epsilon ~delta:s.delta
         ~log2_universe:s.log2_universe ~alpha:s.alpha ~gamma:s.gamma ~eta:s.eta ~seed ()
     in
-    List.iter (fun (x, j) -> bucket_add t x j) s.entries;
+    List.iter (fun (x, j, ts) -> bucket_add ~ts t x j) s.entries;
     t.items <- s.items;
     t.max_bucket <- s.max_bucket;
     t.skipped <- s.skipped;
@@ -383,21 +416,29 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
       create ~mode:a.mode ~epsilon:a.epsilon ~delta:a.delta
         ~log2_universe:a.log2_universe ~alpha:a.alpha ~gamma:a.gamma ~eta:a.eta ~seed ()
     in
-    (if bucket_size a = 0 then Tbl.iter (fun x j -> bucket_add t x j) b.bucket
-     else if bucket_size b = 0 then Tbl.iter (fun x j -> bucket_add t x j) a.bucket
+    (if bucket_size a = 0 then
+       Tbl.iter (fun x (j, ts) -> bucket_add ~ts t x j) b.bucket
+     else if bucket_size b = 0 then
+       Tbl.iter (fun x (j, ts) -> bucket_add ~ts t x j) a.bucket
      else begin
        let j0 = ref (Stdlib.max (max_halving_count a) (max_halving_count b)) in
        (* one coin per distinct element: an element retained by both buckets
-          flips only shard a's coin, as in Vatic.merge *)
-       let absorb ~dup src =
+          flips only shard a's coin, as in Vatic.merge, and keeps the newest
+          of the two shards' timestamps *)
+       let ts_in other x ts =
+         match Tbl.find_opt other.bucket x with
+         | Some (_, other_ts) -> Float.max ts other_ts
+         | None -> ts
+       in
+       let absorb ~dup ~other src =
          Tbl.iter
-           (fun x j ->
+           (fun x (j, ts) ->
              if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (j - !j0))
-             then bucket_add t x !j0)
+             then bucket_add ~ts:(ts_in other x ts) t x !j0)
            src.bucket
        in
-       absorb ~dup:(fun _ -> false) a;
-       absorb ~dup:(Tbl.mem a.bucket) b;
+       absorb ~dup:(fun _ -> false) ~other:b a;
+       absorb ~dup:(Tbl.mem a.bucket) ~other:a b;
        let capacity = float_of_int t.bucket_capacity in
        let log2p () = t.log2_p_init -. float_of_int !j0 in
        let needed () = Float.ceil (float_of_int (bucket_size t) /. capacity) in
@@ -406,11 +447,11 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) = struct
          (* survivors migrate in place; every entry sits at the
             pre-increment j0 *)
          Tbl.filter_map_inplace
-           (fun _ j ->
+           (fun _ (j, ts) ->
              note_remove t j;
              if Rng.bool t.rng then begin
                note_add t !j0;
-               Some !j0
+               Some (!j0, ts)
              end
              else None)
            t.bucket

@@ -31,8 +31,22 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
       actual parameters; [gamma] must be < 1/2 so the median trick can
       amplify. *)
 
-  val process : t -> A.t -> unit
+  val process : ?ts:float -> t -> A.t -> unit
+  (** [ts] (default 0) tags the bucket entries this set contributes with a
+      logical ingest timestamp; a retained entry always carries its
+      element's newest occurrence time (see {!Vatic.Make.process}). *)
+
   val estimate : t -> float
+
+  val estimate_window : t -> cutoff:float -> float
+  (** Estimate restricted to elements whose last occurrence is at or after
+      [cutoff] — the Horvitz–Thompson sum over in-window entries with the
+      same [(1+α)] correction as {!estimate}.  Non-destructive and
+      deterministic given the sketch. *)
+
+  val expire : t -> cutoff:float -> unit
+  (** Destructively drop entries older than [cutoff]; for fixed-horizon
+      owners only (see {!Vatic.Make.expire}). *)
 
   val sample_union : t -> A.elt option
   (** Approximate-uniform draw from [∪ S_i] (the conclusion's remark covers
@@ -88,8 +102,9 @@ module Make (A : Delphic_family.Family.APPROX_FAMILY) : sig
     max_bucket : int;
     skipped : int;
     calls : oracle_calls;
-    entries : (A.elt * int) list;
-        (** bucket contents: (element, halving count [j]) *)
+    entries : (A.elt * int * float) list;
+        (** bucket contents: (element, halving count [j], last-occurrence
+            timestamp) *)
   }
 
   val snapshot : t -> snapshot

@@ -8,7 +8,7 @@ type sketch = {
   membership_calls : int;
   cardinality_calls : int;
   sampling_calls : int;
-  entries : (int * string) list;
+  entries : (int * float * string) list;
 }
 
 type t = {
@@ -20,11 +20,11 @@ type t = {
   items : int;
   merges : int;
   exact_active : bool;
-  exact_entries : string list;
+  exact_entries : (float * string) list;
   sketch : sketch option;
 }
 
-let version = 2
+let version = 3
 let magic = "delphic-snapshot"
 
 let string_of_mode = function Params.Paper -> "paper" | Params.Practical -> "practical"
@@ -49,7 +49,7 @@ let encode t =
   check_single_line "family token" t.family;
   if t.family = "" || String.contains t.family ' ' then
     invalid_arg "Snapshot_io.encode: family token must be non-empty and space-free";
-  List.iter (check_single_line "an exact entry") t.exact_entries;
+  List.iter (fun (_, e) -> check_single_line "an exact entry" e) t.exact_entries;
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   line "%s v%d" magic version;
@@ -63,10 +63,14 @@ let encode t =
   line "exact-active %b" t.exact_active;
   line "exact-entries %d" (List.length t.exact_entries);
   (* entry lines dominate a large snapshot: append them directly instead of
-     paying a printf interpretation per element *)
+     paying a printf interpretation per element.  v3 puts the timestamp
+     before the element because the element encoding may itself contain
+     spaces. *)
   List.iter
-    (fun e ->
+    (fun (ts, e) ->
       Buffer.add_string buf "E ";
+      Buffer.add_string buf (float_out ts);
+      Buffer.add_char buf ' ';
       Buffer.add_string buf e;
       Buffer.add_char buf '\n')
     t.exact_entries;
@@ -78,9 +82,11 @@ let encode t =
       s.skipped s.membership_calls s.cardinality_calls s.sampling_calls;
     line "sketch-entries %d" (List.length s.entries);
     List.iter
-      (fun (level, e) ->
+      (fun (level, ts, e) ->
         check_single_line "a sketch entry" e;
         Buffer.add_string buf (string_of_int level);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (float_out ts);
         Buffer.add_char buf ' ';
         Buffer.add_string buf e;
         Buffer.add_char buf '\n')
@@ -144,6 +150,7 @@ let decode text =
       match v with
       | "v1" -> Ok 1
       | "v2" -> Ok 2
+      | "v3" -> Ok 3
       | _ -> fail "unsupported snapshot version %S (this build reads v1..v%d)" v version)
     | _ -> fail "not a delphic snapshot (bad magic line %S)" header
   in
@@ -159,7 +166,22 @@ let decode text =
   let* exact_active = bool_field "exact-active" in
   let* n_exact = int_field "exact-entries" in
   let* () = if n_exact < 0 then fail "negative exact-entries count" else Ok () in
-  let* exact_entries = read_n n_exact (fun () -> keyed "E") [] in
+  (* v3 prefixes each entry with its last-occurrence timestamp; pre-v3
+     snapshots carry no time axis and decode as "everything at t=0". *)
+  let exact_entry () =
+    let* v = keyed "E" in
+    if read_version < 3 then Ok (0.0, v)
+    else
+      match String.index_opt v ' ' with
+      | None -> fail "exact entry: missing timestamp in %S" v
+      | Some i -> (
+        let tss = String.sub v 0 i in
+        let rest = String.sub v (i + 1) (String.length v - i - 1) in
+        match float_of_string_opt tss with
+        | Some ts -> Ok (ts, rest)
+        | None -> fail "exact entry: bad timestamp %S" tss)
+  in
+  let* exact_entries = read_n n_exact exact_entry [] in
   let* sk_line = next () in
   let* sketch =
     if sk_line = "no-sketch" then Ok None
@@ -188,8 +210,18 @@ let decode text =
             | None -> (l, "")
           in
           match int_of_string_opt level with
-          | Some lv -> Ok (lv, rest)
           | None -> fail "sketch entry: bad level %S" level
+          | Some lv ->
+            if read_version < 3 then Ok (lv, 0.0, rest)
+            else (
+              match String.index_opt rest ' ' with
+              | None -> fail "sketch entry: missing timestamp in %S" l
+              | Some i -> (
+                let tss = String.sub rest 0 i in
+                let elt = String.sub rest (i + 1) (String.length rest - i - 1) in
+                match float_of_string_opt tss with
+                | Some ts -> Ok (lv, ts, elt)
+                | None -> fail "sketch entry: bad timestamp %S" tss))
         in
         let* entries = read_n n_entries entry [] in
         Ok
@@ -223,6 +255,20 @@ let decode text =
       exact_entries;
       sketch;
     }
+
+(* Window restriction on the interchange form itself: drop every entry whose
+   last occurrence predates the cutoff.  Counters are left untouched — a
+   restricted snapshot is a query-time view, not a stream history rewrite. *)
+let restrict ~cutoff t =
+  {
+    t with
+    exact_entries = List.filter (fun (ts, _) -> ts >= cutoff) t.exact_entries;
+    sketch =
+      Option.map
+        (fun s ->
+          { s with entries = List.filter (fun (_, ts, _) -> ts >= cutoff) s.entries })
+        t.sketch;
+  }
 
 (* Wire armor: percent-escape the four characters that would break a
    space-delimited line protocol, turning a whole snapshot into one

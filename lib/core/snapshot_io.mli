@@ -8,24 +8,28 @@
     its own element codec (see [Delphic_server.Families]) and the text
     format carries everything else.
 
-    The format is line-oriented and human-inspectable (v2 shown; v2 added
-    the [merges] line and older v1 snapshots still decode):
+    The format is line-oriented and human-inspectable (v3 shown; v2 added
+    the [merges] line, v3 the per-entry ingest timestamps — older v1/v2
+    snapshots still decode, with every timestamp 0):
 
     {v
-    delphic-snapshot v2
+    delphic-snapshot v3
     family rect
     epsilon 0x1.999999999999ap-3
     ...
     merges 0
     ...
     exact-entries 2
-    E 3 7
-    E 12 40
+    E 0x1.8p3 3 7
+    E 0x0p+0 12 40
     sketch practical ...
     sketch-entries 1
-    3 17 42
+    3 0x1.8p3 17 42
     end
     v}
+
+    Timestamps come {e before} the element on entry lines because element
+    encodings may themselves contain spaces.
 
     Floats are printed with ["%h"] (hexadecimal) so that
     [decode (encode s) = Ok s] holds {e exactly} — the qcheck property in
@@ -42,7 +46,8 @@ type sketch = {
   membership_calls : int;
   cardinality_calls : int;
   sampling_calls : int;
-  entries : (int * string) list;  (** (sampling level, encoded element) *)
+  entries : (int * float * string) list;
+      (** (sampling level, last-occurrence timestamp, encoded element) *)
 }
 
 type t = {
@@ -58,19 +63,29 @@ type t = {
       (** how many sketch merges produced this state (0 for a single-stream
           session; v1 snapshots decode with 0) *)
   exact_active : bool;
-  exact_entries : string list;  (** encoded elements of the exact table *)
+  exact_entries : (float * string) list;
+      (** exact-table contents: (last-occurrence timestamp, encoded
+          element) *)
   sketch : sketch option;  (** [None] on universes below the sketching floor *)
 }
 
 val version : int
-(** Current format version (2).  v2 adds the [merges] line; {!decode} still
-    reads v1 snapshots (with [merges = 0]). *)
+(** Current format version (3).  v3 adds per-entry ingest timestamps;
+    {!decode} still reads v1/v2 snapshots (with [merges = 0] for v1 and
+    every timestamp 0). *)
 
 val encode : t -> string
 (** Raises [Invalid_argument] if the family token or an encoded element
     contains a newline (elements containing spaces are fine). *)
 
 val decode : string -> (t, string) result
+
+val restrict : cutoff:float -> t -> t
+(** Drop every exact and sketch entry whose last-occurrence timestamp is
+    strictly before [cutoff] — the snapshot-level window restriction used by
+    windowed [EXPR] queries.  Items/merge counters are untouched: the result
+    is a query-time view of the trailing window, not a rewritten history.
+    [restrict ~cutoff:neg_infinity] is the identity. *)
 
 val to_wire : t -> string
 (** {!encode} armored for line protocols: ['%'], [' '], ['\n'] and ['\r']

@@ -19,7 +19,9 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
   type t = {
     params : Params.t;
     rng : Rng.t;
-    bucket : int Tbl.t; (* element -> sampling level ℓ, i.e. p = 2^-ℓ *)
+    bucket : (int * float) Tbl.t;
+        (* element -> (sampling level ℓ, i.e. p = 2^-ℓ,
+                       ingest timestamp of the element's last occurrence) *)
     scratch : unit Tbl.t;
         (* reusable coupon-draw workspace for [process]; always left empty
            between updates so the sketch never pins a processed set's
@@ -84,11 +86,18 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       t.top <- t.top - 1
     done
 
-  let bucket_add t x l =
-    (match Tbl.find_opt t.bucket x with
-    | Some old -> note_remove t old
-    | None -> ());
-    Tbl.replace t.bucket x l;
+  (* Re-inserting an element keeps the newest timestamp seen for it: a
+     retained entry must never look older than the element's last occurrence,
+     or window expiry would under-count (DESIGN.md, "Windowed estimation"). *)
+  let bucket_add ?(ts = 0.0) t x l =
+    let ts =
+      match Tbl.find_opt t.bucket x with
+      | Some (old, old_ts) ->
+          note_remove t old;
+          Float.max old_ts ts
+      | None -> ts
+    in
+    Tbl.replace t.bucket x (l, ts);
     note_add t l
 
   let level_for t occupancy =
@@ -124,15 +133,15 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     t.membership_calls <- t.membership_calls + bucket_size t;
     (* single in-place pass: no doomed-list allocation, no second traversal *)
     Tbl.filter_map_inplace
-      (fun x l ->
+      (fun x ((l, _) as e) ->
         if F.mem s x then begin
           note_remove t l;
           None
         end
-        else Some l)
+        else Some e)
       t.bucket
 
-  let process t s =
+  let process ?(ts = 0.0) t s =
     t.items <- t.items + 1;
     (* Lines 4-6: only the last occurrence of an element can keep it in X. *)
     remove_covered t s;
@@ -176,7 +185,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
           if not (Tbl.mem fresh y) then Tbl.replace fresh y ()
         done;
         t.sampling_calls <- t.sampling_calls + !drawn;
-        Tbl.iter (fun y () -> bucket_add t y !level) fresh;
+        Tbl.iter (fun y () -> bucket_add ~ts t y !level) fresh;
         Tbl.clear fresh;
         if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
       end
@@ -189,7 +198,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     let p0_level = min_sampling_level t in
     let kept = ref 0 in
     Tbl.iter
-      (fun _ l ->
+      (fun _ (l, _) ->
         if Rng.bernoulli t.rng (Float.ldexp 1.0 (l - p0_level)) then incr kept)
       t.bucket;
     (p0_level, !kept)
@@ -215,11 +224,40 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     done;
     !acc
 
+  (* The same Horvitz-Thompson sum restricted to entries whose last
+     occurrence is inside the window.  Survival in the bucket depends only on
+     the last occurrence (lines 4-6 delete X ∩ S_i before re-inserting), so
+     an entry with ts ≥ cutoff is held with exactly probability 2^-ℓ among
+     the elements whose last occurrence is in the window — the restricted
+     sum is unbiased for |{x : last occurrence of x ≥ cutoff}|.  The level
+     histogram cannot answer this (it has no time axis), so this is a bucket
+     fold rather than an O(top) loop. *)
+  let estimate_window t ~cutoff =
+    let acc = ref 0.0 in
+    Tbl.iter
+      (fun _ (l, ts) -> if ts >= cutoff then acc := !acc +. Float.ldexp 1.0 l)
+      t.bucket;
+    !acc
+
+  (* Destructive expiry: drop every entry whose last occurrence predates the
+     cutoff.  Only a fixed-horizon owner (the windowing layer) may call this —
+     a query-time window restriction must use {!estimate_window} so a small
+     window never corrupts later, larger-window queries. *)
+  let expire t ~cutoff =
+    Tbl.filter_map_inplace
+      (fun _ ((l, ts) as e) ->
+        if ts < cutoff then begin
+          note_remove t l;
+          None
+        end
+        else Some e)
+      t.bucket
+
   (* Membership probe for the expression evaluator: the bucket never holds
      an element outside ∪S_i, and holds x ∈ ∪S_i at level ℓ with probability
      2^-ℓ, so 1[held]·2^ℓ is an unbiased Horvitz-Thompson estimate of the
      membership indicator with no false positives. *)
-  let probe_level t x = Tbl.find_opt t.bucket x
+  let probe_level t x = Option.map fst (Tbl.find_opt t.bucket x)
 
   (* One pass over the bucket materialising the level-p0 subsample, then n
      uniform index draws — i.i.d. with replacement over the subsample, at
@@ -231,7 +269,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       let survivors = ref [] in
       let kept = ref 0 in
       Tbl.iter
-        (fun x l ->
+        (fun x (l, _) ->
           if Rng.bernoulli t.rng (Float.ldexp 1.0 (l - p0_level)) then begin
             incr kept;
             survivors := x :: !survivors
@@ -258,7 +296,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
     max_bucket : int;
     skipped : int;
     calls : oracle_calls;
-    entries : (F.elt * int) list;
+    entries : (F.elt * int * float) list;
   }
 
   let snapshot t =
@@ -274,7 +312,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       max_bucket = t.max_bucket;
       skipped = t.skipped;
       calls = oracle_calls t;
-      entries = Tbl.fold (fun x l acc -> (x, l) :: acc) t.bucket [];
+      entries = Tbl.fold (fun x (l, ts) acc -> (x, l, ts) :: acc) t.bucket [];
     }
 
   let restore s ~seed =
@@ -282,7 +320,7 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       create ~mode:s.mode ~capacity_scale:s.capacity_scale ~coupon_scale:s.coupon_scale
         ~epsilon:s.epsilon ~delta:s.delta ~log2_universe:s.log2_universe ~seed ()
     in
-    List.iter (fun (x, l) -> bucket_add t x l) s.entries;
+    List.iter (fun (x, l, ts) -> bucket_add ~ts t x l) s.entries;
     t.items <- s.items;
     t.max_bucket <- s.max_bucket;
     t.skipped <- s.skipped;
@@ -321,21 +359,31 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
         ~coupon_scale:pa.Params.coupon_scale ~epsilon:pa.Params.epsilon
         ~delta:pa.Params.delta ~log2_universe:pa.Params.log2_universe ~seed ()
     in
-    (if bucket_size a = 0 then Tbl.iter (fun x l -> bucket_add t x l) b.bucket
-     else if bucket_size b = 0 then Tbl.iter (fun x l -> bucket_add t x l) a.bucket
+    (if bucket_size a = 0 then
+       Tbl.iter (fun x (l, ts) -> bucket_add ~ts t x l) b.bucket
+     else if bucket_size b = 0 then
+       Tbl.iter (fun x (l, ts) -> bucket_add ~ts t x l) a.bucket
      else begin
        let l0 = ref (Stdlib.max (min_sampling_level a) (min_sampling_level b)) in
        (* [dup] marks elements whose coin was already flipped while absorbing
-          the other shard — they must not get a second chance *)
-       let absorb ~dup src =
+          the other shard — they must not get a second chance.  An element
+          held by both shards keeps the newest of the two timestamps (its
+          last occurrence across the sharded stream), looked up while
+          absorbing shard a so the single coin decides for both copies. *)
+       let ts_in other x ts =
+         match Tbl.find_opt other.bucket x with
+         | Some (_, other_ts) -> Float.max ts other_ts
+         | None -> ts
+       in
+       let absorb ~dup ~other src =
          Tbl.iter
-           (fun x l ->
+           (fun x (l, ts) ->
              if (not (dup x)) && Rng.bernoulli t.rng (Float.ldexp 1.0 (l - !l0))
-             then bucket_add t x !l0)
+             then bucket_add ~ts:(ts_in other x ts) t x !l0)
            src.bucket
        in
-       absorb ~dup:(fun _ -> false) a;
-       absorb ~dup:(Tbl.mem a.bucket) b;
+       absorb ~dup:(fun _ -> false) ~other:b a;
+       absorb ~dup:(Tbl.mem a.bucket) ~other:a b;
        (* Halve until the merged occupancy fits the capacity at its own
           level, exactly as process does for an insertion; past the
           probability floor the bucket is kept over-full rather than
@@ -345,11 +393,11 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
        while level_for t (bucket_size t) > !l0 && !l0 < max_level do
          incr l0;
          Tbl.filter_map_inplace
-           (fun _ l ->
+           (fun _ (l, ts) ->
              note_remove t l;
              if Rng.bool t.rng then begin
                note_add t !l0;
-               Some !l0
+               Some (!l0, ts)
              end
              else None)
            t.bucket

@@ -28,8 +28,13 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
 
   val params : t -> Params.t
 
-  val process : t -> F.t -> unit
-  (** Feed the next set of the stream. *)
+  val process : ?ts:float -> t -> F.t -> unit
+  (** Feed the next set of the stream.  [ts] (default 0) is the logical
+      ingest timestamp recorded on every bucket entry the set contributes;
+      because processing deletes [X ∩ S_i] first, a retained entry's
+      timestamp is always its element's {e last} occurrence time, and
+      re-insertion keeps the newest timestamp per element — the invariant
+      windowed queries ({!estimate_window}) rely on. *)
 
   val estimate : t -> float
   (** Current estimate of [|∪ S_i|] over the items processed so far
@@ -44,6 +49,20 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
       this variant is deterministic given the sketch — repeated queries
       agree exactly; the published algorithm resamples only to streamline
       the analysis. *)
+
+  val estimate_window : t -> cutoff:float -> float
+  (** {!estimate_horvitz_thompson} restricted to bucket entries whose last
+      occurrence is at or after [cutoff]: an unbiased estimate of
+      [|{x : last occurrence of x ≥ cutoff}|], i.e. the union over the
+      trailing window.  Non-destructive — a small-window query never
+      perturbs later, larger-window ones — and deterministic given the
+      sketch.  With [cutoff = neg_infinity] it equals
+      {!estimate_horvitz_thompson} exactly. *)
+
+  val expire : t -> cutoff:float -> unit
+  (** Destructively drop every entry whose last occurrence predates
+      [cutoff].  For fixed-horizon owners (the {!Delphic_window} epoch
+      chain) only; query-time restriction must use {!estimate_window}. *)
 
   val sample_union : t -> F.elt option
   (** Approximate-uniform draw from [∪ S_i] (the adaptation noted in the
@@ -117,7 +136,8 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
     max_bucket : int;
     skipped : int;
     calls : oracle_calls;
-    entries : (F.elt * int) list;  (** bucket contents: (element, level) *)
+    entries : (F.elt * int * float) list;
+        (** bucket contents: (element, level, last-occurrence timestamp) *)
   }
 
   val snapshot : t -> snapshot

@@ -45,7 +45,7 @@ struct
       items = s.A.items;
       merges;
       exact_active = s.A.exact_active;
-      exact_entries = List.map X.encode_elt s.A.exact_entries;
+      exact_entries = List.map (fun (x, ts) -> (ts, X.encode_elt x)) s.A.exact_entries;
       sketch =
         Option.map
           (fun (sk : A.sketch_snapshot) ->
@@ -59,22 +59,29 @@ struct
               membership_calls = sk.membership_calls;
               cardinality_calls = sk.cardinality_calls;
               sampling_calls = sk.sampling_calls;
-              entries = List.map (fun (x, level) -> (level, X.encode_elt x)) sk.sketch_entries;
+              entries =
+                List.map (fun (x, level, ts) -> (level, ts, X.encode_elt x)) sk.sketch_entries;
             })
           s.A.sketch;
     }
 
   let of_io ~seed (io : Io.t) =
-    let* exact_entries = map_result X.decode_elt io.Io.exact_entries in
+    let* exact_entries =
+      map_result
+        (fun (ts, e) ->
+          let* x = X.decode_elt e in
+          Ok (x, ts))
+        io.Io.exact_entries
+    in
     let* sketch =
       match io.Io.sketch with
       | None -> Ok None
       | Some sk ->
         let* sketch_entries =
           map_result
-            (fun (level, e) ->
+            (fun (level, ts, e) ->
               let* x = X.decode_elt e in
-              Ok (x, level))
+              Ok (x, level, ts))
             sk.Io.entries
         in
         Ok
@@ -193,15 +200,15 @@ let create ~family ~epsilon ~delta ~log2_universe ~seed =
     let* est = guard (fun () -> Cov_b.A.create ~epsilon ~delta ~log2_universe ~seed ()) in
     Ok (Cov_s { est; nbits; strength })
 
-let add t ~lineno payload =
+let add ?ts t ~lineno payload =
   match t with
   | Rect_s r ->
     let box = Parsers.rectangle_of_line ?dims:r.dims ~lineno payload in
     if r.dims = None then r.dims <- Some (Rectangle.dim box);
-    Rect_b.A.process r.est box
+    Rect_b.A.process ?ts r.est box
   | Dnf_s d ->
     let term = Parsers.dnf_term_of_line ~nvars:d.nvars ~lineno payload in
-    Dnf_b.A.process d.est term
+    Dnf_b.A.process ?ts d.est term
   | Cov_s c ->
     let v = Parsers.vector_of_line ~lineno payload in
     if Bitvec.width v <> c.nbits then
@@ -213,12 +220,18 @@ let add t ~lineno payload =
                Printf.sprintf "vector has %d bits but the session is cov:%d:%d"
                  (Bitvec.width v) c.nbits c.strength;
            });
-    Cov_b.A.process c.est (Coverage.create ~vector:v ~strength:c.strength)
+    Cov_b.A.process ?ts c.est (Coverage.create ~vector:v ~strength:c.strength)
 
 let estimate = function
   | Rect_s { est; _ } -> Rect_b.A.estimate est
   | Dnf_s { est; _ } -> Dnf_b.A.estimate est
   | Cov_s { est; _ } -> Cov_b.A.estimate est
+
+let estimate_window t ~cutoff =
+  match t with
+  | Rect_s { est; _ } -> Rect_b.A.estimate_window est ~cutoff
+  | Dnf_s { est; _ } -> Dnf_b.A.estimate_window est ~cutoff
+  | Cov_s { est; _ } -> Cov_b.A.estimate_window est ~cutoff
 
 let items = function
   | Rect_s { est; _ } -> Rect_b.A.items_processed est
@@ -263,8 +276,8 @@ let of_io (io : Io.t) ~seed =
     in
     let dims =
       match (io.Io.exact_entries, io.Io.sketch) with
-      | e :: _, _ -> Some (point_dims e)
-      | [], Some { Io.entries = (_, e) :: _; _ } -> Some (point_dims e)
+      | (_, e) :: _, _ -> Some (point_dims e)
+      | [], Some { Io.entries = (_, _, e) :: _; _ } -> Some (point_dims e)
       | [], _ -> None
     in
     Ok (Rect_s { est; dims })
@@ -279,6 +292,11 @@ let of_io (io : Io.t) ~seed =
    point-in-time clone of each leaf, so concurrent ADDs keep landing on the
    live estimator while the query runs. *)
 let copy t ~seed = of_io (to_io t) ~seed
+
+(* Query-time window restriction: a clone holding only the entries whose
+   last occurrence is inside the window.  Windowed EXPR leaves go through
+   this so the unchanged expression machinery answers over the window. *)
+let restrict t ~cutoff ~seed = of_io (Io.restrict ~cutoff (to_io t)) ~seed
 
 (* The cluster's fold step: combine two same-family sessions.  The
    estimator-level merge (Adaptive.Make.merge) raises on parameter

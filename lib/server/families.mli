@@ -23,13 +23,21 @@ val family : t -> Protocol.family
 
 val family_token : t -> string
 
-val add : t -> lineno:int -> string -> unit
-(** Parse one set line and feed it to the estimator.  Raises
+val add : ?ts:float -> t -> lineno:int -> string -> unit
+(** Parse one set line and feed it to the estimator.  [ts] (default 0) is
+    the logical ingest timestamp recorded per element (see
+    {!Delphic_core.Adaptive.Make.process}).  Raises
     {!Delphic_stream.Parsers.Parse_error} on a malformed payload — the
     caller turns that into an [ERR PARSE] reply; the estimator state is
     untouched by a rejected line. *)
 
 val estimate : t -> float
+
+val estimate_window : t -> cutoff:float -> float
+(** Union size restricted to elements whose last occurrence is at or after
+    [cutoff] ({!Delphic_core.Adaptive.Make.estimate_window}): exactly
+    correct in the exact regime, the restricted Horvitz–Thompson sum when
+    sketching.  Non-destructive. *)
 
 val items : t -> int
 
@@ -59,6 +67,12 @@ val copy : t -> seed:int -> (t, string) result
     mutable state with the copy).  An [EXPR] query clones each leaf under
     its session lock and then evaluates lock-free on the clones, so
     concurrent ingestion never blocks on a long query. *)
+
+val restrict : t -> cutoff:float -> seed:int -> (t, string) result
+(** {!copy} keeping only entries whose last occurrence is at or after
+    [cutoff] ({!Delphic_core.Snapshot_io.restrict} through the codec).  The
+    input is unchanged; windowed [EXPR] queries restrict each cloned leaf
+    and then run the ordinary expression machinery on the views. *)
 
 val expr_estimate :
   union:t ->

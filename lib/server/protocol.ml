@@ -13,16 +13,17 @@ type request =
       delta : float;
       log2_universe : float;
     }
-  | Add of { session : string; payload : string }
-  | Add_batch of { session : string; payloads : string list }
+  | Add of { session : string; payload : string; ts : float option }
+  | Add_batch of { session : string; payloads : string list; ts : float option }
   | Est of { session : string }
+  | Win of { session : string; seconds : float; at : float option }
   | Stats of { session : string }
   | Snapshot of { session : string; path : string }
   | Restore of { session : string; path : string }
-  | Fetch of { session : string }
+  | Fetch of { session : string; cutoff : float option }
   | Merge of { session : string; encoded : string }
   | Close of { session : string }
-  | Expr of { expr : Expr_ast.t; m : int option }
+  | Expr of { expr : Expr_ast.t; m : int option; w : float option }
   | Ping
   | Hello
 
@@ -200,33 +201,81 @@ let parse_request line =
     | "ADD" ->
       let session, payload = cut rest in
       if session = "" || payload = "" then
-        Error (Wrong_arity { command = "ADD"; expected = "ADD <session> <set-line>" })
+        Error (Wrong_arity { command = "ADD"; expected = "ADD <session> [t=<secs>] <set-line>" })
       else
         let* session = parse_session session in
-        Ok (Add { session; payload })
-    | "ADDB" -> (
-      let expected = "ADDB <session> <k> <payload-token>{k}" in
-      match tokens rest with
-      | session :: k :: toks ->
-        let* session = parse_session session in
-        let* k =
-          match int_of_string_opt k with
-          | Some k when k > 0 -> Ok k
-          | _ -> Error (Bad_number { what = "batch-size"; value = k })
+        (* Optional t=<secs> right after the session: no family line format
+           starts with "t=", so the prefix is unambiguous. *)
+        let* ts, payload =
+          let tok, after = cut payload in
+          if String.length tok > 2 && String.sub tok 0 2 = "t=" then
+            let v = String.sub tok 2 (String.length tok - 2) in
+            match float_of_string_opt v with
+            | Some ts -> Ok (Some ts, after)
+            | None -> Error (Bad_number { what = "timestamp"; value = v })
+          else Ok (None, payload)
         in
-        if List.length toks <> k then
-          Error (Wrong_arity { command = "ADDB"; expected })
-        else
-          let rec unarmor i acc = function
-            | [] -> Ok (List.rev acc)
-            | tok :: rest -> (
-              match unarmor_payload tok with
-              | Ok payload -> unarmor (i + 1) (payload :: acc) rest
-              | Error msg -> Error (Bad_line { line = i; msg }))
+        if payload = "" then
+          Error (Wrong_arity { command = "ADD"; expected = "ADD <session> [t=<secs>] <set-line>" })
+        else Ok (Add { session; payload; ts })
+    | "ADDB" -> (
+      let expected = "ADDB <session> [t=<secs>] <k> <payload-token>{k}" in
+      match tokens rest with
+      | session :: more ->
+        let* session = parse_session session in
+        let* ts, more =
+          match more with
+          | tok :: after when String.length tok > 2 && String.sub tok 0 2 = "t=" -> (
+            let v = String.sub tok 2 (String.length tok - 2) in
+            match float_of_string_opt v with
+            | Some ts -> Ok (Some ts, after)
+            | None -> Error (Bad_number { what = "timestamp"; value = v }))
+          | _ -> Ok (None, more)
+        in
+        (match more with
+        | k :: toks ->
+          let* k =
+            match int_of_string_opt k with
+            | Some k when k > 0 -> Ok k
+            | _ -> Error (Bad_number { what = "batch-size"; value = k })
           in
-          let* payloads = unarmor 0 [] toks in
-          Ok (Add_batch { session; payloads })
+          if List.length toks <> k then
+            Error (Wrong_arity { command = "ADDB"; expected })
+          else
+            let rec unarmor i acc = function
+              | [] -> Ok (List.rev acc)
+              | tok :: rest -> (
+                match unarmor_payload tok with
+                | Ok payload -> unarmor (i + 1) (payload :: acc) rest
+                | Error msg -> Error (Bad_line { line = i; msg }))
+            in
+            let* payloads = unarmor 0 [] toks in
+            Ok (Add_batch { session; payloads; ts })
+        | [] -> Error (Wrong_arity { command = "ADDB"; expected }))
       | _ -> Error (Wrong_arity { command = "ADDB"; expected }))
+    | "WIN" -> (
+      let expected = "WIN <session> <seconds> [at=<abs-secs>]" in
+      match tokens rest with
+      | session :: secs :: opt ->
+        let* session = parse_session session in
+        let* seconds =
+          (* "inf" is admitted: WIN <sid> inf must agree with EST <sid>. *)
+          match float_of_string_opt secs with
+          | Some s when s > 0.0 -> Ok s
+          | _ -> Error (Bad_number { what = "window-seconds"; value = secs })
+        in
+        let* at =
+          match opt with
+          | [] -> Ok None
+          | [ tok ] when String.length tok > 3 && String.sub tok 0 3 = "at=" -> (
+            let v = String.sub tok 3 (String.length tok - 3) in
+            match float_of_string_opt v with
+            | Some a -> Ok (Some a)
+            | None -> Error (Bad_number { what = "at"; value = v }))
+          | _ -> Error (Wrong_arity { command = "WIN"; expected })
+        in
+        Ok (Win { session; seconds; at })
+      | _ -> Error (Wrong_arity { command = "WIN"; expected }))
     | "EST" | "STATS" | "CLOSE" -> (
       let command = String.uppercase_ascii verb in
       match tokens rest with
@@ -240,14 +289,24 @@ let parse_request line =
       | _ -> Error (Wrong_arity { command; expected = command ^ " <session>" }))
     | "SNAPSHOT" ->
       (* One token: return the wire-encoded sketch inline (the cluster
-         gather).  Two: persist to a server-side file, as in v1. *)
+         gather).  A cut=<abs-secs> second token is a windowed fetch — the
+         coordinator computes the absolute cutoff once and ships it so every
+         replica expires against the same instant.  Any other second token
+         persists to a server-side file, as in v1 (a path literally named
+         "cut=..." needs a ./ prefix). *)
       let session, path = cut rest in
       if session = "" then
         Error
-          (Wrong_arity { command = "SNAPSHOT"; expected = "SNAPSHOT <session> [<path>]" })
+          (Wrong_arity { command = "SNAPSHOT"; expected = "SNAPSHOT <session> [cut=<abs-secs>] [<path>]" })
       else
         let* session = parse_session session in
-        Ok (if path = "" then Fetch { session } else Snapshot { session; path })
+        if path = "" then Ok (Fetch { session; cutoff = None })
+        else if String.length path > 4 && String.sub path 0 4 = "cut=" then
+          let v = String.sub path 4 (String.length path - 4) in
+          match float_of_string_opt v with
+          | Some c -> Ok (Fetch { session; cutoff = Some c })
+          | None -> Error (Bad_number { what = "cutoff"; value = v })
+        else Ok (Snapshot { session; path })
     | "RESTORE" ->
       let session, path = cut rest in
       if session = "" || path = "" then
@@ -263,22 +322,63 @@ let parse_request line =
       | _ ->
         Error (Wrong_arity { command = "MERGE"; expected = "MERGE <session> <wire-snapshot>" }))
     | "EXPR" ->
-      (* Optional leading m=<n> token; '=' is not in the session-name
-         alphabet so the prefix is unambiguous. *)
-      let first, after = cut rest in
-      let* m, body =
-        if String.length first > 2 && String.sub first 0 2 = "m=" then
-          let v = String.sub first 2 (String.length first - 2) in
-          match int_of_string_opt v with
-          | Some n when n > 0 -> Ok (Some n, after)
-          | _ -> Error (Bad_number { what = "samples"; value = v })
-        else Ok (None, rest)
+      (* Leading <key>=<value> option tokens before the expression body;
+         '=' never occurs in a valid expression (session names are
+         [A-Za-z0-9_.-], operators are "& | \ ^ ( )"), so the prefix is
+         unambiguous.  A malformed or unknown option is reported with the
+         offending token and its 1-based column in the argument text — the
+         same style the expression parser uses for its own errors. *)
+      let expected = "EXPR [m=<samples>] [w=<seconds>] <expression>" in
+      let n = String.length rest in
+      let rec skip_spaces i = if i < n && rest.[i] = ' ' then skip_spaces (i + 1) else i in
+      let is_option tok =
+        match String.index_opt tok '=' with
+        | Some k ->
+          k > 0 && String.for_all (function 'a' .. 'z' -> true | _ -> false) (String.sub tok 0 k)
+        | None -> false
       in
-      if body = "" then
-        Error (Wrong_arity { command = "EXPR"; expected = "EXPR [m=<samples>] <expression>" })
+      let rec options i m w =
+        let i = skip_spaces i in
+        if i >= n then Ok (m, w, "")
+        else
+          let j = match String.index_from_opt rest i ' ' with Some j -> j | None -> n in
+          let tok = String.sub rest i (j - i) in
+          if not (is_option tok) then Ok (m, w, String.sub rest i (n - i))
+          else begin
+            let pos = i + 1 in
+            let k = String.index tok '=' in
+            let key = String.sub tok 0 k in
+            let v = String.sub tok (k + 1) (String.length tok - k - 1) in
+            match key with
+            | "m" -> (
+              match int_of_string_opt v with
+              | Some s when s > 0 -> options j (Some s) w
+              | _ ->
+                Error
+                  (Bad_expr
+                     { pos; msg = Printf.sprintf "option m=: not a positive sample count: %S" v }))
+            | "w" -> (
+              match float_of_string_opt v with
+              | Some s when s > 0.0 -> options j m (Some s)
+              | _ ->
+                Error
+                  (Bad_expr
+                     { pos; msg = Printf.sprintf "option w=: not a positive window in seconds: %S" v }))
+            | _ ->
+              Error
+                (Bad_expr
+                   {
+                     pos;
+                     msg =
+                       Printf.sprintf "unknown option %S (want m=<samples> or w=<seconds>)" tok;
+                   })
+          end
+      in
+      let* m, w, body = options 0 None None in
+      if body = "" then Error (Wrong_arity { command = "EXPR"; expected })
       else (
         match Delphic_stream.Parsers.expr_of_string body with
-        | expr -> Ok (Expr { expr; m })
+        | expr -> Ok (Expr { expr; m; w })
         | exception Delphic_stream.Parsers.Parse_error { line; msg } ->
           Error (Bad_expr { pos = line; msg }))
     | _ -> Error (Unknown_command verb)
@@ -287,11 +387,19 @@ let render_request = function
   | Open { session; family; epsilon; delta; log2_universe } ->
     Printf.sprintf "OPEN %s %s %s %s %s" session (family_to_token family) (float_out epsilon)
       (float_out delta) (float_out log2_universe)
-  | Add { session; payload } -> Printf.sprintf "ADD %s %s" session payload
-  | Add_batch { session; payloads } ->
+  | Add { session; payload; ts } ->
+    (match ts with
+    | None -> Printf.sprintf "ADD %s %s" session payload
+    | Some t -> Printf.sprintf "ADD %s t=%s %s" session (float_out t) payload)
+  | Add_batch { session; payloads; ts } ->
     let buf = Buffer.create 256 in
     Buffer.add_string buf "ADDB ";
     Buffer.add_string buf session;
+    (match ts with
+    | None -> ()
+    | Some t ->
+      Buffer.add_string buf " t=";
+      Buffer.add_string buf (float_out t));
     Buffer.add_char buf ' ';
     Buffer.add_string buf (string_of_int (List.length payloads));
     List.iter
@@ -301,15 +409,22 @@ let render_request = function
       payloads;
     Buffer.contents buf
   | Est { session } -> "EST " ^ session
+  | Win { session; seconds; at } ->
+    Printf.sprintf "WIN %s %s%s" session (float_out seconds)
+      (match at with None -> "" | Some a -> " at=" ^ float_out a)
   | Stats { session } -> "STATS " ^ session
   | Snapshot { session; path } -> Printf.sprintf "SNAPSHOT %s %s" session path
   | Restore { session; path } -> Printf.sprintf "RESTORE %s %s" session path
-  | Fetch { session } -> "SNAPSHOT " ^ session
+  | Fetch { session; cutoff } ->
+    (match cutoff with
+    | None -> "SNAPSHOT " ^ session
+    | Some c -> Printf.sprintf "SNAPSHOT %s cut=%s" session (float_out c))
   | Merge { session; encoded } -> Printf.sprintf "MERGE %s %s" session encoded
   | Close { session } -> "CLOSE " ^ session
-  | Expr { expr; m } ->
+  | Expr { expr; m; w } ->
     "EXPR "
     ^ (match m with Some n -> Printf.sprintf "m=%d " n | None -> "")
+    ^ (match w with Some s -> Printf.sprintf "w=%s " (float_out s) | None -> "")
     ^ Expr_ast.to_string expr
   | Ping -> "PING"
   | Hello -> "HELLO"

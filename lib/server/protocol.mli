@@ -7,19 +7,31 @@
 
     {v
     OPEN <session> <family> <eps> <delta> <log2u>   open an estimation session
-    ADD <session> <set-line>                        feed one set (family line format)
-    ADDB <session> <k> <tok1> ... <tokk>            feed k sets in one frame
+    ADD <session> [t=<secs>] <set-line>             feed one set (family line format)
+    ADDB <session> [t=<secs>] <k> <tok1> ... <tokk> feed k sets in one frame
     EST <session>                                   current union-size estimate
+    WIN <session> <seconds> [at=<abs-secs>]         estimate over the trailing window
     STATS <session>                                 session counters
     SNAPSHOT <session> <path>                       persist the session to a file
-    SNAPSHOT <session>                              reply with the wire-encoded sketch
+    SNAPSHOT <session> [cut=<abs-secs>]             reply with the wire-encoded sketch
     RESTORE <session> <path>                        open a session from a snapshot
     MERGE <session> <wire-snapshot>                 fold a peer's sketch into the session
     CLOSE <session>                                 drop the session
-    EXPR [m=<samples>] <expression>                 set-expression cardinality estimate
+    EXPR [m=<samples>] [w=<secs>] <expression>      set-expression cardinality estimate
     PING                                            liveness probe
     HELLO                                           identity probe (reply: HELLO <generation>)
     v}
+
+    [t=<secs>] is the optional logical ingest timestamp of an [ADD]/[ADDB]
+    frame (no family line format starts with ["t="], so the token is
+    unambiguous); when absent the server stamps its own receive time from an
+    injectable clock.  [WIN] answers with the same [EST <float>] reply shape
+    restricted to elements last seen in the trailing [<seconds>]; [at=]
+    pins the query clock for reproducible runs.  [SNAPSHOT <s> cut=<abs>]
+    is the windowed cluster fetch: the coordinator computes the absolute
+    cutoff once and ships it, so every replica expires against the same
+    instant.  [EXPR w=<secs>] restricts every leaf of the expression to the
+    trailing window before evaluation.
 
     [ADDB] is the batched ingestion verb: each [tok] is one [ADD] payload
     percent-armored into a single space-free token ({!armor_payload}, the
@@ -71,23 +83,38 @@ type request =
       delta : float;
       log2_universe : float;
     }
-  | Add of { session : string; payload : string }
-  | Add_batch of { session : string; payloads : string list }
-      (** wire form [ADDB <session> <k> <tok>{k}]; payloads are carried
-          verbatim in memory and armored only on the wire *)
+  | Add of { session : string; payload : string; ts : float option }
+      (** [ts] is the optional [t=<secs>] ingest timestamp; [None] means
+          "stamp at receive time" (the server resolves it before journaling
+          so WAL replay preserves window semantics) *)
+  | Add_batch of { session : string; payloads : string list; ts : float option }
+      (** wire form [ADDB <session> [t=<secs>] <k> <tok>{k}]; payloads are
+          carried verbatim in memory and armored only on the wire; [ts]
+          stamps the whole frame *)
   | Est of { session : string }
+  | Win of { session : string; seconds : float; at : float option }
+      (** wire form [WIN <session> <seconds> [at=<abs-secs>]]: the union
+          estimate restricted to elements last seen within the trailing
+          [seconds]; [at] pins the query clock (absent ⇒ server clock).
+          Replies with {!Estimate}. *)
   | Stats of { session : string }
   | Snapshot of { session : string; path : string }
   | Restore of { session : string; path : string }
-  | Fetch of { session : string }
-      (** wire form [SNAPSHOT <session>] — the sketch comes back inline as a
-          {!Sketch} reply instead of being written server-side *)
+  | Fetch of { session : string; cutoff : float option }
+      (** wire form [SNAPSHOT <session> [cut=<abs-secs>]] — the sketch comes
+          back inline as a {!Sketch} reply instead of being written
+          server-side; with [cutoff], entries last seen before the absolute
+          instant are dropped from the reply (the cluster's windowed
+          gather) *)
   | Merge of { session : string; encoded : string }
       (** [encoded] is a {!Delphic_core.Snapshot_io.to_wire} token *)
   | Close of { session : string }
-  | Expr of { expr : Expr_ast.t; m : int option }
-      (** wire form [EXPR [m=<samples>] <expression>]; [m] overrides the
-          server's default union-sample count *)
+  | Expr of { expr : Expr_ast.t; m : int option; w : float option }
+      (** wire form [EXPR [m=<samples>] [w=<seconds>] <expression>]; [m]
+          overrides the server's default union-sample count, [w] restricts
+          every leaf to the trailing window.  Unknown or malformed option
+          tokens are rejected with {!Bad_expr} naming the token and its
+          1-based column. *)
   | Ping
   | Hello
       (** wire form [HELLO] — identity probe: the server answers

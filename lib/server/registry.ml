@@ -10,10 +10,11 @@ type session = {
   mutable parse_rejects : int;
   mutable last_estimate : float;
   mutable merges : int;
-  mutable wire_cache : string option;
-      (* the session's Fetch token, memoised until the next mutation: a
-         coordinator polling EST on a quiescent shard pays the snapshot
-         encode once, not per gather *)
+  mutable wire_cache : (float option * string) option;
+      (* the session's Fetch token keyed by the fetch's cutoff, memoised
+         until the next mutation: a coordinator polling EST (or WIN at a
+         stable cutoff bucket) on a quiescent shard pays the snapshot encode
+         once, not per gather *)
 }
 
 (* The table is striped: a session name hashes to one segment, whose mutex
@@ -26,20 +27,26 @@ type segment = { seg_lock : Mutex.t; sessions : (string, session) Hashtbl.t }
 type t = {
   segments : segment array;
   base_seed : int;
+  clock : unit -> float;
+      (* query clock for WIN/EXPR-w cutoffs when the request does not pin
+         one; injectable so tests and replay are deterministic *)
   meta : Mutex.t;  (* guards [opened] *)
   mutable opened : int;  (* distinct seeds for successive sessions *)
 }
 
-let create ?(stripes = 16) ~seed () =
+let create ?(stripes = 16) ?(clock = Unix.gettimeofday) ~seed () =
   if stripes < 1 then invalid_arg "Registry.create: need stripes >= 1";
   {
     segments =
       Array.init stripes (fun _ ->
           { seg_lock = Mutex.create (); sessions = Hashtbl.create 8 });
     base_seed = seed;
+    clock;
     meta = Mutex.create ();
     opened = 0;
   }
+
+let now t = t.clock ()
 
 let with_mutex m f =
   Mutex.lock m;
@@ -90,11 +97,11 @@ let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
             };
           Ok ())
 
-let add t ~name ~payload =
+let add ?ts t ~name ~payload =
   with_session t name (fun s ->
       s.adds <- s.adds + 1;
       s.wire_cache <- None;
-      match Families.add s.runner ~lineno:s.adds payload with
+      match Families.add ?ts s.runner ~lineno:s.adds payload with
       | () -> Ok ()
       | exception Parsers.Parse_error { line; msg } ->
         s.parse_rejects <- s.parse_rejects + 1;
@@ -104,7 +111,7 @@ let add t ~name ~payload =
    A payload that fails to parse is recorded as (index, msg) and the rest of
    the frame still lands, mirroring the singleton path's
    keep-the-session-usable contract. *)
-let add_batch t ~name ~payloads =
+let add_batch ?ts t ~name ~payloads =
   with_session t name (fun s ->
       s.wire_cache <- None;
       let accepted = ref 0 in
@@ -112,7 +119,7 @@ let add_batch t ~name ~payloads =
       List.iteri
         (fun i payload ->
           s.adds <- s.adds + 1;
-          match Families.add s.runner ~lineno:s.adds payload with
+          match Families.add ?ts s.runner ~lineno:s.adds payload with
           | () -> incr accepted
           | exception Parsers.Parse_error { line = _; msg } ->
             s.parse_rejects <- s.parse_rejects + 1;
@@ -125,6 +132,15 @@ let estimate t ~name =
       let v = Families.estimate s.runner in
       s.last_estimate <- v;
       Ok v)
+
+(* Windowed estimate: the absolute cutoff is the pinned query instant (or
+   the injectable clock's now) minus the window; [seconds = infinity] gives
+   [cutoff = -inf] and agrees with EST exactly.  [last_estimate] is the
+   full-stream STATS figure, so WIN leaves it alone. *)
+let win t ~name ~seconds ~at =
+  with_session t name (fun s ->
+      let at = match at with Some a -> a | None -> now t in
+      Ok (Families.estimate_window s.runner ~cutoff:(at -. seconds)))
 
 let stats t ~name =
   with_session t name (fun s ->
@@ -157,14 +173,16 @@ let snapshot_session ?fsync s ~path =
 let snapshot_to t ~name ~path =
   with_session t name (fun s -> snapshot_session s ~path)
 
-let fetch t ~name =
+let fetch ?cutoff t ~name =
   with_session t name (fun s ->
       match s.wire_cache with
-      | Some encoded -> Ok encoded
-      | None -> (
-        match Io.to_wire (Families.to_io ~merges:s.merges s.runner) with
+      | Some (key, encoded) when key = cutoff -> Ok encoded
+      | _ -> (
+        let io = Families.to_io ~merges:s.merges s.runner in
+        let io = match cutoff with None -> io | Some c -> Io.restrict ~cutoff:c io in
+        match Io.to_wire io with
         | encoded ->
-          s.wire_cache <- Some encoded;
+          s.wire_cache <- Some (cutoff, encoded);
           Ok encoded
         | exception Invalid_argument msg -> Error (Protocol.Server_error msg)))
 
@@ -193,7 +211,7 @@ let max_expr_samples = 65536
    clones into one union sketch, then sample-and-probe lock-free on the
    clones.  Cross-leaf consistency is per-leaf point-in-time — the same
    contract a coordinator gather gives. *)
-let expr_query t ~expr ~m =
+let expr_query ?w t ~expr ~m =
   let module E = Protocol.Expr_ast in
   let names = E.leaves expr in
   if List.length names > E.max_leaves then
@@ -207,6 +225,9 @@ let expr_query t ~expr ~m =
       | None -> default_expr_samples
       | Some n -> min n max_expr_samples
     in
+    (* The window cutoff is computed once, before any leaf is cloned, so
+       every leaf is restricted against the same instant. *)
+    let cutoff = Option.map (fun w -> now t -. w) w in
     let rec clone acc = function
       | [] -> Ok (List.rev acc)
       | name :: rest -> (
@@ -214,7 +235,9 @@ let expr_query t ~expr ~m =
           with_session t name (fun s ->
               Result.map_error
                 (fun msg -> Protocol.Server_error msg)
-                (Families.copy s.runner ~seed:(next_seed t)))
+                (match cutoff with
+                | None -> Families.copy s.runner ~seed:(next_seed t)
+                | Some c -> Families.restrict s.runner ~cutoff:c ~seed:(next_seed t)))
         in
         match copied with
         | Ok c -> clone ((name, c) :: acc) rest
@@ -336,18 +359,23 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       (Result.map
          (fun () -> Protocol.Ok_reply (Some ("opened " ^ session)))
          (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
-  | Protocol.Add { session; payload } ->
-    reply (Result.map (fun () -> Protocol.Ok_reply None) (add t ~name:session ~payload))
-  | Protocol.Add_batch { session; payloads } ->
+  | Protocol.Add { session; payload; ts } ->
+    reply (Result.map (fun () -> Protocol.Ok_reply None) (add ?ts t ~name:session ~payload))
+  | Protocol.Add_batch { session; payloads; ts } ->
     reply
       (Result.map
          (fun (accepted, errors) -> Protocol.Ok_batch { accepted; errors })
-         (add_batch t ~name:session ~payloads))
+         (add_batch ?ts t ~name:session ~payloads))
   | Protocol.Est { session } ->
     reply
       (Result.map
          (fun value -> Protocol.Estimate { value; degraded = false })
          (estimate t ~name:session))
+  | Protocol.Win { session; seconds; at } ->
+    reply
+      (Result.map
+         (fun value -> Protocol.Estimate { value; degraded = false })
+         (win t ~name:session ~seconds ~at))
   | Protocol.Stats { session } ->
     reply (Result.map (fun s -> Protocol.Stats_reply s) (stats t ~name:session))
   | Protocol.Snapshot { session; path } ->
@@ -360,8 +388,8 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       (Result.map
          (fun () -> Protocol.Ok_reply (Some ("restored " ^ session)))
          (restore_from t ~name:session ~path))
-  | Protocol.Fetch { session } ->
-    reply (Result.map (fun encoded -> Protocol.Sketch encoded) (fetch t ~name:session))
+  | Protocol.Fetch { session; cutoff } ->
+    reply (Result.map (fun encoded -> Protocol.Sketch encoded) (fetch ?cutoff t ~name:session))
   | Protocol.Merge { session; encoded } ->
     reply
       (Result.map
@@ -369,8 +397,8 @@ let dispatch t (req : Protocol.request) : Protocol.response =
          (merge_in t ~name:session ~encoded))
   | Protocol.Close { session } ->
     reply (Result.map (fun () -> Protocol.Ok_reply (Some ("closed " ^ session))) (close t ~name:session))
-  | Protocol.Expr { expr; m } ->
+  | Protocol.Expr { expr; m; w } ->
     reply
       (Result.map
          (Protocol.expr_reply_of_outcome ~degraded:false)
-         (expr_query t ~expr ~m))
+         (expr_query ?w t ~expr ~m))

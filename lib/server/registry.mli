@@ -18,10 +18,13 @@
 
 type t
 
-val create : ?stripes:int -> seed:int -> unit -> t
+val create : ?stripes:int -> ?clock:(unit -> float) -> seed:int -> unit -> t
 (** [seed] is the base PRNG seed; each opened or restored session derives a
     distinct seed from it.  [stripes] (default 16) is the number of
-    mutex-striped segments; raises [Invalid_argument] when < 1. *)
+    mutex-striped segments; raises [Invalid_argument] when < 1.  [clock]
+    (default [Unix.gettimeofday]) supplies the query instant for [WIN] and
+    windowed [EXPR] requests that do not pin one — injectable so tests and
+    WAL replay are deterministic. *)
 
 val dispatch : t -> Protocol.request -> Protocol.response
 
@@ -34,11 +37,15 @@ val open_session :
   log2_universe:float ->
   (unit, Protocol.error) result
 
-val add : t -> name:string -> payload:string -> (unit, Protocol.error) result
+val add : ?ts:float -> t -> name:string -> payload:string -> (unit, Protocol.error) result
 (** One bad payload yields [Error (Bad_line _)] and bumps the session's
-    reject counter; the session stays usable. *)
+    reject counter; the session stays usable.  [ts] (default 0) is the
+    logical ingest timestamp recorded per element; the TCP server resolves a
+    missing [t=] to its receive clock {e before} dispatching, so a bare
+    registry only sees explicit timestamps. *)
 
 val add_batch :
+  ?ts:float ->
   t -> name:string -> payloads:string list -> (int * (int * string) list, Protocol.error) result
 (** Feed a whole [ADDB] frame under a single mutex acquisition.  Returns
     [(accepted, errors)] where [errors] pairs each rejected payload's
@@ -46,6 +53,14 @@ val add_batch :
     one still land.  [Error] only when the session does not exist. *)
 
 val estimate : t -> name:string -> (float, Protocol.error) result
+
+val win :
+  t -> name:string -> seconds:float -> at:float option -> (float, Protocol.error) result
+(** Union estimate restricted to elements last seen within the trailing
+    [seconds] of the query instant ([at], or the registry clock when
+    [None]).  [seconds = infinity] agrees with {!estimate}'s
+    Horvitz–Thompson variant exactly.  Non-destructive; does not update the
+    STATS [last_estimate]. *)
 
 val stats : t -> name:string -> (Protocol.stats, Protocol.error) result
 
@@ -56,9 +71,13 @@ val snapshot_to : t -> name:string -> path:string -> (unit, Protocol.error) resu
 val restore_from : t -> name:string -> path:string -> (unit, Protocol.error) result
 (** Opens session [name] from a snapshot file; fails if the name is taken. *)
 
-val fetch : t -> name:string -> (string, Protocol.error) result
+val fetch : ?cutoff:float -> t -> name:string -> (string, Protocol.error) result
 (** The session's state as one {!Delphic_core.Snapshot_io.to_wire} token —
-    the worker half of the cluster's gather step. *)
+    the worker half of the cluster's gather step.  With [cutoff], entries
+    last seen before that absolute instant are dropped from the token
+    ({!Delphic_core.Snapshot_io.restrict}) — the windowed gather.  The token
+    is memoised per [(cutoff, state)] pair, so repeated idle gathers at a
+    stable cutoff bucket encode once. *)
 
 val merge_in : t -> name:string -> encoded:string -> (unit, Protocol.error) result
 (** Fold a wire-encoded peer sketch into session [name]
@@ -74,6 +93,7 @@ val max_expr_samples : int
     refused — more samples only cost time. *)
 
 val expr_query :
+  ?w:float ->
   t ->
   expr:Protocol.Expr_ast.t ->
   m:int option ->
@@ -82,9 +102,12 @@ val expr_query :
     ({!Families.expr_estimate}).  Each leaf session is cloned under its own
     lock and the query then runs lock-free on the clones, so concurrent
     ingestion is never blocked.  [m] is the union-sample count (default 256,
-    capped at 65536).  [Error (Bad_params _)] when the expression names more
-    than {!Delphic_expr.Expr.max_leaves} distinct sessions or mixes
-    families; [Error (Unknown_session _)] on an unopened leaf. *)
+    capped at 65536).  [w] restricts every leaf to the trailing [w] seconds
+    of the registry clock — the cutoff is computed once, before any leaf is
+    cloned, so all leaves see the same instant.  [Error (Bad_params _)] when
+    the expression names more than {!Delphic_expr.Expr.max_leaves} distinct
+    sessions or mixes families; [Error (Unknown_session _)] on an unopened
+    leaf. *)
 
 val names : t -> string list
 

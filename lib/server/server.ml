@@ -6,6 +6,7 @@ type wal_config = { dir : string; fsync : Wal.fsync_policy; checkpoint_every : i
 
 type t = {
   registry : Registry.t;
+  clock : unit -> float;
   spool : string;
   listen_fd : Unix.file_descr;
   port : int;
@@ -60,6 +61,18 @@ let ephemeral_generation () =
   in
   0x40000000 lor (entropy land 0x3FFFFFFF)
 
+(* An ADD/ADDB without an explicit t= gets stamped here, at receive time,
+   BEFORE dispatch and journaling — so the journal record carries the
+   resolved timestamp and replay preserves window semantics.  Pre-timestamp
+   journal records (and any stray untimestamped replayed line) resolve to
+   t=0: all-history, never a spurious window hit. *)
+let resolve_ts ~clock = function
+  | Protocol.Add ({ ts = None; _ } as r) ->
+    Protocol.Add { r with ts = Some (clock ()) }
+  | Protocol.Add_batch ({ ts = None; _ } as r) ->
+    Protocol.Add_batch { r with ts = Some (clock ()) }
+  | req -> req
+
 (* WAL recovery: load the last checkpoint (non-consuming — it must survive
    for the next crash), then re-drive the journal tail through the ordinary
    dispatch path.  Re-applied records double-count only counters; the
@@ -78,7 +91,7 @@ let recover_from_wal registry w =
         | Error e ->
           Log.warn (fun m -> m "journal record unparseable: %s" (Protocol.describe_error e))
         | Ok req -> (
-          match Registry.dispatch registry req with
+          match Registry.dispatch registry (resolve_ts ~clock:(fun () -> 0.0) req) with
           | Protocol.Error_reply e ->
             (* OPENs for checkpointed sessions replay as SESSION-EXISTS and
                the like — expected, the record predates the checkpoint race
@@ -94,7 +107,7 @@ let recover_from_wal registry w =
         (List.length restored) replayed (Wal.generation w));
   restored
 
-let create ?(host = "127.0.0.1") ?wal ~port ~spool ~seed () =
+let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ~port ~spool ~seed () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -106,7 +119,7 @@ let create ?(host = "127.0.0.1") ?wal ~port ~spool ~seed () =
   let port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let registry = Registry.create ~seed () in
+  let registry = Registry.create ~clock ~seed () in
   let wal =
     Option.map (fun cfg -> (Wal.open_ ~dir:cfg.dir ~fsync:cfg.fsync, cfg)) wal
   in
@@ -129,6 +142,7 @@ let create ?(host = "127.0.0.1") ?wal ~port ~spool ~seed () =
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   {
     registry;
+    clock;
     spool;
     listen_fd = fd;
     port;
@@ -156,8 +170,8 @@ let journaled_request = function
   | Protocol.Open _ | Protocol.Add _ | Protocol.Add_batch _ | Protocol.Merge _
   | Protocol.Restore _ | Protocol.Close _ ->
     true
-  | Protocol.Est _ | Protocol.Stats _ | Protocol.Snapshot _ | Protocol.Fetch _
-  | Protocol.Expr _ | Protocol.Ping | Protocol.Hello ->
+  | Protocol.Est _ | Protocol.Win _ | Protocol.Stats _ | Protocol.Snapshot _
+  | Protocol.Fetch _ | Protocol.Expr _ | Protocol.Ping | Protocol.Hello ->
     false
 
 let mutation_succeeded = function
@@ -208,6 +222,7 @@ let handle_connection t fd =
            | Error e -> Protocol.Error_reply e
            | Ok Protocol.Hello -> Protocol.Hello_reply { generation = t.generation }
            | Ok req -> (
+             let req = resolve_ts ~clock:t.clock req in
              match Registry.dispatch t.registry req with
              | resp -> (
                (* Journal the accepted mutation BEFORE the reply leaves: an

@@ -28,10 +28,18 @@ type wal_config = {
 }
 
 val create :
-  ?host:string -> ?wal:wal_config -> port:int -> spool:string -> seed:int -> unit -> t
+  ?host:string ->
+  ?clock:(unit -> float) ->
+  ?wal:wal_config ->
+  port:int -> spool:string -> seed:int -> unit -> t
 (** Bind and listen ([host] defaults to ["127.0.0.1"]; [port] 0 picks an
     ephemeral port, see {!port}), then restore state: from [wal]'s
     checkpoint + journal when given, else from the spool directory.
+    [clock] (default [Unix.gettimeofday]) stamps [ADD]/[ADDB] frames that
+    carry no [t=] — resolved {e before} dispatch and journaling, so WAL
+    replay sees the same timestamps — and supplies the query instant for
+    un-pinned [WIN]/windowed [EXPR]; injectable for deterministic tests.
+    WAL replay itself resolves legacy untimestamped records to [t=0].
     Raises [Unix.Unix_error] if the address is unavailable. *)
 
 val port : t -> int

@@ -154,6 +154,80 @@ module Orders = struct
     List.concat (List.init copies (fun _ -> items))
 end
 
+module Timestamped = struct
+  type 'a event = { at : float; item : 'a }
+
+  let check_rate what rate =
+    if not (rate > 0.0 && Float.is_finite rate) then
+      invalid_arg (Printf.sprintf "Timestamped.%s: need a positive finite rate" what)
+
+  (* Sum of exponential gaps: a homogeneous Poisson arrival process. *)
+  let poisson rng ~rate ~start items =
+    check_rate "poisson" rate;
+    let clock = ref start in
+    List.map
+      (fun item ->
+        clock := !clock +. (Rng.exponential rng /. rate);
+        { at = !clock; item })
+      items
+
+  let constant ~rate ~start items =
+    check_rate "constant" rate;
+    let dt = 1.0 /. rate in
+    List.mapi (fun i item -> { at = start +. (float_of_int (i + 1) *. dt); item }) items
+
+  (* Alternate [quiet] seconds of silence with a burst of [burst_len] items
+     packed at [burst_rate] — the arrival shape that separates a windowed
+     estimate from a full one most sharply. *)
+  let bursty rng ~quiet ~burst_len ~burst_rate ~start items =
+    check_rate "bursty" burst_rate;
+    if not (quiet >= 0.0 && Float.is_finite quiet) then
+      invalid_arg "Timestamped.bursty: need quiet >= 0";
+    if burst_len < 1 then invalid_arg "Timestamped.bursty: need burst_len >= 1";
+    let clock = ref start in
+    let in_burst = ref 0 in
+    List.map
+      (fun item ->
+        if !in_burst = 0 then begin
+          clock := !clock +. quiet;
+          in_burst := burst_len
+        end;
+        decr in_burst;
+        clock := !clock +. (Rng.exponential rng /. burst_rate);
+        { at = !clock; item })
+      items
+
+  (* Sinusoidally modulated Poisson process by thinning: the instantaneous
+     rate is [rate · (1 + swing · sin(2π t / period)) / (1 + swing)],
+     peaking once per [period] — a diurnal load curve. *)
+  let diurnal rng ~rate ~period ~swing ~start items =
+    check_rate "diurnal" rate;
+    if not (period > 0.0 && Float.is_finite period) then
+      invalid_arg "Timestamped.diurnal: need a positive finite period";
+    if not (swing >= 0.0 && swing <= 1.0) then
+      invalid_arg "Timestamped.diurnal: need swing in [0, 1]";
+    let clock = ref start in
+    let next_arrival () =
+      (* thin a rate-[rate] Poisson stream against the modulation envelope *)
+      let accepted = ref false in
+      while not !accepted do
+        clock := !clock +. (Rng.exponential rng /. rate);
+        let phase = 2.0 *. Float.pi *. !clock /. period in
+        let level = (1.0 +. (swing *. sin phase)) /. (1.0 +. swing) in
+        if Rng.float rng <= level then accepted := true
+      done;
+      !clock
+    in
+    List.map (fun item -> { at = next_arrival (); item }) items
+
+  let items evs = List.map (fun e -> e.item) evs
+  let span = function
+    | [] -> 0.0
+    | first :: _ as evs ->
+      let last = List.fold_left (fun _ e -> e.at) first.at evs in
+      last -. first.at
+end
+
 module Knapsacks = struct
   let random rng ~nvars ~max_weight ~count =
     List.init count (fun _ ->

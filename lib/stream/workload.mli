@@ -136,6 +136,53 @@ module Orders : sig
   (** The whole pool repeated [copies] times back-to-back. *)
 end
 
+module Timestamped : sig
+  (** Arrival-time processes: stamp an (already ordered) item stream with
+      logical ingest times, for the sliding-window experiments.  All clocks
+      are seconds from an arbitrary origin [start]; every generator is
+      deterministic given its [Rng.t] and produces non-decreasing stamps. *)
+
+  type 'a event = { at : float; item : 'a }
+
+  val poisson :
+    Delphic_util.Rng.t -> rate:float -> start:float -> 'a list -> 'a event list
+  (** Homogeneous Poisson arrivals at [rate] items/second (i.i.d.
+      exponential gaps). *)
+
+  val constant : rate:float -> start:float -> 'a list -> 'a event list
+  (** Evenly spaced arrivals, one every [1/rate] seconds. *)
+
+  val bursty :
+    Delphic_util.Rng.t ->
+    quiet:float ->
+    burst_len:int ->
+    burst_rate:float ->
+    start:float ->
+    'a list ->
+    'a event list
+  (** [quiet] seconds of silence, then [burst_len] items at [burst_rate],
+      repeating — the shape that separates a windowed estimate from a full
+      one most sharply. *)
+
+  val diurnal :
+    Delphic_util.Rng.t ->
+    rate:float ->
+    period:float ->
+    swing:float ->
+    start:float ->
+    'a list ->
+    'a event list
+  (** Poisson arrivals thinned against a sinusoidal envelope: instantaneous
+      rate [rate · (1 + swing · sin(2πt/period)) / (1 + swing)], peaking
+      once per [period].  [swing] in [0, 1]; 0 degenerates to {!poisson}. *)
+
+  val items : 'a event list -> 'a list
+  (** Drop the stamps. *)
+
+  val span : 'a event list -> float
+  (** Last stamp minus first (0 on streams shorter than 2). *)
+end
+
 module Knapsacks : sig
   val random :
     Delphic_util.Rng.t ->

@@ -1,0 +1,221 @@
+(* The strategy choice is family-independent, so it lives outside the
+   functor: harnesses sweeping several families can share one value. *)
+type strategy =
+  | Tagged
+  | Epochs of { epoch : float; max_per_rank : int }
+
+module Make (F : Delphic_family.Family.FAMILY) = struct
+  module V = Delphic_core.Vatic.Make (F)
+  module Params = Delphic_core.Params
+
+  (* A sealed sub-sketch of the Epochs chain: all sets processed while the
+     logical clock was in [start_, stop).  [rank] is the exponential-
+     histogram span exponent — a rank-r bucket absorbed 2^r base epochs. *)
+  type bucket = { bstart : float; bstop : float; rank : int; sk : V.t }
+
+  type chain = {
+    epoch : float;
+    max_per_rank : int;
+    mutable head : bucket option; (* the open (still-filling) epoch *)
+    mutable sealed : bucket list; (* newest first *)
+  }
+
+  type state = Tagged_state of V.t | Epochs_state of chain
+
+  type t = {
+    mode : Params.mode option;
+    capacity_scale : float option;
+    coupon_scale : float option;
+    epsilon : float;
+    delta : float;
+    log2_universe : float;
+    state : state;
+    mutable seq : int; (* distinct seeds for sub-sketches and query folds *)
+    seed : int;
+    mutable items : int;
+    mutable last_now : float; (* high-water mark of the logical clock *)
+  }
+
+  let next_seed t =
+    t.seq <- t.seq + 1;
+    t.seed + (7919 * t.seq)
+
+  let fresh_sketch t =
+    V.create ?mode:t.mode ?capacity_scale:t.capacity_scale
+      ?coupon_scale:t.coupon_scale ~epsilon:t.epsilon ~delta:t.delta
+      ~log2_universe:t.log2_universe ~seed:(next_seed t) ()
+
+  let create ?(strategy = Tagged) ?mode ?capacity_scale ?coupon_scale ~epsilon
+      ~delta ~log2_universe ~seed () =
+    (match strategy with
+    | Tagged -> ()
+    | Epochs { epoch; max_per_rank } ->
+      if not (epoch > 0.0 && Float.is_finite epoch) then
+        invalid_arg "Window.create: need a positive finite epoch";
+      if max_per_rank < 2 then invalid_arg "Window.create: need max_per_rank >= 2");
+    let seq = ref 0 in
+    let state =
+      match strategy with
+      | Tagged ->
+        incr seq;
+        Tagged_state
+          (V.create ?mode ?capacity_scale ?coupon_scale ~epsilon ~delta
+             ~log2_universe
+             ~seed:(seed + (7919 * !seq))
+             ())
+      | Epochs { epoch; max_per_rank } ->
+        Epochs_state { epoch; max_per_rank; head = None; sealed = [] }
+    in
+    {
+      mode;
+      capacity_scale;
+      coupon_scale;
+      epsilon;
+      delta;
+      log2_universe;
+      state;
+      seq = !seq;
+      seed;
+      items = 0;
+      last_now = neg_infinity;
+    }
+
+  (* Exponential-histogram compaction: whenever more than [max_per_rank]
+     sealed buckets share a rank, the two OLDEST of that rank merge into one
+     bucket of rank+1 (their spans are adjacent by construction), possibly
+     cascading.  Invariant: per rank at most [max_per_rank] buckets, so the
+     chain holds O(max_per_rank · log(T/epoch)) sub-sketches. *)
+  let rec compact t (c : chain) =
+    let by_rank = Hashtbl.create 8 in
+    List.iter
+      (fun b ->
+        Hashtbl.replace by_rank b.rank (1 + Option.value ~default:0 (Hashtbl.find_opt by_rank b.rank)))
+      c.sealed;
+    let overfull =
+      Hashtbl.fold
+        (fun rank n acc -> if n > c.max_per_rank then Some rank else acc)
+        by_rank None
+    in
+    match overfull with
+    | None -> ()
+    | Some rank ->
+      (* the two oldest of [rank] are the last two such in the newest-first
+         list; walk once collecting positions *)
+      let arr = Array.of_list c.sealed in
+      let idx = ref [] in
+      Array.iteri (fun i b -> if b.rank = rank then idx := i :: !idx) arr;
+      (match !idx with
+      | i_oldest :: i_second :: _ ->
+        (* [idx] is oldest-first because we consed while walking newest-first *)
+        let a = arr.(i_oldest) and b = arr.(i_second) in
+        let merged =
+          {
+            bstart = Float.min a.bstart b.bstart;
+            bstop = Float.max a.bstop b.bstop;
+            rank = rank + 1;
+            sk = V.merge a.sk b.sk ~seed:(next_seed t);
+          }
+        in
+        c.sealed <-
+          List.concat
+            (List.mapi
+               (fun i x ->
+                 if i = i_second then [ merged ]
+                 else if i = i_oldest then []
+                 else [ x ])
+               c.sealed);
+        compact t c
+      | _ -> ())
+
+  let process t ~now set =
+    t.items <- t.items + 1;
+    t.last_now <- Float.max t.last_now now;
+    match t.state with
+    | Tagged_state v -> V.process ~ts:now v set
+    | Epochs_state c -> (
+      let k = Float.floor (now /. c.epoch) in
+      let bstart = k *. c.epoch in
+      let bstop = bstart +. c.epoch in
+      match c.head with
+      | Some h when now < h.bstop ->
+        (* still in the open epoch — or a late arrival behind it, which is
+           absorbed where the stream currently is (the chain assumes a
+           non-decreasing clock; a late set can only make its epoch's expiry
+           conservative, never an under-count) *)
+        V.process ~ts:now h.sk set
+      | head ->
+        (match head with
+        | Some h ->
+          c.sealed <- h :: c.sealed;
+          compact t c
+        | None -> ());
+        let sk = fresh_sketch t in
+        V.process ~ts:now sk set;
+        c.head <- Some { bstart; bstop; rank = 0; sk })
+
+  (* Every sub-sketch overlapping [cutoff, ∞), newest first. *)
+  let live_buckets c ~cutoff =
+    let head = match c.head with Some h -> [ h ] | None -> [] in
+    head @ List.filter (fun b -> b.bstop > cutoff) c.sealed
+
+  (* Query-time folds use seeds derived from the chain's base seed, not the
+     mutable [seq] counter: two queries over the same live buckets then make
+     identical coin flips, so [query ~window:infinity] equals [estimate]
+     exactly and repeated queries are reproducible. *)
+  let fold_sketches t = function
+    | [] -> None
+    | [ b ] -> Some b.sk
+    | b :: rest ->
+      let k = ref 0 in
+      Some
+        (List.fold_left
+           (fun acc x ->
+             incr k;
+             V.merge acc x.sk ~seed:(t.seed + (104729 * !k)))
+           b.sk rest)
+
+  let query t ~now ~window =
+    if not (window > 0.0) then invalid_arg "Window.query: need window > 0";
+    let cutoff = now -. window in
+    match t.state with
+    | Tagged_state v ->
+      if Float.is_finite cutoff then V.estimate_window v ~cutoff
+      else V.estimate_horvitz_thompson v
+    | Epochs_state c ->
+      (* expire-on-query compaction: an epoch wholly before the cutoff can
+         never contribute again (any of its elements still alive re-occurred
+         in a newer epoch and is held there too), so drop it for good *)
+      if Float.is_finite cutoff then
+        c.sealed <- List.filter (fun b -> b.bstop > cutoff) c.sealed;
+      (match fold_sketches t (live_buckets c ~cutoff) with
+      | None -> 0.0
+      | Some sk ->
+        if Float.is_finite cutoff then V.estimate_window sk ~cutoff
+        else V.estimate_horvitz_thompson sk)
+
+  let estimate t =
+    match t.state with
+    | Tagged_state v -> V.estimate_horvitz_thompson v
+    | Epochs_state c -> (
+      match fold_sketches t (live_buckets c ~cutoff:neg_infinity) with
+      | None -> 0.0
+      | Some sk -> V.estimate_horvitz_thompson sk)
+
+  let items t = t.items
+  let last_seen t = t.last_now
+
+  let sub_sketches t =
+    match t.state with
+    | Tagged_state _ -> 1
+    | Epochs_state c ->
+      List.length c.sealed + (match c.head with Some _ -> 1 | None -> 0)
+
+  let max_bucket_size t =
+    match t.state with
+    | Tagged_state v -> V.max_bucket_size v
+    | Epochs_state c ->
+      List.fold_left
+        (fun acc b -> acc + V.max_bucket_size b.sk)
+        (match c.head with Some h -> V.max_bucket_size h.sk | None -> 0)
+        c.sealed
+end

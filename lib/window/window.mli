@@ -1,0 +1,93 @@
+(** Sliding-window union estimation: lifts the {!Delphic_core.Vatic} sketch
+    over any {!Delphic_family.Family.FAMILY} to answer [|∪ S_i|] restricted
+    to the sets of the trailing [w] seconds of logical time.
+
+    Two strategies, one query interface:
+
+    - {!Tagged} keeps a single timestamp-tagged sketch.  Every bucket entry
+      carries its element's last-occurrence time (VATIC deletes [X ∩ S_i]
+      before re-inserting, so re-occurrence refreshes the tag), and a window
+      query is the Horvitz–Thompson sum restricted to entries at or after
+      the cutoff — exact cutoffs, minimal space, non-destructive.  The cost:
+      elements {e outside} the window still occupy bucket slots, so over a
+      long history the within-window sample thins and small-window variance
+      grows.
+    - {!Epochs} keeps an exponential-histogram chain of per-epoch
+      sub-sketches (spans 1, 1, 2, 2, 4, 4, … base epochs; the two oldest
+      same-span buckets merge when a span overfills).  A query folds only
+      the sub-sketches overlapping the window, so accuracy tracks a
+      window-local sketch however long the stream ran, and whole epochs
+      behind the cutoff are destructively dropped at query time
+      (expire-on-query compaction) — at the cost of
+      [O(max_per_rank · log(T/epoch))] sub-sketches held and epoch-aligned
+      expiry of the chain.  One caveat it inherits from
+      {!Delphic_core.Vatic.Make.merge}: sampling coins are independent
+      across sub-sketches, so an element recurring in several epochs can be
+      counted once per sub-sketch that sampled it.  The fold therefore
+      answers with an {e upper-biased} union on streams with heavy
+      cross-epoch recurrence — never below [(1-ε)·|∪|], never above
+      [(1+ε)·Σ_b |∪ of bucket b|].  Prefer {!Tagged} when elements recur
+      across the whole history; {!Epochs} is the coarse fallback for long
+      streams whose recurrence is temporally local.  See DESIGN.md for the
+      trade-off discussion.
+
+    Logical time is the caller's: feed [process ~now] with any non-decreasing
+    clock (seconds from an arbitrary origin). *)
+
+type strategy =
+  | Tagged  (** one timestamp-tagged sketch; exact cutoffs *)
+  | Epochs of { epoch : float; max_per_rank : int }
+      (** chain of per-epoch sub-sketches; [epoch] is the base span in
+          seconds, [max_per_rank] (≥ 2) the exponential-histogram width *)
+
+module Make (F : Delphic_family.Family.FAMILY) : sig
+  type t
+
+  val create :
+    ?strategy:strategy ->
+    ?mode:Delphic_core.Params.mode ->
+    ?capacity_scale:float ->
+    ?coupon_scale:float ->
+    epsilon:float ->
+    delta:float ->
+    log2_universe:float ->
+    seed:int ->
+    unit ->
+    t
+  (** [strategy] defaults to {!Tagged}.  The remaining parameters are
+      {!Delphic_core.Vatic.Make.create}'s, applied to every (sub-)sketch.
+      Raises [Invalid_argument] on a non-positive [epoch] or
+      [max_per_rank < 2]. *)
+
+  val process : t -> now:float -> F.t -> unit
+  (** Feed the next set at logical time [now].  The clock should be
+      non-decreasing; a late arrival is absorbed where the stream currently
+      is and can only make expiry conservative (never an under-count). *)
+
+  val query : t -> now:float -> window:float -> float
+  (** Estimate of the size of the union of the sets processed in
+      [(now - window, now]] — more precisely, of
+      [|{x : last occurrence of x ≥ now - window}|], the windowed Delphic
+      union.  [window = infinity] equals {!estimate} exactly.  Raises
+      [Invalid_argument] when [window <= 0].  Under {!Epochs} this
+      destructively drops chain buckets wholly behind the cutoff (safe:
+      a still-live element re-occurred later and is held in a newer
+      sub-sketch too). *)
+
+  val estimate : t -> float
+  (** Full-history estimate (deterministic Horvitz–Thompson variant). *)
+
+  val items : t -> int
+  (** Sets processed. *)
+
+  val last_seen : t -> float
+  (** High-water mark of the logical clock ([neg_infinity] before any
+      {!process}). *)
+
+  val sub_sketches : t -> int
+  (** Sketches currently held: 1 under {!Tagged}; the chain length under
+      {!Epochs} — the space-accounting quantity of the trade-off. *)
+
+  val max_bucket_size : t -> int
+  (** Peak bucket occupancy summed across (sub-)sketches. *)
+end

@@ -191,6 +191,112 @@ let test_batched_kill_no_loss () =
   stop_worker (List.nth workers 1);
   List.iteri (fun n _ -> rm_rf (spool (20 + n))) workers
 
+let wait_for ~timeout msg pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match pred () with
+    | Some v -> v
+    | None ->
+      if Unix.gettimeofday () > deadline then Alcotest.fail msg
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+  in
+  go ()
+
+(* Cluster-wide WIN: the coordinator computes one absolute cutoff and ships
+   it in every worker's Fetch, so all three shards expire against the same
+   instant — exact-regime content makes agreement a count equality, not a
+   tolerance check.  After a mid-ingest kill the gather answers DEGRADED
+   from the victim's last good (full) sketch, and that fallback must be
+   re-windowed coordinator-side: a stale sketch honoring the cutoff
+   contributes nothing old, so the degraded answer still equals the exact
+   suffix union. *)
+let test_win_cluster_kill () =
+  let workers = List.init 3 (fun n -> start_worker (40 + n) ~seed:(500 + n)) in
+  let addrs = List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers in
+  let coord =
+    Coordinator.create ~timeout:5.0 ~backoff:0.01 ~batch:8 ~window:32
+      ~workers:addrs ~seed:808 ()
+  in
+  let gen = Rng.create ~seed:91 in
+  let boxes count =
+    Workload.Rectangles.uniform gen ~universe:300 ~dim:2 ~count ~max_side:6
+  in
+  let first = boxes 30 and rest = boxes 30 and late = boxes 20 in
+  ok
+    (Coordinator.open_session coord ~name:"w" ~family:P.Rect ~epsilon:0.3
+       ~delta:0.2 ~log2_universe:17.0);
+  (* timestamped ingest: [first] spans t in [10, 40), [rest] t in [100, 130),
+     [late] t in [200, 220) — three bands with clean gaps to cut between *)
+  let ingest ~t0 bs =
+    List.iteri
+      (fun i b ->
+        ok
+          (Coordinator.add coord ~name:"w"
+             ~ts:(t0 +. float_of_int i)
+             ~payload:(payload_of b)))
+      bs
+  in
+  ingest ~t0:10.0 first;
+  let est1, degraded1 = ok (Coordinator.estimate coord ~name:"w") in
+  Alcotest.(check bool) "clean before the kill" false degraded1;
+  Alcotest.(check (float 0.0)) "full gather exact" (truth first) est1;
+  ingest ~t0:100.0 rest;
+  (* one cutoff, three shards: the suffix union is exact only if every
+     worker expired against the same instant *)
+  let w1, d1 = ok (Coordinator.win coord ~name:"w" ~seconds:60.0 ~at:(Some 130.0)) in
+  Alcotest.(check bool) "windowed gather clean" false d1;
+  Alcotest.(check (float 0.0)) "WIN 60 = exact suffix union" (truth rest) w1;
+  let w2, _ = ok (Coordinator.win coord ~name:"w" ~seconds:125.0 ~at:(Some 130.0)) in
+  Alcotest.(check (float 0.0)) "WIN covering both bands" (truth (first @ rest)) w2;
+  let w3, _ = ok (Coordinator.win coord ~name:"w" ~seconds:infinity ~at:None) in
+  Alcotest.(check (float 0.0)) "WIN inf = EST" est1 est1;
+  Alcotest.(check (float 0.0)) "WIN inf folds everything" (truth (first @ rest)) w3;
+  (* repeated query at the same instant is stable: same cutoff, same memo *)
+  let w1', _ = ok (Coordinator.win coord ~name:"w" ~seconds:60.0 ~at:(Some 130.0)) in
+  Alcotest.(check (float 0.0)) "repeat WIN identical" w1 w1';
+  (* kill a worker mid-ingest of the third band *)
+  let half = List.filteri (fun i _ -> i < 10) late in
+  let other = List.filteri (fun i _ -> i >= 10) late in
+  ingest ~t0:200.0 half;
+  (* a full gather before the kill: these workers run without a journal, so
+     the victim's acked sets survive only as the coordinator's last good
+     sketch — which this estimate stores (windowed gathers never do) *)
+  ignore (ok (Coordinator.estimate coord ~name:"w"));
+  let whalf, dh = ok (Coordinator.win coord ~name:"w" ~seconds:80.0 ~at:(Some 240.0)) in
+  Alcotest.(check bool) "clean mid-band gather" false dh;
+  Alcotest.(check (float 0.0)) "WIN mid-band exact" (truth half) whalf;
+  stop_worker (List.nth workers 1);
+  ingest ~t0:210.0 other;
+  (* the victim's staged payloads re-route to live workers on the flushes
+     that discover the dead connection; drive flushes until the degraded
+     windowed answer has absorbed them all *)
+  let wd =
+    wait_for ~timeout:10.0 "degraded WIN never absorbed the re-routed sets"
+      (fun () ->
+        Coordinator.flush coord;
+        match Coordinator.win coord ~name:"w" ~seconds:80.0 ~at:(Some 240.0) with
+        | Ok (v, true) when v = truth late -> Some v
+        | Ok _ | Error _ -> None)
+  in
+  (* cutoff 160: only the [late] band survives.  The victim's fallback is
+     its last good FULL sketch (first @ rest @ half) — were it not
+     re-windowed, [wd] would overshoot by the victim's old shard *)
+  Alcotest.(check (float 0.0)) "DEGRADED answer honors the cutoff" (truth late) wd;
+  let wall, degraded_all =
+    ok (Coordinator.win coord ~name:"w" ~seconds:infinity ~at:None)
+  in
+  Alcotest.(check bool) "full window still degraded" true degraded_all;
+  Alcotest.(check (float 0.0)) "no acked set lost across the kill"
+    (truth (first @ rest @ late)) wall;
+  ignore (Coordinator.close coord ~name:"w");
+  Coordinator.shutdown coord;
+  stop_worker (List.nth workers 0);
+  stop_worker (List.nth workers 2);
+  List.iteri (fun n _ -> rm_rf (spool (40 + n))) workers
+
 (* The overlapped gather gives the whole collect phase ONE shared deadline:
    slow workers burn it concurrently, so the gather costs max-of-workers,
    not sum.  Four workers served by Frontend-wrapped registries; two of
@@ -468,20 +574,6 @@ let fork_wal_worker ~wal_dir ~spool_dir ~port ~seed ~portfile =
     Unix._exit 0
   | pid -> pid
 
-let wait_for ~timeout msg pred =
-  let deadline = Unix.gettimeofday () +. timeout in
-  let rec go () =
-    match pred () with
-    | Some v -> v
-    | None ->
-      if Unix.gettimeofday () > deadline then Alcotest.fail msg
-      else begin
-        Thread.delay 0.02;
-        go ()
-      end
-  in
-  go ()
-
 (* Raw-socket HELLO probe: [Some generation] once the worker answers. *)
 let hello_generation port =
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -607,6 +699,8 @@ let suite =
       test_scatter_gather_failover;
     Alcotest.test_case "batched scatter loses no acked set on worker kill" `Quick
       test_batched_kill_no_loss;
+    Alcotest.test_case "WIN agrees across three workers and honors the cutoff when degraded"
+      `Quick test_win_cluster_kill;
     Alcotest.test_case "slow workers share one gather deadline" `Quick
       test_slow_workers_share_one_deadline;
     Alcotest.test_case "EXPR over a live cluster with worker loss" `Quick

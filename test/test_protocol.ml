@@ -58,10 +58,10 @@ let test_parse_requests () =
        })
     (parse_ok "OPEN c cov:14:2 0.25 0.1 20");
   Alcotest.check request "add keeps payload verbatim"
-    (P.Add { session = "s1"; payload = "3 7 12 40" })
+    (P.Add { session = "s1"; payload = "3 7 12 40"; ts = None })
     (parse_ok "ADD s1 3 7 12 40");
   Alcotest.check request "addb unarmors each token"
-    (P.Add_batch { session = "s1"; payloads = [ "0 9 0 9"; "5 14 0 9" ] })
+    (P.Add_batch { session = "s1"; payloads = [ "0 9 0 9"; "5 14 0 9" ]; ts = None })
     (parse_ok "ADDB s1 2 0%209%200%209 5%2014%200%209");
   Alcotest.check request "est" (P.Est { session = "s1" }) (parse_ok "EST s1");
   Alcotest.check request "stats (case, cr)"
@@ -71,7 +71,7 @@ let test_parse_requests () =
     (P.Snapshot { session = "s1"; path = "/tmp/a b.snap" })
     (parse_ok "SNAPSHOT s1 /tmp/a b.snap");
   Alcotest.check request "snapshot without path is a fetch"
-    (P.Fetch { session = "s1" })
+    (P.Fetch { session = "s1"; cutoff = None })
     (parse_ok "SNAPSHOT s1");
   Alcotest.check request "merge"
     (P.Merge { session = "s1"; encoded = "delphic-snapshot%20v2%0A..." })
@@ -88,14 +88,50 @@ let test_parse_requests () =
        {
          expr = P.Expr_ast.Diff (P.Expr_ast.Inter (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B"), P.Expr_ast.Leaf "C");
          m = None;
+         w = None;
        })
     (parse_ok "EXPR (A & B) \\ C");
   Alcotest.check request "expr with sample override"
-    (P.Expr { expr = P.Expr_ast.Union (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B"); m = Some 1024 })
+    (P.Expr
+       { expr = P.Expr_ast.Union (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B");
+         m = Some 1024; w = None })
     (parse_ok "EXPR m=1024 A | B");
   Alcotest.check request "m= is not a leaf prefix"
-    (P.Expr { expr = P.Expr_ast.Leaf "m0"; m = None })
+    (P.Expr { expr = P.Expr_ast.Leaf "m0"; m = None; w = None })
     (parse_ok "EXPR m0")
+
+(* The windowed grammar: t= ingest stamps, WIN queries, windowed fetches
+   and windowed expressions. *)
+let test_parse_windowed_requests () =
+  Alcotest.check request "add with timestamp"
+    (P.Add { session = "s1"; payload = "3 7 12 40"; ts = Some 12.5 })
+    (parse_ok "ADD s1 t=12.5 3 7 12 40");
+  Alcotest.check request "addb with timestamp"
+    (P.Add_batch { session = "s1"; payloads = [ "0 9 0 9" ]; ts = Some 2.5 })
+    (parse_ok "ADDB s1 t=2.5 1 0%209%200%209");
+  Alcotest.check request "win"
+    (P.Win { session = "s1"; seconds = 60.0; at = None })
+    (parse_ok "WIN s1 60");
+  Alcotest.check request "win pinned"
+    (P.Win { session = "s1"; seconds = 0.5; at = Some 100.25 })
+    (parse_ok "WIN s1 0.5 at=100.25");
+  Alcotest.check request "win inf"
+    (P.Win { session = "s1"; seconds = infinity; at = None })
+    (parse_ok "WIN s1 inf");
+  Alcotest.check request "windowed fetch"
+    (P.Fetch { session = "s1"; cutoff = Some 99.5 })
+    (parse_ok "SNAPSHOT s1 cut=99.5");
+  Alcotest.check request "cut=-looking path needs a ./ prefix"
+    (P.Snapshot { session = "s1"; path = "./cut=file.snap" })
+    (parse_ok "SNAPSHOT s1 ./cut=file.snap");
+  Alcotest.check request "expr with window"
+    (P.Expr
+       { expr = P.Expr_ast.Union (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B");
+         m = None; w = Some 60.0 })
+    (parse_ok "EXPR w=60 A | B");
+  Alcotest.check request "expr options in either order"
+    (P.Expr { expr = P.Expr_ast.Leaf "A"; m = Some 64; w = Some 0.5 })
+    (parse_ok "EXPR w=0.5 m=64 A")
 
 let test_parse_errors () =
   Alcotest.(check string) "empty" "EMPTY" (parse_err "");
@@ -123,14 +159,49 @@ let test_parse_errors () =
   Alcotest.(check string) "addb bad escape" "PARSE" (parse_err "ADDB s1 1 a%ZZb");
   Alcotest.(check string) "expr arity" "ARITY" (parse_err "EXPR");
   Alcotest.(check string) "expr arity with only m=" "ARITY" (parse_err "EXPR m=64");
-  Alcotest.(check string) "expr zero samples" "BAD-NUMBER" (parse_err "EXPR m=0 A");
-  Alcotest.(check string) "expr bad sample count" "BAD-NUMBER" (parse_err "EXPR m=lots A");
+  Alcotest.(check string) "expr zero samples" "BAD-EXPR" (parse_err "EXPR m=0 A");
+  Alcotest.(check string) "expr bad sample count" "BAD-EXPR" (parse_err "EXPR m=lots A");
   Alcotest.(check string) "malformed expression" "BAD-EXPR" (parse_err "EXPR A &");
   (match P.parse_request "EXPR (A & B" with
   | Error (P.Bad_expr { pos; _ }) ->
     (* columns count within the expression text, not the wire line *)
     Alcotest.(check int) "expr error column" 7 pos
   | _ -> Alcotest.fail "unclosed paren must be BAD-EXPR")
+
+let expect_bad_expr name line pos =
+  match P.parse_request line with
+  | Error (P.Bad_expr { pos = p; _ }) -> Alcotest.(check int) name pos p
+  | Error e -> Alcotest.failf "%s: got ERR %s" name (P.error_code e)
+  | Ok r -> Alcotest.failf "%s: parsed as %s" name (P.render_request r)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_parse_window_errors () =
+  Alcotest.(check string) "win arity" "ARITY" (parse_err "WIN s1");
+  Alcotest.(check string) "win zero window" "BAD-NUMBER" (parse_err "WIN s1 0");
+  Alcotest.(check string) "win negative window" "BAD-NUMBER" (parse_err "WIN s1 -3");
+  Alcotest.(check string) "win bad at=" "BAD-NUMBER" (parse_err "WIN s1 60 at=noon");
+  Alcotest.(check string) "win stray token" "ARITY" (parse_err "WIN s1 60 bogus");
+  Alcotest.(check string) "add bad timestamp" "BAD-NUMBER" (parse_err "ADD s1 t=x 1 2");
+  Alcotest.(check string) "add timestamp without payload" "ARITY" (parse_err "ADD s1 t=5");
+  Alcotest.(check string) "addb bad timestamp" "BAD-NUMBER" (parse_err "ADDB s1 t=x 1 a");
+  Alcotest.(check string) "fetch bad cutoff" "BAD-NUMBER" (parse_err "SNAPSHOT s1 cut=abc");
+  Alcotest.(check string) "expr option without body" "ARITY" (parse_err "EXPR w=60");
+  (* malformed and unknown EXPR options carry the offending token's 1-based
+     column in the argument text *)
+  expect_bad_expr "zero window column" "EXPR w=0 A" 1;
+  expect_bad_expr "negative window column" "EXPR w=-5 A" 1;
+  expect_bad_expr "unknown option column" "EXPR q=9 A" 1;
+  expect_bad_expr "unknown option after m= column" "EXPR m=64 q=9 A" 6;
+  expect_bad_expr "bad m= after w= column" "EXPR w=60 m=zero A" 6;
+  match P.parse_request "EXPR m=64 q=9 A" with
+  | Error (P.Bad_expr { msg; _ }) ->
+    Alcotest.(check bool) "message names the offending token" true
+      (contains ~needle:"q=9" msg)
+  | _ -> Alcotest.fail "unknown option must be BAD-EXPR"
 
 let test_payload_armor () =
   Alcotest.(check string) "spaces escape" "0%209%200%209" (P.armor_payload "0 9 0 9");
@@ -186,14 +257,21 @@ let test_request_roundtrip () =
           delta = 0.001;
           log2_universe = 64.0;
         };
-      P.Add { session = "s"; payload = "0 9 0 9" };
+      P.Add { session = "s"; payload = "0 9 0 9"; ts = None };
+      P.Add { session = "s"; payload = "0 9 0 9"; ts = Some 12.5 };
       P.Add_batch
-        { session = "s"; payloads = [ "0 9 0 9"; "5 14 0 9"; "50% off\r\n" ] };
+        { session = "s"; payloads = [ "0 9 0 9"; "5 14 0 9"; "50% off\r\n" ];
+          ts = None };
+      P.Add_batch { session = "s"; payloads = [ "0 9 0 9" ]; ts = Some 1.25e9 };
+      P.Win { session = "s"; seconds = 60.0; at = None };
+      P.Win { session = "s"; seconds = 0.5; at = Some 1754650000.0 };
+      P.Win { session = "s"; seconds = infinity; at = None };
       P.Est { session = "s" };
       P.Stats { session = "s" };
       P.Snapshot { session = "s"; path = "spool/s.snap" };
       P.Restore { session = "s"; path = "spool/s.snap" };
-      P.Fetch { session = "s" };
+      P.Fetch { session = "s"; cutoff = None };
+      P.Fetch { session = "s"; cutoff = Some 1754649990.25 };
       P.Merge { session = "s"; encoded = "delphic-snapshot%20v2%0Aend%0A" };
       P.Close { session = "s" };
       P.Ping;
@@ -205,8 +283,10 @@ let test_request_roundtrip () =
               ( P.Expr_ast.Union (P.Expr_ast.Leaf "A", P.Expr_ast.Leaf "B"),
                 P.Expr_ast.Inter (P.Expr_ast.Leaf "C", P.Expr_ast.Leaf "A") );
           m = None;
+          w = None;
         };
-      P.Expr { expr = P.Expr_ast.Leaf "shard-1.us"; m = Some 4096 };
+      P.Expr { expr = P.Expr_ast.Leaf "shard-1.us"; m = Some 4096; w = None };
+      P.Expr { expr = P.Expr_ast.Leaf "A"; m = Some 64; w = Some 30.0 };
     ]
 
 let gen_session =
@@ -240,7 +320,7 @@ let prop_add_roundtrip =
     (fun (session, payload) ->
       let payload = String.trim payload in
       QCheck.assume (payload <> "");
-      roundtrip_request (P.Add { session; payload }))
+      roundtrip_request (P.Add { session; payload; ts = None }))
 
 let gen_payload =
   QCheck.string_gen_of_size
@@ -262,7 +342,7 @@ let prop_addb_roundtrip =
       (* an all-escapable payload armors to a non-empty token, so any
          non-empty payload survives the frame *)
       QCheck.assume (List.for_all (fun p -> p <> "") payloads);
-      roundtrip_request (P.Add_batch { session; payloads }))
+      roundtrip_request (P.Add_batch { session; payloads; ts = None }))
 
 let all_errors =
   [
@@ -477,7 +557,9 @@ let test_dispatch_batch () =
     (P.Ok_batch { accepted = 2; errors = [ (1, "not an integer: bogus") ] })
     (Registry.dispatch reg
        (P.Add_batch
-          { session = "s1"; payloads = [ "20 29 0 9"; "bogus 9 0 9"; "30 39 0 9" ] }));
+          { session = "s1";
+            payloads = [ "20 29 0 9"; "bogus 9 0 9"; "30 39 0 9" ];
+            ts = None }));
   Alcotest.check response "later payloads landed"
     (P.Estimate { value = 350.0; degraded = false })
     (dispatch reg "EST s1");
@@ -497,6 +579,7 @@ let test_dispatch_batch () =
           {
             session = "s1";
             payloads = [ "x 9 0 9"; "40 49 0 9"; "0 1 0 1 0 1" ];
+            ts = None;
           }));
   (match dispatch reg "STATS s1" with
   | P.Stats_reply s ->
@@ -527,7 +610,8 @@ let prop_batch_equivalence =
       ignore (Registry.dispatch reg_batch open_req);
       List.iter
         (fun p ->
-          ignore (Registry.dispatch reg_single (P.Add { session = "s"; payload = p })))
+          ignore
+            (Registry.dispatch reg_single (P.Add { session = "s"; payload = p; ts = None })))
         payloads;
       let rec take n = function
         | [] -> ([], [])
@@ -542,7 +626,8 @@ let prop_batch_equivalence =
           let k = List.nth chops (i mod List.length chops) in
           let frame, rest = take k remaining in
           ignore
-            (Registry.dispatch reg_batch (P.Add_batch { session = "s"; payloads = frame }));
+            (Registry.dispatch reg_batch
+               (P.Add_batch { session = "s"; payloads = frame; ts = None }));
           feed (i + 1) rest
       in
       feed 0 payloads;
@@ -693,6 +778,68 @@ let test_dispatch_expr () =
     (P.Estimate { value = 100.0; degraded = false })
     (dispatch reg "EST A")
 
+(* WIN through the registry with a pinned clock: exact-regime sessions make
+   windowed answers deterministic (the exact table keeps each element's
+   last-occurrence time).  Square A is t=10, square B t=100; the clock sits
+   at 130 so different windows select different suffixes. *)
+let test_dispatch_win () =
+  let clock = ref 0.0 in
+  let reg = Registry.create ~clock:(fun () -> !clock) ~seed:71 () in
+  ignore (dispatch reg "OPEN s rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD s t=10 0 9 0 9");
+  ignore (dispatch reg "ADD s t=100 20 29 0 9");
+  clock := 130.0;
+  Alcotest.check response "window covering both adds"
+    (P.Estimate { value = 200.0; degraded = false })
+    (dispatch reg "WIN s 150");
+  Alcotest.check response "window covering only the fresh add"
+    (P.Estimate { value = 100.0; degraded = false })
+    (dispatch reg "WIN s 60");
+  Alcotest.check response "window covering nothing"
+    (P.Estimate { value = 0.0; degraded = false })
+    (dispatch reg "WIN s 10");
+  Alcotest.check response "WIN inf agrees with EST"
+    (dispatch reg "EST s")
+    (dispatch reg "WIN s inf");
+  (* pinning at= moves the query instant: the same 25 s window is empty at
+     the live clock but catches square B from t=120 *)
+  Alcotest.check response "unpinned 25 s window is empty"
+    (P.Estimate { value = 0.0; degraded = false })
+    (dispatch reg "WIN s 25");
+  Alcotest.check response "pinned 25 s window catches square B"
+    (P.Estimate { value = 100.0; degraded = false })
+    (dispatch reg "WIN s 25 at=120");
+  (* a re-occurrence refreshes its elements' last-seen time *)
+  ignore (dispatch reg "ADD s t=120 0 9 0 9");
+  Alcotest.check response "re-occurrence refreshes square A"
+    (P.Estimate { value = 200.0; degraded = false })
+    (dispatch reg "WIN s 60");
+  Alcotest.check response "win of unknown session"
+    (P.Error_reply (P.Unknown_session "ghost"))
+    (dispatch reg "WIN ghost 60");
+  (* STATS last_estimate is the full-stream figure; WIN must not touch it *)
+  (match dispatch reg "STATS s" with
+  | P.Stats_reply st ->
+    Alcotest.(check bool) "WIN left last_estimate alone" true
+      (st.P.last_estimate = 200.0)
+  | r -> Alcotest.failf "STATS s: %s" (P.render_response r));
+  (* windowed EXPR: every leaf is restricted to the same trailing window *)
+  ignore (dispatch reg "OPEN b rect 0.3 0.2 20");
+  ignore (dispatch reg "ADD b t=125 40 49 0 9");
+  (match dispatch reg "EXPR w=60 s | b" with
+  | P.Expr_reply { value = Some v; quality; _ } ->
+    Alcotest.(check (float 0.0)) "60 s windowed union" 300.0 v;
+    Alcotest.(check bool) "exact probes" true (quality = P.Probes_exact)
+  | r -> Alcotest.failf "EXPR w=60: %s" (P.render_response r));
+  (match dispatch reg "EXPR w=20 s | b" with
+  | P.Expr_reply { value = Some v; _ } ->
+    Alcotest.(check (float 0.0)) "20 s windowed union" 200.0 v
+  | r -> Alcotest.failf "EXPR w=20: %s" (P.render_response r));
+  (* the windowed query cloned its leaves: full-stream EST is untouched *)
+  Alcotest.check response "EST unchanged after windowed EXPR"
+    (P.Estimate { value = 200.0; degraded = false })
+    (dispatch reg "EST s")
+
 (* Striped locking under fire: two writers hammering ADDB into different
    sessions, a reader spinning EST/STATS/FETCH on a third, and the main
    thread taking whole-table snapshots throughout.  Exact-regime sessions
@@ -793,7 +940,9 @@ let test_striped_concurrency () =
 let suite =
   [
     Alcotest.test_case "parse requests" `Quick test_parse_requests;
+    Alcotest.test_case "parse windowed requests" `Quick test_parse_windowed_requests;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse windowed errors" `Quick test_parse_window_errors;
     Alcotest.test_case "payload armor" `Quick test_payload_armor;
     Alcotest.test_case "session names" `Quick test_session_names;
     Alcotest.test_case "family tokens" `Quick test_family_tokens;
@@ -813,6 +962,7 @@ let suite =
     Alcotest.test_case "dispatch fetch/merge" `Quick test_dispatch_fetch_merge;
     Alcotest.test_case "dispatch unsupported verb" `Quick test_dispatch_unsupported;
     Alcotest.test_case "dispatch expr" `Quick test_dispatch_expr;
+    Alcotest.test_case "dispatch win" `Quick test_dispatch_win;
     Alcotest.test_case "striped registry under concurrent fire" `Quick
       test_striped_concurrency;
   ]

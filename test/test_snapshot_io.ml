@@ -22,7 +22,7 @@ let sample_io =
     items = 123;
     merges = 4;
     exact_active = false;
-    exact_entries = [ "3 7"; "0 0"; "12 40" ];
+    exact_entries = [ (8.0, "3 7"); (0.0, "0 0"); (12.5, "12 40") ];
     sketch =
       Some
         {
@@ -35,7 +35,7 @@ let sample_io =
           membership_calls = 14;
           cardinality_calls = 123;
           sampling_calls = 9;
-          entries = [ (3, "1,2:1010"); (3, "5:0001"); (4, "9,9:1111") ];
+          entries = [ (3, 1.5, "1,2:1010"); (3, 0.0, "5:0001"); (4, 2.5e5, "9,9:1111") ];
         };
   }
 
@@ -58,13 +58,13 @@ let test_fixed_roundtrips () =
   check_roundtrip "awkward elements"
     {
       sample_io with
-      Io.exact_entries = [ " leading space"; "trailing "; "in ner" ];
+      Io.exact_entries = [ (0.25, " leading space"); (0.0, "trailing "); (3.0, "in ner") ];
       sketch =
         Some
           {
             (Option.get sample_io.Io.sketch) with
             Io.mode = Params.Paper;
-            entries = [ (0, "a b c"); (-1, "") ];
+            entries = [ (0, 1.0, "a b c"); (-1, 0.0, "") ];
           };
     }
 
@@ -73,8 +73,8 @@ let test_header () =
     "magic + version first line" true
     (String.length (Io.encode sample_io) > 0
     && String.sub (Io.encode sample_io) 0
-         (String.length "delphic-snapshot v2")
-       = "delphic-snapshot v2")
+         (String.length "delphic-snapshot v3")
+       = "delphic-snapshot v3")
 
 (* v1 snapshots (no merges line) must keep decoding, with merges = 0. *)
 let v1_text =
@@ -88,7 +88,46 @@ let test_decode_v1 () =
   | Ok io ->
     Alcotest.(check int) "v1 merges default" 0 io.Io.merges;
     Alcotest.(check int) "v1 items" 2 io.Io.items;
-    Alcotest.(check bool) "v1 entries" true (io.Io.exact_entries = [ "3 7"; "0 0" ])
+    Alcotest.(check bool) "v1 entries at t=0" true
+      (io.Io.exact_entries = [ (0.0, "3 7"); (0.0, "0 0") ])
+
+(* v2 snapshots (merges line, no timestamps) decode with every ts = 0. *)
+let v2_text =
+  "delphic-snapshot v2\nfamily rect\nepsilon 0x1p-2\ndelta 0x1p-3\n\
+   log2-universe 0x1.4p5\nexact-capacity 10\nitems 3\nmerges 2\n\
+   exact-active false\nexact-entries 1\nE 3 7\n\
+   sketch practical 0x1p0 0x1.4p1 3 12 0 4 3 1\nsketch-entries 2\n\
+   3 17 42\n5 0 0\nend\n"
+
+let test_decode_v2 () =
+  match Io.decode v2_text with
+  | Error msg -> Alcotest.failf "v2 decode: %s" msg
+  | Ok io ->
+    Alcotest.(check int) "v2 merges kept" 2 io.Io.merges;
+    Alcotest.(check bool) "v2 exact entries at t=0" true
+      (io.Io.exact_entries = [ (0.0, "3 7") ]);
+    (match io.Io.sketch with
+    | None -> Alcotest.fail "v2 sketch lost"
+    | Some sk ->
+      Alcotest.(check bool) "v2 sketch entries at t=0" true
+        (sk.Io.entries = [ (3, 0.0, "17 42"); (5, 0.0, "0 0") ]));
+    (* re-encoding a v2 decode produces a v3 snapshot that round-trips *)
+    Alcotest.(check bool) "upgraded round-trip" true
+      (Io.decode (Io.encode io) = Ok io)
+
+let test_restrict () =
+  let r = Io.restrict ~cutoff:1.0 sample_io in
+  Alcotest.(check bool) "exact entries filtered" true
+    (r.Io.exact_entries = [ (8.0, "3 7"); (12.5, "12 40") ]);
+  (match r.Io.sketch with
+  | None -> Alcotest.fail "restrict dropped the sketch record"
+  | Some sk ->
+    Alcotest.(check bool) "sketch entries filtered" true
+      (sk.Io.entries = [ (3, 1.5, "1,2:1010"); (4, 2.5e5, "9,9:1111") ]);
+    Alcotest.(check int) "counters untouched" 123 sk.Io.s_items);
+  Alcotest.(check int) "items untouched" 123 r.Io.items;
+  Alcotest.(check bool) "neg_infinity cutoff is the identity" true
+    (Io.restrict ~cutoff:neg_infinity sample_io = sample_io)
 
 (* --- qcheck: decode . encode = Ok, over random snapshots --- *)
 
@@ -107,7 +146,9 @@ let gen_io =
     let* items = int_range 0 1_000_000 in
     let* merges = int_range 0 1000 in
     let* exact_active = bool in
-    let* exact_entries = list_size (int_range 0 20) gen_elt in
+    let* exact_entries =
+      list_size (int_range 0 20) (pair (float_range 0.0 2e9) gen_elt)
+    in
     let* sketch =
       oneof
         [
@@ -123,7 +164,7 @@ let gen_io =
            let* sampling_calls = int_range 0 1_000_000 in
            let* entries =
              list_size (int_range 0 20)
-               (pair (int_range (-4) 60) gen_elt)
+               (triple (int_range (-4) 60) (float_range 0.0 2e9) gen_elt)
            in
            return
              (Some
@@ -220,7 +261,7 @@ let test_encode_validates () =
   Alcotest.check_raises "newline in element"
     (Invalid_argument "Snapshot_io.encode: an exact entry contains a newline")
     (fun () ->
-      ignore (Io.encode { sample_io with Io.exact_entries = [ "a\nb" ] }));
+      ignore (Io.encode { sample_io with Io.exact_entries = [ (0.0, "a\nb") ] }));
   Alcotest.check_raises "space in family"
     (Invalid_argument
        "Snapshot_io.encode: family token must be non-empty and space-free")
@@ -323,6 +364,8 @@ let suite =
     Alcotest.test_case "fixed round-trips" `Quick test_fixed_roundtrips;
     Alcotest.test_case "header" `Quick test_header;
     Alcotest.test_case "v1 compatibility" `Quick test_decode_v1;
+    Alcotest.test_case "v2 compatibility" `Quick test_decode_v2;
+    Alcotest.test_case "restrict" `Quick test_restrict;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_wire_roundtrip;
     Alcotest.test_case "wire rejects garbage" `Quick test_wire_rejects;

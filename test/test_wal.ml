@@ -314,6 +314,89 @@ let test_closed_session_not_resurrected () =
   Wal.close w2;
   Wal.close w
 
+(* Windowed queries survive a crash: every journal record carries its ingest
+   timestamp (the server stamps t= at receive time, before journaling) and
+   checkpoints spool v3 snapshots with per-entry tags, so kill -9 mid-window
+   followed by checkpoint-restore + tail replay answers WIN identically.  A
+   legacy record without t= replays at t=0 — all-history, never a spurious
+   window hit. *)
+let test_win_survives_crash () =
+  let dir = fresh_dir () in
+  (* Server.create's recovery, minus the socket: restore, then replay the
+     tail resolving untimestamped mutations to t=0. *)
+  let boot_win ~dir ~seed =
+    let w = Wal.open_ ~dir ~fsync:Wal.Never in
+    let reg = Registry.create ~seed () in
+    ignore (Registry.restore_all ~consume:false reg ~dir:(Wal.checkpoint_dir w));
+    ignore
+      (Wal.replay w ~f:(fun line ->
+           match Protocol.parse_request line with
+           | Error _ -> ()
+           | Ok req ->
+             let req =
+               match req with
+               | Protocol.Add ({ ts = None; _ } as r) ->
+                 Protocol.Add { r with ts = Some 0.0 }
+               | Protocol.Add_batch ({ ts = None; _ } as r) ->
+                 Protocol.Add_batch { r with ts = Some 0.0 }
+               | req -> req
+             in
+             ignore (Registry.dispatch reg req)));
+    (w, reg)
+  in
+  let w, reg = boot_win ~dir ~seed:29 in
+  let drive reg w line =
+    match Protocol.parse_request line with
+    | Error e -> Alcotest.failf "bad request %S: %s" line (Protocol.describe_error e)
+    | Ok req ->
+      (match Registry.dispatch reg req with
+      | Protocol.Error_reply e ->
+        Alcotest.failf "%S failed: %s" line (Protocol.describe_error e)
+      | _ -> ());
+      Wal.append w line
+  in
+  let ask reg line =
+    match Protocol.parse_request line with
+    | Error e -> Alcotest.failf "bad query %S: %s" line (Protocol.describe_error e)
+    | Ok req -> (
+      match Registry.dispatch reg req with
+      | Protocol.Estimate { value; _ } -> value
+      | r -> Alcotest.failf "%S: unexpected reply %s" line (Protocol.render_response r))
+  in
+  (* disjoint 100-point rectangles keep the adaptive estimator in exact
+     mode, so every WIN answer is a deterministic integer and the
+     before/after comparison is bitwise — the test isolates the timestamp
+     plumbing from sketch-sampling noise *)
+  drive reg w "OPEN s rect 0.3 0.2 17";
+  drive reg w "ADD s t=10 0 9 0 9";
+  drive reg w "ADD s t=50 100 109 0 9";
+  (* checkpoint lands mid-window: the spooled snapshot must carry the tags *)
+  List.iter
+    (function
+      | _, Ok _ -> ()
+      | name, Error msg -> Alcotest.failf "spool of %s failed: %s" name msg)
+    (Wal.checkpoint w ~spool:(fun ~dir -> Registry.snapshot_all reg ~dir));
+  drive reg w "ADD s t=110 300 309 0 9";
+  drive reg w "ADD s 500 509 0 9" (* legacy untimestamped record *);
+  let queries =
+    [ "WIN s 60 at=120"; "WIN s 90 at=120"; "WIN s 200 at=120"; "WIN s inf" ]
+  in
+  let before = List.map (ask reg) queries in
+  (* the 60 s window holds only the t=110 rectangle; 90 s reaches back to
+     the checkpointed t=50 one (its tag must survive the snapshot); the
+     legacy add sits at t=0, inside any window covering the origin *)
+  List.iter2
+    (fun expect got -> Alcotest.(check (float 0.0)) "pre-crash WIN truth" expect got)
+    [ 100.0; 200.0; 400.0; 400.0 ] before;
+  (* crash: no graceful close — reboot from checkpoint + journal tail *)
+  let w2, reg2 = boot_win ~dir ~seed:29 in
+  let after = List.map (ask reg2) queries in
+  List.iter2
+    (fun b a -> Alcotest.(check (float 0.0)) "WIN unchanged across crash" b a)
+    before after;
+  Wal.close w2;
+  Wal.close w
+
 let test_generation_fence () =
   let dir = fresh_dir () in
   let w1 = Wal.open_ ~dir ~fsync:Wal.Never in
@@ -424,6 +507,8 @@ let suite =
       test_checkpoint_keeps_concurrent_appends;
     Alcotest.test_case "closed session is not resurrected after crash" `Quick
       test_closed_session_not_resurrected;
+    Alcotest.test_case "WIN answers survive kill and restart" `Quick
+      test_win_survives_crash;
     Alcotest.test_case "generation fence climbs" `Quick test_generation_fence;
     Alcotest.test_case "fsync policy strings" `Quick test_fsync_policy_strings;
     QCheck_alcotest.to_alcotest prop_roundtrip;
