@@ -16,13 +16,14 @@
               dune exec bench/main.exe -- gather  (worker x fold-strategy sweep)
               dune exec bench/main.exe -- wal     (journal fsync-policy sweep)
               dune exec bench/main.exe -- window  (WIN window-length sweep)
+              dune exec bench/main.exe -- conns   (idle-connection scaling sweep)
 
    Any benchmarking mode also accepts [--json FILE] to write the measured
    rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
    cluster mode defaults to BENCH_cluster.json, the ingest mode to
    BENCH_ingest.json, the gather mode to BENCH_gather.json, the wal mode
-   to BENCH_wal.json, the expr mode to BENCH_expr.json and the window
-   mode to BENCH_window.json. *)
+   to BENCH_wal.json, the expr mode to BENCH_expr.json, the window
+   mode to BENCH_window.json and the conns mode to BENCH_conns.json. *)
 
 open Bechamel
 open Toolkit
@@ -329,8 +330,8 @@ let rec rm_rf dir =
     Unix.rmdir dir
   end
 
-let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal ~n_workers
-    ~seed () =
+let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal
+    ?(proto = Delphic_cluster.Rpc.V1) ~n_workers ~seed () =
   let spool n =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -352,7 +353,7 @@ let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal ~n_workers
         (s, Server.start s))
   in
   let coord =
-    Coordinator.create ~batch ?gather_domains
+    Coordinator.create ~batch ?gather_domains ~proto
       ~workers:(List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers)
       ~seed ()
   in
@@ -490,30 +491,39 @@ let run_gather ?(json = "BENCH_gather.json") () =
   write_json ~path:json rows
 
 (* Ingest benchmark: the same 1-worker loopback scatter path swept across
-   coordinator batch sizes — how much of the per-set RPC cost the ADDB
-   framing amortises away.  batch=1 is the unbatched baseline (one ADD
-   frame and one flush per set). *)
+   coordinator batch sizes and wire protocols — how much of the per-set RPC
+   cost the ADDB framing amortises away, and what v2's binary framing
+   (raw payload bytes, splice-journalled worker-side) shaves off on top.
+   batch=1 is the unbatched baseline (one ADD frame and one flush per set).
+   The v1 row names are unchanged from earlier baselines ([scatter-add/...]);
+   the v2 rows are [scatter-add-v2/...]. *)
 
 let run_ingest ?(json = "BENCH_ingest.json") () =
   let sweep = [ 1; 16; 64; 256 ] in
+  let protos = [ ("scatter-add", Delphic_cluster.Rpc.V1, 60); ("scatter-add-v2", Delphic_cluster.Rpc.V2, 360) ] in
   let envs =
-    List.map (fun b -> (b, cluster_env ~batch:b ~n_workers:1 ~seed:(60 + b) ()))
-      sweep
+    List.concat_map
+      (fun (prefix, proto, seed0) ->
+        List.map
+          (fun b ->
+            (prefix, b, cluster_env ~batch:b ~proto ~n_workers:1 ~seed:(seed0 + b) ()))
+          sweep)
+      protos
   in
   let tests =
     Test.make_grouped ~name:"ingest"
       (List.map
-         (fun (b, (coord, payloads, _)) ->
+         (fun (prefix, b, (coord, payloads, _)) ->
            Test.make
-             ~name:(Printf.sprintf "scatter-add/batch-%d" b)
+             ~name:(Printf.sprintf "%s/batch-%d" prefix b)
              (Staged.stage
                 (cycling payloads (fun p ->
                      ignore (Coordinator.add coord ~name:"bench" ~payload:p)))))
          envs)
   in
   let rows = run_bechamel tests in
-  List.iter (fun (_, (_, _, teardown)) -> teardown ()) envs;
-  print_rows ~title:"Batched ingestion sweep (1-worker loopback)" rows;
+  List.iter (fun (_, _, (_, _, teardown)) -> teardown ()) envs;
+  print_rows ~title:"Batched ingestion sweep (1-worker loopback, v1 vs v2)" rows;
   write_json ~path:json rows
 
 (* WAL overhead: the batch-64 scatter path (the ingest mode's fastest row)
@@ -710,6 +720,112 @@ let run_window ?(json = "BENCH_window.json") () =
   | _ -> ());
   write_json ~path:json rows
 
+(* Connection scaling: one event-driven server, a growing crowd of parked
+   idle connections, and two hot connections (one per wire protocol)
+   measuring request round-trip latency at each crowd size.  A
+   thread-per-connection server pays a stack per parked socket and dies at
+   the thread limit; the readiness loop pays one registration, so the
+   latency curve should stay flat through 10k idle connections. *)
+
+module Rpc = Delphic_cluster.Rpc
+module Evloop = Delphic_server.Evloop
+
+let run_conns ?(json = "BENCH_conns.json") () =
+  let target = 10_000 in
+  let limit = Evloop.raise_nofile (target + 2048) in
+  let spool =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "delphic-bench-conns-%d" (Unix.getpid ()))
+  in
+  rm_rf spool;
+  let s = Server.create ~port:0 ~spool ~seed:7 () in
+  let th = Server.start s in
+  let port = Server.port s in
+  let hot proto =
+    match Rpc.connect ~proto ~host:"127.0.0.1" ~port ~timeout:5.0 () with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let v1 = hot Rpc.V1 and v2 = hot Rpc.V2 in
+  let ping c =
+    match Rpc.call c Protocol.Ping with
+    | Ok Protocol.Pong -> ()
+    | Ok _ -> failwith "unexpected PING reply"
+    | Error msg -> failwith msg
+  in
+  let time_pings c =
+    for _ = 1 to 200 do ping c done;
+    let iters = 2000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do ping c done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  (* The client ends live in forked children (killed at teardown), so the
+     server process pays exactly one descriptor per idle connection — the
+     figure the sweep is about.  Each child connects its share, writes one
+     byte when every connect has returned, then sleeps until SIGKILL. *)
+  let children = ref [] in
+  let parked = ref 0 in
+  let park upto =
+    let delta = upto - !parked in
+    if delta > 0 then begin
+      let r, w = Unix.pipe () in
+      (match Unix.fork () with
+      | 0 ->
+        Unix.close r;
+        let keep =
+          Array.init delta (fun _ ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              fd)
+        in
+        ignore (Unix.write w (Bytes.make 1 'k') 0 1);
+        ignore keep;
+        while true do
+          Unix.sleep 3600
+        done
+      | pid ->
+        Unix.close w;
+        ignore (Unix.read r (Bytes.create 1) 0 1);
+        Unix.close r;
+        children := pid :: !children);
+      parked := upto;
+      (* one round-trip plus a beat: every parked socket is accepted and
+         registered before the measurement starts *)
+      ping v1;
+      Thread.delay 0.1
+    end
+  in
+  let levels = List.filter (fun n -> n + 64 <= limit) [ 100; 1_000; 10_000 ] in
+  if levels = [] then failwith "descriptor limit too low for any sweep level";
+  let rows =
+    List.concat_map
+      (fun n ->
+        park n;
+        [
+          (Printf.sprintf "ping/v1/idle-%d" n, time_pings v1);
+          (Printf.sprintf "ping/v2/idle-%d" n, time_pings v2);
+        ])
+      levels
+  in
+  List.iter
+    (fun pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    !children;
+  Rpc.close v1;
+  Rpc.close v2;
+  Server.request_stop s;
+  Thread.join th;
+  rm_rf spool;
+  print_rows
+    ~title:
+      (Printf.sprintf "Idle-connection scaling (descriptor limit in force: %d)"
+         limit)
+    rows;
+  write_json ~path:json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split mode json = function
@@ -725,10 +841,12 @@ let () =
   let mode = Option.value mode ~default:"all" in
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
-  | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" | "window" -> ()
+  | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" | "window"
+  | "conns" ->
+    ()
   | m ->
     Printf.eprintf
-      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr, window or all)\n"
+      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr, window, conns or all)\n"
       m;
     exit 2);
   (match mode with
@@ -756,6 +874,10 @@ let () =
     match json with
     | Some path -> run_window ~json:path ()
     | None -> run_window ())
+  | "conns" -> (
+    match json with
+    | Some path -> run_conns ~json:path ()
+    | None -> run_conns ())
   | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();

@@ -413,6 +413,14 @@ let host_arg =
   let doc = "Address to bind/connect to." in
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
 
+let max_conns_arg =
+  let doc =
+    "Accept at most $(docv) concurrent connections; the event loop closes \
+     excess accepts immediately instead of queueing them.  The process \
+     descriptor limit is raised toward $(docv) at startup when possible."
+  in
+  Arg.(value & opt int 16384 & info [ "max-conns" ] ~docv:"N" ~doc)
+
 (* WAL options, shared by serve and worker: --wal DIR upgrades the
    durability contract from "graceful stop" to "kill -9". *)
 
@@ -478,8 +486,11 @@ let serve_cmd =
     in
     Arg.(value & opt string "delphic-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
   in
-  let run seed port host spool wal =
-    let server = Delphic_server.Server.create ~host ?wal ~port ~spool ~seed () in
+  let run seed port host spool wal max_conns =
+    ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
+    let server =
+      Delphic_server.Server.create ~host ?wal ~port ~spool ~seed ~max_conns ()
+    in
     Delphic_server.Server.install_signals server;
     List.iter
       (function
@@ -502,7 +513,7 @@ let serve_cmd =
      $(b,EXPR (A & B) \\\\ C)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term)
+    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term $ max_conns_arg)
 
 (* worker / coord: the sharded cluster (lib/cluster).  A worker is just a
    server under a name that reads well in cluster commands. *)
@@ -512,8 +523,11 @@ let worker_cmd =
     let doc = "Spool directory for durable session snapshots." in
     Arg.(value & opt string "delphic-worker-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
   in
-  let run seed port host spool wal =
-    let server = Delphic_server.Server.create ~host ?wal ~port ~spool ~seed () in
+  let run seed port host spool wal max_conns =
+    ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
+    let server =
+      Delphic_server.Server.create ~host ?wal ~port ~spool ~seed ~max_conns ()
+    in
     Delphic_server.Server.install_signals server;
     Printf.printf "delphic worker: listening on %s:%d (spool: %s%s)\n%!" host
       (Delphic_server.Server.port server)
@@ -527,7 +541,7 @@ let worker_cmd =
      $(b,--wal) an acknowledged set survives $(b,kill -9)."
   in
   Cmd.v (Cmd.info "worker" ~doc)
-    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term)
+    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term $ max_conns_arg)
 
 let workers_arg =
   let parse s =
@@ -599,13 +613,32 @@ let coord_cmd =
     in
     Arg.(value & opt (some int) None & info [ "gather-domains" ] ~docv:"N" ~doc)
   in
-  let run seed port host workers shard timeout batch gather_domains =
+  let proto =
+    let doc =
+      "Wire protocol toward the workers: $(b,v1) (newline-delimited text) or \
+       $(b,v2) (length-prefixed CRC-framed binary; ADDB payloads travel raw \
+       and workers journal them by splicing the received frame)."
+    in
+    let proto_conv =
+      Arg.conv
+        ( (function
+          | "v1" -> Ok Delphic_cluster.Rpc.V1
+          | "v2" -> Ok Delphic_cluster.Rpc.V2
+          | s -> Error (`Msg (Printf.sprintf "%S: want v1 or v2" s))),
+          fun ppf p ->
+            Format.pp_print_string ppf
+              (match p with Delphic_cluster.Rpc.V1 -> "v1" | Delphic_cluster.Rpc.V2 -> "v2") )
+    in
+    Arg.(value & opt proto_conv Delphic_cluster.Rpc.V2 & info [ "proto" ] ~docv:"VERSION" ~doc)
+  in
+  let run seed port host workers shard timeout batch gather_domains proto max_conns =
+    ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
     let coord =
       Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~batch
-        ?gather_domains ~workers ~seed ()
+        ?gather_domains ~proto ~workers ~seed ()
     in
     let frontend =
-      Delphic_cluster.Frontend.create ~host ~port
+      Delphic_cluster.Frontend.create ~host ~port ~max_conns
         ~dispatch:(Delphic_cluster.Coordinator.dispatch coord)
         ()
     in
@@ -631,7 +664,7 @@ let coord_cmd =
     (Cmd.info "coord" ~doc)
     Term.(
       const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout
-      $ batch $ gather_domains)
+      $ batch $ gather_domains $ proto $ max_conns_arg)
 
 (* query: one-shot client for the service. *)
 

@@ -76,6 +76,7 @@ type t = {
   cutoff_bucket : float; (* window cutoffs quantize down to this grain *)
   seed : int;
   io : Rpc.io; (* socket ops for every worker connection (chaos hook) *)
+  proto : Rpc.proto; (* wire protocol spoken to every worker *)
   rng : Rng.t; (* backoff jitter; guarded by [lock] like everything else *)
   lock : Mutex.t;
   sessions : (string, session_info) Hashtbl.t;
@@ -100,7 +101,8 @@ type t = {
 
 let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
     ?(window = 256) ?(batch = 64) ?gather_domains ?(io = Rpc.default_io)
-    ?(clock = Unix.gettimeofday) ?(cutoff_bucket = 1.0) ~workers ~seed () =
+    ?(proto = Rpc.V1) ?(clock = Unix.gettimeofday) ?(cutoff_bucket = 1.0) ~workers
+    ~seed () =
   if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
   if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
   if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
@@ -145,6 +147,7 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     cutoff_bucket;
     seed;
     io;
+    proto;
     rng = Rng.create ~seed:(seed lxor 0x2545F491);
     lock = Mutex.create ();
     sessions = Hashtbl.create 4;
@@ -282,7 +285,10 @@ let ensure_conn t w =
     if Unix.gettimeofday () < w.quarantined_until then None
     else begin
       let rec attempt i =
-        match Rpc.connect ~io:t.io ~host:w.host ~port:w.port ~timeout:t.timeout () with
+        match
+          Rpc.connect ~io:t.io ~proto:t.proto ~host:w.host ~port:w.port
+            ~timeout:t.timeout ()
+        with
         | Ok conn ->
           if resync t w conn then begin
             w.conn <- Some conn;

@@ -52,6 +52,7 @@ val create :
   ?batch:int ->
   ?gather_domains:int ->
   ?io:Rpc.io ->
+  ?proto:Rpc.proto ->
   ?clock:(unit -> float) ->
   ?cutoff_bucket:float ->
   workers:(string * int) list ->
@@ -63,7 +64,9 @@ val create :
     every worker connection — the fault-injection hook: the chaos tests
     pass [Delphic_harness.Chaos] wrappers here and the coordinator's
     retry/quarantine/rejoin machinery runs against a deliberately lossy
-    transport.
+    transport.  [proto] (default {!Rpc.V1}) selects the wire protocol for
+    every worker connection; [Rpc.V2] ships ADDB batches as binary frames
+    (no %-armoring, splice-journalled by the worker).
     [timeout] (default 2s) bounds every connect/send/recv — a gather gives
     the {e whole} collect phase one [timeout] as a shared absolute deadline,
     so one slow worker costs at most one timeout however many are slow;

@@ -1,27 +1,43 @@
 module P = Delphic_server.Protocol
+module Evloop = Delphic_server.Evloop
 
 let log_src = Logs.Src.create "delphic.frontend" ~doc:"cluster frontend"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
-  dispatch : P.request -> P.response;
   listen_fd : Unix.file_descr;
   port : int;
   lock : Mutex.t;
   mutable stopping : bool;
-  handlers : (Unix.file_descr, Thread.t) Hashtbl.t;
-  conns : (Unix.file_descr, unit) Hashtbl.t;
-  stop_r : Unix.file_descr;
-  stop_w : Unix.file_descr;
+  loop : Evloop.t;
 }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let create ?(host = "127.0.0.1") ~port ~dispatch () =
-  (* a client that hangs up mid-reply must cost one handler, not the
+(* The frontend is pure request → response plumbing: parse, dispatch,
+   render.  No journal, so [raw] is unused — both protocols share one
+   path. *)
+let handle dispatch ~proto ~raw:_ ~body =
+  let parsed =
+    match proto with
+    | Evloop.V2 -> P.parse_frame_body body
+    | Evloop.V1 -> P.parse_request body
+  in
+  let response =
+    match parsed with
+    | Error e -> P.Error_reply e
+    | Ok req -> (
+      match dispatch req with
+      | resp -> resp
+      | exception exn -> P.Error_reply (P.Server_error (Printexc.to_string exn)))
+  in
+  P.render_response response
+
+let create ?(host = "127.0.0.1") ?max_conns ~port ~dispatch () =
+  (* a client that hangs up mid-reply must cost one connection, not the
      process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -32,64 +48,30 @@ let create ?(host = "127.0.0.1") ~port ~dispatch () =
    with e ->
      Unix.close fd;
      raise e);
-  Unix.listen fd 64;
+  Unix.listen fd 1024;
   let port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-  {
-    dispatch;
-    listen_fd = fd;
-    port;
-    lock = Mutex.create ();
-    stopping = false;
-    handlers = Hashtbl.create 16;
-    conns = Hashtbl.create 16;
-    stop_r;
-    stop_w;
-  }
+  let loop =
+    Evloop.create ?max_conns ~listen_fd:fd ~handler:(handle dispatch)
+      ~on_bad_frame:(fun reason ->
+        Some (P.render_response (P.Error_reply (P.Io_error reason))))
+      ()
+  in
+  { listen_fd = fd; port; lock = Mutex.create (); stopping = false; loop }
 
 let port t = t.port
 
-let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let continue = ref true in
-     while !continue do
-       match input_line ic with
-       | exception End_of_file -> continue := false
-       | line ->
-         let response =
-           match P.parse_request line with
-           | Error e -> P.Error_reply e
-           | Ok req -> (
-             match t.dispatch req with
-             | resp -> resp
-             | exception exn -> P.Error_reply (P.Server_error (Printexc.to_string exn)))
-         in
-         output_string oc (P.render_response response);
-         output_char oc '\n';
-         flush oc
-     done
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  (* drop the handler entry too, or a long-running frontend leaks one
-     Thread.t per connection it ever accepted *)
-  with_lock t (fun () ->
-      Hashtbl.remove t.conns fd;
-      Hashtbl.remove t.handlers fd);
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
 let request_stop t =
-  with_lock t (fun () ->
-      if not t.stopping then begin
-        t.stopping <- true;
-        (try ignore (Unix.single_write_substring t.stop_w "x" 0 1)
-         with Unix.Unix_error _ -> ());
-        Hashtbl.iter
-          (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-          t.conns
-      end)
+  let fresh =
+    with_lock t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          true
+        end)
+  in
+  if fresh then Evloop.stop t.loop
 
 (* SIGTERM drains like SIGINT: a supervisor's stop is a graceful stop. *)
 let install_signals t =
@@ -99,50 +81,11 @@ let install_signals t =
 
 let install_sigint = install_signals
 
-let spawn_handler t fd =
-  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ] in
-  let th = Thread.create (fun () -> handle_connection t fd) () in
-  ignore (Thread.sigmask Unix.SIG_SETMASK old_mask);
-  th
-
 let serve t =
   Log.info (fun m -> m "frontend listening on port %d" t.port);
-  let rec accept_loop () =
-    if t.stopping then ()
-    else
-      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | exception Unix.Unix_error _ when t.stopping -> ()
-      | ready, _, _ ->
-        if t.stopping || List.mem t.stop_r ready then ()
-        else if List.mem t.listen_fd ready then begin
-          match Unix.accept t.listen_fd with
-          | exception
-              Unix.Unix_error
-                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-            ->
-            accept_loop ()
-          | exception Unix.Unix_error _ when t.stopping -> ()
-          | fd, _ ->
-            (* register conn and handler under one lock hold: the handler's
-               cleanup takes the same lock, so even an instantly-closing
-               connection removes its entry only after it exists *)
-            with_lock t (fun () ->
-                Hashtbl.replace t.conns fd ();
-                Hashtbl.replace t.handlers fd (spawn_handler t fd));
-            accept_loop ()
-        end
-        else accept_loop ()
-  in
-  accept_loop ();
-  request_stop t;
+  Evloop.run t.loop;
+  with_lock t (fun () -> t.stopping <- true);
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  let handlers =
-    with_lock t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.handlers [])
-  in
-  List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
-  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
-  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
   Log.info (fun m -> m "frontend stopped")
 
 let start t = Thread.create serve t

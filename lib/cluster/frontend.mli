@@ -1,35 +1,37 @@
-(** Threaded TCP front door for any request → response step.
+(** Event-driven TCP front door for any request → response step.
 
-    The accept loop, per-connection handler threads, self-pipe shutdown and
-    SIGINT handling of {!Delphic_server.Server}, detached from the registry:
-    the dispatch function is injected, so the same loop serves a
-    single-node registry or a {!Coordinator} unchanged.  One thread per
-    connection; the protocol is newline-delimited, one response line per
-    request line. *)
+    The {!Delphic_server.Evloop} readiness loop, shutdown and signal
+    handling of {!Delphic_server.Server}, detached from the registry: the
+    dispatch function is injected, so the same loop serves a single-node
+    registry or a {!Coordinator} unchanged.  One thread owns every
+    connection; both the v1 text protocol and wire protocol v2 are served,
+    auto-detected on the first bytes. *)
 
 type t
 
 val create :
   ?host:string ->
+  ?max_conns:int ->
   port:int ->
   dispatch:(Delphic_server.Protocol.request -> Delphic_server.Protocol.response) ->
   unit ->
   t
 (** Binds immediately ([port] 0 picks a free port — see {!port}); serving
-    starts with {!serve}/{!start}.  [dispatch] runs on handler threads and
-    must be thread-safe ({!Coordinator.dispatch} is). *)
+    starts with {!serve}/{!start}.  [dispatch] runs on the event-loop
+    thread: it may block (only this frontend's connections wait), and
+    {!Coordinator.dispatch} is safe here. *)
 
 val port : t -> int
 
 val serve : t -> unit
-(** Run the accept loop on the calling thread until {!request_stop}. *)
+(** Run the event loop on the calling thread until {!request_stop}. *)
 
 val start : t -> Thread.t
 (** {!serve} on a daemon thread; join the result for a clean shutdown. *)
 
 val request_stop : t -> unit
-(** Idempotent, signal-safe: wakes the accept loop and shuts down open
-    connections so handler threads drain. *)
+(** Idempotent, signal-safe: wakes the event loop, which closes every open
+    connection on its way out. *)
 
 val install_signals : t -> unit
 (** Route SIGINT and SIGTERM to {!request_stop}. *)

@@ -1,4 +1,8 @@
 module P = Delphic_server.Protocol
+module Frame = Delphic_server.Frame
+module Evloop = Delphic_server.Evloop
+
+type proto = V1 | V2
 
 type recv_error =
   | Timed_out  (** the deadline passed with no complete reply line; the peer
@@ -21,6 +25,7 @@ type t = {
   io : io;
   host : string;
   port : int;
+  proto : proto;
   timeout : float; (* default per-recv budget when no deadline is given *)
   (* Staged-but-unsent request lines: [stage] appends here without touching
      the socket, [flush_staged] ships the whole accumulation as one
@@ -67,22 +72,30 @@ let resolve host =
     | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
     | exception Not_found -> Error (Printf.sprintf "cannot resolve %S" host))
 
-let make_conn fd ~io ~host ~port ~timeout =
+let make_conn fd ~io ~host ~port ~proto ~timeout =
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
-  {
-    fd;
-    io;
-    host;
-    port;
-    timeout;
-    buf = Buffer.create 4096;
-    rbuf = Bytes.create 65536;
-    pend = "";
-    scanned = 0;
-    armed = 0.0;
-  }
+  let t =
+    {
+      fd;
+      io;
+      host;
+      port;
+      proto;
+      timeout;
+      buf = Buffer.create 4096;
+      rbuf = Bytes.create 65536;
+      pend = "";
+      scanned = 0;
+      armed = 0.0;
+    }
+  in
+  (* The v2 preamble rides in the staging buffer: it reaches the wire ahead
+     of the first staged frame in the same coalesced write, so protocol
+     selection costs zero extra syscalls. *)
+  if proto = V2 then Buffer.add_string t.buf Frame.preamble;
+  t
 
-let connect ?(io = default_io) ~host ~port ~timeout () =
+let connect ?(io = default_io) ?(proto = V1) ~host ~port ~timeout () =
   Lazy.force ignore_sigpipe;
   match resolve host with
   | Error _ as e -> e
@@ -92,29 +105,33 @@ let connect ?(io = default_io) ~host ~port ~timeout () =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
     in
-    (* Nonblocking connect bounded by select: a plain connect can hang for
-       minutes on an unreachable host, far beyond any useful RPC budget. *)
+    (* Nonblocking connect bounded by poll (select would cap the process at
+       FD_SETSIZE descriptors): a plain connect can hang for minutes on an
+       unreachable host, far beyond any useful RPC budget. *)
     Unix.set_nonblock fd;
     match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
-      match Unix.select [] [ fd ] [] timeout with
-      | _, [ _ ], _ -> (
+      match Evloop.wait_fd fd ~write:true ~timeout with
+      | `Ready -> (
         match Unix.getsockopt_error fd with
         | None ->
           Unix.clear_nonblock fd;
-          Ok (make_conn fd ~io ~host ~port ~timeout)
+          Ok (make_conn fd ~io ~host ~port ~proto ~timeout)
         | Some e -> fail e)
-      | _ -> fail Unix.ETIMEDOUT
+      | `Timeout -> fail Unix.ETIMEDOUT
       | exception Unix.Unix_error (e, _, _) -> fail e)
     | exception Unix.Unix_error (e, _, _) -> fail e
     | () ->
       (* loopback can connect synchronously even in nonblocking mode *)
       Unix.clear_nonblock fd;
-      Ok (make_conn fd ~io ~host ~port ~timeout))
+      Ok (make_conn fd ~io ~host ~port ~proto ~timeout))
 
 let stage t req =
-  Buffer.add_string t.buf (P.render_request req);
-  Buffer.add_char t.buf '\n'
+  match t.proto with
+  | V1 ->
+    Buffer.add_string t.buf (P.render_request req);
+    Buffer.add_char t.buf '\n'
+  | V2 -> Frame.frame_into t.buf (P.encode_request_v2 req)
 
 let staged_bytes t = Buffer.length t.buf
 
@@ -186,11 +203,47 @@ let rec read_line t ~deadline =
       read_line t ~deadline
     | Error _ as e -> e)
 
+(* v2 replies are length-prefixed frames; [pend] accumulates across reads
+   exactly as for lines, with [scanned] unused (the header says how much is
+   missing, no rescan needed).  A CRC mismatch means the stream can no
+   longer be trusted to stay framed — same verdict as an unparseable line. *)
+let rec read_frame t ~deadline =
+  let n = String.length t.pend in
+  let complete =
+    n >= 8
+    &&
+    let len = Frame.read_be32 t.pend 0 in
+    len <= Frame.max_body && n >= 8 + len
+  in
+  if complete then begin
+    let len = Frame.read_be32 t.pend 0 in
+    let crc = Frame.read_be32 t.pend 4 in
+    let body = String.sub t.pend 8 len in
+    t.pend <- String.sub t.pend (8 + len) (n - 8 - len);
+    t.scanned <- 0;
+    if Frame.crc32 body <> crc then Error (Closed "CRC mismatch on reply frame")
+    else Ok body
+  end
+  else if n >= 8 && Frame.read_be32 t.pend 0 > Frame.max_body then
+    Error (Closed "oversized reply frame")
+  else begin
+    match read_chunk t ~deadline with
+    | Ok chunk ->
+      t.pend <- (if t.pend = "" then chunk else t.pend ^ chunk);
+      read_frame t ~deadline
+    | Error _ as e -> e
+  end
+
 let recv_timeout ?deadline t =
   let deadline =
     match deadline with Some d -> d | None -> Unix.gettimeofday () +. t.timeout
   in
-  match read_line t ~deadline with
+  let line =
+    match t.proto with
+    | V1 -> read_line t ~deadline
+    | V2 -> read_frame t ~deadline
+  in
+  match line with
   | Error _ as e -> e
   | Ok line -> (
     match P.parse_response line with

@@ -1,16 +1,24 @@
-(** One client connection to a worker, speaking the line protocol of
-    {!Delphic_server.Protocol} with every blocking step bounded by a
-    deadline.
+(** One client connection to a worker, speaking either the v1 line protocol
+    of {!Delphic_server.Protocol} or wire protocol v2 (length-prefixed
+    CRC-framed binary, selected at {!connect}), with every blocking step
+    bounded by a deadline.
 
     The coordinator cannot afford an unbounded stall on one worker while
     the others idle: {!connect} uses a nonblocking connect raced against
-    [select], and reads go through a raw [Unix.read] loop (not an
-    [in_channel]) so [SO_RCVTIMEO] expiry surfaces as the typed
+    [poll] (FD_SETSIZE-safe), and reads go through a raw [Unix.read] loop
+    (not an [in_channel]) so [SO_RCVTIMEO] expiry surfaces as the typed
     {!recv_error.Timed_out} instead of an exception string.  All failures
     are values — never exceptions — so the caller's retry/quarantine logic
     sees every outcome. *)
 
 type t
+
+type proto = V1 | V2
+(** [V1]: newline-delimited text.  [V2]: {!Delphic_server.Frame}-framed
+    bodies after a 4-byte preamble; [ADDB] payloads travel as raw bytes
+    with no %-armoring, and the server journals mutations by splicing the
+    received frame.  Both sides of a connection must agree — the server
+    auto-detects from the preamble. *)
 
 type io = {
   io_read : Unix.file_descr -> Bytes.t -> int -> int -> int;
@@ -40,9 +48,13 @@ type recv_error =
           stream is as dead as a closed one). *)
 
 val connect :
-  ?io:io -> host:string -> port:int -> timeout:float -> unit -> (t, string) result
+  ?io:io ->
+  ?proto:proto ->
+  host:string -> port:int -> timeout:float -> unit -> (t, string) result
 (** [io] defaults to {!default_io}; a fault-injection harness passes its
-    wrapped pair here (threaded through [Coordinator.create ?io]). *)
+    wrapped pair here (threaded through [Coordinator.create ?io]).  The
+    [io] hooks sit {e below} the framing, so chaos corruption on a [V2]
+    connection surfaces as CRC rejects.  [proto] defaults to [V1]. *)
 
 val address : t -> string
 (** ["host:port"], for log and error messages. *)

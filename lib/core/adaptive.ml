@@ -101,19 +101,35 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
         if Tbl.length seen = card then Some seen else None
       end
 
+  (* The sketch is lazy: while the exact table is authoritative, sets are
+     NOT fed to VATIC — that was the dominant per-add cost (an O(|X|)
+     membership pass per set just to keep a sketch warm that exact mode
+     never consults).  At the exact→sketch hand-over the sketch is rebuilt
+     by replaying the exact table as a stream of singletons: same union,
+     each element at its last-occurrence timestamp, so every estimate and
+     windowed-estimate guarantee survives the switch
+     ({!Vatic.process_element}). *)
+  let replay_into exact v =
+    Tbl.iter (fun x ts -> Vatic.process_element ~ts v x) exact
+
   let deactivate t =
+    (match t.sketch with Some v -> replay_into t.exact v | None -> ());
     t.exact_active <- false;
     t.exact <- Tbl.create 1
 
   let process ?(ts = 0.0) t s =
     t.items <- t.items + 1;
-    (match t.sketch with Some v -> Vatic.process ~ts v s | None -> ());
     if t.exact_active then begin
       match enumerate t s with
-      | None ->
-        if Option.is_none t.sketch then
+      | None -> (
+        match t.sketch with
+        | None ->
           failwith "Adaptive.process: set exceeds exact capacity on a universe too small for sketching"
-        else deactivate t
+        | Some v ->
+          (* the un-enumerable set was never absorbed into the table, so
+             replay the table first, then feed the set in stream order *)
+          deactivate t;
+          Vatic.process ~ts v s)
       | Some elements ->
         Tbl.iter
           (fun x () ->
@@ -124,9 +140,10 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
         if Tbl.length t.exact > t.capacity then begin
           if Option.is_none t.sketch then
             failwith "Adaptive.process: union exceeds exact capacity on a universe too small for sketching"
-          else deactivate t
+          else deactivate t (* the overflowing set is in the table: replay covers it *)
         end
     end
+    else match t.sketch with Some v -> Vatic.process ~ts v s | None -> ()
 
   let estimate t =
     if t.exact_active then float_of_int (Tbl.length t.exact)
@@ -204,18 +221,43 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
   (* Sharded-stream merge of two adaptive estimators over the same family
      and parameters.  Exact tables union while both sides are exact and the
      result fits the budget; otherwise the merged estimator runs on the
-     merged sketch (which has been fed both shards' whole streams from the
-     start, so nothing is lost in the hand-over — same argument as
-     process's own transition). *)
+     merged sketch.  Sketches are lazy ([process]), so an exact-mode
+     shard's sketch is empty — when the merged result needs a sketch, each
+     exact side is first replayed into a fresh one (a valid sketch of that
+     shard's stream, same argument as the hand-over in [deactivate]);
+     when both sides are still exact the merged sketch stays lazy too
+     (an empty one, rebuilt by [deactivate] if the merged table ever
+     overflows). *)
   let merge a b ~seed =
     if
       a.epsilon <> b.epsilon || a.delta <> b.delta
       || a.log2_universe <> b.log2_universe
       || a.mode <> b.mode || a.capacity <> b.capacity
     then invalid_arg "Adaptive.merge: parameter mismatch";
+    let fresh_like v ~seed =
+      let p = Vatic.params v in
+      Vatic.create ~mode:p.Params.mode ~capacity_scale:p.Params.capacity_scale
+        ~coupon_scale:p.Params.coupon_scale ~epsilon:p.Params.epsilon
+        ~delta:p.Params.delta ~log2_universe:p.Params.log2_universe ~seed ()
+    in
+    let effective side v ~seed =
+      if side.exact_active then begin
+        let fresh = fresh_like v ~seed in
+        replay_into side.exact fresh;
+        fresh
+      end
+      else v
+    in
     let sketch =
       match (a.sketch, b.sketch) with
-      | Some x, Some y -> Some (Vatic.merge x y ~seed:(seed + 1))
+      | Some x, Some y ->
+        if a.exact_active && b.exact_active then Some (fresh_like x ~seed:(seed + 1))
+        else
+          Some
+            (Vatic.merge
+               (effective a x ~seed:(seed + 2))
+               (effective b y ~seed:(seed + 3))
+               ~seed:(seed + 1))
       | None, None -> None
       | _ -> invalid_arg "Adaptive.merge: sketch presence mismatch"
     in

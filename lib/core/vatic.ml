@@ -191,6 +191,48 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
       end
     end
 
+  (* One singleton update: {x} processed exactly as [process] would a
+     one-element Delphic set, at oracle cost O(1) instead of O(|X|) — the
+     membership pass is a single bucket lookup, the cardinality is 1, and
+     Bin(1, 2^-ℓ) is a Bernoulli coin.  A stream of singletons covering a
+     union U, each carrying its element's last-occurrence timestamp, is a
+     valid Delphic stream for U, so feeding a sketch this way preserves
+     every (ε,δ) guarantee — this is how the adaptive wrapper rebuilds a
+     sketch from its exact table at the exact→sketch hand-over. *)
+  let process_element ?(ts = 0.0) t x =
+    t.items <- t.items + 1;
+    t.membership_calls <- t.membership_calls + 1;
+    (match Tbl.find_opt t.bucket x with
+    | Some (l, _) ->
+      Tbl.remove t.bucket x;
+      note_remove t l
+    | None -> ());
+    let level = ref (current_level t) in
+    t.cardinality_calls <- t.cardinality_calls + 1;
+    let n =
+      ref (if Rng.bernoulli t.rng (Float.ldexp 1.0 (- !level)) then 1.0 else 0.0)
+    in
+    let max_level = t.params.Params.max_level in
+    let capacity = float_of_int t.params.Params.bucket_capacity in
+    let needed () =
+      Float.ceil ((float_of_int (bucket_size t) +. !n) /. capacity)
+    in
+    while float_of_int !level < needed () && !level <= max_level do
+      incr level;
+      n := Binomial.halve t.rng !n
+    done;
+    if !level > max_level then begin
+      t.skipped <- t.skipped + 1;
+      Log.warn (fun m ->
+          m "element skipped: probability floor reached (skips so far: %d)"
+            t.skipped)
+    end
+    else if !n >= 1.0 then begin
+      t.sampling_calls <- t.sampling_calls + 1;
+      bucket_add ~ts t x !level;
+      if bucket_size t > t.max_bucket then t.max_bucket <- bucket_size t
+    end
+
   (* Lines 18-21 on a virtual copy: subsample every element down to the
      minimum probability p0 and return |X| / p0.  Only the survivor count
      matters for the estimate, so nothing is materialised. *)

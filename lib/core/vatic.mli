@@ -36,6 +36,14 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
       re-insertion keeps the newest timestamp per element — the invariant
       windowed queries ({!estimate_window}) rely on. *)
 
+  val process_element : ?ts:float -> t -> F.elt -> unit
+  (** Feed one element as the singleton set [{x}], at oracle cost O(1)
+      instead of [process]'s O(|X|) membership pass.  A stream of
+      singletons covering a union — each element stamped with its
+      last-occurrence [ts] — is a valid Delphic stream for that union, so
+      every estimate guarantee carries over; this is the replay primitive
+      behind {!Adaptive}'s lazy exact→sketch hand-over. *)
+
   val estimate : t -> float
   (** Current estimate of [|∪ S_i|] over the items processed so far
       (lines 18–21: subsample everything down to the minimum level [p_0],

@@ -1,0 +1,58 @@
+(** Single-threaded readiness event loop: epoll on Linux, poll elsewhere.
+
+    Replaces the thread-per-connection accept loops of {!Server} and the
+    cluster frontend.  One thread owns every connection: non-blocking
+    sockets, a per-connection state machine with a reusable read buffer and
+    a write-backpressure queue, and first-byte protocol auto-detection —
+    a leading NUL byte (the {!Frame.preamble}) selects wire protocol v2
+    (length-prefixed CRC-framed binary), anything else is the v1 text
+    protocol, newline-delimited.
+
+    Concurrency model: the handler runs on the loop thread.  A handler that
+    blocks stalls every connection on this loop — fine for a worker whose
+    only client is the coordinator, and for dispatch that is microseconds;
+    long-running work (checkpoint spools) belongs on its own thread. *)
+
+type proto = V1 | V2
+
+type handler = proto:proto -> raw:string -> body:string -> string
+(** One request in, one reply body out.  [body] is the request — a text
+    line (v1) or a v2 frame body.  [raw] is the exact wire frame
+    (header + body) for v2, [""] for v1 — a v2 mutation can be journalled
+    by splicing [raw] verbatim ({!Wal.append_framed}).  The reply is
+    framed by the loop per the connection's protocol.  Exceptions close
+    the connection; turn failures into protocol error replies instead. *)
+
+type t
+
+val create :
+  ?max_conns:int ->
+  listen_fd:Unix.file_descr ->
+  handler:handler ->
+  ?on_bad_frame:(string -> string option) ->
+  unit ->
+  t
+(** [listen_fd] must already be bound and listening; the loop makes it
+    non-blocking.  [max_conns] (default 16384) sheds load by
+    accept-and-close.  [on_bad_frame reason] supplies an optional farewell
+    reply body (e.g. [ERR IO ...]) sent before closing a connection whose
+    stream desynced: CRC mismatch, oversized frame, bad preamble. *)
+
+val run : t -> unit
+(** Drive the loop on the calling thread until {!stop}; closes every
+    connection (but not [listen_fd]) on the way out. *)
+
+val stop : t -> unit
+(** Thread- and signal-safe: wakes the loop via a self-pipe. *)
+
+val conn_count : t -> int
+
+val wait_fd : Unix.file_descr -> write:bool -> timeout:float -> [ `Ready | `Timeout ]
+(** Wait for one descriptor with poll(2) — the FD_SETSIZE-safe replacement
+    for client-side [Unix.select] waits.  Negative [timeout] waits
+    forever.  [`Ready] includes error conditions so the caller's next
+    syscall surfaces the real errno. *)
+
+val raise_nofile : int -> int
+(** Raise [RLIMIT_NOFILE] toward the target (hard limit too when
+    privileged); returns the soft limit now in force, or [-1]. *)

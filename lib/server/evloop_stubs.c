@@ -1,0 +1,187 @@
+/* Readiness primitives for the event loop: epoll on Linux, poll(2)
+ * everywhere, plus an RLIMIT_NOFILE raiser for connection-scaling runs.
+ *
+ * File descriptors cross the boundary as plain ints (Unix.file_descr is an
+ * int on Unix).  Event bits are our own tiny vocabulary so the OCaml side
+ * never sees platform constants: 1 = readable, 2 = writable, 4 = error/hup.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#define EV_IN 1
+#define EV_OUT 2
+#define EV_ERR 4
+
+#ifdef __linux__
+#include <sys/epoll.h>
+
+CAMLprim value delphic_epoll_create(value unit)
+{
+  (void)unit;
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  return Val_int(fd); /* -1 => caller falls back to poll */
+}
+
+/* op: 0 = add, 1 = mod, 2 = del */
+CAMLprim value delphic_epoll_ctl(value vepfd, value vop, value vfd, value vev)
+{
+  int op;
+  struct epoll_event ev;
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  memset(&ev, 0, sizeof ev);
+  if (Int_val(vev) & EV_IN) ev.events |= EPOLLIN;
+  if (Int_val(vev) & EV_OUT) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  return Val_int(epoll_ctl(Int_val(vepfd), op, Int_val(vfd), &ev));
+}
+
+#define WAIT_MAX 1024
+
+/* Returns a fresh int array [fd0; ev0; fd1; ev1; ...].  EINTR => empty
+ * array; the loop re-checks its stop flag and waits again. */
+CAMLprim value delphic_epoll_wait(value vepfd, value vtimeout_ms)
+{
+  CAMLparam0();
+  CAMLlocal1(res);
+  struct epoll_event evs[WAIT_MAX];
+  int n, i;
+
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(vepfd), evs, WAIT_MAX, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+
+  if (n < 0) n = 0;
+  res = caml_alloc(n * 2, 0);
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP)) bits |= EV_IN;
+    if (evs[i].events & EPOLLOUT) bits |= EV_OUT;
+    if (evs[i].events & (EPOLLERR | EPOLLHUP)) bits |= EV_ERR;
+    Store_field(res, i * 2, Val_int(evs[i].data.fd));
+    Store_field(res, i * 2 + 1, Val_int(bits));
+  }
+  CAMLreturn(res);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value delphic_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_int(-1);
+}
+
+CAMLprim value delphic_epoll_ctl(value vepfd, value vop, value vfd, value vev)
+{
+  (void)vepfd; (void)vop; (void)vfd; (void)vev;
+  return Val_int(-1);
+}
+
+CAMLprim value delphic_epoll_wait(value vepfd, value vtimeout_ms)
+{
+  (void)vepfd; (void)vtimeout_ms;
+  return Atom(0);
+}
+
+#endif
+
+/* Portable fallback: [vspec] is [fd0; ev0; fd1; ev1; ...]; the result is an
+ * int array of revents bits aligned with the pairs (entry i belongs to pair
+ * i).  EINTR or error => all zeros. */
+CAMLprim value delphic_poll(value vspec, value vtimeout_ms)
+{
+  CAMLparam1(vspec);
+  CAMLlocal1(res);
+  long pairs = Wosize_val(vspec) / 2;
+  struct pollfd *fds;
+  long i;
+  int rc;
+
+  fds = (struct pollfd *)malloc(sizeof(struct pollfd) * (pairs ? pairs : 1));
+  if (fds == NULL) CAMLreturn(caml_alloc(0, 0));
+  for (i = 0; i < pairs; i++) {
+    int ev = Int_val(Field(vspec, i * 2 + 1));
+    fds[i].fd = Int_val(Field(vspec, i * 2));
+    fds[i].events = 0;
+    if (ev & EV_IN) fds[i].events |= POLLIN;
+    if (ev & EV_OUT) fds[i].events |= POLLOUT;
+    fds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  rc = poll(fds, (nfds_t)pairs, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+
+  res = caml_alloc(pairs, 0);
+  for (i = 0; i < pairs; i++) {
+    int bits = 0;
+    if (rc > 0) {
+      if (fds[i].revents & POLLIN) bits |= EV_IN;
+      if (fds[i].revents & POLLOUT) bits |= EV_OUT;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) bits |= EV_ERR;
+    }
+    Store_field(res, i, Val_int(bits));
+  }
+  free(fds);
+  CAMLreturn(res);
+}
+
+/* One-fd wait, for client-side connect/read deadlines.  Returns revents
+ * bits, 0 on timeout, -1 on EINTR (caller recomputes its deadline and
+ * retries), -2 on error. */
+CAMLprim value delphic_poll1(value vfd, value vev, value vtimeout_ms)
+{
+  struct pollfd p;
+  int rc, bits = 0;
+
+  p.fd = Int_val(vfd);
+  p.events = 0;
+  if (Int_val(vev) & EV_IN) p.events |= POLLIN;
+  if (Int_val(vev) & EV_OUT) p.events |= POLLOUT;
+  p.revents = 0;
+
+  caml_release_runtime_system();
+  rc = poll(&p, 1, Int_val(vtimeout_ms));
+  caml_acquire_runtime_system();
+
+  if (rc == 0) return Val_int(0);
+  if (rc < 0) return Val_int(errno == EINTR ? -1 : -2);
+  if (p.revents & POLLIN) bits |= EV_IN;
+  if (p.revents & POLLOUT) bits |= EV_OUT;
+  if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) bits |= EV_ERR;
+  return Val_int(bits);
+}
+
+/* Raise the open-file soft limit toward [target] (and the hard limit too,
+ * where privilege allows).  Returns the soft limit actually in force. */
+CAMLprim value delphic_raise_nofile(value vtarget)
+{
+  struct rlimit rl;
+  rlim_t target = (rlim_t)Long_val(vtarget);
+
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  if (rl.rlim_cur >= target) return Val_long((long)rl.rlim_cur);
+  if (rl.rlim_max < target) {
+    struct rlimit bump = rl;
+    bump.rlim_max = target;
+    bump.rlim_cur = target;
+    if (setrlimit(RLIMIT_NOFILE, &bump) == 0) return Val_long((long)target);
+  }
+  rl.rlim_cur = rl.rlim_max < target ? rl.rlim_max : target;
+  if (setrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  return Val_long((long)rl.rlim_cur);
+}

@@ -1,0 +1,94 @@
+(* One frame layout for the wire and the journal: [u32 len | u32 crc | body],
+   both integers big-endian, CRC-32 over the body.  The WAL has used this
+   shape since PR 5; protocol v2 adopts it verbatim so a journalled mutation
+   is a byte-for-byte splice of the wire frame — no re-render, no re-CRC. *)
+
+(* CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the standard zlib polynomial,
+   table-driven.  Stdlib has no checksum, and the journal cannot depend on
+   one: a torn tail must be detectable with what the binary always has. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF
+
+let crc32_bytes b ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF
+
+let be32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let read_be32_bytes b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+(* A frame larger than this is a desynced or hostile peer, not a request:
+   the biggest legitimate body is an ADDB batch, and the coordinator caps
+   batches three orders of magnitude below this. *)
+let max_body = 64 * 1024 * 1024
+
+let frame body =
+  let buf = Buffer.create (String.length body + 8) in
+  be32 buf (String.length body);
+  be32 buf (crc32 body);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let frame_into buf body =
+  be32 buf (String.length body);
+  be32 buf (crc32 body);
+  Buffer.add_string buf body
+
+(* Connections that speak v2 open with these four bytes.  The leading NUL
+   can never start a v1 text request (verbs are ASCII letters), which is
+   the whole auto-detection story: peek one byte, branch once, done. *)
+let preamble = "\x00DP2"
+
+type scan_result =
+  | Need of int  (** incomplete: at least [n] more bytes before rescanning *)
+  | Got of { body : string; next : int }
+      (** one whole frame; [next] is the offset just past it *)
+  | Bad of string  (** unrecoverable: CRC mismatch or an absurd length *)
+
+let scan buf ~pos ~len =
+  let avail = len - pos in
+  if avail < 8 then Need (8 - avail)
+  else begin
+    let blen = read_be32_bytes buf pos in
+    if blen > max_body then
+      Bad (Printf.sprintf "frame length %d exceeds limit %d" blen max_body)
+    else if avail - 8 < blen then Need (blen - (avail - 8))
+    else begin
+      let crc = read_be32_bytes buf (pos + 4) in
+      if crc32_bytes buf ~pos:(pos + 8) ~len:blen <> crc then
+        Bad (Printf.sprintf "CRC mismatch on %d-byte frame" blen)
+      else Got { body = Bytes.sub_string buf (pos + 8) blen; next = pos + 8 + blen }
+    end
+  end

@@ -1,0 +1,41 @@
+(** The shared frame layout: [u32 len | u32 crc32(body) | body], big-endian.
+
+    Used both by the write-ahead journal ({!Wal}) on disk and by wire
+    protocol v2 ({!Evloop}, [Rpc]) on sockets — deliberately the same bytes,
+    so journalling a v2 mutation is a zero-copy splice of the wire frame. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, reflected 0xEDB88320) of the whole string. *)
+
+val crc32_bytes : Bytes.t -> pos:int -> len:int -> int
+
+val be32 : Buffer.t -> int -> unit
+(** Append [v] as 4 big-endian bytes. *)
+
+val read_be32 : string -> int -> int
+(** Read 4 big-endian bytes at [off].  No bounds checking beyond the
+    string's own. *)
+
+val max_body : int
+(** Upper bound on a frame body; longer lengths are treated as desync. *)
+
+val frame : string -> string
+(** [frame body] is the 8-byte header followed by [body]. *)
+
+val frame_into : Buffer.t -> string -> unit
+(** Append [frame body] to a buffer without the intermediate string. *)
+
+val preamble : string
+(** The 4-byte connection preamble ["\x00DP2"] a v2 client sends first.
+    A leading NUL never begins a v1 text request, which is what makes
+    first-byte protocol auto-detection unambiguous. *)
+
+type scan_result =
+  | Need of int  (** incomplete: at least [n] more bytes before rescanning *)
+  | Got of { body : string; next : int }
+      (** one whole frame; [next] is the offset just past it *)
+  | Bad of string  (** unrecoverable: CRC mismatch or an absurd length *)
+
+val scan : Bytes.t -> pos:int -> len:int -> scan_result
+(** Try to decode one frame from [buf.[pos..len)].  Incremental: callers
+    accumulate bytes and rescan from the same [pos] until [Got]/[Bad]. *)

@@ -429,6 +429,112 @@ let render_request = function
   | Ping -> "PING"
   | Hello -> "HELLO"
 
+(* ---- wire protocol v2 binary bodies ----
+
+   A v2 frame body is either a v1 text line (any body whose first byte is
+   not '\x01' — verbs are ASCII letters) or a binary record tagged '\x01'.
+   Only ADDB gets a binary shape: it is the hot path, and its cost under v1
+   is exactly the %-armoring/unarmoring plus whitespace tokenization of a
+   many-token line.  Binary ADDB is
+
+     '\x01' 'B' | u16 slen | session | u8 has_ts | [f64 ts] | u32 k
+                | k × (u32 len | payload)
+
+   all integers big-endian, the timestamp IEEE-754 bits via
+   [Int64.bits_of_float].  Payload bytes are raw — newlines, '%', 0xFF all
+   pass untouched, which is what makes the encode/decode near-free. *)
+
+let binary_tag = '\x01'
+
+let encode_request_v2 = function
+  | Add_batch { session; payloads; ts } ->
+    let buf = Buffer.create 256 in
+    Buffer.add_char buf binary_tag;
+    Buffer.add_char buf 'B';
+    let slen = String.length session in
+    Buffer.add_char buf (Char.chr ((slen lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (slen land 0xFF));
+    Buffer.add_string buf session;
+    (match ts with
+    | None -> Buffer.add_char buf '\x00'
+    | Some t ->
+      Buffer.add_char buf '\x01';
+      let bits = Int64.bits_of_float t in
+      for i = 7 downto 0 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL)))
+      done);
+    Frame.be32 buf (List.length payloads);
+    List.iter
+      (fun p ->
+        Frame.be32 buf (String.length p);
+        Buffer.add_string buf p)
+      payloads;
+    Buffer.contents buf
+  | req -> render_request req
+
+exception Binary_trunc
+
+let parse_binary body =
+  let n = String.length body in
+  let pos = ref 2 in
+  let need k = if n - !pos < k then raise Binary_trunc in
+  let u8 () =
+    need 1;
+    let v = Char.code body.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    need 2;
+    let v = (Char.code body.[!pos] lsl 8) lor Char.code body.[!pos + 1] in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    need 4;
+    let v = Frame.read_be32 body !pos in
+    pos := !pos + 4;
+    v
+  in
+  let str len =
+    need len;
+    let s = String.sub body !pos len in
+    pos := !pos + len;
+    s
+  in
+  match body.[1] with
+  | 'B' ->
+    let session = str (u16 ()) in
+    let ts =
+      match u8 () with
+      | 0 -> None
+      | _ ->
+        need 8;
+        let bits = ref 0L in
+        for _ = 1 to 8 do
+          bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (u8 ()))
+        done;
+        Some (Int64.float_of_bits !bits)
+    in
+    let k = u32 () in
+    if k < 0 || k > 1_000_000 then raise Binary_trunc;
+    let payloads = ref [] in
+    for _ = 1 to k do
+      payloads := str (u32 ()) :: !payloads
+    done;
+    if !pos <> n then raise Binary_trunc;
+    if not (session_name_ok session) then Error (Bad_session_name session)
+    else Ok (Add_batch { session; payloads = List.rev !payloads; ts })
+  | c -> Error (Bad_params (Printf.sprintf "unknown binary record tag %C" c))
+
+let parse_frame_body body =
+  if String.length body >= 2 && body.[0] = binary_tag then
+    try parse_binary body
+    with Binary_trunc | Invalid_argument _ ->
+      Error (Bad_params "truncated binary record")
+  else parse_request body
+
 let error_code = function
   | Empty_request -> "EMPTY"
   | Unknown_command _ -> "UNSUPPORTED"

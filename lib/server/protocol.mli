@@ -215,6 +215,19 @@ val render_request : request -> string
     for every [r] whose strings respect the grammar (validated session
     names, no newlines). *)
 
+val encode_request_v2 : request -> string
+(** The request as a wire-protocol-v2 frame {e body} (the caller adds the
+    {!Frame} header).  [Add_batch] gets a binary shape — tag ['\x01'],
+    raw payload bytes, no %-armoring, no tokenization on the far side —
+    because it is the ingest hot path; every other request is its
+    {!render_request} text line, which v2 framing carries unchanged. *)
+
+val parse_frame_body : string -> (request, error) result
+(** Decode a v2 frame body: ['\x01']-tagged bodies via the binary decoder,
+    anything else via {!parse_request}.  Total — malformed binary records
+    become [Error (Bad_params _)].  This is also the WAL replay decoder:
+    journals mix text and spliced binary records freely. *)
+
 val render_response : response -> string
 (** One line, no trailing newline. *)
 

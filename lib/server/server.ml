@@ -12,17 +12,12 @@ type t = {
   port : int;
   lock : Mutex.t;
   mutable stopping : bool;
-  mutable handlers : Thread.t list;
-  conns : (Unix.file_descr, unit) Hashtbl.t;
   restored : (string * (unit, string) result) list;
   wal : (Wal.t * wal_config) option;
   generation : int;
-  mutable checkpointing : bool;  (* one checkpoint at a time; extras skip *)
-  (* Self-pipe: request_stop writes a byte so the accept loop's select wakes
-     even when the stop request comes from a signal handler that ran on a
-     thread other than the one blocked on the listening socket. *)
-  stop_r : Unix.file_descr;
-  stop_w : Unix.file_descr;
+  mutable checkpointing : bool; (* one checkpoint at a time; extras skip *)
+  mutable ckpt_thread : Thread.t option; (* joined before the final spool *)
+  mutable loop : Evloop.t option; (* set once by [create]; never unset *)
 }
 
 let with_lock t f =
@@ -76,7 +71,9 @@ let resolve_ts ~clock = function
 (* WAL recovery: load the last checkpoint (non-consuming — it must survive
    for the next crash), then re-drive the journal tail through the ordinary
    dispatch path.  Re-applied records double-count only counters; the
-   estimators are unions, and unions are duplicate-insensitive. *)
+   estimators are unions, and unions are duplicate-insensitive.  Journals
+   mix v1 text records with spliced binary v2 frames; [parse_frame_body]
+   decodes both. *)
 let recover_from_wal registry w =
   let restored = Registry.restore_all ~consume:false registry ~dir:(Wal.checkpoint_dir w) in
   List.iter
@@ -86,8 +83,8 @@ let recover_from_wal registry w =
         Log.warn (fun m -> m "checkpointed session %s not restored: %s" name msg))
     restored;
   let replayed, cut =
-    Wal.replay w ~f:(fun line ->
-        match Protocol.parse_request line with
+    Wal.replay w ~f:(fun body ->
+        match Protocol.parse_frame_body body with
         | Error e ->
           Log.warn (fun m -> m "journal record unparseable: %s" (Protocol.describe_error e))
         | Ok req -> (
@@ -106,62 +103,6 @@ let recover_from_wal registry w =
       m "recovery: %d checkpointed sessions, %d journal records replayed (generation %d)"
         (List.length restored) replayed (Wal.generation w));
   restored
-
-let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ~port ~spool ~seed () =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
-  (try Unix.bind fd addr
-   with e ->
-     Unix.close fd;
-     raise e);
-  Unix.listen fd 64;
-  let port =
-    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
-  in
-  let registry = Registry.create ~clock ~seed () in
-  let wal =
-    Option.map (fun cfg -> (Wal.open_ ~dir:cfg.dir ~fsync:cfg.fsync, cfg)) wal
-  in
-  let restored =
-    match wal with
-    | Some (w, _) -> recover_from_wal registry w
-    | None ->
-      let restored = Registry.restore_all registry ~dir:spool in
-      List.iter
-        (function
-          | name, Ok () -> Log.info (fun m -> m "restored session %s from spool" name)
-          | name, Error msg ->
-            Log.warn (fun m -> m "spooled session %s not restored: %s" name msg))
-        restored;
-      restored
-  in
-  let generation =
-    match wal with Some (w, _) -> Wal.generation w | None -> ephemeral_generation ()
-  in
-  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-  {
-    registry;
-    clock;
-    spool;
-    listen_fd = fd;
-    port;
-    lock = Mutex.create ();
-    stopping = false;
-    handlers = [];
-    conns = Hashtbl.create 16;
-    restored;
-    wal;
-    generation;
-    checkpointing = false;
-    stop_r;
-    stop_w;
-  }
-
-let port t = t.port
-let registry t = t.registry
-let restored t = t.restored
-let generation t = t.generation
 
 (* Which verbs go through the journal: the ones that change what a future
    EST would answer.  Reads, probes and server-side SNAPSHOT (its own file
@@ -189,8 +130,11 @@ let run_checkpoint t w cfg =
       | name, Error msg -> Log.err (fun m -> m "checkpoint: session %s not spooled: %s" name msg))
     outcomes
 
-(* Periodic checkpoint, claimed by whichever handler thread crosses the
-   record threshold first; racers skip rather than re-spool. *)
+(* Periodic checkpoint.  The handler runs on the event-loop thread, where a
+   multi-session fsync-ing spool would stall every connection — so the
+   checkpoint is claimed here but runs on its own thread.  Registry and
+   Wal are both safe against concurrent appends (that concurrency existed
+   before: handler threads kept serving during a checkpoint). *)
 let maybe_checkpoint t w cfg =
   if cfg.checkpoint_every > 0 && Wal.records_since_checkpoint w >= cfg.checkpoint_every
   then begin
@@ -202,71 +146,145 @@ let maybe_checkpoint t w cfg =
             true
           end)
     in
-    if claimed then
-      Fun.protect
-        ~finally:(fun () -> with_lock t (fun () -> t.checkpointing <- false))
-        (fun () -> run_checkpoint t w cfg)
+    if claimed then begin
+      let th =
+        Thread.create
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () -> with_lock t (fun () -> t.checkpointing <- false))
+              (fun () ->
+                try run_checkpoint t w cfg
+                with exn ->
+                  Log.err (fun m -> m "checkpoint failed: %s" (Printexc.to_string exn))))
+          ()
+      in
+      with_lock t (fun () -> t.ckpt_thread <- Some th)
+    end
   end
 
-let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let continue = ref true in
-     while !continue do
-       match input_line ic with
-       | exception End_of_file -> continue := false
-       | line ->
-         let response =
-           match Protocol.parse_request line with
-           | Error e -> Protocol.Error_reply e
-           | Ok Protocol.Hello -> Protocol.Hello_reply { generation = t.generation }
-           | Ok req -> (
-             let req = resolve_ts ~clock:t.clock req in
-             match Registry.dispatch t.registry req with
-             | resp -> (
-               (* Journal the accepted mutation BEFORE the reply leaves: an
-                  OK the client saw is a record the journal holds.  A failed
-                  append turns the reply into an error — the mutation did
-                  land in memory, but re-driving it is duplicate-safe and
-                  honest about lost durability. *)
-               match t.wal with
-               | Some (w, cfg) when journaled_request req && mutation_succeeded resp -> (
-                 match Wal.append w (Protocol.render_request req) with
-                 | () ->
-                   maybe_checkpoint t w cfg;
-                   resp
-                 | exception exn ->
-                   Log.err (fun m -> m "journal append failed: %s" (Printexc.to_string exn));
-                   Protocol.Error_reply
-                     (Protocol.Io_error ("journal append failed: " ^ Printexc.to_string exn)))
-               | _ -> resp)
-             | exception exn ->
-               (* A handler crash must kill one request, not the server. *)
-               Protocol.Error_reply (Protocol.Server_error (Printexc.to_string exn)))
-         in
-         output_string oc (Protocol.render_response response);
-         output_char oc '\n';
-         flush oc
-     done
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  with_lock t (fun () -> Hashtbl.remove t.conns fd);
-  try Unix.close fd with Unix.Unix_error _ -> ()
+(* The per-request seam the event loop dispatches into.  [raw] is the exact
+   v2 wire frame when there is one: if the request needed no server-side
+   timestamp stamping, the journal record is that frame spliced verbatim
+   ({!Wal.append_framed}) — zero re-render, zero re-CRC.  A stamped request
+   changed bytes, so it re-encodes (still binary, still armor-free). *)
+let handle_request t ~proto ~raw ~body =
+  let response =
+    let parsed =
+      match proto with
+      | Evloop.V2 -> Protocol.parse_frame_body body
+      | Evloop.V1 -> Protocol.parse_request body
+    in
+    match parsed with
+    | Error e -> Protocol.Error_reply e
+    | Ok Protocol.Hello -> Protocol.Hello_reply { generation = t.generation }
+    | Ok req -> (
+      let resolved = resolve_ts ~clock:t.clock req in
+      match Registry.dispatch t.registry resolved with
+      | resp -> (
+        (* Journal the accepted mutation BEFORE the reply leaves: an OK the
+           client saw is a record the journal holds.  A failed append turns
+           the reply into an error — the mutation did land in memory, but
+           re-driving it is duplicate-safe and honest about lost
+           durability. *)
+        match t.wal with
+        | Some (w, cfg) when journaled_request resolved && mutation_succeeded resp -> (
+          let append () =
+            match proto with
+            | Evloop.V2 when resolved == req && raw <> "" -> Wal.append_framed w raw
+            | Evloop.V2 -> Wal.append w (Protocol.encode_request_v2 resolved)
+            | Evloop.V1 -> Wal.append w (Protocol.render_request resolved)
+          in
+          match append () with
+          | () ->
+            maybe_checkpoint t w cfg;
+            resp
+          | exception exn ->
+            Log.err (fun m -> m "journal append failed: %s" (Printexc.to_string exn));
+            Protocol.Error_reply
+              (Protocol.Io_error ("journal append failed: " ^ Printexc.to_string exn)))
+        | _ -> resp)
+      | exception exn ->
+        (* A handler crash must kill one request, not the server. *)
+        Protocol.Error_reply (Protocol.Server_error (Printexc.to_string exn)))
+  in
+  Protocol.render_response response
+
+let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ?max_conns ~port
+    ~spool ~seed () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 1024;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let registry = Registry.create ~clock ~seed () in
+  let wal =
+    Option.map (fun cfg -> (Wal.open_ ~dir:cfg.dir ~fsync:cfg.fsync, cfg)) wal
+  in
+  let restored =
+    match wal with
+    | Some (w, _) -> recover_from_wal registry w
+    | None ->
+      let restored = Registry.restore_all registry ~dir:spool in
+      List.iter
+        (function
+          | name, Ok () -> Log.info (fun m -> m "restored session %s from spool" name)
+          | name, Error msg ->
+            Log.warn (fun m -> m "spooled session %s not restored: %s" name msg))
+        restored;
+      restored
+  in
+  let generation =
+    match wal with Some (w, _) -> Wal.generation w | None -> ephemeral_generation ()
+  in
+  let t =
+    {
+      registry;
+      clock;
+      spool;
+      listen_fd = fd;
+      port;
+      lock = Mutex.create ();
+      stopping = false;
+      restored;
+      wal;
+      generation;
+      checkpointing = false;
+      ckpt_thread = None;
+      loop = None;
+    }
+  in
+  let loop =
+    Evloop.create ?max_conns ~listen_fd:fd
+      ~handler:(fun ~proto ~raw ~body -> handle_request t ~proto ~raw ~body)
+      ~on_bad_frame:(fun reason ->
+        Some (Protocol.render_response (Protocol.Error_reply (Protocol.Io_error reason))))
+      ()
+  in
+  t.loop <- Some loop;
+  t
+
+let port t = t.port
+let registry t = t.registry
+let restored t = t.restored
+let generation t = t.generation
+let loop_exn t = match t.loop with Some l -> l | None -> assert false
 
 let request_stop t =
-  with_lock t (fun () ->
-      if not t.stopping then begin
-        t.stopping <- true;
-        (* Wake the accept loop (it selects on the self-pipe alongside the
-           listening socket; closing a socket another thread is blocked on
-           does not reliably wake it); open connections are shut down so
-           their input_line sees EOF. *)
-        (try ignore (Unix.single_write_substring t.stop_w "x" 0 1)
-         with Unix.Unix_error _ -> ());
-        Hashtbl.iter
-          (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-          t.conns
-      end)
+  let fresh =
+    with_lock t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          true
+        end)
+  in
+  if fresh then Evloop.stop (loop_exn t)
 
 (* SIGTERM gets the same graceful path as SIGINT: a supervisor's stop (or a
    container runtime's) must spool/checkpoint exactly like a ^C. *)
@@ -277,52 +295,15 @@ let install_signals t =
 
 let install_sigint = install_signals
 
-(* Handler threads run with SIGINT/SIGTERM blocked (the mask is inherited
-   across Thread.create), so a process-directed stop signal is always
-   delivered to the accept thread — whose select returns EINTR, runs the
-   OCaml handler, and sees [stopping].  Without this, a signal landing on a
-   handler thread that exits before reaching a safepoint is lost while
-   accept stays blocked. *)
-let spawn_handler t fd =
-  let old_mask = Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ] in
-  let th = Thread.create (fun () -> handle_connection t fd) () in
-  ignore (Thread.sigmask Unix.SIG_SETMASK old_mask);
-  th
-
 let serve t =
   Log.info (fun m -> m "listening on port %d (spool: %s)" t.port t.spool);
-  let rec accept_loop () =
-    if t.stopping then ()
-    else
-      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | exception Unix.Unix_error _ when t.stopping -> ()
-      | ready, _, _ ->
-        if t.stopping || List.mem t.stop_r ready then ()
-        else if List.mem t.listen_fd ready then begin
-          match Unix.accept t.listen_fd with
-          | exception
-              Unix.Unix_error
-                ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
-                  | Unix.EWOULDBLOCK ),
-                  _,
-                  _ ) ->
-            accept_loop ()
-          | exception Unix.Unix_error _ when t.stopping -> ()
-          | fd, _ ->
-            with_lock t (fun () -> Hashtbl.replace t.conns fd ());
-            let th = spawn_handler t fd in
-            with_lock t (fun () -> t.handlers <- th :: t.handlers);
-            accept_loop ()
-        end
-        else accept_loop ()
-  in
-  accept_loop ();
-  request_stop t;
+  Evloop.run (loop_exn t);
+  with_lock t (fun () -> t.stopping <- true);
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (* drain: join every handler that was ever spawned *)
-  let handlers = with_lock t (fun () -> t.handlers) in
-  List.iter (fun th -> try Thread.join th with _ -> ()) handlers;
+  (* an in-flight periodic checkpoint must finish before the journal closes *)
+  (match with_lock t (fun () -> t.ckpt_thread) with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ());
   let n_spooled =
     match t.wal with
     | Some (w, cfg) ->
@@ -330,7 +311,9 @@ let serve t =
          directory stays untouched (the checkpoint dir is the durable home).
          A failure here is survivable — the journal still holds the tail. *)
       let outcomes =
-        try run_checkpoint t w cfg; Registry.names t.registry |> List.length
+        try
+          run_checkpoint t w cfg;
+          Registry.names t.registry |> List.length
         with exn ->
           Log.err (fun m -> m "final checkpoint failed: %s" (Printexc.to_string exn));
           0
@@ -346,8 +329,6 @@ let serve t =
         outcomes;
       List.length outcomes
   in
-  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
-  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
   Log.info (fun m -> m "server stopped (%d sessions spooled)" n_spooled)
 
 let start t = Thread.create serve t

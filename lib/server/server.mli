@@ -1,5 +1,9 @@
-(** TCP front end of the estimation service: an accept loop with one handler
-    thread per connection, built on stdlib [Unix] + [threads.posix] only.
+(** TCP front end of the estimation service: a single readiness-driven
+    {!Evloop} thread owning every connection (epoll on Linux, poll
+    elsewhere), built on stdlib [Unix] + [threads.posix] only.  Speaks both
+    the v1 text protocol and wire protocol v2 (length-prefixed CRC-framed
+    binary), auto-detected per connection on the first bytes; a v2
+    mutation's journal record is the wire frame spliced verbatim.
 
     Durability contract without a journal: {!create} restores every session
     spooled under the given directory (consuming the spool files); a
@@ -31,6 +35,7 @@ val create :
   ?host:string ->
   ?clock:(unit -> float) ->
   ?wal:wal_config ->
+  ?max_conns:int ->
   port:int -> spool:string -> seed:int -> unit -> t
 (** Bind and listen ([host] defaults to ["127.0.0.1"]; [port] 0 picks an
     ephemeral port, see {!port}), then restore state: from [wal]'s
@@ -40,7 +45,9 @@ val create :
     replay sees the same timestamps — and supplies the query instant for
     un-pinned [WIN]/windowed [EXPR]; injectable for deterministic tests.
     WAL replay itself resolves legacy untimestamped records to [t=0].
-    Raises [Unix.Unix_error] if the address is unavailable. *)
+    [max_conns] (default 16384) sheds excess connections by
+    accept-and-close.  Raises [Unix.Unix_error] if the address is
+    unavailable. *)
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)
@@ -57,9 +64,10 @@ val generation : t -> int
     cluster's rejoin fence compares. *)
 
 val serve : t -> unit
-(** Run the accept loop on the calling thread until {!request_stop}; on the
-    way out, close client connections, join handler threads, and snapshot
-    all sessions to the spool.  Returns normally after a graceful stop. *)
+(** Run the event loop on the calling thread until {!request_stop}; on the
+    way out, close client connections and snapshot all sessions to the
+    spool (or take a final WAL checkpoint).  Returns normally after a
+    graceful stop. *)
 
 val start : t -> Thread.t
 (** {!serve} on a daemon thread — the loopback tests use this. *)

@@ -21,25 +21,9 @@ let fsync_policy_to_string = function
   | Never -> "never"
   | Interval secs -> Printf.sprintf "interval:%g" secs
 
-(* CRC-32 (IEEE 802.3, reflected 0xEDB88320) — the standard zlib polynomial,
-   table-driven.  Stdlib has no checksum, and the journal cannot depend on
-   one: a torn tail must be detectable with what the binary always has. *)
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  String.iter
-    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
-    s;
-  (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF
+(* Frame layout and CRC-32 live in [Frame], shared with wire protocol v2:
+   the on-disk record and the v2 wire message are the same bytes. *)
+let crc32 = Frame.crc32
 
 type t = {
   dir : string;
@@ -141,24 +125,8 @@ let open_ ~dir ~fsync =
 let generation t = t.gen
 let records_since_checkpoint t = t.records
 
-let be32 buf v =
-  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
-  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
-  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
-  Buffer.add_char buf (Char.chr (v land 0xFF))
-
-let read_be32 s off =
-  (Char.code s.[off] lsl 24)
-  lor (Char.code s.[off + 1] lsl 16)
-  lor (Char.code s.[off + 2] lsl 8)
-  lor Char.code s.[off + 3]
-
-let frame body =
-  let buf = Buffer.create (String.length body + 8) in
-  be32 buf (String.length body);
-  be32 buf (crc32 body);
-  Buffer.add_string buf body;
-  Buffer.contents buf
+let read_be32 = Frame.read_be32
+let frame = Frame.frame
 
 let maybe_fsync t =
   match t.fsync with
@@ -182,15 +150,34 @@ let write_all fd s =
   done
 
 let append t body =
-  String.iter
-    (fun c ->
-      if c = '\n' || c = '\r' then invalid_arg "Wal.append: record contains a newline")
-    body;
+  (* Text records are one rendered request line and must stay newline-free;
+     binary v2 bodies (leading '\x01', see Protocol.parse_frame_body) carry
+     raw payload bytes and the length prefix is their only delimiter. *)
+  if String.length body = 0 || body.[0] <> '\x01' then
+    String.iter
+      (fun c ->
+        if c = '\n' || c = '\r' then invalid_arg "Wal.append: record contains a newline")
+      body;
   with_lock t (fun () ->
       if t.closed then invalid_arg "Wal.append: journal closed";
       (* one write() per record: a kill -9 can tear only the record being
          written, and the tear is visible as a short or CRC-failing frame *)
       write_all t.fd (frame body);
+      t.dirty <- true;
+      t.records <- t.records + 1;
+      maybe_fsync t)
+
+let append_framed t framed =
+  (* Zero-copy splice: [framed] is a complete wire frame (header + body)
+     whose bytes go to disk verbatim — no re-render, no re-CRC.  Only the
+     length field is sanity-checked; trusting a wrong CRC here would plant
+     a record that truncates every future replay at this offset. *)
+  let n = String.length framed in
+  if n < 8 || read_be32 framed 0 <> n - 8 then
+    invalid_arg "Wal.append_framed: not a whole frame";
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Wal.append_framed: journal closed";
+      write_all t.fd framed;
       t.dirty <- true;
       t.records <- t.records + 1;
       maybe_fsync t)

@@ -80,10 +80,20 @@ val generation : t -> int
 val checkpoint_dir : t -> string
 
 val append : t -> string -> unit
-(** Append one record ([body] must be newline-free) and apply the fsync
-    policy.  Thread-safe.  Raises [Unix.Unix_error] if the disk refuses the
+(** Append one record and apply the fsync policy.  Text bodies must be
+    newline-free (one rendered request line per record); bodies starting
+    with ['\x01'] are binary protocol-v2 records and may contain any
+    bytes.  Thread-safe.  Raises [Unix.Unix_error] if the disk refuses the
     write — the caller should fail the request rather than acknowledge
     state that is not durable. *)
+
+val append_framed : t -> string -> unit
+(** Append a complete, already-framed record — header and body exactly as
+    {!Frame.frame} lays them out — without re-framing.  This is the
+    zero-copy splice path for wire protocol v2: the bytes that arrived on
+    the socket go to the journal verbatim.  The caller vouches for the
+    CRC (the event loop has just verified it on receive); only the length
+    field is checked.  Raises [Invalid_argument] on a malformed frame. *)
 
 val records_since_checkpoint : t -> int
 (** Appended (or replayed) records still uncovered by a checkpoint — the

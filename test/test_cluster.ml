@@ -351,8 +351,11 @@ let test_slow_workers_share_one_deadline () =
     true
     (elapsed < 1.8 *. timeout);
 
-  (* quarantine expires, the workers kept their sessions: quiet again *)
-  Thread.delay 0.1;
+  (* quarantine expires, the workers kept their sessions: quiet again.
+     The frontends are single-threaded event loops, so each slow worker's
+     loop stays inside its 1.0s sleeping dispatch until the sleep ends —
+     wait it out (plus the 0.1s quarantine margin) before re-querying. *)
+  Thread.delay (max 0.1 (1.0 -. elapsed +. 0.2));
   let est3, degraded3 = ok (Coordinator.estimate coord ~name:"slow") in
   Alcotest.(check bool) "recovered after quarantine" false degraded3;
   Alcotest.(check (float 0.0)) "recovered exact" (truth boxes) est3;

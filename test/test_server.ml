@@ -151,6 +151,115 @@ let test_concurrent_sessions () =
     && not (Sys.file_exists (Filename.concat spool_dir "b.snap")));
   rm_rf spool_dir
 
+(* --- wire protocol v2 interop: a hand-rolled binary client against the
+   same server a v1 text client is using, auto-detected per connection --- *)
+
+module P = Delphic_server.Protocol
+module Frame = Delphic_server.Frame
+
+type v2c = { v2fd : Unix.file_descr; mutable v2pend : string }
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let v2_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  write_all fd Frame.preamble;
+  { v2fd = fd; v2pend = "" }
+
+let rec v2_recv c =
+  let n = String.length c.v2pend in
+  if n >= 8 && n >= 8 + Frame.read_be32 c.v2pend 0 then begin
+    let len = Frame.read_be32 c.v2pend 0 in
+    let crc = Frame.read_be32 c.v2pend 4 in
+    let body = String.sub c.v2pend 8 len in
+    c.v2pend <- String.sub c.v2pend (8 + len) (n - 8 - len);
+    Alcotest.(check int) "reply frame CRC" (Frame.crc32 body) crc;
+    body
+  end
+  else begin
+    let buf = Bytes.create 4096 in
+    match Unix.read c.v2fd buf 0 4096 with
+    | 0 -> Alcotest.fail "v2 peer closed mid-reply"
+    | k ->
+      c.v2pend <- c.v2pend ^ Bytes.sub_string buf 0 k;
+      v2_recv c
+  end
+
+let v2_call c req =
+  write_all c.v2fd (Frame.frame (P.encode_request_v2 req));
+  v2_recv c
+
+let v2_close c = try Unix.close c.v2fd with Unix.Unix_error _ -> ()
+
+let test_v1_v2_interop () =
+  rm_rf spool_dir;
+  let s = Server.create ~port:0 ~spool:spool_dir ~seed:31 () in
+  let th = Server.start s in
+  let port = Server.port s in
+
+  (* one connection per protocol, same session, interleaved *)
+  let v1 = connect port and v2 = v2_connect port in
+  Alcotest.(check string) "v2 open" "OK opened mix"
+    (v2_call v2
+       (P.Open { session = "mix"; family = P.Rect; epsilon = 0.3; delta = 0.2;
+                 log2_universe = 20.0 }));
+  Alcotest.(check string) "v2 binary ADDB" "OKB 2"
+    (v2_call v2
+       (P.Add_batch { session = "mix"; payloads = [ "0 9 0 9"; "5 14 0 9" ]; ts = None }));
+  Alcotest.(check string) "v1 sees v2's inserts" "EST 150" (rpc v1 "EST mix");
+  Alcotest.(check string) "v1 add" "OK" (rpc v1 "ADD mix 0 9 10 19");
+  Alcotest.(check string) "v2 sees v1's insert" "EST 250"
+    (v2_call v2 (P.Est { session = "mix" }));
+  Alcotest.(check string) "v2 ping" "PONG" (v2_call v2 P.Ping);
+
+  (* a frame split across many tiny writes reassembles (the event loop's
+     partial-read state machine) *)
+  let frame = Frame.frame (P.encode_request_v2 (P.Est { session = "mix" })) in
+  String.iter
+    (fun ch ->
+      write_all v2.v2fd (String.make 1 ch);
+      Thread.yield ())
+    frame;
+  Alcotest.(check string) "byte-by-byte frame reassembled" "EST 250" (v2_recv v2);
+
+  (* pipelining: several frames in one write, replies in order *)
+  let b = Buffer.create 128 in
+  Frame.frame_into b (P.encode_request_v2 P.Ping);
+  Frame.frame_into b (P.encode_request_v2 (P.Est { session = "mix" }));
+  Frame.frame_into b (P.encode_request_v2 P.Ping);
+  write_all v2.v2fd (Buffer.contents b);
+  Alcotest.(check string) "pipelined 1" "PONG" (v2_recv v2);
+  Alcotest.(check string) "pipelined 2" "EST 250" (v2_recv v2);
+  Alcotest.(check string) "pipelined 3" "PONG" (v2_recv v2);
+
+  (* a corrupted frame surfaces as a framed ERR IO farewell, then close —
+     never a desynced stream *)
+  let evil = v2_connect port in
+  let f = Bytes.of_string (Frame.frame (P.encode_request_v2 P.Ping)) in
+  Bytes.set f 9 (Char.chr (Char.code (Bytes.get f 9) lxor 0x20));
+  write_all evil.v2fd (Bytes.to_string f);
+  let farewell = v2_recv evil in
+  Alcotest.(check bool)
+    (Printf.sprintf "CRC reject is typed (%s)" farewell)
+    true
+    (starts_with "ERR IO" farewell);
+  let buf = Bytes.create 16 in
+  Alcotest.(check int) "connection closed after CRC reject" 0
+    (try Unix.read evil.v2fd buf 0 16 with Unix.Unix_error _ -> 0);
+  v2_close evil;
+
+  disconnect v1;
+  v2_close v2;
+  Server.request_stop s;
+  Thread.join th;
+  rm_rf spool_dir
+
 let test_stop_is_idempotent () =
   rm_rf spool_dir;
   let s = Server.create ~port:0 ~spool:spool_dir ~seed:1 () in
@@ -165,5 +274,6 @@ let suite =
   [
     Alcotest.test_case "serve / stop / restart cycle" `Quick test_serve_stop_restart;
     Alcotest.test_case "concurrent sessions" `Quick test_concurrent_sessions;
+    Alcotest.test_case "v1/v2 interop on one server" `Quick test_v1_v2_interop;
     Alcotest.test_case "stop is idempotent" `Quick test_stop_is_idempotent;
   ]
