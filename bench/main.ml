@@ -330,8 +330,8 @@ let rec rm_rf dir =
     Unix.rmdir dir
   end
 
-let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal
-    ?(proto = Delphic_cluster.Rpc.V1) ~n_workers ~seed () =
+let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal ?(wal_group = 1)
+    ?(domains = 1) ?(proto = Delphic_cluster.Rpc.V1) ~n_workers ~seed () =
   let spool n =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -346,10 +346,12 @@ let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal
         let wal =
           Option.map
             (fun (fsync, checkpoint_every) ->
-              { Server.dir = wal_dir n; fsync; checkpoint_every })
+              { Server.dir = wal_dir n; fsync; checkpoint_every; group = wal_group })
             wal
         in
-        let s = Server.create ?wal ~port:0 ~spool:(spool n) ~seed:(seed + n) () in
+        let s =
+          Server.create ?wal ~port:0 ~spool:(spool n) ~seed:(seed + n) ~domains ()
+        in
         (s, Server.start s))
   in
   let coord =
@@ -534,19 +536,25 @@ let run_ingest ?(json = "BENCH_ingest.json") () =
    sets; the checkpoint row adds the periodic spool-and-truncate on top. *)
 
 let run_wal ?(json = "BENCH_wal.json") () =
+  (* (name, wal (fsync, ckpt), group): group > 1 routes the appends through
+     the group-commit writer domain, which is what lets fsync-always amortise
+     its fsync across a whole batch instead of paying one per record. *)
   let configs =
     [
-      ("no-wal", None);
-      ("wal/fsync-never", Some (Wal.Never, 0));
-      ("wal/fsync-interval", Some (Wal.Interval 0.2, 0));
-      ("wal/fsync-interval-ckpt512", Some (Wal.Interval 0.2, 512));
-      ("wal/fsync-always", Some (Wal.Always, 0));
+      ("no-wal", None, 1);
+      ("wal/fsync-never", Some (Wal.Never, 0), 1);
+      ("wal/fsync-interval", Some (Wal.Interval 0.2, 0), 1);
+      ("wal/fsync-interval-ckpt512", Some (Wal.Interval 0.2, 512), 1);
+      ("wal/fsync-always", Some (Wal.Always, 0), 1);
+      ("wal/fsync-never-group64", Some (Wal.Never, 0), 64);
+      ("wal/fsync-interval-group64", Some (Wal.Interval 0.2, 0), 64);
+      ("wal/fsync-always-group64", Some (Wal.Always, 0), 64);
     ]
   in
   let envs =
     List.mapi
-      (fun i (name, wal) ->
-        (name, cluster_env ?wal ~n_workers:1 ~seed:(120 + i) ()))
+      (fun i (name, wal, wal_group) ->
+        (name, cluster_env ?wal ~wal_group ~n_workers:1 ~seed:(120 + i) ()))
       configs
   in
   let tests =
@@ -561,6 +569,15 @@ let run_wal ?(json = "BENCH_wal.json") () =
   let rows = run_bechamel tests in
   List.iter (fun (_, (_, _, teardown)) -> teardown ()) envs;
   print_rows ~title:"WAL overhead sweep (batch-64 scatter, 1-worker loopback)" rows;
+  (match
+     ( List.assoc_opt "wal/scatter-add/batch-64/wal/fsync-always-group64" rows,
+       List.assoc_opt "wal/scatter-add/batch-64/wal/fsync-never-group64" rows )
+   with
+  | Some always, Some never when never > 0.0 ->
+    Printf.printf "group commit: fsync-always = %.2fx fsync-never%s\n"
+      (always /. never)
+      (if always <= 1.3 *. never then "" else "  (above the 1.3x target)")
+  | _ -> ());
   write_json ~path:json rows
 
 (* EXPR query cost over a 3-worker cluster: expression depth crossed with
@@ -826,6 +843,142 @@ let run_conns ?(json = "BENCH_conns.json") () =
     rows;
   write_json ~path:json rows
 
+(* Multicore sweep: one server sharded across D event-loop domains, C
+   client domains each pipelining batch-64 binary ADDB frames (protocol v2,
+   explicit t= so the worker journals by splicing the received frame) into
+   its own session.  Wall-clock throughput, reported as ns/set — the
+   sharding claim is the 4-domain row vs the 1-domain row, and the group
+   commit claim is fsync-always-group64 vs fsync-never-group64 at 4
+   domains.  NOTE: on a single-CPU host every row collapses to the serial
+   throughput (domains just take turns); the scaling targets are for a
+   >= 4-core runner. *)
+let run_mt ?(json = "BENCH_mt.json") () =
+  let clients = 4 and pipe_depth = 8 and rounds = 40 and batch = 64 in
+  let gen = Rng.create ~seed:53 in
+  let payloads =
+    List.map
+      (fun b ->
+        let lo = Rectangle.lo b and hi = Rectangle.hi b in
+        Printf.sprintf "%d %d %d %d" lo.(0) hi.(0) lo.(1) hi.(1))
+      (Workload.Rectangles.uniform gen ~universe:100_000 ~dim:2 ~count:batch
+         ~max_side:3)
+  in
+  let spool tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "delphic-bench-mt-%d-%s" (Unix.getpid ()) tag)
+  in
+  let bench_one ~tag ~domains ~wal =
+    let sp = spool tag in
+    let wd = sp ^ "-wal" in
+    rm_rf sp;
+    rm_rf wd;
+    let wal =
+      Option.map
+        (fun (fsync, group) ->
+          { Server.dir = wd; fsync; checkpoint_every = 0; group })
+        wal
+    in
+    let s = Server.create ?wal ~port:0 ~spool:sp ~seed:(300 + domains) ~domains () in
+    let th = Server.start s in
+    let port = Server.port s in
+    let connect () =
+      match Rpc.connect ~proto:Rpc.V2 ~host:"127.0.0.1" ~port ~timeout:30.0 () with
+      | Ok c -> c
+      | Error msg -> failwith msg
+    in
+    (* sessions opened serially from one control connection: OPEN order (and
+       with it each session's derived seed) stays deterministic no matter
+       how the client domains interleave later *)
+    let ctl = connect () in
+    for c = 0 to clients - 1 do
+      match
+        Rpc.call ctl
+          (Protocol.Open
+             {
+               session = Printf.sprintf "mt%d" c;
+               family = Protocol.Rect;
+               epsilon = 0.2;
+               delta = 0.2;
+               log2_universe = 40.0;
+             })
+      with
+      | Ok (Protocol.Ok_reply _) -> ()
+      | Ok r -> failwith ("OPEN: unexpected reply " ^ Protocol.render_response r)
+      | Error msg -> failwith ("OPEN: " ^ msg)
+    done;
+    let run_client c () =
+      let conn = connect () in
+      let req =
+        Protocol.Add_batch
+          { session = Printf.sprintf "mt%d" c; payloads; ts = Some 1.0 }
+      in
+      for _ = 1 to rounds do
+        for _ = 1 to pipe_depth do
+          Rpc.stage conn req
+        done;
+        (match Rpc.flush_staged conn with Ok () -> () | Error m -> failwith m);
+        for _ = 1 to pipe_depth do
+          match Rpc.recv conn with
+          | Ok (Protocol.Ok_batch _) -> ()
+          | Ok r -> failwith ("ADDB: unexpected reply " ^ Protocol.render_response r)
+          | Error m -> failwith ("ADDB: " ^ m)
+        done
+      done;
+      Rpc.close conn
+    in
+    let t0 = Unix.gettimeofday () in
+    let doms = List.init clients (fun c -> Domain.spawn (run_client c)) in
+    List.iter Domain.join doms;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Rpc.close ctl;
+    Server.request_stop s;
+    Thread.join th;
+    rm_rf sp;
+    rm_rf wd;
+    let sets = clients * rounds * pipe_depth * batch in
+    elapsed *. 1e9 /. float_of_int sets
+  in
+  let rows =
+    [
+      ("mt/scatter-addb64/1-domain", bench_one ~tag:"d1" ~domains:1 ~wal:None);
+      ("mt/scatter-addb64/2-domains", bench_one ~tag:"d2" ~domains:2 ~wal:None);
+      ("mt/scatter-addb64/4-domains", bench_one ~tag:"d4" ~domains:4 ~wal:None);
+      ( "mt/scatter-addb64/4-domains/wal-always",
+        bench_one ~tag:"d4wa" ~domains:4 ~wal:(Some (Wal.Always, 1)) );
+      ( "mt/scatter-addb64/4-domains/wal-always-group64",
+        bench_one ~tag:"d4wag" ~domains:4 ~wal:(Some (Wal.Always, 64)) );
+      ( "mt/scatter-addb64/4-domains/wal-never-group64",
+        bench_one ~tag:"d4wng" ~domains:4 ~wal:(Some (Wal.Never, 64)) );
+    ]
+  in
+  print_rows
+    ~title:
+      (Printf.sprintf
+         "Multicore sweep (%d pipelined v2 clients, batch-%d ADDB; host has %d core(s))"
+         clients batch
+         (Domain.recommended_domain_count ()))
+    rows;
+  (match
+     ( List.assoc_opt "mt/scatter-addb64/1-domain" rows,
+       List.assoc_opt "mt/scatter-addb64/4-domains" rows )
+   with
+  | Some d1, Some d4 when d4 > 0.0 ->
+    Printf.printf "scaling: 4 domains = %.2fx the 1-domain throughput%s\n" (d1 /. d4)
+      (if d1 /. d4 >= 2.5 then ""
+       else "  (below the 2.5x target; needs a >= 4-core runner)")
+  | _ -> ());
+  (match
+     ( List.assoc_opt "mt/scatter-addb64/4-domains/wal-always-group64" rows,
+       List.assoc_opt "mt/scatter-addb64/4-domains/wal-never-group64" rows )
+   with
+  | Some always, Some never when never > 0.0 ->
+    Printf.printf "group commit at 4 domains: fsync-always = %.2fx fsync-never%s\n"
+      (always /. never)
+      (if always <= 1.3 *. never then "" else "  (above the 1.3x target)")
+  | _ -> ());
+  write_json ~path:json rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec split mode json = function
@@ -842,11 +995,11 @@ let () =
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
   | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" | "window"
-  | "conns" ->
+  | "conns" | "mt" ->
     ()
   | m ->
     Printf.eprintf
-      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr, window, conns or all)\n"
+      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr, window, conns, mt or all)\n"
       m;
     exit 2);
   (match mode with
@@ -878,6 +1031,10 @@ let () =
     match json with
     | Some path -> run_conns ~json:path ()
     | None -> run_conns ())
+  | "mt" -> (
+    match json with
+    | Some path -> run_mt ~json:path ()
+    | None -> run_mt ())
   | _ -> ());
   if mode = "macro" || mode = "all" then begin
     print_newline ();

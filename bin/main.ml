@@ -421,6 +421,19 @@ let max_conns_arg =
   in
   Arg.(value & opt int 16384 & info [ "max-conns" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard the front end across $(docv) event-loop domains: one acceptor \
+     deals accepted connections round-robin to per-domain loops.  $(b,1) \
+     keeps the single-loop layout.  Defaults to the machine's recommended \
+     domain count, capped at 8."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let resolve_domains = function
+  | Some d -> max 1 d
+  | None -> Delphic_server.Evgroup.default_domains ()
+
 (* WAL options, shared by serve and worker: --wal DIR upgrades the
    durability contract from "graceful stop" to "kill -9". *)
 
@@ -465,12 +478,22 @@ let wal_term =
     in
     Arg.(value & opt int 512 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
   in
-  let combine dir fsync checkpoint_every =
+  let group =
+    let doc =
+      "Group-commit batch cap: journal appends go through a dedicated \
+       writer domain that coalesces up to $(docv) records into one write \
+       and at most one fsync, and OK/OKB replies wait for their record's \
+       durability.  $(b,1) restores the synchronous one-write-per-record \
+       path.  Only meaningful with $(b,--wal)."
+    in
+    Arg.(value & opt int 64 & info [ "wal-group" ] ~docv:"N" ~doc)
+  in
+  let combine dir fsync checkpoint_every group =
     Option.map
-      (fun dir -> { Delphic_server.Server.dir; fsync; checkpoint_every })
+      (fun dir -> { Delphic_server.Server.dir; fsync; checkpoint_every; group })
       dir
   in
-  Term.(const combine $ wal_dir $ fsync $ checkpoint_every)
+  Term.(const combine $ wal_dir $ fsync $ checkpoint_every $ group)
 
 let durability_banner = function
   | None -> ""
@@ -486,10 +509,11 @@ let serve_cmd =
     in
     Arg.(value & opt string "delphic-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
   in
-  let run seed port host spool wal max_conns =
+  let run seed port host spool wal max_conns domains =
     ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
+    let domains = resolve_domains domains in
     let server =
-      Delphic_server.Server.create ~host ?wal ~port ~spool ~seed ~max_conns ()
+      Delphic_server.Server.create ~host ?wal ~port ~spool ~seed ~max_conns ~domains ()
     in
     Delphic_server.Server.install_signals server;
     List.iter
@@ -498,9 +522,9 @@ let serve_cmd =
         | name, Error msg ->
           Printf.printf "warning: session %s not restored: %s\n%!" name msg)
       (Delphic_server.Server.restored server);
-    Printf.printf "delphic serve: listening on %s:%d (spool: %s%s)\n%!" host
+    Printf.printf "delphic serve: listening on %s:%d (spool: %s, domains: %d%s)\n%!" host
       (Delphic_server.Server.port server)
-      spool (durability_banner wal);
+      spool domains (durability_banner wal);
     Delphic_server.Server.serve server;
     print_endline "delphic serve: stopped; sessions spooled"
   in
@@ -513,7 +537,9 @@ let serve_cmd =
      $(b,EXPR (A & B) \\\\ C)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term $ max_conns_arg)
+    Term.(
+      const run $ seed $ port_arg $ host_arg $ spool $ wal_term $ max_conns_arg
+      $ domains_arg)
 
 (* worker / coord: the sharded cluster (lib/cluster).  A worker is just a
    server under a name that reads well in cluster commands. *)
@@ -523,15 +549,16 @@ let worker_cmd =
     let doc = "Spool directory for durable session snapshots." in
     Arg.(value & opt string "delphic-worker-spool" & info [ "spool" ] ~docv:"DIR" ~doc)
   in
-  let run seed port host spool wal max_conns =
+  let run seed port host spool wal max_conns domains =
     ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
+    let domains = resolve_domains domains in
     let server =
-      Delphic_server.Server.create ~host ?wal ~port ~spool ~seed ~max_conns ()
+      Delphic_server.Server.create ~host ?wal ~port ~spool ~seed ~max_conns ~domains ()
     in
     Delphic_server.Server.install_signals server;
-    Printf.printf "delphic worker: listening on %s:%d (spool: %s%s)\n%!" host
+    Printf.printf "delphic worker: listening on %s:%d (spool: %s, domains: %d%s)\n%!" host
       (Delphic_server.Server.port server)
-      spool (durability_banner wal);
+      spool domains (durability_banner wal);
     Delphic_server.Server.serve server;
     print_endline "delphic worker: stopped; sessions spooled"
   in
@@ -541,7 +568,9 @@ let worker_cmd =
      $(b,--wal) an acknowledged set survives $(b,kill -9)."
   in
   Cmd.v (Cmd.info "worker" ~doc)
-    Term.(const run $ seed $ port_arg $ host_arg $ spool $ wal_term $ max_conns_arg)
+    Term.(
+      const run $ seed $ port_arg $ host_arg $ spool $ wal_term $ max_conns_arg
+      $ domains_arg)
 
 let workers_arg =
   let parse s =
@@ -631,14 +660,16 @@ let coord_cmd =
     in
     Arg.(value & opt proto_conv Delphic_cluster.Rpc.V2 & info [ "proto" ] ~docv:"VERSION" ~doc)
   in
-  let run seed port host workers shard timeout batch gather_domains proto max_conns =
+  let run seed port host workers shard timeout batch gather_domains proto max_conns
+      domains =
     ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
+    let domains = resolve_domains domains in
     let coord =
       Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~batch
         ?gather_domains ~proto ~workers ~seed ()
     in
     let frontend =
-      Delphic_cluster.Frontend.create ~host ~port ~max_conns
+      Delphic_cluster.Frontend.create ~host ~port ~max_conns ~domains
         ~dispatch:(Delphic_cluster.Coordinator.dispatch coord)
         ()
     in
@@ -664,7 +695,7 @@ let coord_cmd =
     (Cmd.info "coord" ~doc)
     Term.(
       const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout
-      $ batch $ gather_domains $ proto $ max_conns_arg)
+      $ batch $ gather_domains $ proto $ max_conns_arg $ domains_arg)
 
 (* query: one-shot client for the service. *)
 

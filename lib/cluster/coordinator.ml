@@ -1130,6 +1130,12 @@ let dispatch t (req : P.request) : P.response =
   (* The coordinator is a client-facing aggregate, not a restartable worker;
      it has no journal generation to advertise. *)
   | P.Hello -> P.Hello_reply { generation = 0 }
+  (* Connection/domain figures belong to the front door; [Frontend.handle]
+     intercepts bare STATS before dispatch.  Reached directly (tests, a
+     coordinator embedded without a frontend) there is nothing to report. *)
+  | P.Server_stats ->
+    P.Server_stats_reply
+      { conns = 0; shed = 0; dispatched = []; wal_queue = 0; wal_last_group = 0; wal_groups = 0 }
   | P.Open { session; family; epsilon; delta; log2_universe } ->
     reply
       (Result.map

@@ -1,5 +1,6 @@
 module P = Delphic_server.Protocol
 module Evloop = Delphic_server.Evloop
+module Evgroup = Delphic_server.Evgroup
 
 let log_src = Logs.Src.create "delphic.frontend" ~doc:"cluster frontend"
 
@@ -10,17 +11,33 @@ type t = {
   port : int;
   lock : Mutex.t;
   mutable stopping : bool;
-  loop : Evloop.t;
+  mutable evg : Evgroup.t option; (* set once by [create]; never unset *)
 }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let evg_exn t = match t.evg with Some g -> g | None -> assert false
+
+(* Bare STATS answered here: the front door owns the connection and domain
+   figures; no journal on a coordinator, so the WAL fields are 0. *)
+let srvstats t =
+  let g = evg_exn t in
+  P.Server_stats_reply
+    {
+      conns = Evgroup.live_conns g;
+      shed = Evgroup.shed_count g;
+      dispatched = Array.to_list (Evgroup.dispatched g);
+      wal_queue = 0;
+      wal_last_group = 0;
+      wal_groups = 0;
+    }
+
 (* The frontend is pure request → response plumbing: parse, dispatch,
-   render.  No journal, so [raw] is unused — both protocols share one
-   path. *)
-let handle dispatch ~proto ~raw:_ ~body =
+   render.  No journal, so [raw] is unused and every reply is immediate —
+   both protocols share one path. *)
+let handle t dispatch ~proto ~raw:_ ~body =
   let parsed =
     match proto with
     | Evloop.V2 -> P.parse_frame_body body
@@ -29,14 +46,15 @@ let handle dispatch ~proto ~raw:_ ~body =
   let response =
     match parsed with
     | Error e -> P.Error_reply e
+    | Ok P.Server_stats -> srvstats t
     | Ok req -> (
       match dispatch req with
       | resp -> resp
       | exception exn -> P.Error_reply (P.Server_error (Printexc.to_string exn)))
   in
-  P.render_response response
+  Evloop.Reply (P.render_response response)
 
-let create ?(host = "127.0.0.1") ?max_conns ~port ~dispatch () =
+let create ?(host = "127.0.0.1") ?max_conns ?domains ~port ~dispatch () =
   (* a client that hangs up mid-reply must cost one connection, not the
      process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -52,13 +70,15 @@ let create ?(host = "127.0.0.1") ?max_conns ~port ~dispatch () =
   let port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let loop =
-    Evloop.create ?max_conns ~listen_fd:fd ~handler:(handle dispatch)
+  let t = { listen_fd = fd; port; lock = Mutex.create (); stopping = false; evg = None } in
+  let g =
+    Evgroup.create ?max_conns ?domains ~listen_fd:fd ~handler:(handle t dispatch)
       ~on_bad_frame:(fun reason ->
         Some (P.render_response (P.Error_reply (P.Io_error reason))))
       ()
   in
-  { listen_fd = fd; port; lock = Mutex.create (); stopping = false; loop }
+  t.evg <- Some g;
+  t
 
 let port t = t.port
 
@@ -71,7 +91,7 @@ let request_stop t =
           true
         end)
   in
-  if fresh then Evloop.stop t.loop
+  if fresh then Evgroup.stop (evg_exn t)
 
 (* SIGTERM drains like SIGINT: a supervisor's stop is a graceful stop. *)
 let install_signals t =
@@ -82,8 +102,9 @@ let install_signals t =
 let install_sigint = install_signals
 
 let serve t =
-  Log.info (fun m -> m "frontend listening on port %d" t.port);
-  Evloop.run t.loop;
+  Log.info (fun m ->
+      m "frontend listening on port %d (domains: %d)" t.port (Evgroup.domains (evg_exn t)));
+  Evgroup.run (evg_exn t);
   with_lock t (fun () -> t.stopping <- true);
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Log.info (fun m -> m "frontend stopped")

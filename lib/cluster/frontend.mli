@@ -3,23 +3,27 @@
     The {!Delphic_server.Evloop} readiness loop, shutdown and signal
     handling of {!Delphic_server.Server}, detached from the registry: the
     dispatch function is injected, so the same loop serves a single-node
-    registry or a {!Coordinator} unchanged.  One thread owns every
-    connection; both the v1 text protocol and wire protocol v2 are served,
-    auto-detected on the first bytes. *)
+    registry or a {!Coordinator} unchanged.  Both the v1 text protocol and
+    wire protocol v2 are served, auto-detected on the first bytes; with
+    [domains > 1] the connections are sharded round-robin across that many
+    event-loop domains ({!Delphic_server.Evgroup}).  The bare [STATS] verb
+    is answered by the frontend itself (connection and domain figures). *)
 
 type t
 
 val create :
   ?host:string ->
   ?max_conns:int ->
+  ?domains:int ->
   port:int ->
   dispatch:(Delphic_server.Protocol.request -> Delphic_server.Protocol.response) ->
   unit ->
   t
 (** Binds immediately ([port] 0 picks a free port — see {!port}); serving
-    starts with {!serve}/{!start}.  [dispatch] runs on the event-loop
-    thread: it may block (only this frontend's connections wait), and
-    {!Coordinator.dispatch} is safe here. *)
+    starts with {!serve}/{!start}.  [dispatch] runs on an event-loop
+    thread: it may block (only that loop's connections wait), and
+    {!Coordinator.dispatch} is safe here — with [domains > 1] it must also
+    be domain-safe, which the coordinator's internal locking provides. *)
 
 val port : t -> int
 

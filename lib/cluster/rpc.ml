@@ -32,6 +32,10 @@ type t = {
      write+flush (writev-style coalescing).  [send]/[call] drain it first so
      a synchronous request can never leapfrog staged frames on the wire. *)
   buf : Buffer.t;
+  (* Pooled v2 encode scratch: [stage] encodes each request body into this
+     sink and frames straight out of it, so small frames (batch-1 ADDB, the
+     v1-beating case) cost no per-request Buffer + string round trip. *)
+  scratch : Frame.sink;
   (* Reads bypass in_channel: a raw [Unix.read] surfaces EAGAIN from
      SO_RCVTIMEO as a typed timeout instead of a Sys_error string, which is
      what lets [recv_timeout] tell "slow" from "dead".  [pend] holds bytes
@@ -83,6 +87,7 @@ let make_conn fd ~io ~host ~port ~proto ~timeout =
       proto;
       timeout;
       buf = Buffer.create 4096;
+      scratch = Frame.sink_create 256;
       rbuf = Bytes.create 65536;
       pend = "";
       scanned = 0;
@@ -131,7 +136,9 @@ let stage t req =
   | V1 ->
     Buffer.add_string t.buf (P.render_request req);
     Buffer.add_char t.buf '\n'
-  | V2 -> Frame.frame_into t.buf (P.encode_request_v2 req)
+  | V2 ->
+    P.encode_request_v2_sink t.scratch req;
+    Frame.frame_sink_into t.buf t.scratch
 
 let staged_bytes t = Buffer.length t.buf
 

@@ -41,6 +41,27 @@ let wait_fd fd ~write ~timeout =
   in
   go ()
 
+(* A durability gate: 0 = pending, 1 = complete, 2 = failed.  The WAL
+   group-commit writer flips it from another domain after the record's
+   durability point, then {!kick}s the owning loop to release the reply. *)
+type gate = int Atomic.t
+
+let gate_pending = 0
+let gate_done = 1
+let gate_failed = 2
+
+type verdict =
+  | Reply of string
+  | Gated of { reply : string; on_fail : string; gate : gate }
+
+(* Replies queued behind an unresolved gate.  Ungated replies normally skip
+   this queue entirely (straight into the pending buffer); once a gated
+   item is in flight, later replies enqueue behind it — the per-connection
+   reply order must match the request order. *)
+type out_item = { text : string; fail : string; gate : gate }
+
+let resolved_gate : gate = Atomic.make gate_done
+
 type conn = {
   fd : Unix.file_descr;
   ifd : int;
@@ -49,6 +70,8 @@ type conn = {
   mutable rpos : int; (* consumed prefix *)
   mutable rlen : int; (* valid bytes *)
   mutable rscan : int; (* v1: resume point for the newline scan *)
+  outq : out_item Queue.t; (* replies gated on durability (order-preserving) *)
+  mutable outq_bytes : int;
   pending : Buffer.t; (* replies not yet promoted to [inflight] *)
   mutable inflight : string;
   mutable ioff : int;
@@ -58,18 +81,48 @@ type conn = {
   mutable dead : bool;
 }
 
-type handler = proto:proto -> raw:string -> body:string -> string
+type handler = proto:proto -> raw:string -> body:string -> verdict
+
+(* Accounting shared by every loop of a sharded group: the connection cap
+   and shed count are properties of the listening socket, not of any one
+   domain's loop. *)
+type shared = {
+  max_conns : int;
+  live : int Atomic.t;
+  shed : int Atomic.t;
+}
+
+let make_shared ~max_conns = { max_conns; live = Atomic.make 0; shed = Atomic.make 0 }
+let live_conns s = Atomic.get s.live
+let shed_count s = Atomic.get s.shed
+
+(* Admission check at accept time: under the cap admits (the loop that
+   registers the fd increments [live]); over it counts a shed and tells
+   the acceptor to close.  Advisory — a burst racing several acceptors can
+   overshoot by the number of in-flight handoffs, which is fine for a
+   load-shedding cap. *)
+let try_admit s =
+  if Atomic.get s.live >= s.max_conns then begin
+    Atomic.incr s.shed;
+    false
+  end
+  else true
 
 type t = {
-  listen_fd : Unix.file_descr;
-  listen_ifd : int;
+  listen_fd : Unix.file_descr option;
+  listen_ifd : int; (* -1 when this loop does not own an acceptor *)
   handler : handler;
   on_bad_frame : string -> string option;
-  max_conns : int;
+  shared : shared;
   conns : (int, conn) Hashtbl.t;
+  gated : (int, conn) Hashtbl.t; (* conns whose reply head waits on a gate *)
+  injectq : Unix.file_descr Queue.t; (* fds handed over by an acceptor *)
+  inject_lock : Mutex.t;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   stop_flag : bool Atomic.t;
+  wake_flag : bool Atomic.t; (* dedup: at most one unread wake byte *)
+  dispatched : int Atomic.t; (* requests handled by this loop *)
   epfd : int; (* -1 => poll backend *)
 }
 
@@ -78,34 +131,54 @@ let lo_water = 1 * 1024 * 1024
 let read_budget = 256 * 1024
 let initial_rbuf = 8 * 1024
 
-let create ?(max_conns = 16384) ~listen_fd ~handler ?(on_bad_frame = fun _ -> None) () =
+let create ?(max_conns = 16384) ?shared ?listen_fd ~handler
+    ?(on_bad_frame = fun _ -> None) () =
   (* a client that hangs up mid-reply must cost one connection, not the
      process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock stop_r;
+  Unix.set_nonblock stop_w;
   let epfd = epoll_create () in
   if epfd < 0 then Log.info (fun m -> m "epoll unavailable; using poll backend");
+  let shared = match shared with Some s -> s | None -> make_shared ~max_conns in
   {
     listen_fd;
-    listen_ifd = fd_int listen_fd;
+    listen_ifd = (match listen_fd with Some fd -> fd_int fd | None -> -1);
     handler;
     on_bad_frame;
-    max_conns;
+    shared;
     conns = Hashtbl.create 1024;
+    gated = Hashtbl.create 64;
+    injectq = Queue.create ();
+    inject_lock = Mutex.create ();
     stop_r;
     stop_w;
     stop_flag = Atomic.make false;
+    wake_flag = Atomic.make false;
+    dispatched = Atomic.make 0;
     epfd;
   }
 
 let conn_count t = Hashtbl.length t.conns
+let dispatched t = Atomic.get t.dispatched
+let shared_of t = t.shared
+
+let wake t =
+  if Atomic.compare_and_set t.wake_flag false true then
+    try ignore (Unix.single_write_substring t.stop_w "w" 0 1)
+    with Unix.Unix_error _ -> ()
 
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then
     try ignore (Unix.single_write_substring t.stop_w "x" 0 1)
     with Unix.Unix_error _ -> ()
+
+(* kick: wake the loop so it re-examines gated replies.  Thread-safe and
+   cheap to call redundantly — [wake_flag] keeps the self-pipe at one
+   unread byte no matter how many batches complete between rounds. *)
+let kick t = wake t
 
 let backend_add t ifd ev = if t.epfd >= 0 then ignore (epoll_ctl t.epfd 0 ifd ev)
 let backend_del t ifd = if t.epfd >= 0 then ignore (epoll_ctl t.epfd 2 ifd 0)
@@ -115,15 +188,46 @@ let close_conn t c =
     c.dead <- true;
     backend_del t c.ifd;
     Hashtbl.remove t.conns c.ifd;
+    Hashtbl.remove t.gated c.ifd;
+    Atomic.decr t.shared.live;
     (try Unix.close c.fd with Unix.Unix_error _ -> ())
   end
 
-let out_bytes c = String.length c.inflight - c.ioff + Buffer.length c.pending
+(* Bytes that still have to leave the socket, including replies parked
+   behind a durability gate. *)
+let out_bytes c =
+  String.length c.inflight - c.ioff + Buffer.length c.pending + c.outq_bytes
+
+(* Bytes that can be written right now (gated replies excluded). *)
+let flushable_bytes c = String.length c.inflight - c.ioff + Buffer.length c.pending
+
+let frame_reply c text =
+  match c.proto with
+  | Some V1 ->
+    Buffer.add_string c.pending text;
+    Buffer.add_char c.pending '\n'
+  | Some V2 -> Frame.frame_into c.pending text
+  | None -> ()
+
+(* Move resolved queue heads into the pending buffer.  Stops at the first
+   gate still pending — per-connection reply order is request order. *)
+let promote c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.outq) do
+    let it = Queue.peek c.outq in
+    match Atomic.get it.gate with
+    | 0 (* pending *) -> continue := false
+    | st ->
+      ignore (Queue.pop c.outq);
+      c.outq_bytes <- c.outq_bytes - String.length it.text;
+      frame_reply c (if st = gate_done then it.text else it.fail)
+  done
 
 (* Promote pending replies and push them into the socket until it would
    block.  EPIPE/ECONNRESET just kill the connection. *)
 let rec flush_out t c =
   if not c.dead then begin
+    promote c;
     if c.inflight = "" && Buffer.length c.pending > 0 then begin
       c.inflight <- Buffer.contents c.pending;
       c.ioff <- 0;
@@ -151,9 +255,11 @@ let update_interest t c =
     if c.rd_paused && out <= lo_water then c.rd_paused <- false;
     if c.closing && out = 0 then close_conn t c
     else begin
+      (* ev_out only when bytes can actually move: a reply parked behind a
+         pending gate must not spin the loop on a writable socket *)
       let ev =
         (if c.closing || c.rd_paused then 0 else ev_in)
-        lor (if out > 0 then ev_out else 0)
+        lor (if flushable_bytes c > 0 then ev_out else 0)
       in
       if ev <> c.reg_ev then begin
         if t.epfd >= 0 then ignore (epoll_ctl t.epfd 1 c.ifd ev);
@@ -162,17 +268,26 @@ let update_interest t c =
     end
   end
 
-let queue_reply c proto reply =
-  (match proto with
-  | V1 ->
-    Buffer.add_string c.pending reply;
-    Buffer.add_char c.pending '\n'
-  | V2 -> Frame.frame_into c.pending reply);
+let queue_reply c reply =
+  if Queue.is_empty c.outq then frame_reply c reply
+  else begin
+    (* a gated reply is already queued: enqueue behind it to keep order *)
+    Queue.add { text = reply; fail = reply; gate = resolved_gate } c.outq;
+    c.outq_bytes <- c.outq_bytes + String.length reply
+  end;
+  if out_bytes c > hi_water then c.rd_paused <- true
+
+let queue_gated t c ~reply ~on_fail gate =
+  Queue.add { text = reply; fail = on_fail; gate } c.outq;
+  c.outq_bytes <- c.outq_bytes + String.length reply;
+  Hashtbl.replace t.gated c.ifd c;
   if out_bytes c > hi_water then c.rd_paused <- true
 
 let run_handler t c proto ~raw ~body =
+  Atomic.incr t.dispatched;
   match t.handler ~proto ~raw ~body with
-  | reply -> queue_reply c proto reply
+  | Reply reply -> queue_reply c reply
+  | Gated { reply; on_fail; gate } -> queue_gated t c ~reply ~on_fail gate
   | exception exn ->
     (* the server's handler turns its own failures into ERR replies; an
        exception here means the seam itself is broken — drop the conn *)
@@ -182,9 +297,9 @@ let run_handler t c proto ~raw ~body =
 let bad_frame t c reason =
   Log.warn (fun m -> m "protocol error: %s; closing connection" reason);
   (match c.proto with
-  | Some proto -> (
+  | Some _ -> (
     match t.on_bad_frame reason with
-    | Some reply -> queue_reply c proto reply
+    | Some reply -> queue_reply c reply
     | None -> ())
   | None -> ());
   c.rpos <- c.rlen;
@@ -290,50 +405,94 @@ let on_writable t c =
   flush_out t c;
   if not c.dead then update_interest t c
 
-let accept_ready t =
+(* Adopt an already-accepted socket into this loop.  Used both by the
+   in-loop acceptor and by {!adopt} (the sharded acceptor's handoff). *)
+let register_conn t fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let c =
+    {
+      fd;
+      ifd = fd_int fd;
+      proto = None;
+      rbuf = Bytes.create initial_rbuf;
+      rpos = 0;
+      rlen = 0;
+      rscan = 0;
+      outq = Queue.create ();
+      outq_bytes = 0;
+      pending = Buffer.create 256;
+      inflight = "";
+      ioff = 0;
+      reg_ev = ev_in;
+      rd_paused = false;
+      closing = false;
+      dead = false;
+    }
+  in
+  Atomic.incr t.shared.live;
+  Hashtbl.replace t.conns c.ifd c;
+  backend_add t c.ifd ev_in
+
+(* Thread-safe fd handoff from an acceptor running elsewhere: queue the fd
+   and wake the loop, which registers it with its own backend. *)
+let adopt t fd =
+  Mutex.lock t.inject_lock;
+  Queue.add fd t.injectq;
+  Mutex.unlock t.inject_lock;
+  wake t
+
+let drain_inject t =
   let continue = ref true in
   while !continue do
-    match Unix.accept ~cloexec:true t.listen_fd with
-    | exception
-        Unix.Unix_error
-          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-      continue := false
-    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
-      (* out of descriptors: nothing to do but stop accepting this round *)
-      Log.warn (fun m -> m "accept: out of file descriptors");
-      continue := false
-    | exception Unix.Unix_error _ -> continue := false
-    | fd, _ ->
-      if Hashtbl.length t.conns >= t.max_conns then begin
-        (* accept-and-drop beats leaving the backlog to time out: the
-           client sees a crisp close instead of a hang *)
-        try Unix.close fd with Unix.Unix_error _ -> ()
-      end
-      else begin
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-        let c =
-          {
-            fd;
-            ifd = fd_int fd;
-            proto = None;
-            rbuf = Bytes.create initial_rbuf;
-            rpos = 0;
-            rlen = 0;
-            rscan = 0;
-            pending = Buffer.create 256;
-            inflight = "";
-            ioff = 0;
-            reg_ev = ev_in;
-            rd_paused = false;
-            closing = false;
-            dead = false;
-          }
-        in
-        Hashtbl.replace t.conns c.ifd c;
-        backend_add t c.ifd ev_in
-      end
+    Mutex.lock t.inject_lock;
+    let fd = if Queue.is_empty t.injectq then None else Some (Queue.pop t.injectq) in
+    Mutex.unlock t.inject_lock;
+    match fd with
+    | None -> continue := false
+    | Some fd -> register_conn t fd
   done
+
+(* Gates resolved since the last round: promote, flush, and drop conns
+   whose reply queue cleared. *)
+let revisit_gated t =
+  if Hashtbl.length t.gated > 0 then begin
+    let entries = Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.gated [] in
+    List.iter
+      (fun (k, c) ->
+        if c.dead then Hashtbl.remove t.gated k
+        else begin
+          flush_out t c;
+          if not c.dead then update_interest t c;
+          if c.dead || Queue.is_empty c.outq then Hashtbl.remove t.gated k
+        end)
+      entries
+  end
+
+let accept_ready t =
+  match t.listen_fd with
+  | None -> ()
+  | Some listen_fd ->
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listen_fd with
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        continue := false
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* out of descriptors: nothing to do but stop accepting this round *)
+        Log.warn (fun m -> m "accept: out of file descriptors");
+        continue := false
+      | exception Unix.Unix_error _ -> continue := false
+      | fd, _ ->
+        if not (try_admit t.shared) then begin
+          (* accept-and-drop beats leaving the backlog to time out: the
+             client sees a crisp close instead of a hang *)
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else register_conn t fd
+    done
 
 let drain_stop_pipe t =
   let b = Bytes.create 64 in
@@ -345,22 +504,37 @@ let drain_stop_pipe t =
   in
   go ()
 
+(* The self-pipe fired: clear the wake dedup BEFORE draining so a kick
+   racing the drain leaves a byte for the next round, then handle whatever
+   the byte meant — stop, adopted fds, resolved gates. *)
+let handle_wake t =
+  Atomic.set t.wake_flag false;
+  drain_stop_pipe t;
+  if not (Atomic.get t.stop_flag) then begin
+    drain_inject t;
+    revisit_gated t
+  end
+
 (* One readiness round on the poll backend: build the interleaved
    [fd; events] spec from live connections, mirror conns into an array so
    result slots map back. *)
 let poll_round t =
   let n = Hashtbl.length t.conns in
-  let spec = Array.make ((n + 2) * 2) 0 in
-  let index = Array.make (n + 2) None in
-  spec.(0) <- t.listen_ifd;
+  let has_listen = t.listen_ifd >= 0 in
+  let extra = if has_listen then 2 else 1 in
+  let spec = Array.make ((n + extra) * 2) 0 in
+  let index = Array.make (n + extra) None in
+  spec.(0) <- fd_int t.stop_r;
   spec.(1) <- ev_in;
-  spec.(2) <- fd_int t.stop_r;
-  spec.(3) <- ev_in;
-  let slot = ref 2 in
+  if has_listen then begin
+    spec.(2) <- t.listen_ifd;
+    spec.(3) <- ev_in
+  end;
+  let slot = ref extra in
   Hashtbl.iter
     (fun ifd c ->
       let i = !slot in
-      if i < n + 2 then begin
+      if i < n + extra then begin
         spec.(i * 2) <- ifd;
         spec.(i * 2 + 1) <- c.reg_ev;
         index.(i) <- Some c;
@@ -368,10 +542,11 @@ let poll_round t =
       end)
     t.conns;
   let revents = poll_fds spec (-1) in
-  let stop_hit = Array.length revents > 2 && revents.(1) land (ev_in lor ev_err) <> 0 in
-  if stop_hit then drain_stop_pipe t;
-  if Array.length revents > 0 && revents.(0) land ev_in <> 0 then accept_ready t;
-  for i = 2 to Array.length revents - 1 do
+  let stop_hit = Array.length revents > 0 && revents.(0) land (ev_in lor ev_err) <> 0 in
+  if stop_hit then handle_wake t;
+  if has_listen && Array.length revents > 1 && revents.(1) land ev_in <> 0 then
+    accept_ready t;
+  for i = extra to Array.length revents - 1 do
     match index.(i) with
     | None -> ()
     | Some c ->
@@ -388,8 +563,9 @@ let epoll_round t =
   let n = Array.length evs / 2 in
   for i = 0 to n - 1 do
     let ifd = evs.(i * 2) and ev = evs.(i * 2 + 1) in
-    if ifd = t.listen_ifd then (if ev land ev_in <> 0 then accept_ready t)
-    else if ifd = fd_int t.stop_r then drain_stop_pipe t
+    if t.listen_ifd >= 0 && ifd = t.listen_ifd then
+      (if ev land ev_in <> 0 then accept_ready t)
+    else if ifd = fd_int t.stop_r then handle_wake t
     else
       (* a conn closed earlier in this same batch is simply gone *)
       match Hashtbl.find_opt t.conns ifd with
@@ -403,16 +579,22 @@ let epoll_round t =
   done
 
 let run t =
-  Unix.set_nonblock t.listen_fd;
-  if t.epfd >= 0 then begin
-    backend_add t t.listen_ifd ev_in;
-    backend_add t (fd_int t.stop_r) ev_in
-  end;
+  (match t.listen_fd with
+  | Some fd ->
+    Unix.set_nonblock fd;
+    if t.epfd >= 0 then backend_add t t.listen_ifd ev_in
+  | None -> ());
+  if t.epfd >= 0 then backend_add t (fd_int t.stop_r) ev_in;
   (while not (Atomic.get t.stop_flag) do
      if t.epfd >= 0 then epoll_round t else poll_round t
    done);
   let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   List.iter (fun c -> close_conn t c) conns;
+  (* fds handed over but never registered still belong to this loop *)
+  Mutex.lock t.inject_lock;
+  Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.injectq;
+  Queue.clear t.injectq;
+  Mutex.unlock t.inject_lock;
   if t.epfd >= 0 then (try Unix.close (fd_of_int t.epfd) with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   try Unix.close t.stop_w with Unix.Unix_error _ -> ()

@@ -66,6 +66,52 @@ let frame_into buf body =
   be32 buf (crc32 body);
   Buffer.add_string buf body
 
+(* A reusable growable scratch buffer.  Buffer.t would do, except
+   Buffer.contents allocates a fresh string per use — on the v2 batch-1
+   path that per-tiny-frame churn is measurable.  A sink exposes its
+   bytes, so encode → CRC → frame runs with zero intermediate strings. *)
+type sink = { mutable sb : Bytes.t; mutable slen : int }
+
+let sink_create n = { sb = Bytes.create (max 16 n); slen = 0 }
+let sink_clear s = s.slen <- 0
+let sink_len s = s.slen
+
+let sink_reserve s extra =
+  let need = s.slen + extra in
+  if need > Bytes.length s.sb then begin
+    let cap = ref (Bytes.length s.sb * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit s.sb 0 nb 0 s.slen;
+    s.sb <- nb
+  end
+
+let sink_char s c =
+  sink_reserve s 1;
+  Bytes.unsafe_set s.sb s.slen c;
+  s.slen <- s.slen + 1
+
+let sink_string s str =
+  let n = String.length str in
+  sink_reserve s n;
+  Bytes.blit_string str 0 s.sb s.slen n;
+  s.slen <- s.slen + n
+
+let sink_be32 s v =
+  sink_reserve s 4;
+  Bytes.unsafe_set s.sb s.slen (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Bytes.unsafe_set s.sb (s.slen + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set s.sb (s.slen + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set s.sb (s.slen + 3) (Char.unsafe_chr (v land 0xFF));
+  s.slen <- s.slen + 4
+
+let frame_sink_into buf s =
+  be32 buf s.slen;
+  be32 buf (crc32_bytes s.sb ~pos:0 ~len:s.slen);
+  Buffer.add_subbytes buf s.sb 0 s.slen
+
 (* Connections that speak v2 open with these four bytes.  The leading NUL
    can never start a v1 text request (verbs are ASCII letters), which is
    the whole auto-detection story: peek one byte, branch once, done. *)

@@ -25,6 +25,22 @@ val frame : string -> string
 val frame_into : Buffer.t -> string -> unit
 (** Append [frame body] to a buffer without the intermediate string. *)
 
+type sink
+(** A reusable growable byte scratch.  Unlike [Buffer.t], framing from a
+    sink ({!frame_sink_into}) reads its bytes in place — no
+    [Buffer.contents] string per frame.  Encoders pool one sink per
+    connection and {!sink_clear} it between requests. *)
+
+val sink_create : int -> sink
+val sink_clear : sink -> unit
+val sink_len : sink -> int
+val sink_char : sink -> char -> unit
+val sink_string : sink -> string -> unit
+val sink_be32 : sink -> int -> unit
+
+val frame_sink_into : Buffer.t -> sink -> unit
+(** Append the frame (header + sink contents as the body) to [buf]. *)
+
 val preamble : string
 (** The 4-byte connection preamble ["\x00DP2"] a v2 client sends first.
     A leading NUL never begins a v1 text request, which is what makes

@@ -26,6 +26,7 @@ type request =
   | Expr of { expr : Expr_ast.t; m : int option; w : float option }
   | Ping
   | Hello
+  | Server_stats
 
 type error =
   | Empty_request
@@ -54,6 +55,18 @@ type stats = {
 
 type expr_quality = Probes_exact | Probes_sketch
 
+(* Process-wide figures for the bare STATS verb: how the sharded front end
+   and the group-commit journal are actually doing.  [dispatched] is
+   per-domain, index-aligned with the acceptor's round-robin order. *)
+type server_stats = {
+  conns : int;
+  shed : int;
+  dispatched : int list;
+  wal_queue : int;
+  wal_last_group : int;
+  wal_groups : int;
+}
+
 type response =
   | Ok_reply of string option
   | Ok_batch of { accepted : int; errors : (int * string) list }
@@ -70,6 +83,7 @@ type response =
   | Sketch of string
   | Pong
   | Hello_reply of { generation : int }
+  | Server_stats_reply of server_stats
   | Error_reply of error
 
 let session_name_ok name =
@@ -286,7 +300,18 @@ let parse_request line =
           | "EST" -> Est { session }
           | "STATS" -> Stats { session }
           | _ -> Close { session })
-      | _ -> Error (Wrong_arity { command; expected = command ^ " <session>" }))
+      (* Bare STATS is the process-wide form: conns, sheds, per-domain
+         dispatch balance, WAL group-commit figures. *)
+      | [] when command = "STATS" -> Ok Server_stats
+      | _ ->
+        Error
+          (Wrong_arity
+             {
+               command;
+               expected =
+                 (if command = "STATS" then "STATS [<session>]"
+                  else command ^ " <session>");
+             }))
     | "SNAPSHOT" ->
       (* One token: return the wire-encoded sketch inline (the cluster
          gather).  A cut=<abs-secs> second token is a windowed fetch — the
@@ -428,6 +453,7 @@ let render_request = function
     ^ Expr_ast.to_string expr
   | Ping -> "PING"
   | Hello -> "HELLO"
+  | Server_stats -> "STATS"
 
 (* ---- wire protocol v2 binary bodies ----
 
@@ -472,6 +498,38 @@ let encode_request_v2 = function
       payloads;
     Buffer.contents buf
   | req -> render_request req
+
+(* The pooled-buffer twin of [encode_request_v2]: encodes into a reusable
+   {!Frame.sink} so the per-request [Buffer.create]/[Buffer.contents]
+   string churn disappears from the client hot path ([Rpc.stage] frames
+   straight out of the sink with [Frame.frame_sink_into]).  Byte-for-byte
+   identical output to [encode_request_v2]. *)
+let encode_request_v2_sink sink req =
+  Frame.sink_clear sink;
+  match req with
+  | Add_batch { session; payloads; ts } ->
+    Frame.sink_char sink binary_tag;
+    Frame.sink_char sink 'B';
+    let slen = String.length session in
+    Frame.sink_char sink (Char.chr ((slen lsr 8) land 0xFF));
+    Frame.sink_char sink (Char.chr (slen land 0xFF));
+    Frame.sink_string sink session;
+    (match ts with
+    | None -> Frame.sink_char sink '\x00'
+    | Some t ->
+      Frame.sink_char sink '\x01';
+      let bits = Int64.bits_of_float t in
+      for i = 7 downto 0 do
+        Frame.sink_char sink
+          (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL)))
+      done);
+    Frame.sink_be32 sink (List.length payloads);
+    List.iter
+      (fun p ->
+        Frame.sink_be32 sink (String.length p);
+        Frame.sink_string sink p)
+      payloads
+  | req -> Frame.sink_string sink (render_request req)
 
 exception Binary_trunc
 
@@ -646,6 +704,12 @@ let render_response = function
   | Sketch encoded -> "SKETCH " ^ encoded
   | Pong -> "PONG"
   | Hello_reply { generation } -> "HELLO " ^ string_of_int generation
+  | Server_stats_reply s ->
+    Printf.sprintf "SRVSTATS conns=%d shed=%d domains=%d dispatched=%s wal_queue=%d wal_last_group=%d wal_groups=%d"
+      s.conns s.shed
+      (List.length s.dispatched)
+      (String.concat "," (List.map string_of_int s.dispatched))
+      s.wal_queue s.wal_last_group s.wal_groups
   | Error_reply e -> (
     (* No trailing space when the payload is empty ("ERR EMPTY", not
        "ERR EMPTY "). *)
@@ -773,6 +837,41 @@ let parse_response line =
              })
       | _ -> Error (Printf.sprintf "STATS: malformed fields in %S" rest))
     | _ -> Error (Printf.sprintf "STATS: missing fields in %S" rest))
+  | "SRVSTATS" -> (
+    let kv tok =
+      match String.index_opt tok '=' with
+      | Some i -> Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None
+    in
+    let assoc = List.filter_map kv (tokens rest) in
+    let field k = List.assoc_opt k assoc in
+    let ints_of csv =
+      if csv = "" then Some []
+      else
+        String.split_on_char ',' csv
+        |> List.map int_of_string_opt
+        |> List.fold_left
+             (fun acc v ->
+               match (acc, v) with Some acc, Some v -> Some (v :: acc) | _ -> None)
+             (Some [])
+        |> Option.map List.rev
+    in
+    match
+      (field "conns", field "shed", field "dispatched", field "wal_queue",
+       field "wal_last_group", field "wal_groups")
+    with
+    | Some conns, Some shed, Some dispatched, Some wq, Some wlg, Some wg -> (
+      match
+        (int_of_string_opt conns, int_of_string_opt shed, ints_of dispatched,
+         int_of_string_opt wq, int_of_string_opt wlg, int_of_string_opt wg)
+      with
+      | Some conns, Some shed, Some dispatched, Some wal_queue, Some wal_last_group,
+        Some wal_groups ->
+        Ok
+          (Server_stats_reply
+             { conns; shed; dispatched; wal_queue; wal_last_group; wal_groups })
+      | _ -> Error (Printf.sprintf "SRVSTATS: malformed fields in %S" rest))
+    | _ -> Error (Printf.sprintf "SRVSTATS: missing fields in %S" rest))
   | "ERR" -> (
     let code, payload = cut rest in
     match parse_error_of_wire code payload with

@@ -12,6 +12,7 @@
     EST <session>                                   current union-size estimate
     WIN <session> <seconds> [at=<abs-secs>]         estimate over the trailing window
     STATS <session>                                 session counters
+    STATS                                           process-wide stats (reply: SRVSTATS ...)
     SNAPSHOT <session> <path>                       persist the session to a file
     SNAPSHOT <session> [cut=<abs-secs>]             reply with the wire-encoded sketch
     RESTORE <session> <path>                        open a session from a snapshot
@@ -124,6 +125,11 @@ type request =
           apart from "worker restarted and lost its unjournalled tail".
           Pre-crash-safety servers answer [ERR UNSUPPORTED HELLO], which
           callers treat as "generation unknown, assume restart". *)
+  | Server_stats
+      (** wire form [STATS] with no session — process-wide figures: live
+          connections, sheds, per-domain dispatch balance, WAL group-commit
+          counters ({!Server_stats_reply}).  Older servers answer
+          [ERR ARITY]. *)
 
 type error =
   | Empty_request
@@ -162,6 +168,21 @@ type stats = {
     bound). *)
 type expr_quality = Probes_exact | Probes_sketch
 
+(** Reply payload of the bare [STATS] verb.  [dispatched] is per event-loop
+    domain, index-aligned with the acceptor's round-robin deal order — the
+    list length is the domain count.  [wal_queue] is the records currently
+    waiting in the group-commit queue, [wal_last_group] the size of the most
+    recent batch, [wal_groups] batches committed since start (all 0 when the
+    node journals synchronously or not at all). *)
+type server_stats = {
+  conns : int;
+  shed : int;
+  dispatched : int list;
+  wal_queue : int;
+  wal_last_group : int;
+  wal_groups : int;
+}
+
 type response =
   | Ok_reply of string option
   | Ok_batch of { accepted : int; errors : (int * string) list }
@@ -188,6 +209,10 @@ type response =
   | Pong
   | Hello_reply of { generation : int }
       (** [HELLO <generation>], the reply to {!Hello} *)
+  | Server_stats_reply of server_stats
+      (** [SRVSTATS conns=.. shed=.. domains=.. dispatched=a,b,..
+          wal_queue=.. wal_last_group=.. wal_groups=..], the reply to
+          {!Server_stats} *)
   | Error_reply of error
 
 val session_name_ok : string -> bool
@@ -221,6 +246,11 @@ val encode_request_v2 : request -> string
     raw payload bytes, no %-armoring, no tokenization on the far side —
     because it is the ingest hot path; every other request is its
     {!render_request} text line, which v2 framing carries unchanged. *)
+
+val encode_request_v2_sink : Frame.sink -> request -> unit
+(** [encode_request_v2] into a caller-pooled {!Frame.sink} (cleared first):
+    byte-for-byte the same body, none of the per-request [Buffer] and
+    string churn — the difference that makes v2 win at batch size 1. *)
 
 val parse_frame_body : string -> (request, error) result
 (** Decode a v2 frame body: ['\x01']-tagged bodies via the binary decoder,

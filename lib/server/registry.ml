@@ -354,6 +354,12 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   (* The registry has no process identity; the TCP server intercepts HELLO
      and answers with its real generation.  0 = "not generation-fenced". *)
   | Protocol.Hello -> Protocol.Hello_reply { generation = 0 }
+  (* Process-wide figures (conns, domains, WAL queue) live in the server,
+     not the session registry; the TCP server intercepts bare STATS just
+     like HELLO.  A registry reached directly has nothing to report. *)
+  | Protocol.Server_stats ->
+    Protocol.Server_stats_reply
+      { conns = 0; shed = 0; dispatched = []; wal_queue = 0; wal_last_group = 0; wal_groups = 0 }
   | Protocol.Open { session; family; epsilon; delta; log2_universe } ->
     reply
       (Result.map

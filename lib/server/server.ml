@@ -2,7 +2,12 @@ let log_src = Logs.Src.create "delphic.server" ~doc:"estimation service"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type wal_config = { dir : string; fsync : Wal.fsync_policy; checkpoint_every : int }
+type wal_config = {
+  dir : string;
+  fsync : Wal.fsync_policy;
+  checkpoint_every : int;
+  group : int; (* > 1: group commit via a dedicated writer domain *)
+}
 
 type t = {
   registry : Registry.t;
@@ -17,7 +22,7 @@ type t = {
   generation : int;
   mutable checkpointing : bool; (* one checkpoint at a time; extras skip *)
   mutable ckpt_thread : Thread.t option; (* joined before the final spool *)
-  mutable loop : Evloop.t option; (* set once by [create]; never unset *)
+  mutable evg : Evgroup.t option; (* set once by [create]; never unset *)
 }
 
 let with_lock t f =
@@ -112,7 +117,8 @@ let journaled_request = function
   | Protocol.Restore _ | Protocol.Close _ ->
     true
   | Protocol.Est _ | Protocol.Win _ | Protocol.Stats _ | Protocol.Snapshot _
-  | Protocol.Fetch _ | Protocol.Expr _ | Protocol.Ping | Protocol.Hello ->
+  | Protocol.Fetch _ | Protocol.Expr _ | Protocol.Ping | Protocol.Hello
+  | Protocol.Server_stats ->
     false
 
 let mutation_succeeded = function
@@ -162,55 +168,108 @@ let maybe_checkpoint t w cfg =
     end
   end
 
+(* Bare STATS: process-wide figures from the event-loop group and the
+   journal's group-commit writer.  Like HELLO, answered here rather than in
+   the registry, which has no process identity. *)
+let server_stats t =
+  let conns, shed, dispatched =
+    match t.evg with
+    | Some g -> (Evgroup.live_conns g, Evgroup.shed_count g, Array.to_list (Evgroup.dispatched g))
+    | None -> (0, 0, [])
+  in
+  let wal_queue, wal_last_group, wal_groups =
+    match t.wal with
+    | Some (w, _) ->
+      let s = Wal.group_stats w in
+      (s.Wal.queue_depth, s.Wal.last_group, s.Wal.groups)
+    | None -> (0, 0, 0)
+  in
+  Protocol.Server_stats_reply { conns; shed; dispatched; wal_queue; wal_last_group; wal_groups }
+
 (* The per-request seam the event loop dispatches into.  [raw] is the exact
    v2 wire frame when there is one: if the request needed no server-side
    timestamp stamping, the journal record is that frame spliced verbatim
    ({!Wal.append_framed}) — zero re-render, zero re-CRC.  A stamped request
-   changed bytes, so it re-encodes (still binary, still armor-free). *)
+   changed bytes, so it re-encodes (still binary, still armor-free).
+
+   Under group commit ([cfg.group > 1]) the append is asynchronous: the
+   record goes to the writer domain's queue and the reply is {!Evloop.Gated}
+   on the durability token, so the OK leaves the socket only after the
+   record's bytes (and, under fsync always, the fsync) are behind it — the
+   same journal-before-reply invariant, minus the per-record disk stall on
+   the event-loop thread. *)
 let handle_request t ~proto ~raw ~body =
-  let response =
-    let parsed =
-      match proto with
-      | Evloop.V2 -> Protocol.parse_frame_body body
-      | Evloop.V1 -> Protocol.parse_request body
-    in
-    match parsed with
-    | Error e -> Protocol.Error_reply e
-    | Ok Protocol.Hello -> Protocol.Hello_reply { generation = t.generation }
-    | Ok req -> (
-      let resolved = resolve_ts ~clock:t.clock req in
-      match Registry.dispatch t.registry resolved with
-      | resp -> (
-        (* Journal the accepted mutation BEFORE the reply leaves: an OK the
-           client saw is a record the journal holds.  A failed append turns
-           the reply into an error — the mutation did land in memory, but
-           re-driving it is duplicate-safe and honest about lost
-           durability. *)
-        match t.wal with
-        | Some (w, cfg) when journaled_request resolved && mutation_succeeded resp -> (
-          let append () =
-            match proto with
-            | Evloop.V2 when resolved == req && raw <> "" -> Wal.append_framed w raw
-            | Evloop.V2 -> Wal.append w (Protocol.encode_request_v2 resolved)
-            | Evloop.V1 -> Wal.append w (Protocol.render_request resolved)
-          in
-          match append () with
+  let render = Protocol.render_response in
+  let parsed =
+    match proto with
+    | Evloop.V2 -> Protocol.parse_frame_body body
+    | Evloop.V1 -> Protocol.parse_request body
+  in
+  match parsed with
+  | Error e -> Evloop.Reply (render (Protocol.Error_reply e))
+  | Ok Protocol.Hello -> Evloop.Reply (render (Protocol.Hello_reply { generation = t.generation }))
+  | Ok Protocol.Server_stats -> Evloop.Reply (render (server_stats t))
+  | Ok req -> (
+    let resolved = resolve_ts ~clock:t.clock req in
+    match Registry.dispatch t.registry resolved with
+    | resp -> (
+      (* Journal the accepted mutation BEFORE the reply leaves: an OK the
+         client saw is a record the journal holds.  A failed append turns
+         the reply into an error — the mutation did land in memory, but
+         re-driving it is duplicate-safe and honest about lost
+         durability. *)
+      match t.wal with
+      | Some (w, cfg) when journaled_request resolved && mutation_succeeded resp -> (
+        let record () =
+          match proto with
+          | Evloop.V2 when resolved == req && raw <> "" -> `Framed raw
+          | Evloop.V2 -> `Body (Protocol.encode_request_v2 resolved)
+          | Evloop.V1 -> `Body (Protocol.render_request resolved)
+        in
+        if cfg.group > 1 then begin
+          match
+            (match record () with
+            | `Framed f -> Wal.append_framed_async w f
+            | `Body b -> Wal.append_async w b)
+          with
+          | gate ->
+            maybe_checkpoint t w cfg;
+            Evloop.Gated
+              {
+                reply = render resp;
+                on_fail =
+                  render (Protocol.Error_reply (Protocol.Io_error "journal append failed"));
+                gate;
+              }
+          | exception exn ->
+            Log.err (fun m -> m "journal enqueue failed: %s" (Printexc.to_string exn));
+            Evloop.Reply
+              (render
+                 (Protocol.Error_reply
+                    (Protocol.Io_error ("journal append failed: " ^ Printexc.to_string exn))))
+        end
+        else
+          match
+            (match record () with
+            | `Framed f -> Wal.append_framed w f
+            | `Body b -> Wal.append w b)
+          with
           | () ->
             maybe_checkpoint t w cfg;
-            resp
+            Evloop.Reply (render resp)
           | exception exn ->
             Log.err (fun m -> m "journal append failed: %s" (Printexc.to_string exn));
-            Protocol.Error_reply
-              (Protocol.Io_error ("journal append failed: " ^ Printexc.to_string exn)))
-        | _ -> resp)
-      | exception exn ->
-        (* A handler crash must kill one request, not the server. *)
-        Protocol.Error_reply (Protocol.Server_error (Printexc.to_string exn)))
-  in
-  Protocol.render_response response
+            Evloop.Reply
+              (render
+                 (Protocol.Error_reply
+                    (Protocol.Io_error ("journal append failed: " ^ Printexc.to_string exn)))))
+      | _ -> Evloop.Reply (render resp))
+    | exception exn ->
+      (* A handler crash must kill one request, not the server. *)
+      Evloop.Reply (render (Protocol.Error_reply (Protocol.Server_error (Printexc.to_string exn)))))
 
-let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ?max_conns ~port
-    ~spool ~seed () =
+let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ?max_conns ?domains
+    ~port ~spool ~seed () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -256,24 +315,30 @@ let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ?max_conns ~p
       generation;
       checkpointing = false;
       ckpt_thread = None;
-      loop = None;
+      evg = None;
     }
   in
-  let loop =
-    Evloop.create ?max_conns ~listen_fd:fd
+  let g =
+    Evgroup.create ?max_conns ?domains ~listen_fd:fd
       ~handler:(fun ~proto ~raw ~body -> handle_request t ~proto ~raw ~body)
       ~on_bad_frame:(fun reason ->
         Some (Protocol.render_response (Protocol.Error_reply (Protocol.Io_error reason))))
       ()
   in
-  t.loop <- Some loop;
+  t.evg <- Some g;
+  (* group commit: the writer domain wakes every loop once a batch's
+     durability tokens resolve, releasing the gated OK/OKB replies *)
+  (match wal with
+  | Some (w, cfg) when cfg.group > 1 ->
+    Wal.start_writer w ~group:cfg.group ~on_durable:(fun () -> Evgroup.kick_all g)
+  | _ -> ());
   t
 
 let port t = t.port
 let registry t = t.registry
 let restored t = t.restored
 let generation t = t.generation
-let loop_exn t = match t.loop with Some l -> l | None -> assert false
+let evg_exn t = match t.evg with Some g -> g | None -> assert false
 
 let request_stop t =
   let fresh =
@@ -284,7 +349,7 @@ let request_stop t =
           true
         end)
   in
-  if fresh then Evloop.stop (loop_exn t)
+  if fresh then Evgroup.stop (evg_exn t)
 
 (* SIGTERM gets the same graceful path as SIGINT: a supervisor's stop (or a
    container runtime's) must spool/checkpoint exactly like a ^C. *)
@@ -296,8 +361,10 @@ let install_signals t =
 let install_sigint = install_signals
 
 let serve t =
-  Log.info (fun m -> m "listening on port %d (spool: %s)" t.port t.spool);
-  Evloop.run (loop_exn t);
+  Log.info (fun m ->
+      m "listening on port %d (spool: %s, domains: %d)" t.port t.spool
+        (Evgroup.domains (evg_exn t)));
+  Evgroup.run (evg_exn t);
   with_lock t (fun () -> t.stopping <- true);
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (* an in-flight periodic checkpoint must finish before the journal closes *)

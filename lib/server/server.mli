@@ -29,6 +29,12 @@ type wal_config = {
   checkpoint_every : int;
       (** spool state and truncate the journal every this many records;
           [<= 0] disables periodic checkpoints (graceful-stop one remains) *)
+  group : int;
+      (** [> 1]: group commit — appends go through a dedicated writer
+          domain that coalesces up to this many records into one write and
+          at most one fsync, and OK/OKB replies are gated on per-record
+          durability tokens ({!Wal.start_writer}).  [<= 1]: the synchronous
+          one-write-per-record path. *)
 }
 
 val create :
@@ -36,6 +42,7 @@ val create :
   ?clock:(unit -> float) ->
   ?wal:wal_config ->
   ?max_conns:int ->
+  ?domains:int ->
   port:int -> spool:string -> seed:int -> unit -> t
 (** Bind and listen ([host] defaults to ["127.0.0.1"]; [port] 0 picks an
     ephemeral port, see {!port}), then restore state: from [wal]'s
@@ -46,8 +53,10 @@ val create :
     un-pinned [WIN]/windowed [EXPR]; injectable for deterministic tests.
     WAL replay itself resolves legacy untimestamped records to [t=0].
     [max_conns] (default 16384) sheds excess connections by
-    accept-and-close.  Raises [Unix.Unix_error] if the address is
-    unavailable. *)
+    accept-and-close.  [domains] (default 1) shards the front end across
+    that many event-loop domains behind one acceptor ({!Evgroup}); the
+    16-stripe registry with per-session locks keeps dispatch domain-safe.
+    Raises [Unix.Unix_error] if the address is unavailable. *)
 
 val port : t -> int
 (** The bound port (useful with [port:0]). *)

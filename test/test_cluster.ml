@@ -27,9 +27,17 @@ let rm_rf dir =
     Unix.rmdir dir
   end
 
+(* DELPHIC_TEST_DOMAINS=N runs every worker in this suite sharded across N
+   event-loop domains (CI exercises 4); unset/1 keeps the single-loop
+   layout the rest of the matrix uses. *)
+let test_domains =
+  match int_of_string_opt (try Sys.getenv "DELPHIC_TEST_DOMAINS" with Not_found -> "") with
+  | Some d when d > 1 -> d
+  | _ -> 1
+
 let start_worker n ~seed =
   rm_rf (spool n);
-  let s = Server.create ~port:0 ~spool:(spool n) ~seed () in
+  let s = Server.create ~port:0 ~spool:(spool n) ~seed ~domains:test_domains () in
   let th = Server.start s in
   (s, th)
 
@@ -551,16 +559,35 @@ let rm_rf_deep dir =
 (* A worker in its own PROCESS, so the parent can kill -9 it: the child
    opens a WAL-backed server, publishes its port through [portfile], and
    serves until killed.  Bind retried briefly — a restart can race the
-   kernel reclaiming the predecessor's address. *)
-let fork_wal_worker ~wal_dir ~spool_dir ~port ~seed ~portfile =
-  match Unix.fork () with
-  | 0 ->
+   kernel reclaiming the predecessor's address.
+
+   The child is a re-exec of this test binary via posix_spawn
+   ([Unix.create_process_env]), NOT a [Unix.fork]: the OCaml 5 runtime
+   forbids fork for the rest of the process's life once any domain has ever
+   been spawned, and with [DELPHIC_TEST_DOMAINS] > 1 every in-process
+   server does exactly that.  [maybe_forked_wal_worker] (called from
+   test_main before Alcotest takes over) diverts the re-exec'd child into
+   worker mode when it sees the spec in its environment. *)
+let wal_worker_env = "DELPHIC_WAL_WORKER"
+
+let run_forked_wal_worker spec =
+  (match String.split_on_char '|' spec with
+  | [ wal_dir; spool_dir; port; seed; portfile ] ->
+    let port = int_of_string port and seed = int_of_string seed in
     (try
        let rec create tries =
          match
            Server.create
-             ~wal:{ Server.dir = wal_dir; fsync = Wal.Interval 0.05; checkpoint_every = 4 }
-             ~port ~spool:spool_dir ~seed ()
+             ~wal:
+               {
+                 Server.dir = wal_dir;
+                 fsync = Wal.Interval 0.05;
+                 checkpoint_every = 4;
+                 (* group commit on the kill -9 victim: the recovery check
+                    then also covers gated replies and torn group tails *)
+                 group = 16;
+               }
+             ~port ~spool:spool_dir ~seed ~domains:test_domains ()
          with
          | s -> s
          | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when tries > 0 ->
@@ -573,9 +600,25 @@ let fork_wal_worker ~wal_dir ~spool_dir ~port ~seed ~portfile =
        output_char oc '\n';
        close_out oc;
        Server.serve s
-     with _ -> ());
-    Unix._exit 0
-  | pid -> pid
+     with _ -> ())
+  | _ -> prerr_endline "malformed DELPHIC_WAL_WORKER spec");
+  exit 0
+
+let maybe_forked_wal_worker () =
+  match Sys.getenv_opt wal_worker_env with
+  | Some spec -> run_forked_wal_worker spec
+  | None -> ()
+
+let fork_wal_worker ~wal_dir ~spool_dir ~port ~seed ~portfile =
+  let spec =
+    Printf.sprintf "%s|%s|%d|%d|%s" wal_dir spool_dir port seed portfile
+  in
+  let env =
+    Array.append (Unix.environment ()) [| wal_worker_env ^ "=" ^ spec |]
+  in
+  Unix.create_process_env Sys.executable_name
+    [| Sys.executable_name |]
+    env Unix.stdin Unix.stdout Unix.stderr
 
 (* Raw-socket HELLO probe: [Some generation] once the worker answers. *)
 let hello_generation port =

@@ -1,4 +1,7 @@
 let () =
+  (* a re-exec'd kill -9 victim never reaches Alcotest: it serves until
+     SIGKILLed (see Test_cluster.fork_wal_worker) *)
+  Test_cluster.maybe_forked_wal_worker ();
   Alcotest.run "delphic"
     [
       ("rng", Test_rng.suite);
@@ -36,6 +39,7 @@ let () =
       ("server", Test_server.suite);
       ("cluster", Test_cluster.suite);
       ("chaos", Test_chaos.suite);
+      ("mt", Test_mt.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
