@@ -14,6 +14,7 @@
               dune exec bench/main.exe -- cluster (1-vs-4-worker scatter/gather)
               dune exec bench/main.exe -- ingest  (ADDB batch-size sweep)
               dune exec bench/main.exe -- gather  (worker x fold-strategy sweep)
+              dune exec bench/main.exe -- repl    (replication-factor sweep)
               dune exec bench/main.exe -- wal     (journal fsync-policy sweep)
               dune exec bench/main.exe -- window  (WIN window-length sweep)
               dune exec bench/main.exe -- conns   (idle-connection scaling sweep)
@@ -21,9 +22,10 @@
    Any benchmarking mode also accepts [--json FILE] to write the measured
    rows as a JSON array of {name, ns_per_op, ops_per_s} objects; the
    cluster mode defaults to BENCH_cluster.json, the ingest mode to
-   BENCH_ingest.json, the gather mode to BENCH_gather.json, the wal mode
-   to BENCH_wal.json, the expr mode to BENCH_expr.json, the window
-   mode to BENCH_window.json and the conns mode to BENCH_conns.json. *)
+   BENCH_ingest.json, the gather mode to BENCH_gather.json, the repl mode
+   to BENCH_repl.json, the wal mode to BENCH_wal.json, the expr mode to
+   BENCH_expr.json, the window mode to BENCH_window.json and the conns
+   mode to BENCH_conns.json. *)
 
 open Bechamel
 open Toolkit
@@ -331,7 +333,8 @@ let rec rm_rf dir =
   end
 
 let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal ?(wal_group = 1)
-    ?(domains = 1) ?(proto = Delphic_cluster.Rpc.V1) ~n_workers ~seed () =
+    ?(domains = 1) ?(proto = Delphic_cluster.Rpc.V1) ?(replicas = 1) ~n_workers
+    ~seed () =
   let spool n =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -355,7 +358,7 @@ let cluster_env ?(batch = 64) ?(count = 300) ?gather_domains ?wal ?(wal_group = 
         (s, Server.start s))
   in
   let coord =
-    Coordinator.create ~batch ?gather_domains ~proto
+    Coordinator.create ~batch ?gather_domains ~proto ~replicas
       ~workers:(List.map (fun (s, _) -> ("127.0.0.1", Server.port s)) workers)
       ~seed ()
   in
@@ -490,6 +493,57 @@ let run_gather ?(json = "BENCH_gather.json") () =
   let rows = run_bechamel (Test.make_grouped ~name:"gather" (idle @ live)) in
   List.iter (fun (_, _, (_, _, teardown)) -> teardown ()) envs;
   print_rows ~title:"Gather sweep (workers x fold strategy, idle vs live)" rows;
+  write_json ~path:json rows
+
+(* Replication sweep: the 4-worker scatter/gather path at R = 1, 2, 3
+   replicas per ring position.  Each replicated add stages the payload on R
+   distinct ring successors, so the ingest rows price the replication tax
+   directly (R=2 is the failover deployment's steady state; the C9 table in
+   EXPERIMENTS.md tracks its overhead against the <= 1.6x budget).  The
+   gather rows show the query side, where replication buys 1-of-R coverage
+   for nearly free: the same n worker round-trips, one fold.  Runs on the
+   v2 binary wire — the failover deployment's protocol — so the ratio is
+   not inflated by v1 text parsing repeated once per copy. *)
+let run_repl ?(json = "BENCH_repl.json") () =
+  let sweep = [ 1; 2; 3 ] in
+  let envs =
+    List.map
+      (fun r ->
+        ( r,
+          cluster_env ~proto:Delphic_cluster.Rpc.V2 ~replicas:r ~n_workers:4
+            ~seed:(640 + (7 * r)) () ))
+      sweep
+  in
+  (* warm wire caches and the fold memo, as in the cluster mode *)
+  List.iter
+    (fun (_, (coord, _, _)) -> ignore (Coordinator.estimate coord ~name:"bench"))
+    envs;
+  let tests =
+    List.concat_map
+      (fun (r, (coord, payloads, _)) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "scatter-add/R%d/4-workers" r)
+            (Staged.stage (scatter coord payloads));
+          Test.make
+            ~name:(Printf.sprintf "est-idle/R%d/4-workers" r)
+            (Staged.stage (fun () -> idle_gather coord ()));
+          Test.make
+            ~name:(Printf.sprintf "live/R%d/4-workers" r)
+            (Staged.stage (live_gather ~ingest:32 coord payloads));
+        ])
+      envs
+  in
+  let rows = run_bechamel (Test.make_grouped ~name:"repl" tests) in
+  List.iter (fun (_, (_, _, teardown)) -> teardown ()) envs;
+  print_rows ~title:"Replication sweep (R x 4-worker loopback cluster)" rows;
+  (match
+     ( List.assoc_opt "repl/scatter-add/R1/4-workers" rows,
+       List.assoc_opt "repl/scatter-add/R2/4-workers" rows )
+   with
+  | Some r1, Some r2 when r1 > 0.0 ->
+    Printf.printf "R=2 ingest overhead: %.2fx over R=1\n" (r2 /. r1)
+  | _ -> ());
   write_json ~path:json rows
 
 (* Ingest benchmark: the same 1-worker loopback scatter path swept across
@@ -762,7 +816,7 @@ let run_conns ?(json = "BENCH_conns.json") () =
   let hot proto =
     match Rpc.connect ~proto ~host:"127.0.0.1" ~port ~timeout:5.0 () with
     | Ok c -> c
-    | Error msg -> failwith msg
+    | Error err -> failwith (Rpc.describe_connect_error err)
   in
   let v1 = hot Rpc.V1 and v2 = hot Rpc.V2 in
   let ping c =
@@ -885,7 +939,7 @@ let run_mt ?(json = "BENCH_mt.json") () =
     let connect () =
       match Rpc.connect ~proto:Rpc.V2 ~host:"127.0.0.1" ~port ~timeout:30.0 () with
       | Ok c -> c
-      | Error msg -> failwith msg
+      | Error err -> failwith (Rpc.describe_connect_error err)
     in
     (* sessions opened serially from one control connection: OPEN order (and
        with it each session's derived seed) stays deterministic no matter
@@ -994,12 +1048,12 @@ let () =
   let mode = Option.value mode ~default:"all" in
   (match mode with
   | "micro" | "all" -> run_micro ?json ()
-  | "macro" | "cluster" | "ingest" | "gather" | "wal" | "expr" | "window"
-  | "conns" | "mt" ->
+  | "macro" | "cluster" | "ingest" | "gather" | "repl" | "wal" | "expr"
+  | "window" | "conns" | "mt" ->
     ()
   | m ->
     Printf.eprintf
-      "unknown mode %S (expected micro, macro, cluster, ingest, gather, wal, expr, window, conns, mt or all)\n"
+      "unknown mode %S (expected micro, macro, cluster, ingest, gather, repl, wal, expr, window, conns, mt or all)\n"
       m;
     exit 2);
   (match mode with
@@ -1015,6 +1069,10 @@ let () =
     match json with
     | Some path -> run_gather ~json:path ()
     | None -> run_gather ())
+  | "repl" -> (
+    match json with
+    | Some path -> run_repl ~json:path ()
+    | None -> run_repl ())
   | "wal" -> (
     match json with
     | Some path -> run_wal ~json:path ()

@@ -627,6 +627,66 @@ let coord_cmd =
     let doc = "Per-worker connect/read/write timeout in seconds." in
     Arg.(value & opt float 2.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let replicas =
+    let doc =
+      "Route every set to $(docv) distinct workers (successive positions on \
+       the hash ring, clamped to the pool size).  With $(b,2) the cluster \
+       answers EST fresh through the loss of any single worker — union \
+       sketches are duplicate-insensitive, so replication never biases the \
+       estimate.  $(b,1) disables replication."
+    in
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"R" ~doc)
+  in
+  let dial_timeout =
+    let doc =
+      "TCP connect budget per worker dial in seconds, separate from \
+       $(b,--timeout): a black-holed worker address costs one dial budget \
+       and is quarantined instead of stalling the scatter."
+    in
+    Arg.(value & opt float 2.0 & info [ "dial-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let epoch =
+    let doc =
+      "Fencing epoch announced to every worker ($(b,COORD) verb; $(b,0) \
+       disables fencing).  Workers refuse mutations from connections whose \
+       announced epoch has been superseded — how a deposed primary's late \
+       writes die after a failover."
+    in
+    Arg.(value & opt int 1 & info [ "epoch" ] ~docv:"E" ~doc)
+  in
+  let standby_of =
+    let standby_conv =
+      Arg.conv
+        ( (fun tok ->
+            match String.rindex_opt tok ':' with
+            | None -> Error (`Msg (Printf.sprintf "%S: want host:port" tok))
+            | Some i -> (
+              let host = String.sub tok 0 i in
+              let port = String.sub tok (i + 1) (String.length tok - i - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && host <> "" -> Ok (host, p)
+              | _ -> Error (`Msg (Printf.sprintf "%S: want host:port" tok)))),
+          fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p )
+    in
+    let doc =
+      "Run as a warm standby of the primary coordinator at $(docv): serve \
+       every query read-only (mutations answer $(b,ERR READONLY)) while the \
+       primary's LEASE renews, and take over — rebuilding routing state \
+       purely from the workers and fencing the old primary with a higher \
+       epoch — when it stops."
+    in
+    Arg.(
+      value
+      & opt (some standby_conv) None
+      & info [ "standby-of" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let lease_interval =
+    let doc =
+      "Lease poll period in seconds for $(b,--standby-of); 3 consecutive \
+       misses trigger the takeover."
+    in
+    Arg.(value & opt float 0.5 & info [ "lease-interval" ] ~docv:"SECONDS" ~doc)
+  in
   let batch =
     let doc =
       "Scatter batch size: up to $(docv) consecutive same-session sets are \
@@ -660,42 +720,66 @@ let coord_cmd =
     in
     Arg.(value & opt proto_conv Delphic_cluster.Rpc.V2 & info [ "proto" ] ~docv:"VERSION" ~doc)
   in
-  let run seed port host workers shard timeout batch gather_domains proto max_conns
-      domains =
+  let run seed port host workers shard timeout replicas dial_timeout epoch
+      standby_of lease_interval batch gather_domains proto max_conns domains =
     ignore (Delphic_server.Evloop.raise_nofile (max_conns + 64));
     let domains = resolve_domains domains in
     let coord =
-      Delphic_cluster.Coordinator.create ~sharding:shard ~timeout ~batch
-        ?gather_domains ~proto ~workers ~seed ()
+      Delphic_cluster.Coordinator.create ~sharding:shard ~replicas ~timeout
+        ~dial_timeout ~epoch ~batch ?gather_domains ~proto ~workers ~seed ()
+    in
+    let failover =
+      Option.map
+        (fun primary ->
+          let f =
+            Delphic_cluster.Failover.create ~interval:lease_interval ~proto
+              ~dial_timeout ~timeout ~primary ~coord ()
+          in
+          Delphic_cluster.Failover.start f;
+          f)
+        standby_of
     in
     let frontend =
       Delphic_cluster.Frontend.create ~host ~port ~max_conns ~domains
+        ~shard_fresh:(fun () -> Delphic_cluster.Coordinator.shard_freshness coord)
         ~dispatch:(Delphic_cluster.Coordinator.dispatch coord)
         ()
     in
     Delphic_cluster.Frontend.install_signals frontend;
-    Printf.printf "delphic coord: listening on %s:%d, %d workers (%s sharding)\n%!" host
+    Printf.printf
+      "delphic coord: listening on %s:%d, %d workers (%s sharding, %d replica%s%s)\n%!"
+      host
       (Delphic_cluster.Frontend.port frontend)
       (List.length workers)
       (match shard with
       | Delphic_cluster.Coordinator.By_hash -> "hash"
-      | Delphic_cluster.Coordinator.Round_robin -> "round-robin");
+      | Delphic_cluster.Coordinator.Round_robin -> "round-robin")
+      replicas
+      (if replicas = 1 then "" else "s")
+      (match standby_of with
+      | None -> ""
+      | Some (h, p) -> Printf.sprintf ", standby of %s:%d" h p);
     Delphic_cluster.Frontend.serve frontend;
+    Option.iter Delphic_cluster.Failover.stop failover;
     Delphic_cluster.Coordinator.shutdown coord;
     print_endline "delphic coord: stopped (workers keep running)"
   in
   let doc =
     "Run the scatter/gather coordinator: speaks the same protocol as \
-     $(b,delphic serve), sharding ADDs across workers and answering EST by \
-     merging their sketches (DEGRADED is flagged when a worker is down).  \
-     EXPR set-expression queries are answered coordinator-side from the \
-     same gathered sketches — workers need no new verb."
+     $(b,delphic serve), sharding ADDs across workers ($(b,--replicas) \
+     copies each) and answering EST by merging their sketches (DEGRADED is \
+     flagged only when some shard has no fresh replica at all).  EXPR \
+     set-expression queries are answered coordinator-side from the same \
+     gathered sketches — workers need no new verb.  With \
+     $(b,--standby-of) the process is a warm standby that takes over with \
+     a fencing epoch when the primary's lease lapses."
   in
   Cmd.v
     (Cmd.info "coord" ~doc)
     Term.(
       const run $ seed $ port_arg $ host_arg $ workers_arg $ shard $ timeout
-      $ batch $ gather_domains $ proto $ max_conns_arg $ domains_arg)
+      $ replicas $ dial_timeout $ epoch $ standby_of $ lease_interval $ batch
+      $ gather_domains $ proto $ max_conns_arg $ domains_arg)
 
 (* query: one-shot client for the service. *)
 

@@ -38,6 +38,11 @@ type worker = {
   staged : (string * string * float option * int) Queue.t;
       (* routed but not yet framed: (session, payload, ts, hops).  Nothing
          here has touched the socket; a death replays these verbatim. *)
+  staged_log : (string * string * float option * int) Queue.t;
+      (* backup replica copies awaiting framing, kept apart from [staged]
+         so eager and log copies each coalesce into full-size frames
+         (interleaving them would break same-role runs every few payloads).
+         Shipped as ADDL log appends rather than full ADDB updates. *)
   pending : batch Queue.t; (* frames on the wire, one reply line owed each *)
   mutable in_flight : int; (* payload units across [pending] *)
   last_good : (string, Io.t) Hashtbl.t; (* session -> last fetched sketch *)
@@ -66,7 +71,13 @@ type session_info = {
 type t = {
   workers : worker array;
   sharding : sharding;
+  replicas : int;
+      (* copies of each payload: routed to this many distinct live workers,
+         walking the ring from the shard's home position.  Union estimation
+         is duplicate-insensitive, so replication is semantically free — a
+         lagging replica is stale, never wrong. *)
   timeout : float;
+  dial_timeout : float; (* TCP connect budget, separate from [timeout] *)
   retries : int;
   backoff : float; (* first retry delay; doubles per consecutive failure *)
   window : int; (* unacked payload units per worker before a drain *)
@@ -97,14 +108,36 @@ type t = {
      [fold_cache] and hands back the same physical value, so a repeated EXPR
      skips the cross-session merge tree too. *)
   mutable expr_cache : (string array * Families.t array * Families.t) option;
+  (* --- fencing + warm-standby state --- *)
+  mutable epoch : int;
+      (* the fencing epoch announced to every worker connection ([COORD]);
+         0 = fencing off, nothing announced (the single-coordinator
+         deployment).  A standby bumps this at takeover. *)
+  mutable fenced_by : int;
+      (* highest epoch a worker has fenced us with (0 = never).  When it
+         exceeds [epoch] a newer primary owns the pool: this coordinator is
+         deposed and refuses mutations rather than fight. *)
+  mutable read_only : bool;
+      (* a warm standby: answers every query, refuses every mutation, until
+         [Failover] promotes it *)
+  mutable max_worker_epoch : int;
+      (* highest epoch seen in any worker HELLO — the floor a takeover must
+         clear, sourced from the workers because they are the durable truth *)
+  mutable last_shard_fresh : int array;
+      (* per-ring-position fresh-replica count from the most recent gather
+         (any session); feeds SRVSTATS [shard_fresh=] *)
 }
 
-let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.05)
-    ?(window = 256) ?(batch = 64) ?gather_domains ?(io = Rpc.default_io)
-    ?(proto = Rpc.V1) ?(clock = Unix.gettimeofday) ?(cutoff_bucket = 1.0) ~workers
-    ~seed () =
+let create ?(sharding = By_hash) ?(replicas = 1) ?(timeout = 2.0)
+    ?(dial_timeout = 2.0) ?(retries = 3) ?(backoff = 0.05) ?(window = 256)
+    ?(batch = 64) ?gather_domains ?(io = Rpc.default_io) ?(proto = Rpc.V1)
+    ?(clock = Unix.gettimeofday) ?(cutoff_bucket = 1.0) ?(epoch = 0)
+    ?(read_only = false) ~workers ~seed () =
   if workers = [] then invalid_arg "Coordinator.create: need at least one worker";
+  if replicas < 1 then invalid_arg "Coordinator.create: need replicas >= 1";
   if timeout <= 0.0 then invalid_arg "Coordinator.create: need timeout > 0";
+  if dial_timeout <= 0.0 then invalid_arg "Coordinator.create: need dial_timeout > 0";
+  if epoch < 0 then invalid_arg "Coordinator.create: need epoch >= 0";
   if retries < 0 then invalid_arg "Coordinator.create: need retries >= 0";
   if window < 1 then invalid_arg "Coordinator.create: need window >= 1";
   if batch < 1 then invalid_arg "Coordinator.create: need batch >= 1";
@@ -131,13 +164,16 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
                quarantined_until = 0.0;
                generation = 0;
                staged = Queue.create ();
+               staged_log = Queue.create ();
                pending = Queue.create ();
                in_flight = 0;
                last_good = Hashtbl.create 4;
              })
            workers);
     sharding;
+    replicas = Stdlib.min replicas (List.length workers);
     timeout;
+    dial_timeout;
     retries;
     backoff;
     window;
@@ -156,6 +192,11 @@ let create ?(sharding = By_hash) ?(timeout = 2.0) ?(retries = 3) ?(backoff = 0.0
     in_gather = false;
     deferred_deaths = Queue.create ();
     expr_cache = None;
+    epoch;
+    fenced_by = 0;
+    read_only;
+    max_worker_epoch = 0;
+    last_shard_fresh = Array.make (List.length workers) 0;
   }
 
 let with_lock t f =
@@ -243,13 +284,15 @@ let full_resync t w conn =
    either way. *)
 let resync t w conn =
   match Rpc.call conn P.Hello with
-  | Ok (P.Hello_reply { generation }) when generation <> 0 && generation = w.generation
-    ->
+  | Ok (P.Hello_reply { generation; epoch })
+    when generation <> 0 && generation = w.generation ->
+    if epoch > t.max_worker_epoch then t.max_worker_epoch <- epoch;
     Log.debug (fun m ->
         m "worker %s: generation %d unchanged — state intact, skipping resync"
           (address w) generation);
     true
-  | Ok (P.Hello_reply { generation }) ->
+  | Ok (P.Hello_reply { generation; epoch }) ->
+    if epoch > t.max_worker_epoch then t.max_worker_epoch <- epoch;
     if w.generation <> 0 then
       Log.info (fun m ->
           m "worker %s: generation %d -> %d — restarted, re-driving state" (address w)
@@ -275,9 +318,37 @@ let resync t w conn =
     Log.warn (fun m -> m "worker %s: HELLO failed: %s" (address w) msg);
     false
 
+(* Stamp a fresh connection with the coordinator's fencing epoch before any
+   state-changing traffic rides it.  A FENCED refusal means a higher epoch
+   (a standby that took over) owns the pool: this coordinator is deposed and
+   records the fact rather than fight the new primary.  Workers predating
+   the verb answer ERR UNSUPPORTED and join un-stamped (no fence available —
+   exactly the pre-fencing behaviour). *)
+let announce_epoch_on t w conn =
+  if t.epoch = 0 then true
+  else
+    match Rpc.call conn (P.Coord_epoch { epoch = t.epoch }) with
+    | Ok (P.Epoch_reply _) -> true
+    | Ok (P.Error_reply (P.Fenced cur)) ->
+      if cur > t.fenced_by then t.fenced_by <- cur;
+      Log.warn (fun m ->
+          m "worker %s: epoch %d fenced by %d — this coordinator is deposed"
+            (address w) t.epoch cur);
+      false
+    | Ok (P.Error_reply (P.Unknown_command _)) -> true
+    | Ok r ->
+      Log.warn (fun m ->
+          m "worker %s: COORD answered %s" (address w) (P.render_response r));
+      false
+    | Error msg ->
+      Log.warn (fun m -> m "worker %s: COORD failed: %s" (address w) msg);
+      false
+
 (* The worker's connection if it is usable now: an existing one, or a fresh
-   connect-and-resync with [retries] attempts under exponential backoff.
-   [None] while quarantined or unreachable. *)
+   connect-announce-resync with [retries] attempts under exponential backoff.
+   [None] while quarantined or unreachable.  A dial timeout (black-holed
+   address) skips the in-round retries — each would burn a full dial budget
+   against a host that is not answering SYNs — and quarantines at once. *)
 let ensure_conn t w =
   match w.conn with
   | Some c -> Some c
@@ -286,11 +357,11 @@ let ensure_conn t w =
     else begin
       let rec attempt i =
         match
-          Rpc.connect ~io:t.io ~proto:t.proto ~host:w.host ~port:w.port
-            ~timeout:t.timeout ()
+          Rpc.connect ~io:t.io ~proto:t.proto ~dial_timeout:t.dial_timeout
+            ~host:w.host ~port:w.port ~timeout:t.timeout ()
         with
         | Ok conn ->
-          if resync t w conn then begin
+          if announce_epoch_on t w conn && resync t w conn then begin
             w.conn <- Some conn;
             w.failures <- 0;
             w.quarantined_until <- 0.0;
@@ -301,7 +372,13 @@ let ensure_conn t w =
             quarantine t w;
             None
           end
-        | Error msg ->
+        | Error (Rpc.Dial_timeout _ as err) ->
+          Log.warn (fun m ->
+              m "worker %s unreachable: %s" (address w)
+                (Rpc.describe_connect_error err));
+          quarantine t w;
+          None
+        | Error (Rpc.Dial_failed msg) ->
           if i >= t.retries then begin
             Log.warn (fun m -> m "worker %s unreachable: %s" (address w) msg);
             quarantine t w;
@@ -341,6 +418,16 @@ let retire_ack t w reply =
     | P.Error_reply (P.Bad_line _) ->
       (* the whole frame was refused — for a 1-item ADD frame that is
          exactly one rejected payload *)
+      reject (Array.length b.bitems)
+    | P.Error_reply (P.Fenced cur) ->
+      (* A newer primary fenced us mid-stream.  The frame is NOT re-routed:
+         every worker enforces the same fence, and the payloads now belong
+         to whoever holds the higher epoch.  Recording [fenced_by] makes
+         every later mutation fail fast at the front door. *)
+      if cur > t.fenced_by then t.fenced_by <- cur;
+      Log.warn (fun m ->
+          m "worker %s: ingest fenced by epoch %d — coordinator deposed" (address w)
+            cur);
       reject (Array.length b.bitems)
     | P.Error_reply e ->
       (* Refused whole without being ingested — typically UNKNOWN-SESSION
@@ -384,49 +471,64 @@ let rec drain_acks t w ~down_to =
    Frames enter [w.pending] before the flush so a transport failure replays
    them via the quarantine path. *)
 let flush_worker t w =
-  if not (Queue.is_empty w.staged) then
+  if not (Queue.is_empty w.staged && Queue.is_empty w.staged_log) then
     match w.conn with
     | None ->
       (* connection already gone with payloads still staged: hand them to
          the re-router directly *)
       !kill_requeue t w
     | Some conn ->
-      while not (Queue.is_empty w.staged) do
-        let s0, p0, ts0, h0 = Queue.pop w.staged in
-        let items = ref [ (p0, h0) ] in
-        let count = ref 1 in
-        let same_run = ref true in
-        (* an ADDB frame carries one t=, so only same-timestamp runs batch *)
-        while !same_run && !count < t.batch do
-          match Queue.peek_opt w.staged with
-          | Some (s, _, ts, _) when String.equal s s0 && ts = ts0 ->
-            let _, p, _, h = Queue.pop w.staged in
-            items := (p, h) :: !items;
-            incr count
-          | _ -> same_run := false
-        done;
-        let bitems = Array.of_list (List.rev !items) in
-        let req =
-          match bitems with
-          | [| (payload, _) |] -> P.Add { session = s0; payload; ts = ts0 }
-          | _ ->
-            P.Add_batch
-              { session = s0; payloads = Array.to_list (Array.map fst bitems); ts = ts0 }
-        in
-        Rpc.stage conn req;
-        Queue.push { bsession = s0; bts = ts0; bitems } w.pending;
-        w.in_flight <- w.in_flight + Array.length bitems
-      done;
+      let drain queue ~log =
+        while not (Queue.is_empty queue) do
+          let s0, p0, ts0, h0 = Queue.pop queue in
+          let items = ref [ (p0, h0) ] in
+          let count = ref 1 in
+          let same_run = ref true in
+          (* an ADDB/ADDL frame carries one t=, so only same-timestamp runs
+             batch *)
+          while !same_run && !count < t.batch do
+            match Queue.peek_opt queue with
+            | Some (s, _, ts, _) when String.equal s s0 && ts = ts0 ->
+              let _, p, _, h = Queue.pop queue in
+              items := (p, h) :: !items;
+              incr count
+            | _ -> same_run := false
+          done;
+          let bitems = Array.of_list (List.rev !items) in
+          let req =
+            if log then
+              P.Add_log
+                { session = s0; payloads = Array.to_list (Array.map fst bitems); ts = ts0 }
+            else
+              match bitems with
+              | [| (payload, _) |] -> P.Add { session = s0; payload; ts = ts0 }
+              | _ ->
+                P.Add_batch
+                  { session = s0; payloads = Array.to_list (Array.map fst bitems); ts = ts0 }
+          in
+          Rpc.stage conn req;
+          Queue.push { bsession = s0; bts = ts0; bitems } w.pending;
+          w.in_flight <- w.in_flight + Array.length bitems
+        done
+      in
+      drain w.staged ~log:false;
+      drain w.staged_log ~log:true;
       (match Rpc.flush_staged conn with
       | Ok () -> ()
       | Error msg ->
         Log.warn (fun m -> m "worker %s: batch flush failed: %s" (address w) msg);
         quarantine t w)
 
-(* Route one payload to a live worker, starting the probe at [start] and
-   giving up after every worker has been tried [hops] times over.  Routing
-   only stages — the socket is touched when the worker's staging queue
-   reaches the batch high-water mark (or at an explicit [flush]/gather). *)
+(* Route one payload to [t.replicas] distinct live workers, walking the
+   ring from [start] (the shard's home position) and giving up a copy after
+   every worker has been probed.  Dead ring positions are skipped, so under
+   failures the copies land on the next live successors — the gather's
+   coverage rule looks at the same successive window, and the union's
+   duplicate-insensitivity makes any extra placement harmless.  Routing only
+   stages — the socket is touched when a worker's staging queue reaches the
+   batch high-water mark (or at an explicit [flush]/gather).  [Ok] as soon
+   as one copy is staged: fewer live workers than replicas degrades
+   redundancy, not availability. *)
 let route t si name payload ~ts ~start ~hops =
   let n = Array.length t.workers in
   if hops > n then begin
@@ -434,26 +536,32 @@ let route t si name payload ~ts ~start ~hops =
     Error (P.Server_error "no live worker accepted the set")
   end
   else begin
-    let chosen = ref None in
+    let want = Stdlib.min t.replicas n in
+    let placed = ref 0 in
     let i = ref 0 in
-    while !chosen = None && !i < n do
+    while !placed < want && !i < n do
       let w = t.workers.((start + !i) mod n) in
-      (match ensure_conn t w with Some conn -> chosen := Some (w, conn) | None -> ());
+      (match ensure_conn t w with
+      | None -> ()
+      | Some _conn ->
+        (* copy 0 lands eagerly (the primary replica); later copies are
+           log appends — cheap redundancy that materialises on read *)
+        Queue.push (name, payload, ts, hops)
+          (if !placed > 0 then w.staged_log else w.staged);
+        incr placed;
+        if Queue.length w.staged + Queue.length w.staged_log >= t.batch then begin
+          flush_worker t w;
+          (* keep half the window in flight so the pipe never fully stalls *)
+          if w.conn <> None && w.in_flight >= t.window then
+            drain_acks t w ~down_to:(t.window / 2)
+        end);
       incr i
     done;
-    match !chosen with
-    | None ->
+    if !placed = 0 then begin
       si.lost <- si.lost + 1;
       Error (P.Server_error "no workers available")
-    | Some (w, _conn) ->
-      Queue.push (name, payload, ts, hops) w.staged;
-      if Queue.length w.staged >= t.batch then begin
-        flush_worker t w;
-        (* keep half the window in flight so the pipe never fully stalls *)
-        if w.conn <> None && w.in_flight >= t.window then
-          drain_acks t w ~down_to:(t.window / 2)
-      end;
-      Ok ()
+    end
+    else Ok ()
   end
 
 (* Re-route a dead worker's staged payloads and unacked frames — oldest
@@ -469,8 +577,10 @@ let requeue t w =
         b.bitems)
     w.pending;
   Queue.iter (fun item -> orphans := item :: !orphans) w.staged;
+  Queue.iter (fun item -> orphans := item :: !orphans) w.staged_log;
   Queue.clear w.pending;
   Queue.clear w.staged;
+  Queue.clear w.staged_log;
   w.in_flight <- 0;
   List.iter
     (fun (session, payload, ts, hops) ->
@@ -504,8 +614,8 @@ let () =
 let call_sync t w req =
   flush_worker t w;
   drain_acks t w ~down_to:0;
-  if w.in_flight > 0 || not (Queue.is_empty w.staged) then
-    Error "pending acks could not be drained"
+  if w.in_flight > 0 || not (Queue.is_empty w.staged && Queue.is_empty w.staged_log)
+  then Error "pending acks could not be drained"
   else
     match w.conn with
     | None -> Error "connection lost while draining pending acks"
@@ -544,6 +654,15 @@ let reroute_orphans t =
 
 (* --- public operations --- *)
 
+(* Mutations are refused while this coordinator may not own the pool: a
+   warm standby answers queries only, and a deposed primary's writes are
+   already dying at every worker's fence — failing fast here keeps the
+   client's error honest instead of half-ingesting a batch. *)
+let mutation_guard t =
+  if t.read_only then Error (P.Read_only "standby")
+  else if t.fenced_by > t.epoch then Error (P.Fenced t.fenced_by)
+  else Ok ()
+
 let broadcast t req ~accept =
   let failures = ref [] in
   Array.iter
@@ -562,6 +681,9 @@ let broadcast t req ~accept =
 
 let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
   with_lock t (fun () ->
+      match mutation_guard t with
+      | Error e -> Error e
+      | Ok () ->
       if Hashtbl.mem t.sessions name then Error (P.Session_exists name)
       else begin
         (* Register first: resync inside ensure_conn must re-open this
@@ -601,7 +723,7 @@ let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
 
 let add ?ts t ~name ~payload =
   with_lock t (fun () ->
-      match find_session t name with
+      match Result.bind (mutation_guard t) (fun () -> find_session t name) with
       | Error e -> Error e
       | Ok si ->
         let r = route t si name payload ~ts ~start:(shard_start t si payload) ~hops:0 in
@@ -613,7 +735,7 @@ let add ?ts t ~name ~payload =
    colocated), so a frame may fan out across workers and re-batch there. *)
 let add_batch ?ts t ~name ~payloads =
   with_lock t (fun () ->
-      match find_session t name with
+      match Result.bind (mutation_guard t) (fun () -> find_session t name) with
       | Error e -> Error e
       | Ok si ->
         let accepted = ref 0 in
@@ -643,7 +765,9 @@ let flush t =
     if
       attempts > 0
       && Array.exists
-           (fun w -> w.in_flight > 0 || not (Queue.is_empty w.staged))
+           (fun w ->
+             w.in_flight > 0
+             || not (Queue.is_empty w.staged && Queue.is_empty w.staged_log))
            t.workers
     then go (attempts - 1)
   in
@@ -670,14 +794,43 @@ let flush t =
    by the caller and shipped verbatim in every Fetch, so all replicas expire
    against the same wall-clock point.  A windowed gather never updates
    [last_good] (a restricted sketch must not become the full-estimate
-   fallback) and memoises its fold under its own cutoff key. *)
+   fallback) and memoises its fold under its own cutoff key.
+
+   Freshness is judged per {e ring position}, not per worker: with
+   [replicas = R] a payload homed at position [i] lives on the first R live
+   workers at positions [i, i+1, ...], so position [i] is covered as long as
+   {e any} worker in that window answered fresh this gather (1-of-R).  The
+   estimate is DEGRADED — and [stale_shards] names the positions — only
+   when some position has no fresh replica at all; stale last-good parts are
+   still folded in regardless (including extra data never hurts a union).
+   With R = 1 this degenerates to exactly the old per-worker rule. *)
 let gather ?cutoff t si name =
   let deadline = Unix.gettimeofday () +. t.timeout in
   let n = Array.length t.workers in
   (* per worker: frames owed ahead of the sketch reply; -1 = never asked *)
   let expect = Array.make n (-1) in
-  let degraded = ref false in
+  (* worker i answered this gather with a cleanly decodable fresh sketch *)
+  let fresh = Array.make n false in
   let parts = ref [] in
+  (* per-position fresh-replica counts over the R-successor window, and the
+     uncovered positions; records the counts for SRVSTATS as a side effect *)
+  let coverage () =
+    let r = Stdlib.min t.replicas n in
+    let counts =
+      Array.init n (fun i ->
+          let c = ref 0 in
+          for j = 0 to r - 1 do
+            if fresh.((i + j) mod n) then incr c
+          done;
+          !c)
+    in
+    t.last_shard_fresh <- counts;
+    let stale = ref [] in
+    for i = n - 1 downto 0 do
+      if counts.(i) = 0 then stale := i :: !stale
+    done;
+    !stale
+  in
   t.in_gather <- true;
   Fun.protect
     ~finally:(fun () ->
@@ -711,7 +864,6 @@ let gather ?cutoff t si name =
       Array.iteri
         (fun i w ->
           let stale () =
-            degraded := true;
             match Hashtbl.find_opt w.last_good name with
             | Some io -> parts := (w, `Stale io) :: !parts
             | None -> ()
@@ -739,7 +891,9 @@ let gather ?cutoff t si name =
                 stale ()
               | Ok () -> (
                 match Rpc.recv_timeout ~deadline conn with
-                | Ok (P.Sketch encoded) -> parts := (w, `Fresh encoded) :: !parts
+                | Ok (P.Sketch encoded) ->
+                  fresh.(i) <- true;
+                  parts := (w, `Fresh encoded) :: !parts
                 | Ok (P.Error_reply (P.Unknown_session _)) ->
                   (* a revived worker the resync could not refill *)
                   stale ()
@@ -764,12 +918,14 @@ let gather ?cutoff t si name =
         t.workers);
   (* phase three: decode in parallel tasks, fold with a balanced merge tree *)
   match List.rev !parts with
-  | [] -> Error (P.Server_error "no worker holds any data for this session")
+  | [] ->
+    ignore (coverage ());
+    Error (P.Server_error "no worker holds any data for this session")
   | parts_list -> (
-    (* the gather was clean and every token is fresh off the wire: if they
-       are byte-identical to the last such gather, the fold is too *)
+    (* every worker answered a fresh token off the wire: if they are
+       byte-identical to the last such gather, the fold is too *)
     let all_fresh =
-      if !degraded then None
+      if not (Array.for_all Fun.id fresh) then None
       else
         let rec go acc = function
           | [] -> Some (Array.of_list (List.rev acc))
@@ -788,7 +944,9 @@ let gather ?cutoff t si name =
       | _ -> None
     in
     match cached with
-    | Some folded -> Ok (folded, false)
+    | Some folded ->
+      ignore (coverage ());
+      Ok (folded, false, [])
     | None ->
     let parts = Array.of_list parts_list in
     let k = Array.length parts in
@@ -841,13 +999,16 @@ let gather ?cutoff t si name =
       (fun i (w, _) ->
         (match bad_wire.(i) with
         | Some msg ->
-          degraded := true;
+          (* a token that would not decode is no fresher than no token *)
+          fresh.(w.wid) <- false;
           Log.warn (fun m -> m "worker %s: bad sketch: %s" (address w) msg)
         | None -> ());
         match fresh_io.(i) with
         | Some io when cutoff = None -> Hashtbl.replace w.last_good name io
         | Some _ | None -> ())
       parts;
+    let stale_shards = coverage () in
+    let degraded = stale_shards <> [] in
     (match root with
     | None | Some (Ok None) ->
       Error (P.Server_error "no worker holds any data for this session")
@@ -858,11 +1019,12 @@ let gather ?cutoff t si name =
       in
       si.merges <- si.merges + Stdlib.max 0 (folds - 1);
       (* only a gather where every token decoded cleanly may seed the memo —
-         [degraded] picks up bad_wire fallbacks after the join, so re-check *)
+         bad_wire clears [fresh] after the join, so re-check *)
       (match all_fresh with
-      | Some encs when not !degraded -> si.fold_cache <- Some (cutoff, encs, folded)
+      | Some encs when Array.for_all Fun.id fresh ->
+        si.fold_cache <- Some (cutoff, encs, folded)
       | _ -> ());
-      Ok (folded, !degraded)))
+      Ok (folded, degraded, stale_shards)))
 
 let estimate t ~name =
   with_lock t (fun () ->
@@ -871,11 +1033,11 @@ let estimate t ~name =
       | Ok si -> (
         match gather t si name with
         | Error e -> Error e
-        | Ok (folded, degraded) ->
+        | Ok (folded, degraded, stale_shards) ->
           let value = Families.estimate folded in
           si.last_estimate <- value;
           si.degraded <- degraded;
-          Ok (value, degraded)))
+          Ok (value, degraded, stale_shards)))
 
 (* The query's absolute cutoff, computed once coordinator-side.  An
    un-pinned instant comes from the injectable clock and is quantized down
@@ -903,7 +1065,7 @@ let win t ~name ~seconds ~at =
         let cutoff = if Float.is_finite cutoff then Some cutoff else None in
         (match gather ?cutoff t si name with
         | Error e -> Error e
-        | Ok (folded, degraded) ->
+        | Ok (folded, degraded, stale_shards) ->
           let value =
             match cutoff with
             | None -> Families.estimate folded
@@ -914,7 +1076,7 @@ let win t ~name ~seconds ~at =
               Families.estimate_window folded ~cutoff:c
           in
           si.degraded <- degraded;
-          Ok (value, degraded)))
+          Ok (value, degraded, stale_shards)))
 
 let stats t ~name =
   with_lock t (fun () ->
@@ -923,7 +1085,7 @@ let stats t ~name =
       | Ok si -> (
         match gather t si name with
         | Error e -> Error e
-        | Ok (folded, _) ->
+        | Ok (folded, _, _) ->
           Ok
             {
               P.family = Families.family_token folded;
@@ -968,7 +1130,8 @@ let expr_query ?w t ~expr ~m =
             | Ok si -> (
               match gather t si name with
               | Error e -> Error e
-              | Ok (folded, d) -> gather_leaves ((name, folded) :: acc) (degraded || d) rest))
+              | Ok (folded, d, _) ->
+                gather_leaves ((name, folded) :: acc) (degraded || d) rest))
         in
         let cutoff =
           match w with
@@ -1042,7 +1205,7 @@ let fetch ?cutoff t ~name =
       | Ok si -> (
         match gather ?cutoff t si name with
         | Error e -> Error e
-        | Ok (folded, _) -> (
+        | Ok (folded, _, _) -> (
           let io = Families.to_io ~merges:si.merges folded in
           (* restrict the encoded fold too: a degraded gather may have folded
              in a stale, un-windowed fallback *)
@@ -1060,7 +1223,7 @@ let snapshot_to t ~name ~path =
       | Ok si -> (
         match gather t si name with
         | Error e -> Error e
-        | Ok (folded, _) -> (
+        | Ok (folded, _, _) -> (
           match Io.save ~path (Families.to_io ~merges:si.merges folded) with
           | () -> Ok ()
           | exception Sys_error msg -> Error (P.Io_error msg)
@@ -1070,7 +1233,7 @@ let snapshot_to t ~name ~path =
    the round-robin cursor picks — the next gather folds it back in. *)
 let merge_in t ~name ~encoded =
   with_lock t (fun () ->
-      match find_session t name with
+      match Result.bind (mutation_guard t) (fun () -> find_session t name) with
       | Error e -> Error e
       | Ok si ->
         let n = Array.length t.workers in
@@ -1096,7 +1259,7 @@ let merge_in t ~name ~encoded =
 
 let close t ~name =
   with_lock t (fun () ->
-      match find_session t name with
+      match Result.bind (mutation_guard t) (fun () -> find_session t name) with
       | Error e -> Error e
       | Ok _ ->
         flush t;
@@ -1114,6 +1277,117 @@ let live_workers t =
   with_lock t (fun () ->
       Array.fold_left (fun n w -> if w.conn <> None then n + 1 else n) 0 t.workers)
 
+let shard_freshness t = with_lock t (fun () -> Array.to_list t.last_shard_fresh)
+
+let epoch t = with_lock t (fun () -> t.epoch)
+
+let is_fenced t = with_lock t (fun () -> t.fenced_by > t.epoch)
+
+let is_read_only t = with_lock t (fun () -> t.read_only)
+
+let set_read_only t flag = with_lock t (fun () -> t.read_only <- flag)
+
+(* The floor a takeover epoch must clear: everything this coordinator has
+   ever announced, been fenced by, or seen a worker carry.  Probes every
+   quarantine-free worker so a standby that has been idle still learns the
+   deposed primary's epoch from the workers (they are the durable truth). *)
+let max_known_epoch t =
+  with_lock t (fun () ->
+      Array.iter (fun w -> ignore (ensure_conn t w)) t.workers;
+      Stdlib.max t.epoch (Stdlib.max t.fenced_by t.max_worker_epoch))
+
+(* Adopt [epoch] and stamp every live worker connection with it; fresh
+   connections are stamped by [ensure_conn].  Pipelined acks share each
+   reply stream, so every connection is drained to quiescence before the
+   synchronous COORD round-trip.  Returns the number of workers that
+   accepted the stamp. *)
+let announce_epoch t ~epoch =
+  with_lock t (fun () ->
+      if epoch < t.epoch then
+        invalid_arg "Coordinator.announce_epoch: epoch must not decrease";
+      t.epoch <- epoch;
+      if t.fenced_by <= epoch then t.fenced_by <- 0;
+      let accepted = ref 0 in
+      Array.iter
+        (fun w ->
+          match ensure_conn t w with
+          | None -> ()
+          | Some _ -> (
+            flush_worker t w;
+            drain_acks t w ~down_to:0;
+            match w.conn with
+            | None -> ()
+            | Some conn ->
+              if announce_epoch_on t w conn then incr accepted
+              else quarantine t w))
+        t.workers;
+      !accepted)
+
+(* Rebuild the session table from the workers — a standby's takeover path.
+   No coordinator journal exists, and none is needed: every OPEN was
+   broadcast to the whole pool, so the union of every reachable worker's
+   SESSIONS recovers the full table (first description wins; the parameters
+   are identical across workers by construction).  Sessions already known
+   locally are kept as-is. *)
+let sync_sessions t =
+  with_lock t (fun () ->
+      let added = ref 0 in
+      Array.iter
+        (fun w ->
+          match ensure_conn t w with
+          | None -> ()
+          | Some _ -> (
+            match call_sync t w P.Sessions with
+            | Ok (P.Sessions_reply descs) ->
+              List.iter
+                (fun (d : P.session_desc) ->
+                  if not (Hashtbl.mem t.sessions d.P.sd_name) then
+                    match P.family_of_token d.P.sd_family with
+                    | Error _ ->
+                      Log.warn (fun m ->
+                          m "worker %s: session %s has unknown family %S — skipped"
+                            (address w) d.P.sd_name d.P.sd_family)
+                    | Ok family ->
+                      incr added;
+                      Hashtbl.replace t.sessions d.P.sd_name
+                        {
+                          family;
+                          epsilon = d.P.sd_epsilon;
+                          delta = d.P.sd_delta;
+                          log2_universe = d.P.sd_log2_universe;
+                          rr = 0;
+                          last_estimate = 0.0;
+                          degraded = false;
+                          rejects = 0;
+                          lost = 0;
+                          merges = 0;
+                          fold_cache = None;
+                        })
+                descs
+            | Ok (P.Error_reply (P.Unknown_command _)) -> () (* legacy worker *)
+            | Ok r ->
+              Log.warn (fun m ->
+                  m "worker %s: SESSIONS answered %s" (address w) (P.render_response r))
+            | Error msg ->
+              Log.warn (fun m -> m "worker %s: SESSIONS failed: %s" (address w) msg)))
+        t.workers;
+      !added)
+
+let session_descs t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun name (si : session_info) acc ->
+          {
+            P.sd_name = name;
+            sd_family = P.family_to_token si.family;
+            sd_epsilon = si.epsilon;
+            sd_delta = si.delta;
+            sd_log2_universe = si.log2_universe;
+          }
+          :: acc)
+        t.sessions []
+      |> List.sort (fun a b -> compare a.P.sd_name b.P.sd_name))
+
 let shutdown t =
   with_lock t (fun () ->
       flush t;
@@ -1128,14 +1402,34 @@ let dispatch t (req : P.request) : P.response =
   match req with
   | P.Ping -> P.Pong
   (* The coordinator is a client-facing aggregate, not a restartable worker;
-     it has no journal generation to advertise. *)
-  | P.Hello -> P.Hello_reply { generation = 0 }
+     it has no journal generation to advertise — but it does carry the
+     fencing epoch, which a standby probes for. *)
+  | P.Hello -> P.Hello_reply { generation = 0; epoch = epoch t }
   (* Connection/domain figures belong to the front door; [Frontend.handle]
      intercepts bare STATS before dispatch.  Reached directly (tests, a
-     coordinator embedded without a frontend) there is nothing to report. *)
+     coordinator embedded without a frontend) only the gather freshness is
+     reportable. *)
   | P.Server_stats ->
     P.Server_stats_reply
-      { conns = 0; shed = 0; dispatched = []; wal_queue = 0; wal_last_group = 0; wal_groups = 0 }
+      {
+        conns = 0;
+        shed = 0;
+        dispatched = [];
+        wal_queue = 0;
+        wal_last_group = 0;
+        wal_groups = 0;
+        shard_fresh = shard_freshness t;
+      }
+  (* COORD stamps a *worker* connection; announcing an epoch to a
+     coordinator is a topology error. *)
+  | P.Coord_epoch _ -> P.Error_reply (P.Unknown_command "COORD")
+  | P.Sessions -> P.Sessions_reply (session_descs t)
+  (* The lease a standby polls: who is primary here, at what epoch.  Served
+     from plain field reads under the lock — it must stay cheap and
+     gather-free so a busy primary still renews on time. *)
+  | P.Lease ->
+    with_lock t (fun () ->
+        P.Lease_reply { epoch = t.epoch; primary = not t.read_only })
   | P.Open { session; family; epsilon; delta; log2_universe } ->
     reply
       (Result.map
@@ -1143,7 +1437,9 @@ let dispatch t (req : P.request) : P.response =
          (open_session t ~name:session ~family ~epsilon ~delta ~log2_universe))
   | P.Add { session; payload; ts } ->
     reply (Result.map (fun () -> P.Ok_reply None) (add ?ts t ~name:session ~payload))
-  | P.Add_batch { session; payloads; ts } ->
+  (* ADDL at the front door is just ingest: the coordinator re-routes with
+     its own replica roles, so the log-append hint does not pass through. *)
+  | P.Add_batch { session; payloads; ts } | P.Add_log { session; payloads; ts } ->
     reply
       (Result.map
          (fun (accepted, errors) -> P.Ok_batch { accepted; errors })
@@ -1151,12 +1447,14 @@ let dispatch t (req : P.request) : P.response =
   | P.Est { session } ->
     reply
       (Result.map
-         (fun (value, degraded) -> P.Estimate { value; degraded })
+         (fun (value, degraded, stale_shards) ->
+           P.Estimate { value; degraded; stale_shards })
          (estimate t ~name:session))
   | P.Win { session; seconds; at } ->
     reply
       (Result.map
-         (fun (value, degraded) -> P.Estimate { value; degraded })
+         (fun (value, degraded, stale_shards) ->
+           P.Estimate { value; degraded; stale_shards })
          (win t ~name:session ~seconds ~at))
   | P.Stats { session } ->
     reply (Result.map (fun s -> P.Stats_reply s) (stats t ~name:session))

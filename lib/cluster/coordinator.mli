@@ -45,7 +45,9 @@ type sharding =
 
 val create :
   ?sharding:sharding ->
+  ?replicas:int ->
   ?timeout:float ->
+  ?dial_timeout:float ->
   ?retries:int ->
   ?backoff:float ->
   ?window:int ->
@@ -55,11 +57,29 @@ val create :
   ?proto:Rpc.proto ->
   ?clock:(unit -> float) ->
   ?cutoff_bucket:float ->
+  ?epoch:int ->
+  ?read_only:bool ->
   workers:(string * int) list ->
   seed:int ->
   unit ->
   t
 (** [workers] are [host, port] pairs; connections are opened lazily.
+    [replicas] (default 1) routes every payload to that many {e distinct}
+    live workers — the shard's home ring position and its successors, dead
+    positions skipped — so any single worker can be lost with no estimate
+    degradation: a gather is fresh for a position as long as {e any} of its
+    R-successor window answered (clamped to the pool size; replication is
+    semantically free because union sketches are duplicate-insensitive).
+    [dial_timeout] (default 2s) bounds each TCP connect separately from the
+    per-reply [timeout]; a dial that times out (black-holed host) skips the
+    in-round retries and quarantines at once.
+    [epoch] (default 0 = fencing off) is the fencing epoch announced on
+    every worker connection with [COORD] before any other traffic; workers
+    refuse mutations from connections stamped with a superseded epoch, which
+    is how a deposed primary's late writes die.  [read_only] (default
+    false) starts the coordinator as a warm standby: every query is served,
+    every mutation is refused with [ERR READONLY] — {!set_read_only} flips
+    it at takeover.
     [io] (default {!Rpc.default_io}) supplies the socket operations for
     every worker connection — the fault-injection hook: the chaos tests
     pass [Delphic_harness.Chaos] wrappers here and the coordinator's
@@ -126,16 +146,21 @@ val add_batch :
     frame index with the routing failure; parse errors, as with {!add},
     surface later in [parse_rejects]. *)
 
-val estimate : t -> name:string -> (float * bool, Delphic_server.Protocol.error) result
-(** The folded estimate and whether it is degraded (some worker answered
-    from a stale snapshot or not at all). *)
+val estimate :
+  t -> name:string -> (float * bool * int list, Delphic_server.Protocol.error) result
+(** The folded estimate, whether it is degraded, and the stale shard list:
+    the ring positions for which {e no} replica answered fresh this gather
+    (so the value there rests on stale last-good fallbacks or nothing).
+    [degraded] is exactly [stale_shards <> []] — with replication a dead
+    worker whose positions are covered by fresh replicas does not degrade
+    the answer. *)
 
 val win :
   t ->
   name:string ->
   seconds:float ->
   at:float option ->
-  (float * bool, Delphic_server.Protocol.error) result
+  (float * bool * int list, Delphic_server.Protocol.error) result
 (** Cluster-wide windowed estimate: the absolute cutoff is computed once
     ([at], or the quantized coordinator clock, minus [seconds]) and shipped
     in every worker's Fetch, so all replicas expire against the same
@@ -177,6 +202,47 @@ val close : t -> name:string -> (unit, Delphic_server.Protocol.error) result
 val live_workers : t -> int
 (** Workers with an open connection right now (0 before any operation —
     connections are lazy). *)
+
+val shard_freshness : t -> int list
+(** Per-ring-position fresh-replica counts from the most recent gather (any
+    session); all zeros before the first gather.  Feeds the [shard_fresh=]
+    field of the frontend's [STATS] reply. *)
+
+val epoch : t -> int
+(** The fencing epoch this coordinator announces (0 = fencing off). *)
+
+val is_fenced : t -> bool
+(** True once any worker has refused this coordinator's epoch — a newer
+    primary owns the pool, and every mutation fails with [ERR FENCED]. *)
+
+val is_read_only : t -> bool
+
+val set_read_only : t -> bool -> unit
+(** Flip standby mode.  [set_read_only t false] is the promotion switch —
+    normally driven by {!Failover}, after {!sync_sessions} and
+    {!announce_epoch}. *)
+
+val max_known_epoch : t -> int
+(** The highest epoch this coordinator has announced, been fenced by, or
+    seen any worker carry in a [HELLO] — probing every quarantine-free
+    worker first, so a takeover learns the deposed primary's epoch from the
+    workers (the durable truth).  A takeover must announce strictly more. *)
+
+val announce_epoch : t -> epoch:int -> int
+(** Adopt [epoch] (clearing any fence it supersedes) and stamp every live
+    worker connection with a synchronous [COORD]; fresh connections are
+    stamped on connect.  Returns the number of workers that accepted.
+    Raises [Invalid_argument] if [epoch] is lower than the current one. *)
+
+val sync_sessions : t -> int
+(** Rebuild the session table from the workers' [SESSIONS] listings — the
+    standby's takeover path (every OPEN was broadcast, so the union over
+    reachable workers recovers the table; locally known sessions are kept).
+    Returns the number of sessions learned. *)
+
+val session_descs : t -> Delphic_server.Protocol.session_desc list
+(** The sessions this coordinator routes, sorted by name — what [SESSIONS]
+    serves. *)
 
 val flush : t -> unit
 (** Ship every staged payload and drain every pipelined ingest ack.  Called

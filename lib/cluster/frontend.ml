@@ -10,6 +10,9 @@ type t = {
   listen_fd : Unix.file_descr;
   port : int;
   lock : Mutex.t;
+  shard_fresh : unit -> int list;
+      (* per-shard fresh-replica counts for SRVSTATS, injected by the
+         coordinator ([fun () -> []] on non-replicated deployments) *)
   mutable stopping : bool;
   mutable evg : Evgroup.t option; (* set once by [create]; never unset *)
 }
@@ -32,12 +35,14 @@ let srvstats t =
       wal_queue = 0;
       wal_last_group = 0;
       wal_groups = 0;
+      shard_fresh = (try t.shard_fresh () with _ -> []);
     }
 
 (* The frontend is pure request → response plumbing: parse, dispatch,
    render.  No journal, so [raw] is unused and every reply is immediate —
-   both protocols share one path. *)
-let handle t dispatch ~proto ~raw:_ ~body =
+   both protocols share one path.  [ctx] is unused: clients are never
+   epoch-fenced at the front door (fencing is a worker-side concern). *)
+let handle t dispatch ~ctx:_ ~proto ~raw:_ ~body =
   let parsed =
     match proto with
     | Evloop.V2 -> P.parse_frame_body body
@@ -54,7 +59,8 @@ let handle t dispatch ~proto ~raw:_ ~body =
   in
   Evloop.Reply (P.render_response response)
 
-let create ?(host = "127.0.0.1") ?max_conns ?domains ~port ~dispatch () =
+let create ?(host = "127.0.0.1") ?max_conns ?domains ?(shard_fresh = fun () -> [])
+    ~port ~dispatch () =
   (* a client that hangs up mid-reply must cost one connection, not the
      process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -70,7 +76,9 @@ let create ?(host = "127.0.0.1") ?max_conns ?domains ~port ~dispatch () =
   let port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
   in
-  let t = { listen_fd = fd; port; lock = Mutex.create (); stopping = false; evg = None } in
+  let t =
+    { listen_fd = fd; port; lock = Mutex.create (); shard_fresh; stopping = false; evg = None }
+  in
   let g =
     Evgroup.create ?max_conns ?domains ~listen_fd:fd ~handler:(handle t dispatch)
       ~on_bad_frame:(fun reason ->

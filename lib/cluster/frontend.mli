@@ -15,6 +15,7 @@ val create :
   ?host:string ->
   ?max_conns:int ->
   ?domains:int ->
+  ?shard_fresh:(unit -> int list) ->
   port:int ->
   dispatch:(Delphic_server.Protocol.request -> Delphic_server.Protocol.response) ->
   unit ->
@@ -23,7 +24,10 @@ val create :
     starts with {!serve}/{!start}.  [dispatch] runs on an event-loop
     thread: it may block (only that loop's connections wait), and
     {!Coordinator.dispatch} is safe here — with [domains > 1] it must also
-    be domain-safe, which the coordinator's internal locking provides. *)
+    be domain-safe, which the coordinator's internal locking provides.
+    [shard_fresh] feeds the [shard_fresh=] field of the bare [STATS] reply
+    (per-shard fresh-replica counts from the coordinator's latest gather);
+    absent, the field is omitted. *)
 
 val port : t -> int
 

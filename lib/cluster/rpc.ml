@@ -10,6 +10,14 @@ type recv_error =
                    trusted to stay framed *)
   | Closed of string  (** EOF, a transport error, or an unparseable line *)
 
+(* Dial failures are typed so the caller can tell a black-holed address (the
+   bounded dial budget elapsed with no SYN-ACK — quarantine, long backoff)
+   from an active refusal or resolution failure (the host answered; retry
+   soon may work). *)
+type connect_error =
+  | Dial_timeout of float  (** no connection within this many seconds *)
+  | Dial_failed of string  (** resolution failure, ECONNREFUSED, ... *)
+
 (* The socket ops behind a connection, pluggable so a fault-injection
    harness can wrap them.  Semantics mirror [Unix.read]/[Unix.write_substring]
    exactly: same return conventions, same exceptions. *)
@@ -60,6 +68,10 @@ let describe_recv_error = function
   | Timed_out -> "timed out waiting for a reply"
   | Closed msg -> msg
 
+let describe_connect_error = function
+  | Dial_timeout budget -> Printf.sprintf "dial timed out after %.2fs" budget
+  | Dial_failed msg -> msg
+
 (* A write to a worker that died mid-conversation must surface as EPIPE
    (caught in [send]), not kill the whole coordinator process. *)
 let ignore_sigpipe =
@@ -100,30 +112,38 @@ let make_conn fd ~io ~host ~port ~proto ~timeout =
   if proto = V2 then Buffer.add_string t.buf Frame.preamble;
   t
 
-let connect ?(io = default_io) ?(proto = V1) ~host ~port ~timeout () =
+let connect ?(io = default_io) ?(proto = V1) ?(dial_timeout = 2.0) ~host ~port
+    ~timeout () =
   Lazy.force ignore_sigpipe;
   match resolve host with
-  | Error _ as e -> e
+  | Error msg -> Error (Dial_failed msg)
   | Ok addr -> (
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     let fail e =
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))
+      Error
+        (Dial_failed (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e)))
+    in
+    let timed_out () =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Dial_timeout dial_timeout)
     in
     (* Nonblocking connect bounded by poll (select would cap the process at
        FD_SETSIZE descriptors): a plain connect can hang for minutes on an
-       unreachable host, far beyond any useful RPC budget. *)
+       unreachable host, far beyond any useful RPC budget.  The dial gets
+       its own budget, separate from the per-reply [timeout]: a black-holed
+       address burns [dial_timeout] exactly once and then quarantines. *)
     Unix.set_nonblock fd;
     match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
-      match Evloop.wait_fd fd ~write:true ~timeout with
+      match Evloop.wait_fd fd ~write:true ~timeout:dial_timeout with
       | `Ready -> (
         match Unix.getsockopt_error fd with
         | None ->
           Unix.clear_nonblock fd;
           Ok (make_conn fd ~io ~host ~port ~proto ~timeout)
         | Some e -> fail e)
-      | `Timeout -> fail Unix.ETIMEDOUT
+      | `Timeout -> timed_out ()
       | exception Unix.Unix_error (e, _, _) -> fail e)
     | exception Unix.Unix_error (e, _, _) -> fail e
     | () ->

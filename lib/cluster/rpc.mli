@@ -47,14 +47,30 @@ type recv_error =
       (** EOF, a transport error, or an unparseable reply line (a misframed
           stream is as dead as a closed one). *)
 
+type connect_error =
+  | Dial_timeout of float
+      (** the dial budget (seconds) elapsed with the connect still pending —
+          the address is black-holed or the host is partitioned away.  The
+          typed constructor lets the coordinator's quarantine path treat
+          this as a worker death without string matching. *)
+  | Dial_failed of string
+      (** name resolution failed, the peer actively refused, or any other
+          immediate connect error. *)
+
+val describe_connect_error : connect_error -> string
+
 val connect :
   ?io:io ->
   ?proto:proto ->
-  host:string -> port:int -> timeout:float -> unit -> (t, string) result
+  ?dial_timeout:float ->
+  host:string -> port:int -> timeout:float -> unit -> (t, connect_error) result
 (** [io] defaults to {!default_io}; a fault-injection harness passes its
     wrapped pair here (threaded through [Coordinator.create ?io]).  The
     [io] hooks sit {e below} the framing, so chaos corruption on a [V2]
-    connection surfaces as CRC rejects.  [proto] defaults to [V1]. *)
+    connection surfaces as CRC rejects.  [proto] defaults to [V1].
+    [dial_timeout] (default 2s) bounds the TCP connect itself, separately
+    from the per-reply [timeout]: a black-holed address costs exactly one
+    dial budget and surfaces as {!connect_error.Dial_timeout}. *)
 
 val address : t -> string
 (** ["host:port"], for log and error messages. *)

@@ -77,28 +77,36 @@ module Make (F : Delphic_family.Family.FAMILY) = struct
   let is_exact t = t.exact_active
   let epsilon t = t.epsilon
   let delta t = t.delta
+  let log2_universe t = t.log2_universe
 
   let exact_size t = if t.exact_active then Some (Tbl.length t.exact) else None
 
-  (* Materialise all |S| elements by sampling with the coupon-collector
-     budget; None when |S| is too large for the exact budget or the draw
-     fails to complete. *)
+  (* Materialise all |S| elements; None when |S| is too large for the
+     exact budget.  Families that expose [iter_elements] are walked
+     directly (O(|S|), always completes); pure Delphic oracles fall back
+     to sampling with the coupon-collector budget, which additionally
+     returns None on the (probability <= delta-ish) incomplete draw. *)
   let enumerate t s =
     match Bigint.to_int (F.cardinality s) with
     | None -> None
     | Some card ->
       if card > t.capacity then None
       else begin
-        let budget =
-          int_of_float (Float.ceil (4.0 *. float_of_int card *. t.coupon_factor))
-        in
         let seen = Tbl.create (2 * card) in
-        let drawn = ref 0 in
-        while Tbl.length seen < card && !drawn < budget do
-          incr drawn;
-          Tbl.replace seen (F.sample s t.rng) ()
-        done;
-        if Tbl.length seen = card then Some seen else None
+        match F.iter_elements with
+        | Some iter ->
+          iter s (fun x -> Tbl.replace seen x ());
+          Some seen
+        | None ->
+          let budget =
+            int_of_float (Float.ceil (4.0 *. float_of_int card *. t.coupon_factor))
+          in
+          let drawn = ref 0 in
+          while Tbl.length seen < card && !drawn < budget do
+            incr drawn;
+            Tbl.replace seen (F.sample s t.rng) ()
+          done;
+          if Tbl.length seen = card then Some seen else None
       end
 
   (* The sketch is lazy: while the exact table is authoritative, sets are

@@ -71,6 +71,7 @@ module Make (F : Delphic_family.Family.FAMILY) : sig
 
   val epsilon : t -> float
   val delta : t -> float
+  val log2_universe : t -> float
 
   (** {2 Membership probes and union sampling}
 

@@ -27,6 +27,15 @@ module type FAMILY = sig
   val sample : t -> Delphic_util.Rng.t -> elt
   (** A uniformly random element of the set.  Requires the set non-empty. *)
 
+  val iter_elements : (t -> (elt -> unit) -> unit) option
+  (** Deterministic enumeration of every element, when the succinct
+      representation supports it (a box walks its grid, an interval its
+      integers).  Not part of the Delphic oracle — estimators never rely
+      on it for correctness, only as a shortcut where they would otherwise
+      materialise a small set by repeated [sample] draws
+      ({!Delphic_core.Adaptive}'s exact regime).  [None] means callers
+      must make do with the three oracle queries. *)
+
   val equal_elt : elt -> elt -> bool
   val hash_elt : elt -> int
   val pp_elt : Format.formatter -> elt -> unit
@@ -119,6 +128,8 @@ end = struct
     incr samples;
     F.sample s rng
 
+  (* Enumeration bypasses the oracle, so it is deliberately not counted. *)
+  let iter_elements = F.iter_elements
   let equal_elt = F.equal_elt
   let hash_elt = F.hash_elt
   let pp_elt = F.pp_elt

@@ -30,6 +30,7 @@ type t = {
   lock : Mutex.t;
   mutable enabled : bool;
   mutable injected : int;
+  mutable blocked : int list; (* peer TCP ports partitioned away right now *)
 }
 
 let create cfg =
@@ -39,6 +40,7 @@ let create cfg =
     lock = Mutex.create ();
     enabled = true;
     injected = 0;
+    blocked = [];
   }
 
 let with_lock t f =
@@ -48,6 +50,34 @@ let with_lock t f =
 let set_enabled t v = with_lock t (fun () -> t.enabled <- v)
 let enabled t = with_lock t (fun () -> t.enabled)
 let injected t = with_lock t (fun () -> t.injected)
+
+let partition t ports = with_lock t (fun () -> t.blocked <- ports)
+let heal t = with_lock t (fun () -> t.blocked <- [])
+let partitioned t = with_lock t (fun () -> t.blocked)
+
+(* A partition is judged by the connection's peer port: the wrappers see
+   only file descriptors, and the peer port is the one stable identity a
+   test controls (each worker listens on its own).  Unidentifiable peers
+   (closed fd, unix socket) are never partitioned. *)
+let peer_blocked t fd =
+  let blocked = with_lock t (fun () -> t.blocked) in
+  blocked <> []
+  &&
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (_, p) -> List.mem p blocked
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+type kill_plan = { victim : int; after : int }
+
+(* One seeded draw for a process-kill schedule: which of [procs] dies, and
+   after how many of [steps] ingest steps — so "kill worker 2 after batch
+   17" is a pure function of the chaos seed and replays bit-identically. *)
+let kill_plan t ~procs ~steps =
+  if procs < 1 then invalid_arg "Chaos.kill_plan: need procs >= 1";
+  if steps < 1 then invalid_arg "Chaos.kill_plan: need steps >= 1";
+  with_lock t (fun () ->
+      { victim = Rng.int t.rng procs; after = 1 + Rng.int t.rng steps })
 
 (* One seeded decision per operation, drawn under the lock; the fault itself
    (sleeps, syscalls) runs outside it.  [faults] is the kind-specific
@@ -87,6 +117,8 @@ let epipe op = raise (Unix.Unix_error (Unix.EPIPE, op, "chaos"))
 let corrupt_pos t len = with_lock t (fun () -> Rng.int t.rng len)
 
 let wrap_write t base fd s ofs len =
+  if peer_blocked t fd then len (* black hole: claim success, ship nothing *)
+  else
   let d =
     decide t
       [
@@ -114,6 +146,14 @@ let wrap_write t base fd s ofs len =
     base fd (Bytes.to_string b) 0 len
 
 let wrap_read t base fd buf ofs len =
+  if peer_blocked t fd then begin
+    (* nothing will ever arrive from a partitioned peer; burn a beat (so
+       the caller's retry loop does not spin hot) and report the same
+       EAGAIN a drained SO_RCVTIMEO socket would, which is exactly the
+       typed-timeout path the RPC layer already handles *)
+    Unix.sleepf 0.002;
+    raise (Unix.Unix_error (Unix.EAGAIN, "read", "chaos partition"))
+  end;
   let d = decide t [ (t.cfg.close_p, `Close); (t.cfg.corrupt_p, `Corrupt) ] in
   apply_delay d.delay;
   match d.fault with

@@ -81,6 +81,29 @@ val injected : t -> int
 (** Total faults injected so far (delays included) — lets a test assert
     that chaos actually happened at its chosen seed and probabilities. *)
 
+val partition : t -> int list -> unit
+(** Black-hole every connection whose {e peer port} is listed: writes claim
+    success and ship nothing, reads sleep a beat and raise [EAGAIN] (the
+    same signal a drained [SO_RCVTIMEO] socket gives, so the RPC layer's
+    typed-timeout path fires).  Models an asymmetric network partition —
+    the socket stays open, nothing flows — as opposed to the crash-like
+    [close_p].  Replaces any previous partition set. *)
+
+val heal : t -> unit
+(** Clear the partition set; traffic flows again on the same sockets. *)
+
+val partitioned : t -> int list
+(** The peer ports currently black-holed. *)
+
+type kill_plan = { victim : int; after : int }
+(** A seeded process-kill schedule: [victim] is an index in [0, procs);
+    [after] is a 1-based step count in [1, steps]. *)
+
+val kill_plan : t -> procs:int -> steps:int -> kill_plan
+(** One draw from the seeded stream — "which process dies, and when" as a
+    pure function of the chaos seed, so a kill-9 test replays its schedule
+    bit-identically.  Raises [Invalid_argument] on empty ranges. *)
+
 val wrap_read :
   t ->
   (Unix.file_descr -> Bytes.t -> int -> int -> int) ->

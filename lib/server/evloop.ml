@@ -62,9 +62,16 @@ type out_item = { text : string; fail : string; gate : gate }
 
 let resolved_gate : gate = Atomic.make gate_done
 
+(* Per-connection handler state.  The loop itself never reads it: the seam
+   exists so a handler can remember something about the peer across
+   requests — the coordinator fencing epoch a [COORD] announce stamps on
+   the connection that sent it. *)
+type ctx = { mutable epoch : int }
+
 type conn = {
   fd : Unix.file_descr;
   ifd : int;
+  ctx : ctx;
   mutable proto : proto option; (* None until the first bytes arrive *)
   mutable rbuf : Bytes.t;
   mutable rpos : int; (* consumed prefix *)
@@ -81,7 +88,7 @@ type conn = {
   mutable dead : bool;
 }
 
-type handler = proto:proto -> raw:string -> body:string -> verdict
+type handler = ctx:ctx -> proto:proto -> raw:string -> body:string -> verdict
 
 (* Accounting shared by every loop of a sharded group: the connection cap
    and shed count are properties of the listening socket, not of any one
@@ -285,7 +292,7 @@ let queue_gated t c ~reply ~on_fail gate =
 
 let run_handler t c proto ~raw ~body =
   Atomic.incr t.dispatched;
-  match t.handler ~proto ~raw ~body with
+  match t.handler ~ctx:c.ctx ~proto ~raw ~body with
   | Reply reply -> queue_reply c reply
   | Gated { reply; on_fail; gate } -> queue_gated t c ~reply ~on_fail gate
   | exception exn ->
@@ -414,6 +421,7 @@ let register_conn t fd =
     {
       fd;
       ifd = fd_int fd;
+      ctx = { epoch = 0 };
       proto = None;
       rbuf = Bytes.create initial_rbuf;
       rpos = 0;

@@ -45,13 +45,22 @@ type verdict =
           the gate resolves to {!gate_failed}.  Order is still preserved:
           later replies on the same connection queue behind this one. *)
 
-type handler = proto:proto -> raw:string -> body:string -> verdict
+type ctx = { mutable epoch : int }
+(** Per-connection handler state, created at registration and passed to
+    every request from that connection.  The loop never touches it — it is
+    the seam that lets a handler remember the peer across requests: a
+    worker stamps the coordinator fencing epoch of a [COORD] announce here
+    and later refuses mutations from a connection whose stamp has been
+    overtaken ([epoch] 0 = never announced, never fenced). *)
+
+type handler = ctx:ctx -> proto:proto -> raw:string -> body:string -> verdict
 (** One request in, one verdict out.  [body] is the request — a text line
     (v1) or a v2 frame body.  [raw] is the exact wire frame
     (header + body) for v2, [""] for v1 — a v2 mutation can be journalled
-    by splicing [raw] verbatim ({!Wal.append_framed}).  The reply is
-    framed by the loop per the connection's protocol.  Exceptions close
-    the connection; turn failures into protocol error replies instead. *)
+    by splicing [raw] verbatim ({!Wal.append_framed}).  [ctx] is the
+    connection's {!ctx}.  The reply is framed by the loop per the
+    connection's protocol.  Exceptions close the connection; turn failures
+    into protocol error replies instead. *)
 
 type shared
 (** Accounting shared across every loop of a sharded group: live

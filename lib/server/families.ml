@@ -187,6 +187,11 @@ let family = function
 
 let family_token t = Protocol.family_to_token (family t)
 
+let params = function
+  | Rect_s { est; _ } -> (Rect_b.A.epsilon est, Rect_b.A.delta est, Rect_b.A.log2_universe est)
+  | Dnf_s { est; _ } -> (Dnf_b.A.epsilon est, Dnf_b.A.delta est, Dnf_b.A.log2_universe est)
+  | Cov_s { est; _ } -> (Cov_b.A.epsilon est, Cov_b.A.delta est, Cov_b.A.log2_universe est)
+
 let create ~family ~epsilon ~delta ~log2_universe ~seed =
   let guard f = match f () with t -> Ok t | exception Invalid_argument msg -> Error msg in
   match (family : Protocol.family) with

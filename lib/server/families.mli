@@ -23,6 +23,11 @@ val family : t -> Protocol.family
 
 val family_token : t -> string
 
+val params : t -> float * float * float
+(** The session's creation triple [(epsilon, delta, log2_universe)] — what a
+    coordinator needs to re-register the session when rebuilding routing
+    state from a [SESSIONS] enumeration. *)
+
 val add : ?ts:float -> t -> lineno:int -> string -> unit
 (** Parse one set line and feed it to the estimator.  [ts] (default 0) is
     the logical ingest timestamp recorded per element (see

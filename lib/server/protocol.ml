@@ -15,6 +15,12 @@ type request =
     }
   | Add of { session : string; payload : string; ts : float option }
   | Add_batch of { session : string; payloads : string list; ts : float option }
+  | Add_log of { session : string; payloads : string list; ts : float option }
+      (* The replica-log twin of [Add_batch]: the receiver appends the
+         payloads to the session's pending log and acks without updating
+         the estimator — materialisation happens on the first read or on
+         promotion.  Coordinators send backup copies this way so a replica
+         costs an append, not a full estimator update, on the ingest path. *)
   | Est of { session : string }
   | Win of { session : string; seconds : float; at : float option }
   | Stats of { session : string }
@@ -27,6 +33,9 @@ type request =
   | Ping
   | Hello
   | Server_stats
+  | Coord_epoch of { epoch : int }
+  | Sessions
+  | Lease
 
 type error =
   | Empty_request
@@ -42,6 +51,8 @@ type error =
   | Bad_line of { line : int; msg : string }
   | Io_error of string
   | Server_error of string
+  | Fenced of int
+  | Read_only of string
 
 type stats = {
   family : string;
@@ -65,12 +76,21 @@ type server_stats = {
   wal_queue : int;
   wal_last_group : int;
   wal_groups : int;
+  shard_fresh : int list;
+}
+
+type session_desc = {
+  sd_name : string;
+  sd_family : string;
+  sd_epsilon : float;
+  sd_delta : float;
+  sd_log2_universe : float;
 }
 
 type response =
   | Ok_reply of string option
   | Ok_batch of { accepted : int; errors : (int * string) list }
-  | Estimate of { value : float; degraded : bool }
+  | Estimate of { value : float; degraded : bool; stale_shards : int list }
   | Expr_reply of {
       value : float option;
       support : float;
@@ -82,8 +102,11 @@ type response =
   | Stats_reply of stats
   | Sketch of string
   | Pong
-  | Hello_reply of { generation : int }
+  | Hello_reply of { generation : int; epoch : int }
   | Server_stats_reply of server_stats
+  | Epoch_reply of { epoch : int }
+  | Sessions_reply of session_desc list
+  | Lease_reply of { epoch : int; primary : bool }
   | Error_reply of error
 
 let session_name_ok name =
@@ -199,6 +222,16 @@ let parse_request line =
     | "HELLO" ->
       if rest = "" then Ok Hello
       else Error (Wrong_arity { command = "HELLO"; expected = "HELLO" })
+    | "COORD" -> (
+      match int_of_string_opt rest with
+      | Some epoch when epoch > 0 -> Ok (Coord_epoch { epoch })
+      | _ -> Error (Bad_number { what = "epoch"; value = rest }))
+    | "SESSIONS" ->
+      if rest = "" then Ok Sessions
+      else Error (Wrong_arity { command = "SESSIONS"; expected = "SESSIONS" })
+    | "LEASE" ->
+      if rest = "" then Ok Lease
+      else Error (Wrong_arity { command = "LEASE"; expected = "LEASE" })
     | "OPEN" -> (
       match tokens rest with
       | [ session; family; eps; delta; log2u ] ->
@@ -232,8 +265,10 @@ let parse_request line =
         if payload = "" then
           Error (Wrong_arity { command = "ADD"; expected = "ADD <session> [t=<secs>] <set-line>" })
         else Ok (Add { session; payload; ts })
-    | "ADDB" -> (
-      let expected = "ADDB <session> [t=<secs>] <k> <payload-token>{k}" in
+    | ("ADDB" | "ADDL") as batch_verb -> (
+      let expected =
+        Printf.sprintf "%s <session> [t=<secs>] <k> <payload-token>{k}" batch_verb
+      in
       match tokens rest with
       | session :: more ->
         let* session = parse_session session in
@@ -254,7 +289,7 @@ let parse_request line =
             | _ -> Error (Bad_number { what = "batch-size"; value = k })
           in
           if List.length toks <> k then
-            Error (Wrong_arity { command = "ADDB"; expected })
+            Error (Wrong_arity { command = batch_verb; expected })
           else
             let rec unarmor i acc = function
               | [] -> Ok (List.rev acc)
@@ -264,9 +299,10 @@ let parse_request line =
                 | Error msg -> Error (Bad_line { line = i; msg }))
             in
             let* payloads = unarmor 0 [] toks in
-            Ok (Add_batch { session; payloads; ts })
-        | [] -> Error (Wrong_arity { command = "ADDB"; expected }))
-      | _ -> Error (Wrong_arity { command = "ADDB"; expected }))
+            if batch_verb = "ADDL" then Ok (Add_log { session; payloads; ts })
+            else Ok (Add_batch { session; payloads; ts })
+        | [] -> Error (Wrong_arity { command = batch_verb; expected }))
+      | _ -> Error (Wrong_arity { command = batch_verb; expected }))
     | "WIN" -> (
       let expected = "WIN <session> <seconds> [at=<abs-secs>]" in
       match tokens rest with
@@ -416,9 +452,9 @@ let render_request = function
     (match ts with
     | None -> Printf.sprintf "ADD %s %s" session payload
     | Some t -> Printf.sprintf "ADD %s t=%s %s" session (float_out t) payload)
-  | Add_batch { session; payloads; ts } ->
+  | (Add_batch { session; payloads; ts } | Add_log { session; payloads; ts }) as req ->
     let buf = Buffer.create 256 in
-    Buffer.add_string buf "ADDB ";
+    Buffer.add_string buf (match req with Add_log _ -> "ADDL " | _ -> "ADDB ");
     Buffer.add_string buf session;
     (match ts with
     | None -> ()
@@ -454,17 +490,21 @@ let render_request = function
   | Ping -> "PING"
   | Hello -> "HELLO"
   | Server_stats -> "STATS"
+  | Coord_epoch { epoch } -> "COORD " ^ string_of_int epoch
+  | Sessions -> "SESSIONS"
+  | Lease -> "LEASE"
 
 (* ---- wire protocol v2 binary bodies ----
 
    A v2 frame body is either a v1 text line (any body whose first byte is
    not '\x01' — verbs are ASCII letters) or a binary record tagged '\x01'.
-   Only ADDB gets a binary shape: it is the hot path, and its cost under v1
-   is exactly the %-armoring/unarmoring plus whitespace tokenization of a
-   many-token line.  Binary ADDB is
+   Only the batched add verbs get a binary shape: they are the hot path,
+   and their cost under v1 is exactly the %-armoring/unarmoring plus
+   whitespace tokenization of a many-token line.  Binary ADDB — and its
+   replica-log twin ADDL, identical but for the tag byte — is
 
-     '\x01' 'B' | u16 slen | session | u8 has_ts | [f64 ts] | u32 k
-                | k × (u32 len | payload)
+     '\x01' 'B'|'L' | u16 slen | session | u8 has_ts | [f64 ts] | u32 k
+                    | k × (u32 len | payload)
 
    all integers big-endian, the timestamp IEEE-754 bits via
    [Int64.bits_of_float].  Payload bytes are raw — newlines, '%', 0xFF all
@@ -473,10 +513,10 @@ let render_request = function
 let binary_tag = '\x01'
 
 let encode_request_v2 = function
-  | Add_batch { session; payloads; ts } ->
+  | (Add_batch { session; payloads; ts } | Add_log { session; payloads; ts }) as req ->
     let buf = Buffer.create 256 in
     Buffer.add_char buf binary_tag;
-    Buffer.add_char buf 'B';
+    Buffer.add_char buf (match req with Add_log _ -> 'L' | _ -> 'B');
     let slen = String.length session in
     Buffer.add_char buf (Char.chr ((slen lsr 8) land 0xFF));
     Buffer.add_char buf (Char.chr (slen land 0xFF));
@@ -507,9 +547,9 @@ let encode_request_v2 = function
 let encode_request_v2_sink sink req =
   Frame.sink_clear sink;
   match req with
-  | Add_batch { session; payloads; ts } ->
+  | (Add_batch { session; payloads; ts } | Add_log { session; payloads; ts }) as req ->
     Frame.sink_char sink binary_tag;
-    Frame.sink_char sink 'B';
+    Frame.sink_char sink (match req with Add_log _ -> 'L' | _ -> 'B');
     let slen = String.length session in
     Frame.sink_char sink (Char.chr ((slen lsr 8) land 0xFF));
     Frame.sink_char sink (Char.chr (slen land 0xFF));
@@ -562,7 +602,7 @@ let parse_binary body =
     s
   in
   match body.[1] with
-  | 'B' ->
+  | ('B' | 'L') as tag ->
     let session = str (u16 ()) in
     let ts =
       match u8 () with
@@ -583,6 +623,7 @@ let parse_binary body =
     done;
     if !pos <> n then raise Binary_trunc;
     if not (session_name_ok session) then Error (Bad_session_name session)
+    else if tag = 'L' then Ok (Add_log { session; payloads = List.rev !payloads; ts })
     else Ok (Add_batch { session; payloads = List.rev !payloads; ts })
   | c -> Error (Bad_params (Printf.sprintf "unknown binary record tag %C" c))
 
@@ -607,6 +648,8 @@ let error_code = function
   | Bad_line _ -> "PARSE"
   | Io_error _ -> "IO"
   | Server_error _ -> "SERVER"
+  | Fenced _ -> "FENCED"
+  | Read_only _ -> "READONLY"
 
 (* Payload after "ERR <CODE>"; the first token is structured where decoding
    needs it, the remainder freeform. *)
@@ -624,6 +667,8 @@ let error_payload = function
   | Bad_line { line; msg } -> Printf.sprintf "%d %s" line msg
   | Io_error s -> s
   | Server_error s -> s
+  | Fenced epoch -> string_of_int epoch
+  | Read_only s -> s
 
 let describe_error = function
   | Empty_request -> "empty request"
@@ -639,6 +684,9 @@ let describe_error = function
   | Bad_line { line; msg } -> Printf.sprintf "ADD line %d rejected: %s" line msg
   | Io_error msg -> msg
   | Server_error msg -> msg
+  | Fenced epoch ->
+    Printf.sprintf "write fenced: a newer coordinator holds epoch %d" epoch
+  | Read_only msg -> Printf.sprintf "node is read-only: %s" msg
 
 let parse_error_of_wire code payload =
   let first, rest = cut payload in
@@ -663,6 +711,11 @@ let parse_error_of_wire code payload =
     | None -> None)
   | "IO" -> Some (Io_error payload)
   | "SERVER" -> Some (Server_error payload)
+  | "FENCED" -> (
+    match int_of_string_opt payload with
+    | Some epoch -> Some (Fenced epoch)
+    | None -> None)
+  | "READONLY" -> Some (Read_only payload)
   | _ -> None
 
 let render_response = function
@@ -680,8 +733,13 @@ let render_response = function
         Buffer.add_string buf (armor_payload (if msg = "" then " " else msg)))
       errors;
     Buffer.contents buf
-  | Estimate { value; degraded } ->
-    "EST " ^ float_out value ^ if degraded then " DEGRADED" else ""
+  | Estimate { value; degraded; stale_shards } ->
+    "EST " ^ float_out value
+    ^ (if degraded then " DEGRADED" else "")
+    ^
+    if degraded && stale_shards <> [] then
+      " shards=" ^ String.concat "," (List.map string_of_int stale_shards)
+    else ""
   | Expr_reply { value; support; needed; samples; quality; degraded } ->
     let buf = Buffer.create 64 in
     Buffer.add_string buf "EXPR ";
@@ -703,13 +761,40 @@ let render_response = function
       (float_out s.last_estimate) s.parse_rejects s.merges
   | Sketch encoded -> "SKETCH " ^ encoded
   | Pong -> "PONG"
-  | Hello_reply { generation } -> "HELLO " ^ string_of_int generation
+  | Hello_reply { generation; epoch } ->
+    (* the epoch rides only when fencing is in play, so pre-failover probes
+       (and their tests) see the exact v1 shape *)
+    "HELLO " ^ string_of_int generation
+    ^ if epoch > 0 then " epoch=" ^ string_of_int epoch else ""
   | Server_stats_reply s ->
-    Printf.sprintf "SRVSTATS conns=%d shed=%d domains=%d dispatched=%s wal_queue=%d wal_last_group=%d wal_groups=%d"
+    Printf.sprintf "SRVSTATS conns=%d shed=%d domains=%d dispatched=%s wal_queue=%d wal_last_group=%d wal_groups=%d%s"
       s.conns s.shed
       (List.length s.dispatched)
       (String.concat "," (List.map string_of_int s.dispatched))
       s.wal_queue s.wal_last_group s.wal_groups
+      (if s.shard_fresh = [] then ""
+       else " shard_fresh=" ^ String.concat "," (List.map string_of_int s.shard_fresh))
+  | Epoch_reply { epoch } -> "EPOCH " ^ string_of_int epoch
+  | Sessions_reply descs ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "SESSIONS ";
+    Buffer.add_string buf (string_of_int (List.length descs));
+    List.iter
+      (fun d ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf d.sd_name;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf d.sd_family;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (float_out d.sd_epsilon);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (float_out d.sd_delta);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (float_out d.sd_log2_universe))
+      descs;
+    Buffer.contents buf
+  | Lease_reply { epoch; primary } ->
+    Printf.sprintf "LEASE epoch=%d role=%s" epoch (if primary then "primary" else "standby")
   | Error_reply e -> (
     (* No trailing space when the payload is empty ("ERR EMPTY", not
        "ERR EMPTY "). *)
@@ -740,19 +825,73 @@ let parse_response line =
     | [] -> Error "OKB: missing accepted count")
   | "PONG" when rest = "" -> Ok Pong
   | "HELLO" -> (
+    match tokens rest with
+    | [ gen ] -> (
+      match int_of_string_opt gen with
+      | Some generation -> Ok (Hello_reply { generation; epoch = 0 })
+      | None -> Error (Printf.sprintf "HELLO: bad generation %S" rest))
+    | [ gen; ep ] when String.length ep > 6 && String.sub ep 0 6 = "epoch=" -> (
+      match
+        (int_of_string_opt gen, int_of_string_opt (String.sub ep 6 (String.length ep - 6)))
+      with
+      | Some generation, Some epoch -> Ok (Hello_reply { generation; epoch })
+      | _ -> Error (Printf.sprintf "HELLO: malformed reply %S" rest))
+    | _ -> Error (Printf.sprintf "HELLO: malformed reply %S" rest))
+  | "EPOCH" -> (
     match int_of_string_opt rest with
-    | Some generation -> Ok (Hello_reply { generation })
-    | None -> Error (Printf.sprintf "HELLO: bad generation %S" rest))
+    | Some epoch -> Ok (Epoch_reply { epoch })
+    | None -> Error (Printf.sprintf "EPOCH: bad epoch %S" rest))
+  | "LEASE" -> (
+    match tokens rest with
+    | [ ep; role ] when String.length ep > 6 && String.sub ep 0 6 = "epoch=" -> (
+      match (int_of_string_opt (String.sub ep 6 (String.length ep - 6)), role) with
+      | Some epoch, "role=primary" -> Ok (Lease_reply { epoch; primary = true })
+      | Some epoch, "role=standby" -> Ok (Lease_reply { epoch; primary = false })
+      | _ -> Error (Printf.sprintf "LEASE: malformed reply %S" rest))
+    | _ -> Error (Printf.sprintf "LEASE: malformed reply %S" rest))
+  | "SESSIONS" -> (
+    match tokens rest with
+    | count :: toks -> (
+      match int_of_string_opt count with
+      | Some k when k >= 0 && List.length toks = 5 * k ->
+        let rec take acc = function
+          | [] -> Ok (Sessions_reply (List.rev acc))
+          | name :: fam :: eps :: delta :: log2u :: more -> (
+            match
+              (float_of_string_opt eps, float_of_string_opt delta, float_of_string_opt log2u)
+            with
+            | Some sd_epsilon, Some sd_delta, Some sd_log2_universe ->
+              take
+                ({ sd_name = name; sd_family = fam; sd_epsilon; sd_delta; sd_log2_universe }
+                :: acc)
+                more
+            | _ -> Error (Printf.sprintf "SESSIONS: malformed entry near %S" name))
+          | _ -> Error "SESSIONS: truncated entry list"
+        in
+        take [] toks
+      | _ -> Error (Printf.sprintf "SESSIONS: bad count in %S" rest))
+    | [] -> Error "SESSIONS: missing count")
   | "EST" -> (
-    let value, degraded =
+    let value, degraded, stale_shards =
       match tokens rest with
-      | [ v; "DEGRADED" ] -> (float_of_string_opt v, true)
-      | [ v ] -> (float_of_string_opt v, false)
-      | _ -> (None, false)
+      | [ v; "DEGRADED" ] -> (float_of_string_opt v, true, Some [])
+      | [ v; "DEGRADED"; sh ] when String.length sh > 7 && String.sub sh 0 7 = "shards=" ->
+        let ids =
+          String.split_on_char ',' (String.sub sh 7 (String.length sh - 7))
+          |> List.map int_of_string_opt
+          |> List.fold_left
+               (fun acc v ->
+                 match (acc, v) with Some acc, Some v -> Some (v :: acc) | _ -> None)
+               (Some [])
+          |> Option.map List.rev
+        in
+        (float_of_string_opt v, true, ids)
+      | [ v ] -> (float_of_string_opt v, false, Some [])
+      | _ -> (None, false, Some [])
     in
-    match value with
-    | Some value -> Ok (Estimate { value; degraded })
-    | None -> Error (Printf.sprintf "EST: bad float %S" rest))
+    match (value, stale_shards) with
+    | Some value, Some stale_shards -> Ok (Estimate { value; degraded; stale_shards })
+    | _ -> Error (Printf.sprintf "EST: bad reply %S" rest))
   | "EXPR" -> (
     match tokens rest with
     | head :: fields -> (
@@ -856,6 +995,10 @@ let parse_response line =
              (Some [])
         |> Option.map List.rev
     in
+    (* shard_fresh is optional: only replicated coordinators report it *)
+    let shard_fresh =
+      match field "shard_fresh" with None -> Some [] | Some csv -> ints_of csv
+    in
     match
       (field "conns", field "shed", field "dispatched", field "wal_queue",
        field "wal_last_group", field "wal_groups")
@@ -863,13 +1006,13 @@ let parse_response line =
     | Some conns, Some shed, Some dispatched, Some wq, Some wlg, Some wg -> (
       match
         (int_of_string_opt conns, int_of_string_opt shed, ints_of dispatched,
-         int_of_string_opt wq, int_of_string_opt wlg, int_of_string_opt wg)
+         int_of_string_opt wq, int_of_string_opt wlg, int_of_string_opt wg, shard_fresh)
       with
       | Some conns, Some shed, Some dispatched, Some wal_queue, Some wal_last_group,
-        Some wal_groups ->
+        Some wal_groups, Some shard_fresh ->
         Ok
           (Server_stats_reply
-             { conns; shed; dispatched; wal_queue; wal_last_group; wal_groups })
+             { conns; shed; dispatched; wal_queue; wal_last_group; wal_groups; shard_fresh })
       | _ -> Error (Printf.sprintf "SRVSTATS: malformed fields in %S" rest))
     | _ -> Error (Printf.sprintf "SRVSTATS: missing fields in %S" rest))
   | "ERR" -> (

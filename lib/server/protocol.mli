@@ -20,7 +20,10 @@
     CLOSE <session>                                 drop the session
     EXPR [m=<samples>] [w=<secs>] <expression>      set-expression cardinality estimate
     PING                                            liveness probe
-    HELLO                                           identity probe (reply: HELLO <generation>)
+    HELLO                                           identity probe (reply: HELLO <generation> [epoch=<e>])
+    COORD <epoch>                                   stamp this connection with a coordinator epoch
+    SESSIONS                                        enumerate open sessions with their parameters
+    LEASE                                           coordinator lease probe (reply: LEASE epoch=<e> role=...)
     v}
 
     [t=<secs>] is the optional logical ingest timestamp of an [ADD]/[ADDB]
@@ -92,6 +95,14 @@ type request =
       (** wire form [ADDB <session> [t=<secs>] <k> <tok>{k}]; payloads are
           carried verbatim in memory and armored only on the wire; [ts]
           stamps the whole frame *)
+  | Add_log of { session : string; payloads : string list; ts : float option }
+      (** wire form [ADDL ...], the replica-log twin of [Add_batch]: the
+          receiver appends the payloads to the session's pending log and
+          acks (same [Ok_batch] shape) without touching the estimator —
+          they are materialised on the session's next read or promotion.
+          Coordinators ship backup replica copies this way, so redundancy
+          costs an append rather than a second full estimator update on
+          the ingest path. *)
   | Est of { session : string }
   | Win of { session : string; seconds : float; at : float option }
       (** wire form [WIN <session> <seconds> [at=<abs-secs>]]: the union
@@ -130,6 +141,23 @@ type request =
           connections, sheds, per-domain dispatch balance, WAL group-commit
           counters ({!Server_stats_reply}).  Older servers answer
           [ERR ARITY]. *)
+  | Coord_epoch of { epoch : int }
+      (** wire form [COORD <epoch>] — a coordinator announcing its fencing
+          epoch on this connection.  The worker remembers the highest epoch
+          it has ever seen; a mutation arriving later on a connection stamped
+          with a lower epoch is refused with [ERR FENCED <current>] — the
+          deposed-primary write fence.  Connections that never announce
+          (direct clients) are never fenced.  Reply: {!Epoch_reply}. *)
+  | Sessions
+      (** wire form [SESSIONS] — enumerate open sessions with their creation
+          parameters ({!Sessions_reply}).  A warm-standby coordinator taking
+          over rebuilds its routing table from this: the workers, not a
+          coordinator journal, are the durable truth. *)
+  | Lease
+      (** wire form [LEASE] — the standby's heartbeat probe against the
+          active coordinator.  Reply {!Lease_reply} carries the primary's
+          fencing epoch; a run of missed leases triggers takeover at a
+          higher epoch. *)
 
 type error =
   | Empty_request
@@ -150,6 +178,13 @@ type error =
           [ADD]s, so the client can locate the bad set in its own stream *)
   | Io_error of string
   | Server_error of string
+  | Fenced of int
+      (** a mutation arrived on a connection stamped with a stale coordinator
+          epoch; the payload is the epoch currently in force *)
+  | Read_only of string
+      (** the node answers queries but refuses mutations — a warm standby
+          whose primary is still alive, or a deposed primary that has been
+          fenced *)
 
 type stats = {
   family : string;  (** family token, e.g. ["dnf:40"] *)
@@ -181,6 +216,21 @@ type server_stats = {
   wal_queue : int;
   wal_last_group : int;
   wal_groups : int;
+  shard_fresh : int list;
+      (** per-shard fresh-replica counts from the coordinator's most recent
+          gather, index-aligned with the hash ring ([[]] on plain servers
+          and on coordinators that have not gathered yet); rides the wire as
+          an optional [shard_fresh=a,b,...] token *)
+}
+
+(** One open session as enumerated by the [SESSIONS] verb: the name plus the
+    creation parameters a coordinator needs to rebuild its routing entry. *)
+type session_desc = {
+  sd_name : string;
+  sd_family : string;  (** family token, e.g. ["rect"], ["dnf:40"] *)
+  sd_epsilon : float;
+  sd_delta : float;
+  sd_log2_universe : float;
 }
 
 type response =
@@ -188,9 +238,13 @@ type response =
   | Ok_batch of { accepted : int; errors : (int * string) list }
       (** reply to {!Add_batch}: payloads accepted, plus [(index, message)]
           for each rejected payload (0-based index into the frame) *)
-  | Estimate of { value : float; degraded : bool }
+  | Estimate of { value : float; degraded : bool; stale_shards : int list }
       (** [degraded] renders as a trailing [DEGRADED] token — set by a
-          coordinator answering from stale snapshots after losing a worker *)
+          coordinator that could not reach one fresh replica for some shard
+          and answered from last-good snapshots.  [stale_shards] names those
+          hash-ring positions ([shards=i,j,...] after the [DEGRADED] token;
+          empty on single-replica coordinators and plain servers, where the
+          bare [DEGRADED] form is unchanged). *)
   | Expr_reply of {
       value : float option;
       support : float;
@@ -207,12 +261,23 @@ type response =
   | Stats_reply of stats
   | Sketch of string  (** [SKETCH <wire-snapshot>], the reply to {!Fetch} *)
   | Pong
-  | Hello_reply of { generation : int }
-      (** [HELLO <generation>], the reply to {!Hello} *)
+  | Hello_reply of { generation : int; epoch : int }
+      (** [HELLO <generation> [epoch=<e>]], the reply to {!Hello}; [epoch]
+          is the highest coordinator epoch this worker has seen (0, and
+          omitted on the wire, when fencing has never been engaged — the
+          pre-failover reply shape) *)
   | Server_stats_reply of server_stats
       (** [SRVSTATS conns=.. shed=.. domains=.. dispatched=a,b,..
-          wal_queue=.. wal_last_group=.. wal_groups=..], the reply to
-          {!Server_stats} *)
+          wal_queue=.. wal_last_group=.. wal_groups=.. [shard_fresh=a,b,..]],
+          the reply to {!Server_stats} *)
+  | Epoch_reply of { epoch : int }
+      (** [EPOCH <e>], the reply to {!Coord_epoch}: the epoch now stamped on
+          the connection (a refused announce is [ERR FENCED <current>]) *)
+  | Sessions_reply of session_desc list
+      (** [SESSIONS <k> (<name> <family> <eps> <delta> <log2u>){k}], the
+          reply to {!Sessions} *)
+  | Lease_reply of { epoch : int; primary : bool }
+      (** [LEASE epoch=<e> role=primary|standby], the reply to {!Lease} *)
   | Error_reply of error
 
 val session_name_ok : string -> bool

@@ -15,6 +15,13 @@ type session = {
          until the next mutation: a coordinator polling EST (or WIN at a
          stable cutoff bucket) on a quiescent shard pays the snapshot encode
          once, not per gather *)
+  pending : (float option * string list) Queue.t;
+      (* the replica log: ADDL batches (frame ts, payloads) acked but not
+         yet absorbed into the estimator.  Every read materialises it
+         first, so answers are always as fresh as the acks; element
+         timestamps are the logged frame timestamps, so WIN semantics are
+         byte-identical to the eager path *)
+  mutable pending_n : int;
 }
 
 (* The table is striped: a session name hashes to one segment, whose mutex
@@ -77,6 +84,40 @@ let with_session t name f =
   | None -> Error (Protocol.Unknown_session name)
   | Some s -> with_mutex s.slock (fun () -> f s)
 
+(* Absorb the replica log into the estimator (call with [slock] held).
+   Malformed payloads only bump [parse_rejects]: the eager copy already
+   reported the parse error to the sender, the log replica's job is just
+   to not lose the well-formed ones. *)
+let materialize s =
+  if s.pending_n > 0 then begin
+    s.wire_cache <- None;
+    Queue.iter
+      (fun (ts, payloads) ->
+        List.iter
+          (fun payload ->
+            s.adds <- s.adds + 1;
+            match Families.add ?ts s.runner ~lineno:s.adds payload with
+            | () -> ()
+            | exception Parsers.Parse_error _ ->
+              s.parse_rejects <- s.parse_rejects + 1)
+          payloads)
+      s.pending;
+    Queue.clear s.pending;
+    s.pending_n <- 0
+  end
+
+(* Memory backstop for the replica log: past this many logged payloads the
+   session absorbs them inline, trading the deferred-CPU win for a bound. *)
+let max_pending = 131_072
+
+let add_log ?ts t ~name ~payloads =
+  with_session t name (fun s ->
+      let k = List.length payloads in
+      Queue.push (ts, payloads) s.pending;
+      s.pending_n <- s.pending_n + k;
+      if s.pending_n > max_pending then materialize s;
+      Ok k)
+
 let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
   let seg = segment_of t name in
   with_mutex seg.seg_lock (fun () ->
@@ -94,6 +135,8 @@ let open_session t ~name ~family ~epsilon ~delta ~log2_universe =
               last_estimate = 0.0;
               merges = 0;
               wire_cache = None;
+              pending = Queue.create ();
+              pending_n = 0;
             };
           Ok ())
 
@@ -129,6 +172,7 @@ let add_batch ?ts t ~name ~payloads =
 
 let estimate t ~name =
   with_session t name (fun s ->
+      materialize s;
       let v = Families.estimate s.runner in
       s.last_estimate <- v;
       Ok v)
@@ -139,11 +183,13 @@ let estimate t ~name =
    full-stream STATS figure, so WIN leaves it alone. *)
 let win t ~name ~seconds ~at =
   with_session t name (fun s ->
+      materialize s;
       let at = match at with Some a -> a | None -> now t in
       Ok (Families.estimate_window s.runner ~cutoff:(at -. seconds)))
 
 let stats t ~name =
   with_session t name (fun s ->
+      materialize s;
       Ok
         {
           Protocol.family = Families.family_token s.runner;
@@ -165,6 +211,7 @@ let close t ~name =
       else Error (Protocol.Unknown_session name))
 
 let snapshot_session ?fsync s ~path =
+  materialize s;
   match Io.save ?fsync ~path (Families.to_io ~merges:s.merges s.runner) with
   | () -> Ok ()
   | exception Sys_error msg -> Error (Protocol.Io_error msg)
@@ -175,6 +222,7 @@ let snapshot_to t ~name ~path =
 
 let fetch ?cutoff t ~name =
   with_session t name (fun s ->
+      materialize s;
       match s.wire_cache with
       | Some (key, encoded) when key = cutoff -> Ok encoded
       | _ -> (
@@ -188,6 +236,7 @@ let fetch ?cutoff t ~name =
 
 let merge_in t ~name ~encoded =
   with_session t name (fun s ->
+      materialize s;
       match Io.of_wire encoded with
       | Error msg -> Error (Protocol.Bad_params msg)
       | Ok io -> (
@@ -233,6 +282,7 @@ let expr_query ?w t ~expr ~m =
       | name :: rest -> (
         let copied =
           with_session t name (fun s ->
+              materialize s;
               Result.map_error
                 (fun msg -> Protocol.Server_error msg)
                 (match cutoff with
@@ -280,6 +330,8 @@ let restore_session t ~name ~path =
             last_estimate = 0.0;
             merges = io.Io.merges;
             wire_cache = None;
+            pending = Queue.create ();
+            pending_n = 0;
           };
         Ok ())
 
@@ -305,6 +357,25 @@ let all_sessions_locked t =
 
 let names t =
   lock_all t (fun () -> List.map fst (all_sessions_locked t) |> List.sort compare)
+
+(* The [SESSIONS] enumeration: every open session with its creation triple,
+   sorted by name.  This is what makes workers the durable truth for a
+   warm-standby coordinator — takeover re-registers routing entries from
+   here instead of from a coordinator journal. *)
+let session_descs t =
+  lock_all t (fun () ->
+      all_sessions_locked t
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (name, s) ->
+             with_mutex s.slock (fun () ->
+                 let epsilon, delta, log2u = Families.params s.runner in
+                 {
+                   Protocol.sd_name = name;
+                   sd_family = Families.family_token s.runner;
+                   sd_epsilon = epsilon;
+                   sd_delta = delta;
+                   sd_log2_universe = log2u;
+                 })))
 
 let spool_path dir name = Filename.concat dir (name ^ ".snap")
 
@@ -353,13 +424,28 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   | Protocol.Ping -> Protocol.Pong
   (* The registry has no process identity; the TCP server intercepts HELLO
      and answers with its real generation.  0 = "not generation-fenced". *)
-  | Protocol.Hello -> Protocol.Hello_reply { generation = 0 }
+  | Protocol.Hello -> Protocol.Hello_reply { generation = 0; epoch = 0 }
   (* Process-wide figures (conns, domains, WAL queue) live in the server,
      not the session registry; the TCP server intercepts bare STATS just
      like HELLO.  A registry reached directly has nothing to report. *)
   | Protocol.Server_stats ->
     Protocol.Server_stats_reply
-      { conns = 0; shed = 0; dispatched = []; wal_queue = 0; wal_last_group = 0; wal_groups = 0 }
+      {
+        conns = 0;
+        shed = 0;
+        dispatched = [];
+        wal_queue = 0;
+        wal_last_group = 0;
+        wal_groups = 0;
+        shard_fresh = [];
+      }
+  (* Epoch fencing is per-connection state, which only the TCP server has;
+     a registry reached directly echoes the announce unfenced. *)
+  | Protocol.Coord_epoch { epoch } -> Protocol.Epoch_reply { epoch }
+  | Protocol.Sessions -> Protocol.Sessions_reply (session_descs t)
+  (* Leases are between coordinators; a plain registry is never a lease
+     target. *)
+  | Protocol.Lease -> Protocol.Error_reply (Protocol.Unknown_command "LEASE")
   | Protocol.Open { session; family; epsilon; delta; log2_universe } ->
     reply
       (Result.map
@@ -372,15 +458,22 @@ let dispatch t (req : Protocol.request) : Protocol.response =
       (Result.map
          (fun (accepted, errors) -> Protocol.Ok_batch { accepted; errors })
          (add_batch ?ts t ~name:session ~payloads))
+  (* Replica-log append: same ack shape as ADDB so coordinator pipelining
+     treats both uniformly; parse errors surface at materialisation. *)
+  | Protocol.Add_log { session; payloads; ts } ->
+    reply
+      (Result.map
+         (fun accepted -> Protocol.Ok_batch { accepted; errors = [] })
+         (add_log ?ts t ~name:session ~payloads))
   | Protocol.Est { session } ->
     reply
       (Result.map
-         (fun value -> Protocol.Estimate { value; degraded = false })
+         (fun value -> Protocol.Estimate { value; degraded = false; stale_shards = [] })
          (estimate t ~name:session))
   | Protocol.Win { session; seconds; at } ->
     reply
       (Result.map
-         (fun value -> Protocol.Estimate { value; degraded = false })
+         (fun value -> Protocol.Estimate { value; degraded = false; stale_shards = [] })
          (win t ~name:session ~seconds ~at))
   | Protocol.Stats { session } ->
     reply (Result.map (fun s -> Protocol.Stats_reply s) (stats t ~name:session))

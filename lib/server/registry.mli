@@ -52,6 +52,17 @@ val add_batch :
     0-based index in the frame with its parse message; payloads after a bad
     one still land.  [Error] only when the session does not exist. *)
 
+val add_log :
+  ?ts:float -> t -> name:string -> payloads:string list -> (int, Protocol.error) result
+(** Append an [ADDL] frame to the session's replica log without touching
+    the estimator: O(1) per frame, acked immediately.  The log is absorbed
+    ("materialised") by the session's next read — EST, WIN, STATS,
+    SNAPSHOT, MERGE, EXPR — or inline past a memory backstop, with element
+    timestamps taken from each logged frame, so answers and window
+    semantics are identical to the eager path.  Parse errors surface as
+    reject-counter bumps at materialisation (the eager replica already
+    reported them to the sender).  Returns the payload count. *)
+
 val estimate : t -> name:string -> (float, Protocol.error) result
 
 val win :

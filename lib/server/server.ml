@@ -20,6 +20,9 @@ type t = {
   restored : (string * (unit, string) result) list;
   wal : (Wal.t * wal_config) option;
   generation : int;
+  coord_epoch : int Atomic.t;
+      (* highest coordinator fencing epoch ever announced on any connection;
+         a mutation from a connection stamped lower is refused (FENCED) *)
   mutable checkpointing : bool; (* one checkpoint at a time; extras skip *)
   mutable ckpt_thread : Thread.t option; (* joined before the final spool *)
   mutable evg : Evgroup.t option; (* set once by [create]; never unset *)
@@ -71,6 +74,8 @@ let resolve_ts ~clock = function
     Protocol.Add { r with ts = Some (clock ()) }
   | Protocol.Add_batch ({ ts = None; _ } as r) ->
     Protocol.Add_batch { r with ts = Some (clock ()) }
+  | Protocol.Add_log ({ ts = None; _ } as r) ->
+    Protocol.Add_log { r with ts = Some (clock ()) }
   | req -> req
 
 (* WAL recovery: load the last checkpoint (non-consuming — it must survive
@@ -113,12 +118,13 @@ let recover_from_wal registry w =
    EST would answer.  Reads, probes and server-side SNAPSHOT (its own file
    is the durability) stay out. *)
 let journaled_request = function
-  | Protocol.Open _ | Protocol.Add _ | Protocol.Add_batch _ | Protocol.Merge _
-  | Protocol.Restore _ | Protocol.Close _ ->
+  | Protocol.Open _ | Protocol.Add _ | Protocol.Add_batch _ | Protocol.Add_log _
+  | Protocol.Merge _ | Protocol.Restore _ | Protocol.Close _ ->
     true
   | Protocol.Est _ | Protocol.Win _ | Protocol.Stats _ | Protocol.Snapshot _
   | Protocol.Fetch _ | Protocol.Expr _ | Protocol.Ping | Protocol.Hello
-  | Protocol.Server_stats ->
+  | Protocol.Server_stats | Protocol.Coord_epoch _ | Protocol.Sessions
+  | Protocol.Lease ->
     false
 
 let mutation_succeeded = function
@@ -184,7 +190,25 @@ let server_stats t =
       (s.Wal.queue_depth, s.Wal.last_group, s.Wal.groups)
     | None -> (0, 0, 0)
   in
-  Protocol.Server_stats_reply { conns; shed; dispatched; wal_queue; wal_last_group; wal_groups }
+  Protocol.Server_stats_reply
+    { conns; shed; dispatched; wal_queue; wal_last_group; wal_groups; shard_fresh = [] }
+
+(* Highest-epoch-wins CAS: concurrent announces from several domains race,
+   the max survives. *)
+let rec bump_epoch cell e =
+  let cur = Atomic.get cell in
+  if e <= cur then cur
+  else if Atomic.compare_and_set cell cur e then e
+  else bump_epoch cell e
+
+(* The deposed-primary write fence.  A connection that announced an epoch
+   which has since been overtaken gets its mutations refused; connections
+   that never announced (direct clients, pre-failover coordinators) are
+   never fenced. *)
+let fenced t (ctx : Evloop.ctx) req =
+  ctx.Evloop.epoch > 0
+  && ctx.Evloop.epoch < Atomic.get t.coord_epoch
+  && journaled_request req
 
 (* The per-request seam the event loop dispatches into.  [raw] is the exact
    v2 wire frame when there is one: if the request needed no server-side
@@ -198,7 +222,7 @@ let server_stats t =
    record's bytes (and, under fsync always, the fsync) are behind it — the
    same journal-before-reply invariant, minus the per-record disk stall on
    the event-loop thread. *)
-let handle_request t ~proto ~raw ~body =
+let handle_request t ~ctx ~proto ~raw ~body =
   let render = Protocol.render_response in
   let parsed =
     match proto with
@@ -207,8 +231,26 @@ let handle_request t ~proto ~raw ~body =
   in
   match parsed with
   | Error e -> Evloop.Reply (render (Protocol.Error_reply e))
-  | Ok Protocol.Hello -> Evloop.Reply (render (Protocol.Hello_reply { generation = t.generation }))
+  | Ok Protocol.Hello ->
+    Evloop.Reply
+      (render
+         (Protocol.Hello_reply
+            { generation = t.generation; epoch = Atomic.get t.coord_epoch }))
   | Ok Protocol.Server_stats -> Evloop.Reply (render (server_stats t))
+  | Ok (Protocol.Coord_epoch { epoch }) ->
+    (* Announce: stamp the connection, highest epoch wins process-wide.  An
+       announce already overtaken is refused — the deposed primary learns it
+       is fenced at the handshake, before staging any writes. *)
+    let cur = Atomic.get t.coord_epoch in
+    if epoch < cur then Evloop.Reply (render (Protocol.Error_reply (Protocol.Fenced cur)))
+    else begin
+      let now = bump_epoch t.coord_epoch epoch in
+      ctx.Evloop.epoch <- epoch;
+      Evloop.Reply (render (Protocol.Epoch_reply { epoch = now }))
+    end
+  | Ok req when fenced t ctx req ->
+    Evloop.Reply
+      (render (Protocol.Error_reply (Protocol.Fenced (Atomic.get t.coord_epoch))))
   | Ok req -> (
     let resolved = resolve_ts ~clock:t.clock req in
     match Registry.dispatch t.registry resolved with
@@ -313,6 +355,7 @@ let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ?max_conns ?d
       restored;
       wal;
       generation;
+      coord_epoch = Atomic.make 0;
       checkpointing = false;
       ckpt_thread = None;
       evg = None;
@@ -320,7 +363,7 @@ let create ?(host = "127.0.0.1") ?(clock = Unix.gettimeofday) ?wal ?max_conns ?d
   in
   let g =
     Evgroup.create ?max_conns ?domains ~listen_fd:fd
-      ~handler:(fun ~proto ~raw ~body -> handle_request t ~proto ~raw ~body)
+      ~handler:(fun ~ctx ~proto ~raw ~body -> handle_request t ~ctx ~proto ~raw ~body)
       ~on_bad_frame:(fun reason ->
         Some (Protocol.render_response (Protocol.Error_reply (Protocol.Io_error reason))))
       ()
@@ -338,6 +381,7 @@ let port t = t.port
 let registry t = t.registry
 let restored t = t.restored
 let generation t = t.generation
+let coord_epoch t = Atomic.get t.coord_epoch
 let evg_exn t = match t.evg with Some g -> g | None -> assert false
 
 let request_stop t =

@@ -32,6 +32,34 @@ let sample t rng =
     t.solved.Gf2.null_basis;
   x
 
+(* particular + every subset of the null basis, subsets walked with a
+   binary carry so no counter can overflow. *)
+let iter_elements =
+  Some
+    (fun t f ->
+      let basis = t.solved.Gf2.null_basis in
+      let k = Array.length basis in
+      let bits = Array.make k false in
+      let rec bump i =
+        i >= 0
+        &&
+        if not bits.(i) then begin
+          bits.(i) <- true;
+          true
+        end
+        else begin
+          bits.(i) <- false;
+          bump (i - 1)
+        end
+      in
+      let continue = ref true in
+      while !continue do
+        let x = Bitvec.copy t.solved.Gf2.particular in
+        Array.iteri (fun i b -> if bits.(i) then Bitvec.xor_inplace x b) basis;
+        f x;
+        continue := bump (k - 1)
+      done)
+
 let equal_elt = Bitvec.equal
 let hash_elt = Bitvec.hash
 let pp_elt = Bitvec.pp

@@ -39,6 +39,31 @@ let sample c rng =
   let positions = Comb.floyd_sample rng ~n:(nbits c) ~k:c.strength in
   { positions; pattern = Bitvec.extract c.vector positions }
 
+(* Lexicographic walk over the k-combinations of [0, n). *)
+let iter_elements =
+  Some
+    (fun c f ->
+      let n = nbits c and k = c.strength in
+      let pos = Array.init k Fun.id in
+      let rec bump i =
+        i >= 0
+        &&
+        if pos.(i) < n - k + i then begin
+          pos.(i) <- pos.(i) + 1;
+          for j = i + 1 to k - 1 do
+            pos.(j) <- pos.(j - 1) + 1
+          done;
+          true
+        end
+        else bump (i - 1)
+      in
+      let continue = ref true in
+      while !continue do
+        let positions = Array.copy pos in
+        f { positions; pattern = Bitvec.extract c.vector positions };
+        continue := bump (k - 1)
+      done)
+
 let equal_elt a b =
   a.positions = b.positions && Bitvec.equal a.pattern b.pattern
 

@@ -35,6 +35,41 @@ let sample t rng =
   Array.iter (fun { var; positive } -> Bitvec.set x var positive) t.lits;
   x
 
+(* All satisfying assignments: fixed literals pinned, the free variables
+   counted through in binary (carry walk, no 2^k counter to overflow).
+   Callers bound |S| before iterating, so 2^(nvars - width) terminations
+   are their concern, not ours. *)
+let iter_elements =
+  Some
+    (fun t f ->
+      let fixed = Array.make t.nvars false in
+      Array.iter (fun { var; _ } -> fixed.(var) <- true) t.lits;
+      let free =
+        Array.of_list
+          (List.filter (fun v -> not fixed.(v)) (List.init t.nvars Fun.id))
+      in
+      let bits = Array.make (Array.length free) false in
+      let rec bump i =
+        i >= 0
+        &&
+        if not bits.(i) then begin
+          bits.(i) <- true;
+          true
+        end
+        else begin
+          bits.(i) <- false;
+          bump (i - 1)
+        end
+      in
+      let continue = ref true in
+      while !continue do
+        let x = Bitvec.create ~width:t.nvars in
+        Array.iter (fun { var; positive } -> Bitvec.set x var positive) t.lits;
+        Array.iteri (fun i var -> Bitvec.set x var bits.(i)) free;
+        f x;
+        continue := bump (Array.length free - 1)
+      done)
+
 let equal_elt = Bitvec.equal
 let hash_elt = Bitvec.hash
 let pp_elt = Bitvec.pp

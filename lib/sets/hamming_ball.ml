@@ -45,6 +45,41 @@ let sample t rng =
   Array.iter (fun i -> Bitvec.set x i (not (Bitvec.get x i))) flips;
   x
 
+(* Weight shells 0..radius, each shell a lexicographic walk over the
+   w-subsets of flip positions. *)
+let iter_elements =
+  Some
+    (fun t f ->
+      let n = nbits t in
+      let shell w =
+        if w = 0 then f (Bitvec.copy t.center)
+        else begin
+          let pos = Array.init w Fun.id in
+          let rec bump i =
+            i >= 0
+            &&
+            if pos.(i) < n - w + i then begin
+              pos.(i) <- pos.(i) + 1;
+              for j = i + 1 to w - 1 do
+                pos.(j) <- pos.(j - 1) + 1
+              done;
+              true
+            end
+            else bump (i - 1)
+          in
+          let continue = ref true in
+          while !continue do
+            let x = Bitvec.copy t.center in
+            Array.iter (fun i -> Bitvec.set x i (not (Bitvec.get x i))) pos;
+            f x;
+            continue := bump (w - 1)
+          done
+        end
+      in
+      for w = 0 to t.radius do
+        shell w
+      done)
+
 let equal_elt = Bitvec.equal
 let hash_elt = Bitvec.hash
 let pp_elt = Bitvec.pp

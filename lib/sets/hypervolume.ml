@@ -12,6 +12,7 @@ let dominates a b = Rectangle.contains_box a b
 let cardinality = Rectangle.cardinality
 let mem = Rectangle.mem
 let sample = Rectangle.sample
+let iter_elements = Rectangle.iter_elements
 let equal_elt = Rectangle.equal_elt
 let hash_elt = Rectangle.hash_elt
 let pp_elt = Rectangle.pp_elt

@@ -59,6 +59,27 @@ let sample_dp dp weights bound rng =
 
 let sample t rng = sample_dp t.dp t.weights t.bound rng
 
+(* Include/exclude DFS.  Weights are positive, so every skip branch stays
+   feasible and the leaves are exactly the |S| assignments — no pruning
+   table needed beyond the running budget. *)
+let iter_elements =
+  Some
+    (fun t f ->
+      let n = nvars t in
+      let x = Bitvec.create ~width:n in
+      let rec go i w =
+        if i >= n then f (Bitvec.copy x)
+        else begin
+          go (i + 1) w;
+          if t.weights.(i) <= w then begin
+            Bitvec.set x i true;
+            go (i + 1) (w - t.weights.(i));
+            Bitvec.set x i false
+          end
+        end
+      in
+      go 0 t.bound)
+
 let equal_elt = Bitvec.equal
 let hash_elt = Bitvec.hash
 let pp_elt = Bitvec.pp

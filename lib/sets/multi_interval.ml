@@ -67,6 +67,15 @@ let sample t rng =
   let before = if !lo = 0 then 0 else t.cumulative.(!lo - 1) in
   t.los.(!lo) + (pos - before)
 
+let iter_elements =
+  Some
+    (fun t f ->
+      for i = 0 to pieces t - 1 do
+        for x = t.los.(i) to t.his.(i) do
+          f x
+        done
+      done)
+
 let equal_elt = Int.equal
 let hash_elt = Hashtbl.hash
 let pp_elt = Format.pp_print_int

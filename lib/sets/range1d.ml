@@ -16,6 +16,13 @@ let cardinality r = Bigint.of_int (length r)
 let mem r x = r.lo <= x && x <= r.hi
 let sample r rng = Rng.int_in_range rng ~lo:r.lo ~hi:r.hi
 
+let iter_elements =
+  Some
+    (fun r f ->
+      for x = r.lo to r.hi do
+        f x
+      done)
+
 let equal_elt = Int.equal
 let hash_elt = Hashtbl.hash
 let pp_elt = Format.pp_print_int

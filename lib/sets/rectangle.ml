@@ -39,6 +39,32 @@ let mem r pt =
 let sample r rng =
   Array.init (dim r) (fun i -> Rng.int_in_range rng ~lo:r.lo.(i) ~hi:r.hi.(i))
 
+(* Walk the integer grid with a mixed-radix counter, last dimension
+   fastest.  Each visit hands out a fresh array: callers keep elements
+   (hash-table keys), so sharing the counter would alias them all. *)
+let iter_elements =
+  Some
+    (fun r f ->
+      let d = dim r in
+      let pt = Array.copy r.lo in
+      let rec bump i =
+        i >= 0
+        &&
+        if pt.(i) < r.hi.(i) then begin
+          pt.(i) <- pt.(i) + 1;
+          true
+        end
+        else begin
+          pt.(i) <- r.lo.(i);
+          bump (i - 1)
+        end
+      in
+      let continue = ref true in
+      while !continue do
+        f (Array.copy pt);
+        continue := bump (d - 1)
+      done)
+
 let contains_box outer inner =
   dim outer = dim inner
   &&

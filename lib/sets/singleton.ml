@@ -11,6 +11,7 @@ let value x = x
 let cardinality _ = Bigint.one
 let mem s x = s = x
 let sample s _rng = s
+let iter_elements = Some (fun s f -> f s)
 let equal_elt = Int.equal
 let hash_elt = Hashtbl.hash
 let pp_elt = Format.pp_print_int

@@ -151,10 +151,10 @@ let run_seed ?(proto = Rpc.V1) ~seed ~write_cfg ~read_cfg ~expect_faults () =
     else begin
       Coordinator.flush coord;
       match Coordinator.estimate coord ~name with
-      | Ok (est, false) when est = tr -> ()
+      | Ok (est, false, _) when est = tr -> ()
       | result ->
         (match result with
-        | Ok (est, _) when est > tr +. 0.5 ->
+        | Ok (est, _, _) when est > tr +. 0.5 ->
           Alcotest.failf
             "seed %d: estimate %.0f exceeds exact truth %.0f — an invented element"
             seed est tr

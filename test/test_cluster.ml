@@ -96,7 +96,7 @@ let test_scatter_gather_failover () =
   List.iter
     (fun b -> ok (Coordinator.add coord ~name:"e2e" ~payload:(payload_of b)))
     stream;
-  let est, degraded = ok (Coordinator.estimate coord ~name:"e2e") in
+  let est, degraded, _ = ok (Coordinator.estimate coord ~name:"e2e") in
   Alcotest.(check bool) "not degraded with all workers up" false degraded;
   check_close "phase 1" est (truth first);
 
@@ -110,7 +110,7 @@ let test_scatter_gather_failover () =
   List.iter
     (fun b -> ok (Coordinator.add coord ~name:"e2e" ~payload:(payload_of b)))
     (Workload.Orders.bursty ~copies:10 rest);
-  let est2, degraded2 = ok (Coordinator.estimate coord ~name:"e2e") in
+  let est2, degraded2, _ = ok (Coordinator.estimate coord ~name:"e2e") in
   Alcotest.(check bool) "degraded after losing a worker" true degraded2;
   check_close "phase 2" est2 (truth (first @ rest));
 
@@ -147,7 +147,7 @@ let test_scatter_gather_failover () =
   rm_rf (spool 3);
   let token = String.sub sketch 7 (String.length sketch - 7) in
   ok (Coordinator.merge_in coord ~name:"e2e" ~encoded:token);
-  let est3, _ = ok (Coordinator.estimate coord ~name:"e2e") in
+  let est3, _, _ = ok (Coordinator.estimate coord ~name:"e2e") in
   check_close "external sketch folded in" est3 (truth (first @ rest @ extra));
 
   ok (Coordinator.close coord ~name:"e2e");
@@ -184,14 +184,14 @@ let test_batched_kill_no_loss () =
     first;
   (* the gather inside estimate acks every frame and stores each worker's
      last good sketch — the state the kill must not claw back *)
-  let est1, degraded1 = ok (Coordinator.estimate coord ~name:"nl") in
+  let est1, degraded1, _ = ok (Coordinator.estimate coord ~name:"nl") in
   Alcotest.(check bool) "clean before the kill" false degraded1;
   Alcotest.(check (float 0.0)) "exact union before the kill" (truth first) est1;
   stop_worker (List.nth workers 0);
   List.iter
     (fun b -> ok (Coordinator.add coord ~name:"nl" ~payload:(payload_of b)))
     rest;
-  let est2, degraded2 = ok (Coordinator.estimate coord ~name:"nl") in
+  let est2, degraded2, _ = ok (Coordinator.estimate coord ~name:"nl") in
   Alcotest.(check bool) "degraded after the kill" true degraded2;
   Alcotest.(check (float 0.0)) "no acked set lost" (truth (first @ rest)) est2;
   ignore (Coordinator.close coord ~name:"nl");
@@ -248,22 +248,22 @@ let test_win_cluster_kill () =
       bs
   in
   ingest ~t0:10.0 first;
-  let est1, degraded1 = ok (Coordinator.estimate coord ~name:"w") in
+  let est1, degraded1, _ = ok (Coordinator.estimate coord ~name:"w") in
   Alcotest.(check bool) "clean before the kill" false degraded1;
   Alcotest.(check (float 0.0)) "full gather exact" (truth first) est1;
   ingest ~t0:100.0 rest;
   (* one cutoff, three shards: the suffix union is exact only if every
      worker expired against the same instant *)
-  let w1, d1 = ok (Coordinator.win coord ~name:"w" ~seconds:60.0 ~at:(Some 130.0)) in
+  let w1, d1, _ = ok (Coordinator.win coord ~name:"w" ~seconds:60.0 ~at:(Some 130.0)) in
   Alcotest.(check bool) "windowed gather clean" false d1;
   Alcotest.(check (float 0.0)) "WIN 60 = exact suffix union" (truth rest) w1;
-  let w2, _ = ok (Coordinator.win coord ~name:"w" ~seconds:125.0 ~at:(Some 130.0)) in
+  let w2, _, _ = ok (Coordinator.win coord ~name:"w" ~seconds:125.0 ~at:(Some 130.0)) in
   Alcotest.(check (float 0.0)) "WIN covering both bands" (truth (first @ rest)) w2;
-  let w3, _ = ok (Coordinator.win coord ~name:"w" ~seconds:infinity ~at:None) in
+  let w3, _, _ = ok (Coordinator.win coord ~name:"w" ~seconds:infinity ~at:None) in
   Alcotest.(check (float 0.0)) "WIN inf = EST" est1 est1;
   Alcotest.(check (float 0.0)) "WIN inf folds everything" (truth (first @ rest)) w3;
   (* repeated query at the same instant is stable: same cutoff, same memo *)
-  let w1', _ = ok (Coordinator.win coord ~name:"w" ~seconds:60.0 ~at:(Some 130.0)) in
+  let w1', _, _ = ok (Coordinator.win coord ~name:"w" ~seconds:60.0 ~at:(Some 130.0)) in
   Alcotest.(check (float 0.0)) "repeat WIN identical" w1 w1';
   (* kill a worker mid-ingest of the third band *)
   let half = List.filteri (fun i _ -> i < 10) late in
@@ -273,7 +273,7 @@ let test_win_cluster_kill () =
      the victim's acked sets survive only as the coordinator's last good
      sketch — which this estimate stores (windowed gathers never do) *)
   ignore (ok (Coordinator.estimate coord ~name:"w"));
-  let whalf, dh = ok (Coordinator.win coord ~name:"w" ~seconds:80.0 ~at:(Some 240.0)) in
+  let whalf, dh, _ = ok (Coordinator.win coord ~name:"w" ~seconds:80.0 ~at:(Some 240.0)) in
   Alcotest.(check bool) "clean mid-band gather" false dh;
   Alcotest.(check (float 0.0)) "WIN mid-band exact" (truth half) whalf;
   stop_worker (List.nth workers 1);
@@ -286,14 +286,14 @@ let test_win_cluster_kill () =
       (fun () ->
         Coordinator.flush coord;
         match Coordinator.win coord ~name:"w" ~seconds:80.0 ~at:(Some 240.0) with
-        | Ok (v, true) when v = truth late -> Some v
+        | Ok (v, true, _) when v = truth late -> Some v
         | Ok _ | Error _ -> None)
   in
   (* cutoff 160: only the [late] band survives.  The victim's fallback is
      its last good FULL sketch (first @ rest @ half) — were it not
      re-windowed, [wd] would overshoot by the victim's old shard *)
   Alcotest.(check (float 0.0)) "DEGRADED answer honors the cutoff" (truth late) wd;
-  let wall, degraded_all =
+  let wall, degraded_all, _ =
     ok (Coordinator.win coord ~name:"w" ~seconds:infinity ~at:None)
   in
   Alcotest.(check bool) "full window still degraded" true degraded_all;
@@ -342,13 +342,13 @@ let test_slow_workers_share_one_deadline () =
     (fun b -> ok (Coordinator.add coord ~name:"slow" ~payload:(payload_of b)))
     boxes;
   (* the clean gather stores every worker's sketch as its last good *)
-  let est1, degraded1 = ok (Coordinator.estimate coord ~name:"slow") in
+  let est1, degraded1, _ = ok (Coordinator.estimate coord ~name:"slow") in
   Alcotest.(check bool) "clean gather not degraded" false degraded1;
   Alcotest.(check (float 0.0)) "clean gather exact" (truth boxes) est1;
 
   Atomic.set slow true;
   let t0 = Unix.gettimeofday () in
-  let est2, degraded2 = ok (Coordinator.estimate coord ~name:"slow") in
+  let est2, degraded2, _ = ok (Coordinator.estimate coord ~name:"slow") in
   let elapsed = Unix.gettimeofday () -. t0 in
   Atomic.set slow false;
   Alcotest.(check bool) "degraded with slow workers" true degraded2;
@@ -364,7 +364,7 @@ let test_slow_workers_share_one_deadline () =
      loop stays inside its 1.0s sleeping dispatch until the sleep ends —
      wait it out (plus the 0.1s quarantine margin) before re-querying. *)
   Thread.delay (max 0.1 (1.0 -. elapsed +. 0.2));
-  let est3, degraded3 = ok (Coordinator.estimate coord ~name:"slow") in
+  let est3, degraded3, _ = ok (Coordinator.estimate coord ~name:"slow") in
   Alcotest.(check bool) "recovered after quarantine" false degraded3;
   Alcotest.(check (float 0.0)) "recovered exact" (truth boxes) est3;
 
@@ -375,7 +375,7 @@ let test_slow_workers_share_one_deadline () =
   ok
     (Coordinator.open_session coord1 ~name:"slow" ~family:P.Rect ~epsilon:0.3
        ~delta:0.2 ~log2_universe:17.0);
-  let est4, _ = ok (Coordinator.estimate coord1 ~name:"slow") in
+  let est4, _, _ = ok (Coordinator.estimate coord1 ~name:"slow") in
   Alcotest.(check (float 0.0)) "serial fold = parallel fold" est2 est4;
   Coordinator.shutdown coord1;
   Coordinator.shutdown coord;
@@ -519,7 +519,7 @@ let test_expr_cluster () =
     Alcotest.(check bool) "still clean after C completes" false degraded
   | P.Expr_ast.Low_support _, _ -> Alcotest.fail "C complete: support vanished");
   stop_worker (List.nth workers 0);
-  let _, est_degraded = ok (Coordinator.estimate coord ~name:"A") in
+  let _, est_degraded, _ = ok (Coordinator.estimate coord ~name:"A") in
   Alcotest.(check bool) "EST degraded after the kill" true est_degraded;
   (match ok (Coordinator.expr_query coord ~expr:e_deep ~m:(Some 4096)) with
   | P.Expr_ast.Estimate { value; _ }, degraded ->
@@ -721,8 +721,8 @@ let test_kill9_wal_recovery () =
     wait_for ~timeout:10.0 "cluster never produced a clean gather" (fun () ->
         Coordinator.flush coord;
         match Coordinator.estimate coord ~name:"crash" with
-        | Ok (est, false) -> Some est
-        | Ok (_, true) | Error _ -> None)
+        | Ok (est, false, _) -> Some est
+        | Ok (_, true, _) | Error _ -> None)
   in
   Alcotest.(check (float 0.0)) "kill -9 lost no acknowledged set"
     (truth (first @ rest)) est;

@@ -75,6 +75,18 @@ let roundtrip (session, payloads, ts) =
   | Ok _ -> QCheck.Test.fail_report "decoded to a different request"
   | Error e -> QCheck.Test.fail_report (P.render_response (P.Error_reply e))
 
+let roundtrip_log (session, payloads, ts) =
+  (* the replica-log twin rides the same binary record under its own tag *)
+  let req = P.Add_log { session; payloads; ts } in
+  let body = P.encode_request_v2 req in
+  if body.[0] <> '\x01' then QCheck.Test.fail_report "missing binary tag";
+  if body.[1] <> 'L' then QCheck.Test.fail_report "ADDL must carry the L tag";
+  match P.parse_frame_body body with
+  | Ok (P.Add_log b) ->
+    b.session = session && b.payloads = payloads && b.ts = ts
+  | Ok _ -> QCheck.Test.fail_report "decoded to a different request"
+  | Error e -> QCheck.Test.fail_report (P.render_response (P.Error_reply e))
+
 let non_batch_falls_back () =
   (* every non-ADDB request encodes as its v1 text line, so a v2 stream is
      mixed text/binary framed bodies *)
@@ -229,6 +241,7 @@ let suite =
   [
     Alcotest.test_case "crc32 check vector" `Quick test_crc_vector;
     qcheck_case "binary ADDB round-trips (\\n, %, 0xFF payloads)" batch_arb roundtrip;
+    qcheck_case "binary ADDL round-trips under the L tag" batch_arb roundtrip_log;
     Alcotest.test_case "non-batch requests encode as text" `Quick non_batch_falls_back;
     Alcotest.test_case "truncated binary body rejected at every cut" `Quick
       test_truncated_binary_rejected;

@@ -2,6 +2,8 @@ let () =
   (* a re-exec'd kill -9 victim never reaches Alcotest: it serves until
      SIGKILLed (see Test_cluster.fork_wal_worker) *)
   Test_cluster.maybe_forked_wal_worker ();
+  (* same re-exec diversion for the coordinator kill -9 victim *)
+  Test_failover.maybe_forked_coordinator ();
   Alcotest.run "delphic"
     [
       ("rng", Test_rng.suite);
@@ -38,6 +40,7 @@ let () =
       ("wal", Test_wal.suite);
       ("server", Test_server.suite);
       ("cluster", Test_cluster.suite);
+      ("failover", Test_failover.suite);
       ("chaos", Test_chaos.suite);
       ("mt", Test_mt.suite);
       ("edge-cases", Test_edge_cases.suite);

@@ -37,7 +37,7 @@ let conn port =
     Rpc.connect ~proto:Rpc.V1 ~host:"127.0.0.1" ~port ~timeout:30.0 ()
   with
   | Ok c -> c
-  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Error msg -> Alcotest.failf "connect: %s" (Rpc.describe_connect_error msg)
 
 let call c req =
   match Rpc.call c req with
@@ -186,6 +186,7 @@ let test_stats_verb () =
            wal_queue = 5;
            wal_last_group = 16;
            wal_groups = 9;
+           shard_fresh = [];
          })
   in
   (match P.parse_response rendered with

@@ -63,6 +63,9 @@ let test_parse_requests () =
   Alcotest.check request "addb unarmors each token"
     (P.Add_batch { session = "s1"; payloads = [ "0 9 0 9"; "5 14 0 9" ]; ts = None })
     (parse_ok "ADDB s1 2 0%209%200%209 5%2014%200%209");
+  Alcotest.check request "addl is addb's replica-log twin"
+    (P.Add_log { session = "s1"; payloads = [ "0 9 0 9"; "5 14 0 9" ]; ts = None })
+    (parse_ok "ADDL s1 2 0%209%200%209 5%2014%200%209");
   Alcotest.check request "est" (P.Est { session = "s1" }) (parse_ok "EST s1");
   Alcotest.check request "stats (case, cr)"
     (P.Stats { session = "s1" })
@@ -109,6 +112,9 @@ let test_parse_windowed_requests () =
   Alcotest.check request "addb with timestamp"
     (P.Add_batch { session = "s1"; payloads = [ "0 9 0 9" ]; ts = Some 2.5 })
     (parse_ok "ADDB s1 t=2.5 1 0%209%200%209");
+  Alcotest.check request "addl with timestamp"
+    (P.Add_log { session = "s1"; payloads = [ "0 9 0 9" ]; ts = Some 2.5 })
+    (parse_ok "ADDL s1 t=2.5 1 0%209%200%209");
   Alcotest.check request "win"
     (P.Win { session = "s1"; seconds = 60.0; at = None })
     (parse_ok "WIN s1 60");
@@ -263,6 +269,9 @@ let test_request_roundtrip () =
         { session = "s"; payloads = [ "0 9 0 9"; "5 14 0 9"; "50% off\r\n" ];
           ts = None };
       P.Add_batch { session = "s"; payloads = [ "0 9 0 9" ]; ts = Some 1.25e9 };
+      P.Add_log
+        { session = "s"; payloads = [ "0 9 0 9"; "50% off\r\n" ]; ts = None };
+      P.Add_log { session = "s"; payloads = [ "0 9 0 9" ]; ts = Some 1.25e9 };
       P.Win { session = "s"; seconds = 60.0; at = None };
       P.Win { session = "s"; seconds = 0.5; at = Some 1754650000.0 };
       P.Win { session = "s"; seconds = infinity; at = None };
@@ -276,6 +285,9 @@ let test_request_roundtrip () =
       P.Close { session = "s" };
       P.Ping;
       P.Hello;
+      P.Coord_epoch { epoch = 7 };
+      P.Sessions;
+      P.Lease;
       P.Expr
         {
           expr =
@@ -344,6 +356,14 @@ let prop_addb_roundtrip =
       QCheck.assume (List.for_all (fun p -> p <> "") payloads);
       roundtrip_request (P.Add_batch { session; payloads; ts = None }))
 
+let prop_addl_roundtrip =
+  QCheck.Test.make ~name:"ADDL frame roundtrip (random)" ~count:300
+    (QCheck.pair gen_session
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 10) gen_payload))
+    (fun (session, payloads) ->
+      QCheck.assume (List.for_all (fun p -> p <> "") payloads);
+      roundtrip_request (P.Add_log { session; payloads; ts = None }))
+
 let all_errors =
   [
     P.Empty_request;
@@ -359,16 +379,18 @@ let all_errors =
     P.Bad_expr { pos = 7; msg = "unclosed '(' opened at column 1" };
     P.Io_error "no such file";
     P.Server_error "boom";
+    P.Fenced 5;
+    P.Read_only "standby";
   ]
 
 (* The degraded flag and the legacy error spelling have fixed wire forms. *)
 let test_wire_forms () =
   Alcotest.(check string)
     "degraded estimate" "EST 150 DEGRADED"
-    (P.render_response (P.Estimate { value = 150.0; degraded = true }));
+    (P.render_response (P.Estimate { value = 150.0; degraded = true; stale_shards = [] }));
   Alcotest.(check string)
     "clean estimate" "EST 150"
-    (P.render_response (P.Estimate { value = 150.0; degraded = false }));
+    (P.render_response (P.Estimate { value = 150.0; degraded = false; stale_shards = [] }));
   Alcotest.(check string)
     "unsupported verb code" "ERR UNSUPPORTED FROB"
     (P.render_response (P.Error_reply (P.Unknown_command "FROB")));
@@ -403,6 +425,40 @@ let test_wire_forms () =
             quality = P.Probes_sketch;
             degraded = true;
           }));
+  (* replication-era forms: stale ring positions ride the DEGRADED flag,
+     fencing epochs ride HELLO, and both are absent pre-replication *)
+  Alcotest.(check string)
+    "degraded estimate names its stale shards" "EST 150 DEGRADED shards=0,2"
+    (P.render_response
+       (P.Estimate { value = 150.0; degraded = true; stale_shards = [ 0; 2 ] }));
+  Alcotest.(check string)
+    "pre-failover HELLO keeps the bare v1 shape" "HELLO 3"
+    (P.render_response (P.Hello_reply { generation = 3; epoch = 0 }));
+  Alcotest.(check string)
+    "fenced HELLO carries the epoch" "HELLO 3 epoch=9"
+    (P.render_response (P.Hello_reply { generation = 3; epoch = 9 }));
+  Alcotest.(check string)
+    "COORD announces a fencing epoch" "COORD 7"
+    (P.render_request (P.Coord_epoch { epoch = 7 }));
+  Alcotest.(check string)
+    "primary lease" "LEASE epoch=4 role=primary"
+    (P.render_response (P.Lease_reply { epoch = 4; primary = true }));
+  Alcotest.(check string)
+    "fenced write error" "ERR FENCED 9"
+    (P.render_response (P.Error_reply (P.Fenced 9)));
+  (* COORD must reject a non-positive epoch: epoch 0 means "never announced"
+     and can never be claimed over the wire *)
+  (match P.parse_request "COORD 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "COORD 0 must be rejected");
+  (* pre-replication SRVSTATS lines (no shard_fresh=) parse as [] *)
+  (match
+     P.parse_response
+       "SRVSTATS conns=1 shed=0 domains=1 dispatched=4 wal_queue=0 wal_last_group=0 wal_groups=0"
+   with
+  | Ok (P.Server_stats_reply s) ->
+    Alcotest.(check (list int)) "legacy srvstats shard_fresh" [] s.P.shard_fresh
+  | _ -> Alcotest.fail "legacy SRVSTATS line must parse");
   (* pre-cluster STATS lines (no merges=) parse with merges = 0 *)
   match
     P.parse_response
@@ -416,9 +472,10 @@ let test_response_roundtrip () =
     [
       P.Ok_reply None;
       P.Ok_reply (Some "opened s1");
-      P.Estimate { value = 1745152.0; degraded = false };
-      P.Estimate { value = 0.0; degraded = false };
-      P.Estimate { value = 1.5e12; degraded = true };
+      P.Estimate { value = 1745152.0; degraded = false; stale_shards = [] };
+      P.Estimate { value = 0.0; degraded = false; stale_shards = [] };
+      P.Estimate { value = 1.5e12; degraded = true; stale_shards = [] };
+      P.Estimate { value = 42.0; degraded = true; stale_shards = [ 1; 3; 4 ] };
       P.Stats_reply
         {
           family = "cov:14:2";
@@ -441,8 +498,40 @@ let test_response_roundtrip () =
             ];
         };
       P.Pong;
-      P.Hello_reply { generation = 1 };
-      P.Hello_reply { generation = 0x40000000 lor 12345 };
+      P.Hello_reply { generation = 1; epoch = 0 };
+      P.Hello_reply { generation = 0x40000000 lor 12345; epoch = 0 };
+      P.Hello_reply { generation = 17; epoch = 3 };
+      P.Epoch_reply { epoch = 4 };
+      P.Lease_reply { epoch = 4; primary = true };
+      P.Lease_reply { epoch = 2; primary = false };
+      P.Sessions_reply [];
+      P.Sessions_reply
+        [
+          {
+            P.sd_name = "ads.us";
+            sd_family = "rect";
+            sd_epsilon = 0.2;
+            sd_delta = 0.1;
+            sd_log2_universe = 34.0;
+          };
+          {
+            P.sd_name = "ads.eu";
+            sd_family = "cov:14:2";
+            sd_epsilon = 0.05;
+            sd_delta = 0.001;
+            sd_log2_universe = 64.0;
+          };
+        ];
+      P.Server_stats_reply
+        {
+          conns = 3;
+          shed = 0;
+          dispatched = [ 2; 1 ];
+          wal_queue = 0;
+          wal_last_group = 4;
+          wal_groups = 9;
+          shard_fresh = [ 2; 2; 1 ];
+        };
       P.Expr_reply
         {
           value = Some 1745152.0;
@@ -500,7 +589,7 @@ let test_dispatch_lifecycle () =
   (* the registry has no process identity; 0 = unfenced (the TCP server
      overrides this with its real generation) *)
   Alcotest.check response "hello"
-    (P.Hello_reply { generation = 0 })
+    (P.Hello_reply { generation = 0; epoch = 0 })
     (dispatch reg "HELLO");
   Alcotest.check response "open"
     (P.Ok_reply (Some "opened s1"))
@@ -513,7 +602,7 @@ let test_dispatch_lifecycle () =
     (dispatch reg "ADD s1 5 14 0 9");
   (* 10x10 and 10x10 overlapping on a 5x10 strip: 150 points, exact mode. *)
   Alcotest.check response "exact estimate"
-    (P.Estimate { value = 150.0; degraded = false })
+    (P.Estimate { value = 150.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s1");
   Alcotest.check response "bad line keeps session"
     (P.Error_reply (P.Bad_line { line = 3; msg = "not an integer: bogus" }))
@@ -523,7 +612,7 @@ let test_dispatch_lifecycle () =
        (P.Bad_line { line = 4; msg = "dimension 3 but stream started with 2" }))
     (dispatch reg "ADD s1 0 1 0 1 0 1");
   Alcotest.check response "estimate unchanged"
-    (P.Estimate { value = 150.0; degraded = false })
+    (P.Estimate { value = 150.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s1");
   (match dispatch reg "STATS s1" with
   | P.Stats_reply s ->
@@ -550,7 +639,7 @@ let test_dispatch_batch () =
     (P.Ok_batch { accepted = 2; errors = [] })
     (dispatch reg "ADDB s1 2 0%209%200%209 5%2014%200%209");
   Alcotest.check response "estimate after batch"
-    (P.Estimate { value = 150.0; degraded = false })
+    (P.Estimate { value = 150.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s1");
   (* malformed payload mid-batch: index 1 is rejected, indexes 0 and 2 land *)
   Alcotest.check response "frame with one bad payload"
@@ -561,7 +650,7 @@ let test_dispatch_batch () =
             payloads = [ "20 29 0 9"; "bogus 9 0 9"; "30 39 0 9" ];
             ts = None }));
   Alcotest.check response "later payloads landed"
-    (P.Estimate { value = 350.0; degraded = false })
+    (P.Estimate { value = 350.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s1");
   (* two bad payloads: both indexes reported, the frame still half-lands *)
   Alcotest.check response "frame with two bad payloads"
@@ -589,6 +678,42 @@ let test_dispatch_batch () =
   Alcotest.check response "unknown session refuses the whole frame"
     (P.Error_reply (P.Unknown_session "ghost"))
     (dispatch reg "ADDB ghost 1 0%209%200%209")
+
+(* ADDL through the registry: the replica-log path acks each frame without
+   touching the estimator, and the session's next read absorbs the log —
+   same answers and counters as eager ADDB under the same seed. *)
+let test_dispatch_log () =
+  let reg_eager = Registry.create ~seed:53 () in
+  let reg_log = Registry.create ~seed:53 () in
+  ignore (dispatch reg_eager "OPEN s1 rect 0.3 0.2 20");
+  ignore (dispatch reg_log "OPEN s1 rect 0.3 0.2 20");
+  ignore (dispatch reg_eager "ADDB s1 2 0%209%200%209 5%2014%200%209");
+  Alcotest.check response "log frame acked in the ADDB shape"
+    (P.Ok_batch { accepted = 2; errors = [] })
+    (dispatch reg_log "ADDL s1 2 0%209%200%209 5%2014%200%209");
+  Alcotest.check response "read materialises the log"
+    (dispatch reg_eager "EST s1")
+    (dispatch reg_log "EST s1");
+  (* malformed payloads are acked blind — the eager replica already told the
+     sender — and only surface as reject counts at materialisation *)
+  Alcotest.check response "bad payload still acked"
+    (P.Ok_batch { accepted = 3; errors = [] })
+    (Registry.dispatch reg_log
+       (P.Add_log
+          { session = "s1";
+            payloads = [ "20 29 0 9"; "bogus 9 0 9"; "30 39 0 9" ];
+            ts = None }));
+  Alcotest.check response "good payloads landed at next read"
+    (P.Estimate { value = 350.0; degraded = false; stale_shards = [] })
+    (dispatch reg_log "EST s1");
+  (match dispatch reg_log "STATS s1" with
+  | P.Stats_reply s ->
+    Alcotest.(check int) "accepted payloads processed" 4 s.P.items;
+    Alcotest.(check int) "reject surfaced at materialisation" 1 s.P.parse_rejects
+  | r -> Alcotest.failf "STATS: %s" (P.render_response r));
+  Alcotest.check response "unknown session refuses the log frame"
+    (P.Error_reply (P.Unknown_session "ghost"))
+    (dispatch reg_log "ADDL ghost 1 0%209%200%209")
 
 (* The batching equivalence behind the whole ADDB design: chopping one
    stream into arbitrary frames must leave the registry in exactly the
@@ -637,6 +762,54 @@ let prop_batch_equivalence =
       let s2 = Registry.dispatch reg_batch (P.Stats { session = "s" }) in
       e1 = e2 && s1 = s2)
 
+(* The replica-log equivalence: deferring arbitrary ADDL chops and absorbing
+   them at the first read must leave the registry in exactly the state
+   singleton ADDs produce — the materialisation replays payloads in arrival
+   order under the session RNG, so estimates and counters agree. *)
+let prop_log_equivalence =
+  QCheck.Test.make ~name:"ADDL frames absorbed at read match singleton ADDs"
+    ~count:60
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 12) (QCheck.int_range 1 7))
+    (fun chops ->
+      let payloads =
+        List.init 40 (fun i ->
+            let x = i * 17 mod 83 and y = i * 29 mod 71 in
+            Printf.sprintf "%d %d %d %d" x (x + (i mod 9)) y (y + (i mod 7)))
+      in
+      let open_req = parse_ok "OPEN s rect 0.3 0.2 20" in
+      let reg_single = Registry.create ~seed:1234 () in
+      let reg_log = Registry.create ~seed:1234 () in
+      ignore (Registry.dispatch reg_single open_req);
+      ignore (Registry.dispatch reg_log open_req);
+      List.iter
+        (fun p ->
+          ignore
+            (Registry.dispatch reg_single (P.Add { session = "s"; payload = p; ts = None })))
+        payloads;
+      let rec take n = function
+        | [] -> ([], [])
+        | l when n = 0 -> ([], l)
+        | x :: tl ->
+          let a, b = take (n - 1) tl in
+          (x :: a, b)
+      in
+      let rec feed i = function
+        | [] -> ()
+        | remaining ->
+          let k = List.nth chops (i mod List.length chops) in
+          let frame, rest = take k remaining in
+          ignore
+            (Registry.dispatch reg_log
+               (P.Add_log { session = "s"; payloads = frame; ts = None }));
+          feed (i + 1) rest
+      in
+      feed 0 payloads;
+      let e1 = Registry.dispatch reg_single (P.Est { session = "s" }) in
+      let e2 = Registry.dispatch reg_log (P.Est { session = "s" }) in
+      let s1 = Registry.dispatch reg_single (P.Stats { session = "s" }) in
+      let s2 = Registry.dispatch reg_log (P.Stats { session = "s" }) in
+      e1 = e2 && s1 = s2)
+
 let test_dispatch_validation () =
   let reg = Registry.create ~seed:7 () in
   Alcotest.check response "unknown session"
@@ -666,7 +839,7 @@ let test_dispatch_snapshot_restore () =
     (P.Ok_reply (Some "restored s2"))
     (dispatch reg (Printf.sprintf "RESTORE s2 %s" path));
   Alcotest.check response "restored estimate"
-    (P.Estimate { value = 100.0; degraded = false })
+    (P.Estimate { value = 100.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s2");
   Alcotest.check response "restore over live session"
     (P.Error_reply (P.Session_exists "s"))
@@ -697,7 +870,7 @@ let test_dispatch_fetch_merge () =
     (dispatch reg (Printf.sprintf "MERGE a %s" encoded));
   (* both squares are 10x10, overlapping on a 5x10 strip: union 150 *)
   Alcotest.check response "merged exact union"
-    (P.Estimate { value = 150.0; degraded = false })
+    (P.Estimate { value = 150.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST a");
   (match dispatch reg "STATS a" with
   | P.Stats_reply s ->
@@ -706,7 +879,7 @@ let test_dispatch_fetch_merge () =
   | r -> Alcotest.failf "STATS a: %s" (P.render_response r));
   (* donor is untouched *)
   Alcotest.check response "donor estimate unchanged"
-    (P.Estimate { value = 100.0; degraded = false })
+    (P.Estimate { value = 100.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST b");
   (* error paths: garbage token, family mismatch, unknown session *)
   (match dispatch reg "MERGE a not-a-snapshot" with
@@ -734,7 +907,7 @@ let test_dispatch_unsupported () =
       (P.render_response (P.Error_reply e))
   | Ok r -> Alcotest.failf "FROB parsed as %s" (P.render_request r));
   Alcotest.check response "session survives the unknown verb"
-    (P.Estimate { value = 100.0; degraded = false })
+    (P.Estimate { value = 100.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s")
 
 (* EXPR through the registry: exact-regime sessions make the answers
@@ -775,7 +948,7 @@ let test_dispatch_expr () =
   | r -> Alcotest.failf "EXPR A & D: %s" (P.render_response r));
   (* the query cloned its leaves: the live sessions keep ingesting *)
   Alcotest.check response "A still serves EST"
-    (P.Estimate { value = 100.0; degraded = false })
+    (P.Estimate { value = 100.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST A")
 
 (* WIN through the registry with a pinned clock: exact-regime sessions make
@@ -790,13 +963,13 @@ let test_dispatch_win () =
   ignore (dispatch reg "ADD s t=100 20 29 0 9");
   clock := 130.0;
   Alcotest.check response "window covering both adds"
-    (P.Estimate { value = 200.0; degraded = false })
+    (P.Estimate { value = 200.0; degraded = false; stale_shards = [] })
     (dispatch reg "WIN s 150");
   Alcotest.check response "window covering only the fresh add"
-    (P.Estimate { value = 100.0; degraded = false })
+    (P.Estimate { value = 100.0; degraded = false; stale_shards = [] })
     (dispatch reg "WIN s 60");
   Alcotest.check response "window covering nothing"
-    (P.Estimate { value = 0.0; degraded = false })
+    (P.Estimate { value = 0.0; degraded = false; stale_shards = [] })
     (dispatch reg "WIN s 10");
   Alcotest.check response "WIN inf agrees with EST"
     (dispatch reg "EST s")
@@ -804,15 +977,15 @@ let test_dispatch_win () =
   (* pinning at= moves the query instant: the same 25 s window is empty at
      the live clock but catches square B from t=120 *)
   Alcotest.check response "unpinned 25 s window is empty"
-    (P.Estimate { value = 0.0; degraded = false })
+    (P.Estimate { value = 0.0; degraded = false; stale_shards = [] })
     (dispatch reg "WIN s 25");
   Alcotest.check response "pinned 25 s window catches square B"
-    (P.Estimate { value = 100.0; degraded = false })
+    (P.Estimate { value = 100.0; degraded = false; stale_shards = [] })
     (dispatch reg "WIN s 25 at=120");
   (* a re-occurrence refreshes its elements' last-seen time *)
   ignore (dispatch reg "ADD s t=120 0 9 0 9");
   Alcotest.check response "re-occurrence refreshes square A"
-    (P.Estimate { value = 200.0; degraded = false })
+    (P.Estimate { value = 200.0; degraded = false; stale_shards = [] })
     (dispatch reg "WIN s 60");
   Alcotest.check response "win of unknown session"
     (P.Error_reply (P.Unknown_session "ghost"))
@@ -837,7 +1010,7 @@ let test_dispatch_win () =
   | r -> Alcotest.failf "EXPR w=20: %s" (P.render_response r));
   (* the windowed query cloned its leaves: full-stream EST is untouched *)
   Alcotest.check response "EST unchanged after windowed EXPR"
-    (P.Estimate { value = 200.0; degraded = false })
+    (P.Estimate { value = 200.0; degraded = false; stale_shards = [] })
     (dispatch reg "EST s")
 
 (* Striped locking under fire: two writers hammering ADDB into different
@@ -954,9 +1127,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_add_roundtrip;
     QCheck_alcotest.to_alcotest prop_armor_roundtrip;
     QCheck_alcotest.to_alcotest prop_addb_roundtrip;
+    QCheck_alcotest.to_alcotest prop_addl_roundtrip;
     Alcotest.test_case "dispatch lifecycle" `Quick test_dispatch_lifecycle;
     Alcotest.test_case "dispatch batched adds" `Quick test_dispatch_batch;
+    Alcotest.test_case "dispatch replica-log adds" `Quick test_dispatch_log;
     QCheck_alcotest.to_alcotest prop_batch_equivalence;
+    QCheck_alcotest.to_alcotest prop_log_equivalence;
     Alcotest.test_case "dispatch validation" `Quick test_dispatch_validation;
     Alcotest.test_case "dispatch snapshot/restore" `Quick test_dispatch_snapshot_restore;
     Alcotest.test_case "dispatch fetch/merge" `Quick test_dispatch_fetch_merge;
